@@ -1,0 +1,50 @@
+use mpf_storage::{StorageError, VarId};
+
+/// Errors raised while building or executing plans.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AlgebraError {
+    /// Underlying storage error.
+    Storage(StorageError),
+    /// A plan references a relation the provider does not hold.
+    UnknownRelation(String),
+    /// A `GroupBy` lists a variable not produced by its input.
+    GroupVarNotInInput(VarId),
+    /// A selection predicate references a variable not produced by its input.
+    SelectVarNotInInput(VarId),
+    /// The update semijoin requires a semiring with division.
+    NoDivision,
+}
+
+impl From<StorageError> for AlgebraError {
+    fn from(e: StorageError) -> Self {
+        AlgebraError::Storage(e)
+    }
+}
+
+impl std::fmt::Display for AlgebraError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AlgebraError::Storage(e) => write!(f, "storage error: {e}"),
+            AlgebraError::UnknownRelation(n) => write!(f, "unknown relation `{n}`"),
+            AlgebraError::GroupVarNotInInput(v) => {
+                write!(f, "group-by variable {v} is not in the operator input")
+            }
+            AlgebraError::SelectVarNotInInput(v) => {
+                write!(f, "selection variable {v} is not in the operator input")
+            }
+            AlgebraError::NoDivision => write!(
+                f,
+                "the update semijoin requires a semiring with a multiplicative inverse"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AlgebraError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AlgebraError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}

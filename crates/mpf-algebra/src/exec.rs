@@ -1,0 +1,257 @@
+use mpf_semiring::SemiringKind;
+use mpf_storage::FunctionalRelation;
+
+use crate::{ops, AlgebraError, ExecStats, Plan, RelationProvider, Result};
+
+/// Evaluates logical [`Plan`]s against a [`RelationProvider`] under a chosen
+/// semiring, accumulating [`ExecStats`].
+///
+/// The executor materializes every operator output (as the paper's modified
+/// PostgreSQL does for group-by results inside join trees); pipelining would
+/// not change the relative costs the experiments measure.
+#[derive(Debug, Clone, Copy)]
+pub struct Executor<'a, P: RelationProvider> {
+    provider: &'a P,
+    semiring: SemiringKind,
+}
+
+impl<'a, P: RelationProvider> Executor<'a, P> {
+    /// Create an executor over `provider` with the given semiring.
+    pub fn new(provider: &'a P, semiring: SemiringKind) -> Self {
+        Self { provider, semiring }
+    }
+
+    /// The active semiring.
+    pub fn semiring(&self) -> SemiringKind {
+        self.semiring
+    }
+
+    /// Execute `plan`, returning the result relation and work counters.
+    pub fn execute(&self, plan: &Plan) -> Result<(FunctionalRelation, ExecStats)> {
+        let mut stats = ExecStats::default();
+        let rel = self.run(plan, &mut stats)?;
+        Ok((rel, stats))
+    }
+
+    fn run(&self, plan: &Plan, stats: &mut ExecStats) -> Result<FunctionalRelation> {
+        match plan {
+            Plan::Scan { relation } => {
+                let rel = self
+                    .provider
+                    .relation_of(relation)
+                    .ok_or_else(|| AlgebraError::UnknownRelation(relation.clone()))?;
+                stats.rows_scanned += rel.len() as u64;
+                stats.pages_io += rel.estimated_pages();
+                Ok(rel.clone())
+            }
+            Plan::Select { input, predicates } => {
+                let in_rel = self.run(input, stats)?;
+                let out = ops::select_eq(&in_rel, predicates)?;
+                self.account(stats, &[&in_rel], &out);
+                stats.selects += 1;
+                Ok(out)
+            }
+            Plan::Join { left, right } => {
+                let l = self.run(left, stats)?;
+                let r = self.run(right, stats)?;
+                let out = ops::product_join(self.semiring, &l, &r)?;
+                self.account(stats, &[&l, &r], &out);
+                stats.joins += 1;
+                Ok(out)
+            }
+            Plan::GroupBy { input, group_vars } => {
+                let in_rel = self.run(input, stats)?;
+                let out = ops::group_by(self.semiring, &in_rel, group_vars)?;
+                self.account(stats, &[&in_rel], &out);
+                stats.group_bys += 1;
+                Ok(out)
+            }
+        }
+    }
+
+    /// Execute a physical plan (operator algorithms chosen per node).
+    pub fn execute_physical(
+        &self,
+        plan: &crate::PhysicalPlan,
+    ) -> Result<(FunctionalRelation, ExecStats)> {
+        let mut stats = ExecStats::default();
+        let rel = self.run_physical(plan, &mut stats)?;
+        Ok((rel, stats))
+    }
+
+    fn run_physical(
+        &self,
+        plan: &crate::PhysicalPlan,
+        stats: &mut ExecStats,
+    ) -> Result<FunctionalRelation> {
+        use crate::{AggAlgo, JoinAlgo, PhysicalPlan};
+        match plan {
+            PhysicalPlan::Scan { relation } => {
+                let rel = self
+                    .provider
+                    .relation_of(relation)
+                    .ok_or_else(|| AlgebraError::UnknownRelation(relation.clone()))?;
+                stats.rows_scanned += rel.len() as u64;
+                stats.pages_io += rel.estimated_pages();
+                Ok(rel.clone())
+            }
+            PhysicalPlan::Select { input, predicates } => {
+                let in_rel = self.run_physical(input, stats)?;
+                let out = ops::select_eq(&in_rel, predicates)?;
+                self.account(stats, &[&in_rel], &out);
+                stats.selects += 1;
+                Ok(out)
+            }
+            PhysicalPlan::Join { left, right, algo } => {
+                let l = self.run_physical(left, stats)?;
+                let r = self.run_physical(right, stats)?;
+                let out = match algo {
+                    JoinAlgo::Hash => ops::product_join(self.semiring, &l, &r)?,
+                    JoinAlgo::SortMerge => crate::sort_ops::merge_join(self.semiring, &l, &r)?,
+                    JoinAlgo::Grace { partitions } => {
+                        crate::partitioned::grace_join(self.semiring, &l, &r, *partitions)?
+                    }
+                };
+                self.account(stats, &[&l, &r], &out);
+                stats.joins += 1;
+                Ok(out)
+            }
+            PhysicalPlan::GroupBy {
+                input,
+                group_vars,
+                algo,
+            } => {
+                let in_rel = self.run_physical(input, stats)?;
+                let out = match algo {
+                    AggAlgo::HashAgg => ops::group_by(self.semiring, &in_rel, group_vars)?,
+                    AggAlgo::SortAgg => {
+                        crate::sort_ops::sort_group_by(self.semiring, &in_rel, group_vars)?
+                    }
+                };
+                self.account(stats, &[&in_rel], &out);
+                stats.group_bys += 1;
+                Ok(out)
+            }
+        }
+    }
+
+    fn account(
+        &self,
+        stats: &mut ExecStats,
+        inputs: &[&FunctionalRelation],
+        output: &FunctionalRelation,
+    ) {
+        for rel in inputs {
+            stats.rows_processed += rel.len() as u64;
+            stats.pages_io += rel.estimated_pages();
+        }
+        stats.rows_processed += output.len() as u64;
+        stats.pages_io += output.estimated_pages();
+        stats.max_intermediate_rows = stats.max_intermediate_rows.max(output.len() as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RelationStore;
+    use mpf_semiring::approx_eq;
+    use mpf_storage::{Catalog, Schema, VarId};
+
+    fn store() -> (Catalog, RelationStore, VarId, VarId, VarId) {
+        let mut c = Catalog::new();
+        let a = c.add_var("a", 2).unwrap();
+        let b = c.add_var("b", 2).unwrap();
+        let d = c.add_var("d", 2).unwrap();
+        let mut s = RelationStore::new();
+        s.insert(
+            FunctionalRelation::from_rows(
+                "r1",
+                Schema::new(vec![a, b]).unwrap(),
+                [
+                    (vec![0, 0], 1.0),
+                    (vec![0, 1], 2.0),
+                    (vec![1, 0], 3.0),
+                    (vec![1, 1], 4.0),
+                ],
+            )
+            .unwrap(),
+        );
+        s.insert(
+            FunctionalRelation::from_rows(
+                "r2",
+                Schema::new(vec![b, d]).unwrap(),
+                [
+                    (vec![0, 0], 10.0),
+                    (vec![0, 1], 20.0),
+                    (vec![1, 0], 30.0),
+                    (vec![1, 1], 40.0),
+                ],
+            )
+            .unwrap(),
+        );
+        (c, s, a, b, d)
+    }
+
+    #[test]
+    fn executes_full_plan() {
+        let (_, s, _, _, d) = store();
+        let exec = Executor::new(&s, SemiringKind::SumProduct);
+        let plan = Plan::group_by(Plan::join(Plan::scan("r1"), Plan::scan("r2")), vec![d]);
+        let (out, stats) = exec.execute(&plan).unwrap();
+        assert!(approx_eq(out.lookup(&[0]).unwrap(), 220.0));
+        assert!(approx_eq(out.lookup(&[1]).unwrap(), 320.0));
+        assert_eq!(stats.joins, 1);
+        assert_eq!(stats.group_bys, 1);
+        assert_eq!(stats.rows_scanned, 8);
+        assert!(stats.rows_processed > 0);
+        assert_eq!(stats.max_intermediate_rows, 8);
+    }
+
+    #[test]
+    fn pushed_down_group_by_same_answer_less_work() {
+        let (_, s, _, b, d) = store();
+        let exec = Executor::new(&s, SemiringKind::SumProduct);
+        let root_only = Plan::group_by(Plan::join(Plan::scan("r1"), Plan::scan("r2")), vec![d]);
+        // Push a group-by onto r1 (eliminate `a` early).
+        let pushed = Plan::group_by(
+            Plan::join(
+                Plan::group_by(Plan::scan("r1"), vec![b]),
+                Plan::scan("r2"),
+            ),
+            vec![d],
+        );
+        let (out1, st1) = exec.execute(&root_only).unwrap();
+        let (out2, st2) = exec.execute(&pushed).unwrap();
+        assert!(out1.function_eq(&out2));
+        assert!(st2.rows_processed < st1.rows_processed);
+    }
+
+    #[test]
+    fn select_plan() {
+        let (_, s, a, _, d) = store();
+        let exec = Executor::new(&s, SemiringKind::SumProduct);
+        let plan = Plan::group_by(
+            Plan::join(
+                Plan::select(Plan::scan("r1"), vec![(a, 0)]),
+                Plan::scan("r2"),
+            ),
+            vec![d],
+        );
+        let (out, stats) = exec.execute(&plan).unwrap();
+        // a=0: d=0 -> 1*10 + 2*30 = 70; d=1 -> 1*20 + 2*40 = 100.
+        assert!(approx_eq(out.lookup(&[0]).unwrap(), 70.0));
+        assert!(approx_eq(out.lookup(&[1]).unwrap(), 100.0));
+        assert_eq!(stats.selects, 1);
+    }
+
+    #[test]
+    fn unknown_relation_errors() {
+        let (_, s, _, _, _) = store();
+        let exec = Executor::new(&s, SemiringKind::SumProduct);
+        assert!(matches!(
+            exec.execute(&Plan::scan("missing")),
+            Err(AlgebraError::UnknownRelation(_))
+        ));
+    }
+}

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+//! Extended relational algebra over functional relations, and its executor.
+//!
+//! This crate implements the operators of Section 2 and Definition 6 of the
+//! paper:
+//!
+//! * **product join** (`⨝*`, Definition 2) — natural join on shared
+//!   variables with measures combined by the semiring's multiplicative
+//!   operation ([`ops::product_join`]);
+//! * **marginalization** (`GroupBy_X` + additive aggregate, Definition 3) —
+//!   [`ops::group_by`];
+//! * **selection** on variable equality predicates ([`ops::select_eq`]),
+//!   used by the restricted-answer and constrained-domain query forms of
+//!   Section 3.1;
+//! * **product semijoin** (`⋉*`) and **update semijoin** (`⋉`, Definition 6)
+//!   — the reduction operators of Belief Propagation
+//!   ([`ops::product_semijoin`], [`ops::update_semijoin`]).
+//!
+//! Logical plans ([`Plan`]) are trees of these operators; the [`Executor`]
+//! evaluates a plan against a [`RelationProvider`] and reports
+//! [`ExecStats`] — deterministic work counters (rows and simulated page IO)
+//! that the experiment harnesses use alongside wall-clock time.
+
+mod error;
+mod exec;
+pub mod ops;
+mod physical;
+pub mod partitioned;
+mod plan;
+mod provider;
+pub mod sort_ops;
+mod stats;
+
+pub use error::AlgebraError;
+pub use exec::Executor;
+pub use physical::{AggAlgo, JoinAlgo, PhysicalPlan};
+pub use plan::Plan;
+pub use provider::{RelationProvider, RelationStore};
+pub use stats::ExecStats;
+
+/// Result alias for algebra operations.
+pub type Result<T> = std::result::Result<T, AlgebraError>;

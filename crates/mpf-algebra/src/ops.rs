@@ -1,0 +1,516 @@
+//! Physical operators over functional relations.
+//!
+//! All operators are pure functions `FR × FR → FR` (or `FR → FR`); work
+//! accounting is done by the [`Executor`](crate::Executor) from input/output
+//! cardinalities, so these functions stay reusable by the inference layer
+//! (Belief Propagation and VE-cache call the semijoins directly).
+
+use mpf_semiring::SemiringKind;
+use mpf_storage::{FunctionalRelation, Key, Schema, Value, VarId};
+
+use crate::{AlgebraError, Result};
+
+/// Product join (`⨝*`, Definition 2): natural join on shared variables with
+/// measures combined by the semiring's multiplicative operation.
+///
+/// `Var(out) = Var(l) ∪ Var(r)`; the join condition is equality on
+/// `Var(l) ∩ Var(r)`. When the schemas are disjoint this degenerates to a
+/// cross product with multiplied measures, as the algebra requires.
+///
+/// Implementation: classic hash join. The smaller input is built into a hash
+/// index keyed on the shared variables; the larger input probes it.
+pub fn product_join(
+    sr: SemiringKind,
+    l: &FunctionalRelation,
+    r: &FunctionalRelation,
+) -> Result<FunctionalRelation> {
+    let out_schema = l.schema().union(r.schema());
+    let shared = l.schema().intersect(r.schema());
+
+    // Choose build/probe sides by cardinality.
+    let (build, probe) = if l.len() <= r.len() { (l, r) } else { (r, l) };
+    let build_shared = build.schema().positions(shared.vars())?;
+    let probe_shared = probe.schema().positions(shared.vars())?;
+
+    // For each output column, record which side and position it comes from.
+    // Prefer the probe side so the inner loop copies contiguously when
+    // possible; correctness is unaffected because shared columns are equal.
+    enum Src {
+        Probe(usize),
+        Build(usize),
+    }
+    let srcs: Vec<Src> = out_schema
+        .iter()
+        .map(|v| {
+            if let Ok(p) = probe.schema().position(v) {
+                Ok(Src::Probe(p))
+            } else {
+                Ok(Src::Build(build.schema().position(v)?))
+            }
+        })
+        .collect::<Result<_>>()?;
+
+    let index = build.build_index(&build_shared);
+    let mut out = FunctionalRelation::new(
+        format!("({}⨝*{})", l.name(), r.name()),
+        out_schema.clone(),
+    );
+    let mut row_buf: Vec<Value> = vec![0; out_schema.arity()];
+    for i in 0..probe.len() {
+        let prow = probe.row(i);
+        let key = Key::extract(prow, &probe_shared);
+        let Some(matches) = index.get(&key) else {
+            continue;
+        };
+        let pm = probe.measure(i);
+        for &j in matches {
+            let brow = build.row(j as usize);
+            for (c, src) in srcs.iter().enumerate() {
+                row_buf[c] = match src {
+                    Src::Probe(p) => prow[*p],
+                    Src::Build(p) => brow[*p],
+                };
+            }
+            out.push_row(&row_buf, sr.mul(pm, build.measure(j as usize)))?;
+        }
+    }
+    Ok(out)
+}
+
+/// Marginalization (`GroupBy_X` with the semiring's additive aggregate,
+/// Definition 3). The output schema is exactly `group_vars` (which must be a
+/// subset of the input schema); measures of rows agreeing on the group
+/// variables are folded with the additive operation.
+///
+/// With `group_vars` empty this computes the scalar total of the function.
+pub fn group_by(
+    sr: SemiringKind,
+    input: &FunctionalRelation,
+    group_vars: &[VarId],
+) -> Result<FunctionalRelation> {
+    for &v in group_vars {
+        if !input.schema().contains(v) {
+            return Err(AlgebraError::GroupVarNotInInput(v));
+        }
+    }
+    let out_schema = Schema::new(group_vars.to_vec())?;
+    let positions = input.schema().positions(group_vars)?;
+
+    let mut groups: std::collections::HashMap<Key, usize> =
+        std::collections::HashMap::with_capacity(input.len().min(1 << 20));
+    let mut out = FunctionalRelation::new(
+        format!("γ({})", input.name()),
+        out_schema,
+    );
+    let mut key_row: Vec<Value> = vec![0; group_vars.len()];
+    for i in 0..input.len() {
+        let row = input.row(i);
+        let key = Key::extract(row, &positions);
+        let m = input.measure(i);
+        match groups.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                let idx = *e.get();
+                let acc = out.measure(idx);
+                // Re-push is not possible; mutate via measures slice.
+                out.set_measure(idx, sr.add(acc, m));
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                for (c, &p) in positions.iter().enumerate() {
+                    key_row[c] = row[p];
+                }
+                e.insert(out.len());
+                out.push_row(&key_row, m)?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Selection on conjunctive variable-equality predicates
+/// (`where Y = c and ...`), the restriction used by the paper's
+/// restricted-answer and constrained-domain query forms.
+pub fn select_eq(
+    input: &FunctionalRelation,
+    predicates: &[(VarId, Value)],
+) -> Result<FunctionalRelation> {
+    let positions: Vec<(usize, Value)> = predicates
+        .iter()
+        .map(|&(v, c)| {
+            input
+                .schema()
+                .position(v)
+                .map(|p| (p, c))
+                .map_err(|_| AlgebraError::SelectVarNotInInput(v))
+        })
+        .collect::<Result<_>>()?;
+    let mut out = FunctionalRelation::new(
+        format!("σ({})", input.name()),
+        input.schema().clone(),
+    );
+    for (row, m) in input.rows() {
+        if positions.iter().all(|&(p, c)| row[p] == c) {
+            out.push_row(row, m)?;
+        }
+    }
+    Ok(out)
+}
+
+/// Product semijoin (`t ⋉* s`, Definition 6):
+/// `t ⨝* GroupBy_U(s)` where `U = Var(t) ∩ Var(s)`.
+///
+/// This is the forward-pass reduction of Belief Propagation: `t` absorbs
+/// `s`'s marginal over their shared variables.
+pub fn product_semijoin(
+    sr: SemiringKind,
+    t: &FunctionalRelation,
+    s: &FunctionalRelation,
+) -> Result<FunctionalRelation> {
+    let shared = t.schema().intersect(s.schema());
+    let marg = group_by(sr, s, shared.vars())?;
+    let out = product_join(sr, t, &marg)?;
+    Ok(out.with_name(format!("({}⋉*{})", t.name(), s.name())))
+}
+
+/// Update semijoin (`t ⋉ s`, Definition 6):
+/// `t ⨝* ( GroupBy_U(s) ⨝÷ GroupBy_U(t) )` where `U = Var(t) ∩ Var(s)` and
+/// `⨝÷` is the product join with division instead of multiplication.
+///
+/// This is the backward-pass reduction of Belief Propagation: `t` absorbs
+/// the information `s` gathered, divided by `t`'s own current marginal so
+/// values propagated in the forward pass are not propagated again
+/// (Appendix A of the paper).
+///
+/// # Errors
+/// [`AlgebraError::NoDivision`] if the semiring lacks a multiplicative
+/// inverse.
+pub fn update_semijoin(
+    sr: SemiringKind,
+    t: &FunctionalRelation,
+    s: &FunctionalRelation,
+) -> Result<FunctionalRelation> {
+    if !sr.has_division() {
+        return Err(AlgebraError::NoDivision);
+    }
+    let shared = t.schema().intersect(s.schema());
+    let marg_s = group_by(sr, s, shared.vars())?;
+    let marg_t = group_by(sr, t, shared.vars())?;
+    let ratio = divide_join(sr, &marg_s, &marg_t)?;
+    let out = product_join(sr, t, &ratio)?;
+    Ok(out.with_name(format!("({}⋉{})", t.name(), s.name())))
+}
+
+/// The division join (`⨝÷`): defined exactly like the product join but the
+/// output measure is `l[f] / r[f]` under the semiring's partial inverse.
+/// Non-commutative; `l` is the numerator.
+pub fn divide_join(
+    sr: SemiringKind,
+    l: &FunctionalRelation,
+    r: &FunctionalRelation,
+) -> Result<FunctionalRelation> {
+    if !sr.has_division() {
+        return Err(AlgebraError::NoDivision);
+    }
+    let out_schema = l.schema().union(r.schema());
+    let shared = l.schema().intersect(r.schema());
+    let l_shared = l.schema().positions(shared.vars())?;
+    let r_shared = r.schema().positions(shared.vars())?;
+
+    // Index the right (denominator) side; iterate the left so each
+    // numerator row is emitted once per matching denominator row.
+    let index = r.build_index(&r_shared);
+    let srcs: Vec<(bool, usize)> = out_schema
+        .iter()
+        .map(|v| {
+            if let Ok(p) = l.schema().position(v) {
+                Ok((true, p))
+            } else {
+                Ok((false, r.schema().position(v)?))
+            }
+        })
+        .collect::<Result<_>>()?;
+
+    let mut out = FunctionalRelation::new(
+        format!("({}⨝÷{})", l.name(), r.name()),
+        out_schema.clone(),
+    );
+    let mut row_buf: Vec<Value> = vec![0; out_schema.arity()];
+    for i in 0..l.len() {
+        let lrow = l.row(i);
+        let key = Key::extract(lrow, &l_shared);
+        let Some(matches) = index.get(&key) else {
+            continue;
+        };
+        for &j in matches {
+            let rrow = r.row(j as usize);
+            for (c, &(from_l, p)) in srcs.iter().enumerate() {
+                row_buf[c] = if from_l { lrow[p] } else { rrow[p] };
+            }
+            out.push_row(&row_buf, sr.div(l.measure(i), r.measure(j as usize)))?;
+        }
+    }
+    Ok(out)
+}
+
+/// Evaluate the *naive* MPF plan: product-join all `relations` left to
+/// right, apply equality `predicates`, then a single `GroupBy` at the root.
+/// This is the reference answer every optimized plan must reproduce, and the
+/// plan the unmodified CS algorithm is forced into (Figure 3).
+pub fn naive_mpf(
+    sr: SemiringKind,
+    relations: &[&FunctionalRelation],
+    predicates: &[(VarId, Value)],
+    group_vars: &[VarId],
+) -> Result<FunctionalRelation> {
+    assert!(!relations.is_empty(), "naive_mpf needs at least one relation");
+    // Apply selections on base relations where possible (pure correctness
+    // shortcut: selection commutes with product join).
+    let mut acc: Option<FunctionalRelation> = None;
+    for &rel in relations {
+        let applicable: Vec<(VarId, Value)> = predicates
+            .iter()
+            .copied()
+            .filter(|&(v, _)| rel.schema().contains(v))
+            .collect();
+        let filtered = if applicable.is_empty() {
+            rel.clone()
+        } else {
+            select_eq(rel, &applicable)?
+        };
+        acc = Some(match acc {
+            None => filtered,
+            Some(a) => product_join(sr, &a, &filtered)?,
+        });
+    }
+    group_by(sr, &acc.expect("nonempty"), group_vars)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpf_semiring::approx_eq;
+    use mpf_storage::{Catalog, Schema};
+
+    fn setup() -> (Catalog, FunctionalRelation, FunctionalRelation) {
+        let mut c = Catalog::new();
+        let a = c.add_var("a", 2).unwrap();
+        let b = c.add_var("b", 2).unwrap();
+        let d = c.add_var("d", 2).unwrap();
+        let r1 = FunctionalRelation::from_rows(
+            "r1",
+            Schema::new(vec![a, b]).unwrap(),
+            [
+                (vec![0, 0], 1.0),
+                (vec![0, 1], 2.0),
+                (vec![1, 0], 3.0),
+                (vec![1, 1], 4.0),
+            ],
+        )
+        .unwrap();
+        let r2 = FunctionalRelation::from_rows(
+            "r2",
+            Schema::new(vec![b, d]).unwrap(),
+            [
+                (vec![0, 0], 10.0),
+                (vec![0, 1], 20.0),
+                (vec![1, 0], 30.0),
+                (vec![1, 1], 40.0),
+            ],
+        )
+        .unwrap();
+        (c, r1, r2)
+    }
+
+    #[test]
+    fn product_join_multiplies_measures() {
+        let (c, r1, r2) = setup();
+        let sr = SemiringKind::SumProduct;
+        let j = product_join(sr, &r1, &r2).unwrap();
+        assert_eq!(j.len(), 8); // 2 matches per b value on each side
+        let a = c.var("a").unwrap();
+        let b = c.var("b").unwrap();
+        let d = c.var("d").unwrap();
+        assert!(j.schema().contains(a) && j.schema().contains(b) && j.schema().contains(d));
+        // (a=0,b=1) m=2 joins (b=1,d=0) m=30 -> 60.
+        let pa = j.schema().position(a).unwrap();
+        let pb = j.schema().position(b).unwrap();
+        let pd = j.schema().position(d).unwrap();
+        let found = j
+            .rows()
+            .find(|(row, _)| row[pa] == 0 && row[pb] == 1 && row[pd] == 0)
+            .unwrap();
+        assert!(approx_eq(found.1, 60.0));
+    }
+
+    #[test]
+    fn product_join_is_commutative() {
+        let (_, r1, r2) = setup();
+        let sr = SemiringKind::SumProduct;
+        let ab = product_join(sr, &r1, &r2).unwrap();
+        let ba = product_join(sr, &r2, &r1).unwrap();
+        assert!(ab.function_eq(&ba));
+    }
+
+    #[test]
+    fn disjoint_schemas_cross_product() {
+        let mut c = Catalog::new();
+        let a = c.add_var("a", 2).unwrap();
+        let b = c.add_var("b", 3).unwrap();
+        let r1 = FunctionalRelation::from_rows(
+            "r1",
+            Schema::new(vec![a]).unwrap(),
+            [(vec![0], 2.0), (vec![1], 3.0)],
+        )
+        .unwrap();
+        let r2 = FunctionalRelation::from_rows(
+            "r2",
+            Schema::new(vec![b]).unwrap(),
+            [(vec![0], 5.0), (vec![1], 7.0), (vec![2], 11.0)],
+        )
+        .unwrap();
+        let j = product_join(SemiringKind::SumProduct, &r1, &r2).unwrap();
+        assert_eq!(j.len(), 6);
+        let total: f64 = j.measures().iter().sum();
+        assert!(approx_eq(total, (2.0 + 3.0) * (5.0 + 7.0 + 11.0)));
+    }
+
+    #[test]
+    fn group_by_marginalizes() {
+        let (c, r1, _) = setup();
+        let a = c.var("a").unwrap();
+        let g = group_by(SemiringKind::SumProduct, &r1, &[a]).unwrap();
+        assert_eq!(g.len(), 2);
+        assert!(approx_eq(g.lookup(&[0]).unwrap(), 3.0));
+        assert!(approx_eq(g.lookup(&[1]).unwrap(), 7.0));
+    }
+
+    #[test]
+    fn group_by_empty_vars_is_total() {
+        let (_, r1, _) = setup();
+        let g = group_by(SemiringKind::SumProduct, &r1, &[]).unwrap();
+        assert_eq!(g.len(), 1);
+        assert!(approx_eq(g.measure(0), 10.0));
+        let gmin = group_by(SemiringKind::MinProduct, &r1, &[]).unwrap();
+        assert!(approx_eq(gmin.measure(0), 1.0));
+    }
+
+    #[test]
+    fn group_by_unknown_var_errors() {
+        let (_, r1, _) = setup();
+        assert!(matches!(
+            group_by(SemiringKind::SumProduct, &r1, &[VarId(99)]),
+            Err(AlgebraError::GroupVarNotInInput(_))
+        ));
+    }
+
+    #[test]
+    fn select_filters() {
+        let (c, r1, _) = setup();
+        let a = c.var("a").unwrap();
+        let s = select_eq(&r1, &[(a, 1)]).unwrap();
+        assert_eq!(s.len(), 2);
+        assert!(s.rows().all(|(row, _)| row[0] == 1));
+        assert!(matches!(
+            select_eq(&r1, &[(VarId(99), 0)]),
+            Err(AlgebraError::SelectVarNotInInput(_))
+        ));
+    }
+
+    #[test]
+    fn gdl_pushdown_equivalence() {
+        // GroupBy distributes over product join: marginalizing d out of
+        // r1 ⨝* r2 equals r1 ⨝* (GroupBy_b r2).
+        let (c, r1, r2) = setup();
+        let sr = SemiringKind::SumProduct;
+        let a = c.var("a").unwrap();
+        let b = c.var("b").unwrap();
+
+        let joined = product_join(sr, &r1, &r2).unwrap();
+        let direct = group_by(sr, &joined, &[a, b]).unwrap();
+
+        let pushed_inner = group_by(sr, &r2, &[b]).unwrap();
+        let pushed = product_join(sr, &r1, &pushed_inner).unwrap();
+        let pushed = group_by(sr, &pushed, &[a, b]).unwrap();
+
+        assert!(direct.function_eq(&pushed));
+    }
+
+    #[test]
+    fn product_semijoin_reduces() {
+        let (c, r1, r2) = setup();
+        let sr = SemiringKind::SumProduct;
+        let red = product_semijoin(sr, &r1, &r2).unwrap();
+        // Var(r1 ⋉* r2) = Var(r1); measure multiplied by r2's b-marginal.
+        assert_eq!(red.schema().vars(), r1.schema().vars());
+        let b = c.var("b").unwrap();
+        let marg = group_by(sr, &r2, &[b]).unwrap();
+        // b=0 marginal is 30, b=1 marginal is 70.
+        assert!(approx_eq(marg.lookup(&[0]).unwrap(), 30.0));
+        assert!(approx_eq(red.lookup(&[0, 0]).unwrap(), 1.0 * 30.0));
+        assert!(approx_eq(red.lookup(&[1, 1]).unwrap(), 4.0 * 70.0));
+    }
+
+    #[test]
+    fn update_semijoin_calibrates_chain() {
+        // After t' = product_semijoin(s, t)... i.e. forward s ⋉* t then
+        // backward t ⋉ s', t's marginal must equal the view marginal
+        // (Definition 5) — the two-table base case of Theorem 6.
+        let (c, t, s) = setup();
+        let sr = SemiringKind::SumProduct;
+        let s1 = product_semijoin(sr, &s, &t).unwrap(); // forward
+        let t1 = update_semijoin(sr, &t, &s1).unwrap(); // backward
+
+        let a = c.var("a").unwrap();
+        let b = c.var("b").unwrap();
+        let view = product_join(sr, &t, &s).unwrap();
+        let want = group_by(sr, &view, &[a, b]).unwrap();
+        let got = group_by(sr, &t1, &[a, b]).unwrap();
+        assert!(want.function_eq(&got));
+    }
+
+    #[test]
+    fn update_semijoin_requires_division() {
+        let (_, r1, r2) = setup();
+        assert!(matches!(
+            update_semijoin(SemiringKind::BoolOrAnd, &r1, &r2),
+            Err(AlgebraError::NoDivision)
+        ));
+    }
+
+    #[test]
+    fn naive_mpf_reference() {
+        let (c, r1, r2) = setup();
+        let sr = SemiringKind::SumProduct;
+        let d = c.var("d").unwrap();
+        let got = naive_mpf(sr, &[&r1, &r2], &[], &[d]).unwrap();
+        // By hand: sum over a,b of r1(a,b)*r2(b,d).
+        // d=0: b=0: (1+3)*10=40, b=1: (2+4)*30=180 -> 220.
+        // d=1: b=0: (1+3)*20=80, b=1: (2+4)*40=240 -> 320.
+        assert!(approx_eq(got.lookup(&[0]).unwrap(), 220.0));
+        assert!(approx_eq(got.lookup(&[1]).unwrap(), 320.0));
+    }
+
+    #[test]
+    fn naive_mpf_with_selection() {
+        let (c, r1, r2) = setup();
+        let sr = SemiringKind::SumProduct;
+        let b = c.var("b").unwrap();
+        let d = c.var("d").unwrap();
+        let got = naive_mpf(sr, &[&r1, &r2], &[(b, 1)], &[d]).unwrap();
+        // Only b=1 contributes: d=0 -> (2+4)*30=180; d=1 -> (2+4)*40=240.
+        assert!(approx_eq(got.lookup(&[0]).unwrap(), 180.0));
+        assert!(approx_eq(got.lookup(&[1]).unwrap(), 240.0));
+    }
+
+    #[test]
+    fn min_product_join_and_group() {
+        let (c, r1, r2) = setup();
+        let sr = SemiringKind::MinProduct;
+        let a = c.var("a").unwrap();
+        let j = product_join(sr, &r1, &r2).unwrap();
+        let g = group_by(sr, &j, &[a]).unwrap();
+        // a=0: min over (b,d) of r1(0,b)*r2(b,d) = min(1*10,1*20,2*30,2*40) = 10.
+        assert!(approx_eq(g.lookup(&[0]).unwrap(), 10.0));
+        // a=1: min(3*10,3*20,4*30,4*40) = 30.
+        assert!(approx_eq(g.lookup(&[1]).unwrap(), 30.0));
+    }
+}

@@ -1,0 +1,260 @@
+//! Physical plans: logical plans annotated with operator algorithms.
+//!
+//! The logical [`Plan`](crate::Plan) fixes *where* joins and group-bys sit;
+//! the physical plan additionally fixes *how* each is executed —
+//! hash-based or sort-based — which is exactly the degree of freedom the
+//! paper points out distinguishes the relational setting from the GDL
+//! setting. [`PhysicalPlan::from_logical`] annotates a logical plan with a
+//! caller-supplied chooser (the optimizer's cost-based
+//! `choose_physical`); [`PhysicalPlan::default_hash`] maps everything to
+//! the hash operators, which is what [`Executor`](crate::Executor) does
+//! for bare logical plans.
+
+use mpf_storage::{Value, VarId};
+
+use crate::Plan;
+
+/// Join algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinAlgo {
+    /// Build a hash index on the smaller side, probe with the larger.
+    Hash,
+    /// Sort both sides on the shared variables and merge.
+    SortMerge,
+    /// Grace hash join: partition both sides on the shared variables so
+    /// each build partition fits the workspace, then join partition-wise
+    /// (the spill strategy for disk-resident operands).
+    Grace {
+        /// Number of partitions.
+        partitions: usize,
+    },
+}
+
+/// Aggregation algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggAlgo {
+    /// Hash table keyed by the grouping values.
+    HashAgg,
+    /// Sort on the grouping values and fold runs.
+    SortAgg,
+}
+
+/// A logical plan with per-operator algorithm annotations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysicalPlan {
+    /// Scan a base relation.
+    Scan {
+        /// Base relation name.
+        relation: String,
+    },
+    /// Filter by conjunctive equality predicates.
+    Select {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Predicates.
+        predicates: Vec<(VarId, Value)>,
+    },
+    /// Product join with a chosen algorithm.
+    Join {
+        /// Left input.
+        left: Box<PhysicalPlan>,
+        /// Right input.
+        right: Box<PhysicalPlan>,
+        /// The join implementation.
+        algo: JoinAlgo,
+    },
+    /// Marginalization with a chosen algorithm.
+    GroupBy {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Grouping variables.
+        group_vars: Vec<VarId>,
+        /// The aggregation implementation.
+        algo: AggAlgo,
+    },
+}
+
+impl PhysicalPlan {
+    /// Annotate a logical plan, consulting `choose_join` / `choose_agg` at
+    /// each operator (called bottom-up).
+    pub fn from_logical(
+        plan: &Plan,
+        choose_join: &mut impl FnMut(&Plan, &Plan) -> JoinAlgo,
+        choose_agg: &mut impl FnMut(&Plan, &[VarId]) -> AggAlgo,
+    ) -> PhysicalPlan {
+        match plan {
+            Plan::Scan { relation } => PhysicalPlan::Scan {
+                relation: relation.clone(),
+            },
+            Plan::Select { input, predicates } => PhysicalPlan::Select {
+                input: Box::new(Self::from_logical(input, choose_join, choose_agg)),
+                predicates: predicates.clone(),
+            },
+            Plan::Join { left, right } => {
+                let algo = choose_join(left, right);
+                PhysicalPlan::Join {
+                    left: Box::new(Self::from_logical(left, choose_join, choose_agg)),
+                    right: Box::new(Self::from_logical(right, choose_join, choose_agg)),
+                    algo,
+                }
+            }
+            Plan::GroupBy { input, group_vars } => {
+                let algo = choose_agg(input, group_vars);
+                PhysicalPlan::GroupBy {
+                    input: Box::new(Self::from_logical(input, choose_join, choose_agg)),
+                    group_vars: group_vars.clone(),
+                    algo,
+                }
+            }
+        }
+    }
+
+    /// Annotate with hash operators everywhere (the default pipeline).
+    pub fn default_hash(plan: &Plan) -> PhysicalPlan {
+        Self::from_logical(plan, &mut |_, _| JoinAlgo::Hash, &mut |_, _| {
+            AggAlgo::HashAgg
+        })
+    }
+
+    /// The underlying logical plan (strip annotations).
+    pub fn to_logical(&self) -> Plan {
+        match self {
+            PhysicalPlan::Scan { relation } => Plan::scan(relation.clone()),
+            PhysicalPlan::Select { input, predicates } => {
+                Plan::select(input.to_logical(), predicates.clone())
+            }
+            PhysicalPlan::Join { left, right, .. } => {
+                Plan::join(left.to_logical(), right.to_logical())
+            }
+            PhysicalPlan::GroupBy {
+                input, group_vars, ..
+            } => Plan::group_by(input.to_logical(), group_vars.clone()),
+        }
+    }
+
+    /// Count operators annotated with sort-based algorithms.
+    pub fn sort_operator_count(&self) -> usize {
+        match self {
+            PhysicalPlan::Scan { .. } => 0,
+            PhysicalPlan::Select { input, .. } => input.sort_operator_count(),
+            PhysicalPlan::Join {
+                left, right, algo, ..
+            } => {
+                (*algo == JoinAlgo::SortMerge) as usize
+                    + left.sort_operator_count()
+                    + right.sort_operator_count()
+            }
+            PhysicalPlan::GroupBy { input, algo, .. } => {
+                (*algo == AggAlgo::SortAgg) as usize + input.sort_operator_count()
+            }
+        }
+    }
+
+    /// Count operators that spill (anything other than the plain in-memory
+    /// hash operators).
+    pub fn spill_operator_count(&self) -> usize {
+        match self {
+            PhysicalPlan::Scan { .. } => 0,
+            PhysicalPlan::Select { input, .. } => input.spill_operator_count(),
+            PhysicalPlan::Join {
+                left, right, algo, ..
+            } => {
+                (*algo != JoinAlgo::Hash) as usize
+                    + left.spill_operator_count()
+                    + right.spill_operator_count()
+            }
+            PhysicalPlan::GroupBy { input, algo, .. } => {
+                (*algo != AggAlgo::HashAgg) as usize + input.spill_operator_count()
+            }
+        }
+    }
+
+    /// Render as an indented tree with algorithm annotations.
+    pub fn render(&self, var_name: &dyn Fn(VarId) -> String) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0, var_name);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize, var_name: &dyn Fn(VarId) -> String) {
+        let indent = "  ".repeat(depth);
+        match self {
+            PhysicalPlan::Scan { relation } => {
+                out.push_str(&format!("{indent}Scan {relation}\n"));
+            }
+            PhysicalPlan::Select { input, predicates } => {
+                let preds: Vec<String> = predicates
+                    .iter()
+                    .map(|(v, c)| format!("{}={}", var_name(*v), c))
+                    .collect();
+                out.push_str(&format!("{indent}Select [{}]\n", preds.join(", ")));
+                input.render_into(out, depth + 1, var_name);
+            }
+            PhysicalPlan::Join { left, right, algo } => {
+                out.push_str(&format!("{indent}ProductJoin ({algo:?})\n"));
+                left.render_into(out, depth + 1, var_name);
+                right.render_into(out, depth + 1, var_name);
+            }
+            PhysicalPlan::GroupBy {
+                input,
+                group_vars,
+                algo,
+            } => {
+                let vars: Vec<String> = group_vars.iter().map(|&v| var_name(v)).collect();
+                out.push_str(&format!("{indent}GroupBy [{}] ({algo:?})\n", vars.join(", ")));
+                input.render_into(out, depth + 1, var_name);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    fn logical() -> Plan {
+        Plan::group_by(
+            Plan::join(Plan::scan("a"), Plan::group_by(Plan::scan("b"), vec![v(1)])),
+            vec![v(0)],
+        )
+    }
+
+    #[test]
+    fn default_is_all_hash() {
+        let p = PhysicalPlan::default_hash(&logical());
+        assert_eq!(p.sort_operator_count(), 0);
+        assert_eq!(p.to_logical(), logical());
+    }
+
+    #[test]
+    fn chooser_is_consulted_per_operator() {
+        let mut joins = 0;
+        let mut aggs = 0;
+        let p = PhysicalPlan::from_logical(
+            &logical(),
+            &mut |_, _| {
+                joins += 1;
+                JoinAlgo::SortMerge
+            },
+            &mut |_, _| {
+                aggs += 1;
+                AggAlgo::SortAgg
+            },
+        );
+        assert_eq!(joins, 1);
+        assert_eq!(aggs, 2);
+        assert_eq!(p.sort_operator_count(), 3);
+    }
+
+    #[test]
+    fn render_includes_annotations() {
+        let p = PhysicalPlan::default_hash(&logical());
+        let text = p.render(&|v| format!("x{}", v.0));
+        assert!(text.contains("(Hash)"));
+        assert!(text.contains("(HashAgg)"));
+    }
+}

@@ -1,0 +1,79 @@
+use std::collections::HashMap;
+
+use mpf_storage::FunctionalRelation;
+
+/// A source of named base relations for plan execution.
+pub trait RelationProvider {
+    /// The relation registered under `name`, if any.
+    fn relation_of(&self, name: &str) -> Option<&FunctionalRelation>;
+}
+
+/// A simple in-memory relation store.
+#[derive(Debug, Clone, Default)]
+pub struct RelationStore {
+    relations: HashMap<String, FunctionalRelation>,
+}
+
+impl RelationStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert (or replace) a relation under its own name.
+    pub fn insert(&mut self, rel: FunctionalRelation) {
+        self.relations.insert(rel.name().to_string(), rel);
+    }
+
+    /// Remove a relation by name.
+    pub fn remove(&mut self, name: &str) -> Option<FunctionalRelation> {
+        self.relations.remove(name)
+    }
+
+    /// Whether a relation of this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.relations.contains_key(name)
+    }
+
+    /// Iterate over the stored relations.
+    pub fn iter(&self) -> impl Iterator<Item = &FunctionalRelation> {
+        self.relations.values()
+    }
+
+    /// Names of all stored relations (unordered).
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.relations.keys().map(String::as_str)
+    }
+
+    /// Number of stored relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+}
+
+impl RelationProvider for RelationStore {
+    fn relation_of(&self, name: &str) -> Option<&FunctionalRelation> {
+        self.relations.get(name)
+    }
+}
+
+impl RelationProvider for HashMap<String, FunctionalRelation> {
+    fn relation_of(&self, name: &str) -> Option<&FunctionalRelation> {
+        self.get(name)
+    }
+}
+
+impl FromIterator<FunctionalRelation> for RelationStore {
+    fn from_iter<T: IntoIterator<Item = FunctionalRelation>>(iter: T) -> Self {
+        let mut store = RelationStore::new();
+        for rel in iter {
+            store.insert(rel);
+        }
+        store
+    }
+}

@@ -1,0 +1,240 @@
+//! Sort-based physical operators: merge join and sort aggregation.
+//!
+//! The paper contrasts the GDL setting (one algorithm per operation) with
+//! the relational setting, where "there are multiple algorithms to
+//! implement join (multiplication) and aggregation (summation), and the
+//! choice of algorithm is based on the cost of accessing disk-resident
+//! operands" (Section 5). These are the sort-based alternatives to the
+//! hash operators in [`crate::ops`]; they compute identical functional
+//! relations (property-tested) with different cost profiles — sort-based
+//! operators cost `O(n log n)` but stream in bounded memory, which is the
+//! regime PostgreSQL 8.1 used for large aggregates.
+
+use mpf_semiring::SemiringKind;
+use mpf_storage::{FunctionalRelation, Schema, Value, VarId};
+
+use crate::{AlgebraError, Result};
+
+/// Sort a relation's rows lexicographically by the given column positions,
+/// returning the permutation (row indices in sorted order).
+fn sort_permutation(rel: &FunctionalRelation, positions: &[usize]) -> Vec<u32> {
+    let mut perm: Vec<u32> = (0..rel.len() as u32).collect();
+    perm.sort_by(|&x, &y| {
+        let (rx, ry) = (rel.row(x as usize), rel.row(y as usize));
+        for &p in positions {
+            match rx[p].cmp(&ry[p]) {
+                std::cmp::Ordering::Equal => continue,
+                other => return other,
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    perm
+}
+
+/// Sort-merge product join: both inputs are sorted on the shared variables
+/// and merged, emitting the cross product of each matching key group.
+/// Function-equal to [`crate::ops::product_join`].
+pub fn merge_join(
+    sr: SemiringKind,
+    l: &FunctionalRelation,
+    r: &FunctionalRelation,
+) -> Result<FunctionalRelation> {
+    let out_schema = l.schema().union(r.schema());
+    let shared = l.schema().intersect(r.schema());
+    let l_pos = l.schema().positions(shared.vars())?;
+    let r_pos = r.schema().positions(shared.vars())?;
+    let l_perm = sort_permutation(l, &l_pos);
+    let r_perm = sort_permutation(r, &r_pos);
+
+    // Output column sources.
+    let srcs: Vec<(bool, usize)> = out_schema
+        .iter()
+        .map(|v| {
+            if let Ok(p) = l.schema().position(v) {
+                Ok((true, p))
+            } else {
+                Ok((false, r.schema().position(v)?))
+            }
+        })
+        .collect::<Result<_>>()?;
+
+    let key_of = |rel: &FunctionalRelation, perm: &[u32], i: usize, pos: &[usize]| -> Vec<Value> {
+        let row = rel.row(perm[i] as usize);
+        pos.iter().map(|&p| row[p]).collect()
+    };
+
+    let mut out = FunctionalRelation::new(
+        format!("({}⋈m{})", l.name(), r.name()),
+        out_schema.clone(),
+    );
+    let mut row_buf: Vec<Value> = vec![0; out_schema.arity()];
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < l_perm.len() && j < r_perm.len() {
+        let lk = key_of(l, &l_perm, i, &l_pos);
+        let rk = key_of(r, &r_perm, j, &r_pos);
+        match lk.cmp(&rk) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                // Extents of the equal-key groups on both sides.
+                let i_end = (i..l_perm.len())
+                    .find(|&x| key_of(l, &l_perm, x, &l_pos) != lk)
+                    .unwrap_or(l_perm.len());
+                let j_end = (j..r_perm.len())
+                    .find(|&x| key_of(r, &r_perm, x, &r_pos) != rk)
+                    .unwrap_or(r_perm.len());
+                for &li in &l_perm[i..i_end] {
+                    let lrow = l.row(li as usize);
+                    let lm = l.measure(li as usize);
+                    for &rj in &r_perm[j..j_end] {
+                        let rrow = r.row(rj as usize);
+                        for (c, &(from_l, p)) in srcs.iter().enumerate() {
+                            row_buf[c] = if from_l { lrow[p] } else { rrow[p] };
+                        }
+                        out.push_row(&row_buf, sr.mul(lm, r.measure(rj as usize)))?;
+                    }
+                }
+                i = i_end;
+                j = j_end;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Sort-based aggregation: sort on the group variables, then fold runs of
+/// equal keys. Function-equal to [`crate::ops::group_by`].
+pub fn sort_group_by(
+    sr: SemiringKind,
+    input: &FunctionalRelation,
+    group_vars: &[VarId],
+) -> Result<FunctionalRelation> {
+    for &v in group_vars {
+        if !input.schema().contains(v) {
+            return Err(AlgebraError::GroupVarNotInInput(v));
+        }
+    }
+    let out_schema = Schema::new(group_vars.to_vec())?;
+    let positions = input.schema().positions(group_vars)?;
+    let perm = sort_permutation(input, &positions);
+
+    let mut out = FunctionalRelation::new(format!("γs({})", input.name()), out_schema);
+    let mut key_buf: Vec<Value> = vec![0; positions.len()];
+    let mut current: Option<(Vec<Value>, f64)> = None;
+    for &ri in &perm {
+        let row = input.row(ri as usize);
+        for (c, &p) in positions.iter().enumerate() {
+            key_buf[c] = row[p];
+        }
+        let m = input.measure(ri as usize);
+        match &mut current {
+            Some((key, acc)) if *key == key_buf => *acc = sr.add(*acc, m),
+            Some((key, acc)) => {
+                out.push_row(key, *acc)?;
+                *key = key_buf.clone();
+                *acc = m;
+            }
+            None => current = Some((key_buf.clone(), m)),
+        }
+    }
+    if let Some((key, acc)) = current {
+        out.push_row(&key, acc)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+    use mpf_storage::Catalog;
+
+    fn fixtures() -> (Catalog, FunctionalRelation, FunctionalRelation) {
+        let mut cat = Catalog::new();
+        let a = cat.add_var("a", 3).unwrap();
+        let b = cat.add_var("b", 3).unwrap();
+        let c = cat.add_var("c", 3).unwrap();
+        let l = FunctionalRelation::complete(
+            "l",
+            Schema::new(vec![a, b]).unwrap(),
+            &cat,
+            |row| (row[0] * 2 + row[1] + 1) as f64,
+        );
+        let r = FunctionalRelation::complete(
+            "r",
+            Schema::new(vec![b, c]).unwrap(),
+            &cat,
+            |row| (row[0] + 3 * row[1] + 1) as f64,
+        );
+        (cat, l, r)
+    }
+
+    #[test]
+    fn merge_join_matches_hash_join() {
+        let (_, l, r) = fixtures();
+        for sr in [SemiringKind::SumProduct, SemiringKind::MinSum] {
+            let hash = ops::product_join(sr, &l, &r).unwrap();
+            let merge = merge_join(sr, &l, &r).unwrap();
+            assert!(hash.function_eq(&merge));
+        }
+    }
+
+    #[test]
+    fn merge_join_cross_product() {
+        let mut cat = Catalog::new();
+        let a = cat.add_var("a", 2).unwrap();
+        let b = cat.add_var("b", 3).unwrap();
+        let l = FunctionalRelation::complete(
+            "l",
+            Schema::new(vec![a]).unwrap(),
+            &cat,
+            |row| (row[0] + 1) as f64,
+        );
+        let r = FunctionalRelation::complete(
+            "r",
+            Schema::new(vec![b]).unwrap(),
+            &cat,
+            |row| (row[0] + 1) as f64,
+        );
+        let sr = SemiringKind::SumProduct;
+        let merge = merge_join(sr, &l, &r).unwrap();
+        assert_eq!(merge.len(), 6);
+        assert!(merge.function_eq(&ops::product_join(sr, &l, &r).unwrap()));
+    }
+
+    #[test]
+    fn sort_group_by_matches_hash_group_by() {
+        let (cat, l, _) = fixtures();
+        let a = cat.var("a").unwrap();
+        for sr in [SemiringKind::SumProduct, SemiringKind::MaxProduct] {
+            let hash = ops::group_by(sr, &l, &[a]).unwrap();
+            let sorted = sort_group_by(sr, &l, &[a]).unwrap();
+            assert!(hash.function_eq(&sorted));
+        }
+        // Scalar aggregation.
+        let sr = SemiringKind::SumProduct;
+        let hash = ops::group_by(sr, &l, &[]).unwrap();
+        let sorted = sort_group_by(sr, &l, &[]).unwrap();
+        assert!(hash.function_eq(&sorted));
+    }
+
+    #[test]
+    fn sort_group_by_rejects_foreign_vars() {
+        let (_, l, _) = fixtures();
+        assert!(matches!(
+            sort_group_by(SemiringKind::SumProduct, &l, &[VarId(99)]),
+            Err(AlgebraError::GroupVarNotInInput(_))
+        ));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let mut cat = Catalog::new();
+        let a = cat.add_var("a", 2).unwrap();
+        let empty = FunctionalRelation::new("e", Schema::new(vec![a]).unwrap());
+        let sr = SemiringKind::SumProduct;
+        assert_eq!(merge_join(sr, &empty, &empty).unwrap().len(), 0);
+        assert_eq!(sort_group_by(sr, &empty, &[a]).unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Criterion mirrors of every table and figure in the paper's evaluation
+//! (Section 7), at scales that finish in seconds. The full paper-style
+//! row/series output comes from the `src/bin/*` harnesses; these benches
+//! make `cargo bench` exercise each experiment's code path and give stable
+//! relative timings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpf_bench::run_query;
+use mpf_datagen::{SupplyChain, SupplyChainConfig, SyntheticKind, SyntheticView};
+use mpf_infer::{BayesNet, VeCache};
+use mpf_optimizer::{optimize, Algorithm, CostModel, Heuristic, QuerySpec};
+use mpf_semiring::SemiringKind;
+use mpf_storage::FunctionalRelation;
+
+/// Figure 7: Q1 (`group by cid`) under linear vs nonlinear CS+ at full
+/// ctdeals density.
+fn fig7_plan_linearity(c: &mut Criterion) {
+    let sc = SupplyChain::generate(SupplyChainConfig::proportional(0.02));
+    let mut g = c.benchmark_group("fig7_linearity_q1");
+    for (label, algo) in [
+        ("linear", Algorithm::CsPlusLinear),
+        ("nonlinear", Algorithm::CsPlusNonlinear),
+    ] {
+        let ctx = sc.ctx(QuerySpec::group_by([sc.var("cid")]), CostModel::Io);
+        g.bench_function(label, |b| {
+            b.iter(|| run_query(&ctx, &sc.store, SemiringKind::SumProduct, algo))
+        });
+    }
+    g.finish();
+}
+
+/// Figure 8: Q3 (`group by wid`) under CS+ nonlinear / VE(deg) / VE(deg) ext.
+fn fig8_extended_space(c: &mut Criterion) {
+    let sc = SupplyChain::generate(SupplyChainConfig::proportional(0.02));
+    let mut g = c.benchmark_group("fig8_extended_space_q3");
+    for algo in [
+        Algorithm::CsPlusNonlinear,
+        Algorithm::Ve(Heuristic::Degree),
+        Algorithm::VePlus(Heuristic::Degree),
+    ] {
+        let ctx = sc.ctx(QuerySpec::group_by([sc.var("wid")]), CostModel::Io);
+        g.bench_function(algo.label(), |b| {
+            b.iter(|| run_query(&ctx, &sc.store, SemiringKind::SumProduct, algo))
+        });
+    }
+    g.finish();
+}
+
+/// Figure 9: Q1 (`group by cid`) under the three base ordering heuristics.
+fn fig9_heuristics(c: &mut Criterion) {
+    let sc = SupplyChain::generate(SupplyChainConfig::proportional(0.02));
+    let mut g = c.benchmark_group("fig9_heuristics_q1");
+    for h in [Heuristic::Degree, Heuristic::Width, Heuristic::ElimCost] {
+        let ctx = sc.ctx(QuerySpec::group_by([sc.var("cid")]), CostModel::Io);
+        g.bench_function(h.label(), |b| {
+            b.iter(|| run_query(&ctx, &sc.store, SemiringKind::SumProduct, Algorithm::Ve(h)))
+        });
+    }
+    g.finish();
+}
+
+/// Table 2: plan selection (optimization only) on the three synthetic
+/// views — the quantity Table 2 tabulates is the chosen plan's cost, so the
+/// benchmark measures the planner.
+fn table2_plan_selection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_plan_selection");
+    for kind in SyntheticKind::ALL {
+        let view = SyntheticView::generate(kind, 5, 10, 7);
+        for algo in [
+            Algorithm::CsPlusNonlinear,
+            Algorithm::Ve(Heuristic::Degree),
+            Algorithm::VePlus(Heuristic::Degree),
+        ] {
+            let ctx = view.ctx(view.first_chain_query(), CostModel::Io);
+            g.bench_function(
+                BenchmarkId::new(kind.label(), algo.label()),
+                |b| b.iter(|| optimize(&ctx, algo)),
+            );
+        }
+    }
+    g.finish();
+}
+
+/// Table 3: a full 10-seed random-order sweep (plain + extended) on the
+/// star view.
+fn table3_random_orders(c: &mut Criterion) {
+    let view = SyntheticView::generate(SyntheticKind::Star, 5, 10, 7);
+    let mut g = c.benchmark_group("table3_random_orders");
+    for (label, ext) in [("plain", false), ("ext", true)] {
+        let ctx = view.ctx(view.first_chain_query(), CostModel::Io);
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                (0..10u64)
+                    .map(|seed| {
+                        let algo = if ext {
+                            Algorithm::VePlus(Heuristic::Random(seed))
+                        } else {
+                            Algorithm::Ve(Heuristic::Random(seed))
+                        };
+                        optimize(&ctx, algo).est_cost
+                    })
+                    .sum::<f64>()
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Figure 10: optimization time per algorithm on the N = 7 star view
+/// (the x-axis of the paper's scatter).
+fn fig10_optimization_time(c: &mut Criterion) {
+    let view = SyntheticView::generate(SyntheticKind::Star, 7, 10, 11);
+    let mut g = c.benchmark_group("fig10_optimization_time");
+    for algo in [
+        Algorithm::Cs,
+        Algorithm::CsPlusLinear,
+        Algorithm::CsPlusNonlinear,
+        Algorithm::Ve(Heuristic::Degree),
+        Algorithm::VePlus(Heuristic::Degree),
+    ] {
+        let ctx = view.ctx(view.first_chain_query(), CostModel::Io);
+        g.bench_function(algo.label(), |b| b.iter(|| optimize(&ctx, algo)));
+    }
+    g.finish();
+}
+
+/// Section 6: VE-cache build and cached answering on the supply chain.
+fn workload_vecache(c: &mut Criterion) {
+    let sc = SupplyChain::generate(SupplyChainConfig::at_scale(0.01));
+    let rels: Vec<&FunctionalRelation> = mpf_datagen::supply_chain::RELATION_NAMES
+        .iter()
+        .map(|n| {
+            use mpf_algebra::RelationProvider;
+            sc.store.relation_of(n).unwrap()
+        })
+        .collect();
+    let mut g = c.benchmark_group("section6_vecache");
+    g.bench_function("build", |b| {
+        b.iter(|| VeCache::build(SemiringKind::SumProduct, &rels, None).unwrap())
+    });
+    let cache = VeCache::build(SemiringKind::SumProduct, &rels, None).unwrap();
+    g.bench_function("answer_all_vars", |b| {
+        b.iter(|| {
+            for name in ["pid", "sid", "wid", "cid", "tid"] {
+                cache.answer(sc.var(name)).unwrap();
+            }
+        })
+    });
+    g.finish();
+}
+
+/// Section 4: Bayesian posterior via MPF queries on a random network.
+fn inference_posterior(c: &mut Criterion) {
+    let bn = BayesNet::random(10, 2, 2, 3);
+    let target = *bn.nodes().last().unwrap();
+    let evidence = bn.nodes()[0];
+    let mut g = c.benchmark_group("section4_posterior");
+    for algo in [
+        Algorithm::CsPlusNonlinear,
+        Algorithm::Ve(Heuristic::Degree),
+        Algorithm::VePlus(Heuristic::Degree),
+    ] {
+        g.bench_function(algo.label(), |b| {
+            b.iter(|| bn.posterior(target, &[(evidence, 1)], algo).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    fig7_plan_linearity,
+    fig8_extended_space,
+    fig9_heuristics,
+    table2_plan_selection,
+    table3_random_orders,
+    fig10_optimization_time,
+    workload_vecache,
+    inference_posterior,
+);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Microbenchmarks for the extended-relational-algebra operators: product
+//! join, marginalization (group-by), and the two semijoins that implement
+//! Belief Propagation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpf_algebra::ops;
+use mpf_semiring::SemiringKind;
+use mpf_storage::{Catalog, FunctionalRelation, Schema, VarId};
+
+fn fixtures(dom: u64) -> (Catalog, FunctionalRelation, FunctionalRelation, VarId) {
+    let mut cat = Catalog::new();
+    let a = cat.add_var("a", dom).unwrap();
+    let b = cat.add_var("b", dom).unwrap();
+    let c = cat.add_var("c", dom).unwrap();
+    let l = FunctionalRelation::complete(
+        "l",
+        Schema::new(vec![a, b]).unwrap(),
+        &cat,
+        |row| (row[0] + 2 * row[1] + 1) as f64,
+    );
+    let r = FunctionalRelation::complete(
+        "r",
+        Schema::new(vec![b, c]).unwrap(),
+        &cat,
+        |row| (3 * row[0] + row[1] + 1) as f64,
+    );
+    (cat, l, r, a)
+}
+
+fn bench_product_join(c: &mut Criterion) {
+    let mut g = c.benchmark_group("product_join");
+    for dom in [16u64, 64, 128] {
+        let (_, l, r, _) = fixtures(dom);
+        g.bench_with_input(BenchmarkId::from_parameter(dom * dom), &dom, |bch, _| {
+            bch.iter(|| ops::product_join(SemiringKind::SumProduct, &l, &r).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_group_by(c: &mut Criterion) {
+    let mut g = c.benchmark_group("group_by");
+    for dom in [16u64, 64, 128] {
+        let (_, l, _, a) = fixtures(dom);
+        g.bench_with_input(BenchmarkId::from_parameter(dom * dom), &dom, |bch, _| {
+            bch.iter(|| ops::group_by(SemiringKind::SumProduct, &l, &[a]).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_semijoins(c: &mut Criterion) {
+    let mut g = c.benchmark_group("semijoins");
+    let (_, l, r, _) = fixtures(64);
+    g.bench_function("product_semijoin", |bch| {
+        bch.iter(|| ops::product_semijoin(SemiringKind::SumProduct, &l, &r).unwrap())
+    });
+    g.bench_function("update_semijoin", |bch| {
+        bch.iter(|| ops::update_semijoin(SemiringKind::SumProduct, &l, &r).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_product_join, bench_group_by, bench_semijoins);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Developer utility: print the plans each algorithm picks for a synthetic
+//! view (not part of the experiment suite).
+
+use mpf_bench::Args;
+use mpf_datagen::{SyntheticKind, SyntheticView};
+use mpf_optimizer::{optimize, Algorithm, CostModel, Heuristic};
+
+fn main() {
+    let args = Args::capture();
+    let n: usize = args.get("n", 5);
+    let kind = match args.get::<String>("kind", "linear".into()).as_str() {
+        "star" => SyntheticKind::Star,
+        "multistar" => SyntheticKind::Multistar,
+        _ => SyntheticKind::Linear,
+    };
+    let view = SyntheticView::generate(kind, n, 10, 7);
+    let name = |v| view.catalog.name(v).to_string();
+    for algo in [
+        Algorithm::CsPlusNonlinear,
+        Algorithm::Ve(Heuristic::Degree),
+        Algorithm::VePlus(Heuristic::Degree),
+    ] {
+        let ctx = view.ctx(view.first_chain_query(), CostModel::Io);
+        let plan = optimize(&ctx, algo);
+        println!("=== {} (cost {:.2}) ===", algo.label(), plan.est_cost);
+        println!("{}", plan.plan.render(&|v| name(v)));
+    }
+}

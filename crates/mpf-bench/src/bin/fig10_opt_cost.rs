@@ -1,0 +1,68 @@
+//! Figure 10 — Optimization Time Tradeoff Experiment.
+//!
+//! For each synthetic view (N = 7), queries every variable in the linear
+//! part and reports, per algorithm, the average estimated plan cost against
+//! the average time to derive the plan — the scatter of the paper's
+//! Figure 10 (points closer to the origin are best).
+//!
+//! Paper shapes to check: CS (no GDL optimization) is far from the origin;
+//! nonlinear plans are about an order of magnitude better in cost than
+//! linear ones; VE optimizes faster than nonlinear CS+ on low-connectivity
+//! schemas.
+//!
+//! Usage: `fig10_opt_cost [--n <tables>] [--domain <d>]`
+
+use std::time::Duration;
+
+use mpf_bench::{plan_only, Args};
+use mpf_datagen::{SyntheticKind, SyntheticView};
+use mpf_optimizer::{Algorithm, CostModel, Heuristic, QuerySpec};
+
+fn main() {
+    let args = Args::capture();
+    let n: usize = args.get("n", 7);
+    let domain: u64 = args.get("domain", 10);
+
+    println!("Figure 10 — plan quality vs optimization time (N = {n}, domain = {domain})");
+
+    let algos: Vec<Algorithm> = {
+        let mut v = vec![
+            Algorithm::Cs,
+            Algorithm::CsPlusLinear,
+            Algorithm::CsPlusNonlinear,
+        ];
+        for h in [Heuristic::Degree, Heuristic::Width, Heuristic::ElimCost] {
+            v.push(Algorithm::Ve(h));
+            v.push(Algorithm::VePlus(h));
+        }
+        v
+    };
+
+    for kind in SyntheticKind::ALL {
+        let view = SyntheticView::generate(kind, n, domain, 11);
+        println!();
+        println!("{} view:", kind.label());
+        println!(
+            "{:<24} {:>18} {:>18}",
+            "algorithm", "avg est cost", "avg opt time ms"
+        );
+        for algo in &algos {
+            let mut cost_sum = 0.0;
+            let mut time_sum = Duration::ZERO;
+            let queries = &view.chain_vars;
+            for &qv in queries {
+                let ctx = view.ctx(QuerySpec::group_by([qv]), CostModel::Io);
+                let (cost, t) = plan_only(&ctx, *algo);
+                cost_sum += cost;
+                time_sum += t;
+            }
+            let k = queries.len() as f64;
+            println!(
+                "{:<24} {:>18.2} {:>18.4}",
+                algo.label(),
+                cost_sum / k,
+                time_sum.as_secs_f64() * 1e3 / k
+            );
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Figure 7 — Plan Linearity Experiment.
+//!
+//! Runs the paper's two queries as the density of `ctdeals` increases:
+//!
+//! ```sql
+//! Q1: select cid, SUM(inv) from invest group by cid;
+//! Q2: select tid, SUM(inv) from invest group by tid;
+//! ```
+//!
+//! comparing linear CS+ against nonlinear CS+. The paper's finding: for Q1
+//! (where Eq. 1 *fails*: σ_cid ≪ σ̂_cid) nonlinear plans win and the gap
+//! grows with density; for Q2 (Eq. 1 holds) both coincide. The Eq. 1
+//! linearity-test verdict is printed per query.
+//!
+//! Usage: `fig7_linearity [--scale <f>] [--steps <n>]`
+
+use mpf_bench::{ms, run_query, Args, Csv};
+use mpf_datagen::{SupplyChain, SupplyChainConfig};
+use mpf_optimizer::{linearity::linearity_test, Algorithm, CostModel, QuerySpec};
+use mpf_semiring::SemiringKind;
+
+fn main() {
+    let args = Args::capture();
+    let scale: f64 = args.get("scale", 0.02);
+    let steps: usize = args.get("steps", 5);
+    let csv_dir: String = args.get("csv", String::new());
+
+    println!("Figure 7 — plan linearity vs ctdeals density (scale = {scale})");
+    println!();
+
+    for (qname, var_name) in [("Q1 (group by cid)", "cid"), ("Q2 (group by tid)", "tid")] {
+        let mut csv = (!csv_dir.is_empty()).then(|| {
+            Csv::create(
+                &csv_dir,
+                &format!("fig7_{var_name}"),
+                &["density", "linear_ms", "nonlinear_ms", "linear_work", "nonlinear_work"],
+            )
+            .expect("csv file")
+        });
+        println!("{qname}");
+        println!(
+            "{:>8}  {:>14} {:>14}  {:>14} {:>14}",
+            "density", "linear ms", "nonlinear ms", "linear work", "nonlin work"
+        );
+        for step in 1..=steps {
+            let density = step as f64 / steps as f64;
+            let sc = SupplyChain::generate(SupplyChainConfig {
+                ctdeals_density: density,
+                ..SupplyChainConfig::proportional(scale)
+            });
+            let qv = sc.var(var_name);
+            let ctx = sc.ctx(QuerySpec::group_by([qv]), CostModel::Io);
+            let lin = run_query(&ctx, &sc.store, SemiringKind::SumProduct, Algorithm::CsPlusLinear);
+            let non = run_query(
+                &ctx,
+                &sc.store,
+                SemiringKind::SumProduct,
+                Algorithm::CsPlusNonlinear,
+            );
+            println!(
+                "{:>8.2}  {:>14} {:>14}  {:>14} {:>14}",
+                density,
+                ms(lin.execute_time),
+                ms(non.execute_time),
+                lin.stats.rows_processed,
+                non.stats.rows_processed,
+            );
+            if let Some(csv) = csv.as_mut() {
+                csv.row(&[
+                    format!("{density}"),
+                    ms(lin.execute_time),
+                    ms(non.execute_time),
+                    lin.stats.rows_processed.to_string(),
+                    non.stats.rows_processed.to_string(),
+                ])
+                .expect("csv row");
+            }
+            if step == steps {
+                let t = linearity_test(&ctx, qv);
+                println!(
+                    "  Eq.1 test: sigma = {}, sigma_hat = {}, linear admissible = {}",
+                    t.sigma, t.sigma_hat, t.linear_admissible
+                );
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,74 @@
+//! Figure 8 — Extended Variable Elimination Space Experiment.
+//!
+//! Runs three queries as the total scale of the database increases:
+//!
+//! ```sql
+//! Q1: select cid, SUM(inv) from invest group by cid;
+//! Q2: select sid, SUM(inv) from invest group by sid;
+//! Q3: select wid, SUM(inv) from invest group by wid;
+//! ```
+//!
+//! comparing nonlinear CS+, VE(degree), and VE(degree) extended. The
+//! paper's finding: the space extension recovers the CS+ plan where plain
+//! VE(degree) picks a suboptimal one, and extended VE is never worse than
+//! plain VE.
+//!
+//! Usage: `fig8_extended_space [--base <f>] [--steps <n>]`
+
+use mpf_bench::{ms, run_query, Args, Csv};
+use mpf_datagen::{SupplyChain, SupplyChainConfig};
+use mpf_optimizer::{Algorithm, CostModel, Heuristic, QuerySpec};
+use mpf_semiring::SemiringKind;
+
+fn main() {
+    let args = Args::capture();
+    let base: f64 = args.get("base", 0.005);
+    let steps: usize = args.get("steps", 4);
+    let csv_dir: String = args.get("csv", String::new());
+
+    println!("Figure 8 — extended VE space vs DB scale (base scale = {base})");
+    let algos = [
+        Algorithm::CsPlusNonlinear,
+        Algorithm::Ve(Heuristic::Degree),
+        Algorithm::VePlus(Heuristic::Degree),
+    ];
+
+    for (qname, var_name) in [
+        ("Q1 (group by cid)", "cid"),
+        ("Q2 (group by sid)", "sid"),
+        ("Q3 (group by wid)", "wid"),
+    ] {
+        println!();
+        let mut csv = (!csv_dir.is_empty()).then(|| {
+            Csv::create(
+                &csv_dir,
+                &format!("fig8_{var_name}"),
+                &["scale", "csplus_ms", "csplus_work", "ve_ms", "ve_work", "veext_ms", "veext_work"],
+            )
+            .expect("csv file")
+        });
+        println!("{qname}");
+        print!("{:>8}", "scale");
+        for a in &algos {
+            print!("  {:>12} {:>9}", format!("{} ms", a.label()), "work");
+        }
+        println!();
+        for step in 1..=steps {
+            let scale = base * step as f64;
+            let sc = SupplyChain::generate(SupplyChainConfig::proportional(scale));
+            let ctx = sc.ctx(QuerySpec::group_by([sc.var(var_name)]), CostModel::Io);
+            print!("{scale:>8.4}");
+            let mut fields = vec![format!("{scale}")];
+            for a in &algos {
+                let r = run_query(&ctx, &sc.store, SemiringKind::SumProduct, *a);
+                print!("  {:>12} {:>9}", ms(r.execute_time), r.stats.rows_processed);
+                fields.push(ms(r.execute_time));
+                fields.push(r.stats.rows_processed.to_string());
+            }
+            println!();
+            if let Some(csv) = csv.as_mut() {
+                csv.row(&fields).expect("csv row");
+            }
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Figure 9 — Ordering Heuristics Experiment.
+//!
+//! Runs two queries as the scale of the database increases:
+//!
+//! ```sql
+//! Q1: select cid, SUM(inv) from invest group by cid;
+//! Q2: select pid, SUM(inv) from invest group by pid;
+//! ```
+//!
+//! under plain VE with the degree, width, and elimination-cost ordering
+//! heuristics. The paper's finding: for Q1 width yields a worse plan than
+//! degree and elimination cost; for Q2 all heuristics derive the same plan.
+//!
+//! Usage: `fig9_heuristics [--base <f>] [--steps <n>]`
+
+use mpf_bench::{ms, run_query, Args, Csv};
+use mpf_datagen::{SupplyChain, SupplyChainConfig};
+use mpf_optimizer::{Algorithm, CostModel, Heuristic, QuerySpec};
+use mpf_semiring::SemiringKind;
+
+fn main() {
+    let args = Args::capture();
+    let base: f64 = args.get("base", 0.005);
+    let steps: usize = args.get("steps", 4);
+    let csv_dir: String = args.get("csv", String::new());
+
+    println!("Figure 9 — ordering heuristics vs DB scale (base scale = {base})");
+    let heuristics = [Heuristic::Degree, Heuristic::Width, Heuristic::ElimCost];
+
+    for (qname, var_name) in [("Q1 (group by cid)", "cid"), ("Q2 (group by pid)", "pid")] {
+        println!();
+        let mut csv = (!csv_dir.is_empty()).then(|| {
+            Csv::create(
+                &csv_dir,
+                &format!("fig9_{var_name}"),
+                &["scale", "deg_ms", "deg_work", "width_ms", "width_work", "elim_ms", "elim_work"],
+            )
+            .expect("csv file")
+        });
+        println!("{qname}");
+        print!("{:>8}", "scale");
+        for h in &heuristics {
+            print!("  {:>10} {:>9}", format!("VE({})", h.label()), "work");
+        }
+        println!();
+        for step in 1..=steps {
+            let scale = base * step as f64;
+            let sc = SupplyChain::generate(SupplyChainConfig::proportional(scale));
+            let ctx = sc.ctx(QuerySpec::group_by([sc.var(var_name)]), CostModel::Io);
+            print!("{scale:>8.4}");
+            let mut fields = vec![format!("{scale}")];
+            for h in &heuristics {
+                let r = run_query(&ctx, &sc.store, SemiringKind::SumProduct, Algorithm::Ve(*h));
+                print!("  {:>10} {:>9}", ms(r.execute_time), r.stats.rows_processed);
+                fields.push(ms(r.execute_time));
+                fields.push(r.stats.rows_processed.to_string());
+            }
+            println!();
+            if let Some(csv) = csv.as_mut() {
+                csv.row(&fields).expect("csv row");
+            }
+        }
+    }
+}

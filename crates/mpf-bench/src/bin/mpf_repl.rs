@@ -1,0 +1,114 @@
+//! An interactive shell for the MPF engine, preloaded with the paper's
+//! supply-chain schema and `invest` view.
+//!
+//! ```text
+//! cargo run -p mpf-bench --release --bin mpf_repl -- --scale 0.01
+//! mpf> select wid, sum(inv) from invest where tid = 1 group by wid using ve(degree)
+//! mpf> \explain select cid, sum(inv) from invest group by cid
+//! mpf> \tables
+//! mpf> \load /path/data.csv as mytable
+//! mpf> \quit
+//! ```
+
+use std::io::{BufRead, Write};
+
+use mpf_bench::Args;
+use mpf_datagen::{supply_chain::RELATION_NAMES, SupplyChain, SupplyChainConfig};
+use mpf_engine::{parser, Database, SqlOutcome, Statement};
+
+fn main() {
+    let args = Args::capture();
+    let scale: f64 = args.get("scale", 0.01);
+    let sc = SupplyChain::generate(SupplyChainConfig::at_scale(scale));
+    let mut db = Database::from_parts(sc.catalog.clone(), sc.store.clone());
+    db.run_sql(
+        "create mpfview invest as (select pid, sid, wid, cid, tid, \
+         measure = (* c.price, l.quantity, w.overhead, ct.discount, t.overhead) \
+         from contracts c, location l, warehouses w, ctdeals ct, transporters t)",
+    )
+    .expect("view creation");
+
+    println!("mpf shell — supply chain at scale {scale}; view `invest` ready.");
+    println!("Enter SQL (see README), or \\explain <sql>, \\tables, \\linearity <var>, \\quit.");
+
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        print!("mpf> ");
+        out.flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "\\quit" || line == "\\q" {
+            break;
+        }
+        if line == "\\tables" {
+            use mpf_algebra::RelationProvider;
+            for name in RELATION_NAMES {
+                let rel = db.store().relation_of(name).unwrap();
+                let vars: Vec<String> = rel
+                    .schema()
+                    .iter()
+                    .map(|v| db.catalog().name(v).to_string())
+                    .collect();
+                println!("  {name}({}) — {} rows", vars.join(", "), rel.len());
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("\\load ") {
+            let parts: Vec<&str> = rest.split(" as ").map(str::trim).collect();
+            if parts.len() != 2 {
+                println!("  usage: \\load <path.csv> as <name>");
+                continue;
+            }
+            match std::fs::File::open(parts[0]) {
+                Ok(file) => match db.load_csv(parts[1], std::io::BufReader::new(file)) {
+                    Ok(n) => println!("  loaded `{}` ({n} rows)", parts[1]),
+                    Err(e) => println!("  error: {e}"),
+                },
+                Err(e) => println!("  error opening {}: {e}", parts[0]),
+            }
+            continue;
+        }
+        if let Some(var) = line.strip_prefix("\\linearity ") {
+            match db.linearity("invest", var.trim()) {
+                Ok(t) => println!(
+                    "  sigma = {}, sigma_hat = {}, linear admissible = {}",
+                    t.sigma, t.sigma_hat, t.linear_admissible
+                ),
+                Err(e) => println!("  error: {e}"),
+            }
+            continue;
+        }
+        if let Some(sql) = line.strip_prefix("\\explain ") {
+            match parser::parse(sql) {
+                Ok(Statement::Select(q)) => match db.explain(&q) {
+                    Ok(text) => println!("{text}"),
+                    Err(e) => println!("  error: {e}"),
+                },
+                Ok(_) => println!("  \\explain takes a select statement"),
+                Err(e) => println!("  parse error: {e}"),
+            }
+            continue;
+        }
+        match db.run_sql(line) {
+            Ok(SqlOutcome::Answer(ans)) => {
+                println!("{}", ans.relation.to_table_string(db.catalog()));
+                println!(
+                    "-- {} rows; optimized in {:?}, executed in {:?} ({} rows processed)",
+                    ans.relation.len(),
+                    ans.optimize_time,
+                    ans.execute_time,
+                    ans.stats.rows_processed
+                );
+            }
+            Ok(SqlOutcome::ViewCreated(name)) => println!("-- view `{name}` created"),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Table 1: example cardinalities and domain sizes of the supply-chain
+//! schema. Prints the generated database's statistics next to the paper's
+//! numbers (at `--scale 1` they coincide by construction).
+//!
+//! Usage: `table1_schema [--scale <f>] [--density <f>]`
+
+use mpf_algebra::RelationProvider;
+use mpf_bench::Args;
+use mpf_datagen::{supply_chain::RELATION_NAMES, SupplyChain, SupplyChainConfig};
+
+fn main() {
+    let args = Args::capture();
+    let scale: f64 = args.get("scale", 0.02);
+    let density: f64 = args.get("density", 1.0);
+
+    let sc = SupplyChain::generate(SupplyChainConfig {
+        scale,
+        ctdeals_density: density,
+        ..Default::default()
+    });
+
+    println!("Table 1 — supply-chain schema (scale = {scale}, ctdeals density = {density})");
+    println!();
+    println!("{:<14} {:>12} {:>14}", "Table", "# tuples", "paper @ 1.0");
+    let paper_cards = [100_000u64, 5_000, 500, 1_000_000, 500_000];
+    for (name, paper) in RELATION_NAMES.iter().zip(paper_cards) {
+        let rel = sc.store.relation_of(name).unwrap();
+        println!("{:<14} {:>12} {:>14}", name, rel.len(), paper);
+    }
+    println!();
+    println!("{:<14} {:>12} {:>14}", "Variable", "# ids", "paper @ 1.0");
+    let paper_doms = [
+        ("pid", 100_000u64),
+        ("sid", 10_000),
+        ("wid", 5_000),
+        ("cid", 1_000),
+        ("tid", 500),
+    ];
+    for (name, paper) in paper_doms {
+        println!(
+            "{:<14} {:>12} {:>14}",
+            name,
+            sc.catalog.domain_size(sc.var(name)),
+            paper
+        );
+    }
+}

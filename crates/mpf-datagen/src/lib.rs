@@ -1,0 +1,18 @@
+#![warn(missing_docs)]
+//! Workload and data generators for the paper's experiments.
+//!
+//! * [`SupplyChain`] — the Section 3 decision-support schema with the
+//!   Table 1 cardinalities and domain sizes, parameterized by the two knobs
+//!   the experiments sweep: overall `scale` (Figures 8 and 9) and
+//!   `ctdeals` density (Figure 7).
+//! * [`synthetic`] — the Section 7.3 star / linear / multistar views:
+//!   `N` complete functional relations over domain-10 variables, a linear
+//!   chain optionally augmented with hub variables.
+//!
+//! All generation is deterministic in the provided seed.
+
+pub mod supply_chain;
+pub mod synthetic;
+
+pub use supply_chain::{SupplyChain, SupplyChainConfig};
+pub use synthetic::{SyntheticKind, SyntheticView};

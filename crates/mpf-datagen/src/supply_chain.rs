@@ -1,0 +1,346 @@
+//! The Section 3 supply-chain decision-support schema (Figure 1, Table 1).
+//!
+//! Five functional relations:
+//!
+//! | relation     | variables   | measure       | Table 1 size |
+//! |--------------|-------------|---------------|--------------|
+//! | contracts    | pid, sid    | price         | 100 K        |
+//! | warehouses   | wid, cid    | w_overhead    | 5 K          |
+//! | transporters | tid         | t_overhead    | 500          |
+//! | location     | pid, wid    | quantity      | 1 M          |
+//! | ctdeals      | cid, tid    | ct_discount   | 500 K        |
+//!
+//! Domain sizes (Table 1): pid 100 K, sid 10 K, wid 5 K, cid 1 K, tid 500.
+//! Note `|cid| × |tid| = 500 K`, i.e. the paper's default `ctdeals` is the
+//! *complete* relation — [`SupplyChainConfig::ctdeals_density`] scales that
+//! down for the Figure 7 density sweep. [`SupplyChainConfig::scale`]
+//! multiplies every cardinality and domain size for the Figure 8/9 scale
+//! sweeps.
+//!
+//! The `invest` MPF view is the product join of all five relations; its
+//! measure is `price × quantity × w_overhead × ct_discount × t_overhead`.
+
+use mpf_algebra::RelationStore;
+use mpf_optimizer::{BaseRel, CostModel, OptContext, QuerySpec};
+use mpf_storage::{Catalog, FunctionalRelation, Schema, Value, VarId};
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Generation knobs for the supply chain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupplyChainConfig {
+    /// Multiplier on every Table 1 cardinality and domain size.
+    pub scale: f64,
+    /// Fraction of the complete `cid × tid` space present in `ctdeals`.
+    pub ctdeals_density: f64,
+    /// Optional separate multiplier for the `cid`/`tid` domain sizes.
+    ///
+    /// Uniform scaling shrinks `ctdeals` (complete over `cid × tid`)
+    /// *quadratically* while the other relations shrink linearly, which
+    /// erases the Table 1 proportion `|ctdeals| ≈ |location| / 2` that the
+    /// Figure 7 density sweep relies on. Setting this to roughly
+    /// `sqrt(scale)` restores the paper's relative sizes at laptop scale.
+    pub ct_domain_scale: Option<f64>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SupplyChainConfig {
+    fn default() -> Self {
+        SupplyChainConfig {
+            scale: 1.0,
+            ctdeals_density: 1.0,
+            ct_domain_scale: None,
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl SupplyChainConfig {
+    /// A configuration scaled to `scale` of Table 1.
+    pub fn at_scale(scale: f64) -> Self {
+        SupplyChainConfig {
+            scale,
+            ..Default::default()
+        }
+    }
+
+    /// A configuration for the Figure 7 density sweep: overall `scale`,
+    /// with `cid`/`tid` domains scaled by `sqrt(scale)` to preserve the
+    /// Table 1 proportions of `ctdeals` against `location`.
+    pub fn proportional(scale: f64) -> Self {
+        SupplyChainConfig {
+            scale,
+            ct_domain_scale: Some(scale.sqrt()),
+            ..Default::default()
+        }
+    }
+}
+
+/// A generated supply-chain database.
+#[derive(Debug, Clone)]
+pub struct SupplyChain {
+    /// Catalog holding the five variables.
+    pub catalog: Catalog,
+    /// The five relations keyed by their names.
+    pub store: RelationStore,
+    /// `pid` — part ids.
+    pub pid: VarId,
+    /// `sid` — supplier ids.
+    pub sid: VarId,
+    /// `wid` — warehouse ids.
+    pub wid: VarId,
+    /// `cid` — contractor ids.
+    pub cid: VarId,
+    /// `tid` — transporter ids.
+    pub tid: VarId,
+    /// The configuration used.
+    pub config: SupplyChainConfig,
+}
+
+/// Relation names of the `invest` view, in the paper's order.
+pub const RELATION_NAMES: [&str; 5] = [
+    "contracts",
+    "warehouses",
+    "transporters",
+    "location",
+    "ctdeals",
+];
+
+impl SupplyChain {
+    /// Generate a database. `scale` is clamped so every domain has at least
+    /// two values.
+    pub fn generate(config: SupplyChainConfig) -> SupplyChain {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+        let s = config.scale;
+        let dom = |base: u64| -> u64 { ((base as f64 * s).round() as u64).max(2) };
+        let card = |base: u64| -> u64 { ((base as f64 * s).round() as u64).max(1) };
+
+        let ct_scale = config.ct_domain_scale.unwrap_or(s);
+        let ct_dom = |base: u64| -> u64 { ((base as f64 * ct_scale).round() as u64).max(2) };
+
+        let mut catalog = Catalog::new();
+        let pid = catalog.add_var("pid", dom(100_000)).unwrap();
+        let sid = catalog.add_var("sid", dom(10_000)).unwrap();
+        let wid = catalog.add_var("wid", dom(5_000)).unwrap();
+        let cid = catalog.add_var("cid", ct_dom(1_000)).unwrap();
+        let tid = catalog.add_var("tid", ct_dom(500)).unwrap();
+
+        let d = |v: VarId| catalog.domain_size(v) as u32;
+
+        let mut store = RelationStore::new();
+
+        // contracts(pid, sid, price): one row per pid (Table 1: |contracts|
+        // equals |pid|), supplier drawn uniformly.
+        let mut contracts =
+            FunctionalRelation::new("contracts", Schema::new(vec![pid, sid]).unwrap());
+        for p in 0..d(pid) {
+            let supplier = rng.random_range(0..d(sid));
+            let price = rng.random_range(1.0..100.0);
+            contracts.push_row(&[p, supplier], price).unwrap();
+        }
+        store.insert(contracts);
+
+        // warehouses(wid, cid, w_overhead): one row per wid.
+        let mut warehouses =
+            FunctionalRelation::new("warehouses", Schema::new(vec![wid, cid]).unwrap());
+        for w in 0..d(wid) {
+            let contractor = rng.random_range(0..d(cid));
+            let overhead = rng.random_range(1.0..1.5);
+            warehouses.push_row(&[w, contractor], overhead).unwrap();
+        }
+        store.insert(warehouses);
+
+        // transporters(tid, t_overhead): one row per tid.
+        let mut transporters =
+            FunctionalRelation::new("transporters", Schema::new(vec![tid]).unwrap());
+        for t in 0..d(tid) {
+            transporters
+                .push_row(&[t], rng.random_range(1.0..1.3))
+                .unwrap();
+        }
+        store.insert(transporters);
+
+        // location(pid, wid, quantity): ~10 distinct warehouses per part
+        // (Table 1: 1 M rows over 100 K parts).
+        let per_part = (card(1_000_000) / card(100_000).max(1)).max(1) as usize;
+        let mut location =
+            FunctionalRelation::new("location", Schema::new(vec![pid, wid]).unwrap());
+        for p in 0..d(pid) {
+            let k = per_part.min(d(wid) as usize);
+            for w in sample_distinct(&mut rng, d(wid), k) {
+                let qty = rng.random_range(1.0_f64..50.0).round();
+                location.push_row(&[p, w], qty).unwrap();
+            }
+        }
+        store.insert(location);
+
+        // ctdeals(cid, tid, ct_discount): a `density` fraction of the
+        // complete cid × tid space.
+        let mut ctdeals = FunctionalRelation::new("ctdeals", Schema::new(vec![cid, tid]).unwrap());
+        for c in 0..d(cid) {
+            for t in 0..d(tid) {
+                if rng.random::<f64>() < config.ctdeals_density {
+                    let discount = rng.random_range(0.5..1.0);
+                    ctdeals.push_row(&[c, t], discount).unwrap();
+                }
+            }
+        }
+        store.insert(ctdeals);
+
+        SupplyChain {
+            catalog,
+            store,
+            pid,
+            sid,
+            wid,
+            cid,
+            tid,
+            config,
+        }
+    }
+
+    /// The base-relation descriptors of the `invest` view.
+    pub fn base_rels(&self) -> Vec<BaseRel> {
+        use mpf_algebra::RelationProvider;
+        RELATION_NAMES
+            .iter()
+            .map(|n| BaseRel::of(self.store.relation_of(n).expect("generated")))
+            .collect()
+    }
+
+    /// An optimizer context for a query over the `invest` view.
+    pub fn ctx(&self, query: QuerySpec, cost_model: CostModel) -> OptContext<'_> {
+        OptContext::new(&self.catalog, self.base_rels(), query, cost_model)
+    }
+
+    /// Look up a variable by its paper name (`pid`, `sid`, `wid`, `cid`,
+    /// `tid`).
+    pub fn var(&self, name: &str) -> VarId {
+        self.catalog.var(name).expect("known variable")
+    }
+
+    /// Add the paper's `Stdeals(sid, tid, st_discount)` relation (Appendix
+    /// A), which closes the variable graph into the chordless 5-cycle of
+    /// Figure 14 and makes the schema cyclic: Belief Propagation must be
+    /// preceded by the Junction Tree algorithm. `density` is the fraction
+    /// of the `sid × tid` space present.
+    pub fn add_stdeals(&mut self, density: f64) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.config.seed ^ 0x57dea15);
+        let d_sid = self.catalog.domain_size(self.sid) as u32;
+        let d_tid = self.catalog.domain_size(self.tid) as u32;
+        let mut stdeals =
+            FunctionalRelation::new("stdeals", Schema::new(vec![self.sid, self.tid]).unwrap());
+        for s in 0..d_sid {
+            for t in 0..d_tid {
+                if rng.random::<f64>() < density {
+                    stdeals
+                        .push_row(&[s, t], rng.random_range(0.5..1.0))
+                        .unwrap();
+                }
+            }
+        }
+        self.store.insert(stdeals);
+    }
+}
+
+/// Sample `k` distinct values from `0..n` (k ≤ n), Floyd's algorithm.
+fn sample_distinct(rng: &mut impl Rng, n: u32, k: usize) -> Vec<Value> {
+    let mut chosen = std::collections::HashSet::with_capacity(k);
+    let k = k.min(n as usize) as u32;
+    for j in n - k..n {
+        let t = rng.random_range(0..=j);
+        if !chosen.insert(t) {
+            chosen.insert(j);
+        }
+    }
+    // Sort so downstream measure assignment is deterministic.
+    let mut out: Vec<Value> = chosen.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpf_algebra::RelationProvider;
+
+    #[test]
+    fn table_1_shape_at_small_scale() {
+        let sc = SupplyChain::generate(SupplyChainConfig {
+            scale: 0.01,
+            ctdeals_density: 1.0,
+            ..SupplyChainConfig::default()
+        });
+        // Domains scale: pid 1000, sid 100, wid 50, cid 10, tid 5.
+        assert_eq!(sc.catalog.domain_size(sc.pid), 1000);
+        assert_eq!(sc.catalog.domain_size(sc.sid), 100);
+        assert_eq!(sc.catalog.domain_size(sc.wid), 50);
+        assert_eq!(sc.catalog.domain_size(sc.cid), 10);
+        assert_eq!(sc.catalog.domain_size(sc.tid), 5);
+        // Cardinalities follow Table 1 ratios.
+        assert_eq!(sc.store.relation_of("contracts").unwrap().len(), 1000);
+        assert_eq!(sc.store.relation_of("warehouses").unwrap().len(), 50);
+        assert_eq!(sc.store.relation_of("transporters").unwrap().len(), 5);
+        assert_eq!(sc.store.relation_of("location").unwrap().len(), 10_000);
+        // Density 1.0 -> complete ctdeals.
+        assert_eq!(sc.store.relation_of("ctdeals").unwrap().len(), 50);
+    }
+
+    #[test]
+    fn relations_are_functional_and_in_domain() {
+        let sc = SupplyChain::generate(SupplyChainConfig {
+            scale: 0.005,
+            ctdeals_density: 0.5,
+            seed: 2,
+            ..SupplyChainConfig::default()
+        });
+        for name in RELATION_NAMES {
+            let rel = sc.store.relation_of(name).unwrap();
+            rel.validate_fd().unwrap_or_else(|e| panic!("{name}: {e}"));
+            rel.validate_domains(&sc.catalog)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(!rel.is_empty(), "{name} is empty");
+        }
+    }
+
+    #[test]
+    fn density_controls_ctdeals() {
+        let lo = SupplyChain::generate(SupplyChainConfig {
+            scale: 0.01,
+            ctdeals_density: 0.2,
+            seed: 3,
+            ..SupplyChainConfig::default()
+        });
+        let hi = SupplyChain::generate(SupplyChainConfig {
+            scale: 0.01,
+            ctdeals_density: 0.9,
+            seed: 3,
+            ..SupplyChainConfig::default()
+        });
+        let lo_n = lo.store.relation_of("ctdeals").unwrap().len();
+        let hi_n = hi.store.relation_of("ctdeals").unwrap().len();
+        assert!(lo_n < hi_n);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = SupplyChain::generate(SupplyChainConfig::at_scale(0.005));
+        let b = SupplyChain::generate(SupplyChainConfig::at_scale(0.005));
+        for name in RELATION_NAMES {
+            assert!(a
+                .store
+                .relation_of(name)
+                .unwrap()
+                .function_eq(b.store.relation_of(name).unwrap()));
+        }
+    }
+
+    #[test]
+    fn ctx_exposes_all_five_relations() {
+        let sc = SupplyChain::generate(SupplyChainConfig::at_scale(0.005));
+        let ctx = sc.ctx(QuerySpec::group_by([sc.wid]), CostModel::Io);
+        assert_eq!(ctx.rels.len(), 5);
+        assert_eq!(ctx.all_vars().len(), 5);
+    }
+}

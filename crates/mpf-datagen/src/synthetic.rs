@@ -1,0 +1,230 @@
+//! The Section 7.3 synthetic views: star, linear, and multistar.
+//!
+//! All three share a *linear part*: chain variables `x_0 ... x_N` with
+//! table `s_i` over `{x_{i-1}, x_i}`. The paper's three variants are:
+//!
+//! * **linear** — the chain only ("the variable connecting all tables is
+//!   removed");
+//! * **star** — "exactly like Figure 6": one hub variable `h` added to
+//!   every table;
+//! * **multistar** — "instead of a single common variable there are several
+//!   common variables each connecting to three different tables": hub
+//!   `h_j` is added to tables `2j+1 ..= 2j+3` (windows of three,
+//!   overlapping by one).
+//!
+//! All variables have domain size 10 by default and all relations are
+//! complete, per the Table 2 experiment setup. Measures are uniform in
+//! `[0.5, 1.5)`, deterministic in the seed.
+
+use mpf_algebra::RelationStore;
+use mpf_optimizer::{BaseRel, CostModel, OptContext, QuerySpec};
+use mpf_storage::{Catalog, FunctionalRelation, Schema, VarId};
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Which synthetic view family to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SyntheticKind {
+    /// Chain plus a single hub variable in every table (Figure 6).
+    Star,
+    /// Several hub variables, each shared by a window of three tables.
+    Multistar,
+    /// Chain only.
+    Linear,
+}
+
+impl SyntheticKind {
+    /// All three kinds, in the column order of the paper's Table 2.
+    pub const ALL: [SyntheticKind; 3] = [
+        SyntheticKind::Star,
+        SyntheticKind::Multistar,
+        SyntheticKind::Linear,
+    ];
+
+    /// Paper label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SyntheticKind::Star => "star",
+            SyntheticKind::Multistar => "multistar",
+            SyntheticKind::Linear => "linear",
+        }
+    }
+}
+
+/// A generated synthetic view.
+#[derive(Debug, Clone)]
+pub struct SyntheticView {
+    /// Variable catalog.
+    pub catalog: Catalog,
+    /// The `N` complete relations (`s1 ... sN`).
+    pub store: RelationStore,
+    /// Chain variables `x_0 ... x_N` (the "linear part" queried by the
+    /// experiments).
+    pub chain_vars: Vec<VarId>,
+    /// Hub variables (empty for [`SyntheticKind::Linear`]).
+    pub hub_vars: Vec<VarId>,
+    /// Table names in order.
+    pub table_names: Vec<String>,
+    /// The kind generated.
+    pub kind: SyntheticKind,
+}
+
+impl SyntheticView {
+    /// Generate a view with `n` tables over domain-`domain` variables.
+    pub fn generate(kind: SyntheticKind, n: usize, domain: u64, seed: u64) -> SyntheticView {
+        assert!(n >= 1);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut catalog = Catalog::new();
+        let chain_vars: Vec<VarId> = (0..=n)
+            .map(|i| catalog.add_var(&format!("x{i}"), domain).unwrap())
+            .collect();
+
+        // Hubs per kind, and which tables each hub joins.
+        let hub_count = match kind {
+            SyntheticKind::Linear => 0,
+            SyntheticKind::Star => 1,
+            SyntheticKind::Multistar => n.saturating_sub(1).div_ceil(2),
+        };
+        let hub_vars: Vec<VarId> = (0..hub_count)
+            .map(|j| catalog.add_var(&format!("h{j}"), domain).unwrap())
+            .collect();
+        let hubs_of_table = |i: usize| -> Vec<VarId> {
+            match kind {
+                SyntheticKind::Linear => vec![],
+                SyntheticKind::Star => vec![hub_vars[0]],
+                SyntheticKind::Multistar => hub_vars
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| {
+                        // Hub j covers tables 2j+1 ..= 2j+3 (1-indexed).
+                        let lo = 2 * j + 1;
+                        (lo..lo + 3).contains(&i)
+                    })
+                    .map(|(_, &h)| h)
+                    .collect(),
+            }
+        };
+
+        let mut store = RelationStore::new();
+        let mut table_names = Vec::with_capacity(n);
+        for i in 1..=n {
+            let mut vars = vec![chain_vars[i - 1], chain_vars[i]];
+            vars.extend(hubs_of_table(i));
+            let name = format!("s{i}");
+            let rel = FunctionalRelation::complete(
+                name.clone(),
+                Schema::new(vars).unwrap(),
+                &catalog,
+                |_| rng.random_range(0.5..1.5),
+            );
+            store.insert(rel);
+            table_names.push(name);
+        }
+
+        SyntheticView {
+            catalog,
+            store,
+            chain_vars,
+            hub_vars,
+            table_names,
+            kind,
+        }
+    }
+
+    /// The base-relation descriptors.
+    pub fn base_rels(&self) -> Vec<BaseRel> {
+        use mpf_algebra::RelationProvider;
+        self.table_names
+            .iter()
+            .map(|n| BaseRel::of(self.store.relation_of(n).expect("generated")))
+            .collect()
+    }
+
+    /// An optimizer context for a query against this view.
+    pub fn ctx(&self, query: QuerySpec, cost_model: CostModel) -> OptContext<'_> {
+        OptContext::new(&self.catalog, self.base_rels(), query, cost_model)
+    }
+
+    /// The paper's Table 2 query: on "the first variable in the linear
+    /// section".
+    pub fn first_chain_query(&self) -> QuerySpec {
+        QuerySpec::group_by([self.chain_vars[0]])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpf_algebra::RelationProvider;
+
+    #[test]
+    fn linear_shape() {
+        let v = SyntheticView::generate(SyntheticKind::Linear, 5, 10, 1);
+        assert_eq!(v.chain_vars.len(), 6);
+        assert!(v.hub_vars.is_empty());
+        assert_eq!(v.table_names.len(), 5);
+        for name in &v.table_names {
+            let rel = v.store.relation_of(name).unwrap();
+            assert_eq!(rel.arity(), 2);
+            assert_eq!(rel.len(), 100); // complete over 10 × 10
+            assert!(rel.is_complete(&v.catalog));
+        }
+    }
+
+    #[test]
+    fn star_adds_one_hub_everywhere() {
+        let v = SyntheticView::generate(SyntheticKind::Star, 5, 10, 1);
+        assert_eq!(v.hub_vars.len(), 1);
+        for name in &v.table_names {
+            let rel = v.store.relation_of(name).unwrap();
+            assert_eq!(rel.arity(), 3);
+            assert_eq!(rel.len(), 1000);
+            assert!(rel.schema().contains(v.hub_vars[0]));
+        }
+    }
+
+    #[test]
+    fn multistar_hubs_cover_windows_of_three() {
+        let v = SyntheticView::generate(SyntheticKind::Multistar, 5, 10, 1);
+        // n=5 -> 2 hubs: h0 over s1..s3, h1 over s3..s5.
+        assert_eq!(v.hub_vars.len(), 2);
+        let has = |t: usize, h: usize| {
+            v.store
+                .relation_of(&format!("s{t}"))
+                .unwrap()
+                .schema()
+                .contains(v.hub_vars[h])
+        };
+        assert!(has(1, 0) && has(2, 0) && has(3, 0));
+        assert!(!has(4, 0) && !has(5, 0));
+        assert!(has(3, 1) && has(4, 1) && has(5, 1));
+        assert!(!has(1, 1) && !has(2, 1));
+        // Every hub connects exactly three tables.
+        for h in 0..2 {
+            let count = (1..=5).filter(|&t| has(t, h)).count();
+            assert_eq!(count, 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_and_small_domain() {
+        let a = SyntheticView::generate(SyntheticKind::Star, 3, 4, 9);
+        let b = SyntheticView::generate(SyntheticKind::Star, 3, 4, 9);
+        for name in &a.table_names {
+            assert!(a
+                .store
+                .relation_of(name)
+                .unwrap()
+                .function_eq(b.store.relation_of(name).unwrap()));
+        }
+    }
+
+    #[test]
+    fn ctx_round_trip() {
+        let v = SyntheticView::generate(SyntheticKind::Multistar, 5, 10, 1);
+        let ctx = v.ctx(v.first_chain_query(), CostModel::Io);
+        assert_eq!(ctx.rels.len(), 5);
+        // 6 chain vars + 2 hubs.
+        assert_eq!(ctx.all_vars().len(), 8);
+    }
+}

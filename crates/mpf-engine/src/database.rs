@@ -1,0 +1,775 @@
+use std::collections::HashMap;
+use std::time::Instant;
+
+use mpf_algebra::{Executor, Plan, RelationProvider, RelationStore};
+use mpf_infer::VeCache;
+use mpf_optimizer::{
+    choose_physical, linearity::linearity_test, linearity::LinearityTest, optimize, Algorithm,
+    BaseRel, CostModel, OptContext, PhysicalConfig, QuerySpec,
+};
+use mpf_semiring::{resolve_semiring, Aggregate, Combine, SemiringKind};
+use mpf_storage::{Catalog, FunctionalRelation, Value, VarId};
+
+use crate::parser::{parse, Statement};
+use crate::{Answer, EngineError, Query, Result, Strategy};
+
+/// An MPF view definition: a product join of named base relations under a
+/// combine operation (the `create mpfview` statement of Section 2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MpfView {
+    /// View name.
+    pub name: String,
+    /// Base relation names, in definition order.
+    pub base: Vec<String>,
+    /// The multiplicative operation of the product join.
+    pub combine: Combine,
+}
+
+/// A hypothetical override for what-if queries (the alternate-measure and
+/// alternate-domain forms of Section 3.1).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Override {
+    /// Hypothetically change the measure of one row of a base relation
+    /// ("what if part p1 was a different price?").
+    Measure {
+        /// Base relation name.
+        relation: String,
+        /// The row's variable values (in the relation's schema order).
+        row: Vec<Value>,
+        /// The hypothetical measure.
+        measure: f64,
+    },
+    /// Hypothetically move rows of a base relation from one variable value
+    /// to another ("transfer c1's deal with t1 to t2"). If the remap merges
+    /// rows, the first occurrence wins.
+    Domain {
+        /// Base relation name.
+        relation: String,
+        /// The variable being remapped (catalog name).
+        var: String,
+        /// Rows with this value...
+        from: Value,
+        /// ...are rewritten to this value.
+        to: Value,
+    },
+}
+
+/// Outcome of running a SQL statement.
+#[derive(Debug, Clone)]
+pub enum SqlOutcome {
+    /// A view was created.
+    ViewCreated(String),
+    /// A query was answered (boxed: `Answer` carries the result relation,
+    /// plan, and counters).
+    Answer(Box<Answer>),
+}
+
+/// The engine facade: catalog + base relations + MPF views.
+#[derive(Debug, Clone)]
+pub struct Database {
+    catalog: Catalog,
+    store: RelationStore,
+    views: HashMap<String, MpfView>,
+    cost_model: CostModel,
+    /// Declared narrow functional dependencies (`X -> f` with
+    /// `X ⊂ Var(s)`), keyed by relation name; feed Proposition 1.
+    fds: HashMap<String, Vec<VarId>>,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Database {
+    /// An empty database (IO cost model).
+    pub fn new() -> Database {
+        Database {
+            catalog: Catalog::new(),
+            store: RelationStore::new(),
+            views: HashMap::new(),
+            cost_model: CostModel::Io,
+            fds: HashMap::new(),
+        }
+    }
+
+    /// Use a different cost model for plan selection.
+    pub fn with_cost_model(mut self, cm: CostModel) -> Database {
+        self.cost_model = cm;
+        self
+    }
+
+    /// Build a database around an existing catalog and relation store (as
+    /// produced by the `mpf-datagen` generators).
+    pub fn from_parts(catalog: Catalog, store: RelationStore) -> Database {
+        Database {
+            catalog,
+            store,
+            views: HashMap::new(),
+            cost_model: CostModel::Io,
+            fds: HashMap::new(),
+        }
+    }
+
+    /// The variable catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Register a variable with its domain size.
+    pub fn add_var(&mut self, name: &str, domain: u64) -> Result<VarId> {
+        Ok(self.catalog.add_var(name, domain)?)
+    }
+
+    /// Insert a base relation, validating the functional dependency and the
+    /// domain bounds.
+    pub fn insert_relation(&mut self, rel: FunctionalRelation) -> Result<()> {
+        rel.validate_fd()?;
+        rel.validate_domains(&self.catalog)?;
+        self.store.insert(rel);
+        Ok(())
+    }
+
+    /// Load a base relation from CSV (see [`mpf_storage::csv_io`]): the
+    /// header names the variables (trailing column `f` is the measure),
+    /// string cells are dictionary-encoded into the catalog, numeric cells
+    /// are value indices. Returns the row count.
+    pub fn load_csv(&mut self, name: &str, reader: impl std::io::BufRead) -> Result<usize> {
+        let rel = mpf_storage::csv_io::read_csv(&mut self.catalog, name, reader)?;
+        let n = rel.len();
+        self.store.insert(rel);
+        Ok(n)
+    }
+
+    /// Export a base relation as CSV, rendering dictionary labels.
+    pub fn dump_csv(&self, name: &str, writer: impl std::io::Write) -> Result<()> {
+        let rel = self.store.relation_of(name).ok_or_else(|| {
+            EngineError::Storage(mpf_storage::StorageError::UnknownRelation(name.into()))
+        })?;
+        mpf_storage::csv_io::write_csv(rel, &self.catalog, writer)
+            .map_err(|e| EngineError::BadOverride(format!("csv write failed: {e}")))
+    }
+
+    /// Declare a narrow functional dependency `lhs -> f` for a base
+    /// relation (e.g. a primary key), after validating it holds on the
+    /// data. Declared FDs enable the Proposition 1 elimination pruning in
+    /// extended Variable Elimination.
+    pub fn declare_fd(&mut self, relation: &str, lhs: &[&str]) -> Result<()> {
+        let rel = self
+            .store
+            .relation_of(relation)
+            .ok_or_else(|| {
+                EngineError::Storage(mpf_storage::StorageError::UnknownRelation(
+                    relation.to_string(),
+                ))
+            })?;
+        let ids: Vec<VarId> = lhs
+            .iter()
+            .map(|n| self.catalog.var(n).map_err(EngineError::Storage))
+            .collect::<Result<_>>()?;
+        if !mpf_optimizer::prop1::fd_holds(rel, &ids) {
+            return Err(EngineError::Storage(
+                mpf_storage::StorageError::FdViolation {
+                    first_row: 0,
+                    second_row: 0,
+                },
+            ));
+        }
+        self.fds.insert(relation.to_string(), ids);
+        Ok(())
+    }
+
+    /// Look up a base relation.
+    pub fn relation(&self, name: &str) -> Option<&FunctionalRelation> {
+        self.store.relation_of(name)
+    }
+
+    /// The relation store (for direct executor use).
+    pub fn store(&self) -> &RelationStore {
+        &self.store
+    }
+
+    /// Define an MPF view over existing base relations.
+    pub fn create_view(&mut self, name: &str, base: &[&str], combine: Combine) -> Result<()> {
+        if self.views.contains_key(name) {
+            return Err(EngineError::DuplicateView(name.to_string()));
+        }
+        for b in base {
+            if !self.store.contains(b) {
+                return Err(EngineError::Storage(
+                    mpf_storage::StorageError::UnknownRelation(b.to_string()),
+                ));
+            }
+        }
+        self.views.insert(
+            name.to_string(),
+            MpfView {
+                name: name.to_string(),
+                base: base.iter().map(|s| s.to_string()).collect(),
+                combine,
+            },
+        );
+        Ok(())
+    }
+
+    /// Look up a view definition.
+    pub fn view(&self, name: &str) -> Result<&MpfView> {
+        self.views
+            .get(name)
+            .ok_or_else(|| EngineError::UnknownView(name.to_string()))
+    }
+
+    /// Evaluate an MPF query (Section 3.1 forms) and return the answer with
+    /// plan, cost, counters, and timings.
+    pub fn query(&self, q: &Query) -> Result<Answer> {
+        self.query_on_store(q, &self.store)
+    }
+
+    /// Evaluate a query with hypothetical overrides applied to copies of
+    /// the affected base relations (alternate-measure / alternate-domain).
+    pub fn query_hypothetical(&self, q: &Query, overrides: &[Override]) -> Result<Answer> {
+        let mut store = self.store.clone();
+        for ov in overrides {
+            self.apply_override(&mut store, ov)?;
+        }
+        self.query_on_store(q, &store)
+    }
+
+    fn query_on_store(&self, q: &Query, store: &RelationStore) -> Result<Answer> {
+        let view = self.view(&q.view)?;
+        let sr =
+            resolve_semiring(view.combine, q.agg).ok_or(EngineError::IncompatibleAggregate {
+                combine: view.combine,
+                aggregate: q.agg,
+            })?;
+        let spec = self.resolve_spec(q)?;
+        let ctx = self.opt_context(view, store, spec)?;
+
+        let t0 = Instant::now();
+        let (plan, est_cost) = self.plan_for(&ctx, q.strategy);
+        let physical = choose_physical(&ctx, &plan, PhysicalConfig::default());
+        let optimize_time = t0.elapsed();
+
+        let exec = Executor::new(store, sr);
+        let t1 = Instant::now();
+        let (mut relation, stats) = exec.execute_physical(&physical)?;
+        let execute_time = t1.elapsed();
+
+        // Constrained-range (`having f ⋈ c`) post-filter.
+        if let Some((cmp, bound)) = q.having {
+            let mut filtered =
+                FunctionalRelation::new(relation.name().to_string(), relation.schema().clone());
+            for (row, m) in relation.rows() {
+                if cmp.matches(m, bound) {
+                    filtered.push_row(row, m)?;
+                }
+            }
+            relation = filtered;
+        }
+
+        Ok(Answer {
+            relation,
+            plan,
+            physical,
+            est_cost,
+            stats,
+            optimize_time,
+            execute_time,
+        })
+    }
+
+    /// Render the plan a strategy would choose, without executing it.
+    pub fn explain(&self, q: &Query) -> Result<String> {
+        let view = self.view(&q.view)?;
+        let spec = self.resolve_spec(q)?;
+        let ctx = self.opt_context(view, &self.store, spec)?;
+        let (plan, est_cost) = self.plan_for(&ctx, q.strategy);
+        let physical = choose_physical(&ctx, &plan, PhysicalConfig::default());
+        let catalog = &self.catalog;
+        Ok(format!(
+            "-- estimated cost: {est_cost:.2}\n{}",
+            physical.render(&|v| catalog.name(v).to_string())
+        ))
+    }
+
+    fn resolve_spec(&self, q: &Query) -> Result<QuerySpec> {
+        let mut spec = QuerySpec::group_by(
+            q.group_vars
+                .iter()
+                .map(|n| self.resolve_var(n))
+                .collect::<Result<Vec<_>>>()?,
+        );
+        for (n, v) in &q.filters {
+            spec = spec.filter(self.resolve_var(n)?, *v);
+        }
+        Ok(spec)
+    }
+
+    fn resolve_var(&self, name: &str) -> Result<VarId> {
+        self.catalog
+            .var(name)
+            .map_err(|_| EngineError::UnknownVariable(name.to_string()))
+    }
+
+    fn opt_context<'a>(
+        &'a self,
+        view: &MpfView,
+        store: &RelationStore,
+        spec: QuerySpec,
+    ) -> Result<OptContext<'a>> {
+        let base: Vec<BaseRel> = view
+            .base
+            .iter()
+            .map(|n| {
+                store
+                    .relation_of(n)
+                    .map(|rel| {
+                        let mut b = BaseRel::of(rel);
+                        b.fd_lhs = self.fds.get(n).cloned();
+                        b
+                    })
+                    .ok_or_else(|| {
+                        EngineError::Algebra(mpf_algebra::AlgebraError::UnknownRelation(n.clone()))
+                    })
+            })
+            .collect::<Result<_>>()?;
+        Ok(OptContext::new(&self.catalog, base, spec, self.cost_model))
+    }
+
+    fn plan_for(&self, ctx: &OptContext<'_>, strategy: Strategy) -> (Plan, f64) {
+        let algorithm = match strategy {
+            Strategy::Naive => {
+                // Join in definition order, selections pushed to scans,
+                // single root group-by (Figure 3 shape).
+                let mut iter = 0..ctx.rels.len();
+                let first = iter.next().expect("view has base relations");
+                let mut plan = leaf_plan(ctx, first);
+                for i in iter {
+                    plan = Plan::join(plan, leaf_plan(ctx, i));
+                }
+                return (
+                    Plan::group_by(plan, ctx.query.group_vars.clone()),
+                    f64::NAN,
+                );
+            }
+            Strategy::Cs => Algorithm::Cs,
+            Strategy::CsPlusLinear => Algorithm::CsPlusLinear,
+            Strategy::CsPlusNonlinear => Algorithm::CsPlusNonlinear,
+            Strategy::Ve(h) => Algorithm::Ve(h),
+            Strategy::VePlus(h) => Algorithm::VePlus(h),
+            Strategy::Auto => {
+                // Section 5.1: if Eq. 1 admits linear plans for every query
+                // variable, linear CS+ suffices; otherwise search bushy.
+                let linear_ok = ctx
+                    .query
+                    .group_vars
+                    .iter()
+                    .all(|&v| linearity_test(ctx, v).linear_admissible);
+                if linear_ok {
+                    Algorithm::CsPlusLinear
+                } else {
+                    Algorithm::CsPlusNonlinear
+                }
+            }
+        };
+        let opt = optimize(ctx, algorithm);
+        (opt.plan, opt.est_cost)
+    }
+
+    /// Parse and run one SQL statement (view creation or query).
+    pub fn run_sql(&mut self, sql: &str) -> Result<SqlOutcome> {
+        match parse(sql)? {
+            Statement::CreateView {
+                name,
+                tables,
+                combine,
+                vars,
+            } => {
+                for v in &vars {
+                    self.resolve_var(v)?;
+                }
+                let refs: Vec<&str> = tables.iter().map(String::as_str).collect();
+                self.create_view(&name, &refs, combine)?;
+                Ok(SqlOutcome::ViewCreated(name))
+            }
+            Statement::Select(q) => Ok(SqlOutcome::Answer(Box::new(self.query(&q)?))),
+        }
+    }
+
+    /// Materialize a [`VeCache`] for a view's workload (Section 6). `agg`
+    /// picks the semiring together with the view's combine operation.
+    pub fn build_cache(
+        &self,
+        view_name: &str,
+        agg: Aggregate,
+        order: Option<&[VarId]>,
+    ) -> Result<VeCache> {
+        let view = self.view(view_name)?;
+        let sr =
+            resolve_semiring(view.combine, agg).ok_or(EngineError::IncompatibleAggregate {
+                combine: view.combine,
+                aggregate: agg,
+            })?;
+        let rels: Vec<&FunctionalRelation> = view
+            .base
+            .iter()
+            .map(|n| self.store.relation_of(n).expect("validated at create"))
+            .collect();
+        Ok(VeCache::build(sr, &rels, order)?)
+    }
+
+    /// Answer a single-variable query from a cache, by variable name.
+    pub fn query_cached(&self, cache: &VeCache, var: &str) -> Result<FunctionalRelation> {
+        Ok(cache.answer(self.resolve_var(var)?)?)
+    }
+
+    /// Run the Section 5.1 plan-linearity test for a query variable of a
+    /// view.
+    pub fn linearity(&self, view_name: &str, var: &str) -> Result<LinearityTest> {
+        let view = self.view(view_name)?;
+        let ctx = self.opt_context(view, &self.store, QuerySpec::default())?;
+        Ok(linearity_test(&ctx, self.resolve_var(var)?))
+    }
+
+    /// The semiring a `(view, aggregate)` pair evaluates in.
+    pub fn semiring_for(&self, view_name: &str, agg: Aggregate) -> Result<SemiringKind> {
+        let view = self.view(view_name)?;
+        resolve_semiring(view.combine, agg).ok_or(EngineError::IncompatibleAggregate {
+            combine: view.combine,
+            aggregate: agg,
+        })
+    }
+
+    fn apply_override(&self, store: &mut RelationStore, ov: &Override) -> Result<()> {
+        match ov {
+            Override::Measure {
+                relation,
+                row,
+                measure,
+            } => {
+                let rel = store
+                    .relation_of(relation)
+                    .ok_or_else(|| EngineError::BadOverride(format!("no relation `{relation}`")))?
+                    .clone();
+                let mut updated =
+                    FunctionalRelation::new(rel.name().to_string(), rel.schema().clone());
+                let mut hit = false;
+                for (r, m) in rel.rows() {
+                    let m = if r == row.as_slice() {
+                        hit = true;
+                        *measure
+                    } else {
+                        m
+                    };
+                    updated.push_row(r, m)?;
+                }
+                if !hit {
+                    return Err(EngineError::BadOverride(format!(
+                        "row {row:?} not found in `{relation}`"
+                    )));
+                }
+                store.insert(updated);
+            }
+            Override::Domain {
+                relation,
+                var,
+                from,
+                to,
+            } => {
+                let rel = store
+                    .relation_of(relation)
+                    .ok_or_else(|| EngineError::BadOverride(format!("no relation `{relation}`")))?
+                    .clone();
+                let vid = self.resolve_var(var)?;
+                let pos = rel.schema().position(vid).map_err(|_| {
+                    EngineError::BadOverride(format!("`{relation}` has no variable `{var}`"))
+                })?;
+                let mut updated =
+                    FunctionalRelation::new(rel.name().to_string(), rel.schema().clone());
+                let mut seen = std::collections::HashSet::new();
+                for (r, m) in rel.rows() {
+                    let mut r = r.to_vec();
+                    if r[pos] == *from {
+                        r[pos] = *to;
+                    }
+                    // The remap may merge rows; first occurrence wins.
+                    if seen.insert(r.clone()) {
+                        updated.push_row(&r, m)?;
+                    }
+                }
+                store.insert(updated);
+            }
+        }
+        Ok(())
+    }
+}
+
+fn leaf_plan(ctx: &OptContext<'_>, rel_idx: usize) -> Plan {
+    let rel = &ctx.rels[rel_idx];
+    let preds = ctx.applicable_predicates(&rel.schema);
+    Plan::select(Plan::scan(rel.name.clone()), preds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpf_semiring::approx_eq;
+    use mpf_storage::Schema;
+
+    /// A tiny two-relation database: r1(a, b), r2(b, c).
+    fn tiny_db() -> Database {
+        let mut db = Database::new();
+        let a = db.add_var("a", 2).unwrap();
+        let b = db.add_var("b", 2).unwrap();
+        let c = db.add_var("c", 2).unwrap();
+        db.insert_relation(
+            FunctionalRelation::from_rows(
+                "r1",
+                Schema::new(vec![a, b]).unwrap(),
+                [
+                    (vec![0, 0], 1.0),
+                    (vec![0, 1], 2.0),
+                    (vec![1, 0], 3.0),
+                    (vec![1, 1], 4.0),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.insert_relation(
+            FunctionalRelation::from_rows(
+                "r2",
+                Schema::new(vec![b, c]).unwrap(),
+                [
+                    (vec![0, 0], 10.0),
+                    (vec![0, 1], 20.0),
+                    (vec![1, 0], 30.0),
+                    (vec![1, 1], 40.0),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.create_view("v", &["r1", "r2"], Combine::Product).unwrap();
+        db
+    }
+
+    #[test]
+    fn query_all_strategies_agree() {
+        let db = tiny_db();
+        let strategies = [
+            Strategy::Naive,
+            Strategy::Cs,
+            Strategy::CsPlusLinear,
+            Strategy::CsPlusNonlinear,
+            Strategy::Ve(mpf_optimizer::Heuristic::Degree),
+            Strategy::VePlus(mpf_optimizer::Heuristic::Width),
+            Strategy::Auto,
+        ];
+        let reference = db
+            .query(&Query::on("v").group_by(["c"]).strategy(Strategy::Naive))
+            .unwrap();
+        for s in strategies {
+            let ans = db
+                .query(&Query::on("v").group_by(["c"]).strategy(s))
+                .unwrap();
+            assert!(
+                reference.relation.function_eq(&ans.relation),
+                "strategy {s:?} diverged"
+            );
+        }
+        assert!(approx_eq(reference.relation.lookup(&[0]).unwrap(), 220.0));
+        assert!(approx_eq(reference.relation.lookup(&[1]).unwrap(), 320.0));
+    }
+
+    #[test]
+    fn sql_round_trip() {
+        let mut db = tiny_db();
+        let out = db
+            .run_sql("select c, sum(f) from v where a = 0 group by c using ve(degree)")
+            .unwrap();
+        match out {
+            SqlOutcome::Answer(ans) => {
+                // a=0: c=0 -> 1*10+2*30=70; c=1 -> 1*20+2*40=100.
+                assert!(approx_eq(ans.relation.lookup(&[0]).unwrap(), 70.0));
+                assert!(approx_eq(ans.relation.lookup(&[1]).unwrap(), 100.0));
+            }
+            _ => panic!("expected answer"),
+        }
+    }
+
+    #[test]
+    fn sql_view_creation() {
+        let mut db = tiny_db();
+        let out = db
+            .run_sql("create mpfview w as select a, c, measure = (* r1.f, r2.f) from r1, r2")
+            .unwrap();
+        assert!(matches!(out, SqlOutcome::ViewCreated(n) if n == "w"));
+        let ans = db.query(&Query::on("w").group_by(["a"])).unwrap();
+        assert_eq!(ans.relation.len(), 2);
+    }
+
+    #[test]
+    fn min_aggregate_resolves_min_product() {
+        let db = tiny_db();
+        assert_eq!(
+            db.semiring_for("v", Aggregate::Min).unwrap(),
+            SemiringKind::MinProduct
+        );
+        let ans = db
+            .query(&Query::on("v").group_by(["a"]).aggregate(Aggregate::Min))
+            .unwrap();
+        // min over b,c of r1(a,b)*r2(b,c): a=0 -> min(10,20,60,80)=10.
+        assert!(approx_eq(ans.relation.lookup(&[0]).unwrap(), 10.0));
+    }
+
+    #[test]
+    fn incompatible_aggregate_is_rejected() {
+        let mut db = tiny_db();
+        db.create_view("s", &["r1", "r2"], Combine::Sum).unwrap();
+        let e = db
+            .query(&Query::on("s").group_by(["a"]).aggregate(Aggregate::Sum))
+            .unwrap_err();
+        assert!(matches!(e, EngineError::IncompatibleAggregate { .. }));
+        // But MIN over SUM-combine is the min-sum semiring.
+        let ans = db
+            .query(&Query::on("s").group_by(["a"]).aggregate(Aggregate::Min))
+            .unwrap();
+        // min over b,c of r1(a,b)+r2(b,c): a=0 -> min(11,21,32,42)=11.
+        assert!(approx_eq(ans.relation.lookup(&[0]).unwrap(), 11.0));
+    }
+
+    #[test]
+    fn having_filters_results() {
+        let db = tiny_db();
+        let ans = db
+            .query(
+                &Query::on("v")
+                    .group_by(["c"])
+                    .having(crate::RangePredicate::Greater, 250.0),
+            )
+            .unwrap();
+        assert_eq!(ans.relation.len(), 1);
+        assert!(approx_eq(ans.relation.lookup(&[1]).unwrap(), 320.0));
+    }
+
+    #[test]
+    fn hypothetical_measure_override() {
+        let db = tiny_db();
+        let q = Query::on("v").group_by(["c"]);
+        let base = db.query(&q).unwrap();
+        let hyp = db
+            .query_hypothetical(
+                &q,
+                &[Override::Measure {
+                    relation: "r1".into(),
+                    row: vec![0, 0],
+                    measure: 100.0,
+                }],
+            )
+            .unwrap();
+        // c=0 changes from 220 to (100+3)*10 + (2+4)*30 = 1030+... recompute:
+        // c=0: b=0 (r1: a0=100, a1=3)*10 = 1030; b=1: (2+4)*30 = 180 -> 1210.
+        assert!(approx_eq(hyp.relation.lookup(&[0]).unwrap(), 1210.0));
+        // Original database untouched.
+        assert!(base
+            .relation
+            .function_eq(&db.query(&q).unwrap().relation));
+    }
+
+    #[test]
+    fn hypothetical_domain_override() {
+        let db = tiny_db();
+        // Remap r2's b=1 rows to b=0 (first occurrence wins on collision).
+        let hyp = db
+            .query_hypothetical(
+                &Query::on("v").group_by(["c"]),
+                &[Override::Domain {
+                    relation: "r2".into(),
+                    var: "b".into(),
+                    from: 1,
+                    to: 0,
+                }],
+            )
+            .unwrap();
+        // r2 now has only b=0 rows (10, 20 kept); r1's b=1 rows join them.
+        // c=0: (1+3)*10 ... wait all four r1 rows join b=0: but r1 b=1 rows
+        // need r2 b=1 rows -> none. So c=0: (1+3)*10 = 40, c=1: (1+3)*20 = 80.
+        assert!(approx_eq(hyp.relation.lookup(&[0]).unwrap(), 40.0));
+        assert!(approx_eq(hyp.relation.lookup(&[1]).unwrap(), 80.0));
+    }
+
+    #[test]
+    fn cache_answers_match_queries() {
+        let db = tiny_db();
+        let cache = db.build_cache("v", Aggregate::Sum, None).unwrap();
+        let cached = db.query_cached(&cache, "c").unwrap();
+        let direct = db.query(&Query::on("v").group_by(["c"])).unwrap();
+        assert!(direct.relation.function_eq(&cached));
+    }
+
+    #[test]
+    fn errors_are_informative() {
+        let db = tiny_db();
+        assert!(matches!(
+            db.query(&Query::on("nope").group_by(["a"])),
+            Err(EngineError::UnknownView(_))
+        ));
+        assert!(matches!(
+            db.query(&Query::on("v").group_by(["zz"])),
+            Err(EngineError::UnknownVariable(_))
+        ));
+        let mut db2 = tiny_db();
+        assert!(matches!(
+            db2.run_sql("create mpfview v as select a, measure = (* r1.f) from r1"),
+            Err(EngineError::DuplicateView(_))
+        ));
+    }
+
+    #[test]
+    fn declared_fds_validate_and_feed_prop1() {
+        let mut db = Database::new();
+        let a = db.add_var("a", 4).unwrap();
+        let y = db.add_var("y", 4).unwrap();
+        // y = f(a): the FD a -> f holds with y outside the key.
+        db.insert_relation(
+            FunctionalRelation::from_rows(
+                "r",
+                Schema::new(vec![a, y]).unwrap(),
+                (0..4u32).map(|x| (vec![x, x % 2], (x + 1) as f64)),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.create_view("w", &["r"], Combine::Product).unwrap();
+        // A valid declaration is accepted; an invalid one is rejected.
+        db.declare_fd("r", &["a"]).unwrap();
+        assert!(db.declare_fd("r", &["y"]).is_err());
+        assert!(db.declare_fd("missing", &["a"]).is_err());
+        // Queries still answer correctly with the declaration in place
+        // (Proposition 1 prunes y from VE+'s elimination candidates).
+        let naive = db
+            .query(&Query::on("w").group_by(["a"]).strategy(Strategy::Naive))
+            .unwrap();
+        let vep = db
+            .query(
+                &Query::on("w")
+                    .group_by(["a"])
+                    .strategy(Strategy::VePlus(mpf_optimizer::Heuristic::Degree)),
+            )
+            .unwrap();
+        assert!(naive.relation.function_eq(&vep.relation));
+    }
+
+    #[test]
+    fn explain_renders_plan() {
+        let db = tiny_db();
+        let text = db
+            .explain(&Query::on("v").group_by(["c"]).strategy(Strategy::CsPlusLinear))
+            .unwrap();
+        assert!(text.contains("GroupBy [c]"));
+        assert!(text.contains("Scan r1"));
+        assert!(text.contains("estimated cost"));
+    }
+}

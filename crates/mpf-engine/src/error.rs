@@ -1,0 +1,89 @@
+use mpf_algebra::AlgebraError;
+use mpf_infer::InferError;
+use mpf_semiring::{Aggregate, Combine};
+use mpf_storage::StorageError;
+
+/// Errors raised by the query engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// Underlying storage error.
+    Storage(StorageError),
+    /// Underlying algebra error.
+    Algebra(AlgebraError),
+    /// Underlying inference error.
+    Infer(InferError),
+    /// Unknown MPF view.
+    UnknownView(String),
+    /// A view of this name already exists.
+    DuplicateView(String),
+    /// Unknown variable name in a query.
+    UnknownVariable(String),
+    /// The aggregate does not distribute over the view's combine operation
+    /// (no commutative semiring pairs them).
+    IncompatibleAggregate {
+        /// The view's multiplicative operation.
+        combine: Combine,
+        /// The requested aggregate.
+        aggregate: Aggregate,
+    },
+    /// SQL parse error with position and message.
+    Parse {
+        /// Byte offset of the offending token.
+        position: usize,
+        /// Human-readable message.
+        message: String,
+    },
+    /// A hypothetical override referenced a missing relation or row.
+    BadOverride(String),
+}
+
+impl From<StorageError> for EngineError {
+    fn from(e: StorageError) -> Self {
+        EngineError::Storage(e)
+    }
+}
+
+impl From<AlgebraError> for EngineError {
+    fn from(e: AlgebraError) -> Self {
+        EngineError::Algebra(e)
+    }
+}
+
+impl From<InferError> for EngineError {
+    fn from(e: InferError) -> Self {
+        EngineError::Infer(e)
+    }
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Storage(e) => write!(f, "storage error: {e}"),
+            EngineError::Algebra(e) => write!(f, "algebra error: {e}"),
+            EngineError::Infer(e) => write!(f, "inference error: {e}"),
+            EngineError::UnknownView(n) => write!(f, "unknown mpf view `{n}`"),
+            EngineError::DuplicateView(n) => write!(f, "mpf view `{n}` already exists"),
+            EngineError::UnknownVariable(n) => write!(f, "unknown variable `{n}`"),
+            EngineError::IncompatibleAggregate { combine, aggregate } => write!(
+                f,
+                "aggregate {aggregate:?} does not distribute over combine {combine:?}: \
+                 no commutative semiring pairs them"
+            ),
+            EngineError::Parse { position, message } => {
+                write!(f, "parse error at byte {position}: {message}")
+            }
+            EngineError::BadOverride(m) => write!(f, "bad hypothetical override: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Storage(e) => Some(e),
+            EngineError::Algebra(e) => Some(e),
+            EngineError::Infer(e) => Some(e),
+            _ => None,
+        }
+    }
+}

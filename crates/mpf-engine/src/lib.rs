@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+//! High-level MPF query engine: database facade, query API, and the
+//! paper's SQL extension.
+//!
+//! This crate ties the storage, algebra, optimizer, and inference layers
+//! into the interface a user of the paper's modified PostgreSQL would see:
+//!
+//! * [`Database`] — named relations + MPF view definitions
+//!   (`create mpfview r as select ..., measure = (* s1.f, ..., sn.f) from ...`);
+//! * [`Query`] / [`Answer`] — the three optimizable MPF query forms of
+//!   Section 3.1 (basic, restricted answer, constrained domain), plus the
+//!   constrained-range (`having`) form, evaluated under a selectable
+//!   [`Strategy`] (the paper's PostgreSQL patch exposes the same knob as a
+//!   language extension "that specifies the evaluation strategy");
+//! * [`parser`] — a lexer + recursive-descent parser for the SQL extension,
+//!   so the paper's example statements run verbatim;
+//! * hypothetical queries (alternate measure / alternate domain, the
+//!   Section 3.1 future-work forms) via [`Database::query_hypothetical`];
+//! * workload support: [`Database::build_cache`] materializes a
+//!   [`mpf_infer::VeCache`] for a view and
+//!   [`Database::query_cached`] answers from it.
+
+mod database;
+mod error;
+pub mod parser;
+mod query;
+
+pub use database::{Database, MpfView, Override, SqlOutcome};
+pub use error::EngineError;
+pub use parser::{Statement, StrategySpec};
+pub use query::{Answer, Query, RangePredicate, Strategy};
+
+/// Result alias for engine operations.
+pub type Result<T> = std::result::Result<T, EngineError>;

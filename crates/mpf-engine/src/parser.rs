@@ -1,0 +1,582 @@
+//! Lexer and recursive-descent parser for the paper's SQL extension.
+//!
+//! Two statement forms are supported, matching Sections 2 and 3 of the
+//! paper (keywords are case-insensitive):
+//!
+//! ```sql
+//! create mpfview invest as (
+//!   select pid, sid, wid, cid, tid,
+//!          measure = (* c.price, l.quantity, w.overhead, ct.discount, t.overhead)
+//!   from contracts c, location l, warehouses w, ctdeals ct, transporters t
+//!   where c.pid = l.pid and l.wid = w.wid and w.cid = ct.cid and ct.tid = t.tid)
+//! ```
+//!
+//! ```sql
+//! select wid, sum(inv) from invest where tid = 1 group by wid
+//!   having inv < 100 using ve(degree)
+//! ```
+//!
+//! Join qualifications in a view definition are parsed and checked to be
+//! variable-to-variable equalities; since the product join is a natural
+//! join on shared variable names, they are informational (the paper's
+//! `joinquals` equate identically-named attributes).
+//!
+//! The `using <strategy>` clause is the paper's evaluation-strategy
+//! language extension (Section 7).
+
+use mpf_optimizer::Heuristic;
+use mpf_semiring::{Aggregate, Combine};
+use mpf_storage::Value;
+
+use crate::{EngineError, Query, RangePredicate, Result, Strategy};
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `create mpfview <name> as (select <vars>, measure = (<op> ...) from <tables> [where ...])`
+    CreateView {
+        /// View name.
+        name: String,
+        /// Base tables, in `from` order.
+        tables: Vec<String>,
+        /// The combine operation from the measure expression.
+        combine: Combine,
+        /// The declared output variables.
+        vars: Vec<String>,
+    },
+    /// An MPF select query.
+    Select(Query),
+}
+
+/// Strategy names accepted by the `using` clause.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StrategySpec(pub Strategy);
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Sym(char),
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+fn err(position: usize, message: impl Into<String>) -> EngineError {
+    EngineError::Parse {
+        position,
+        message: message.into(),
+    }
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Result<Self> {
+        let bytes = src.as_bytes();
+        let mut toks = Vec::new();
+        let mut i = 0;
+        while i < bytes.len() {
+            let c = bytes[i] as char;
+            if c.is_whitespace() {
+                i += 1;
+            } else if c.is_ascii_alphabetic() || c == '_' {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                toks.push((Tok::Ident(src[start..i].to_ascii_lowercase()), start));
+            } else if c.is_ascii_digit() {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                if i < bytes.len() && bytes[i] == b'.' && i + 1 < bytes.len()
+                    && (bytes[i + 1] as char).is_ascii_digit()
+                {
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                    let v: f64 = src[start..i]
+                        .parse()
+                        .map_err(|_| err(start, "bad float literal"))?;
+                    toks.push((Tok::Float(v), start));
+                } else {
+                    let v: i64 = src[start..i]
+                        .parse()
+                        .map_err(|_| err(start, "bad integer literal"))?;
+                    toks.push((Tok::Int(v), start));
+                }
+            } else if "(),.=*+<>:".contains(c) {
+                toks.push((Tok::Sym(c), i));
+                i += 1;
+            } else {
+                return Err(err(i, format!("unexpected character `{c}`")));
+            }
+        }
+        Ok(Lexer { src, toks, pos: 0 })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn position(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .map(|&(_, p)| p)
+            .unwrap_or(self.src.len())
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<()> {
+        let p = self.position();
+        match self.next() {
+            Some(Tok::Ident(s)) if s == kw => Ok(()),
+            _ => Err(err(p, format!("expected keyword `{kw}`"))),
+        }
+    }
+
+    fn try_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Ident(s)) if s == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        let p = self.position();
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            _ => Err(err(p, "expected identifier")),
+        }
+    }
+
+    fn sym(&mut self, c: char) -> Result<()> {
+        let p = self.position();
+        match self.next() {
+            Some(Tok::Sym(s)) if s == c => Ok(()),
+            _ => Err(err(p, format!("expected `{c}`"))),
+        }
+    }
+
+    fn try_sym(&mut self, c: char) -> bool {
+        if matches!(self.peek(), Some(Tok::Sym(s)) if *s == c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn int(&mut self) -> Result<i64> {
+        let p = self.position();
+        match self.next() {
+            Some(Tok::Int(v)) => Ok(v),
+            _ => Err(err(p, "expected integer literal")),
+        }
+    }
+
+    fn number(&mut self) -> Result<f64> {
+        let p = self.position();
+        match self.next() {
+            Some(Tok::Int(v)) => Ok(v as f64),
+            Some(Tok::Float(v)) => Ok(v),
+            _ => Err(err(p, "expected numeric literal")),
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+}
+
+/// Parse a single statement.
+pub fn parse(src: &str) -> Result<Statement> {
+    let mut lx = Lexer::new(src)?;
+    let stmt = if lx.try_keyword("create") {
+        parse_create(&mut lx)?
+    } else {
+        Statement::Select(parse_select(&mut lx)?)
+    };
+    if !lx.at_end() {
+        return Err(err(lx.position(), "trailing input after statement"));
+    }
+    Ok(stmt)
+}
+
+fn parse_create(lx: &mut Lexer<'_>) -> Result<Statement> {
+    lx.keyword("mpfview")?;
+    let name = lx.ident()?;
+    lx.keyword("as")?;
+    let parenthesized = lx.try_sym('(');
+    lx.keyword("select")?;
+
+    // Select list: variable names and exactly one measure item.
+    let mut vars = Vec::new();
+    let mut combine: Option<Combine> = None;
+    loop {
+        if lx.try_keyword("measure") {
+            lx.sym('=')?;
+            lx.sym('(')?;
+            let p = lx.position();
+            combine = Some(match lx.next() {
+                Some(Tok::Sym('*')) => Combine::Product,
+                Some(Tok::Sym('+')) => Combine::Sum,
+                Some(Tok::Ident(s)) if s == "and" => Combine::And,
+                _ => return Err(err(p, "expected combine operation `*`, `+`, or `and`")),
+            });
+            // List of measure references: `alias.field` (or bare field).
+            loop {
+                lx.ident()?;
+                if lx.try_sym('.') {
+                    lx.ident()?;
+                }
+                if !lx.try_sym(',') {
+                    break;
+                }
+            }
+            lx.sym(')')?;
+        } else {
+            vars.push(lx.ident()?);
+        }
+        if !lx.try_sym(',') {
+            break;
+        }
+    }
+    let combine = combine.ok_or_else(|| {
+        err(
+            lx.position(),
+            "view definition requires a `measure = (<op> ...)` item",
+        )
+    })?;
+
+    lx.keyword("from")?;
+    let mut tables = Vec::new();
+    loop {
+        let table = lx.ident()?;
+        // Optional alias (an identifier that is not a clause keyword).
+        if matches!(lx.peek(), Some(Tok::Ident(s)) if s != "where" && s != "and") {
+            lx.ident()?;
+        }
+        tables.push(table);
+        if !lx.try_sym(',') {
+            break;
+        }
+    }
+
+    // Optional joinquals: column = column, informational only.
+    if lx.try_keyword("where") {
+        loop {
+            parse_colref(lx)?;
+            lx.sym('=')?;
+            parse_colref(lx)?;
+            if !lx.try_keyword("and") {
+                break;
+            }
+        }
+    }
+    if parenthesized {
+        lx.sym(')')?;
+    }
+    Ok(Statement::CreateView {
+        name,
+        tables,
+        combine,
+        vars,
+    })
+}
+
+fn parse_colref(lx: &mut Lexer<'_>) -> Result<String> {
+    let first = lx.ident()?;
+    if lx.try_sym('.') {
+        Ok(lx.ident()?)
+    } else {
+        Ok(first)
+    }
+}
+
+fn parse_select(lx: &mut Lexer<'_>) -> Result<Query> {
+    lx.keyword("select")?;
+    let mut select_vars: Vec<String> = Vec::new();
+    let mut agg: Option<Aggregate> = None;
+    loop {
+        let p = lx.position();
+        let name = lx.ident()?;
+        match name.as_str() {
+            "sum" | "min" | "max" | "or_agg" => {
+                if agg.is_some() {
+                    return Err(err(p, "multiple aggregates in select list"));
+                }
+                agg = Some(match name.as_str() {
+                    "sum" => Aggregate::Sum,
+                    "min" => Aggregate::Min,
+                    "max" => Aggregate::Max,
+                    _ => Aggregate::Or,
+                });
+                lx.sym('(')?;
+                lx.ident()?; // measure field name, e.g. `inv`, `p`, `f`
+                lx.sym(')')?;
+            }
+            _ => select_vars.push(name),
+        }
+        if !lx.try_sym(',') {
+            break;
+        }
+    }
+    let agg = agg.ok_or_else(|| err(lx.position(), "select list requires an aggregate"))?;
+
+    lx.keyword("from")?;
+    let view = lx.ident()?;
+
+    let mut filters: Vec<(String, Value)> = Vec::new();
+    if lx.try_keyword("where") {
+        loop {
+            let var = lx.ident()?;
+            lx.sym('=')?;
+            let p = lx.position();
+            let v = lx.int()?;
+            if v < 0 || v > u32::MAX as i64 {
+                return Err(err(p, "predicate constant out of range"));
+            }
+            filters.push((var, v as Value));
+            if !lx.try_keyword("and") {
+                break;
+            }
+        }
+    }
+
+    let mut group_vars: Vec<String> = Vec::new();
+    if lx.try_keyword("group") {
+        lx.keyword("by")?;
+        loop {
+            group_vars.push(lx.ident()?);
+            if !lx.try_sym(',') {
+                break;
+            }
+        }
+    }
+    // The select list must agree with the group-by list (SQL semantics).
+    for v in &select_vars {
+        if !group_vars.contains(v) {
+            return Err(err(
+                0,
+                format!("select variable `{v}` does not appear in group by"),
+            ));
+        }
+    }
+
+    let mut having = None;
+    if lx.try_keyword("having") {
+        lx.ident()?; // measure field name
+        let p = lx.position();
+        let cmp = match (lx.next(), lx.try_sym('=')) {
+            (Some(Tok::Sym('<')), true) => RangePredicate::LessEq,
+            (Some(Tok::Sym('<')), false) => RangePredicate::Less,
+            (Some(Tok::Sym('>')), true) => RangePredicate::GreaterEq,
+            (Some(Tok::Sym('>')), false) => RangePredicate::Greater,
+            _ => return Err(err(p, "expected comparison `<`, `>`, `<=`, or `>=`")),
+        };
+        let bound = lx.number()?;
+        having = Some((cmp, bound));
+    }
+
+    let mut strategy = Strategy::Auto;
+    if lx.try_keyword("using") {
+        strategy = parse_strategy(lx)?;
+    }
+
+    let mut q = Query::on(view)
+        .group_by(group_vars)
+        .aggregate(agg)
+        .strategy(strategy);
+    for (var, val) in filters {
+        q = q.filter(var, val);
+    }
+    if let Some((cmp, bound)) = having {
+        q = q.having(cmp, bound);
+    }
+    Ok(q)
+}
+
+fn parse_strategy(lx: &mut Lexer<'_>) -> Result<Strategy> {
+    let p = lx.position();
+    let name = lx.ident()?;
+    Ok(match name.as_str() {
+        "naive" => Strategy::Naive,
+        "auto" => Strategy::Auto,
+        "cs" => Strategy::Cs,
+        "csplus" | "cs_plus" => Strategy::CsPlusLinear,
+        "csplus_nonlinear" | "nonlinear" => Strategy::CsPlusNonlinear,
+        "ve" => Strategy::Ve(parse_heuristic(lx)?),
+        "veplus" | "ve_ext" => Strategy::VePlus(parse_heuristic(lx)?),
+        other => return Err(err(p, format!("unknown strategy `{other}`"))),
+    })
+}
+
+fn parse_heuristic(lx: &mut Lexer<'_>) -> Result<Heuristic> {
+    lx.sym('(')?;
+    let p = lx.position();
+    let name = lx.ident()?;
+    let h = match name.as_str() {
+        "deg" | "degree" => Heuristic::Degree,
+        "width" => Heuristic::Width,
+        "elim_cost" | "elimcost" => Heuristic::ElimCost,
+        "deg_width" => Heuristic::DegreeWidth,
+        "deg_elim_cost" => Heuristic::DegreeElimCost,
+        "random" => {
+            let seed = if lx.try_sym(':') { lx.int()? as u64 } else { 0 };
+            lx.sym(')')?;
+            return Ok(Heuristic::Random(seed));
+        }
+        other => return Err(err(p, format!("unknown heuristic `{other}`"))),
+    };
+    lx.sym(')')?;
+    Ok(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_view_definition() {
+        let stmt = parse(
+            "create mpfview invest as (select pid, sid, wid, cid, tid, \
+             measure = (* c.price, l.quantity, w.overhead, ct.discount, t.overhead) \
+             from contracts c, location l, warehouses w, ctdeals ct, transporters t \
+             where c.pid = l.pid and l.wid = w.wid and w.cid = ct.cid and ct.tid = t.tid)",
+        )
+        .unwrap();
+        match stmt {
+            Statement::CreateView {
+                name,
+                tables,
+                combine,
+                vars,
+            } => {
+                assert_eq!(name, "invest");
+                assert_eq!(
+                    tables,
+                    vec!["contracts", "location", "warehouses", "ctdeals", "transporters"]
+                );
+                assert_eq!(combine, Combine::Product);
+                assert_eq!(vars, vec!["pid", "sid", "wid", "cid", "tid"]);
+            }
+            _ => panic!("expected create view"),
+        }
+    }
+
+    #[test]
+    fn parses_paper_queries() {
+        // Q1 of Section 5.
+        let q = match parse("select wid, sum(inv) from invest group by wid").unwrap() {
+            Statement::Select(q) => q,
+            _ => panic!(),
+        };
+        assert_eq!(q.view, "invest");
+        assert_eq!(q.group_vars, vec!["wid"]);
+        assert_eq!(q.agg, Aggregate::Sum);
+        assert!(q.filters.is_empty());
+
+        // Constrained-domain example.
+        let q = match parse("select cid, sum(inv) from invest where tid = 1 group by cid")
+            .unwrap()
+        {
+            Statement::Select(q) => q,
+            _ => panic!(),
+        };
+        assert_eq!(q.filters, vec![("tid".to_string(), 1)]);
+
+        // Min aggregate.
+        let q = match parse("select pid, min(inv) from invest group by pid").unwrap() {
+            Statement::Select(q) => q,
+            _ => panic!(),
+        };
+        assert_eq!(q.agg, Aggregate::Min);
+    }
+
+    #[test]
+    fn parses_strategies() {
+        for (src, want) in [
+            ("using naive", Strategy::Naive),
+            ("using cs", Strategy::Cs),
+            ("using csplus", Strategy::CsPlusLinear),
+            ("using csplus_nonlinear", Strategy::CsPlusNonlinear),
+            ("using ve(degree)", Strategy::Ve(Heuristic::Degree)),
+            ("using ve(width)", Strategy::Ve(Heuristic::Width)),
+            ("using ve(random:7)", Strategy::Ve(Heuristic::Random(7))),
+            (
+                "using veplus(deg_elim_cost)",
+                Strategy::VePlus(Heuristic::DegreeElimCost),
+            ),
+        ] {
+            let q = match parse(&format!(
+                "select wid, sum(f) from invest group by wid {src}"
+            ))
+            .unwrap()
+            {
+                Statement::Select(q) => q,
+                _ => panic!(),
+            };
+            assert_eq!(q.strategy, want, "{src}");
+        }
+    }
+
+    #[test]
+    fn parses_having() {
+        let q = match parse("select wid, sum(f) from v group by wid having f < 100").unwrap() {
+            Statement::Select(q) => q,
+            _ => panic!(),
+        };
+        assert_eq!(q.having, Some((RangePredicate::Less, 100.0)));
+        let q = match parse("select wid, sum(f) from v group by wid having f >= 2.5").unwrap() {
+            Statement::Select(q) => q,
+            _ => panic!(),
+        };
+        assert_eq!(q.having, Some((RangePredicate::GreaterEq, 2.5)));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse("select from v").is_err());
+        assert!(parse("select wid from v group by wid").is_err()); // no aggregate
+        assert!(parse("select wid, sum(f) from v group by cid").is_err()); // mismatch
+        assert!(parse("select wid, sum(f) from v group by wid using bogus").is_err());
+        assert!(parse("create mpfview x as select a from t").is_err()); // no measure
+        assert!(parse("select wid, sum(f) from v group by wid extra").is_err());
+        assert!(parse("select wid, sum(f) from v where tid = abc group by wid").is_err());
+    }
+
+    #[test]
+    fn case_insensitive_keywords() {
+        let q = parse("SELECT wid, SUM(inv) FROM invest GROUP BY wid").unwrap();
+        assert!(matches!(q, Statement::Select(_)));
+    }
+
+    #[test]
+    fn boolean_semiring_view() {
+        let stmt = parse(
+            "create mpfview reach as select a, b, measure = (and r.f, s.f) from r, s",
+        )
+        .unwrap();
+        match stmt {
+            Statement::CreateView { combine, .. } => assert_eq!(combine, Combine::And),
+            _ => panic!(),
+        }
+    }
+}

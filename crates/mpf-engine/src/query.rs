@@ -1,0 +1,237 @@
+use std::time::Duration;
+
+use mpf_algebra::{ExecStats, PhysicalPlan, Plan};
+use mpf_optimizer::Heuristic;
+use mpf_semiring::Aggregate;
+use mpf_storage::{FunctionalRelation, Value};
+
+/// The evaluation strategy for a query — the paper's PostgreSQL language
+/// extension "that specifies the evaluation strategy" (Section 7).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Strategy {
+    /// Join all base relations, then one root group-by (the Figure 3 plan).
+    Naive,
+    /// Unmodified Chaudhuri–Shim (best join order, root group-by).
+    Cs,
+    /// CS+ over linear plans (Algorithm 1).
+    CsPlusLinear,
+    /// CS+ over nonlinear (bushy) plans.
+    CsPlusNonlinear,
+    /// Variable Elimination with a heuristic order.
+    Ve(Heuristic),
+    /// Extended-space Variable Elimination.
+    VePlus(Heuristic),
+    /// Pick automatically: run the Section 5.1 plan-linearity test on the
+    /// query variables and choose linear CS+ when admissible, nonlinear
+    /// CS+ otherwise.
+    #[default]
+    Auto,
+}
+
+/// Comparison operator of a constrained-range (`having`) predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RangePredicate {
+    /// `having f < c`
+    Less,
+    /// `having f > c`
+    Greater,
+    /// `having f <= c`
+    LessEq,
+    /// `having f >= c`
+    GreaterEq,
+}
+
+impl RangePredicate {
+    /// Apply the predicate.
+    pub fn matches(self, measure: f64, bound: f64) -> bool {
+        match self {
+            RangePredicate::Less => measure < bound,
+            RangePredicate::Greater => measure > bound,
+            RangePredicate::LessEq => measure <= bound,
+            RangePredicate::GreaterEq => measure >= bound,
+        }
+    }
+}
+
+/// An MPF query against a named view, built with a fluent API:
+///
+/// ```
+/// use mpf_engine::Query;
+/// use mpf_semiring::Aggregate;
+///
+/// // "How much money would each contractor lose if transporter 1 went
+/// // off-line?" (constrained-domain form)
+/// let q = Query::on("invest")
+///     .group_by(["cid"])
+///     .aggregate(Aggregate::Sum)
+///     .filter("tid", 1);
+/// assert_eq!(q.view, "invest");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// The MPF view queried.
+    pub view: String,
+    /// Query variables (names; resolved against the catalog).
+    pub group_vars: Vec<String>,
+    /// The additive aggregate.
+    pub agg: Aggregate,
+    /// Equality predicates (`where Y = c`).
+    pub filters: Vec<(String, Value)>,
+    /// Optional constrained-range (`having f ⋈ c`) predicate.
+    pub having: Option<(RangePredicate, f64)>,
+    /// Evaluation strategy.
+    pub strategy: Strategy,
+}
+
+impl Query {
+    /// Start a query on a view (defaults: `SUM`, no filters, [`Strategy::Auto`]).
+    pub fn on(view: impl Into<String>) -> Query {
+        Query {
+            view: view.into(),
+            group_vars: Vec::new(),
+            agg: Aggregate::Sum,
+            filters: Vec::new(),
+            having: None,
+            strategy: Strategy::Auto,
+        }
+    }
+
+    /// Set the group-by variables.
+    pub fn group_by<S: Into<String>>(mut self, vars: impl IntoIterator<Item = S>) -> Query {
+        self.group_vars = vars.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Set the aggregate.
+    pub fn aggregate(mut self, agg: Aggregate) -> Query {
+        self.agg = agg;
+        self
+    }
+
+    /// Add an equality predicate.
+    pub fn filter(mut self, var: impl Into<String>, value: Value) -> Query {
+        self.filters.push((var.into(), value));
+        self
+    }
+
+    /// Add a constrained-range predicate on the result measure.
+    pub fn having(mut self, cmp: RangePredicate, bound: f64) -> Query {
+        self.having = Some((cmp, bound));
+        self
+    }
+
+    /// Set the evaluation strategy.
+    pub fn strategy(mut self, strategy: Strategy) -> Query {
+        self.strategy = strategy;
+        self
+    }
+}
+
+impl std::fmt::Display for Query {
+    /// Render the query in the paper's SQL extension syntax; the output
+    /// parses back to an equal `Query` (round-trip property-tested).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let agg = match self.agg {
+            Aggregate::Sum => "sum",
+            Aggregate::Min => "min",
+            Aggregate::Max => "max",
+            Aggregate::Or => "or_agg",
+        };
+        write!(f, "select ")?;
+        for v in &self.group_vars {
+            write!(f, "{v}, ")?;
+        }
+        write!(f, "{agg}(f) from {}", self.view)?;
+        for (i, (var, val)) in self.filters.iter().enumerate() {
+            write!(
+                f,
+                "{} {var} = {val}",
+                if i == 0 { " where" } else { " and" }
+            )?;
+        }
+        if !self.group_vars.is_empty() {
+            write!(f, " group by {}", self.group_vars.join(", "))?;
+        }
+        if let Some((cmp, bound)) = self.having {
+            let op = match cmp {
+                RangePredicate::Less => "<",
+                RangePredicate::Greater => ">",
+                RangePredicate::LessEq => "<=",
+                RangePredicate::GreaterEq => ">=",
+            };
+            write!(f, " having f {op} {bound}")?;
+        }
+        match self.strategy {
+            Strategy::Auto => {}
+            Strategy::Naive => write!(f, " using naive")?,
+            Strategy::Cs => write!(f, " using cs")?,
+            Strategy::CsPlusLinear => write!(f, " using csplus")?,
+            Strategy::CsPlusNonlinear => write!(f, " using csplus_nonlinear")?,
+            Strategy::Ve(h) => write!(f, " using ve({})", heuristic_sql(h))?,
+            Strategy::VePlus(h) => write!(f, " using veplus({})", heuristic_sql(h))?,
+        }
+        Ok(())
+    }
+}
+
+fn heuristic_sql(h: Heuristic) -> String {
+    match h {
+        Heuristic::Degree => "degree".into(),
+        Heuristic::Width => "width".into(),
+        Heuristic::ElimCost => "elim_cost".into(),
+        Heuristic::DegreeWidth => "deg_width".into(),
+        Heuristic::DegreeElimCost => "deg_elim_cost".into(),
+        Heuristic::Random(seed) => format!("random:{seed}"),
+    }
+}
+
+/// A query result: the answer relation plus everything the experiments
+/// measure (plan, estimated cost, execution counters, timings).
+#[derive(Debug, Clone)]
+pub struct Answer {
+    /// The result functional relation.
+    pub relation: FunctionalRelation,
+    /// The logical plan the optimizer chose.
+    pub plan: Plan,
+    /// The physical plan actually executed (cost-chosen operator
+    /// algorithms per node).
+    pub physical: PhysicalPlan,
+    /// Optimizer-estimated plan cost.
+    pub est_cost: f64,
+    /// Execution work counters.
+    pub stats: ExecStats,
+    /// Time spent optimizing.
+    pub optimize_time: Duration,
+    /// Time spent executing.
+    pub execute_time: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates() {
+        let q = Query::on("invest")
+            .group_by(["wid"])
+            .aggregate(Aggregate::Min)
+            .filter("tid", 1)
+            .having(RangePredicate::Less, 100.0)
+            .strategy(Strategy::CsPlusNonlinear);
+        assert_eq!(q.view, "invest");
+        assert_eq!(q.group_vars, vec!["wid"]);
+        assert_eq!(q.agg, Aggregate::Min);
+        assert_eq!(q.filters, vec![("tid".to_string(), 1)]);
+        assert_eq!(q.having, Some((RangePredicate::Less, 100.0)));
+        assert_eq!(q.strategy, Strategy::CsPlusNonlinear);
+    }
+
+    #[test]
+    fn range_predicates() {
+        assert!(RangePredicate::Less.matches(1.0, 2.0));
+        assert!(!RangePredicate::Less.matches(2.0, 2.0));
+        assert!(RangePredicate::LessEq.matches(2.0, 2.0));
+        assert!(RangePredicate::Greater.matches(3.0, 2.0));
+        assert!(RangePredicate::GreaterEq.matches(2.0, 2.0));
+    }
+}

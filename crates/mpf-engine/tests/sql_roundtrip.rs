@@ -1,0 +1,102 @@
+//! Property test: the SQL formatter and the SQL-extension parser are
+//! inverse to each other on the full query surface.
+
+use mpf_engine::{parser, Query, RangePredicate, Statement, Strategy as EvalStrategy};
+use mpf_optimizer::Heuristic;
+use mpf_semiring::Aggregate;
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    // Lowercase identifiers that are not keywords of the grammar.
+    "[a-z][a-z0-9_]{0,8}".prop_filter("keyword", |s| {
+        !matches!(
+            s.as_str(),
+            "select" | "from" | "where" | "group" | "by" | "having" | "using" | "and"
+                | "sum" | "min" | "max" | "or_agg" | "create" | "mpfview" | "as" | "measure"
+        )
+    })
+}
+
+fn aggregate() -> impl Strategy<Value = Aggregate> {
+    prop_oneof![
+        Just(Aggregate::Sum),
+        Just(Aggregate::Min),
+        Just(Aggregate::Max),
+        Just(Aggregate::Or),
+    ]
+}
+
+fn heuristic() -> impl Strategy<Value = Heuristic> {
+    prop_oneof![
+        Just(Heuristic::Degree),
+        Just(Heuristic::Width),
+        Just(Heuristic::ElimCost),
+        Just(Heuristic::DegreeWidth),
+        Just(Heuristic::DegreeElimCost),
+        (0u64..100).prop_map(Heuristic::Random),
+    ]
+}
+
+fn strategy() -> impl Strategy<Value = EvalStrategy> {
+    prop_oneof![
+        Just(EvalStrategy::Auto),
+        Just(EvalStrategy::Naive),
+        Just(EvalStrategy::Cs),
+        Just(EvalStrategy::CsPlusLinear),
+        Just(EvalStrategy::CsPlusNonlinear),
+        heuristic().prop_map(EvalStrategy::Ve),
+        heuristic().prop_map(EvalStrategy::VePlus),
+    ]
+}
+
+fn range() -> impl Strategy<Value = Option<(RangePredicate, f64)>> {
+    proptest::option::of((
+        prop_oneof![
+            Just(RangePredicate::Less),
+            Just(RangePredicate::Greater),
+            Just(RangePredicate::LessEq),
+            Just(RangePredicate::GreaterEq),
+        ],
+        // Bounds that print exactly (integers and halves) so the
+        // round-trip is lossless.
+        (0u32..1000).prop_map(|n| n as f64 / 2.0),
+    ))
+}
+
+fn query() -> impl Strategy<Value = Query> {
+    (
+        ident(),
+        proptest::collection::vec(ident(), 1..=3),
+        aggregate(),
+        proptest::collection::vec((ident(), 0u32..100), 0..=2),
+        range(),
+        strategy(),
+    )
+        .prop_map(|(view, mut group_vars, agg, filters, having, strategy)| {
+            group_vars.sort_unstable();
+            group_vars.dedup();
+            let mut q = Query::on(view).group_by(group_vars).aggregate(agg).strategy(strategy);
+            for (var, val) in filters {
+                q = q.filter(var, val);
+            }
+            if let Some((cmp, bound)) = having {
+                q = q.having(cmp, bound);
+            }
+            q
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn format_parse_roundtrip(q in query()) {
+        let sql = q.to_string();
+        let parsed = parser::parse(&sql)
+            .unwrap_or_else(|e| panic!("`{sql}` failed to parse: {e}"));
+        match parsed {
+            Statement::Select(p) => prop_assert_eq!(p, q, "sql was `{}`", sql),
+            _ => return Err(TestCaseError::fail("expected select")),
+        }
+    }
+}

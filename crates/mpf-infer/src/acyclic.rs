@@ -1,0 +1,148 @@
+//! Schema acyclicity via GYO (Graham / Yu–Özsoyoğlu) ear reduction.
+//!
+//! A relational schema (hypergraph) is **acyclic** iff repeatedly applying
+//! the two reduction rules below empties it:
+//!
+//! 1. remove a variable that appears in exactly one relation (an *isolated*
+//!    variable);
+//! 2. remove a relation whose variable set is contained in another
+//!    relation's (an *ear*).
+//!
+//! This is the classical test equivalent to the paper's Theorem 7 (a schema
+//! is acyclic iff a join tree with the running-intersection property
+//! exists); the supply-chain schema of Figure 1 reduces to empty, while
+//! adding `stdeals` (Figure 12) leaves an irreducible cycle.
+
+use std::collections::BTreeSet;
+
+use mpf_storage::{Schema, VarId};
+
+/// Whether the schema (as a hypergraph of variable sets) is acyclic.
+pub fn is_acyclic<'a>(schemas: impl IntoIterator<Item = &'a Schema>) -> bool {
+    let edges: Vec<BTreeSet<VarId>> = schemas
+        .into_iter()
+        .map(|s| s.iter().collect())
+        .collect();
+    gyo_reduces_to_empty(edges)
+}
+
+/// GYO reduction over raw variable sets.
+pub fn gyo_reduces_to_empty(mut edges: Vec<BTreeSet<VarId>>) -> bool {
+    // Empty hyperedges carry no structure.
+    edges.retain(|e| !e.is_empty());
+    loop {
+        let mut changed = false;
+
+        // Rule 1: drop variables occurring in exactly one edge.
+        let mut counts: std::collections::BTreeMap<VarId, usize> = Default::default();
+        for e in &edges {
+            for &v in e {
+                *counts.entry(v).or_default() += 1;
+            }
+        }
+        for e in &mut edges {
+            let before = e.len();
+            e.retain(|v| counts[v] > 1);
+            if e.len() != before {
+                changed = true;
+            }
+        }
+        edges.retain(|e| !e.is_empty());
+
+        // Rule 2: drop edges contained in another edge.
+        let mut keep = vec![true; edges.len()];
+        for i in 0..edges.len() {
+            if !keep[i] {
+                continue;
+            }
+            for j in 0..edges.len() {
+                if i != j && keep[j] && edges[i].is_subset(&edges[j]) {
+                    // On equality keep the lower index.
+                    if edges[i] == edges[j] && i < j {
+                        continue;
+                    }
+                    keep[i] = false;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+        let mut it = keep.iter();
+        edges.retain(|_| *it.next().unwrap());
+
+        if edges.is_empty() {
+            return true;
+        }
+        if !changed {
+            return false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge(vars: &[u32]) -> BTreeSet<VarId> {
+        vars.iter().map(|&i| VarId(i)).collect()
+    }
+
+    /// pid=0, sid=1, wid=2, cid=3, tid=4.
+    fn supply_chain() -> Vec<BTreeSet<VarId>> {
+        vec![
+            edge(&[0, 1]), // contracts
+            edge(&[2, 3]), // warehouses
+            edge(&[4]),    // transporters
+            edge(&[0, 2]), // location
+            edge(&[3, 4]), // ctdeals
+        ]
+    }
+
+    #[test]
+    fn paper_supply_chain_is_acyclic() {
+        assert!(gyo_reduces_to_empty(supply_chain()));
+    }
+
+    #[test]
+    fn stdeals_makes_it_cyclic() {
+        let mut edges = supply_chain();
+        edges.push(edge(&[1, 4])); // stdeals(sid, tid)
+        assert!(!gyo_reduces_to_empty(edges));
+    }
+
+    #[test]
+    fn triangle_of_binary_relations_is_cyclic() {
+        assert!(!gyo_reduces_to_empty(vec![
+            edge(&[0, 1]),
+            edge(&[1, 2]),
+            edge(&[0, 2]),
+        ]));
+        // But covered by a ternary relation it becomes acyclic (conformal).
+        assert!(gyo_reduces_to_empty(vec![
+            edge(&[0, 1]),
+            edge(&[1, 2]),
+            edge(&[0, 2]),
+            edge(&[0, 1, 2]),
+        ]));
+    }
+
+    #[test]
+    fn trivial_cases() {
+        assert!(gyo_reduces_to_empty(vec![]));
+        assert!(gyo_reduces_to_empty(vec![edge(&[0])]));
+        assert!(gyo_reduces_to_empty(vec![edge(&[0, 1, 2])]));
+        assert!(gyo_reduces_to_empty(vec![edge(&[]), edge(&[1])]));
+    }
+
+    #[test]
+    fn duplicate_edges_reduce() {
+        assert!(gyo_reduces_to_empty(vec![edge(&[0, 1]), edge(&[0, 1])]));
+    }
+
+    #[test]
+    fn schema_api() {
+        let s1 = Schema::new(vec![VarId(0), VarId(1)]).unwrap();
+        let s2 = Schema::new(vec![VarId(1), VarId(2)]).unwrap();
+        assert!(is_acyclic([&s1, &s2]));
+    }
+}

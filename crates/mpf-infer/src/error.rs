@@ -1,0 +1,67 @@
+use mpf_algebra::AlgebraError;
+use mpf_storage::{StorageError, VarId};
+
+/// Errors raised by the inference / workload layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InferError {
+    /// Underlying algebra error.
+    Algebra(AlgebraError),
+    /// Underlying storage error.
+    Storage(StorageError),
+    /// The schema is cyclic where an acyclic one is required (Belief
+    /// Propagation without a junction tree — the paper's Figure 12 pitfall).
+    CyclicSchema,
+    /// A Bayesian-network node was declared without a CPT.
+    MissingCpt(String),
+    /// A CPT is malformed (wrong length, negative or non-normalized rows).
+    InvalidCpt(String),
+    /// The parent graph of a Bayesian network contains a directed cycle.
+    CyclicNetwork,
+    /// A query referenced a variable absent from every cached table.
+    VariableNotCovered(VarId),
+    /// An incremental cache update cannot be expressed (unknown relation,
+    /// zero-measure old value, or a support-changing edit).
+    InvalidUpdate(String),
+}
+
+impl From<AlgebraError> for InferError {
+    fn from(e: AlgebraError) -> Self {
+        InferError::Algebra(e)
+    }
+}
+
+impl From<StorageError> for InferError {
+    fn from(e: StorageError) -> Self {
+        InferError::Storage(e)
+    }
+}
+
+impl std::fmt::Display for InferError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InferError::Algebra(e) => write!(f, "algebra error: {e}"),
+            InferError::Storage(e) => write!(f, "storage error: {e}"),
+            InferError::CyclicSchema => write!(
+                f,
+                "schema is cyclic: run the Junction Tree algorithm before Belief Propagation"
+            ),
+            InferError::MissingCpt(n) => write!(f, "node `{n}` has no CPT"),
+            InferError::InvalidCpt(n) => write!(f, "node `{n}` has a malformed CPT"),
+            InferError::CyclicNetwork => write!(f, "parent graph contains a directed cycle"),
+            InferError::VariableNotCovered(v) => {
+                write!(f, "variable {v} is not covered by any cached table")
+            }
+            InferError::InvalidUpdate(m) => write!(f, "invalid incremental update: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for InferError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            InferError::Algebra(e) => Some(e),
+            InferError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}

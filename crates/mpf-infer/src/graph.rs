@@ -1,0 +1,254 @@
+use std::collections::{BTreeMap, BTreeSet};
+
+use mpf_storage::{Schema, VarId};
+
+/// The variable (co-occurrence) graph of a schema — Theorem 8 of the paper:
+/// nodes are the variables appearing in the schema, with an edge between two
+/// variables iff they co-occur in some relation.
+///
+/// A schema is acyclic iff its variable graph is chordal *and* the schema is
+/// conformal; for the clique schemas produced by triangulation the chordality
+/// test is the operative one, and [`VariableGraph::is_chordal`] implements it
+/// via Maximum Cardinality Search (Tarjan & Yannakakis).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct VariableGraph {
+    adj: BTreeMap<VarId, BTreeSet<VarId>>,
+}
+
+impl VariableGraph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build the co-occurrence graph of a set of relation schemas.
+    pub fn from_schemas<'a>(schemas: impl IntoIterator<Item = &'a Schema>) -> Self {
+        let mut g = Self::new();
+        for s in schemas {
+            let vars: Vec<VarId> = s.iter().collect();
+            for &v in &vars {
+                g.adj.entry(v).or_default();
+            }
+            for i in 0..vars.len() {
+                for j in i + 1..vars.len() {
+                    g.add_edge(vars[i], vars[j]);
+                }
+            }
+        }
+        g
+    }
+
+    /// Insert an (undirected) edge; inserts the endpoints if new.
+    pub fn add_edge(&mut self, a: VarId, b: VarId) {
+        if a == b {
+            return;
+        }
+        self.adj.entry(a).or_default().insert(b);
+        self.adj.entry(b).or_default().insert(a);
+    }
+
+    /// Insert an isolated vertex.
+    pub fn add_vertex(&mut self, v: VarId) {
+        self.adj.entry(v).or_default();
+    }
+
+    /// Whether the edge `(a, b)` exists.
+    pub fn has_edge(&self, a: VarId, b: VarId) -> bool {
+        self.adj.get(&a).is_some_and(|n| n.contains(&b))
+    }
+
+    /// Neighbours of `v` (empty if `v` is unknown).
+    pub fn neighbors(&self, v: VarId) -> BTreeSet<VarId> {
+        self.adj.get(&v).cloned().unwrap_or_default()
+    }
+
+    /// All vertices, ascending.
+    pub fn vertices(&self) -> Vec<VarId> {
+        self.adj.keys().copied().collect()
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Whether the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Number of (undirected) edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.values().map(BTreeSet::len).sum::<usize>() / 2
+    }
+
+    /// Remove vertex `v` and its incident edges.
+    pub fn remove_vertex(&mut self, v: VarId) {
+        if let Some(nbrs) = self.adj.remove(&v) {
+            for n in nbrs {
+                if let Some(set) = self.adj.get_mut(&n) {
+                    set.remove(&v);
+                }
+            }
+        }
+    }
+
+    /// Maximum Cardinality Search: visits vertices in decreasing order of
+    /// already-visited-neighbour count. Returns the visit order.
+    ///
+    /// The *reverse* of an MCS order is a perfect elimination order iff the
+    /// graph is chordal.
+    pub fn mcs_order(&self) -> Vec<VarId> {
+        let vertices = self.vertices();
+        let mut weight: BTreeMap<VarId, usize> = vertices.iter().map(|&v| (v, 0)).collect();
+        let mut visited: BTreeSet<VarId> = BTreeSet::new();
+        let mut order = Vec::with_capacity(vertices.len());
+        while visited.len() < vertices.len() {
+            // Highest weight among unvisited; ties toward smaller VarId.
+            let &v = weight
+                .iter()
+                .filter(|(v, _)| !visited.contains(v))
+                .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+                .map(|(v, _)| v)
+                .expect("unvisited vertex exists");
+            visited.insert(v);
+            order.push(v);
+            for n in self.neighbors(v) {
+                if !visited.contains(&n) {
+                    *weight.get_mut(&n).unwrap() += 1;
+                }
+            }
+        }
+        order
+    }
+
+    /// Chordality test (Tarjan–Yannakakis): compute an MCS order and verify
+    /// it yields zero fill-in.
+    pub fn is_chordal(&self) -> bool {
+        let order = self.mcs_order();
+        let pos: BTreeMap<VarId, usize> = order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        // For each v, let P(v) = neighbours of v earlier in the MCS order,
+        // and u the latest of them: the graph is chordal iff
+        // P(v) \ {u} ⊆ neighbours(u) for every v.
+        for &v in &order {
+            let earlier: Vec<VarId> = self
+                .neighbors(v)
+                .into_iter()
+                .filter(|n| pos[n] < pos[&v])
+                .collect();
+            if let Some(&u) = earlier.iter().max_by_key(|n| pos[n]) {
+                let u_nbrs = self.neighbors(u);
+                for &w in &earlier {
+                    if w != u && !u_nbrs.contains(&w) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    fn schema(vars: &[u32]) -> Schema {
+        Schema::new(vars.iter().map(|&i| v(i)).collect()).unwrap()
+    }
+
+    #[test]
+    fn co_occurrence_edges() {
+        let g = VariableGraph::from_schemas([&schema(&[0, 1, 2]), &schema(&[2, 3])]);
+        assert!(g.has_edge(v(0), v(1)));
+        assert!(g.has_edge(v(0), v(2)));
+        assert!(g.has_edge(v(1), v(2)));
+        assert!(g.has_edge(v(2), v(3)));
+        assert!(!g.has_edge(v(0), v(3)));
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn triangle_is_chordal_c4_is_not() {
+        let mut triangle = VariableGraph::new();
+        triangle.add_edge(v(0), v(1));
+        triangle.add_edge(v(1), v(2));
+        triangle.add_edge(v(0), v(2));
+        assert!(triangle.is_chordal());
+
+        let mut c4 = VariableGraph::new();
+        c4.add_edge(v(0), v(1));
+        c4.add_edge(v(1), v(2));
+        c4.add_edge(v(2), v(3));
+        c4.add_edge(v(3), v(0));
+        assert!(!c4.is_chordal());
+
+        // Adding a chord makes C4 chordal.
+        c4.add_edge(v(0), v(2));
+        assert!(c4.is_chordal());
+    }
+
+    #[test]
+    fn paper_figure_13_supply_chain_is_chordal() {
+        // Variable graph of the acyclic supply-chain schema: the chain
+        // sid — pid — wid — cid — tid (Figure 13).
+        let g = VariableGraph::from_schemas([
+            &schema(&[0, 1]), // contracts(pid=0, sid=1)
+            &schema(&[2, 3]), // warehouses(wid=2, cid=3)
+            &schema(&[4]),    // transporters(tid=4)
+            &schema(&[0, 2]), // location(pid, wid)
+            &schema(&[3, 4]), // ctdeals(cid, tid)
+        ]);
+        assert!(g.is_chordal());
+    }
+
+    #[test]
+    fn paper_stdeals_breaks_chordality() {
+        // Adding stdeals(sid=1, tid=4) creates the chordless 5-cycle of the
+        // paper's Figure 14 discussion.
+        let g = VariableGraph::from_schemas([
+            &schema(&[0, 1]),
+            &schema(&[2, 3]),
+            &schema(&[4]),
+            &schema(&[0, 2]),
+            &schema(&[3, 4]),
+            &schema(&[1, 4]), // stdeals
+        ]);
+        assert!(!g.is_chordal());
+    }
+
+    #[test]
+    fn empty_and_single_vertex() {
+        let g = VariableGraph::new();
+        assert!(g.is_chordal());
+        let mut g2 = VariableGraph::new();
+        g2.add_vertex(v(5));
+        assert!(g2.is_chordal());
+        assert_eq!(g2.mcs_order(), vec![v(5)]);
+    }
+
+    #[test]
+    fn disconnected_chordal_components() {
+        let mut g = VariableGraph::new();
+        g.add_edge(v(0), v(1));
+        g.add_edge(v(2), v(3));
+        assert!(g.is_chordal());
+        assert_eq!(g.mcs_order().len(), 4);
+    }
+
+    #[test]
+    fn remove_vertex_cleans_edges() {
+        let mut g = VariableGraph::new();
+        g.add_edge(v(0), v(1));
+        g.add_edge(v(1), v(2));
+        g.remove_vertex(v(1));
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.edge_count(), 0);
+        assert!(!g.has_edge(v(0), v(1)));
+    }
+}

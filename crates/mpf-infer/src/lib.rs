@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+//! Workload optimization and probabilistic inference over MPF views
+//! (Sections 4, 6 and Appendix A of the paper).
+//!
+//! This crate builds the machinery the paper layers on top of single-query
+//! optimization:
+//!
+//! * [`VariableGraph`] — the Theorem 8 graph (variables as nodes, co-occurrence
+//!   in a relation as edges), with chordality testing via Maximum Cardinality
+//!   Search;
+//! * [`triangulate`] — the Triangulization procedure (Algorithm 6), plus
+//!   min-fill / min-degree elimination orders and maximal-clique extraction;
+//! * [`acyclic`] — GYO ear reduction, the classical test equivalent to
+//!   Theorem 7's join-tree characterization;
+//! * [`junction`] — join trees (maximum-weight spanning tree over clique
+//!   intersections + running-intersection verification) and the Junction
+//!   Tree algorithm (Algorithm 5);
+//! * [`bp`] — Belief Propagation as a semijoin program (Algorithm 4): the
+//!   forward product-semijoin pass and backward update-semijoin pass, plus
+//!   the Definition 5 correctness-invariant checker;
+//! * [`VeCache`] — the VE-cache workload optimizer (Algorithm 3), with the
+//!   restricted-range evidence protocol (Theorem 5) and the workload cost
+//!   objective;
+//! * [`BayesNet`] — Bayesian networks whose conditional probability tables
+//!   are functional relations, with posterior queries compiled to MPF
+//!   queries (Section 4).
+
+pub mod acyclic;
+mod bayes;
+pub mod bp;
+mod error;
+mod graph;
+pub mod junction;
+pub mod triangulate;
+mod vecache;
+
+pub use bayes::{BayesNet, BayesNetBuilder};
+pub use error::InferError;
+pub use graph::VariableGraph;
+pub use junction::{JoinTree, JunctionTree};
+pub use vecache::{VeCache, WorkloadQuery};
+
+/// Result alias for inference operations.
+pub type Result<T> = std::result::Result<T, InferError>;

@@ -1,0 +1,236 @@
+//! The Triangulization procedure (Algorithm 6) and elimination orders.
+//!
+//! Triangulation repeatedly selects a vertex, connects its not-yet-connected
+//! neighbours (the *fill edges*), and removes it; the vertex together with
+//! its neighbours at removal time forms an *elimination clique*. The
+//! resulting filled graph is chordal, and the maximal elimination cliques
+//! become the relations of the junction-tree schema (Algorithm 5).
+//!
+//! Finding the order minimizing the induced width is NP-complete
+//! (Yannakakis, Theorem 9); the classical min-fill and min-degree greedy
+//! orders are provided.
+
+use std::collections::BTreeSet;
+
+use mpf_storage::VarId;
+
+use crate::VariableGraph;
+
+/// Result of triangulating a variable graph with a given order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Triangulation {
+    /// The input graph plus all fill edges (chordal).
+    pub filled: VariableGraph,
+    /// Fill edges added, in insertion order.
+    pub fill_edges: Vec<(VarId, VarId)>,
+    /// Elimination cliques: for each eliminated vertex, the vertex plus its
+    /// neighbours at elimination time.
+    pub cliques: Vec<BTreeSet<VarId>>,
+}
+
+impl Triangulation {
+    /// The induced width: size of the largest elimination clique minus one.
+    pub fn induced_width(&self) -> usize {
+        self.cliques.iter().map(BTreeSet::len).max().unwrap_or(0).saturating_sub(1)
+    }
+
+    /// The maximal cliques (cliques not strictly contained in another) —
+    /// the relations of the junction-tree schema. Order follows first
+    /// appearance in the elimination.
+    pub fn maximal_cliques(&self) -> Vec<BTreeSet<VarId>> {
+        let mut out: Vec<BTreeSet<VarId>> = Vec::new();
+        for c in &self.cliques {
+            if out.iter().any(|m| c.is_subset(m)) {
+                continue;
+            }
+            out.retain(|m| !m.is_subset(c));
+            out.push(c.clone());
+        }
+        out
+    }
+}
+
+/// Triangulate `graph` by eliminating vertices in `order` (Algorithm 6).
+/// Vertices of the graph missing from `order` are eliminated last, in
+/// ascending id order.
+pub fn triangulate(graph: &VariableGraph, order: &[VarId]) -> Triangulation {
+    let mut work = graph.clone();
+    let mut filled = graph.clone();
+    let mut fill_edges = Vec::new();
+    let mut cliques = Vec::new();
+
+    let mut full_order: Vec<VarId> = order.to_vec();
+    for v in graph.vertices() {
+        if !full_order.contains(&v) {
+            full_order.push(v);
+        }
+    }
+
+    for v in full_order {
+        if !work.vertices().contains(&v) {
+            continue;
+        }
+        let nbrs: Vec<VarId> = work.neighbors(v).into_iter().collect();
+        let mut clique: BTreeSet<VarId> = nbrs.iter().copied().collect();
+        clique.insert(v);
+        cliques.push(clique);
+        for i in 0..nbrs.len() {
+            for j in i + 1..nbrs.len() {
+                if !work.has_edge(nbrs[i], nbrs[j]) {
+                    work.add_edge(nbrs[i], nbrs[j]);
+                    filled.add_edge(nbrs[i], nbrs[j]);
+                    fill_edges.push((nbrs[i], nbrs[j]));
+                }
+            }
+        }
+        work.remove_vertex(v);
+    }
+
+    Triangulation {
+        filled,
+        fill_edges,
+        cliques,
+    }
+}
+
+/// Greedy min-fill elimination order: repeatedly eliminate the vertex whose
+/// elimination adds the fewest fill edges.
+pub fn min_fill_order(graph: &VariableGraph) -> Vec<VarId> {
+    greedy_order(graph, |g, v| {
+        let nbrs: Vec<VarId> = g.neighbors(v).into_iter().collect();
+        let mut fill = 0usize;
+        for i in 0..nbrs.len() {
+            for j in i + 1..nbrs.len() {
+                if !g.has_edge(nbrs[i], nbrs[j]) {
+                    fill += 1;
+                }
+            }
+        }
+        fill
+    })
+}
+
+/// Greedy min-degree elimination order: repeatedly eliminate the vertex with
+/// the fewest remaining neighbours.
+pub fn min_degree_order(graph: &VariableGraph) -> Vec<VarId> {
+    greedy_order(graph, |g, v| g.neighbors(v).len())
+}
+
+fn greedy_order(graph: &VariableGraph, score: impl Fn(&VariableGraph, VarId) -> usize) -> Vec<VarId> {
+    let mut work = graph.clone();
+    let mut order = Vec::with_capacity(graph.len());
+    while !work.is_empty() {
+        let v = work
+            .vertices()
+            .into_iter()
+            .min_by_key(|&v| (score(&work, v), v))
+            .expect("nonempty graph");
+        // Eliminate: connect neighbours, remove.
+        let nbrs: Vec<VarId> = work.neighbors(v).into_iter().collect();
+        for i in 0..nbrs.len() {
+            for j in i + 1..nbrs.len() {
+                work.add_edge(nbrs[i], nbrs[j]);
+            }
+        }
+        work.remove_vertex(v);
+        order.push(v);
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    /// The paper's cyclic supply chain + stdeals example (Figure 14):
+    /// chain sid—pid—wid—cid—tid closed by the stdeals edge sid—tid.
+    fn cyclic_supply_chain() -> VariableGraph {
+        let mut g = VariableGraph::new();
+        let (pid, sid, wid, cid, tid) = (v(0), v(1), v(2), v(3), v(4));
+        g.add_edge(pid, sid);
+        g.add_edge(pid, wid);
+        g.add_edge(wid, cid);
+        g.add_edge(cid, tid);
+        g.add_edge(sid, tid); // stdeals
+        g
+    }
+
+    #[test]
+    fn triangulation_produces_chordal_graph() {
+        let g = cyclic_supply_chain();
+        assert!(!g.is_chordal());
+        // The paper's Figure 14 order: eliminate tid then sid (remaining
+        // vertices follow automatically).
+        let t = triangulate(&g, &[v(4), v(1)]);
+        assert!(t.filled.is_chordal());
+        // Eliminating tid (neighbours cid, sid) adds cid—sid; eliminating
+        // sid (neighbours pid, cid) adds pid—cid — the two dotted edges of
+        // Figure 14.
+        assert_eq!(t.fill_edges, vec![(v(1), v(3)), (v(0), v(3))]);
+    }
+
+    #[test]
+    fn figure_15_junction_tree_cliques() {
+        // With the Figure 14 triangulation, the maximal cliques are
+        // {tid, cid, sid}, {sid, cid, pid}, {pid, wid, cid} — the three
+        // relations of the paper's Figure 15 junction tree.
+        let g = cyclic_supply_chain();
+        let t = triangulate(&g, &[v(4), v(1)]);
+        let cliques = t.maximal_cliques();
+        let want: Vec<BTreeSet<VarId>> = vec![
+            [v(4), v(3), v(1)].into_iter().collect(),
+            [v(1), v(0), v(3)].into_iter().collect(),
+            [v(0), v(2), v(3)].into_iter().collect(),
+        ];
+        assert_eq!(cliques.len(), 3);
+        for w in &want {
+            assert!(cliques.contains(w), "missing clique {w:?}");
+        }
+        assert_eq!(t.induced_width(), 2);
+    }
+
+    #[test]
+    fn already_chordal_graph_gets_no_fill() {
+        let mut g = VariableGraph::new();
+        g.add_edge(v(0), v(1));
+        g.add_edge(v(1), v(2));
+        let order = min_fill_order(&g);
+        let t = triangulate(&g, &order);
+        assert!(t.fill_edges.is_empty());
+        assert_eq!(t.maximal_cliques().len(), 2);
+    }
+
+    #[test]
+    fn greedy_orders_cover_all_vertices() {
+        let g = cyclic_supply_chain();
+        for order in [min_fill_order(&g), min_degree_order(&g)] {
+            assert_eq!(order.len(), 5);
+            let t = triangulate(&g, &order);
+            assert!(t.filled.is_chordal());
+        }
+    }
+
+    #[test]
+    fn min_fill_avoids_fill_on_chordal_input() {
+        // On a chordal graph min-fill must find a zero-fill (perfect) order.
+        let mut g = VariableGraph::new();
+        g.add_edge(v(0), v(1));
+        g.add_edge(v(1), v(2));
+        g.add_edge(v(0), v(2));
+        g.add_edge(v(2), v(3));
+        let t = triangulate(&g, &min_fill_order(&g));
+        assert!(t.fill_edges.is_empty());
+    }
+
+    #[test]
+    fn partial_order_is_completed() {
+        let g = cyclic_supply_chain();
+        let t = triangulate(&g, &[v(4)]); // rest auto-appended
+        assert_eq!(t.cliques.len(), 5);
+        assert!(t.filled.is_chordal());
+    }
+}

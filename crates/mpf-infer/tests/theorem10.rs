@@ -1,0 +1,92 @@
+//! Theorem 10: the set of tables cached by VE-cache is exactly the schema
+//! that results from triangulating the variable graph with the same
+//! elimination order — i.e. VE-cache implements the GDL all-vertex
+//! algorithm. Checked structurally on random orders over random schemas.
+
+use std::collections::BTreeSet;
+
+use mpf_infer::{triangulate, VariableGraph, VeCache};
+use mpf_semiring::SemiringKind;
+use mpf_storage::{Catalog, FunctionalRelation, Schema, VarId};
+use proptest::prelude::*;
+
+/// Random connected-ish schema: relations over windows of a variable chain
+/// plus optional extra edges via wider windows.
+fn instance() -> impl Strategy<Value = (Vec<u64>, Vec<(usize, usize)>, u64)> {
+    (3usize..=6, 2usize..=5, 0u64..500).prop_flat_map(|(nvars, nrels, seed)| {
+        let domains = proptest::collection::vec(2u64..=3, nvars);
+        let window = (0..nvars, 1usize..=3).prop_map(move |(s, l)| {
+            let start = s.min(nvars - 1);
+            (start, l.min(nvars - start))
+        });
+        let windows = proptest::collection::vec(window, nrels);
+        (domains, windows, Just(seed))
+    })
+}
+
+fn build(
+    domains: &[u64],
+    windows: &[(usize, usize)],
+    seed: u64,
+) -> (Catalog, Vec<FunctionalRelation>) {
+    let mut cat = Catalog::new();
+    let ids: Vec<VarId> = domains
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| cat.add_var(&format!("x{i}"), d).unwrap())
+        .collect();
+    let rels = windows
+        .iter()
+        .enumerate()
+        .map(|(ri, &(s, l))| {
+            FunctionalRelation::complete(
+                format!("r{ri}"),
+                Schema::new(ids[s..s + l].to_vec()).unwrap(),
+                &cat,
+                |row| ((row.iter().sum::<u32>() + ri as u32 + seed as u32) % 5 + 1) as f64,
+            )
+        })
+        .collect();
+    (cat, rels)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cached_schemas_are_triangulation_cliques((domains, windows, seed) in instance()) {
+        let (_, rels) = build(&domains, &windows, seed);
+        let refs: Vec<&FunctionalRelation> = rels.iter().collect();
+
+        // Build the cache with its default (min-fill) order, then
+        // triangulate the variable graph with the *same* order.
+        let cache = VeCache::build(SemiringKind::SumProduct, &refs, None).unwrap();
+        let graph = VariableGraph::from_schemas(rels.iter().map(|r| r.schema()));
+        let tri = triangulate::triangulate(&graph, cache.order());
+
+        // Claim 1 of Theorem 10: every cached table's schema is an
+        // elimination clique of the triangulation, and every *maximal*
+        // clique appears among the cached tables.
+        let cached: Vec<BTreeSet<VarId>> = cache
+            .tables()
+            .iter()
+            .map(|t| t.schema().iter().collect())
+            .collect();
+        for c in &cached {
+            prop_assert!(
+                tri.cliques.iter().any(|k| c == k),
+                "cached schema {c:?} is not an elimination clique"
+            );
+        }
+        for m in tri.maximal_cliques() {
+            prop_assert!(
+                cached.contains(&m),
+                "maximal clique {m:?} not cached"
+            );
+        }
+
+        // Claim 2: the cached tables form an acyclic schema (join tree with
+        // the running-intersection property exists over the producer edges).
+        prop_assert!(cache.verify_tree_rip());
+    }
+}

@@ -1,0 +1,303 @@
+//! Elimination-order heuristics for Variable Elimination (Section 5.5).
+//!
+//! * **degree** — estimates the size of the *post*-elimination relation
+//!   (`p` in line 6 of Algorithm 2) as the product of the effective domain
+//!   sizes of the neighbours of `v`; greedily minimizes the size of join
+//!   operands higher in the tree.
+//! * **width** — estimates the size of the *pre*-elimination relation
+//!   `joinplan(rels(v, S))` as the product of domain sizes including `v`.
+//! * **elimination cost** — estimates the actual cost of the plan required
+//!   to eliminate `v`. Per the paper's implementation note, this is an
+//!   *overestimate*: a fixed linear join ordering (smallest first) is
+//!   assumed and costed with the context's cost model.
+//! * **deg & width**, **deg & elim_cost** — normalized products of two
+//!   heuristics (each candidate's score is divided by the largest among
+//!   candidates, then multiplied; footnote 1 of the paper).
+//! * **random** — a seeded random order (the Table 3 experiment).
+
+use mpf_storage::VarId;
+
+use crate::{estimate, OptContext, SubPlan};
+
+/// An elimination-order heuristic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Heuristic {
+    /// Minimize the post-elimination relation size.
+    Degree,
+    /// Minimize the pre-elimination (joined) relation size.
+    Width,
+    /// Minimize the estimated cost of the elimination plan (overestimated
+    /// with a fixed smallest-first linear ordering).
+    ElimCost,
+    /// Normalized product of degree and width.
+    DegreeWidth,
+    /// Normalized product of degree and elimination cost.
+    DegreeElimCost,
+    /// Uniformly random order from the given seed.
+    Random(u64),
+}
+
+impl Heuristic {
+    /// All deterministic heuristics, in the order of the paper's Table 2.
+    pub const DETERMINISTIC: [Heuristic; 5] = [
+        Heuristic::Degree,
+        Heuristic::Width,
+        Heuristic::ElimCost,
+        Heuristic::DegreeWidth,
+        Heuristic::DegreeElimCost,
+    ];
+
+    /// Short label matching the paper's table rows.
+    pub fn label(&self) -> String {
+        match self {
+            Heuristic::Degree => "deg".into(),
+            Heuristic::Width => "width".into(),
+            Heuristic::ElimCost => "elim_cost".into(),
+            Heuristic::DegreeWidth => "deg & width".into(),
+            Heuristic::DegreeElimCost => "deg & elim_cost".into(),
+            Heuristic::Random(_) => "random".into(),
+        }
+    }
+}
+
+/// The degree score of eliminating `v` given the live factor set: product of
+/// effective domains of the union schema of `rels(v)` minus `v` itself.
+///
+/// `eliminated` lists variables already processed; extended VE *delays*
+/// their group-by, so they may linger in factor schemas — they are excluded
+/// from scores because the next group-by drops them for free.
+pub fn degree_score(
+    ctx: &OptContext<'_>,
+    factors: &[SubPlan],
+    v: VarId,
+    eliminated: &[VarId],
+) -> f64 {
+    neighbourhood(factors, v)
+        .into_iter()
+        .filter(|&u| u != v && !eliminated.contains(&u))
+        .map(|u| ctx.effective_domain(u))
+        .product()
+}
+
+/// The width score: product of effective domains of the union schema of
+/// `rels(v)` including `v` (minus already-eliminated stragglers, see
+/// [`degree_score`]).
+pub fn width_score(
+    ctx: &OptContext<'_>,
+    factors: &[SubPlan],
+    v: VarId,
+    eliminated: &[VarId],
+) -> f64 {
+    neighbourhood(factors, v)
+        .into_iter()
+        .filter(|&u| !eliminated.contains(&u))
+        .map(|u| ctx.effective_domain(u))
+        .product()
+}
+
+/// The elimination-cost score: estimated cost of joining `rels(v)` in a
+/// fixed smallest-first linear order and grouping `v` away (together with
+/// any already-eliminated stragglers the group-by would drop anyway).
+pub fn elim_cost_score(
+    ctx: &OptContext<'_>,
+    factors: &[SubPlan],
+    v: VarId,
+    eliminated: &[VarId],
+) -> f64 {
+    let mut parts: Vec<&SubPlan> = factors.iter().filter(|f| f.schema.contains(v)).collect();
+    if parts.is_empty() {
+        return 0.0;
+    }
+    parts.sort_by(|a, b| a.rows.total_cmp(&b.rows).then(a.schema.arity().cmp(&b.schema.arity())));
+    let mut schema = parts[0].schema.clone();
+    let mut rows = parts[0].rows;
+    let mut cost = 0.0;
+    for p in &parts[1..] {
+        let out = estimate::join_rows(ctx, &schema, rows, &p.schema, p.rows);
+        cost += ctx.cost_model.join(rows, p.rows, out);
+        schema = schema.union(&p.schema);
+        rows = out;
+    }
+    let mut dropped: Vec<VarId> = eliminated.to_vec();
+    dropped.push(v);
+    let grouped = schema.difference(&dropped);
+    let out = estimate::group_rows(ctx, rows, &grouped);
+    cost + ctx.cost_model.group_by(rows, out)
+}
+
+/// Union of the schemas of all live factors containing `v` (the variable's
+/// elimination neighbourhood).
+fn neighbourhood(factors: &[SubPlan], v: VarId) -> Vec<VarId> {
+    let mut out = Vec::new();
+    for f in factors {
+        if f.schema.contains(v) {
+            for u in f.schema.iter() {
+                if !out.contains(&u) {
+                    out.push(u);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Select the next variable to eliminate from `candidates` under a
+/// deterministic heuristic (Random orders are pre-shuffled by the caller).
+///
+/// Ties break toward the smaller `VarId` for reproducibility.
+///
+/// # Panics
+/// Panics if called with [`Heuristic::Random`] or empty `candidates`.
+pub fn select_next(
+    ctx: &OptContext<'_>,
+    heuristic: Heuristic,
+    factors: &[SubPlan],
+    candidates: &[VarId],
+    eliminated: &[VarId],
+) -> VarId {
+    assert!(!candidates.is_empty());
+    let scores: Vec<f64> = match heuristic {
+        Heuristic::Degree => candidates
+            .iter()
+            .map(|&v| degree_score(ctx, factors, v, eliminated))
+            .collect(),
+        Heuristic::Width => candidates
+            .iter()
+            .map(|&v| width_score(ctx, factors, v, eliminated))
+            .collect(),
+        Heuristic::ElimCost => candidates
+            .iter()
+            .map(|&v| elim_cost_score(ctx, factors, v, eliminated))
+            .collect(),
+        Heuristic::DegreeWidth => normalized_product(
+            &candidates
+                .iter()
+                .map(|&v| degree_score(ctx, factors, v, eliminated))
+                .collect::<Vec<_>>(),
+            &candidates
+                .iter()
+                .map(|&v| width_score(ctx, factors, v, eliminated))
+                .collect::<Vec<_>>(),
+        ),
+        Heuristic::DegreeElimCost => normalized_product(
+            &candidates
+                .iter()
+                .map(|&v| degree_score(ctx, factors, v, eliminated))
+                .collect::<Vec<_>>(),
+            &candidates
+                .iter()
+                .map(|&v| elim_cost_score(ctx, factors, v, eliminated))
+                .collect::<Vec<_>>(),
+        ),
+        Heuristic::Random(_) => panic!("random orders are pre-shuffled by the VE driver"),
+    };
+    let mut best = 0;
+    for i in 1..candidates.len() {
+        if scores[i] < scores[best]
+            || (scores[i] == scores[best] && candidates[i] < candidates[best])
+        {
+            best = i;
+        }
+    }
+    candidates[best]
+}
+
+/// Combine two score vectors by normalizing each (dividing by its maximum
+/// over the candidates) and multiplying pointwise — footnote 1 of the paper.
+fn normalized_product(a: &[f64], b: &[f64]) -> Vec<f64> {
+    let max_a = a.iter().copied().fold(f64::MIN, f64::max).max(1e-300);
+    let max_b = b.iter().copied().fold(f64::MIN, f64::max).max(1e-300);
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x / max_a) * (y / max_b))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CostModel, QuerySpec};
+    use mpf_algebra::Plan;
+    use mpf_storage::{Catalog, Schema};
+
+    fn factor(schema: Schema, rows: f64) -> SubPlan {
+        SubPlan {
+            plan: Plan::scan("f"),
+            schema,
+            rows,
+            cost: 0.0,
+        }
+    }
+
+    #[test]
+    fn degree_vs_width() {
+        let mut cat = Catalog::new();
+        let a = cat.add_var("a", 10).unwrap();
+        let b = cat.add_var("b", 100).unwrap();
+        let c = cat.add_var("c", 5).unwrap();
+        let ctx = OptContext::new(&cat, [], QuerySpec::default(), CostModel::Io);
+        let factors = vec![
+            factor(Schema::new(vec![a, b]).unwrap(), 1000.0),
+            factor(Schema::new(vec![b, c]).unwrap(), 500.0),
+        ];
+        // Eliminating b joins both factors: neighbourhood {a, b, c}.
+        assert_eq!(degree_score(&ctx, &factors, b, &[]), 50.0); // 10 * 5
+        assert_eq!(width_score(&ctx, &factors, b, &[]), 5000.0); // 10 * 100 * 5
+        // Eliminating a touches only the first factor.
+        assert_eq!(degree_score(&ctx, &factors, a, &[]), 100.0);
+        assert_eq!(width_score(&ctx, &factors, a, &[]), 1000.0);
+    }
+
+    #[test]
+    fn elim_cost_counts_joins_and_group() {
+        let mut cat = Catalog::new();
+        let a = cat.add_var("a", 10).unwrap();
+        let b = cat.add_var("b", 100).unwrap();
+        let ctx = OptContext::new(&cat, [], QuerySpec::default(), CostModel::Io);
+        let f1 = factor(Schema::new(vec![a, b]).unwrap(), 1000.0);
+        let f2 = factor(Schema::new(vec![b]).unwrap(), 100.0);
+        // join rows = 1000*100/100 = 1000; join cost = 100+1000+1000 = 2100
+        // group to {a}: out=10, cost = 1000+10 = 1010; total 3110.
+        let score = elim_cost_score(&ctx, &[f1, f2], b, &[]);
+        assert!((score - 3110.0).abs() < 1e-9, "got {score}");
+    }
+
+    #[test]
+    fn select_prefers_cheap_variable() {
+        let mut cat = Catalog::new();
+        let hub = cat.add_var("hub", 10).unwrap();
+        let x1 = cat.add_var("x1", 10).unwrap();
+        let x2 = cat.add_var("x2", 10).unwrap();
+        let x3 = cat.add_var("x3", 10).unwrap();
+        let ctx = OptContext::new(&cat, [], QuerySpec::default(), CostModel::Io);
+        // Star: hub appears everywhere; x2 in two factors, x1/x3 in one.
+        let factors = vec![
+            factor(Schema::new(vec![x1, x2, hub]).unwrap(), 1000.0),
+            factor(Schema::new(vec![x2, x3, hub]).unwrap(), 1000.0),
+        ];
+        // Width of hub = 10^4 (all vars); width of x1 = 10^3.
+        let pick = select_next(&ctx, Heuristic::Width, &factors, &[hub, x1, x2, x3], &[]);
+        assert!(pick == x1 || pick == x3, "width must avoid the hub, got {pick}");
+        // Degree of hub = 10^3 (x1,x2,x3); degree of x1 = 10^2 (x2,hub).
+        let pick = select_next(&ctx, Heuristic::Degree, &factors, &[hub, x1, x2, x3], &[]);
+        assert!(pick == x1 || pick == x3, "degree avoids the hub here, got {pick}");
+    }
+
+    #[test]
+    fn normalized_product_combines() {
+        let combined = normalized_product(&[1.0, 2.0, 4.0], &[8.0, 2.0, 1.0]);
+        // normalized a: .25, .5, 1 ; normalized b: 1, .25, .125
+        assert_eq!(combined, vec![0.25, 0.125, 0.125]);
+    }
+
+    #[test]
+    fn deterministic_tiebreak() {
+        let mut cat = Catalog::new();
+        let a = cat.add_var("a", 10).unwrap();
+        let b = cat.add_var("b", 10).unwrap();
+        let ctx = OptContext::new(&cat, [], QuerySpec::default(), CostModel::Io);
+        let factors = vec![factor(Schema::new(vec![a, b]).unwrap(), 100.0)];
+        // Symmetric scores: the smaller VarId wins.
+        assert_eq!(select_next(&ctx, Heuristic::Degree, &factors, &[b, a], &[]), a);
+    }
+}

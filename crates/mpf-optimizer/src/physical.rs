@@ -1,0 +1,137 @@
+//! Cost-based physical operator selection.
+//!
+//! The paper emphasizes that, unlike the GDL setting where one algorithm
+//! implements each of multiplication and marginalization, "in the
+//! relational case there are multiple algorithms to implement join
+//! (multiplication) and aggregation (summation), and the choice of
+//! algorithm is based on the cost of accessing disk-resident operands".
+//! This module makes that choice for a finished logical plan:
+//!
+//! * a **hash join** needs its build side (the smaller operand) resident
+//!   in the workspace; if the smaller operand exceeds the memory budget, a
+//!   Grace (partitioned) hash join is selected with enough partitions that
+//!   each build partition fits;
+//! * a **hash aggregate** needs one accumulator per distinct group; if the
+//!   estimated group count exceeds the budget, sort aggregation is
+//!   selected.
+//!
+//! Operand sizes come from the same catalog-based estimator the join
+//! ordering used ([`estimate::plan_estimate`]).
+
+use mpf_algebra::{AggAlgo, JoinAlgo, PhysicalPlan, Plan};
+
+use crate::{estimate, OptContext};
+
+/// Physical selection knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhysicalConfig {
+    /// Rows that fit in the operator workspace (hash-table budget).
+    pub memory_rows: f64,
+}
+
+impl Default for PhysicalConfig {
+    fn default() -> Self {
+        // Roughly a 16 MB workspace of 16-byte rows — the same order as
+        // PostgreSQL 8.1's default `work_mem`-sized hash operators.
+        PhysicalConfig {
+            memory_rows: 1_000_000.0,
+        }
+    }
+}
+
+/// Annotate a logical plan with cost-chosen operator algorithms.
+pub fn choose_physical(
+    ctx: &OptContext<'_>,
+    plan: &Plan,
+    cfg: PhysicalConfig,
+) -> PhysicalPlan {
+    PhysicalPlan::from_logical(
+        plan,
+        &mut |left, right| {
+            let (_, lr) = estimate::plan_estimate(ctx, left);
+            let (_, rr) = estimate::plan_estimate(ctx, right);
+            let build = lr.min(rr);
+            if build <= cfg.memory_rows {
+                JoinAlgo::Hash
+            } else {
+                // Grace hash join with enough partitions that each build
+                // partition fits the workspace.
+                JoinAlgo::Grace {
+                    partitions: (build / cfg.memory_rows).ceil().max(2.0) as usize,
+                }
+            }
+        },
+        &mut |input, group_vars| {
+            let (_, in_rows) = estimate::plan_estimate(ctx, input);
+            let schema: mpf_storage::Schema = group_vars.iter().copied().collect();
+            let groups = estimate::group_rows(ctx, in_rows, &schema);
+            if groups <= cfg.memory_rows {
+                AggAlgo::HashAgg
+            } else {
+                AggAlgo::SortAgg
+            }
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{optimize, Algorithm, BaseRel, CostModel, QuerySpec};
+    use mpf_storage::{Catalog, Schema, VarId};
+
+    fn ctx_fixture(cat: &mut Catalog) -> (Vec<BaseRel>, VarId, VarId, VarId) {
+        let a = cat.add_var("a", 10).unwrap();
+        let b = cat.add_var("b", 10_000).unwrap();
+        let c = cat.add_var("c", 10_000).unwrap();
+        (
+            vec![
+                BaseRel {
+                    name: "r1".into(),
+                    schema: Schema::new(vec![a, b]).unwrap(),
+                    cardinality: 100_000,
+                    fd_lhs: None,
+                },
+                BaseRel {
+                    name: "r2".into(),
+                    schema: Schema::new(vec![b, c]).unwrap(),
+                    cardinality: 5_000_000,
+                    fd_lhs: None,
+                },
+            ],
+            a,
+            b,
+            c,
+        )
+    }
+
+    #[test]
+    fn small_budget_forces_sort_operators() {
+        let mut cat = Catalog::new();
+        let (rels, a, ..) = ctx_fixture(&mut cat);
+        let ctx = OptContext::new(&cat, rels, QuerySpec::group_by([a]), CostModel::Io);
+        let plan = optimize(&ctx, Algorithm::CsPlusNonlinear).plan;
+        let big = choose_physical(&ctx, &plan, PhysicalConfig { memory_rows: 1e9 });
+        assert_eq!(big.sort_operator_count(), 0, "everything fits -> all hash");
+        let tiny = choose_physical(&ctx, &plan, PhysicalConfig { memory_rows: 10.0 });
+        assert!(
+            tiny.spill_operator_count() > 0,
+            "nothing fits -> spilling operators appear"
+        );
+        // Annotations do not change the logical plan.
+        assert_eq!(tiny.to_logical(), plan);
+    }
+
+    #[test]
+    fn default_budget_is_permissive_at_laptop_scale() {
+        let mut cat = Catalog::new();
+        let (rels, a, ..) = ctx_fixture(&mut cat);
+        let ctx = OptContext::new(&cat, rels, QuerySpec::group_by([a]), CostModel::Io);
+        let plan = optimize(&ctx, Algorithm::CsPlusLinear).plan;
+        let phys = choose_physical(&ctx, &plan, PhysicalConfig::default());
+        // r2 (5M rows) exceeds the default budget, but its join partner is
+        // the build side, so hash join still applies everywhere except
+        // operators whose *smaller* operand exceeds the budget.
+        assert!(phys.spill_operator_count() <= plan.join_count() + plan.group_by_count());
+    }
+}

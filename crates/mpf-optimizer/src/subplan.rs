@@ -1,0 +1,262 @@
+use mpf_algebra::Plan;
+use mpf_storage::{Schema, VarId};
+
+use crate::{estimate, OptContext};
+
+/// A plan fragment annotated with its output schema, estimated cardinality,
+/// and accumulated estimated cost — the unit of dynamic programming.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubPlan {
+    /// The plan fragment.
+    pub plan: Plan,
+    /// Output variable schema.
+    pub schema: Schema,
+    /// Estimated output rows.
+    pub rows: f64,
+    /// Estimated cumulative cost (cost-model units).
+    pub cost: f64,
+}
+
+impl SubPlan {
+    /// Leaf subplan: scan base relation `rel_idx`, applying any of the
+    /// query's equality predicates that mention its variables (selection
+    /// pushdown — always correct because selection commutes with product
+    /// join and marginalization on other variables).
+    pub fn leaf(ctx: &OptContext<'_>, rel_idx: usize) -> SubPlan {
+        let rel = &ctx.rels[rel_idx];
+        let preds = ctx.applicable_predicates(&rel.schema);
+        let scan_rows = rel.cardinality as f64;
+        let rows = estimate::base_rows(ctx, rel_idx);
+        let mut cost = ctx.cost_model.scan(scan_rows);
+        let plan = if preds.is_empty() {
+            Plan::scan(rel.name.clone())
+        } else {
+            cost += ctx.cost_model.select(scan_rows, rows);
+            Plan::select(Plan::scan(rel.name.clone()), preds)
+        };
+        SubPlan {
+            plan,
+            schema: rel.schema.clone(),
+            rows,
+            cost,
+        }
+    }
+
+    /// Join two subplans (product join).
+    pub fn join(ctx: &OptContext<'_>, l: SubPlan, r: SubPlan) -> SubPlan {
+        let rows = estimate::join_rows(ctx, &l.schema, l.rows, &r.schema, r.rows);
+        let cost = l.cost + r.cost + ctx.cost_model.join(l.rows, r.rows, rows);
+        SubPlan {
+            plan: Plan::join(l.plan, r.plan),
+            schema: l.schema.union(&r.schema),
+            rows,
+            cost,
+        }
+    }
+
+    /// Apply a group-by onto `group_vars` (which must be a subset of the
+    /// input schema; order is normalized to the input schema's order).
+    pub fn group(ctx: &OptContext<'_>, input: SubPlan, group_vars: &[VarId]) -> SubPlan {
+        let schema: Schema = input
+            .schema
+            .iter()
+            .filter(|v| group_vars.contains(v))
+            .collect();
+        let rows = estimate::group_rows(ctx, input.rows, &schema);
+        let cost = input.cost + ctx.cost_model.group_by(input.rows, rows);
+        SubPlan {
+            plan: Plan::group_by(input.plan, schema.vars().to_vec()),
+            schema,
+            rows,
+            cost,
+        }
+    }
+
+    /// The variables of `inside` that must be **retained** by an inner
+    /// group-by for the plan transformation to stay correct (the
+    /// Chaudhuri–Shim condition, line 3 of Algorithm 1): query variables,
+    /// plus any variable appearing in a relation not yet joined in
+    /// (`outside` schemas).
+    pub fn needed_vars<'s>(
+        ctx: &OptContext<'_>,
+        inside: &Schema,
+        outside: impl IntoIterator<Item = &'s Schema>,
+    ) -> Vec<VarId> {
+        let mut keep: Vec<VarId> = inside
+            .iter()
+            .filter(|v| ctx.query.group_vars.contains(v))
+            .collect();
+        for sch in outside {
+            for v in sch.iter() {
+                if inside.contains(v) && !keep.contains(&v) {
+                    keep.push(v);
+                }
+            }
+        }
+        keep
+    }
+
+    /// Whether grouping `inside` onto `keep` actually removes variables
+    /// (otherwise the group-by is pure overhead and need not be considered).
+    pub fn grouping_reduces(inside: &Schema, keep: &[VarId]) -> bool {
+        keep.len() < inside.arity()
+    }
+}
+
+/// Insert `cand` into a Pareto set of subplans for one relation subset.
+///
+/// Plans are comparable only when they produce the same variable set; among
+/// those, one dominates if it is no worse in both estimated cost and
+/// estimated rows. Keeping the full frontier (instead of a single
+/// min-cost plan) is what makes the dynamic programs *monotone*: a plan
+/// that is cheaper but wider (more columns, more rows) cannot shadow the
+/// narrower plan a later join needs. This strengthens the paper's
+/// greedy-conservative heuristic — see DESIGN.md §"Pareto DP".
+pub fn pareto_insert(set: &mut Vec<SubPlan>, cand: SubPlan) {
+    let key = |s: &SubPlan| -> Vec<VarId> {
+        let mut v = s.schema.vars().to_vec();
+        v.sort_unstable();
+        v
+    };
+    let ck = key(&cand);
+    for e in set.iter() {
+        if key(e) == ck && e.cost <= cand.cost && e.rows <= cand.rows {
+            return; // dominated
+        }
+    }
+    set.retain(|e| !(key(e) == ck && cand.cost <= e.cost && cand.rows <= e.rows));
+    set.push(cand);
+}
+
+/// The group-by-reduced variant of a subplan: marginalize onto the
+/// variables still needed (query variables plus variables shared with any
+/// relation outside the subplan's subset), or `None` if nothing can be
+/// dropped.
+pub fn reduced_variant<'s>(
+    ctx: &OptContext<'_>,
+    entry: &SubPlan,
+    outside: impl IntoIterator<Item = &'s Schema>,
+) -> Option<SubPlan> {
+    let keep = SubPlan::needed_vars(ctx, &entry.schema, outside);
+    SubPlan::grouping_reduces(&entry.schema, &keep)
+        .then(|| SubPlan::group(ctx, entry.clone(), &keep))
+}
+
+/// Among the four candidate joins of the nonlinear CS+ comparison
+/// (Section 5.1: no group-by / group-by left / group-by right / both),
+/// return the cheapest. `outside_left` / `outside_right` are the schemas of
+/// relations not contained in the respective operand (each side's "future"
+/// includes the opposite operand).
+pub fn best_join_of_four<'s>(
+    ctx: &OptContext<'_>,
+    l: &SubPlan,
+    r: &SubPlan,
+    outside_left: &[&'s Schema],
+    outside_right: &[&'s Schema],
+) -> SubPlan {
+    let keep_l = SubPlan::needed_vars(ctx, &l.schema, outside_left.iter().copied());
+    let keep_r = SubPlan::needed_vars(ctx, &r.schema, outside_right.iter().copied());
+    let gb_left = SubPlan::grouping_reduces(&l.schema, &keep_l);
+    let gb_right = SubPlan::grouping_reduces(&r.schema, &keep_r);
+
+    let mut best = SubPlan::join(ctx, l.clone(), r.clone());
+    if gb_left {
+        let cand = SubPlan::join(ctx, SubPlan::group(ctx, l.clone(), &keep_l), r.clone());
+        if cand.cost < best.cost {
+            best = cand;
+        }
+    }
+    if gb_right {
+        let cand = SubPlan::join(ctx, l.clone(), SubPlan::group(ctx, r.clone(), &keep_r));
+        if cand.cost < best.cost {
+            best = cand;
+        }
+    }
+    if gb_left && gb_right {
+        let cand = SubPlan::join(
+            ctx,
+            SubPlan::group(ctx, l.clone(), &keep_l),
+            SubPlan::group(ctx, r.clone(), &keep_r),
+        );
+        if cand.cost < best.cost {
+            best = cand;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BaseRel, CostModel, QuerySpec};
+    use mpf_storage::Catalog;
+
+    fn ctx_fixture(cat: &Catalog, rels: Vec<BaseRel>, q: QuerySpec) -> OptContext<'_> {
+        OptContext::new(cat, rels, q, CostModel::Io)
+    }
+
+    #[test]
+    fn leaf_applies_predicates() {
+        let mut cat = Catalog::new();
+        let a = cat.add_var("a", 10).unwrap();
+        let b = cat.add_var("b", 10).unwrap();
+        let rels = vec![BaseRel {
+            name: "r".into(),
+            schema: Schema::new(vec![a, b]).unwrap(),
+            cardinality: 100,
+            fd_lhs: None,
+        }];
+        let ctx = ctx_fixture(&cat, rels, QuerySpec::group_by([b]).filter(a, 1));
+        let leaf = SubPlan::leaf(&ctx, 0);
+        assert!(matches!(leaf.plan, Plan::Select { .. }));
+        assert_eq!(leaf.rows, 10.0);
+    }
+
+    #[test]
+    fn needed_vars_keep_query_and_future_join_vars() {
+        let mut cat = Catalog::new();
+        let a = cat.add_var("a", 10).unwrap();
+        let b = cat.add_var("b", 10).unwrap();
+        let c = cat.add_var("c", 10).unwrap();
+        let d = cat.add_var("d", 10).unwrap();
+        let inside = Schema::new(vec![a, b, c]).unwrap();
+        let future = Schema::new(vec![c, d]).unwrap();
+        let ctx = ctx_fixture(&cat, vec![], QuerySpec::group_by([a]));
+        let keep = SubPlan::needed_vars(&ctx, &inside, [&future]);
+        // a is a query var, c joins with the future relation; b is droppable.
+        assert_eq!(keep, vec![a, c]);
+        assert!(SubPlan::grouping_reduces(&inside, &keep));
+    }
+
+    #[test]
+    fn four_way_prefers_reducing_group_by() {
+        // One big relation over (a, b) with a tiny query variable domain:
+        // grouping it before joining must win under the IO model.
+        let mut cat = Catalog::new();
+        let a = cat.add_var("a", 2).unwrap();
+        let b = cat.add_var("b", 100_000).unwrap();
+        let c = cat.add_var("c", 2).unwrap();
+        let big = BaseRel {
+            name: "big".into(),
+            schema: Schema::new(vec![a, b]).unwrap(),
+            cardinality: 200_000,
+            fd_lhs: None,
+        };
+        let small = BaseRel {
+            name: "small".into(),
+            schema: Schema::new(vec![a, c]).unwrap(),
+            cardinality: 4,
+            fd_lhs: None,
+        };
+        let ctx = ctx_fixture(&cat, vec![big, small], QuerySpec::group_by([c]));
+        let l = SubPlan::leaf(&ctx, 0);
+        let r = SubPlan::leaf(&ctx, 1);
+        let r_schema = ctx.rels[1].schema.clone();
+        let l_schema = ctx.rels[0].schema.clone();
+        let best = best_join_of_four(&ctx, &l, &r, &[&r_schema], &[&l_schema]);
+        // The winning plan groups `big` onto {a} (b eliminated) first.
+        assert_eq!(best.plan.group_by_count(), 1);
+        let plain = SubPlan::join(&ctx, l, r);
+        assert!(best.cost < plain.cost);
+    }
+}

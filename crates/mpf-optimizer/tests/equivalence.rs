@@ -1,0 +1,176 @@
+//! The central correctness property of the whole paper: **every** plan
+//! produced by CS, CS+ (linear and nonlinear), VE (under every heuristic and
+//! under arbitrary random orders), and VE+ computes exactly the same
+//! functional relation as the naive join-everything-then-aggregate plan.
+//!
+//! This is what Definition 4's `GDLPlan` space membership means
+//! semantically, and it holds in any commutative semiring.
+
+use mpf_algebra::{ops, Executor, RelationProvider, RelationStore};
+use mpf_optimizer::{optimize, Algorithm, BaseRel, CostModel, Heuristic, OptContext, QuerySpec};
+use mpf_semiring::SemiringKind;
+use mpf_storage::{Catalog, FunctionalRelation, Schema, VarId};
+use proptest::prelude::*;
+
+/// One generated relation: variable indices plus `(values, measure)` rows.
+type RelSpec = (Vec<usize>, Vec<(Vec<u32>, f64)>);
+
+/// Everything `build` materializes for one instance.
+type Materialized = (Catalog, RelationStore, Vec<BaseRel>, QuerySpec, Vec<VarId>);
+
+/// A generated random MPF instance.
+#[derive(Debug, Clone)]
+struct Instance {
+    domains: Vec<u64>,
+    rels: Vec<RelSpec>,
+    group_vars: Vec<usize>,
+    predicate: Option<(usize, u32)>,
+}
+
+fn instance_strategy() -> impl Strategy<Value = Instance> {
+    // 3-5 variables with domains 2-3; 2-4 relations of 1-3 vars each.
+    (3usize..=5, 2usize..=4).prop_flat_map(|(nvars, nrels)| {
+        let domains = proptest::collection::vec(2u64..=3, nvars);
+        domains.prop_flat_map(move |domains| {
+            let rel = {
+                let domains = domains.clone();
+                proptest::collection::vec(0usize..nvars, 1..=3).prop_flat_map(move |mut vars| {
+                    vars.sort_unstable();
+                    vars.dedup();
+                    // Enumerate the full cross product; keep each row with
+                    // probability ~0.8 and give it a positive measure.
+                    let total: u64 = vars.iter().map(|&v| domains[v]).product();
+                    let rows = proptest::collection::vec(
+                        (proptest::bool::weighted(0.8), 1u32..=8),
+                        total as usize,
+                    );
+                    let domains = domains.clone();
+                    rows.prop_map(move |flags| {
+                        let mut out = Vec::new();
+                        let mut point = vec![0u32; vars.len()];
+                        for (keep, meas) in flags {
+                            if keep {
+                                out.push((point.clone(), meas as f64 / 2.0));
+                            }
+                            for i in (0..vars.len()).rev() {
+                                point[i] += 1;
+                                if (point[i] as u64) < domains[vars[i]] {
+                                    break;
+                                }
+                                point[i] = 0;
+                            }
+                        }
+                        (vars.clone(), out)
+                    })
+                })
+            };
+            let rels = proptest::collection::vec(rel, nrels);
+            let group_vars = proptest::collection::vec(0usize..nvars, 0..=2);
+            let predicate = proptest::option::of((0usize..nvars, 0u32..2));
+            (rels, group_vars, predicate).prop_map({
+                let domains = domains.clone();
+                move |(rels, mut group_vars, predicate)| {
+                    group_vars.sort_unstable();
+                    group_vars.dedup();
+                    Instance {
+                        domains: domains.clone(),
+                        rels,
+                        group_vars,
+                        predicate,
+                    }
+                }
+            })
+        })
+    })
+}
+
+/// Materialize the instance into a catalog + store, restricted to variables
+/// that actually appear in some relation.
+fn build(inst: &Instance) -> Option<Materialized> {
+    let mut cat = Catalog::new();
+    let var_ids: Vec<VarId> = inst
+        .domains
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| cat.add_var(&format!("x{i}"), d).unwrap())
+        .collect();
+    let appearing: Vec<usize> = (0..inst.domains.len())
+        .filter(|&v| inst.rels.iter().any(|(vars, _)| vars.contains(&v)))
+        .collect();
+
+    let mut store = RelationStore::new();
+    let mut base = Vec::new();
+    for (i, (vars, rows)) in inst.rels.iter().enumerate() {
+        let schema = Schema::new(vars.iter().map(|&v| var_ids[v]).collect()).ok()?;
+        let rel = FunctionalRelation::from_rows(format!("r{i}"), schema, rows.clone()).ok()?;
+        base.push(BaseRel::of(&rel));
+        store.insert(rel);
+    }
+    // Group vars and predicates must reference appearing variables.
+    let group_vars: Vec<VarId> = inst
+        .group_vars
+        .iter()
+        .filter(|v| appearing.contains(v))
+        .map(|&v| var_ids[v])
+        .collect();
+    let mut query = QuerySpec::group_by(group_vars);
+    if let Some((v, c)) = inst.predicate {
+        if appearing.contains(&v) && (c as u64) < inst.domains[v] {
+            query = query.filter(var_ids[v], c);
+        }
+    }
+    Some((cat, store, base, query, var_ids))
+}
+
+fn reference(
+    store: &RelationStore,
+    base: &[BaseRel],
+    query: &QuerySpec,
+    sr: SemiringKind,
+) -> FunctionalRelation {
+    let rels: Vec<&FunctionalRelation> = base
+        .iter()
+        .map(|b| store.relation_of(&b.name).unwrap())
+        .collect();
+    ops::naive_mpf(sr, &rels, &query.predicates, &query.group_vars).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_algorithms_match_naive(inst in instance_strategy(), seed in 0u64..1000) {
+        let Some((cat, store, base, query, _)) = build(&inst) else { return Ok(()) };
+        for sr in [SemiringKind::SumProduct, SemiringKind::MinProduct, SemiringKind::MaxSum] {
+            let want = reference(&store, &base, &query, sr);
+            let exec = Executor::new(&store, sr);
+            let algorithms = [
+                Algorithm::Cs,
+                Algorithm::CsPlusLinear,
+                Algorithm::CsPlusNonlinear,
+                Algorithm::Ve(Heuristic::Degree),
+                Algorithm::Ve(Heuristic::Width),
+                Algorithm::Ve(Heuristic::ElimCost),
+                Algorithm::Ve(Heuristic::DegreeWidth),
+                Algorithm::Ve(Heuristic::DegreeElimCost),
+                Algorithm::Ve(Heuristic::Random(seed)),
+                Algorithm::VePlus(Heuristic::Degree),
+                Algorithm::VePlus(Heuristic::Width),
+                Algorithm::VePlus(Heuristic::Random(seed)),
+            ];
+            for algo in algorithms {
+                for cm in [CostModel::Io, CostModel::Simple] {
+                    let ctx = OptContext::new(&cat, base.clone(), query.clone(), cm);
+                    let plan = optimize(&ctx, algo);
+                    let (got, _) = exec.execute(&plan.plan).unwrap();
+                    prop_assert!(
+                        want.function_eq(&got),
+                        "{} ({cm:?}, {sr:?}) diverged from naive\nplan:\n{}\nwant: {want}\ngot: {got}",
+                        algo.label(),
+                        plan.plan.render(&|v| format!("{v}")),
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,716 @@
+#![warn(missing_docs)]
+//! Commutative semirings for MPF queries.
+//!
+//! The MPF (Marginalize a Product Function) setting of Corrada Bravo &
+//! Ramakrishnan (SIGMOD 2007) is defined over measures drawn from an
+//! arbitrary **commutative semiring**: a set closed under an additive and a
+//! multiplicative operation, where both operations are associative and
+//! commutative, the additive operation distributes with respect to the
+//! multiplicative operation, and the set contains identity elements of both
+//! operations (Section 2 of the paper).
+//!
+//! The *multiplicative* operation is used by the **product join** (the `*` in
+//! `s1[f] * s2[f]`), and the *additive* operation is the aggregate used by
+//! marginalization (`SUM`, `MIN`, ... in `GroupBy`). Distributivity is what
+//! makes the Generalized Distributive Law — and therefore every optimization
+//! in the paper — sound: a `GroupBy` may be pushed below a product join
+//! exactly because `add` distributes over `mul`.
+//!
+//! Two layers are provided:
+//!
+//! * [`Semiring`] — a type-level trait, with lawful instances
+//!   ([`SumProduct`], [`MinSum`], [`MaxSum`], [`MinProduct`], [`MaxProduct`],
+//!   [`BoolOrAnd`]). These are convenient for generic algorithms and for
+//!   property-testing the semiring laws.
+//! * [`SemiringKind`] — a dynamic (enum-dispatched) view over `f64` measures,
+//!   used by the storage/execution layers so relations do not need to be
+//!   monomorphized per semiring.
+//!
+//! Division ([`SemiringKind::div`]) is the partial inverse of `mul` needed by
+//! the *update semijoin* of the Belief Propagation backward pass (Definition 6
+//! / Appendix A of the paper). We adopt the standard BP convention
+//! `0 / 0 = 0`.
+
+/// A commutative semiring over a value type.
+///
+/// Laws (all checked by property tests in this crate):
+///
+/// * `add` and `mul` are associative and commutative;
+/// * `zero` is the identity of `add` and annihilates `mul`
+///   (`mul(zero, a) = zero`);
+/// * `one` is the identity of `mul`;
+/// * `mul` distributes over `add`:
+///   `mul(a, add(b, c)) = add(mul(a, b), mul(a, c))`.
+pub trait Semiring {
+    /// The measure type.
+    type Value: Copy + PartialEq + core::fmt::Debug;
+
+    /// Additive identity (the value of an empty aggregate).
+    fn zero() -> Self::Value;
+    /// Multiplicative identity (the implicit measure of a plain relation).
+    fn one() -> Self::Value;
+    /// The additive (aggregate / marginalization) operation.
+    fn add(a: Self::Value, b: Self::Value) -> Self::Value;
+    /// The multiplicative (product join) operation.
+    fn mul(a: Self::Value, b: Self::Value) -> Self::Value;
+}
+
+/// A semiring whose multiplicative monoid admits a (partial) inverse.
+///
+/// Required by the update semijoin used in Belief Propagation's backward
+/// pass. `div(a, b)` must satisfy `mul(div(a, b), b) = a` whenever `b` is
+/// invertible; the convention `div(zero, zero) = zero` is used elsewhere.
+pub trait SemiringWithDivision: Semiring {
+    /// Partial inverse of [`Semiring::mul`].
+    fn div(a: Self::Value, b: Self::Value) -> Self::Value;
+}
+
+/// The ordinary sum-product semiring `(ℝ, +, ×, 0, 1)`.
+///
+/// This is the semiring of probabilistic inference: product joins multiply
+/// local probabilities, and `SUM` marginalizes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SumProduct;
+
+impl Semiring for SumProduct {
+    type Value = f64;
+    fn zero() -> f64 {
+        0.0
+    }
+    fn one() -> f64 {
+        1.0
+    }
+    fn add(a: f64, b: f64) -> f64 {
+        a + b
+    }
+    fn mul(a: f64, b: f64) -> f64 {
+        a * b
+    }
+}
+
+impl SemiringWithDivision for SumProduct {
+    fn div(a: f64, b: f64) -> f64 {
+        if a == 0.0 && b == 0.0 {
+            0.0
+        } else {
+            a / b
+        }
+    }
+}
+
+/// The tropical min-sum semiring `(ℝ ∪ {+∞}, min, +, +∞, 0)`.
+///
+/// Useful for shortest-path / minimum-cost style MPF queries where measures
+/// of joined relations are *added* and the aggregate takes the minimum.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MinSum;
+
+impl Semiring for MinSum {
+    type Value = f64;
+    fn zero() -> f64 {
+        f64::INFINITY
+    }
+    fn one() -> f64 {
+        0.0
+    }
+    fn add(a: f64, b: f64) -> f64 {
+        a.min(b)
+    }
+    fn mul(a: f64, b: f64) -> f64 {
+        a + b
+    }
+}
+
+impl SemiringWithDivision for MinSum {
+    fn div(a: f64, b: f64) -> f64 {
+        // Inverse of `+`; ∞ - ∞ is the `0/0` case.
+        if a == f64::INFINITY && b == f64::INFINITY {
+            f64::INFINITY
+        } else {
+            a - b
+        }
+    }
+}
+
+/// The tropical max-sum semiring `(ℝ ∪ {−∞}, max, +, −∞, 0)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaxSum;
+
+impl Semiring for MaxSum {
+    type Value = f64;
+    fn zero() -> f64 {
+        f64::NEG_INFINITY
+    }
+    fn one() -> f64 {
+        0.0
+    }
+    fn add(a: f64, b: f64) -> f64 {
+        a.max(b)
+    }
+    fn mul(a: f64, b: f64) -> f64 {
+        a + b
+    }
+}
+
+impl SemiringWithDivision for MaxSum {
+    fn div(a: f64, b: f64) -> f64 {
+        if a == f64::NEG_INFINITY && b == f64::NEG_INFINITY {
+            f64::NEG_INFINITY
+        } else {
+            a - b
+        }
+    }
+}
+
+/// The min-product semiring `(ℝ₊ ∪ {+∞}, min, ×, +∞, 1)` over non-negative
+/// reals.
+///
+/// This is the semiring behind the paper's decision-support query
+/// *"What is the minimum investment on each part?"* — measures are combined
+/// by product along the supply chain and aggregated with `MIN`. Distributivity
+/// of `min` over `×` requires non-negative measures; the storage layer
+/// validates this when the semiring is selected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MinProduct;
+
+impl Semiring for MinProduct {
+    type Value = f64;
+    fn zero() -> f64 {
+        f64::INFINITY
+    }
+    fn one() -> f64 {
+        1.0
+    }
+    fn add(a: f64, b: f64) -> f64 {
+        a.min(b)
+    }
+    fn mul(a: f64, b: f64) -> f64 {
+        // `+∞` is the additive identity and must annihilate multiplication;
+        // IEEE `∞ × 0 = NaN` would break that, so handle it explicitly.
+        if a == f64::INFINITY || b == f64::INFINITY {
+            f64::INFINITY
+        } else {
+            a * b
+        }
+    }
+}
+
+/// The max-product (Viterbi) semiring `([0, ∞), max, ×, 0, 1)`.
+///
+/// Used for most-probable-explanation inference over probabilistic MPF views.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaxProduct;
+
+impl Semiring for MaxProduct {
+    type Value = f64;
+    fn zero() -> f64 {
+        0.0
+    }
+    fn one() -> f64 {
+        1.0
+    }
+    fn add(a: f64, b: f64) -> f64 {
+        a.max(b)
+    }
+    fn mul(a: f64, b: f64) -> f64 {
+        a * b
+    }
+}
+
+impl SemiringWithDivision for MaxProduct {
+    fn div(a: f64, b: f64) -> f64 {
+        if a == 0.0 && b == 0.0 {
+            0.0
+        } else {
+            a / b
+        }
+    }
+}
+
+/// The log-space sum-product semiring: measures are *log* weights, the
+/// multiplicative operation is `+` and the additive operation is
+/// `logsumexp`. Isomorphic to [`SumProduct`] under `exp`, but numerically
+/// stable for long product chains of small probabilities — the regime of
+/// probabilistic inference over many CPTs (Section 4 of the paper).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LogSumProduct;
+
+/// Numerically-stable `ln(exp(a) + exp(b))`.
+pub fn logsumexp(a: f64, b: f64) -> f64 {
+    let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+    if hi == f64::NEG_INFINITY {
+        f64::NEG_INFINITY
+    } else {
+        hi + (lo - hi).exp().ln_1p()
+    }
+}
+
+impl Semiring for LogSumProduct {
+    type Value = f64;
+    fn zero() -> f64 {
+        f64::NEG_INFINITY
+    }
+    fn one() -> f64 {
+        0.0
+    }
+    fn add(a: f64, b: f64) -> f64 {
+        logsumexp(a, b)
+    }
+    fn mul(a: f64, b: f64) -> f64 {
+        a + b
+    }
+}
+
+impl SemiringWithDivision for LogSumProduct {
+    fn div(a: f64, b: f64) -> f64 {
+        if a == f64::NEG_INFINITY && b == f64::NEG_INFINITY {
+            f64::NEG_INFINITY
+        } else {
+            a - b
+        }
+    }
+}
+
+/// The Boolean semiring `({0, 1}, ∨, ∧, 0, 1)`.
+///
+/// The paper singles this out as a pertinent allowable domain: MPF queries in
+/// this semiring compute reachability/satisfiability-style facts (does *any*
+/// supply chain exist through this warehouse?).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BoolOrAnd;
+
+impl Semiring for BoolOrAnd {
+    type Value = bool;
+    fn zero() -> bool {
+        false
+    }
+    fn one() -> bool {
+        true
+    }
+    fn add(a: bool, b: bool) -> bool {
+        a || b
+    }
+    fn mul(a: bool, b: bool) -> bool {
+        a && b
+    }
+}
+
+/// Dynamically-dispatched semiring operations over `f64` measures.
+///
+/// The execution engine stores every measure as `f64` (Boolean measures are
+/// `0.0` / `1.0`) and threads one of these values through operators, avoiding
+/// monomorphization of the whole engine per semiring while staying faithful
+/// to the algebra.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SemiringKind {
+    /// `(+, ×)` — probabilistic inference, totals.
+    SumProduct,
+    /// `(min, +)` — minimum additive cost.
+    MinSum,
+    /// `(max, +)` — maximum additive gain.
+    MaxSum,
+    /// `(min, ×)` — minimum multiplicative cost (paper's `MIN(inv)`).
+    MinProduct,
+    /// `(max, ×)` — Viterbi / most probable explanation.
+    MaxProduct,
+    /// `(∨, ∧)` on `{0.0, 1.0}` — existence queries.
+    BoolOrAnd,
+    /// `(logsumexp, +)` — sum-product over log-space measures.
+    LogSumProduct,
+}
+
+impl SemiringKind {
+    /// All supported semirings, for exhaustive testing.
+    pub const ALL: [SemiringKind; 7] = [
+        SemiringKind::SumProduct,
+        SemiringKind::MinSum,
+        SemiringKind::MaxSum,
+        SemiringKind::MinProduct,
+        SemiringKind::MaxProduct,
+        SemiringKind::BoolOrAnd,
+        SemiringKind::LogSumProduct,
+    ];
+
+    /// Additive identity.
+    pub fn zero(self) -> f64 {
+        match self {
+            SemiringKind::SumProduct => 0.0,
+            SemiringKind::MinSum | SemiringKind::MinProduct => f64::INFINITY,
+            SemiringKind::MaxSum | SemiringKind::LogSumProduct => f64::NEG_INFINITY,
+            SemiringKind::MaxProduct => 0.0,
+            SemiringKind::BoolOrAnd => 0.0,
+        }
+    }
+
+    /// Multiplicative identity — the implicit measure of a plain (non-measure)
+    /// relation, per Section 2 of the paper.
+    pub fn one(self) -> f64 {
+        match self {
+            SemiringKind::SumProduct | SemiringKind::MinProduct | SemiringKind::MaxProduct => 1.0,
+            SemiringKind::MinSum | SemiringKind::MaxSum | SemiringKind::LogSumProduct => 0.0,
+            SemiringKind::BoolOrAnd => 1.0,
+        }
+    }
+
+    /// The additive (aggregate) operation.
+    #[inline]
+    pub fn add(self, a: f64, b: f64) -> f64 {
+        match self {
+            SemiringKind::SumProduct => a + b,
+            SemiringKind::MinSum | SemiringKind::MinProduct => a.min(b),
+            SemiringKind::MaxSum | SemiringKind::MaxProduct => a.max(b),
+            SemiringKind::LogSumProduct => logsumexp(a, b),
+            SemiringKind::BoolOrAnd => {
+                if a != 0.0 || b != 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// The multiplicative (product join) operation.
+    #[inline]
+    pub fn mul(self, a: f64, b: f64) -> f64 {
+        match self {
+            SemiringKind::SumProduct | SemiringKind::MaxProduct => a * b,
+            SemiringKind::MinProduct => {
+                // `+∞` (the additive identity) must annihilate; avoid the
+                // IEEE `∞ × 0 = NaN` pitfall.
+                if a == f64::INFINITY || b == f64::INFINITY {
+                    f64::INFINITY
+                } else {
+                    a * b
+                }
+            }
+            SemiringKind::MinSum | SemiringKind::MaxSum | SemiringKind::LogSumProduct => a + b,
+            SemiringKind::BoolOrAnd => {
+                if a != 0.0 && b != 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Whether the multiplicative monoid has a (partial) inverse, i.e.
+    /// whether the update semijoin / Belief Propagation backward pass is
+    /// available in this semiring.
+    pub fn has_division(self) -> bool {
+        !matches!(self, SemiringKind::MinProduct | SemiringKind::BoolOrAnd)
+    }
+
+    /// Partial inverse of [`SemiringKind::mul`], with the Belief Propagation
+    /// convention that dividing the additive identity by itself yields the
+    /// additive identity (`0 / 0 = 0` in sum-product).
+    ///
+    /// # Panics
+    /// Panics if the semiring has no division (see
+    /// [`SemiringKind::has_division`]).
+    #[inline]
+    pub fn div(self, a: f64, b: f64) -> f64 {
+        match self {
+            SemiringKind::SumProduct => {
+                if a == 0.0 && b == 0.0 {
+                    0.0
+                } else {
+                    a / b
+                }
+            }
+            SemiringKind::MaxProduct => {
+                if a == 0.0 && b == 0.0 {
+                    0.0
+                } else {
+                    a / b
+                }
+            }
+            SemiringKind::MinSum => {
+                if a == f64::INFINITY && b == f64::INFINITY {
+                    f64::INFINITY
+                } else {
+                    a - b
+                }
+            }
+            SemiringKind::MaxSum | SemiringKind::LogSumProduct => {
+                if a == f64::NEG_INFINITY && b == f64::NEG_INFINITY {
+                    f64::NEG_INFINITY
+                } else {
+                    a - b
+                }
+            }
+            SemiringKind::MinProduct | SemiringKind::BoolOrAnd => {
+                panic!("semiring {self:?} has no multiplicative inverse")
+            }
+        }
+    }
+
+    /// Fold the additive operation over an iterator of measures.
+    pub fn sum(self, values: impl IntoIterator<Item = f64>) -> f64 {
+        values
+            .into_iter()
+            .fold(self.zero(), |acc, v| self.add(acc, v))
+    }
+
+    /// Fold the multiplicative operation over an iterator of measures.
+    pub fn product(self, values: impl IntoIterator<Item = f64>) -> f64 {
+        values
+            .into_iter()
+            .fold(self.one(), |acc, v| self.mul(acc, v))
+    }
+
+    /// Whether a measure value is valid in this semiring's carrier set
+    /// (e.g. Boolean measures must be exactly `0.0` or `1.0`, min-product
+    /// measures must be non-negative for distributivity to hold).
+    pub fn is_valid_measure(self, v: f64) -> bool {
+        if v.is_nan() {
+            return false;
+        }
+        match self {
+            SemiringKind::SumProduct
+            | SemiringKind::MinSum
+            | SemiringKind::MaxSum
+            | SemiringKind::LogSumProduct => true,
+            SemiringKind::MinProduct | SemiringKind::MaxProduct => v >= 0.0,
+            SemiringKind::BoolOrAnd => v == 0.0 || v == 1.0,
+        }
+    }
+}
+
+/// The aggregate function named in an MPF query (`AGG` in Definition 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Aggregate {
+    /// `SUM(f)`
+    Sum,
+    /// `MIN(f)`
+    Min,
+    /// `MAX(f)`
+    Max,
+    /// `OR(f)` over Boolean measures
+    Or,
+}
+
+/// The multiplicative operation named in an MPF view definition
+/// (`measure = (* s1.f, ..., sn.f)` in the paper's SQL extension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Combine {
+    /// Measures are multiplied along the product join.
+    Product,
+    /// Measures are added along the product join.
+    Sum,
+    /// Boolean conjunction.
+    And,
+}
+
+/// Resolve a `(Combine, Aggregate)` pair to the semiring in which the pair is
+/// lawful (i.e. the aggregate distributes over the combine operation), or
+/// `None` if the pair does not form a commutative semiring.
+///
+/// The paper runs both `SUM(inv)` and `MIN(inv)` over the same product-join
+/// view; those are the `(Product, Sum)` and `(Product, Min)` rows here.
+pub fn resolve_semiring(combine: Combine, agg: Aggregate) -> Option<SemiringKind> {
+    match (combine, agg) {
+        (Combine::Product, Aggregate::Sum) => Some(SemiringKind::SumProduct),
+        (Combine::Product, Aggregate::Min) => Some(SemiringKind::MinProduct),
+        (Combine::Product, Aggregate::Max) => Some(SemiringKind::MaxProduct),
+        (Combine::Sum, Aggregate::Min) => Some(SemiringKind::MinSum),
+        (Combine::Sum, Aggregate::Max) => Some(SemiringKind::MaxSum),
+        (Combine::And, Aggregate::Or) => Some(SemiringKind::BoolOrAnd),
+        _ => None,
+    }
+}
+
+/// Approximate equality for floating-point measures, tolerant of the
+/// re-association that plan transformations introduce.
+///
+/// Handles infinities exactly (tropical identities must compare equal).
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    approx_eq_eps(a, b, 1e-9)
+}
+
+/// [`approx_eq`] with an explicit relative tolerance.
+pub fn approx_eq_eps(a: f64, b: f64, eps: f64) -> bool {
+    if a == b {
+        return true; // covers equal infinities and exact zeros
+    }
+    if !a.is_finite() || !b.is_finite() {
+        return false;
+    }
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= eps * scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identities() {
+        for k in SemiringKind::ALL {
+            let vals = match k {
+                SemiringKind::BoolOrAnd => vec![0.0, 1.0],
+                _ => vec![0.0, 1.0, 2.5, 7.0],
+            };
+            for v in vals {
+                assert!(approx_eq(k.add(k.zero(), v), v), "{k:?} add identity");
+                assert!(approx_eq(k.mul(k.one(), v), v), "{k:?} mul identity");
+                assert!(
+                    approx_eq(k.mul(k.zero(), v), k.zero()),
+                    "{k:?} zero annihilates"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sum_product_matches_trait() {
+        assert_eq!(
+            SumProduct::add(2.0, 3.0),
+            SemiringKind::SumProduct.add(2.0, 3.0)
+        );
+        assert_eq!(
+            SumProduct::mul(2.0, 3.0),
+            SemiringKind::SumProduct.mul(2.0, 3.0)
+        );
+        assert_eq!(SumProduct::zero(), SemiringKind::SumProduct.zero());
+        assert_eq!(SumProduct::one(), SemiringKind::SumProduct.one());
+    }
+
+    #[test]
+    fn tropical_identities() {
+        assert_eq!(MinSum::zero(), f64::INFINITY);
+        assert_eq!(MinSum::one(), 0.0);
+        assert_eq!(MinSum::add(3.0, 5.0), 3.0);
+        assert_eq!(MinSum::mul(3.0, 5.0), 8.0);
+        assert_eq!(MaxSum::zero(), f64::NEG_INFINITY);
+        assert_eq!(MaxSum::add(3.0, 5.0), 5.0);
+    }
+
+    #[test]
+    fn division_inverts_mul() {
+        for k in SemiringKind::ALL {
+            if !k.has_division() {
+                continue;
+            }
+            for a in [0.5, 1.0, 3.0] {
+                for b in [0.25, 2.0, 4.0] {
+                    let prod = k.mul(a, b);
+                    assert!(
+                        approx_eq(k.div(prod, b), a),
+                        "{k:?}: div(mul({a},{b}),{b}) != {a}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn division_zero_convention() {
+        assert_eq!(SemiringKind::SumProduct.div(0.0, 0.0), 0.0);
+        assert_eq!(
+            SemiringKind::MinSum.div(f64::INFINITY, f64::INFINITY),
+            f64::INFINITY
+        );
+        assert_eq!(
+            SemiringKind::MaxSum.div(f64::NEG_INFINITY, f64::NEG_INFINITY),
+            f64::NEG_INFINITY
+        );
+        assert_eq!(SemiringKind::MaxProduct.div(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no multiplicative inverse")]
+    fn bool_division_panics() {
+        SemiringKind::BoolOrAnd.div(1.0, 1.0);
+    }
+
+    #[test]
+    fn resolve_pairs() {
+        assert_eq!(
+            resolve_semiring(Combine::Product, Aggregate::Sum),
+            Some(SemiringKind::SumProduct)
+        );
+        assert_eq!(
+            resolve_semiring(Combine::Product, Aggregate::Min),
+            Some(SemiringKind::MinProduct)
+        );
+        assert_eq!(
+            resolve_semiring(Combine::Sum, Aggregate::Min),
+            Some(SemiringKind::MinSum)
+        );
+        assert_eq!(
+            resolve_semiring(Combine::And, Aggregate::Or),
+            Some(SemiringKind::BoolOrAnd)
+        );
+        // `SUM` does not distribute over `+` combine (that is double counting).
+        assert_eq!(resolve_semiring(Combine::Sum, Aggregate::Sum), None);
+        assert_eq!(resolve_semiring(Combine::And, Aggregate::Sum), None);
+    }
+
+    #[test]
+    fn folds() {
+        let k = SemiringKind::SumProduct;
+        assert_eq!(k.sum([1.0, 2.0, 3.0]), 6.0);
+        assert_eq!(k.product([2.0, 3.0, 4.0]), 24.0);
+        let t = SemiringKind::MinSum;
+        assert_eq!(t.sum([5.0, 2.0, 9.0]), 2.0);
+        assert_eq!(t.product([5.0, 2.0, 9.0]), 16.0);
+        // Empty folds give identities.
+        assert_eq!(k.sum([]), 0.0);
+        assert_eq!(t.sum([]), f64::INFINITY);
+    }
+
+    #[test]
+    fn measure_validity() {
+        assert!(SemiringKind::BoolOrAnd.is_valid_measure(1.0));
+        assert!(!SemiringKind::BoolOrAnd.is_valid_measure(0.5));
+        assert!(!SemiringKind::MinProduct.is_valid_measure(-1.0));
+        assert!(SemiringKind::SumProduct.is_valid_measure(-1.0));
+        assert!(!SemiringKind::SumProduct.is_valid_measure(f64::NAN));
+    }
+
+    #[test]
+    fn log_space_is_isomorphic_to_sum_product() {
+        let lsp = SemiringKind::LogSumProduct;
+        let sp = SemiringKind::SumProduct;
+        for a in [0.001f64, 0.5, 1.0, 3.0] {
+            for b in [0.002f64, 0.25, 2.0] {
+                assert!(approx_eq(
+                    lsp.add(a.ln(), b.ln()).exp(),
+                    sp.add(a, b)
+                ));
+                assert!(approx_eq(
+                    lsp.mul(a.ln(), b.ln()).exp(),
+                    sp.mul(a, b)
+                ));
+                assert!(approx_eq(
+                    lsp.div(a.ln(), b.ln()).exp(),
+                    sp.div(a, b)
+                ));
+            }
+        }
+        assert_eq!(lsp.zero(), f64::NEG_INFINITY); // log 0
+        assert_eq!(lsp.one(), 0.0); // log 1
+    }
+
+    #[test]
+    fn logsumexp_is_stable_for_tiny_logs() {
+        // Adding two probabilities of 1e-300 in log space must not
+        // underflow: ln(2e-300) = ln 2 + ln 1e-300.
+        let tiny = 1e-300f64.ln();
+        let sum = logsumexp(tiny, tiny);
+        assert!(approx_eq(sum, tiny + std::f64::consts::LN_2));
+        assert_eq!(logsumexp(f64::NEG_INFINITY, f64::NEG_INFINITY), f64::NEG_INFINITY);
+        assert!(approx_eq(logsumexp(f64::NEG_INFINITY, 1.5), 1.5));
+    }
+
+    #[test]
+    fn approx_eq_behaviour() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12));
+        assert!(!approx_eq(1.0, 1.001));
+        assert!(approx_eq(f64::INFINITY, f64::INFINITY));
+        assert!(!approx_eq(f64::INFINITY, 1.0));
+        assert!(approx_eq(1e12, 1e12 + 1.0));
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests for the commutative-semiring laws of every instance.
+//!
+//! Floating-point `add`/`mul` are only approximately associative, so all
+//! comparisons use a relative tolerance. For the tropical semirings the
+//! operations (`min`, `max`, `+`) are exactly associative on the sampled
+//! grid, and distributivity is exact.
+
+use mpf_semiring::{approx_eq_eps, SemiringKind};
+use proptest::prelude::*;
+
+const EPS: f64 = 1e-9;
+
+/// Sample measures valid in every semiring's carrier (positive, modest
+/// magnitude so products stay finite).
+fn measure() -> impl Strategy<Value = f64> {
+    (1u32..1000).prop_map(|n| n as f64 / 16.0)
+}
+
+fn bool_measure() -> impl Strategy<Value = f64> {
+    prop_oneof![Just(0.0), Just(1.0)]
+}
+
+fn check_laws(k: SemiringKind, a: f64, b: f64, c: f64) {
+    // Commutativity.
+    assert!(approx_eq_eps(k.add(a, b), k.add(b, a), EPS), "{k:?} add comm");
+    assert!(approx_eq_eps(k.mul(a, b), k.mul(b, a), EPS), "{k:?} mul comm");
+    // Associativity.
+    assert!(
+        approx_eq_eps(k.add(k.add(a, b), c), k.add(a, k.add(b, c)), EPS),
+        "{k:?} add assoc"
+    );
+    assert!(
+        approx_eq_eps(k.mul(k.mul(a, b), c), k.mul(a, k.mul(b, c)), EPS),
+        "{k:?} mul assoc"
+    );
+    // Identities.
+    assert!(approx_eq_eps(k.add(k.zero(), a), a, EPS), "{k:?} add id");
+    assert!(approx_eq_eps(k.mul(k.one(), a), a, EPS), "{k:?} mul id");
+    // Annihilation.
+    assert!(
+        approx_eq_eps(k.mul(k.zero(), a), k.zero(), EPS),
+        "{k:?} zero annihilates"
+    );
+    // Distributivity: a * (b + c) = a*b + a*c.
+    assert!(
+        approx_eq_eps(
+            k.mul(a, k.add(b, c)),
+            k.add(k.mul(a, b), k.mul(a, c)),
+            EPS
+        ),
+        "{k:?} distributivity: a={a} b={b} c={c}"
+    );
+}
+
+proptest! {
+    #[test]
+    fn numeric_semiring_laws(a in measure(), b in measure(), c in measure()) {
+        for k in [
+            SemiringKind::SumProduct,
+            SemiringKind::MinSum,
+            SemiringKind::MaxSum,
+            SemiringKind::MinProduct,
+            SemiringKind::MaxProduct,
+            SemiringKind::LogSumProduct,
+        ] {
+            check_laws(k, a, b, c);
+        }
+    }
+
+    #[test]
+    fn boolean_semiring_laws(a in bool_measure(), b in bool_measure(), c in bool_measure()) {
+        check_laws(SemiringKind::BoolOrAnd, a, b, c);
+    }
+
+    #[test]
+    fn division_is_right_inverse(a in measure(), b in measure()) {
+        for k in SemiringKind::ALL {
+            if !k.has_division() {
+                continue;
+            }
+            let prod = k.mul(a, b);
+            prop_assert!(
+                approx_eq_eps(k.div(prod, b), a, 1e-6),
+                "{:?}: div(mul({a},{b}),{b})", k
+            );
+        }
+    }
+}

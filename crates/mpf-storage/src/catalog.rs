@@ -1,0 +1,244 @@
+use std::collections::HashMap;
+
+use crate::{Result, StorageError};
+
+/// An interned variable (non-measure attribute) identifier.
+///
+/// Variables are global to a [`Catalog`]; two relations mentioning the same
+/// `VarId` share that variable's domain, which is what makes the implicit
+/// natural-join semantics of product joins well defined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// The id as an array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for VarId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Catalog metadata for one variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarInfo {
+    /// Human-readable attribute name (e.g. `wid`).
+    pub name: String,
+    /// Size of the variable's discrete domain; values are `0..domain_size`.
+    pub domain_size: u64,
+}
+
+/// Dictionary encoding for a labeled variable: external string labels
+/// interned to dense `Value` indices (used by CSV import/export).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Dictionary {
+    labels: Vec<String>,
+    by_label: HashMap<String, u32>,
+}
+
+impl Dictionary {
+    /// Intern a label, returning its value index.
+    pub fn intern(&mut self, label: &str) -> u32 {
+        if let Some(&v) = self.by_label.get(label) {
+            return v;
+        }
+        let v = self.labels.len() as u32;
+        self.labels.push(label.to_string());
+        self.by_label.insert(label.to_string(), v);
+        v
+    }
+
+    /// The label of a value index, if interned.
+    pub fn label(&self, value: u32) -> Option<&str> {
+        self.labels.get(value as usize).map(String::as_str)
+    }
+
+    /// The value index of a label, if interned.
+    pub fn value(&self, label: &str) -> Option<u32> {
+        self.by_label.get(label).copied()
+    }
+
+    /// Number of interned labels.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether no labels are interned.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+/// The system catalog: interned variables with domain-size statistics.
+///
+/// This mirrors the statistics the paper assumes are "readily available in
+/// the catalog of RDBMS systems" (Section 5.1): per-variable domain sizes
+/// (`σ_X = |X|`) from which, together with relation cardinalities, every
+/// optimizer heuristic in the paper is computed.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    vars: Vec<VarInfo>,
+    by_name: HashMap<String, VarId>,
+    /// Optional per-variable label dictionaries (CSV import/export).
+    dictionaries: HashMap<VarId, Dictionary>,
+}
+
+impl Catalog {
+    /// Create an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a variable with a domain size, returning its id. Returns the
+    /// existing id if a variable of the same name and domain already exists;
+    /// errors if the name exists with a *different* domain size.
+    pub fn add_var(&mut self, name: &str, domain_size: u64) -> Result<VarId> {
+        if let Some(&id) = self.by_name.get(name) {
+            if self.vars[id.index()].domain_size == domain_size {
+                return Ok(id);
+            }
+            return Err(StorageError::DuplicateVariable(name.to_string()));
+        }
+        let id = VarId(self.vars.len() as u32);
+        self.vars.push(VarInfo {
+            name: name.to_string(),
+            domain_size,
+        });
+        self.by_name.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Look up a variable id by name.
+    pub fn var(&self, name: &str) -> Result<VarId> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| StorageError::UnknownVariable(name.to_string()))
+    }
+
+    /// Look up a variable's metadata.
+    pub fn info(&self, id: VarId) -> &VarInfo {
+        &self.vars[id.index()]
+    }
+
+    /// The variable's name.
+    pub fn name(&self, id: VarId) -> &str {
+        &self.vars[id.index()].name
+    }
+
+    /// The variable's domain size (`σ_X` in the paper).
+    pub fn domain_size(&self, id: VarId) -> u64 {
+        self.vars[id.index()].domain_size
+    }
+
+    /// Number of registered variables.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Whether the catalog has no variables.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Iterate over all `(id, info)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, &VarInfo)> {
+        self.vars
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (VarId(i as u32), v))
+    }
+
+    /// Intern `label` into `var`'s dictionary, growing the variable's
+    /// domain if the label is new. Returns the label's value index.
+    pub fn intern_label(&mut self, var: VarId, label: &str) -> u32 {
+        let v = self.dictionaries.entry(var).or_default().intern(label);
+        let info = &mut self.vars[var.index()];
+        if (v as u64) >= info.domain_size {
+            info.domain_size = v as u64 + 1;
+        }
+        v
+    }
+
+    /// Grow a variable's domain to at least `at_least` values (used by CSV
+    /// import when numeric value indices exceed the declared domain).
+    pub fn grow_domain(&mut self, var: VarId, at_least: u64) {
+        let info = &mut self.vars[var.index()];
+        if info.domain_size < at_least {
+            info.domain_size = at_least;
+        }
+    }
+
+    /// The dictionary of a labeled variable, if any.
+    pub fn dictionary(&self, var: VarId) -> Option<&Dictionary> {
+        self.dictionaries.get(&var)
+    }
+
+    /// Render a value: its interned label when the variable is labeled,
+    /// otherwise the numeric index.
+    pub fn render_value(&self, var: VarId, value: u32) -> String {
+        self.dictionaries
+            .get(&var)
+            .and_then(|d| d.label(value))
+            .map(str::to_string)
+            .unwrap_or_else(|| value.to_string())
+    }
+
+    /// Product of the domain sizes of a set of variables, saturating at
+    /// `u64::MAX`. This is the size of a *complete* functional relation over
+    /// those variables, and the basis of the degree/width heuristics.
+    pub fn domain_product(&self, vars: impl IntoIterator<Item = VarId>) -> u64 {
+        vars.into_iter()
+            .fold(1u64, |acc, v| acc.saturating_mul(self.domain_size(v)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut c = Catalog::new();
+        let a = c.add_var("wid", 5000).unwrap();
+        let b = c.add_var("wid", 5000).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.name(a), "wid");
+        assert_eq!(c.domain_size(a), 5000);
+    }
+
+    #[test]
+    fn conflicting_domain_rejected() {
+        let mut c = Catalog::new();
+        c.add_var("wid", 5000).unwrap();
+        assert!(matches!(
+            c.add_var("wid", 10),
+            Err(StorageError::DuplicateVariable(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_lookup_errors() {
+        let c = Catalog::new();
+        assert!(matches!(
+            c.var("nope"),
+            Err(StorageError::UnknownVariable(_))
+        ));
+    }
+
+    #[test]
+    fn domain_product_saturates() {
+        let mut c = Catalog::new();
+        let a = c.add_var("a", u64::MAX).unwrap();
+        let b = c.add_var("b", 3).unwrap();
+        assert_eq!(c.domain_product([a, b]), u64::MAX);
+        assert_eq!(c.domain_product([b]), 3);
+        assert_eq!(c.domain_product([]), 1);
+    }
+}

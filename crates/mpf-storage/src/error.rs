@@ -1,0 +1,77 @@
+use crate::VarId;
+
+/// Errors raised by the storage layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StorageError {
+    /// A variable name was registered twice in a schema.
+    DuplicateVariable(String),
+    /// A variable name is not present in the catalog.
+    UnknownVariable(String),
+    /// A variable id is not present in a schema.
+    VariableNotInSchema(VarId),
+    /// A row's arity does not match the schema.
+    ArityMismatch {
+        /// Arity the schema expects.
+        expected: usize,
+        /// Arity the row provided.
+        got: usize,
+    },
+    /// The functional dependency `A1..Am -> f` is violated: two rows share
+    /// variable values but differ in measure.
+    FdViolation {
+        /// Index of the earlier conflicting row.
+        first_row: usize,
+        /// Index of the later conflicting row.
+        second_row: usize,
+    },
+    /// A value is outside its variable's declared domain.
+    ValueOutOfDomain {
+        /// The offending variable.
+        var: VarId,
+        /// The offending value.
+        value: u32,
+        /// The declared domain size.
+        domain: u64,
+    },
+    /// A measure is invalid for the active semiring (e.g. negative in
+    /// min-product, non-0/1 in Boolean).
+    InvalidMeasure(f64),
+    /// A relation name was not found.
+    UnknownRelation(String),
+    /// A relation name is already in use.
+    DuplicateRelation(String),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::DuplicateVariable(n) => write!(f, "duplicate variable `{n}`"),
+            StorageError::UnknownVariable(n) => write!(f, "unknown variable `{n}`"),
+            StorageError::VariableNotInSchema(v) => {
+                write!(f, "variable {v:?} is not in the relation schema")
+            }
+            StorageError::ArityMismatch { expected, got } => {
+                write!(f, "row arity {got} does not match schema arity {expected}")
+            }
+            StorageError::FdViolation {
+                first_row,
+                second_row,
+            } => write!(
+                f,
+                "functional dependency violated: rows {first_row} and {second_row} share \
+                 variable values but have different measures"
+            ),
+            StorageError::ValueOutOfDomain { var, value, domain } => write!(
+                f,
+                "value {value} of variable {var:?} is outside its domain of size {domain}"
+            ),
+            StorageError::InvalidMeasure(m) => {
+                write!(f, "measure {m} is invalid for the active semiring")
+            }
+            StorageError::UnknownRelation(n) => write!(f, "unknown relation `{n}`"),
+            StorageError::DuplicateRelation(n) => write!(f, "relation `{n}` already exists"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}

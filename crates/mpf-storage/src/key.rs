@@ -1,0 +1,99 @@
+use crate::Value;
+
+/// A compact hashable join/group key extracted from a row.
+///
+/// Join and group-by keys in MPF plans are almost always 1–4 variables wide
+/// (a variable's `rels` set, or a separator between junction-tree cliques),
+/// so keys pack into machine words instead of allocating. Wider keys fall
+/// back to a boxed slice.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Key {
+    /// Up to one column, packed.
+    P1(u32),
+    /// Two columns, packed.
+    P2(u64),
+    /// Three or four columns, packed.
+    P4(u128),
+    /// Five or more columns.
+    Big(Box<[Value]>),
+}
+
+impl Key {
+    /// The key of the empty column set (all rows agree).
+    pub const UNIT: Key = Key::P1(0);
+
+    /// Extract the key of `row` at the given column positions.
+    #[inline]
+    pub fn extract(row: &[Value], positions: &[usize]) -> Key {
+        match positions.len() {
+            0 => Key::UNIT,
+            1 => Key::P1(row[positions[0]]),
+            2 => Key::P2(((row[positions[0]] as u64) << 32) | row[positions[1]] as u64),
+            3 | 4 => {
+                let mut p: u128 = 0;
+                for &i in positions {
+                    p = (p << 32) | row[i] as u128;
+                }
+                // Disambiguate arity 3 vs 4 (a leading zero value would
+                // otherwise collide): record the arity in the top bits.
+                p |= (positions.len() as u128) << 124;
+                Key::P4(p)
+            }
+            _ => Key::Big(positions.iter().map(|&i| row[i]).collect()),
+        }
+    }
+
+    /// Extract the key of an entire row (all columns in order).
+    #[inline]
+    pub fn of_row(row: &[Value]) -> Key {
+        match row.len() {
+            0 => Key::UNIT,
+            1 => Key::P1(row[0]),
+            2 => Key::P2(((row[0] as u64) << 32) | row[1] as u64),
+            3 | 4 => {
+                let mut p: u128 = 0;
+                for &v in row {
+                    p = (p << 32) | v as u128;
+                }
+                p |= (row.len() as u128) << 124;
+                Key::P4(p)
+            }
+            _ => Key::Big(row.into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extraction_matches_columns() {
+        let row = &[7, 8, 9, 10, 11, 12][..];
+        assert_eq!(Key::extract(row, &[]), Key::UNIT);
+        assert_eq!(Key::extract(row, &[2]), Key::P1(9));
+        assert_eq!(Key::extract(row, &[0, 1]), Key::extract(&[7, 8], &[0, 1]));
+        assert_ne!(Key::extract(row, &[0, 1]), Key::extract(row, &[1, 0]));
+        assert_eq!(
+            Key::extract(row, &[0, 1, 2, 3, 4]),
+            Key::Big(vec![7, 8, 9, 10, 11].into_boxed_slice())
+        );
+    }
+
+    #[test]
+    fn arity_three_and_four_do_not_collide() {
+        // [0, 1, 2] as a 3-key must differ from [0, 0, 1, 2] as a 4-key even
+        // though their packed value bits coincide.
+        let k3 = Key::extract(&[0, 1, 2], &[0, 1, 2]);
+        let k4 = Key::extract(&[0, 0, 1, 2], &[0, 1, 2, 3]);
+        assert_ne!(k3, k4);
+    }
+
+    #[test]
+    fn of_row_matches_extract_all() {
+        for row in [vec![3u32], vec![3, 4], vec![3, 4, 5], vec![3, 4, 5, 6, 7]] {
+            let all: Vec<usize> = (0..row.len()).collect();
+            assert_eq!(Key::of_row(&row), Key::extract(&row, &all));
+        }
+    }
+}

@@ -1,0 +1,461 @@
+use std::collections::HashMap;
+
+use mpf_semiring::approx_eq;
+
+use crate::{Catalog, Key, Result, Schema, StorageError, Value, VarId};
+
+/// Assumed page size (bytes) for the simulated-IO cost accounting.
+const PAGE_BYTES: u64 = 8192;
+
+/// A functional relation (Definition 1): rows of discrete variable values
+/// plus a measure column functionally determined by them.
+///
+/// Storage is row-major: `values` holds `len() * arity()` packed `u32`s and
+/// `measures` holds one `f64` per row. The FD `A1..Am -> f` is validated on
+/// demand ([`FunctionalRelation::validate_fd`]) rather than on every insert,
+/// so bulk loads stay cheap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionalRelation {
+    name: String,
+    schema: Schema,
+    values: Vec<Value>,
+    measures: Vec<f64>,
+}
+
+impl FunctionalRelation {
+    /// Create an empty relation.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        Self {
+            name: name.into(),
+            schema,
+            values: Vec::new(),
+            measures: Vec::new(),
+        }
+    }
+
+    /// Create a relation from `(row, measure)` pairs.
+    pub fn from_rows(
+        name: impl Into<String>,
+        schema: Schema,
+        rows: impl IntoIterator<Item = (Vec<Value>, f64)>,
+    ) -> Result<Self> {
+        let mut rel = Self::new(name, schema);
+        for (row, m) in rows {
+            rel.push_row(&row, m)?;
+        }
+        Ok(rel)
+    }
+
+    /// Create a *complete* relation (Section 2): one row for every point of
+    /// the cross product of the schema variables' domains, with the measure
+    /// given by `measure_fn` applied to the row.
+    ///
+    /// Complete relations are required in principle for probability
+    /// functions, and the paper's synthetic star/linear/multistar experiment
+    /// schemas are all complete.
+    pub fn complete(
+        name: impl Into<String>,
+        schema: Schema,
+        catalog: &Catalog,
+        mut measure_fn: impl FnMut(&[Value]) -> f64,
+    ) -> Self {
+        let arity = schema.arity();
+        let domains: Vec<u64> = schema.iter().map(|v| catalog.domain_size(v)).collect();
+        let total: u64 = domains.iter().product();
+        let mut rel = Self::new(name, schema);
+        rel.values.reserve(total as usize * arity);
+        rel.measures.reserve(total as usize);
+        let mut row = vec![0u32; arity];
+        for _ in 0..total {
+            rel.values.extend_from_slice(&row);
+            rel.measures.push(measure_fn(&row));
+            // Odometer increment.
+            for i in (0..arity).rev() {
+                row[i] += 1;
+                if (row[i] as u64) < domains[i] {
+                    break;
+                }
+                row[i] = 0;
+            }
+        }
+        rel
+    }
+
+    /// Append a row.
+    ///
+    /// # Errors
+    /// [`StorageError::ArityMismatch`] if `row.len() != arity()`.
+    pub fn push_row(&mut self, row: &[Value], measure: f64) -> Result<()> {
+        if row.len() != self.schema.arity() {
+            return Err(StorageError::ArityMismatch {
+                expected: self.schema.arity(),
+                got: row.len(),
+            });
+        }
+        self.values.extend_from_slice(row);
+        self.measures.push(measure);
+        Ok(())
+    }
+
+    /// The relation's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Rename the relation (consuming builder style).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// The relation's variable schema (`Var(s)`).
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows (the relation's cardinality).
+    pub fn len(&self) -> usize {
+        self.measures.len()
+    }
+
+    /// Whether the relation has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.measures.is_empty()
+    }
+
+    /// Number of variable columns.
+    pub fn arity(&self) -> usize {
+        self.schema.arity()
+    }
+
+    /// The `i`th row's variable values.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[Value] {
+        let a = self.schema.arity();
+        &self.values[i * a..(i + 1) * a]
+    }
+
+    /// The `i`th row's measure.
+    #[inline]
+    pub fn measure(&self, i: usize) -> f64 {
+        self.measures[i]
+    }
+
+    /// All measures.
+    pub fn measures(&self) -> &[f64] {
+        &self.measures
+    }
+
+    /// Overwrite the `i`th row's measure (used by aggregation operators to
+    /// fold into an accumulator row in place).
+    #[inline]
+    pub fn set_measure(&mut self, i: usize, m: f64) {
+        self.measures[i] = m;
+    }
+
+    /// Iterate `(row, measure)` pairs.
+    pub fn rows(&self) -> impl Iterator<Item = (&[Value], f64)> + '_ {
+        (0..self.len()).map(|i| (self.row(i), self.measures[i]))
+    }
+
+    /// Value of variable `var` in row `i`.
+    pub fn value(&self, i: usize, var: VarId) -> Result<Value> {
+        Ok(self.row(i)[self.schema.position(var)?])
+    }
+
+    /// Verify the functional dependency `A1..Am -> f` (Definition 1): no two
+    /// rows may share variable values. (Two rows with equal values and equal
+    /// measures are still duplicates and rejected — a functional relation is
+    /// a set.)
+    pub fn validate_fd(&self) -> Result<()> {
+        let mut seen: HashMap<Key, usize> = HashMap::with_capacity(self.len());
+        for i in 0..self.len() {
+            let k = Key::of_row(self.row(i));
+            if let Some(&first) = seen.get(&k) {
+                return Err(StorageError::FdViolation {
+                    first_row: first,
+                    second_row: i,
+                });
+            }
+            seen.insert(k, i);
+        }
+        Ok(())
+    }
+
+    /// Verify every value is within its variable's catalog domain.
+    pub fn validate_domains(&self, catalog: &Catalog) -> Result<()> {
+        let domains: Vec<u64> = self.schema.iter().map(|v| catalog.domain_size(v)).collect();
+        let vars: Vec<VarId> = self.schema.iter().collect();
+        for i in 0..self.len() {
+            for (c, &v) in self.row(i).iter().enumerate() {
+                if (v as u64) >= domains[c] {
+                    return Err(StorageError::ValueOutOfDomain {
+                        var: vars[c],
+                        value: v,
+                        domain: domains[c],
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the relation is complete: it holds exactly one row per point
+    /// of its variables' domain cross product.
+    pub fn is_complete(&self, catalog: &Catalog) -> bool {
+        let total = catalog.domain_product(self.schema.iter());
+        self.len() as u64 == total && self.validate_fd().is_ok()
+    }
+
+    /// Build a hash index from key columns to row indices. `positions` are
+    /// column positions (see [`Schema::positions`]).
+    pub fn build_index(&self, positions: &[usize]) -> HashMap<Key, Vec<u32>> {
+        let mut index: HashMap<Key, Vec<u32>> = HashMap::with_capacity(self.len());
+        for i in 0..self.len() {
+            index
+                .entry(Key::extract(self.row(i), positions))
+                .or_default()
+                .push(i as u32);
+        }
+        index
+    }
+
+    /// Look up the measure of an exact variable-value row (linear in the
+    /// relation size; intended for tests and small relations).
+    pub fn lookup(&self, row: &[Value]) -> Option<f64> {
+        (0..self.len()).find_map(|i| (self.row(i) == row).then(|| self.measures[i]))
+    }
+
+    /// Bytes per row (values + measure) for the simulated-IO accounting.
+    pub fn row_bytes(&self) -> u64 {
+        (self.schema.arity() * std::mem::size_of::<Value>() + std::mem::size_of::<f64>()) as u64
+    }
+
+    /// Number of pages this relation would occupy on disk; the unit of the
+    /// IO cost model.
+    pub fn estimated_pages(&self) -> u64 {
+        (self.len() as u64 * self.row_bytes()).div_ceil(PAGE_BYTES).max(1)
+    }
+
+    /// A canonical copy with rows sorted lexicographically by variable
+    /// values. Two functional relations over the same schema are equal as
+    /// functions iff their canonicalized row/measure sequences match.
+    pub fn canonicalized(&self) -> Self {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.sort_by(|&a, &b| self.row(a).cmp(self.row(b)));
+        let mut out = Self::new(self.name.clone(), self.schema.clone());
+        out.values.reserve(self.values.len());
+        out.measures.reserve(self.measures.len());
+        for i in order {
+            out.values.extend_from_slice(self.row(i));
+            out.measures.push(self.measures[i]);
+        }
+        out
+    }
+
+    /// A copy without rows whose measure is the semiring's additive
+    /// identity. Under the MPF semantics a missing row *is* the additive
+    /// identity, so explicit-zero rows (which arise e.g. when a calibrated
+    /// table is scaled by an empty component's total) and absent rows
+    /// represent the same function.
+    pub fn without_zeros(&self, sr: mpf_semiring::SemiringKind) -> Self {
+        let zero = sr.zero();
+        let mut out = Self::new(self.name.clone(), self.schema.clone());
+        for (row, m) in self.rows() {
+            if m != zero {
+                out.push_row(row, m).expect("same schema");
+            }
+        }
+        out
+    }
+
+    /// [`FunctionalRelation::function_eq`] modulo explicit additive-zero
+    /// rows: the semantically-correct equality for MPF results.
+    pub fn function_eq_in(&self, other: &FunctionalRelation, sr: mpf_semiring::SemiringKind) -> bool {
+        self.without_zeros(sr).function_eq(&other.without_zeros(sr))
+    }
+
+    /// Compare two relations as *functions*: same variable set, and the same
+    /// measure for every point of the domain, up to floating-point tolerance
+    /// and column/row order. Rows whose measure is `zero` are *not* treated
+    /// specially — both sides must materialize the same support.
+    pub fn function_eq(&self, other: &FunctionalRelation) -> bool {
+        if self.len() != other.len() {
+            return false;
+        }
+        let self_set: std::collections::BTreeSet<VarId> = self.schema.iter().collect();
+        let other_set: std::collections::BTreeSet<VarId> = other.schema.iter().collect();
+        if self_set != other_set {
+            return false;
+        }
+        // Reorder other's columns to match ours, then compare canonical forms.
+        let perm: Vec<usize> = match self
+            .schema
+            .iter()
+            .map(|v| other.schema.position(v))
+            .collect::<Result<Vec<_>>>()
+        {
+            Ok(p) => p,
+            Err(_) => return false,
+        };
+        let a = self.canonicalized();
+        let mut permuted = Self::new("", self.schema.clone());
+        for (row, m) in other.rows() {
+            let reordered: Vec<Value> = perm.iter().map(|&i| row[i]).collect();
+            permuted.values.extend_from_slice(&reordered);
+            permuted.measures.push(m);
+        }
+        let b = permuted.canonicalized();
+        (0..a.len()).all(|i| a.row(i) == b.row(i) && approx_eq(a.measure(i), b.measure(i)))
+    }
+}
+
+impl FunctionalRelation {
+    /// Render as an ASCII table with variable names resolved through a
+    /// catalog (the `Display` impl falls back to raw variable ids).
+    pub fn to_table_string(&self, catalog: &Catalog) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "{} ({} rows)", self.name, self.len());
+        let header: Vec<&str> = self.schema.iter().map(|v| catalog.name(v)).collect();
+        let _ = writeln!(out, "  {} | f", header.join(" "));
+        for i in 0..self.len().min(20) {
+            let row: Vec<String> = self.row(i).iter().map(|v| v.to_string()).collect();
+            let _ = writeln!(out, "  {} | {}", row.join(" "), self.measures[i]);
+        }
+        if self.len() > 20 {
+            let _ = writeln!(out, "  ... ({} more rows)", self.len() - 20);
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for FunctionalRelation {
+    /// Render as a small ASCII table (intended for examples and docs; large
+    /// relations are truncated to 20 rows).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{} ({} rows)", self.name, self.len())?;
+        let header: Vec<String> = self.schema.iter().map(|v| format!("{v}")).collect();
+        writeln!(f, "  {} | f", header.join(" "))?;
+        for i in 0..self.len().min(20) {
+            let row: Vec<String> = self.row(i).iter().map(|v| v.to_string()).collect();
+            writeln!(f, "  {} | {}", row.join(" "), self.measures[i])?;
+        }
+        if self.len() > 20 {
+            writeln!(f, "  ... ({} more rows)", self.len() - 20)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog3() -> (Catalog, VarId, VarId, VarId) {
+        let mut c = Catalog::new();
+        let a = c.add_var("a", 2).unwrap();
+        let b = c.add_var("b", 3).unwrap();
+        let d = c.add_var("d", 2).unwrap();
+        (c, a, b, d)
+    }
+
+    #[test]
+    fn push_and_access() {
+        let (_, a, b, _) = catalog3();
+        let schema = Schema::new(vec![a, b]).unwrap();
+        let mut r = FunctionalRelation::new("r", schema);
+        r.push_row(&[0, 1], 2.5).unwrap();
+        r.push_row(&[1, 2], 3.5).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.row(1), &[1, 2]);
+        assert_eq!(r.measure(0), 2.5);
+        assert_eq!(r.value(1, b).unwrap(), 2);
+        assert!(r.push_row(&[1], 0.0).is_err());
+    }
+
+    #[test]
+    fn fd_validation() {
+        let (_, a, b, _) = catalog3();
+        let schema = Schema::new(vec![a, b]).unwrap();
+        let mut r = FunctionalRelation::new("r", schema);
+        r.push_row(&[0, 1], 2.5).unwrap();
+        r.push_row(&[0, 1], 9.0).unwrap();
+        assert!(matches!(
+            r.validate_fd(),
+            Err(StorageError::FdViolation {
+                first_row: 0,
+                second_row: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn complete_relation() {
+        let (c, a, b, _) = catalog3();
+        let schema = Schema::new(vec![a, b]).unwrap();
+        let r = FunctionalRelation::complete("r", schema, &c, |row| (row[0] * 10 + row[1]) as f64);
+        assert_eq!(r.len(), 6);
+        assert!(r.is_complete(&c));
+        assert_eq!(r.lookup(&[1, 2]), Some(12.0));
+        assert_eq!(r.lookup(&[0, 0]), Some(0.0));
+        r.validate_fd().unwrap();
+        r.validate_domains(&c).unwrap();
+    }
+
+    #[test]
+    fn domain_validation() {
+        let (c, a, b, _) = catalog3();
+        let schema = Schema::new(vec![a, b]).unwrap();
+        let mut r = FunctionalRelation::new("r", schema);
+        r.push_row(&[0, 5], 1.0).unwrap();
+        assert!(matches!(
+            r.validate_domains(&c),
+            Err(StorageError::ValueOutOfDomain { .. })
+        ));
+    }
+
+    #[test]
+    fn function_equality_ignores_order() {
+        let (_, a, b, _) = catalog3();
+        let s1 = Schema::new(vec![a, b]).unwrap();
+        let s2 = Schema::new(vec![b, a]).unwrap();
+        let r1 =
+            FunctionalRelation::from_rows("x", s1, [(vec![0, 1], 2.0), (vec![1, 2], 3.0)]).unwrap();
+        let r2 =
+            FunctionalRelation::from_rows("y", s2, [(vec![2, 1], 3.0), (vec![1, 0], 2.0)]).unwrap();
+        assert!(r1.function_eq(&r2));
+        let r3 =
+            FunctionalRelation::from_rows("z", r1.schema().clone(), [(vec![0, 1], 2.0)]).unwrap();
+        assert!(!r1.function_eq(&r3));
+    }
+
+    #[test]
+    fn index_groups_rows() {
+        let (_, a, b, _) = catalog3();
+        let schema = Schema::new(vec![a, b]).unwrap();
+        let r = FunctionalRelation::from_rows(
+            "r",
+            schema,
+            [(vec![0, 1], 1.0), (vec![0, 2], 2.0), (vec![1, 1], 3.0)],
+        )
+        .unwrap();
+        let idx = r.build_index(&[0]);
+        assert_eq!(idx[&Key::P1(0)], vec![0, 1]);
+        assert_eq!(idx[&Key::P1(1)], vec![2]);
+    }
+
+    #[test]
+    fn pages_estimate() {
+        let (_, a, b, _) = catalog3();
+        let schema = Schema::new(vec![a, b]).unwrap();
+        let mut r = FunctionalRelation::new("r", schema);
+        assert_eq!(r.estimated_pages(), 1);
+        for i in 0..10_000 {
+            r.push_row(&[i % 2, i % 3], 1.0).unwrap();
+        }
+        // 16 bytes/row * 10k rows = 160_000 bytes -> 20 pages.
+        assert_eq!(r.row_bytes(), 16);
+        assert_eq!(r.estimated_pages(), 20);
+    }
+}

@@ -1,0 +1,173 @@
+use crate::{Result, StorageError, VarId};
+
+/// An ordered, duplicate-free set of variables — the non-measure attributes
+/// of a functional relation (`Var(s)` in the paper's notation).
+///
+/// Order matters for row layout; set operations (`union`, `intersect`,
+/// `difference`) are provided for the algebra layer, which uses them to
+/// compute product-join output schemas (`Var(s1) ∪ Var(s2)`) and join
+/// conditions (`Var(s1) ∩ Var(s2)`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Schema {
+    vars: Vec<VarId>,
+}
+
+impl Schema {
+    /// Build a schema from an ordered variable list.
+    ///
+    /// # Errors
+    /// Returns [`StorageError::DuplicateVariable`] if a variable repeats.
+    pub fn new(vars: Vec<VarId>) -> Result<Self> {
+        for (i, v) in vars.iter().enumerate() {
+            if vars[..i].contains(v) {
+                return Err(StorageError::DuplicateVariable(format!("{v}")));
+            }
+        }
+        Ok(Self { vars })
+    }
+
+    /// The empty schema (a relation holding a single scalar measure).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// The variables, in row-layout order.
+    pub fn vars(&self) -> &[VarId] {
+        &self.vars
+    }
+
+    /// Number of variables (the relation's arity, excluding the measure).
+    pub fn arity(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Whether the schema has no variables.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Whether `v` is one of the schema's variables.
+    pub fn contains(&self, v: VarId) -> bool {
+        self.vars.contains(&v)
+    }
+
+    /// Column position of `v` in the row layout.
+    pub fn position(&self, v: VarId) -> Result<usize> {
+        self.vars
+            .iter()
+            .position(|&x| x == v)
+            .ok_or(StorageError::VariableNotInSchema(v))
+    }
+
+    /// Column positions of each variable in `vars`, in the given order.
+    pub fn positions(&self, vars: &[VarId]) -> Result<Vec<usize>> {
+        vars.iter().map(|&v| self.position(v)).collect()
+    }
+
+    /// `Var(self) ∪ Var(other)`, keeping `self`'s order then `other`'s new
+    /// variables — the product-join output schema.
+    pub fn union(&self, other: &Schema) -> Schema {
+        let mut vars = self.vars.clone();
+        for &v in &other.vars {
+            if !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+        Schema { vars }
+    }
+
+    /// `Var(self) ∩ Var(other)` in `self`'s order — the implicit product-join
+    /// condition.
+    pub fn intersect(&self, other: &Schema) -> Schema {
+        Schema {
+            vars: self
+                .vars
+                .iter()
+                .copied()
+                .filter(|v| other.contains(*v))
+                .collect(),
+        }
+    }
+
+    /// `Var(self) \ set` in `self`'s order.
+    pub fn difference(&self, set: &[VarId]) -> Schema {
+        Schema {
+            vars: self
+                .vars
+                .iter()
+                .copied()
+                .filter(|v| !set.contains(v))
+                .collect(),
+        }
+    }
+
+    /// Whether every variable of `self` appears in `other`.
+    pub fn is_subset_of(&self, other: &Schema) -> bool {
+        self.vars.iter().all(|&v| other.contains(v))
+    }
+
+    /// Whether the two schemas share at least one variable.
+    pub fn overlaps(&self, other: &Schema) -> bool {
+        self.vars.iter().any(|&v| other.contains(v))
+    }
+
+    /// Iterate over the variables.
+    pub fn iter(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.vars.iter().copied()
+    }
+}
+
+impl FromIterator<VarId> for Schema {
+    /// Build a schema from an iterator, silently dropping duplicates (useful
+    /// when the source is already a set).
+    fn from_iter<T: IntoIterator<Item = VarId>>(iter: T) -> Self {
+        let mut vars = Vec::new();
+        for v in iter {
+            if !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+        Schema { vars }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        assert!(Schema::new(vec![v(1), v(2), v(1)]).is_err());
+        assert!(Schema::new(vec![v(1), v(2)]).is_ok());
+    }
+
+    #[test]
+    fn set_operations() {
+        let a = Schema::new(vec![v(1), v(2), v(3)]).unwrap();
+        let b = Schema::new(vec![v(3), v(4)]).unwrap();
+        assert_eq!(a.union(&b).vars(), &[v(1), v(2), v(3), v(4)]);
+        assert_eq!(a.intersect(&b).vars(), &[v(3)]);
+        assert_eq!(a.difference(&[v(2)]).vars(), &[v(1), v(3)]);
+        assert!(a.overlaps(&b));
+        assert!(!a.is_subset_of(&b));
+        assert!(Schema::new(vec![v(3)]).unwrap().is_subset_of(&b));
+    }
+
+    #[test]
+    fn positions() {
+        let s = Schema::new(vec![v(5), v(9), v(2)]).unwrap();
+        assert_eq!(s.position(v(9)).unwrap(), 1);
+        assert_eq!(s.positions(&[v(2), v(5)]).unwrap(), vec![2, 0]);
+        assert!(s.position(v(7)).is_err());
+    }
+
+    #[test]
+    fn from_iter_dedups() {
+        let s: Schema = [v(1), v(2), v(1), v(3)].into_iter().collect();
+        assert_eq!(s.vars(), &[v(1), v(2), v(3)]);
+    }
+}

@@ -1,0 +1,72 @@
+use std::collections::HashSet;
+
+use crate::{FunctionalRelation, Value};
+
+/// Per-relation statistics, computed by scanning the relation once.
+///
+/// Together with the catalog's domain sizes these are the inputs to the
+/// optimizer's cardinality estimator and to the plan linearity test of
+/// Section 5.1 (which needs `σ̂_X`, the size of the smallest base relation
+/// containing a variable).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationStats {
+    /// Row count.
+    pub cardinality: u64,
+    /// Distinct value count per column, in schema order.
+    pub distinct_per_col: Vec<u64>,
+}
+
+impl RelationStats {
+    /// Compute statistics for a relation.
+    pub fn compute(rel: &FunctionalRelation) -> Self {
+        let arity = rel.arity();
+        let mut seen: Vec<HashSet<Value>> = vec![HashSet::new(); arity];
+        for (row, _) in rel.rows() {
+            for (c, &v) in row.iter().enumerate() {
+                seen[c].insert(v);
+            }
+        }
+        RelationStats {
+            cardinality: rel.len() as u64,
+            distinct_per_col: seen.into_iter().map(|s| s.len() as u64).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Catalog, Schema};
+
+    #[test]
+    fn distinct_counts() {
+        let mut c = Catalog::new();
+        let a = c.add_var("a", 10).unwrap();
+        let b = c.add_var("b", 10).unwrap();
+        let schema = Schema::new(vec![a, b]).unwrap();
+        let r = FunctionalRelation::from_rows(
+            "r",
+            schema,
+            [
+                (vec![0, 5], 1.0),
+                (vec![0, 6], 1.0),
+                (vec![1, 5], 1.0),
+                (vec![2, 5], 1.0),
+            ],
+        )
+        .unwrap();
+        let s = RelationStats::compute(&r);
+        assert_eq!(s.cardinality, 4);
+        assert_eq!(s.distinct_per_col, vec![3, 2]);
+    }
+
+    #[test]
+    fn empty_relation() {
+        let mut c = Catalog::new();
+        let a = c.add_var("a", 10).unwrap();
+        let r = FunctionalRelation::new("r", Schema::new(vec![a]).unwrap());
+        let s = RelationStats::compute(&r);
+        assert_eq!(s.cardinality, 0);
+        assert_eq!(s.distinct_per_col, vec![0]);
+    }
+}

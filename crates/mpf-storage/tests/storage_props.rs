@@ -1,0 +1,99 @@
+//! Property tests for the storage layer: key extraction is injective on
+//! the selected columns, canonicalization is order-insensitive, and
+//! complete relations enumerate exactly the domain cross product.
+
+use mpf_storage::{Catalog, FunctionalRelation, Key, Schema};
+use proptest::prelude::*;
+
+proptest! {
+    /// `Key::extract(row, positions)` equals iff the projected column
+    /// values equal — no packing collisions across arities 0..=6.
+    #[test]
+    fn key_extraction_injective(
+        a in proptest::collection::vec(0u32..1000, 6),
+        b in proptest::collection::vec(0u32..1000, 6),
+        positions in proptest::collection::vec(0usize..6, 0..=6),
+    ) {
+        let mut positions = positions;
+        positions.dedup();
+        let ka = Key::extract(&a, &positions);
+        let kb = Key::extract(&b, &positions);
+        let proj_a: Vec<u32> = positions.iter().map(|&i| a[i]).collect();
+        let proj_b: Vec<u32> = positions.iter().map(|&i| b[i]).collect();
+        prop_assert_eq!(ka == kb, proj_a == proj_b);
+    }
+
+    /// Shuffled row order does not change function equality.
+    #[test]
+    fn canonicalization_is_order_insensitive(
+        rows in proptest::collection::btree_map(
+            proptest::collection::vec(0u32..4, 2),
+            1u32..100,
+            1..12
+        ),
+        rotate in 0usize..12,
+    ) {
+        let mut cat = Catalog::new();
+        let a = cat.add_var("a", 4).unwrap();
+        let b = cat.add_var("b", 4).unwrap();
+        let schema = Schema::new(vec![a, b]).unwrap();
+        let items: Vec<(Vec<u32>, f64)> =
+            rows.into_iter().map(|(r, m)| (r, m as f64)).collect();
+        let r1 = FunctionalRelation::from_rows("r", schema.clone(), items.clone()).unwrap();
+        let mut rotated = items.clone();
+        rotated.rotate_left(rotate % items.len().max(1));
+        let r2 = FunctionalRelation::from_rows("r", schema, rotated).unwrap();
+        prop_assert!(r1.function_eq(&r2));
+    }
+
+    /// Complete relations have exactly one row per domain point, pass FD and
+    /// domain validation, and `lookup` agrees with the generating function.
+    #[test]
+    fn complete_relations_enumerate_domains(
+        d1 in 1u64..5,
+        d2 in 1u64..5,
+        salt in 0u32..100,
+    ) {
+        let mut cat = Catalog::new();
+        let a = cat.add_var("a", d1).unwrap();
+        let b = cat.add_var("b", d2).unwrap();
+        let schema = Schema::new(vec![a, b]).unwrap();
+        let rel = FunctionalRelation::complete("r", schema, &cat, |row| {
+            (row[0] * 7 + row[1] * 3 + salt) as f64
+        });
+        prop_assert_eq!(rel.len() as u64, d1 * d2);
+        prop_assert!(rel.validate_fd().is_ok());
+        prop_assert!(rel.validate_domains(&cat).is_ok());
+        prop_assert!(rel.is_complete(&cat));
+        for x in 0..d1 as u32 {
+            for y in 0..d2 as u32 {
+                prop_assert_eq!(rel.lookup(&[x, y]), Some((x * 7 + y * 3 + salt) as f64));
+            }
+        }
+    }
+
+    /// `without_zeros` under a semiring drops exactly the additive-identity
+    /// rows and `function_eq_in` treats them as absent.
+    #[test]
+    fn zero_normalization(keep in proptest::collection::vec(any::<bool>(), 4)) {
+        use mpf_semiring::SemiringKind;
+        let mut cat = Catalog::new();
+        let a = cat.add_var("a", 4).unwrap();
+        let schema = Schema::new(vec![a]).unwrap();
+        let mut with_zeros = FunctionalRelation::new("z", schema.clone());
+        let mut without = FunctionalRelation::new("w", schema);
+        for (i, &k) in keep.iter().enumerate() {
+            let m = if k { (i + 1) as f64 } else { 0.0 };
+            with_zeros.push_row(&[i as u32], m).unwrap();
+            if k {
+                without.push_row(&[i as u32], m).unwrap();
+            }
+        }
+        let sr = SemiringKind::SumProduct;
+        prop_assert_eq!(
+            with_zeros.without_zeros(sr).len(),
+            keep.iter().filter(|&&k| k).count()
+        );
+        prop_assert!(with_zeros.function_eq_in(&without, sr));
+    }
+}

@@ -1,0 +1,106 @@
+//! Quickstart: define functional relations, create an MPF view, and run
+//! the three optimizable query forms of the paper under several evaluation
+//! strategies.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use mpf::engine::{Database, Query, SqlOutcome, Strategy};
+use mpf::optimizer::Heuristic;
+use mpf::semiring::{Aggregate, Combine};
+use mpf::storage::{FunctionalRelation, Schema};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut db = Database::new();
+
+    // A toy three-hop network: cost(a, b), cost(b, c) with multiplicative
+    // edge factors — the function over (a, b, c) is their product join.
+    let a = db.add_var("a", 3)?;
+    let b = db.add_var("b", 3)?;
+    let c = db.add_var("c", 3)?;
+
+    db.insert_relation(FunctionalRelation::complete(
+        "hop1",
+        Schema::new(vec![a, b])?,
+        db.catalog(),
+        |row| 1.0 + (row[0] * 3 + row[1]) as f64 / 4.0,
+    ))?;
+    db.insert_relation(FunctionalRelation::complete(
+        "hop2",
+        Schema::new(vec![b, c])?,
+        db.catalog(),
+        |row| 0.5 + (row[0] + 2 * row[1]) as f64 / 3.0,
+    ))?;
+
+    // The paper's SQL extension, verbatim.
+    db.run_sql(
+        "create mpfview path as (select a, b, c, \
+         measure = (* h1.f, h2.f) from hop1 h1, hop2 h2 where h1.b = h2.b)",
+    )?;
+
+    println!("== Basic MPF query: total path weight per destination ==");
+    let ans = db.query(&Query::on("path").group_by(["c"]))?;
+    println!("{}", ans.relation);
+
+    println!("== Same query, every strategy, same answer ==");
+    for strategy in [
+        Strategy::Naive,
+        Strategy::Cs,
+        Strategy::CsPlusLinear,
+        Strategy::CsPlusNonlinear,
+        Strategy::Ve(Heuristic::Degree),
+        Strategy::VePlus(Heuristic::Width),
+    ] {
+        let r = db.query(&Query::on("path").group_by(["c"]).strategy(strategy))?;
+        assert!(ans.relation.function_eq(&r.relation));
+        println!(
+            "  {strategy:?}: est cost {:.1}, {} rows processed, optimized in {:?}",
+            r.est_cost, r.stats.rows_processed, r.optimize_time
+        );
+    }
+
+    println!();
+    println!("== Restricted answer: weight of destination c = 2 only ==");
+    let ans = db.query(&Query::on("path").group_by(["c"]).filter("c", 2))?;
+    println!("{}", ans.relation);
+
+    println!("== Constrained domain: per-destination weight given a = 0 ==");
+    let out = db.run_sql("select c, sum(f) from path where a = 0 group by c using ve(degree)")?;
+    if let SqlOutcome::Answer(ans) = out {
+        println!("{}", ans.relation);
+    }
+
+    println!("== MIN aggregate over the same view (min-product semiring) ==");
+    let ans = db.query(
+        &Query::on("path")
+            .group_by(["c"])
+            .aggregate(Aggregate::Min),
+    )?;
+    println!("{}", ans.relation);
+
+    println!("== EXPLAIN ==");
+    println!(
+        "{}",
+        db.explain(&Query::on("path").group_by(["c"]).strategy(Strategy::CsPlusLinear))?
+    );
+
+    // Combine::Sum views pair with MIN/MAX (tropical semirings).
+    let mut db2 = Database::new();
+    let x = db2.add_var("x", 2)?;
+    let y = db2.add_var("y", 2)?;
+    db2.insert_relation(FunctionalRelation::complete(
+        "e1",
+        Schema::new(vec![x, y])?,
+        db2.catalog(),
+        |row| (row[0] + 2 * row[1]) as f64,
+    ))?;
+    db2.create_view("shortest", &["e1"], Combine::Sum)?;
+    let ans = db2.query(
+        &Query::on("shortest")
+            .group_by(["y"])
+            .aggregate(Aggregate::Min),
+    )?;
+    println!("== Tropical (min-sum) view ==");
+    println!("{}", ans.relation);
+
+    Ok(())
+}

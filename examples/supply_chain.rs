@@ -1,0 +1,124 @@
+//! The paper's Section 3 decision-support scenario on the supply-chain
+//! schema (Figure 1 / Table 1, at laptop scale): total investment per
+//! supply chain is the `invest` MPF view, and the business questions are
+//! MPF queries.
+//!
+//! Run with: `cargo run --release --example supply_chain`
+
+use mpf::datagen::{SupplyChain, SupplyChainConfig};
+use mpf::engine::{Database, Override, Query, RangePredicate, Strategy};
+use mpf::semiring::{Aggregate, Combine};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Table 1 at 1% scale: pid 1000, sid 100, wid 50, cid 10, tid 5;
+    // location has 10 K rows.
+    let sc = SupplyChain::generate(SupplyChainConfig::at_scale(0.01));
+    let mut db = Database::from_parts(sc.catalog.clone(), sc.store.clone());
+    db.run_sql(
+        "create mpfview invest as (select pid, sid, wid, cid, tid, \
+         measure = (* c.price, l.quantity, w.overhead, ct.discount, t.overhead) \
+         from contracts c, location l, warehouses w, ctdeals ct, transporters t \
+         where c.pid = l.pid and l.wid = w.wid and w.cid = ct.cid and ct.tid = t.tid)",
+    )?;
+
+    println!("== What is the minimum investment on each part? (first 5) ==");
+    // select pid, min(inv) from invest group by pid
+    let ans = db.query(
+        &Query::on("invest")
+            .group_by(["pid"])
+            .aggregate(Aggregate::Min),
+    )?;
+    for i in 0..5.min(ans.relation.len()) {
+        println!(
+            "  part {} -> minimum investment {:.2}",
+            ans.relation.row(i)[0],
+            ans.relation.measure(i)
+        );
+    }
+
+    println!();
+    println!("== How much would it cost for warehouse 1 to go off-line? ==");
+    // select wid, sum(inv) from invest where wid=1 group by wid
+    let ans = db.query(&Query::on("invest").group_by(["wid"]).filter("wid", 1))?;
+    println!("  warehouse 1 carries {:.2}", ans.relation.measure(0));
+
+    println!();
+    println!("== How much money would each contractor lose if transporter 1 went off-line? ==");
+    // select cid, sum(inv) from invest where tid=1 group by cid
+    let ans = db.query(&Query::on("invest").group_by(["cid"]).filter("tid", 1))?;
+    for (row, m) in ans.relation.rows().take(5) {
+        println!("  contractor {} -> {:.2}", row[0], m);
+    }
+
+    println!();
+    println!("== Constrained range: warehouses carrying more than 5M (having) ==");
+    let ans = db.query(
+        &Query::on("invest")
+            .group_by(["wid"])
+            .having(RangePredicate::Greater, 5_000_000.0),
+    )?;
+    println!("  {} of 50 warehouses exceed the threshold", ans.relation.len());
+
+    println!();
+    println!("== Hypothetical (alternate measure): what if part 0's price doubled? ==");
+    let part0_price = db.relation("contracts").unwrap().measure(0);
+    let row0: Vec<u32> = db.relation("contracts").unwrap().row(0).to_vec();
+    let base = db.query(&Query::on("invest").group_by(["pid"]).filter("pid", 0))?;
+    let hyp = db.query_hypothetical(
+        &Query::on("invest").group_by(["pid"]).filter("pid", 0),
+        &[Override::Measure {
+            relation: "contracts".into(),
+            row: row0,
+            measure: part0_price * 2.0,
+        }],
+    )?;
+    println!(
+        "  part 0 investment: {:.2} -> {:.2}",
+        base.relation.measure(0),
+        hyp.relation.measure(0)
+    );
+
+    println!();
+    println!("== Hypothetical (alternate domain): transfer all deals from transporter 1 to 2 ==");
+    let q = Query::on("invest").group_by(["tid"]).filter("tid", 2);
+    let base = db.query(&q)?;
+    let hyp = db.query_hypothetical(
+        &q,
+        &[Override::Domain {
+            relation: "ctdeals".into(),
+            var: "tid".into(),
+            from: 1,
+            to: 2,
+        }],
+    )?;
+    println!(
+        "  transporter 2 volume: {:.2} -> {:.2}",
+        base.relation.measure(0),
+        hyp.relation.measure(0)
+    );
+
+    println!();
+    println!("== Plan linearity test (Section 5.1) ==");
+    for var in ["cid", "tid"] {
+        let t = db.linearity("invest", var)?;
+        println!(
+            "  {var}: sigma = {}, sigma_hat = {} -> linear admissible: {}",
+            t.sigma, t.sigma_hat, t.linear_admissible
+        );
+    }
+
+    println!();
+    println!("== EXPLAIN of Q1 under nonlinear CS+ ==");
+    println!(
+        "{}",
+        db.explain(
+            &Query::on("invest")
+                .group_by(["wid"])
+                .strategy(Strategy::CsPlusNonlinear)
+        )?
+    );
+
+    // The view combine op is Product; verify the view resolves semirings.
+    assert_eq!(db.view("invest")?.combine, Combine::Product);
+    Ok(())
+}

@@ -1,0 +1,75 @@
+#![warn(missing_docs)]
+//! # mpf — Optimizing MPF Queries
+//!
+//! A from-scratch Rust reproduction of *"Optimizing MPF Queries: Decision
+//! Support and Probabilistic Inference"* (Corrada Bravo & Ramakrishnan,
+//! SIGMOD 2007).
+//!
+//! **MPF (Marginalize a Product Function) queries** are aggregate queries
+//! over *functional relations* — relations whose measure attribute is
+//! functionally determined by the rest. An MPF view is a product join of
+//! functional relations; an MPF query marginalizes its measure onto a set
+//! of query variables with an aggregate that distributes over the join's
+//! combine operation (a commutative semiring). Probabilistic inference on
+//! Bayesian networks is the special case where measures are probabilities
+//! and the semiring is sum-product.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`semiring`] — commutative semirings (sum-product, tropical, Boolean, ...);
+//! * [`storage`] — functional relations, catalog, statistics;
+//! * [`algebra`] — product join, marginalization, semijoins, executor;
+//! * [`optimizer`] — CS, CS+, nonlinear CS+, VE, VE+ and the plan-linearity
+//!   test;
+//! * [`infer`] — junction trees, belief propagation, VE-cache workload
+//!   optimization, Bayesian networks;
+//! * [`engine`] — the [`Database`](engine::Database) facade and the paper's
+//!   SQL extension;
+//! * [`datagen`] — the paper's experimental workload generators.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mpf::engine::{Database, Query, SqlOutcome};
+//! use mpf::semiring::Combine;
+//! use mpf::storage::{FunctionalRelation, Schema};
+//!
+//! let mut db = Database::new();
+//! let a = db.add_var("a", 2).unwrap();
+//! let b = db.add_var("b", 2).unwrap();
+//! db.insert_relation(FunctionalRelation::from_rows(
+//!     "r1",
+//!     Schema::new(vec![a, b]).unwrap(),
+//!     [(vec![0, 0], 1.0), (vec![0, 1], 2.0), (vec![1, 0], 3.0), (vec![1, 1], 4.0)],
+//! ).unwrap()).unwrap();
+//! db.create_view("v", &["r1"], Combine::Product).unwrap();
+//!
+//! let ans = db.query(&Query::on("v").group_by(["a"])).unwrap();
+//! assert_eq!(ans.relation.lookup(&[0]), Some(3.0));
+//!
+//! // Or via the paper's SQL extension:
+//! let out = db.run_sql("select b, sum(f) from v group by b").unwrap();
+//! assert!(matches!(out, SqlOutcome::Answer(_)));
+//! ```
+
+/// Commutative semirings (re-export of `mpf-semiring`).
+pub use mpf_semiring as semiring;
+
+/// Functional-relation storage (re-export of `mpf-storage`).
+pub use mpf_storage as storage;
+
+/// Extended relational algebra and executor (re-export of `mpf-algebra`).
+pub use mpf_algebra as algebra;
+
+/// Query optimizers (re-export of `mpf-optimizer`).
+pub use mpf_optimizer as optimizer;
+
+/// Workload optimization and probabilistic inference (re-export of
+/// `mpf-infer`).
+pub use mpf_infer as infer;
+
+/// Database facade and SQL extension (re-export of `mpf-engine`).
+pub use mpf_engine as engine;
+
+/// Experiment workload generators (re-export of `mpf-datagen`).
+pub use mpf_datagen as datagen;

@@ -1,0 +1,219 @@
+//! End-to-end integration: probabilistic inference (Section 4) and
+//! workload optimization (Section 6) against brute-force oracles.
+
+use mpf::algebra::ops;
+use mpf::infer::{acyclic, bp, triangulate, BayesNet, JunctionTree, VariableGraph, VeCache};
+use mpf::optimizer::{Algorithm, Heuristic};
+use mpf::semiring::{approx_eq, SemiringKind};
+use mpf::storage::FunctionalRelation;
+
+/// Posterior via optimized MPF query == posterior via enumeration, across
+/// random networks, targets, and algorithms.
+#[test]
+fn random_networks_posteriors_match_enumeration() {
+    for seed in 0..6 {
+        let bn = BayesNet::random(7, 2, 2, seed);
+        let joint = bn.joint().unwrap();
+        let sr = SemiringKind::SumProduct;
+        let nodes = bn.nodes().to_vec();
+        let target = nodes[(seed as usize) % nodes.len()];
+        let evidence_var = nodes[(seed as usize + 3) % nodes.len()];
+        if evidence_var == target {
+            continue;
+        }
+
+        // Oracle.
+        let cond = ops::select_eq(&joint, &[(evidence_var, 1)]).unwrap();
+        let marg = ops::group_by(sr, &cond, &[target]).unwrap();
+        let z: f64 = marg.measures().iter().sum();
+        let want: Vec<f64> = (0..2)
+            .map(|v| marg.lookup(&[v]).unwrap_or(0.0) / z)
+            .collect();
+
+        for algo in [
+            Algorithm::Cs,
+            Algorithm::CsPlusLinear,
+            Algorithm::CsPlusNonlinear,
+            Algorithm::Ve(Heuristic::Degree),
+            Algorithm::Ve(Heuristic::Width),
+            Algorithm::VePlus(Heuristic::ElimCost),
+            Algorithm::Ve(Heuristic::Random(seed)),
+        ] {
+            let got = bn.posterior(target, &[(evidence_var, 1)], algo).unwrap();
+            for v in 0..2 {
+                assert!(
+                    approx_eq(got[v], want[v]),
+                    "seed {seed} {}: Pr={got:?} want {want:?}",
+                    algo.label()
+                );
+            }
+        }
+    }
+}
+
+/// VE-cache over a Bayesian network answers every marginal exactly, and the
+/// junction-tree path (BP over populated cliques) agrees.
+#[test]
+fn cache_and_junction_tree_agree_on_marginals() {
+    for seed in [1, 5, 9] {
+        let bn = BayesNet::random(6, 2, 2, seed);
+        let sr = SemiringKind::SumProduct;
+        let cpts: Vec<&FunctionalRelation> = bn.cpts().iter().collect();
+        let joint = bn.joint().unwrap();
+
+        // Path 1: VE-cache (Algorithm 3).
+        let cache = VeCache::build(sr, &cpts, None).unwrap();
+
+        // Path 2: Junction tree (Algorithm 5) + BP calibration.
+        let schemas: Vec<_> = cpts.iter().map(|r| r.schema().clone()).collect();
+        let jt = JunctionTree::from_schemas(&schemas, None).unwrap();
+        let mut tables = jt.populate(sr, &cpts, bn.catalog()).unwrap();
+        bp::calibrate(sr, &mut tables, &jt.tree).unwrap();
+
+        for &node in bn.nodes() {
+            let want = ops::group_by(sr, &joint, &[node]).unwrap();
+            let from_cache = cache.answer(node).unwrap();
+            assert!(want.function_eq(&from_cache), "cache wrong (seed {seed})");
+
+            let table = tables
+                .iter()
+                .find(|t| t.schema().contains(node))
+                .expect("every variable is in some clique");
+            let from_jt = ops::group_by(sr, table, &[node]).unwrap();
+            assert!(want.function_eq(&from_jt), "junction tree wrong (seed {seed})");
+        }
+    }
+}
+
+/// The paper's Figure 12–15 pipeline: a cyclic schema is rejected by BP,
+/// fixed by triangulation, and the junction tree supports exact marginals.
+#[test]
+fn cyclic_schema_junction_tree_pipeline() {
+    let mut cat = mpf::storage::Catalog::new();
+    let pid = cat.add_var("pid", 2).unwrap();
+    let sid = cat.add_var("sid", 2).unwrap();
+    let wid = cat.add_var("wid", 2).unwrap();
+    let cid = cat.add_var("cid", 2).unwrap();
+    let tid = cat.add_var("tid", 2).unwrap();
+    let mk = |name: &str, vars: Vec<mpf::storage::VarId>, salt: u32| {
+        FunctionalRelation::complete(
+            name,
+            mpf::storage::Schema::new(vars).unwrap(),
+            &cat,
+            move |row| ((row.iter().sum::<u32>() + salt) % 3 + 1) as f64 / 2.0,
+        )
+    };
+    let rels = [mk("contracts", vec![pid, sid], 0),
+        mk("warehouses", vec![wid, cid], 1),
+        mk("transporters", vec![tid], 2),
+        mk("location", vec![pid, wid], 3),
+        mk("ctdeals", vec![cid, tid], 4),
+        mk("stdeals", vec![sid, tid], 5)];
+    let refs: Vec<&FunctionalRelation> = rels.iter().collect();
+    let schemas: Vec<_> = rels.iter().map(|r| r.schema().clone()).collect();
+
+    // Cyclic: GYO does not reduce, the variable graph is not chordal, and
+    // plain BP refuses.
+    assert!(!acyclic::is_acyclic(schemas.iter()));
+    let graph = VariableGraph::from_schemas(schemas.iter());
+    assert!(!graph.is_chordal());
+    assert!(bp::bp_acyclic(SemiringKind::SumProduct, &refs).is_err());
+
+    // Junction tree fixes it: triangulate (Figure 14), build cliques
+    // (Figure 15), populate, calibrate — and marginals are exact.
+    let tri = triangulate::triangulate(&graph, &[tid, sid]);
+    assert!(tri.filled.is_chordal());
+    let jt = JunctionTree::from_schemas(&schemas, Some(&[tid, sid])).unwrap();
+    assert_eq!(jt.cliques.len(), 3);
+    let sr = SemiringKind::SumProduct;
+    let mut tables = jt.populate(sr, &refs, &cat).unwrap();
+    bp::calibrate(sr, &mut tables, &jt.tree).unwrap();
+
+    let mut view = rels[0].clone();
+    for r in &rels[1..] {
+        view = ops::product_join(sr, &view, r).unwrap();
+    }
+    for v in [pid, sid, wid, cid, tid] {
+        let want = ops::group_by(sr, &view, &[v]).unwrap();
+        let table = tables.iter().find(|t| t.schema().contains(v)).unwrap();
+        let got = ops::group_by(sr, table, &[v]).unwrap();
+        assert!(want.function_eq(&got), "marginal diverged for {v}");
+    }
+
+    // VE-cache handles the cyclic schema transparently (it implements the
+    // same triangulation, Theorem 10).
+    let cache = VeCache::build(sr, &refs, None).unwrap();
+    for v in [pid, sid, wid, cid, tid] {
+        let want = ops::group_by(sr, &view, &[v]).unwrap();
+        assert!(want.function_eq(&cache.answer(v).unwrap()));
+    }
+}
+
+/// Log-space inference end-to-end: posteriors computed with log-measure
+/// CPTs in the `LogSumProduct` semiring match linear-space inference after
+/// exponentiation — numerical-stability path for deep networks.
+#[test]
+fn log_space_inference_matches_linear_space() {
+    let bn = BayesNet::random(8, 2, 2, 17);
+    let sr_lin = SemiringKind::SumProduct;
+    let sr_log = SemiringKind::LogSumProduct;
+    let target = *bn.nodes().last().unwrap();
+
+    // Log-transform every CPT measure (0 probability -> -inf = log zero).
+    let log_cpts: Vec<FunctionalRelation> = bn
+        .cpts()
+        .iter()
+        .map(|cpt| {
+            let mut out = FunctionalRelation::new(cpt.name().to_string(), cpt.schema().clone());
+            for (row, m) in cpt.rows() {
+                out.push_row(row, m.ln()).unwrap();
+            }
+            out
+        })
+        .collect();
+
+    let lin_joint = bn.joint().unwrap();
+    let want = ops::group_by(sr_lin, &lin_joint, &[target]).unwrap();
+
+    let mut log_joint = log_cpts[0].clone();
+    for cpt in &log_cpts[1..] {
+        log_joint = ops::product_join(sr_log, &log_joint, cpt).unwrap();
+    }
+    let got_log = ops::group_by(sr_log, &log_joint, &[target]).unwrap();
+    for (row, lm) in got_log.rows() {
+        let linear = want.lookup(row).unwrap();
+        assert!(
+            approx_eq(lm.exp(), linear),
+            "log-space {} vs linear {}",
+            lm.exp(),
+            linear
+        );
+    }
+
+    // The VE-cache machinery also works in log space (division = subtraction).
+    let refs: Vec<&FunctionalRelation> = log_cpts.iter().collect();
+    let cache = VeCache::build(sr_log, &refs, None).unwrap();
+    let marg = cache.answer(target).unwrap();
+    for (row, lm) in marg.rows() {
+        assert!(approx_eq(lm.exp(), want.lookup(row).unwrap()));
+    }
+}
+
+/// Tropical inference end-to-end: most-probable-explanation style queries
+/// via the max-product semiring on CPTs.
+#[test]
+fn max_product_inference() {
+    let bn = BayesNet::sprinkler();
+    let sr = SemiringKind::MaxProduct;
+    let joint = bn.joint().unwrap();
+    let rain = bn.catalog().var("rain").unwrap();
+
+    // max over all other vars of the joint, per rain value.
+    let want = ops::group_by(sr, &joint, &[rain]).unwrap();
+
+    // Same via a VE-cache built in max-product.
+    let cpts: Vec<&FunctionalRelation> = bn.cpts().iter().collect();
+    let cache = VeCache::build(sr, &cpts, None).unwrap();
+    let got = cache.answer(rain).unwrap();
+    assert!(want.function_eq(&got));
+}

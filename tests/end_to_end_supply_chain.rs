@@ -1,0 +1,231 @@
+//! End-to-end integration: the paper's supply-chain scenario through the
+//! full stack (datagen → engine → optimizer → executor → inference cache).
+
+use mpf::datagen::{SupplyChain, SupplyChainConfig};
+use mpf::engine::{Database, Override, Query, RangePredicate, SqlOutcome, Strategy};
+use mpf::optimizer::Heuristic;
+use mpf::semiring::Aggregate;
+
+const VIEW_SQL: &str = "create mpfview invest as (select pid, sid, wid, cid, tid, \
+     measure = (* c.price, l.quantity, w.overhead, ct.discount, t.overhead) \
+     from contracts c, location l, warehouses w, ctdeals ct, transporters t \
+     where c.pid = l.pid and l.wid = w.wid and w.cid = ct.cid and ct.tid = t.tid)";
+
+fn db() -> Database {
+    let sc = SupplyChain::generate(SupplyChainConfig {
+        scale: 0.004,
+        ctdeals_density: 0.7,
+        ..Default::default()
+    });
+    let mut db = Database::from_parts(sc.catalog, sc.store);
+    db.run_sql(VIEW_SQL).unwrap();
+    db
+}
+
+#[test]
+fn every_strategy_agrees_on_every_query_form() {
+    let db = db();
+    let strategies = [
+        Strategy::Naive,
+        Strategy::Cs,
+        Strategy::CsPlusLinear,
+        Strategy::CsPlusNonlinear,
+        Strategy::Ve(Heuristic::Degree),
+        Strategy::Ve(Heuristic::Width),
+        Strategy::Ve(Heuristic::ElimCost),
+        Strategy::Ve(Heuristic::Random(3)),
+        Strategy::VePlus(Heuristic::Degree),
+        Strategy::VePlus(Heuristic::Random(3)),
+        Strategy::Auto,
+    ];
+    let queries = [
+        Query::on("invest").group_by(["wid"]),
+        Query::on("invest").group_by(["pid"]).aggregate(Aggregate::Min),
+        Query::on("invest").group_by(["cid"]).filter("tid", 1),
+        Query::on("invest").group_by(["wid"]).filter("wid", 1),
+        Query::on("invest").group_by(["sid", "tid"]),
+        Query::on("invest").group_by([] as [&str; 0]),
+    ];
+    for q in &queries {
+        let reference = db.query(&q.clone().strategy(Strategy::Naive)).unwrap();
+        for s in strategies {
+            let ans = db.query(&q.clone().strategy(s)).unwrap();
+            assert!(
+                reference.relation.function_eq(&ans.relation),
+                "{s:?} diverged on {q:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn paper_example_queries_run_via_sql() {
+    let mut db = db();
+    // The three Section 3.1 examples, plus strategy clauses.
+    for sql in [
+        "select pid, min(inv) from invest group by pid",
+        "select wid, sum(inv) from invest where wid = 1 group by wid",
+        "select cid, sum(inv) from invest where tid = 1 group by cid using ve(degree)",
+        "select wid, sum(inv) from invest group by wid using csplus_nonlinear",
+        "select tid, sum(inv) from invest group by tid using veplus(width)",
+    ] {
+        match db.run_sql(sql).unwrap() {
+            SqlOutcome::Answer(ans) => assert!(!ans.relation.schema().is_empty()),
+            _ => panic!("expected an answer for {sql}"),
+        }
+    }
+}
+
+#[test]
+fn having_matches_post_filtered_basic_query() {
+    let db = db();
+    let base = db.query(&Query::on("invest").group_by(["wid"])).unwrap();
+    // A bound strictly between min and max guarantees the filter keeps some
+    // rows and drops some rows.
+    let min = base.relation.measures().iter().copied().fold(f64::MAX, f64::min);
+    let max = base.relation.measures().iter().copied().fold(f64::MIN, f64::max);
+    assert!(min < max, "generated measures should not be constant");
+    let bound = (min + max) / 2.0;
+    let filtered = db
+        .query(
+            &Query::on("invest")
+                .group_by(["wid"])
+                .having(RangePredicate::Greater, bound),
+        )
+        .unwrap();
+    let expected = base
+        .relation
+        .rows()
+        .filter(|&(_, m)| m > bound)
+        .count();
+    assert_eq!(filtered.relation.len(), expected);
+    assert!(expected > 0, "test bound should keep some rows");
+    assert!(expected < base.relation.len(), "test bound should drop some rows");
+}
+
+#[test]
+fn cache_agrees_with_direct_evaluation_and_evidence() {
+    let db = db();
+    let cache = db.build_cache("invest", Aggregate::Sum, None).unwrap();
+    for var in ["pid", "sid", "wid", "cid", "tid"] {
+        let cached = db.query_cached(&cache, var).unwrap();
+        let direct = db.query(&Query::on("invest").group_by([var])).unwrap();
+        assert!(direct.relation.function_eq(&cached), "cache diverged on {var}");
+    }
+    // Conditioned cache == conditioned view.
+    let tid = db.catalog().var("tid").unwrap();
+    let conditioned = cache.with_evidence(tid, 2).unwrap();
+    for var in ["pid", "wid", "cid"] {
+        let cached = db.query_cached(&conditioned, var).unwrap();
+        let direct = db
+            .query(&Query::on("invest").group_by([var]).filter("tid", 2))
+            .unwrap();
+        assert!(
+            direct.relation.function_eq(&cached),
+            "conditioned cache diverged on {var}"
+        );
+    }
+}
+
+#[test]
+fn linearity_matches_paper_pattern() {
+    // With Table 1 proportions at 1% scale (cid domain 10 vs warehouses 50,
+    // tid domain 5 = transporters 5), cid fails Eq. 1 (needs bushy search)
+    // and tid satisfies it — the paper's Section 7.1 pattern.
+    let sc = SupplyChain::generate(SupplyChainConfig::at_scale(0.01));
+    let mut db = Database::from_parts(sc.catalog, sc.store);
+    db.run_sql(VIEW_SQL).unwrap();
+    assert!(!db.linearity("invest", "cid").unwrap().linear_admissible);
+    assert!(db.linearity("invest", "tid").unwrap().linear_admissible);
+}
+
+#[test]
+fn hypothetical_overrides_do_not_mutate_base() {
+    let db = db();
+    let q = Query::on("invest").group_by(["cid"]);
+    let before = db.query(&q).unwrap();
+    let _ = db
+        .query_hypothetical(
+            &q,
+            &[Override::Domain {
+                relation: "ctdeals".into(),
+                var: "tid".into(),
+                from: 0,
+                to: 1,
+            }],
+        )
+        .unwrap();
+    let after = db.query(&q).unwrap();
+    assert!(before.relation.function_eq(&after.relation));
+}
+
+/// The Boolean semiring end to end: "does any supply chain exist through
+/// this warehouse?" — the paper's `{0,1}` with `∧`/`∨` allowable domain.
+#[test]
+fn boolean_reachability_view() {
+    use mpf::semiring::{Aggregate, Combine};
+    use mpf::storage::{FunctionalRelation, Schema};
+
+    let mut db = Database::new();
+    let p = db.add_var("p", 3).unwrap();
+    let w = db.add_var("w", 3).unwrap();
+    let t = db.add_var("t", 2).unwrap();
+    // Edges present = measure 1.0 (true).
+    db.insert_relation(
+        FunctionalRelation::from_rows(
+            "stored_at",
+            Schema::new(vec![p, w]).unwrap(),
+            [(vec![0, 0], 1.0), (vec![1, 0], 1.0), (vec![2, 1], 1.0)],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    db.insert_relation(
+        FunctionalRelation::from_rows(
+            "shipped_by",
+            Schema::new(vec![w, t]).unwrap(),
+            [(vec![0, 1], 1.0), (vec![2, 0], 1.0)],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    db.create_view("reach", &["stored_at", "shipped_by"], Combine::And)
+        .unwrap();
+
+    // Which parts can be shipped at all? Only those stored at warehouse 0
+    // (warehouse 1 has no transporter edge).
+    let ans = db
+        .query(
+            &Query::on("reach")
+                .group_by(["p"])
+                .aggregate(Aggregate::Or),
+        )
+        .unwrap();
+    assert_eq!(ans.relation.lookup(&[0]), Some(1.0));
+    assert_eq!(ans.relation.lookup(&[1]), Some(1.0));
+    // Part 2 is stored only at warehouse 1: no chain.
+    assert!(ans.relation.lookup(&[2]).unwrap_or(0.0) == 0.0);
+}
+
+#[test]
+fn stats_reflect_plan_shape() {
+    let db = db();
+    let naive = db
+        .query(&Query::on("invest").group_by(["tid"]).strategy(Strategy::Naive))
+        .unwrap();
+    let smart = db
+        .query(
+            &Query::on("invest")
+                .group_by(["tid"])
+                .strategy(Strategy::CsPlusNonlinear),
+        )
+        .unwrap();
+    assert_eq!(naive.stats.group_bys, 1);
+    assert!(smart.stats.group_bys >= 1);
+    assert!(
+        smart.stats.rows_processed <= naive.stats.rows_processed,
+        "optimized plan should not process more rows ({} vs {})",
+        smart.stats.rows_processed,
+        naive.stats.rows_processed
+    );
+}
