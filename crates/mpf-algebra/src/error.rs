@@ -1,5 +1,7 @@
 use mpf_storage::{StorageError, VarId};
 
+use crate::limits::ResourceKind;
+
 /// Errors raised while building or executing plans.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AlgebraError {
@@ -13,6 +15,33 @@ pub enum AlgebraError {
     SelectVarNotInInput(VarId),
     /// The update semijoin requires a semiring with division.
     NoDivision,
+    /// An operator that requires at least one input relation received none.
+    EmptyInput(&'static str),
+    /// Execution exceeded a configured [`crate::ExecLimits`] budget.
+    ResourceExhausted {
+        /// Which budget tripped.
+        resource: ResourceKind,
+        /// The configured limit.
+        limit: u64,
+        /// The observed value at the point the limit tripped.
+        observed: u64,
+    },
+    /// Execution was cancelled through a [`crate::CancelToken`].
+    Cancelled,
+    /// A semiring accumulation produced a measure that is invalid for the
+    /// semiring (NaN, or an infinity that is not that semiring's identity).
+    NonFiniteMeasure {
+        /// The operator that produced the value.
+        op: &'static str,
+        /// The offending measure.
+        value: f64,
+    },
+    /// A deterministic failpoint fired (only with the `fault-injection`
+    /// feature; named after the registered fault site).
+    FaultInjected(String),
+    /// An invariant the executor relies on was violated (e.g. a worker
+    /// thread panicked). Indicates a bug rather than a user error.
+    Internal(String),
 }
 
 impl From<StorageError> for AlgebraError {
@@ -36,6 +65,26 @@ impl std::fmt::Display for AlgebraError {
                 f,
                 "the update semijoin requires a semiring with a multiplicative inverse"
             ),
+            AlgebraError::EmptyInput(op) => {
+                write!(f, "operator `{op}` requires at least one input relation")
+            }
+            AlgebraError::ResourceExhausted {
+                resource,
+                limit,
+                observed,
+            } => write!(
+                f,
+                "execution exceeded the {resource} budget: limit {limit}, observed {observed}"
+            ),
+            AlgebraError::Cancelled => write!(f, "execution cancelled"),
+            AlgebraError::NonFiniteMeasure { op, value } => write!(
+                f,
+                "operator `{op}` produced a measure ({value}) that is invalid for the semiring"
+            ),
+            AlgebraError::FaultInjected(site) => {
+                write!(f, "injected fault at `{site}`")
+            }
+            AlgebraError::Internal(msg) => write!(f, "internal executor error: {msg}"),
         }
     }
 }

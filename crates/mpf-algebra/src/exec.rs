@@ -1,6 +1,7 @@
 use mpf_semiring::SemiringKind;
 use mpf_storage::FunctionalRelation;
 
+use crate::limits::{ExecBudget, ExecLimits};
 use crate::{ops, AlgebraError, ExecStats, Plan, RelationProvider, Result};
 
 /// Evaluates logical [`Plan`]s against a [`RelationProvider`] under a chosen
@@ -9,21 +10,46 @@ use crate::{ops, AlgebraError, ExecStats, Plan, RelationProvider, Result};
 /// The executor materializes every operator output (as the paper's modified
 /// PostgreSQL does for group-by results inside join trees); pipelining would
 /// not change the relative costs the experiments measure.
-#[derive(Debug, Clone, Copy)]
+///
+/// An executor built with [`Executor::with_limits`] enforces resource
+/// budgets ([`ExecLimits`]) on every operator it runs; the wall clock for a
+/// configured deadline starts when the executor is created.
+#[derive(Debug)]
 pub struct Executor<'a, P: RelationProvider> {
     provider: &'a P,
     semiring: SemiringKind,
+    budget: Option<ExecBudget>,
 }
 
 impl<'a, P: RelationProvider> Executor<'a, P> {
-    /// Create an executor over `provider` with the given semiring.
+    /// Create an executor over `provider` with the given semiring and no
+    /// resource limits.
     pub fn new(provider: &'a P, semiring: SemiringKind) -> Self {
-        Self { provider, semiring }
+        Self {
+            provider,
+            semiring,
+            budget: None,
+        }
+    }
+
+    /// Create an executor enforcing `limits`. Unlimited `limits` behave
+    /// exactly like [`Executor::new`] (no tracking overhead).
+    pub fn with_limits(provider: &'a P, semiring: SemiringKind, limits: ExecLimits) -> Self {
+        Self {
+            provider,
+            semiring,
+            budget: (!limits.is_unlimited()).then(|| ExecBudget::new(limits)),
+        }
     }
 
     /// The active semiring.
     pub fn semiring(&self) -> SemiringKind {
         self.semiring
+    }
+
+    /// The budget tracker, when limits are configured.
+    pub fn budget(&self) -> Option<&ExecBudget> {
+        self.budget.as_ref()
     }
 
     /// Execute `plan`, returning the result relation and work counters.
@@ -33,20 +59,28 @@ impl<'a, P: RelationProvider> Executor<'a, P> {
         Ok((rel, stats))
     }
 
+    /// Resolve a scan, charging the budget for the materialized relation.
+    fn scan(&self, relation: &str, stats: &mut ExecStats) -> Result<FunctionalRelation> {
+        let rel = self
+            .provider
+            .relation_of(relation)
+            .ok_or_else(|| AlgebraError::UnknownRelation(relation.to_string()))?;
+        stats.rows_scanned += rel.len() as u64;
+        stats.pages_io += rel.estimated_pages();
+        if let Some(budget) = &self.budget {
+            budget.charge_output(rel.len() as u64, rel.schema().arity())?;
+            budget.checkpoint()?;
+        }
+        Ok(rel.clone())
+    }
+
     fn run(&self, plan: &Plan, stats: &mut ExecStats) -> Result<FunctionalRelation> {
+        let budget = self.budget.as_ref();
         match plan {
-            Plan::Scan { relation } => {
-                let rel = self
-                    .provider
-                    .relation_of(relation)
-                    .ok_or_else(|| AlgebraError::UnknownRelation(relation.clone()))?;
-                stats.rows_scanned += rel.len() as u64;
-                stats.pages_io += rel.estimated_pages();
-                Ok(rel.clone())
-            }
+            Plan::Scan { relation } => self.scan(relation, stats),
             Plan::Select { input, predicates } => {
                 let in_rel = self.run(input, stats)?;
-                let out = ops::select_eq(&in_rel, predicates)?;
+                let out = ops::select_eq_budgeted(&in_rel, predicates, budget)?;
                 self.account(stats, &[&in_rel], &out);
                 stats.selects += 1;
                 Ok(out)
@@ -54,14 +88,14 @@ impl<'a, P: RelationProvider> Executor<'a, P> {
             Plan::Join { left, right } => {
                 let l = self.run(left, stats)?;
                 let r = self.run(right, stats)?;
-                let out = ops::product_join(self.semiring, &l, &r)?;
+                let out = ops::product_join_budgeted(self.semiring, &l, &r, budget)?;
                 self.account(stats, &[&l, &r], &out);
                 stats.joins += 1;
                 Ok(out)
             }
             Plan::GroupBy { input, group_vars } => {
                 let in_rel = self.run(input, stats)?;
-                let out = ops::group_by(self.semiring, &in_rel, group_vars)?;
+                let out = ops::group_by_budgeted(self.semiring, &in_rel, group_vars, budget)?;
                 self.account(stats, &[&in_rel], &out);
                 stats.group_bys += 1;
                 Ok(out)
@@ -85,19 +119,12 @@ impl<'a, P: RelationProvider> Executor<'a, P> {
         stats: &mut ExecStats,
     ) -> Result<FunctionalRelation> {
         use crate::{AggAlgo, JoinAlgo, PhysicalPlan};
+        let budget = self.budget.as_ref();
         match plan {
-            PhysicalPlan::Scan { relation } => {
-                let rel = self
-                    .provider
-                    .relation_of(relation)
-                    .ok_or_else(|| AlgebraError::UnknownRelation(relation.clone()))?;
-                stats.rows_scanned += rel.len() as u64;
-                stats.pages_io += rel.estimated_pages();
-                Ok(rel.clone())
-            }
+            PhysicalPlan::Scan { relation } => self.scan(relation, stats),
             PhysicalPlan::Select { input, predicates } => {
                 let in_rel = self.run_physical(input, stats)?;
-                let out = ops::select_eq(&in_rel, predicates)?;
+                let out = ops::select_eq_budgeted(&in_rel, predicates, budget)?;
                 self.account(stats, &[&in_rel], &out);
                 stats.selects += 1;
                 Ok(out)
@@ -106,11 +133,19 @@ impl<'a, P: RelationProvider> Executor<'a, P> {
                 let l = self.run_physical(left, stats)?;
                 let r = self.run_physical(right, stats)?;
                 let out = match algo {
-                    JoinAlgo::Hash => ops::product_join(self.semiring, &l, &r)?,
-                    JoinAlgo::SortMerge => crate::sort_ops::merge_join(self.semiring, &l, &r)?,
-                    JoinAlgo::Grace { partitions } => {
-                        crate::partitioned::grace_join(self.semiring, &l, &r, *partitions)?
+                    JoinAlgo::Hash => {
+                        ops::product_join_budgeted(self.semiring, &l, &r, budget)?
                     }
+                    JoinAlgo::SortMerge => {
+                        crate::sort_ops::merge_join_budgeted(self.semiring, &l, &r, budget)?
+                    }
+                    JoinAlgo::Grace { partitions } => crate::partitioned::grace_join_budgeted(
+                        self.semiring,
+                        &l,
+                        &r,
+                        *partitions,
+                        budget,
+                    )?,
                 };
                 self.account(stats, &[&l, &r], &out);
                 stats.joins += 1;
@@ -123,10 +158,15 @@ impl<'a, P: RelationProvider> Executor<'a, P> {
             } => {
                 let in_rel = self.run_physical(input, stats)?;
                 let out = match algo {
-                    AggAlgo::HashAgg => ops::group_by(self.semiring, &in_rel, group_vars)?,
-                    AggAlgo::SortAgg => {
-                        crate::sort_ops::sort_group_by(self.semiring, &in_rel, group_vars)?
+                    AggAlgo::HashAgg => {
+                        ops::group_by_budgeted(self.semiring, &in_rel, group_vars, budget)?
                     }
+                    AggAlgo::SortAgg => crate::sort_ops::sort_group_by_budgeted(
+                        self.semiring,
+                        &in_rel,
+                        group_vars,
+                        budget,
+                    )?,
                 };
                 self.account(stats, &[&in_rel], &out);
                 stats.group_bys += 1;

@@ -23,6 +23,8 @@
 
 mod error;
 mod exec;
+pub mod fault;
+pub mod limits;
 pub mod ops;
 mod physical;
 pub mod partitioned;
@@ -33,6 +35,7 @@ mod stats;
 
 pub use error::AlgebraError;
 pub use exec::Executor;
+pub use limits::{CancelToken, ExecBudget, ExecLimits, OpGuard, ResourceKind};
 pub use physical::{AggAlgo, JoinAlgo, PhysicalPlan};
 pub use plan::Plan;
 pub use provider::{RelationProvider, RelationStore};

@@ -4,11 +4,22 @@
 //! accounting is done by the [`Executor`](crate::Executor) from input/output
 //! cardinalities, so these functions stay reusable by the inference layer
 //! (Belief Propagation and VE-cache call the semijoins directly).
+//!
+//! Each operator comes in two forms: the plain function and a `*_budgeted`
+//! variant taking `Option<&ExecBudget>`. The budgeted form enforces
+//! [`crate::ExecLimits`] (per-operator row caps, global cell caps,
+//! deadlines, cancellation) through an [`OpGuard`], stopping an exploding
+//! intermediate within [`crate::limits::TICK_INTERVAL`] rows of its budget
+//! instead of materializing it. The plain form passes `None` and costs
+//! nothing extra. Semiring accumulations additionally reject measures that
+//! leave the semiring's carrier (NaN, or an infinity that is not the
+//! additive identity) with [`AlgebraError::NonFiniteMeasure`].
 
 use mpf_semiring::SemiringKind;
 use mpf_storage::{FunctionalRelation, Key, Schema, Value, VarId};
 
-use crate::{AlgebraError, Result};
+use crate::limits::{ExecBudget, OpGuard};
+use crate::{fault, AlgebraError, Result};
 
 /// Product join (`⨝*`, Definition 2): natural join on shared variables with
 /// measures combined by the semiring's multiplicative operation.
@@ -24,7 +35,19 @@ pub fn product_join(
     l: &FunctionalRelation,
     r: &FunctionalRelation,
 ) -> Result<FunctionalRelation> {
+    product_join_budgeted(sr, l, r, None)
+}
+
+/// [`product_join`] under an optional execution budget.
+pub fn product_join_budgeted(
+    sr: SemiringKind,
+    l: &FunctionalRelation,
+    r: &FunctionalRelation,
+    budget: Option<&ExecBudget>,
+) -> Result<FunctionalRelation> {
+    fault::check("product_join")?;
     let out_schema = l.schema().union(r.schema());
+    let mut guard = OpGuard::new(budget, out_schema.arity());
     let shared = l.schema().intersect(r.schema());
 
     // Choose build/probe sides by cardinality.
@@ -57,6 +80,7 @@ pub fn product_join(
     );
     let mut row_buf: Vec<Value> = vec![0; out_schema.arity()];
     for i in 0..probe.len() {
+        guard.poll()?;
         let prow = probe.row(i);
         let key = Key::extract(prow, &probe_shared);
         let Some(matches) = index.get(&key) else {
@@ -72,8 +96,10 @@ pub fn product_join(
                 };
             }
             out.push_row(&row_buf, sr.mul(pm, build.measure(j as usize)))?;
+            guard.produced()?;
         }
     }
+    guard.finish()?;
     Ok(out)
 }
 
@@ -88,6 +114,17 @@ pub fn group_by(
     input: &FunctionalRelation,
     group_vars: &[VarId],
 ) -> Result<FunctionalRelation> {
+    group_by_budgeted(sr, input, group_vars, None)
+}
+
+/// [`group_by`] under an optional execution budget.
+pub fn group_by_budgeted(
+    sr: SemiringKind,
+    input: &FunctionalRelation,
+    group_vars: &[VarId],
+    budget: Option<&ExecBudget>,
+) -> Result<FunctionalRelation> {
+    fault::check("group_by")?;
     for &v in group_vars {
         if !input.schema().contains(v) {
             return Err(AlgebraError::GroupVarNotInInput(v));
@@ -95,6 +132,7 @@ pub fn group_by(
     }
     let out_schema = Schema::new(group_vars.to_vec())?;
     let positions = input.schema().positions(group_vars)?;
+    let mut guard = OpGuard::new(budget, group_vars.len());
 
     let mut groups: std::collections::HashMap<Key, usize> =
         std::collections::HashMap::with_capacity(input.len().min(1 << 20));
@@ -104,15 +142,22 @@ pub fn group_by(
     );
     let mut key_row: Vec<Value> = vec![0; group_vars.len()];
     for i in 0..input.len() {
+        guard.poll()?;
         let row = input.row(i);
         let key = Key::extract(row, &positions);
         let m = input.measure(i);
         match groups.entry(key) {
             std::collections::hash_map::Entry::Occupied(e) => {
                 let idx = *e.get();
-                let acc = out.measure(idx);
+                let acc = sr.add(out.measure(idx), m);
+                if !sr.is_valid_accumulation(acc) {
+                    return Err(AlgebraError::NonFiniteMeasure {
+                        op: "group_by",
+                        value: acc,
+                    });
+                }
                 // Re-push is not possible; mutate via measures slice.
-                out.set_measure(idx, sr.add(acc, m));
+                out.set_measure(idx, acc);
             }
             std::collections::hash_map::Entry::Vacant(e) => {
                 for (c, &p) in positions.iter().enumerate() {
@@ -120,9 +165,11 @@ pub fn group_by(
                 }
                 e.insert(out.len());
                 out.push_row(&key_row, m)?;
+                guard.produced()?;
             }
         }
     }
+    guard.finish()?;
     Ok(out)
 }
 
@@ -133,6 +180,17 @@ pub fn select_eq(
     input: &FunctionalRelation,
     predicates: &[(VarId, Value)],
 ) -> Result<FunctionalRelation> {
+    select_eq_budgeted(input, predicates, None)
+}
+
+/// [`select_eq`] under an optional execution budget.
+pub fn select_eq_budgeted(
+    input: &FunctionalRelation,
+    predicates: &[(VarId, Value)],
+    budget: Option<&ExecBudget>,
+) -> Result<FunctionalRelation> {
+    fault::check("select_eq")?;
+    let mut guard = OpGuard::new(budget, input.schema().arity());
     let positions: Vec<(usize, Value)> = predicates
         .iter()
         .map(|&(v, c)| {
@@ -148,10 +206,13 @@ pub fn select_eq(
         input.schema().clone(),
     );
     for (row, m) in input.rows() {
+        guard.poll()?;
         if positions.iter().all(|&(p, c)| row[p] == c) {
             out.push_row(row, m)?;
+            guard.produced()?;
         }
     }
+    guard.finish()?;
     Ok(out)
 }
 
@@ -165,9 +226,20 @@ pub fn product_semijoin(
     t: &FunctionalRelation,
     s: &FunctionalRelation,
 ) -> Result<FunctionalRelation> {
+    product_semijoin_budgeted(sr, t, s, None)
+}
+
+/// [`product_semijoin`] under an optional execution budget.
+pub fn product_semijoin_budgeted(
+    sr: SemiringKind,
+    t: &FunctionalRelation,
+    s: &FunctionalRelation,
+    budget: Option<&ExecBudget>,
+) -> Result<FunctionalRelation> {
+    fault::check("product_semijoin")?;
     let shared = t.schema().intersect(s.schema());
-    let marg = group_by(sr, s, shared.vars())?;
-    let out = product_join(sr, t, &marg)?;
+    let marg = group_by_budgeted(sr, s, shared.vars(), budget)?;
+    let out = product_join_budgeted(sr, t, &marg, budget)?;
     Ok(out.with_name(format!("({}⋉*{})", t.name(), s.name())))
 }
 
@@ -188,14 +260,25 @@ pub fn update_semijoin(
     t: &FunctionalRelation,
     s: &FunctionalRelation,
 ) -> Result<FunctionalRelation> {
+    update_semijoin_budgeted(sr, t, s, None)
+}
+
+/// [`update_semijoin`] under an optional execution budget.
+pub fn update_semijoin_budgeted(
+    sr: SemiringKind,
+    t: &FunctionalRelation,
+    s: &FunctionalRelation,
+    budget: Option<&ExecBudget>,
+) -> Result<FunctionalRelation> {
+    fault::check("update_semijoin")?;
     if !sr.has_division() {
         return Err(AlgebraError::NoDivision);
     }
     let shared = t.schema().intersect(s.schema());
-    let marg_s = group_by(sr, s, shared.vars())?;
-    let marg_t = group_by(sr, t, shared.vars())?;
-    let ratio = divide_join(sr, &marg_s, &marg_t)?;
-    let out = product_join(sr, t, &ratio)?;
+    let marg_s = group_by_budgeted(sr, s, shared.vars(), budget)?;
+    let marg_t = group_by_budgeted(sr, t, shared.vars(), budget)?;
+    let ratio = divide_join_budgeted(sr, &marg_s, &marg_t, budget)?;
+    let out = product_join_budgeted(sr, t, &ratio, budget)?;
     Ok(out.with_name(format!("({}⋉{})", t.name(), s.name())))
 }
 
@@ -207,10 +290,22 @@ pub fn divide_join(
     l: &FunctionalRelation,
     r: &FunctionalRelation,
 ) -> Result<FunctionalRelation> {
+    divide_join_budgeted(sr, l, r, None)
+}
+
+/// [`divide_join`] under an optional execution budget.
+pub fn divide_join_budgeted(
+    sr: SemiringKind,
+    l: &FunctionalRelation,
+    r: &FunctionalRelation,
+    budget: Option<&ExecBudget>,
+) -> Result<FunctionalRelation> {
+    fault::check("divide_join")?;
     if !sr.has_division() {
         return Err(AlgebraError::NoDivision);
     }
     let out_schema = l.schema().union(r.schema());
+    let mut guard = OpGuard::new(budget, out_schema.arity());
     let shared = l.schema().intersect(r.schema());
     let l_shared = l.schema().positions(shared.vars())?;
     let r_shared = r.schema().positions(shared.vars())?;
@@ -235,6 +330,7 @@ pub fn divide_join(
     );
     let mut row_buf: Vec<Value> = vec![0; out_schema.arity()];
     for i in 0..l.len() {
+        guard.poll()?;
         let lrow = l.row(i);
         let key = Key::extract(lrow, &l_shared);
         let Some(matches) = index.get(&key) else {
@@ -246,8 +342,10 @@ pub fn divide_join(
                 row_buf[c] = if from_l { lrow[p] } else { rrow[p] };
             }
             out.push_row(&row_buf, sr.div(l.measure(i), r.measure(j as usize)))?;
+            guard.produced()?;
         }
     }
+    guard.finish()?;
     Ok(out)
 }
 
@@ -261,7 +359,18 @@ pub fn naive_mpf(
     predicates: &[(VarId, Value)],
     group_vars: &[VarId],
 ) -> Result<FunctionalRelation> {
-    assert!(!relations.is_empty(), "naive_mpf needs at least one relation");
+    naive_mpf_budgeted(sr, relations, predicates, group_vars, None)
+}
+
+/// [`naive_mpf`] under an optional execution budget.
+pub fn naive_mpf_budgeted(
+    sr: SemiringKind,
+    relations: &[&FunctionalRelation],
+    predicates: &[(VarId, Value)],
+    group_vars: &[VarId],
+    budget: Option<&ExecBudget>,
+) -> Result<FunctionalRelation> {
+    fault::check("naive_mpf")?;
     // Apply selections on base relations where possible (pure correctness
     // shortcut: selection commutes with product join).
     let mut acc: Option<FunctionalRelation> = None;
@@ -274,14 +383,17 @@ pub fn naive_mpf(
         let filtered = if applicable.is_empty() {
             rel.clone()
         } else {
-            select_eq(rel, &applicable)?
+            select_eq_budgeted(rel, &applicable, budget)?
         };
         acc = Some(match acc {
             None => filtered,
-            Some(a) => product_join(sr, &a, &filtered)?,
+            Some(a) => product_join_budgeted(sr, &a, &filtered, budget)?,
         });
     }
-    group_by(sr, &acc.expect("nonempty"), group_vars)
+    let Some(acc) = acc else {
+        return Err(AlgebraError::EmptyInput("naive_mpf"));
+    };
+    group_by_budgeted(sr, &acc, group_vars, budget)
 }
 
 #[cfg(test)]

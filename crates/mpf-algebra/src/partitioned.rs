@@ -13,7 +13,7 @@
 //! The same partitioning makes the operators embarrassingly parallel —
 //! rows with different key hashes never interact — so [`parallel_join`]
 //! and [`parallel_group_by`] run the partitions on scoped threads
-//! (`crossbeam`). Results are deterministic: each output row's measure is
+//! (`std::thread::scope`). Results are deterministic: each output row's measure is
 //! computed entirely within one partition, so no cross-thread reduction
 //! order is involved.
 
@@ -23,7 +23,8 @@ use std::hash::{Hash, Hasher};
 use mpf_semiring::SemiringKind;
 use mpf_storage::{FunctionalRelation, Key, VarId};
 
-use crate::{ops, AlgebraError, Result};
+use crate::limits::{ExecBudget, OpGuard};
+use crate::{fault, ops, AlgebraError, Result};
 
 fn partition_of(key: &Key, partitions: usize) -> usize {
     let mut h = DefaultHasher::new();
@@ -37,15 +38,15 @@ fn partition(
     rel: &FunctionalRelation,
     positions: &[usize],
     partitions: usize,
-) -> Vec<FunctionalRelation> {
+) -> Result<Vec<FunctionalRelation>> {
     let mut out: Vec<FunctionalRelation> = (0..partitions)
         .map(|i| FunctionalRelation::new(format!("{}#{i}", rel.name()), rel.schema().clone()))
         .collect();
     for (row, m) in rel.rows() {
         let p = partition_of(&Key::extract(row, positions), partitions);
-        out[p].push_row(row, m).expect("same schema");
+        out[p].push_row(row, m)?;
     }
-    out
+    Ok(out)
 }
 
 /// Grace (partitioned) hash product join: both inputs are hash-partitioned
@@ -62,18 +63,33 @@ pub fn grace_join(
     r: &FunctionalRelation,
     partitions: usize,
 ) -> Result<FunctionalRelation> {
+    grace_join_budgeted(sr, l, r, partitions, None)
+}
+
+/// [`grace_join`] under an optional execution budget. The budget is
+/// charged for the concatenated output (each logical operator charges its
+/// output exactly once), so accounting matches the plain hash join.
+pub fn grace_join_budgeted(
+    sr: SemiringKind,
+    l: &FunctionalRelation,
+    r: &FunctionalRelation,
+    partitions: usize,
+    budget: Option<&ExecBudget>,
+) -> Result<FunctionalRelation> {
+    fault::check("grace_join")?;
     let partitions = partitions.max(1);
     let shared = l.schema().intersect(r.schema());
     if shared.is_empty() || partitions == 1 {
         // Cross products cannot be key-partitioned; fall back.
-        return ops::product_join(sr, l, r);
+        return ops::product_join_budgeted(sr, l, r, budget);
     }
     let l_pos = l.schema().positions(shared.vars())?;
     let r_pos = r.schema().positions(shared.vars())?;
-    let l_parts = partition(l, &l_pos, partitions);
-    let r_parts = partition(r, &r_pos, partitions);
+    let l_parts = partition(l, &l_pos, partitions)?;
+    let r_parts = partition(r, &r_pos, partitions)?;
 
     let out_schema = l.schema().union(r.schema());
+    let mut guard = OpGuard::new(budget, out_schema.arity());
     let mut out = FunctionalRelation::new(
         format!("({}⋈g{})", l.name(), r.name()),
         out_schema.clone(),
@@ -85,8 +101,10 @@ pub fn grace_join(
         debug_assert_eq!(joined.schema(), &out_schema);
         for (row, m) in joined.rows() {
             out.push_row(row, m)?;
+            guard.produced()?;
         }
     }
+    guard.finish()?;
     Ok(out)
 }
 
@@ -98,30 +116,49 @@ pub fn parallel_join(
     r: &FunctionalRelation,
     threads: usize,
 ) -> Result<FunctionalRelation> {
+    parallel_join_budgeted(sr, l, r, threads, None)
+}
+
+/// [`parallel_join`] under an optional execution budget, charged for the
+/// concatenated output after the workers join.
+pub fn parallel_join_budgeted(
+    sr: SemiringKind,
+    l: &FunctionalRelation,
+    r: &FunctionalRelation,
+    threads: usize,
+    budget: Option<&ExecBudget>,
+) -> Result<FunctionalRelation> {
+    fault::check("parallel_join")?;
     let threads = threads.max(1);
     let shared = l.schema().intersect(r.schema());
     if shared.is_empty() || threads == 1 {
-        return ops::product_join(sr, l, r);
+        return ops::product_join_budgeted(sr, l, r, budget);
     }
     let l_pos = l.schema().positions(shared.vars())?;
     let r_pos = r.schema().positions(shared.vars())?;
-    let l_parts = partition(l, &l_pos, threads);
-    let r_parts = partition(r, &r_pos, threads);
+    let l_parts = partition(l, &l_pos, threads)?;
+    let r_parts = partition(r, &r_pos, threads)?;
 
-    let results: Vec<Result<FunctionalRelation>> = crossbeam::thread::scope(|scope| {
+    let results: Vec<Result<FunctionalRelation>> = std::thread::scope(|scope| {
         let handles: Vec<_> = l_parts
             .iter()
             .zip(&r_parts)
-            .map(|(lp, rp)| scope.spawn(move |_| ops::product_join(sr, lp, rp)))
+            .map(|(lp, rp)| scope.spawn(move || ops::product_join(sr, lp, rp)))
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("partition join thread panicked"))
+            .map(|h| {
+                h.join().unwrap_or_else(|_| {
+                    Err(AlgebraError::Internal(
+                        "partition join thread panicked".into(),
+                    ))
+                })
+            })
             .collect()
-    })
-    .expect("thread scope");
+    });
 
     let out_schema = l.schema().union(r.schema());
+    let mut guard = OpGuard::new(budget, out_schema.arity());
     let mut out = FunctionalRelation::new(
         format!("({}⋈p{})", l.name(), r.name()),
         out_schema,
@@ -130,8 +167,10 @@ pub fn parallel_join(
         let part = part?;
         for (row, m) in part.rows() {
             out.push_row(row, m)?;
+            guard.produced()?;
         }
     }
+    guard.finish()?;
     Ok(out)
 }
 
@@ -144,6 +183,19 @@ pub fn parallel_group_by(
     group_vars: &[VarId],
     threads: usize,
 ) -> Result<FunctionalRelation> {
+    parallel_group_by_budgeted(sr, input, group_vars, threads, None)
+}
+
+/// [`parallel_group_by`] under an optional execution budget, charged for
+/// the concatenated output after the workers join.
+pub fn parallel_group_by_budgeted(
+    sr: SemiringKind,
+    input: &FunctionalRelation,
+    group_vars: &[VarId],
+    threads: usize,
+    budget: Option<&ExecBudget>,
+) -> Result<FunctionalRelation> {
+    fault::check("parallel_group_by")?;
     for &v in group_vars {
         if !input.schema().contains(v) {
             return Err(AlgebraError::GroupVarNotInInput(v));
@@ -151,23 +203,29 @@ pub fn parallel_group_by(
     }
     let threads = threads.max(1);
     if threads == 1 || group_vars.is_empty() {
-        return ops::group_by(sr, input, group_vars);
+        return ops::group_by_budgeted(sr, input, group_vars, budget);
     }
     let positions = input.schema().positions(group_vars)?;
-    let parts = partition(input, &positions, threads);
+    let parts = partition(input, &positions, threads)?;
 
-    let results: Vec<Result<FunctionalRelation>> = crossbeam::thread::scope(|scope| {
+    let results: Vec<Result<FunctionalRelation>> = std::thread::scope(|scope| {
         let handles: Vec<_> = parts
             .iter()
-            .map(|p| scope.spawn(move |_| ops::group_by(sr, p, group_vars)))
+            .map(|p| scope.spawn(move || ops::group_by(sr, p, group_vars)))
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("partition group-by thread panicked"))
+            .map(|h| {
+                h.join().unwrap_or_else(|_| {
+                    Err(AlgebraError::Internal(
+                        "partition group-by thread panicked".into(),
+                    ))
+                })
+            })
             .collect()
-    })
-    .expect("thread scope");
+    });
 
+    let mut guard = OpGuard::new(budget, group_vars.len());
     let mut out = FunctionalRelation::new(
         format!("γp({})", input.name()),
         mpf_storage::Schema::new(group_vars.to_vec())?,
@@ -176,8 +234,10 @@ pub fn parallel_group_by(
         let part = part?;
         for (row, m) in part.rows() {
             out.push_row(row, m)?;
+            guard.produced()?;
         }
     }
+    guard.finish()?;
     Ok(out)
 }
 

@@ -13,7 +13,8 @@
 use mpf_semiring::SemiringKind;
 use mpf_storage::{FunctionalRelation, Schema, Value, VarId};
 
-use crate::{AlgebraError, Result};
+use crate::limits::{ExecBudget, OpGuard};
+use crate::{fault, AlgebraError, Result};
 
 /// Sort a relation's rows lexicographically by the given column positions,
 /// returning the permutation (row indices in sorted order).
@@ -40,7 +41,19 @@ pub fn merge_join(
     l: &FunctionalRelation,
     r: &FunctionalRelation,
 ) -> Result<FunctionalRelation> {
+    merge_join_budgeted(sr, l, r, None)
+}
+
+/// [`merge_join`] under an optional execution budget.
+pub fn merge_join_budgeted(
+    sr: SemiringKind,
+    l: &FunctionalRelation,
+    r: &FunctionalRelation,
+    budget: Option<&ExecBudget>,
+) -> Result<FunctionalRelation> {
+    fault::check("merge_join")?;
     let out_schema = l.schema().union(r.schema());
+    let mut guard = OpGuard::new(budget, out_schema.arity());
     let shared = l.schema().intersect(r.schema());
     let l_pos = l.schema().positions(shared.vars())?;
     let r_pos = r.schema().positions(shared.vars())?;
@@ -71,6 +84,7 @@ pub fn merge_join(
     let mut row_buf: Vec<Value> = vec![0; out_schema.arity()];
     let (mut i, mut j) = (0usize, 0usize);
     while i < l_perm.len() && j < r_perm.len() {
+        guard.poll()?;
         let lk = key_of(l, &l_perm, i, &l_pos);
         let rk = key_of(r, &r_perm, j, &r_pos);
         match lk.cmp(&rk) {
@@ -93,6 +107,7 @@ pub fn merge_join(
                             row_buf[c] = if from_l { lrow[p] } else { rrow[p] };
                         }
                         out.push_row(&row_buf, sr.mul(lm, r.measure(rj as usize)))?;
+                        guard.produced()?;
                     }
                 }
                 i = i_end;
@@ -100,6 +115,7 @@ pub fn merge_join(
             }
         }
     }
+    guard.finish()?;
     Ok(out)
 }
 
@@ -110,6 +126,17 @@ pub fn sort_group_by(
     input: &FunctionalRelation,
     group_vars: &[VarId],
 ) -> Result<FunctionalRelation> {
+    sort_group_by_budgeted(sr, input, group_vars, None)
+}
+
+/// [`sort_group_by`] under an optional execution budget.
+pub fn sort_group_by_budgeted(
+    sr: SemiringKind,
+    input: &FunctionalRelation,
+    group_vars: &[VarId],
+    budget: Option<&ExecBudget>,
+) -> Result<FunctionalRelation> {
+    fault::check("sort_group_by")?;
     for &v in group_vars {
         if !input.schema().contains(v) {
             return Err(AlgebraError::GroupVarNotInInput(v));
@@ -118,20 +145,32 @@ pub fn sort_group_by(
     let out_schema = Schema::new(group_vars.to_vec())?;
     let positions = input.schema().positions(group_vars)?;
     let perm = sort_permutation(input, &positions);
+    let mut guard = OpGuard::new(budget, group_vars.len());
 
     let mut out = FunctionalRelation::new(format!("γs({})", input.name()), out_schema);
     let mut key_buf: Vec<Value> = vec![0; positions.len()];
     let mut current: Option<(Vec<Value>, f64)> = None;
     for &ri in &perm {
+        guard.poll()?;
         let row = input.row(ri as usize);
         for (c, &p) in positions.iter().enumerate() {
             key_buf[c] = row[p];
         }
         let m = input.measure(ri as usize);
         match &mut current {
-            Some((key, acc)) if *key == key_buf => *acc = sr.add(*acc, m),
+            Some((key, acc)) if *key == key_buf => {
+                let folded = sr.add(*acc, m);
+                if !sr.is_valid_accumulation(folded) {
+                    return Err(AlgebraError::NonFiniteMeasure {
+                        op: "sort_group_by",
+                        value: folded,
+                    });
+                }
+                *acc = folded;
+            }
             Some((key, acc)) => {
                 out.push_row(key, *acc)?;
+                guard.produced()?;
                 *key = key_buf.clone();
                 *acc = m;
             }
@@ -140,7 +179,9 @@ pub fn sort_group_by(
     }
     if let Some((key, acc)) = current {
         out.push_row(&key, acc)?;
+        guard.produced()?;
     }
+    guard.finish()?;
     Ok(out)
 }
 

@@ -1,0 +1,133 @@
+//! Fault-injection coverage of every instrumented operator site: an armed
+//! site makes exactly its operator return [`AlgebraError::FaultInjected`],
+//! the arm disarms after firing (so a retry succeeds), and plans running
+//! through the [`Executor`] surface the error without panicking.
+//!
+//! Run with `cargo test -p mpf-algebra --features fault-injection`.
+#![cfg(feature = "fault-injection")]
+
+use std::sync::Mutex;
+
+use mpf_algebra::{
+    fault, ops, partitioned, sort_ops, AlgebraError, Executor, Plan, RelationStore,
+};
+use mpf_semiring::SemiringKind;
+use mpf_storage::{Catalog, FunctionalRelation, Schema};
+
+/// One operator invocation under test.
+type OpCall<'a> = Box<dyn Fn() -> Result<FunctionalRelation, AlgebraError> + 'a>;
+
+/// The fault registry is process-global; tests that arm sites serialize on
+/// this lock so one test's arms never fire in another.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn fixtures() -> (Catalog, FunctionalRelation, FunctionalRelation) {
+    let mut cat = Catalog::new();
+    let a = cat.add_var("a", 3).unwrap();
+    let b = cat.add_var("b", 3).unwrap();
+    let c = cat.add_var("c", 3).unwrap();
+    let l = FunctionalRelation::complete("l", Schema::new(vec![a, b]).unwrap(), &cat, |row| {
+        (row[0] * 3 + row[1] + 1) as f64
+    });
+    let r = FunctionalRelation::complete("r", Schema::new(vec![b, c]).unwrap(), &cat, |row| {
+        (row[0] + 2 * row[1] + 1) as f64
+    });
+    (cat, l, r)
+}
+
+fn injected(site: &str) -> AlgebraError {
+    AlgebraError::FaultInjected(site.to_string())
+}
+
+/// Every instrumented operator: arming the site fails exactly that call,
+/// and the very next call (the retry a fallback chain would make)
+/// succeeds because Nth arms disarm after firing.
+#[test]
+fn each_operator_site_fires_once() {
+    let _g = lock();
+    fault::clear_all();
+    let (cat, l, r) = fixtures();
+    let a = cat.var("a").unwrap();
+    let sr = SemiringKind::SumProduct;
+
+    let calls: Vec<(&str, OpCall<'_>)> = vec![
+        ("product_join", Box::new(|| ops::product_join(sr, &l, &r))),
+        ("group_by", Box::new(|| ops::group_by(sr, &l, &[a]))),
+        ("select_eq", Box::new(|| ops::select_eq(&l, &[(a, 0)]))),
+        (
+            "product_semijoin",
+            Box::new(|| ops::product_semijoin(sr, &l, &r)),
+        ),
+        (
+            "update_semijoin",
+            Box::new(|| ops::update_semijoin(sr, &l, &r)),
+        ),
+        ("divide_join", Box::new(|| ops::divide_join(sr, &l, &r))),
+        (
+            "naive_mpf",
+            Box::new(|| ops::naive_mpf(sr, &[&l, &r], &[], &[a])),
+        ),
+        ("merge_join", Box::new(|| sort_ops::merge_join(sr, &l, &r))),
+        (
+            "sort_group_by",
+            Box::new(|| sort_ops::sort_group_by(sr, &l, &[a])),
+        ),
+        (
+            "grace_join",
+            Box::new(|| partitioned::grace_join(sr, &l, &r, 4)),
+        ),
+        (
+            "parallel_join",
+            Box::new(|| partitioned::parallel_join(sr, &l, &r, 2)),
+        ),
+        (
+            "parallel_group_by",
+            Box::new(|| partitioned::parallel_group_by(sr, &l, &[a], 2)),
+        ),
+    ];
+
+    for (site, call) in &calls {
+        fault::inject(site, 1);
+        assert_eq!(call().unwrap_err(), injected(site), "site {site}");
+        assert!(call().is_ok(), "site {site} must disarm after firing");
+    }
+}
+
+#[test]
+fn second_invocation_faults_leave_first_intact() {
+    let _g = lock();
+    fault::clear_all();
+    let (cat, l, _) = fixtures();
+    let a = cat.var("a").unwrap();
+    let sr = SemiringKind::SumProduct;
+
+    fault::inject("group_by", 2);
+    let first = ops::group_by(sr, &l, &[a]).unwrap();
+    assert_eq!(ops::group_by(sr, &l, &[a]).unwrap_err(), injected("group_by"));
+    // Disarmed again; results are unaffected by the fault machinery.
+    assert!(first.function_eq(&ops::group_by(sr, &l, &[a]).unwrap()));
+}
+
+#[test]
+fn executor_surfaces_faults_as_errors() {
+    let _g = lock();
+    fault::clear_all();
+    let (_, l, r) = fixtures();
+    let mut s = RelationStore::new();
+    s.insert(l);
+    s.insert(r);
+    let exec = Executor::new(&s, SemiringKind::SumProduct);
+    let plan = Plan::group_by(Plan::join(Plan::scan("l"), Plan::scan("r")), vec![]);
+
+    fault::inject_always("product_join");
+    assert_eq!(
+        exec.execute(&plan).unwrap_err(),
+        injected("product_join")
+    );
+    fault::clear("product_join");
+    assert!(exec.execute(&plan).is_ok());
+}

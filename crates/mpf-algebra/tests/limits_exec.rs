@@ -1,0 +1,164 @@
+//! Executor-level tests for resource budgets ([`mpf_algebra::ExecLimits`]):
+//! each limit trips with a typed error, and — the transparency property —
+//! limits set high enough never change a query's result.
+
+use std::time::Duration;
+
+use mpf_algebra::{
+    AlgebraError, CancelToken, ExecLimits, Executor, Plan, RelationStore, ResourceKind,
+};
+use mpf_semiring::SemiringKind;
+use mpf_storage::{Catalog, FunctionalRelation, Schema, VarId};
+use proptest::prelude::*;
+
+/// r1(a, b) ⋈ r2(b, c) over 3-value domains, with the given measures
+/// (row-major over the complete relations).
+fn store_with(m1: &[f64], m2: &[f64]) -> (RelationStore, VarId, VarId, VarId) {
+    let mut c = Catalog::new();
+    let a = c.add_var("a", 3).unwrap();
+    let b = c.add_var("b", 3).unwrap();
+    let d = c.add_var("c", 3).unwrap();
+    let mut s = RelationStore::new();
+    s.insert(
+        FunctionalRelation::from_rows(
+            "r1",
+            Schema::new(vec![a, b]).unwrap(),
+            (0..9u32).map(|i| (vec![i / 3, i % 3], m1[i as usize])),
+        )
+        .unwrap(),
+    );
+    s.insert(
+        FunctionalRelation::from_rows(
+            "r2",
+            Schema::new(vec![b, d]).unwrap(),
+            (0..9u32).map(|i| (vec![i / 3, i % 3], m2[i as usize])),
+        )
+        .unwrap(),
+    );
+    (s, a, b, d)
+}
+
+fn join_plan(group: Vec<VarId>) -> Plan {
+    Plan::group_by(Plan::join(Plan::scan("r1"), Plan::scan("r2")), group)
+}
+
+#[test]
+fn row_cap_trips_with_typed_error() {
+    let (s, _, _, d) = store_with(&[1.0; 9], &[1.0; 9]);
+    // The join produces 27 rows; cap operators at 10.
+    let exec = Executor::with_limits(
+        &s,
+        SemiringKind::SumProduct,
+        ExecLimits::none().with_max_output_rows(10),
+    );
+    match exec.execute(&join_plan(vec![d])) {
+        Err(AlgebraError::ResourceExhausted {
+            resource: ResourceKind::OutputRows,
+            limit: 10,
+            ..
+        }) => {}
+        other => panic!("expected OutputRows trip, got {other:?}"),
+    }
+}
+
+#[test]
+fn cell_cap_trips_on_first_scan() {
+    let (s, _, _, d) = store_with(&[1.0; 9], &[1.0; 9]);
+    let exec = Executor::with_limits(
+        &s,
+        SemiringKind::SumProduct,
+        ExecLimits::none().with_max_total_cells(1),
+    );
+    match exec.execute(&join_plan(vec![d])) {
+        Err(AlgebraError::ResourceExhausted {
+            resource: ResourceKind::TotalCells,
+            limit: 1,
+            observed,
+        }) => assert!(observed > 1, "scan must charge all its cells"),
+        other => panic!("expected TotalCells trip, got {other:?}"),
+    }
+}
+
+#[test]
+fn cancellation_stops_execution() {
+    let (s, _, _, d) = store_with(&[1.0; 9], &[1.0; 9]);
+    let token = CancelToken::new();
+    token.cancel();
+    let exec = Executor::with_limits(
+        &s,
+        SemiringKind::SumProduct,
+        ExecLimits::none().with_cancel_token(token),
+    );
+    assert_eq!(
+        exec.execute(&join_plan(vec![d])).unwrap_err(),
+        AlgebraError::Cancelled
+    );
+}
+
+#[test]
+fn expired_deadline_trips() {
+    let (s, _, _, d) = store_with(&[1.0; 9], &[1.0; 9]);
+    let exec = Executor::with_limits(
+        &s,
+        SemiringKind::SumProduct,
+        ExecLimits::none().with_timeout(Duration::ZERO),
+    );
+    match exec.execute(&join_plan(vec![d])) {
+        Err(AlgebraError::ResourceExhausted {
+            resource: ResourceKind::WallClock,
+            ..
+        }) => {}
+        other => panic!("expected WallClock trip, got {other:?}"),
+    }
+}
+
+#[test]
+fn unlimited_limits_mean_no_budget() {
+    let (s, _, _, _) = store_with(&[1.0; 9], &[1.0; 9]);
+    let exec = Executor::with_limits(&s, SemiringKind::SumProduct, ExecLimits::none());
+    assert!(exec.budget().is_none());
+}
+
+proptest! {
+    /// Guardrail transparency: under any semiring, measures, and grouping,
+    /// an execution with limits far above the query's needs returns exactly
+    /// the relation an unlimited execution returns.
+    #[test]
+    fn generous_limits_are_transparent(
+        m1 in prop::collection::vec(0.1f64..10.0, 9),
+        m2 in prop::collection::vec(0.1f64..10.0, 9),
+        which in 0usize..4,
+        sr_idx in 0usize..3,
+    ) {
+        let (s, a, _, d) = store_with(&m1, &m2);
+        let group = match which {
+            0 => vec![a],
+            1 => vec![d],
+            2 => vec![a, d],
+            _ => vec![],
+        };
+        let sr = [
+            SemiringKind::SumProduct,
+            SemiringKind::MinSum,
+            SemiringKind::MaxProduct,
+        ][sr_idx];
+        let plan = join_plan(group);
+
+        let unlimited = Executor::new(&s, sr);
+        let (want, want_stats) = unlimited.execute(&plan).unwrap();
+
+        let generous = ExecLimits::none()
+            .with_max_output_rows(1_000_000)
+            .with_max_total_cells(10_000_000)
+            .with_timeout(Duration::from_secs(3600))
+            .with_cancel_token(CancelToken::new());
+        let limited = Executor::with_limits(&s, sr, generous);
+        let (got, got_stats) = limited.execute(&plan).unwrap();
+
+        prop_assert!(want.function_eq(&got));
+        prop_assert_eq!(want_stats.rows_processed, got_stats.rows_processed);
+        // The budget observed the work even though nothing tripped.
+        let budget = limited.budget().unwrap();
+        prop_assert!(budget.cells_used() > 0);
+    }
+}

@@ -1,11 +1,11 @@
 use std::collections::HashMap;
 use std::time::Instant;
 
-use mpf_algebra::{Executor, Plan, RelationProvider, RelationStore};
+use mpf_algebra::{fault, ExecLimits, Executor, Plan, RelationProvider, RelationStore};
 use mpf_infer::VeCache;
 use mpf_optimizer::{
     choose_physical, linearity::linearity_test, linearity::LinearityTest, optimize, Algorithm,
-    BaseRel, CostModel, OptContext, PhysicalConfig, QuerySpec,
+    BaseRel, CostModel, Heuristic, OptContext, PhysicalConfig, QuerySpec, MAX_DP_RELATIONS,
 };
 use mpf_semiring::{resolve_semiring, Aggregate, Combine, SemiringKind};
 use mpf_storage::{Catalog, FunctionalRelation, Value, VarId};
@@ -54,6 +54,52 @@ pub enum Override {
     },
 }
 
+/// The engine's strategy fallback chain.
+///
+/// When a query attempt fails with an error a different strategy can
+/// plausibly cure ([`EngineError::fallback_may_cure`]: a row/cell budget
+/// trip, an injected fault, a worker panic, or the optimizer's
+/// relation-count limit), the engine retries down this chain, skipping
+/// entries equal to strategies already tried. The serving strategy and the
+/// failed attempts are recorded in [`Answer::served_by`] and
+/// [`Answer::fallback`]. Cancellation and missed wall-clock deadlines are
+/// never retried.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FallbackPolicy {
+    /// Strategies to try, in order, after the query's requested strategy.
+    pub chain: Vec<Strategy>,
+}
+
+impl Default for FallbackPolicy {
+    /// Progressively simpler strategies: extended Variable Elimination,
+    /// then linear CS+, then the join-all naive plan — which performs no
+    /// plan search at all, so it survives optimizer-side failures on any
+    /// view.
+    fn default() -> Self {
+        FallbackPolicy {
+            chain: vec![
+                Strategy::VePlus(Heuristic::Degree),
+                Strategy::CsPlusLinear,
+                Strategy::Naive,
+            ],
+        }
+    }
+}
+
+impl FallbackPolicy {
+    /// Disable fallback: the requested strategy's error is returned as-is.
+    pub fn none() -> FallbackPolicy {
+        FallbackPolicy { chain: Vec::new() }
+    }
+
+    /// A custom chain.
+    pub fn of(chain: impl IntoIterator<Item = Strategy>) -> FallbackPolicy {
+        FallbackPolicy {
+            chain: chain.into_iter().collect(),
+        }
+    }
+}
+
 /// Outcome of running a SQL statement.
 #[derive(Debug, Clone)]
 pub enum SqlOutcome {
@@ -74,6 +120,10 @@ pub struct Database {
     /// Declared narrow functional dependencies (`X -> f` with
     /// `X ⊂ Var(s)`), keyed by relation name; feed Proposition 1.
     fds: HashMap<String, Vec<VarId>>,
+    /// Resource budgets enforced on every query execution.
+    limits: ExecLimits,
+    /// Strategy fallback chain for recoverable query failures.
+    fallback: FallbackPolicy,
 }
 
 impl Default for Database {
@@ -83,7 +133,8 @@ impl Default for Database {
 }
 
 impl Database {
-    /// An empty database (IO cost model).
+    /// An empty database (IO cost model, no resource limits, default
+    /// fallback chain).
     pub fn new() -> Database {
         Database {
             catalog: Catalog::new(),
@@ -91,6 +142,8 @@ impl Database {
             views: HashMap::new(),
             cost_model: CostModel::Io,
             fds: HashMap::new(),
+            limits: ExecLimits::none(),
+            fallback: FallbackPolicy::default(),
         }
     }
 
@@ -98,6 +151,31 @@ impl Database {
     pub fn with_cost_model(mut self, cm: CostModel) -> Database {
         self.cost_model = cm;
         self
+    }
+
+    /// Enforce resource budgets ([`ExecLimits`]) on every query this
+    /// database executes. A configured deadline is measured per attempt,
+    /// starting when execution of that attempt begins.
+    pub fn with_limits(mut self, limits: ExecLimits) -> Database {
+        self.limits = limits;
+        self
+    }
+
+    /// Replace the strategy fallback chain ([`FallbackPolicy::none`]
+    /// disables fallback entirely).
+    pub fn with_fallback(mut self, fallback: FallbackPolicy) -> Database {
+        self.fallback = fallback;
+        self
+    }
+
+    /// The resource budgets queries run under.
+    pub fn limits(&self) -> &ExecLimits {
+        &self.limits
+    }
+
+    /// The active fallback chain.
+    pub fn fallback(&self) -> &FallbackPolicy {
+        &self.fallback
     }
 
     /// Build a database around an existing catalog and relation store (as
@@ -109,6 +187,8 @@ impl Database {
             views: HashMap::new(),
             cost_model: CostModel::Io,
             fds: HashMap::new(),
+            limits: ExecLimits::none(),
+            fallback: FallbackPolicy::default(),
         }
     }
 
@@ -195,6 +275,9 @@ impl Database {
         if self.views.contains_key(name) {
             return Err(EngineError::DuplicateView(name.to_string()));
         }
+        if base.is_empty() {
+            return Err(EngineError::EmptyView(name.to_string()));
+        }
         for b in base {
             if !self.store.contains(b) {
                 return Err(EngineError::Storage(
@@ -246,12 +329,47 @@ impl Database {
         let spec = self.resolve_spec(q)?;
         let ctx = self.opt_context(view, store, spec)?;
 
+        // The requested strategy first, then the fallback chain, with
+        // already-tried entries skipped.
+        let mut attempts = vec![q.strategy];
+        for s in &self.fallback.chain {
+            if !attempts.contains(s) {
+                attempts.push(*s);
+            }
+        }
+
+        let mut failed: Vec<(Strategy, EngineError)> = Vec::new();
+        let last = attempts.len() - 1;
+        for (i, &strategy) in attempts.iter().enumerate() {
+            match self.attempt(q, store, &ctx, sr, strategy) {
+                Ok(mut answer) => {
+                    answer.served_by = strategy;
+                    answer.fallback = failed;
+                    return Ok(answer);
+                }
+                Err(e) if i < last && e.fallback_may_cure() => failed.push((strategy, e)),
+                Err(e) => return Err(e),
+            }
+        }
+        // `attempts` is non-empty, so the loop always returns.
+        Err(EngineError::EmptyView(q.view.clone()))
+    }
+
+    /// One optimize-and-execute attempt with a single strategy.
+    fn attempt(
+        &self,
+        q: &Query,
+        store: &RelationStore,
+        ctx: &OptContext<'_>,
+        sr: SemiringKind,
+        strategy: Strategy,
+    ) -> Result<Answer> {
         let t0 = Instant::now();
-        let (plan, est_cost) = self.plan_for(&ctx, q.strategy);
-        let physical = choose_physical(&ctx, &plan, PhysicalConfig::default());
+        let (plan, est_cost) = self.plan_for(&q.view, ctx, strategy)?;
+        let physical = choose_physical(ctx, &plan, PhysicalConfig::default());
         let optimize_time = t0.elapsed();
 
-        let exec = Executor::new(store, sr);
+        let exec = Executor::with_limits(store, sr, self.limits.clone());
         let t1 = Instant::now();
         let (mut relation, stats) = exec.execute_physical(&physical)?;
         let execute_time = t1.elapsed();
@@ -270,6 +388,8 @@ impl Database {
 
         Ok(Answer {
             relation,
+            served_by: strategy,
+            fallback: Vec::new(),
             plan,
             physical,
             est_cost,
@@ -284,7 +404,7 @@ impl Database {
         let view = self.view(&q.view)?;
         let spec = self.resolve_spec(q)?;
         let ctx = self.opt_context(view, &self.store, spec)?;
-        let (plan, est_cost) = self.plan_for(&ctx, q.strategy);
+        let (plan, est_cost) = self.plan_for(&q.view, &ctx, q.strategy)?;
         let physical = choose_physical(&ctx, &plan, PhysicalConfig::default());
         let catalog = &self.catalog;
         Ok(format!(
@@ -334,24 +454,48 @@ impl Database {
                     })
             })
             .collect::<Result<_>>()?;
+        // Every query variable must occur in some base relation; the
+        // optimizer's linearity test and plan search assume it.
+        for &v in spec
+            .group_vars
+            .iter()
+            .chain(spec.predicates.iter().map(|(v, _)| v))
+        {
+            if !base.iter().any(|b| b.schema.contains(v)) {
+                return Err(EngineError::UnknownVariable(format!(
+                    "{} (not in any base relation of view `{}`)",
+                    self.catalog.name(v),
+                    view.name
+                )));
+            }
+        }
         Ok(OptContext::new(&self.catalog, base, spec, self.cost_model))
     }
 
-    fn plan_for(&self, ctx: &OptContext<'_>, strategy: Strategy) -> (Plan, f64) {
+    fn plan_for(
+        &self,
+        view_name: &str,
+        ctx: &OptContext<'_>,
+        strategy: Strategy,
+    ) -> Result<(Plan, f64)> {
         let algorithm = match strategy {
             Strategy::Naive => {
                 // Join in definition order, selections pushed to scans,
-                // single root group-by (Figure 3 shape).
+                // single root group-by (Figure 3 shape). No plan search,
+                // so this works on views `optimize` would reject.
+                fault::check("optimize::naive")?;
                 let mut iter = 0..ctx.rels.len();
-                let first = iter.next().expect("view has base relations");
+                let Some(first) = iter.next() else {
+                    return Err(EngineError::EmptyView(view_name.to_string()));
+                };
                 let mut plan = leaf_plan(ctx, first);
                 for i in iter {
                     plan = Plan::join(plan, leaf_plan(ctx, i));
                 }
-                return (
+                return Ok((
                     Plan::group_by(plan, ctx.query.group_vars.clone()),
                     f64::NAN,
-                );
+                ));
             }
             Strategy::Cs => Algorithm::Cs,
             Strategy::CsPlusLinear => Algorithm::CsPlusLinear,
@@ -373,8 +517,20 @@ impl Database {
                 }
             }
         };
+        // `optimize` panics on these inputs; turn both into typed errors
+        // (the second is curable by falling back to `Strategy::Naive`).
+        if ctx.rels.is_empty() {
+            return Err(EngineError::EmptyView(view_name.to_string()));
+        }
+        if ctx.rels.len() > MAX_DP_RELATIONS {
+            return Err(EngineError::TooManyRelations {
+                count: ctx.rels.len(),
+                limit: MAX_DP_RELATIONS,
+            });
+        }
+        fault::check(&format!("optimize::{}", algorithm.label()))?;
         let opt = optimize(ctx, algorithm);
-        (opt.plan, opt.est_cost)
+        Ok((opt.plan, opt.est_cost))
     }
 
     /// Parse and run one SQL statement (view creation or query).
@@ -414,8 +570,12 @@ impl Database {
         let rels: Vec<&FunctionalRelation> = view
             .base
             .iter()
-            .map(|n| self.store.relation_of(n).expect("validated at create"))
-            .collect();
+            .map(|n| {
+                self.store.relation_of(n).ok_or_else(|| {
+                    EngineError::Algebra(mpf_algebra::AlgebraError::UnknownRelation(n.clone()))
+                })
+            })
+            .collect::<Result<_>>()?;
         Ok(VeCache::build(sr, &rels, order)?)
     }
 

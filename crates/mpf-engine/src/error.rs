@@ -1,4 +1,4 @@
-use mpf_algebra::AlgebraError;
+use mpf_algebra::{AlgebraError, ResourceKind};
 use mpf_infer::InferError;
 use mpf_semiring::{Aggregate, Combine};
 use mpf_storage::StorageError;
@@ -35,6 +35,43 @@ pub enum EngineError {
     },
     /// A hypothetical override referenced a missing relation or row.
     BadOverride(String),
+    /// An MPF view with no base relations (rejected at creation, and again
+    /// defensively at planning time).
+    EmptyView(String),
+    /// The view has more base relations than the optimizer's bitmask
+    /// dynamic-programming search can enumerate. [`crate::Strategy::Naive`]
+    /// still evaluates such views (no plan search), so a fallback chain
+    /// ending in it serves the query.
+    TooManyRelations {
+        /// Base relations in the view.
+        count: usize,
+        /// The optimizer's limit.
+        limit: usize,
+    },
+}
+
+impl EngineError {
+    /// Whether retrying the query with a different evaluation strategy can
+    /// plausibly cure this error.
+    ///
+    /// A row or cell budget trip may be caused by the chosen plan's
+    /// intermediates (a cheaper-memory strategy can fit); an injected
+    /// fault, a worker-thread panic, and the optimizer's relation-count
+    /// limit are likewise strategy-specific. A missed wall-clock deadline
+    /// is not — the deadline has already passed and every further attempt
+    /// starts from zero — and cancellation, name-resolution, parse, and
+    /// data errors are strategy-independent.
+    pub fn fallback_may_cure(&self) -> bool {
+        match self {
+            EngineError::Algebra(AlgebraError::ResourceExhausted { resource, .. }) => {
+                *resource != ResourceKind::WallClock
+            }
+            EngineError::Algebra(AlgebraError::FaultInjected(_))
+            | EngineError::Algebra(AlgebraError::Internal(_))
+            | EngineError::TooManyRelations { .. } => true,
+            _ => false,
+        }
+    }
 }
 
 impl From<StorageError> for EngineError {
@@ -73,6 +110,14 @@ impl std::fmt::Display for EngineError {
                 write!(f, "parse error at byte {position}: {message}")
             }
             EngineError::BadOverride(m) => write!(f, "bad hypothetical override: {m}"),
+            EngineError::EmptyView(n) => {
+                write!(f, "mpf view `{n}` has no base relations")
+            }
+            EngineError::TooManyRelations { count, limit } => write!(
+                f,
+                "view has {count} base relations, beyond the optimizer's \
+                 {limit}-relation search limit (the naive strategy still applies)"
+            ),
         }
     }
 }

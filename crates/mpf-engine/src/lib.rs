@@ -18,17 +18,25 @@
 //!   Section 3.1 future-work forms) via [`Database::query_hypothetical`];
 //! * workload support: [`Database::build_cache`] materializes a
 //!   [`mpf_infer::VeCache`] for a view and
-//!   [`Database::query_cached`] answers from it.
+//!   [`Database::query_cached`] answers from it;
+//! * execution guardrails: [`Database::with_limits`] enforces
+//!   [`mpf_algebra::ExecLimits`] resource budgets on every query, and
+//!   [`Database::with_fallback`] configures the [`FallbackPolicy`] strategy
+//!   chain retried when an attempt trips a budget or the optimizer fails
+//!   ([`Answer::served_by`] records which strategy answered).
 
 mod database;
 mod error;
 pub mod parser;
 mod query;
 
-pub use database::{Database, MpfView, Override, SqlOutcome};
+pub use database::{Database, FallbackPolicy, MpfView, Override, SqlOutcome};
 pub use error::EngineError;
 pub use parser::{Statement, StrategySpec};
 pub use query::{Answer, Query, RangePredicate, Strategy};
+// `Strategy::Ve`/`VePlus` take a heuristic, so consumers of this crate
+// alone must be able to name it.
+pub use mpf_optimizer::Heuristic;
 
 /// Result alias for engine operations.
 pub type Result<T> = std::result::Result<T, EngineError>;

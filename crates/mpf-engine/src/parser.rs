@@ -73,11 +73,18 @@ fn err(position: usize, message: impl Into<String>) -> EngineError {
     }
 }
 
+/// Maximum parenthesis nesting depth accepted by the lexer. The grammar
+/// never needs more than a handful of levels; the cap turns adversarial
+/// inputs like ten thousand nested parentheses into a typed parse error
+/// instead of letting a recursive grammar extension overflow the stack.
+pub const MAX_NESTING_DEPTH: usize = 128;
+
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Result<Self> {
         let bytes = src.as_bytes();
         let mut toks = Vec::new();
         let mut i = 0;
+        let mut depth = 0usize;
         while i < bytes.len() {
             let c = bytes[i] as char;
             if c.is_whitespace() {
@@ -113,6 +120,17 @@ impl<'a> Lexer<'a> {
                     toks.push((Tok::Int(v), start));
                 }
             } else if "(),.=*+<>:".contains(c) {
+                if c == '(' {
+                    depth += 1;
+                    if depth > MAX_NESTING_DEPTH {
+                        return Err(err(
+                            i,
+                            format!("nesting deeper than {MAX_NESTING_DEPTH} parentheses"),
+                        ));
+                    }
+                } else if c == ')' {
+                    depth = depth.saturating_sub(1);
+                }
                 toks.push((Tok::Sym(c), i));
                 i += 1;
             } else {
@@ -560,6 +578,28 @@ mod tests {
         assert!(parse("create mpfview x as select a from t").is_err()); // no measure
         assert!(parse("select wid, sum(f) from v group by wid extra").is_err());
         assert!(parse("select wid, sum(f) from v where tid = abc group by wid").is_err());
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_overflowed() {
+        // Ten thousand nested parentheses must produce a typed parse
+        // error, not exhaust the stack.
+        let bomb = format!(
+            "create mpfview v as {}select a, measure = (* r.f) from r{}",
+            "(".repeat(10_000),
+            ")".repeat(10_000)
+        );
+        match parse(&bomb) {
+            Err(EngineError::Parse { message, .. }) => {
+                assert!(message.contains("nesting"), "{message}")
+            }
+            other => panic!("expected nesting error, got {other:?}"),
+        }
+        // The cap leaves ordinary parenthesized statements untouched.
+        assert!(parse(
+            "create mpfview v as (select a, measure = (* r.f) from r)"
+        )
+        .is_ok());
     }
 
     #[test]

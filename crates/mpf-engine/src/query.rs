@@ -191,6 +191,13 @@ fn heuristic_sql(h: Heuristic) -> String {
 pub struct Answer {
     /// The result functional relation.
     pub relation: FunctionalRelation,
+    /// The strategy that actually produced the answer. Equal to the
+    /// query's requested strategy unless the engine's fallback chain
+    /// (see [`crate::FallbackPolicy`]) had to step in.
+    pub served_by: Strategy,
+    /// Strategies that were attempted and failed before [`Self::served_by`]
+    /// succeeded, with the error each one died on. Empty on the happy path.
+    pub fallback: Vec<(Strategy, crate::EngineError)>,
     /// The logical plan the optimizer chose.
     pub plan: Plan,
     /// The physical plan actually executed (cost-chosen operator

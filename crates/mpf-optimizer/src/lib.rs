@@ -91,17 +91,22 @@ pub struct OptimizedPlan {
     pub est_rows: f64,
 }
 
+/// The most base relations [`optimize`] accepts: the bitmask
+/// dynamic-programming limit — far beyond the N ≤ 7 the paper evaluates,
+/// and beyond where Selinger-style DP is practical at all. Callers that
+/// must not panic check this before calling [`optimize`].
+pub const MAX_DP_RELATIONS: usize = 30;
+
 /// Optimize the MPF query described by `ctx` with the chosen algorithm.
 ///
 /// # Panics
-/// Panics if `ctx` has no base relations, or more than 30 base relations
-/// (the bitmask dynamic-programming limit — far beyond the N ≤ 7 the paper
-/// evaluates, and beyond where Selinger-style DP is practical at all).
+/// Panics if `ctx` has no base relations, or more than
+/// [`MAX_DP_RELATIONS`] base relations.
 pub fn optimize(ctx: &OptContext<'_>, algorithm: Algorithm) -> OptimizedPlan {
     assert!(!ctx.rels.is_empty(), "cannot optimize over zero relations");
     assert!(
-        ctx.rels.len() <= 30,
-        "dynamic programming limit is 30 relations"
+        ctx.rels.len() <= MAX_DP_RELATIONS,
+        "dynamic programming limit is {MAX_DP_RELATIONS} relations"
     );
     let sub = match algorithm {
         Algorithm::Cs => cs::plan_linear(ctx, false),

@@ -476,7 +476,69 @@ impl SemiringKind {
             SemiringKind::BoolOrAnd => v == 0.0 || v == 1.0,
         }
     }
+
+    /// Whether a value is acceptable as an *accumulator* (the running
+    /// result of folding `add`/`mul`) in this semiring.
+    ///
+    /// Policy: `NaN` is never acceptable — it only arises from invalid
+    /// inputs or undefined operations and silently poisons every
+    /// downstream measure. An infinity is acceptable **only when it is
+    /// this semiring's additive identity** (`+∞` for min-sum/min-product,
+    /// `−∞` for max-sum/log-sum-product): those infinities are genuine
+    /// carrier elements (the value of an empty aggregate), while in the
+    /// real-valued semirings (sum-product, max-product, Boolean) an
+    /// infinite accumulator can only mean overflow or infinite inputs.
+    pub fn is_valid_accumulation(self, v: f64) -> bool {
+        if v.is_nan() {
+            return false;
+        }
+        v.is_finite() || v == self.zero()
+    }
+
+    /// [`SemiringKind::add`] that rejects results outside the carrier (see
+    /// [`SemiringKind::is_valid_accumulation`]).
+    pub fn checked_add(self, a: f64, b: f64) -> Result<f64, MeasureError> {
+        let v = self.add(a, b);
+        if self.is_valid_accumulation(v) {
+            Ok(v)
+        } else {
+            Err(MeasureError { semiring: self, value: v })
+        }
+    }
+
+    /// [`SemiringKind::mul`] that rejects results outside the carrier (see
+    /// [`SemiringKind::is_valid_accumulation`]).
+    pub fn checked_mul(self, a: f64, b: f64) -> Result<f64, MeasureError> {
+        let v = self.mul(a, b);
+        if self.is_valid_accumulation(v) {
+            Ok(v)
+        } else {
+            Err(MeasureError { semiring: self, value: v })
+        }
+    }
 }
+
+/// A semiring operation produced a measure outside the semiring's carrier
+/// set (NaN, or an infinity that is not the additive identity).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasureError {
+    /// The semiring in which the operation ran.
+    pub semiring: SemiringKind,
+    /// The offending value.
+    pub value: f64,
+}
+
+impl core::fmt::Display for MeasureError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "measure {} is outside the carrier of the {:?} semiring",
+            self.value, self.semiring
+        )
+    }
+}
+
+impl std::error::Error for MeasureError {}
 
 /// The aggregate function named in an MPF query (`AGG` in Definition 3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -659,6 +721,45 @@ mod tests {
         // Empty folds give identities.
         assert_eq!(k.sum([]), 0.0);
         assert_eq!(t.sum([]), f64::INFINITY);
+    }
+
+    #[test]
+    fn accumulation_validity_is_semiring_aware() {
+        // NaN is invalid everywhere.
+        for k in SemiringKind::ALL {
+            assert!(!k.is_valid_accumulation(f64::NAN), "{k:?}");
+            assert!(k.is_valid_accumulation(1.0), "{k:?}");
+        }
+        // Tropical identities are legal accumulators...
+        assert!(SemiringKind::MinSum.is_valid_accumulation(f64::INFINITY));
+        assert!(SemiringKind::MinProduct.is_valid_accumulation(f64::INFINITY));
+        assert!(SemiringKind::MaxSum.is_valid_accumulation(f64::NEG_INFINITY));
+        assert!(SemiringKind::LogSumProduct.is_valid_accumulation(f64::NEG_INFINITY));
+        // ...but the opposite infinity is not in those carriers.
+        assert!(!SemiringKind::MinSum.is_valid_accumulation(f64::NEG_INFINITY));
+        assert!(!SemiringKind::MaxSum.is_valid_accumulation(f64::INFINITY));
+        // Real-valued semirings treat any infinity as overflow.
+        assert!(!SemiringKind::SumProduct.is_valid_accumulation(f64::INFINITY));
+        assert!(!SemiringKind::SumProduct.is_valid_accumulation(f64::NEG_INFINITY));
+        assert!(!SemiringKind::MaxProduct.is_valid_accumulation(f64::INFINITY));
+    }
+
+    #[test]
+    fn checked_ops_catch_overflow_and_nan() {
+        let sp = SemiringKind::SumProduct;
+        assert_eq!(sp.checked_add(2.0, 3.0), Ok(5.0));
+        assert_eq!(sp.checked_mul(2.0, 3.0), Ok(6.0));
+        let overflow = sp.checked_add(f64::MAX, f64::MAX).unwrap_err();
+        assert_eq!(overflow.semiring, sp);
+        assert_eq!(overflow.value, f64::INFINITY);
+        assert!(sp.checked_mul(f64::MAX, 2.0).is_err());
+        // inf − inf = NaN in min-sum division-adjacent arithmetic; via mul
+        // the NaN path is inf + (−inf).
+        let ms = SemiringKind::MinSum;
+        assert!(ms.checked_mul(f64::INFINITY, f64::NEG_INFINITY).is_err());
+        // The tropical identity flows through checked ops untouched.
+        assert_eq!(ms.checked_add(f64::INFINITY, f64::INFINITY), Ok(f64::INFINITY));
+        assert!(format!("{}", overflow).contains("SumProduct"));
     }
 
     #[test]

@@ -42,11 +42,9 @@ pub fn read_csv(
     let vars: Vec<_> = var_names
         .iter()
         .map(|n| {
-            // Existing variable or fresh one with an initially-empty domain
+            // Existing variable or fresh one with a minimal domain
             // (grown by interning below).
-            catalog
-                .var(n)
-                .or_else(|_| catalog.add_var(n, 0.max(1)))
+            catalog.var(n).or_else(|_| catalog.add_var(n, 1))
         })
         .collect::<Result<_>>()?;
 

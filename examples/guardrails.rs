@@ -1,0 +1,67 @@
+//! Execution guardrails on the paper's supply-chain scenario: resource
+//! budgets, cancellation, and the strategy-fallback chain.
+//!
+//! Run with: `cargo run --release --example guardrails`
+
+use std::time::Duration;
+
+use mpf::algebra::{CancelToken, ExecLimits};
+use mpf::datagen::{SupplyChain, SupplyChainConfig};
+use mpf::engine::{Database, FallbackPolicy, Query};
+use mpf::semiring::Combine;
+
+const VIEW_RELS: [&str; 5] = ["contracts", "location", "warehouses", "ctdeals", "transporters"];
+
+fn supply_chain_db() -> Result<Database, Box<dyn std::error::Error>> {
+    let sc = SupplyChain::generate(SupplyChainConfig::at_scale(0.01));
+    let mut db = Database::from_parts(sc.catalog.clone(), sc.store.clone());
+    db.create_view("invest", &VIEW_RELS, Combine::Product)?;
+    Ok(db)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A starved budget: one materialized cell is never enough for the
+    //    supply-chain view, so the query is rejected with a typed error
+    //    instead of running away.
+    let db = supply_chain_db()?.with_limits(ExecLimits::none().with_max_total_cells(1));
+    match db.query(&Query::on("invest").group_by(["wid"])) {
+        Err(e) => println!("1-cell budget  -> {e}"),
+        Ok(_) => unreachable!("a 1-cell budget cannot satisfy this query"),
+    }
+
+    // 2. A pre-cancelled token: the query stops at the first check.
+    let token = CancelToken::new();
+    token.cancel();
+    let db = supply_chain_db()?.with_limits(ExecLimits::none().with_cancel_token(token));
+    match db.query(&Query::on("invest").group_by(["wid"])) {
+        Err(e) => println!("cancelled      -> {e}"),
+        Ok(_) => unreachable!("cancelled queries must not produce answers"),
+    }
+
+    // 3. Generous limits are transparent, and the answer records which
+    //    strategy served it.
+    let db = supply_chain_db()?
+        .with_limits(
+            ExecLimits::none()
+                .with_max_total_cells(10_000_000)
+                .with_timeout(Duration::from_secs(2)),
+        )
+        .with_fallback(FallbackPolicy::default());
+    let ans = db.query(&Query::on("invest").group_by(["wid"]).filter("wid", 1))?;
+    println!(
+        "generous       -> warehouse 1 carries {:.2} (served by {:?}, {} fallback attempts)",
+        ans.relation.measure(0),
+        ans.served_by,
+        ans.fallback.len()
+    );
+
+    // 4. The parser refuses pathological nesting instead of overflowing.
+    let mut db = supply_chain_db()?;
+    let bomb = format!("{}select wid, sum(f) from invest group by wid{}", "(".repeat(10_000), ")".repeat(10_000));
+    match db.run_sql(&bomb) {
+        Err(e) => println!("10k-paren bomb -> {e}"),
+        Ok(_) => unreachable!("pathological nesting must be rejected"),
+    }
+
+    Ok(())
+}

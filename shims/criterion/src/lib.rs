@@ -1,0 +1,245 @@
+#![warn(missing_docs)]
+//! Offline drop-in replacement for the subset of the `criterion` API the
+//! workspace's benches use.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! aliases the dependency name `criterion` to this crate. Bench files keep
+//! their imports, `criterion_group!` / `criterion_main!` wiring, and
+//! closure structure unchanged.
+//!
+//! Measurement is deliberately simple: a short warmup, then a timed batch
+//! sized to the configured measurement window, reporting the mean
+//! iteration time. There is no statistical analysis, outlier detection, or
+//! HTML report — the point is that `cargo bench` builds, runs every bench
+//! path, and prints comparable numbers.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Conversion accepted by `bench_function` — string names or full
+/// [`BenchmarkId`]s, as in real criterion.
+pub trait IntoBenchmarkId {
+    /// Convert to the printable id.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self.to_string())
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self)
+    }
+}
+
+/// The timing harness handed to bench closures.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, first warming up, then running as many iterations
+    /// as fit in the measurement window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup + calibration: run until ~1/8 of the window has passed.
+        let warmup_budget = self.measurement_time / 8;
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        loop {
+            std::hint::black_box(routine());
+            warmup_iters += 1;
+            if warmup_start.elapsed() >= warmup_budget {
+                break;
+            }
+        }
+        let per_iter = warmup_start.elapsed() / warmup_iters as u32;
+        let budget = self.measurement_time - warmup_budget;
+        let iters = (budget.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters_done = iters;
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: BenchmarkId, mut f: F) {
+        let full = format!("{}/{}", self.name, id.0);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+            measurement_time: self.criterion.measurement_time,
+        };
+        f(&mut b);
+        let mean = if b.iters_done == 0 {
+            Duration::ZERO
+        } else {
+            b.elapsed / b.iters_done as u32
+        };
+        println!("{full:<60} {mean:>12.2?}/iter ({} iters)", b.iters_done);
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, f: F) {
+        self.run(id.into_benchmark_id(), f);
+    }
+
+    /// Benchmark a closure that receives a reference to a fixed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        self.run(id.into_benchmark_id(), |b| f(b, input));
+    }
+
+    /// Tolerated configuration hook; the shim sizes batches by time, not
+    /// sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Set the measurement window for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Top-level bench driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    measurement_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Substring filter: `cargo bench -- <name>`. Harness flags cargo
+        // passes (`--bench`, `--test`) and `--option=value` forms are
+        // ignored rather than rejected.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        Criterion {
+            measurement_time: Duration::from_millis(400),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    /// Benchmark a closure outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let mut g = BenchmarkGroup {
+            name: "bench".to_string(),
+            criterion: self,
+        };
+        g.run(id.into_benchmark_id(), f);
+        self
+    }
+
+    /// Set the measurement window.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+}
+
+/// Define a bench group: a named function that runs each bench fn in turn.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($bench(&mut c);)+
+        }
+    };
+}
+
+/// Define the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_reports_iterations() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(20));
+        let mut g = c.benchmark_group("smoke");
+        let mut ran = false;
+        g.bench_function("noop", |b| {
+            b.iter(|| std::hint::black_box(1 + 1));
+            ran = true;
+        });
+        g.bench_with_input(BenchmarkId::from_parameter(42), &7u64, |b, &i| {
+            b.iter(|| std::hint::black_box(i * 2));
+        });
+        g.finish();
+        assert!(ran);
+    }
+}

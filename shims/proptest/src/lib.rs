@@ -1,0 +1,559 @@
+#![warn(missing_docs)]
+//! Offline drop-in replacement for the subset of the `proptest` API this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! aliases the dependency name `proptest` to this crate. Property tests
+//! keep their `use proptest::prelude::*;` imports and `proptest! { ... }`
+//! blocks unchanged.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports the test name, case index,
+//!   and the deterministic per-test seed; re-running reproduces it exactly.
+//! * **Deterministic seeding.** Each `proptest!` test derives its RNG seed
+//!   from the test function name (FNV-1a), so runs are reproducible across
+//!   machines and CI — there is no `proptest-regressions` persistence.
+//! * **Sampling only.** [`Strategy`] is a sampler, not a value tree.
+//!
+//! Supported surface: range strategies, tuples (arity ≤ 6), [`Just`],
+//! `any::<bool>()`, simple regex string strategies (character classes with
+//! `{m,n}` repetition), [`collection::vec`], [`collection::btree_map`],
+//! [`option::of`], [`bool::weighted`], `prop_map` / `prop_flat_map` /
+//! `prop_filter` / `boxed`, `prop_oneof!`, `proptest!`, `prop_assert!`,
+//! `prop_assert_eq!`, `prop_assume!`, and [`ProptestConfig::with_cases`].
+
+use std::fmt::Debug;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+pub mod strategy;
+
+pub use strategy::{BoxedStrategy, Just, Strategy, Union};
+
+/// The RNG handed to strategies while sampling.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Deterministic generator for a given seed.
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.0.random()
+    }
+
+    /// Uniform index in `[0, n)`.
+    pub fn index(&mut self, n: usize) -> usize {
+        self.0.random_range(0..n)
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// FNV-1a hash of a test name; the per-test deterministic seed.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// Assertion failure — the property is violated.
+    Fail(String),
+    /// The sampled inputs do not satisfy a precondition (`prop_assume!`);
+    /// the case is skipped, not failed.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection with the given message.
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "test case rejected: {m}"),
+        }
+    }
+}
+
+/// Per-case result type used by `proptest!` bodies.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration, mirroring `proptest::test_runner::ProptestConfig`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+    /// Maximum `prop_assume!`/filter rejections before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+/// Drives one property: samples inputs and runs the body until the
+/// configured number of cases pass. Used by the `proptest!` expansion.
+pub fn run_property(
+    name: &str,
+    config: &ProptestConfig,
+    mut case: impl FnMut(&mut TestRng) -> TestCaseResult,
+) {
+    let mut rng = TestRng::from_seed(seed_for(name));
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let mut attempt = 0u32;
+    while passed < config.cases {
+        attempt += 1;
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "property `{name}`: too many rejected cases \
+                         ({rejected} rejects after {passed} passes)"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "property `{name}` failed at case {attempt} \
+                     (deterministic seed {seed:#x}): {msg}",
+                    seed = seed_for(name),
+                );
+            }
+        }
+    }
+}
+
+/// `any::<T>()` support, mirroring `proptest::arbitrary`.
+pub trait Arbitrary: Sized + Debug {
+    /// The canonical strategy for the type.
+    type Strategy: Strategy<Value = Self>;
+    /// Build the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+impl Arbitrary for bool {
+    type Strategy = crate::bool::Weighted;
+    fn arbitrary() -> Self::Strategy {
+        crate::bool::weighted(0.5)
+    }
+}
+
+/// The canonical strategy for `T` (`any::<bool>()` etc.).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::collections::BTreeMap;
+
+    /// Length specification for collection strategies: a fixed `usize` or
+    /// a (half-open or inclusive) range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            if self.hi <= self.lo {
+                self.lo
+            } else {
+                self.lo + rng.index(self.hi - self.lo + 1)
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s of values drawn from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` of `size` elements sampled from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap`s with keys from `key` and values from `val`.
+    #[derive(Debug, Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        val: V,
+        size: SizeRange,
+    }
+
+    /// `BTreeMap` with up to `size` entries (duplicate keys collapse, as in
+    /// real proptest).
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        val: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy {
+            key,
+            val,
+            size: size.into(),
+        }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord + Clone,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn sample(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            let n = self.size.sample(rng);
+            let mut out = BTreeMap::new();
+            for _ in 0..n {
+                out.insert(self.key.sample(rng), self.val.sample(rng));
+            }
+            out
+        }
+    }
+}
+
+/// `Option` strategies, mirroring `proptest::option`.
+pub mod option {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Strategy for `Option`s of an inner strategy's values.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    /// `Some` with probability 3/4, `None` otherwise (matching proptest's
+    /// default weighting).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.unit_f64() < 0.75 {
+                Some(self.0.sample(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// `bool` strategies, mirroring `proptest::bool`.
+pub mod bool {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Strategy for biased booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Weighted(f64);
+
+    /// `true` with probability `p`.
+    pub fn weighted(p: f64) -> Weighted {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        Weighted(p)
+    }
+
+    impl Strategy for Weighted {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.unit_f64() < self.0
+        }
+    }
+}
+
+/// Everything a property-test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, ProptestConfig, TestCaseError, TestCaseResult, TestRng,
+    };
+    /// Alias so `prop::collection::vec(...)`-style paths work.
+    pub mod prop {
+        pub use crate::{bool, collection, option};
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Assert a condition inside a `proptest!` body, failing the case (not
+/// panicking) so the runner can report the case number and seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond), file!(), line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} ({}) at {}:{}",
+                stringify!($cond), format!($($fmt)*), file!(), line!()
+            )));
+        }
+    };
+}
+
+/// `prop_assert!` for equality, printing both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`: left = {:?}, right = {:?} at {}:{}",
+                stringify!($a), stringify!($b), a, b, file!(), line!()
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}` ({}): left = {:?}, right = {:?} at {}:{}",
+                stringify!($a), stringify!($b), format!($($fmt)*), a, b, file!(), line!()
+            )));
+        }
+    }};
+}
+
+/// `prop_assert!` for inequality.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`: both = {:?} at {}:{}",
+                stringify!($a), stringify!($b), a, file!(), line!()
+            )));
+        }
+    }};
+}
+
+/// Skip the current case unless a precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// Choose uniformly among several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Define property tests: a block of `#[test]` functions whose arguments
+/// are drawn from strategies (`pattern in strategy`). Mirrors
+/// `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { (<$crate::ProptestConfig as ::core::default::Default>::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            $crate::run_property(stringify!($name), &config, |__rng| {
+                $(let $pat = $crate::Strategy::sample(&{ $strategy }, __rng);)+
+                $body
+                #[allow(unreachable_code)]
+                Ok(())
+            });
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Boxed strategy plumbing that needs crate-level items.
+// ---------------------------------------------------------------------------
+
+pub(crate) type DynSampler<T> = Arc<dyn Fn(&mut TestRng) -> T + Send + Sync>;
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_tuples_and_maps_sample() {
+        let mut rng = TestRng::from_seed(1);
+        let s = (0u32..10, 5usize..=5).prop_map(|(a, b)| a as usize + b);
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!((5..15).contains(&v));
+        }
+    }
+
+    #[test]
+    fn vec_respects_size_range() {
+        let mut rng = TestRng::from_seed(2);
+        let s = crate::collection::vec(0u8..4, 1..=3);
+        for _ in 0..50 {
+            let v = s.sample(&mut rng);
+            assert!((1..=3).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 4));
+        }
+    }
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut rng = TestRng::from_seed(3);
+        let s = "[a-z][a-z0-9_]{0,8}";
+        for _ in 0..100 {
+            let v = Strategy::sample(&s, &mut rng);
+            assert!(!v.is_empty() && v.len() <= 9, "{v:?}");
+            let mut chars = v.chars();
+            assert!(chars.next().unwrap().is_ascii_lowercase());
+            assert!(chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let mut rng = TestRng::from_seed(4);
+        let s = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[s.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn the_macro_itself_runs(a in 0u64..100, b in 0u64..100) {
+            prop_assume!(a != 99);
+            prop_assert!(a + b < 200);
+            prop_assert_eq!(a + b, b + a);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property `failing` failed")]
+    fn failures_panic_with_case_info() {
+        crate::run_property(
+            "failing",
+            &ProptestConfig::with_cases(8),
+            |_| Err(TestCaseError::fail("boom")),
+        );
+    }
+}

@@ -1,0 +1,354 @@
+//! The [`Strategy`] trait and the concrete strategies this workspace uses:
+//! ranges, [`Just`], tuples, regex-subset strings, map/flat-map/filter
+//! combinators, [`BoxedStrategy`], and [`Union`] (the engine behind
+//! `prop_oneof!`).
+
+use std::fmt::Debug;
+use std::sync::Arc;
+
+use rand::Rng;
+
+use crate::{DynSampler, TestRng};
+
+/// A generator of test inputs. Unlike real proptest this is a plain
+/// sampler — there is no value tree and no shrinking.
+pub trait Strategy {
+    /// The type of value produced.
+    type Value: Debug;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform every produced value.
+    fn prop_map<T: Debug, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Produce a new strategy from every produced value and draw from it.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Keep only values satisfying `pred`; other draws are retried.
+    ///
+    /// # Panics
+    /// Panics if 10 000 consecutive draws are all rejected, which signals a
+    /// filter that is too strict to ever be practical.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        reason: impl Into<String>,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            reason: reason.into(),
+            pred,
+        }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + Send + Sync + 'static,
+    {
+        BoxedStrategy(Arc::new(move |rng: &mut TestRng| self.sample(rng)))
+    }
+}
+
+/// Strategies are sampled through shared references inside `proptest!`, so
+/// a reference to a strategy is itself a strategy.
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// A `Vec` of strategies samples element-wise, as in real proptest.
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        self.iter().map(|s| s.sample(rng)).collect()
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Debug, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn sample(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    reason: String,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.sample(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 10000 consecutive draws: {}", self.reason);
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(DynSampler<T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Uniform choice between several strategies of the same value type; the
+/// expansion target of `prop_oneof!`.
+#[derive(Debug, Clone)]
+pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+impl<T> Union<T> {
+    /// A union over the given alternatives.
+    ///
+    /// # Panics
+    /// Panics if `alternatives` is empty.
+    pub fn new(alternatives: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!alternatives.is_empty(), "prop_oneof! needs at least one arm");
+        Union(alternatives)
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.index(self.0.len());
+        self.0[i].sample(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ranges
+// ---------------------------------------------------------------------------
+
+macro_rules! range_strategy_impls {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+// ---------------------------------------------------------------------------
+// Tuples (arity 1–6)
+// ---------------------------------------------------------------------------
+
+macro_rules! tuple_strategy_impls {
+    ($(($($s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy_impls! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+// ---------------------------------------------------------------------------
+// Regex-subset string strategies (`"[a-z][a-z0-9_]{0,8}"`)
+// ---------------------------------------------------------------------------
+
+/// One repeated unit of the pattern: a set of inclusive char ranges plus a
+/// repetition count range.
+#[derive(Debug, Clone)]
+struct Piece {
+    ranges: Vec<(u32, u32)>,
+    min: usize,
+    max: usize,
+}
+
+/// Parse the regex subset used by the workspace's tests: literal
+/// characters, character classes (`[a-z0-9_]`), and `{m}` / `{m,n}`
+/// repetition. Anything else panics with the offending pattern.
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces: Vec<Piece> = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        match chars[i] {
+            '[' => {
+                i += 1;
+                let mut ranges = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = chars[i];
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        ranges.push((lo as u32, chars[i + 2] as u32));
+                        i += 3;
+                    } else {
+                        ranges.push((lo as u32, lo as u32));
+                        i += 1;
+                    }
+                }
+                assert!(
+                    i < chars.len(),
+                    "unterminated character class in regex strategy {pattern:?}"
+                );
+                i += 1; // consume ']'
+                pieces.push(Piece {
+                    ranges,
+                    min: 1,
+                    max: 1,
+                });
+            }
+            '{' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unterminated repetition in {pattern:?}"))
+                    + i;
+                let spec: String = chars[i + 1..close].iter().collect();
+                let (min, max) = match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.parse().expect("repetition min"),
+                        hi.parse().expect("repetition max"),
+                    ),
+                    None => {
+                        let n = spec.parse().expect("repetition count");
+                        (n, n)
+                    }
+                };
+                let last = pieces
+                    .last_mut()
+                    .unwrap_or_else(|| panic!("repetition without a piece in {pattern:?}"));
+                last.min = min;
+                last.max = max;
+                i = close + 1;
+            }
+            c => {
+                assert!(
+                    !"\\^$.|?*+()".contains(c),
+                    "unsupported regex construct {c:?} in strategy {pattern:?}"
+                );
+                pieces.push(Piece {
+                    ranges: vec![(c as u32, c as u32)],
+                    min: 1,
+                    max: 1,
+                });
+                i += 1;
+            }
+        }
+    }
+    pieces
+}
+
+fn sample_piece(piece: &Piece, rng: &mut TestRng, out: &mut String) {
+    let n = piece.min + rng.index(piece.max - piece.min + 1);
+    let total: u32 = piece.ranges.iter().map(|(lo, hi)| hi - lo + 1).sum();
+    for _ in 0..n {
+        let mut k = rng.index(total as usize) as u32;
+        for &(lo, hi) in &piece.ranges {
+            let span = hi - lo + 1;
+            if k < span {
+                out.push(char::from_u32(lo + k).expect("valid char"));
+                break;
+            }
+            k -= span;
+        }
+    }
+}
+
+/// String literals are regex strategies, as in real proptest
+/// (`"[a-z][a-z0-9_]{0,8}"` in a `proptest!` header).
+impl Strategy for str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let pieces = parse_pattern(self);
+        let mut out = String::new();
+        for piece in &pieces {
+            sample_piece(piece, rng, &mut out);
+        }
+        out
+    }
+}
