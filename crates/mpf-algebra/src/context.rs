@@ -1,0 +1,268 @@
+//! The single execution context threaded through every physical operator.
+//!
+//! [`ExecContext`] owns the pieces that used to be scattered across the
+//! executor and the `*_budgeted` operator variants: the active semiring,
+//! the optional [`ExecBudget`] (row/cell caps, deadline, cancellation),
+//! the mutable [`ExecStats`] work counters, and the fault-injection hooks
+//! ([`crate::fault`]). Every operator in [`crate::ops`],
+//! [`crate::sort_ops`], and [`crate::partitioned`] takes
+//! `&mut ExecContext` as its first argument, so budgets, stats, and
+//! failpoints apply uniformly whether an operator is reached through the
+//! [`Executor`](crate::Executor), the inference layer (Belief
+//! Propagation, VE-cache, Bayesian networks), or a direct call.
+//!
+//! A context either owns its budget (built from [`ExecLimits`] by
+//! [`ExecContext::with_limits`] — the inference entry points do this) or
+//! borrows one owned elsewhere ([`ExecContext::with_budget`] — the
+//! executor does this so the budget's cell counter outlives individual
+//! executions and callers can inspect it afterwards).
+
+use std::collections::HashSet;
+
+use mpf_semiring::SemiringKind;
+use mpf_storage::FunctionalRelation;
+
+use crate::limits::{ExecBudget, ExecLimits, OpGuard};
+use crate::{fault, ExecStats, Result};
+
+/// Owned-or-borrowed budget slot.
+#[derive(Debug)]
+enum BudgetSlot<'b> {
+    /// No limits configured: every budget operation is a no-op.
+    None,
+    /// The context owns the budget (inference entry points).
+    Owned(ExecBudget),
+    /// The budget lives in the executor (or another caller) so its
+    /// counters survive the context.
+    Borrowed(&'b ExecBudget),
+}
+
+/// Execution state threaded through every physical operator: semiring,
+/// optional resource budget, work counters, and fault-injection hooks.
+#[derive(Debug)]
+pub struct ExecContext<'b> {
+    semiring: SemiringKind,
+    budget: BudgetSlot<'b>,
+    stats: ExecStats,
+    /// Base relations already charged to the budget as materialized
+    /// input, so repeated scans of the same relation are charged once.
+    charged_scans: HashSet<String>,
+}
+
+impl<'b> ExecContext<'b> {
+    /// An unlimited context: no budget, fresh stats.
+    pub fn new(semiring: SemiringKind) -> ExecContext<'static> {
+        ExecContext {
+            semiring,
+            budget: BudgetSlot::None,
+            stats: ExecStats::default(),
+            charged_scans: HashSet::new(),
+        }
+    }
+
+    /// A context enforcing `limits` through an owned budget. Unlimited
+    /// `limits` allocate no budget (zero per-row overhead); a deadline's
+    /// wall clock starts now.
+    pub fn with_limits(semiring: SemiringKind, limits: ExecLimits) -> ExecContext<'static> {
+        ExecContext {
+            semiring,
+            budget: if limits.is_unlimited() {
+                BudgetSlot::None
+            } else {
+                BudgetSlot::Owned(ExecBudget::new(limits))
+            },
+            stats: ExecStats::default(),
+            charged_scans: HashSet::new(),
+        }
+    }
+
+    /// A context charging a budget owned by the caller (the executor's
+    /// per-query budget, whose counters outlive this context).
+    pub fn with_budget(
+        semiring: SemiringKind,
+        budget: Option<&'b ExecBudget>,
+    ) -> ExecContext<'b> {
+        ExecContext {
+            semiring,
+            budget: match budget {
+                Some(b) => BudgetSlot::Borrowed(b),
+                None => BudgetSlot::None,
+            },
+            stats: ExecStats::default(),
+            charged_scans: HashSet::new(),
+        }
+    }
+
+    /// The active semiring.
+    pub fn semiring(&self) -> SemiringKind {
+        self.semiring
+    }
+
+    /// The budget being charged, if limits are configured.
+    pub fn budget(&self) -> Option<&ExecBudget> {
+        match &self.budget {
+            BudgetSlot::None => None,
+            BudgetSlot::Owned(b) => Some(b),
+            BudgetSlot::Borrowed(b) => Some(b),
+        }
+    }
+
+    /// The work counters accumulated so far.
+    pub fn stats(&self) -> &ExecStats {
+        &self.stats
+    }
+
+    /// Take the accumulated work counters, resetting them to zero.
+    pub fn take_stats(&mut self) -> ExecStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// An [`OpGuard`] for one operator emitting rows of `arity` variables.
+    pub fn guard(&self, arity: usize) -> OpGuard<'_> {
+        OpGuard::new(self.budget(), arity)
+    }
+
+    /// Fault-injection hook: fail if the named site is armed (a no-op
+    /// without the `fault-injection` feature).
+    pub fn fault(&self, site: &str) -> Result<()> {
+        fault::check(site)
+    }
+
+    /// Poll the deadline and cancellation token, if any.
+    pub fn checkpoint(&self) -> Result<()> {
+        match self.budget() {
+            Some(b) => b.checkpoint(),
+            None => Ok(()),
+        }
+    }
+
+    /// Record a scan of base relation `name`: counts rows/pages in the
+    /// stats on every scan, but charges the budget only the first time
+    /// each relation is scanned (scans borrow the stored relation — there
+    /// is no per-scan clone to charge).
+    pub fn record_scan(&mut self, name: &str, rel: &FunctionalRelation) -> Result<()> {
+        self.stats.rows_scanned += rel.len() as u64;
+        self.stats.pages_io += rel.estimated_pages();
+        if let Some(budget) = self.budget() {
+            budget.checkpoint()?;
+        }
+        if !self.charged_scans.contains(name) {
+            if let Some(budget) = self.budget() {
+                budget.charge_output(rel.len() as u64, rel.schema().arity())?;
+            }
+            self.charged_scans.insert(name.to_string());
+        }
+        Ok(())
+    }
+
+    /// Account one operator's input/output cardinalities in the stats
+    /// (rows processed, simulated page IO, high-water intermediate size).
+    pub(crate) fn account(
+        &mut self,
+        inputs: &[&FunctionalRelation],
+        output: &FunctionalRelation,
+    ) {
+        for rel in inputs {
+            self.stats.rows_processed += rel.len() as u64;
+            self.stats.pages_io += rel.estimated_pages();
+        }
+        self.stats.rows_processed += output.len() as u64;
+        self.stats.pages_io += output.estimated_pages();
+        self.stats.max_intermediate_rows =
+            self.stats.max_intermediate_rows.max(output.len() as u64);
+    }
+
+    /// Account a join operator (any algorithm).
+    pub(crate) fn record_join(
+        &mut self,
+        inputs: &[&FunctionalRelation],
+        output: &FunctionalRelation,
+    ) {
+        self.account(inputs, output);
+        self.stats.joins += 1;
+    }
+
+    /// Account a group-by operator (any algorithm).
+    pub(crate) fn record_group_by(
+        &mut self,
+        inputs: &[&FunctionalRelation],
+        output: &FunctionalRelation,
+    ) {
+        self.account(inputs, output);
+        self.stats.group_bys += 1;
+    }
+
+    /// Account a selection operator.
+    pub(crate) fn record_select(
+        &mut self,
+        inputs: &[&FunctionalRelation],
+        output: &FunctionalRelation,
+    ) {
+        self.account(inputs, output);
+        self.stats.selects += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpf_storage::{Catalog, Schema};
+
+    fn rel() -> FunctionalRelation {
+        let mut c = Catalog::new();
+        let a = c.add_var("a", 2).unwrap();
+        FunctionalRelation::from_rows(
+            "r",
+            Schema::new(vec![a]).unwrap(),
+            [(vec![0], 1.0), (vec![1], 2.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn unlimited_context_has_no_budget() {
+        let cx = ExecContext::new(SemiringKind::SumProduct);
+        assert!(cx.budget().is_none());
+        assert!(ExecContext::with_limits(SemiringKind::SumProduct, ExecLimits::none())
+            .budget()
+            .is_none());
+    }
+
+    #[test]
+    fn with_limits_owns_a_budget() {
+        let cx = ExecContext::with_limits(
+            SemiringKind::SumProduct,
+            ExecLimits::none().with_max_total_cells(10),
+        );
+        assert!(cx.budget().is_some());
+    }
+
+    #[test]
+    fn repeated_scans_charge_once() {
+        let mut cx = ExecContext::with_limits(
+            SemiringKind::SumProduct,
+            ExecLimits::none().with_max_total_cells(1000),
+        );
+        let r = rel();
+        cx.record_scan("r", &r).unwrap();
+        let after_first = cx.budget().unwrap().cells_used();
+        assert_eq!(after_first, 4); // 2 rows × (1 var + measure)
+        cx.record_scan("r", &r).unwrap();
+        assert_eq!(cx.budget().unwrap().cells_used(), after_first);
+        // A different relation is charged.
+        cx.record_scan("other", &r).unwrap();
+        assert_eq!(cx.budget().unwrap().cells_used(), 2 * after_first);
+        // Stats still count every scan.
+        assert_eq!(cx.stats().rows_scanned, 6);
+    }
+
+    #[test]
+    fn take_stats_resets() {
+        let mut cx = ExecContext::new(SemiringKind::SumProduct);
+        let r = rel();
+        cx.record_scan("r", &r).unwrap();
+        let stats = cx.take_stats();
+        assert_eq!(stats.rows_scanned, 2);
+        assert_eq!(cx.stats().rows_scanned, 0);
+    }
+}

@@ -36,6 +36,14 @@ pub enum AlgebraError {
         /// The offending measure.
         value: f64,
     },
+    /// A plan tree is nested deeper than [`crate::MAX_PLAN_DEPTH`];
+    /// evaluating or schema-checking it would risk a stack overflow.
+    PlanTooDeep {
+        /// The plan's nesting depth.
+        depth: usize,
+        /// The maximum supported depth.
+        max: usize,
+    },
     /// A deterministic failpoint fired (only with the `fault-injection`
     /// feature; named after the registered fault site).
     FaultInjected(String),
@@ -80,6 +88,10 @@ impl std::fmt::Display for AlgebraError {
             AlgebraError::NonFiniteMeasure { op, value } => write!(
                 f,
                 "operator `{op}` produced a measure ({value}) that is invalid for the semiring"
+            ),
+            AlgebraError::PlanTooDeep { depth, max } => write!(
+                f,
+                "plan is nested {depth} operators deep, beyond the {max}-level limit"
             ),
             AlgebraError::FaultInjected(site) => {
                 write!(f, "injected fault at `{site}`")

@@ -1,19 +1,35 @@
+use std::borrow::Cow;
+
 use mpf_semiring::SemiringKind;
 use mpf_storage::FunctionalRelation;
 
 use crate::limits::{ExecBudget, ExecLimits};
-use crate::{ops, AlgebraError, ExecStats, Plan, RelationProvider, Result};
+use crate::{
+    ops, AggAlgo, AlgebraError, ExecContext, ExecStats, JoinAlgo, PhysicalPlan, Plan,
+    RelationProvider, Result,
+};
 
-/// Evaluates logical [`Plan`]s against a [`RelationProvider`] under a chosen
-/// semiring, accumulating [`ExecStats`].
+/// Evaluates plans against a [`RelationProvider`] under a chosen semiring.
 ///
-/// The executor materializes every operator output (as the paper's modified
-/// PostgreSQL does for group-by results inside join trees); pipelining would
-/// not change the relative costs the experiments measure.
+/// There is exactly one interpreter, and it evaluates [`PhysicalPlan`]s.
+/// A logical [`Plan`] handed to [`Executor::execute`] first goes through
+/// the lowering pass ([`Executor::lower`]), which picks the default
+/// algorithm for every operator (hash join / hash aggregation); callers
+/// with a cost model lower the plan themselves (the optimizer's
+/// `choose_physical`) and call [`Executor::execute_physical`]. Both paths
+/// run the same code, so lowered and hand-built physical plans of the
+/// same shape produce identical results *and identical [`ExecStats`]*.
+///
+/// Execution state — semiring, optional budget, work counters, fault
+/// hooks — travels in an [`ExecContext`] threaded through every operator.
+/// The executor materializes every operator output (as the paper's
+/// modified PostgreSQL does for group-by results inside join trees), but
+/// scans *borrow* the stored base relations (`Cow`): a scan costs no copy
+/// and the budget charges a relation's cells only on its first scan.
 ///
 /// An executor built with [`Executor::with_limits`] enforces resource
-/// budgets ([`ExecLimits`]) on every operator it runs; the wall clock for a
-/// configured deadline starts when the executor is created.
+/// budgets ([`ExecLimits`]) on every operator it runs; the wall clock for
+/// a configured deadline starts when the executor is created.
 #[derive(Debug)]
 pub struct Executor<'a, P: RelationProvider> {
     provider: &'a P,
@@ -52,142 +68,101 @@ impl<'a, P: RelationProvider> Executor<'a, P> {
         self.budget.as_ref()
     }
 
-    /// Execute `plan`, returning the result relation and work counters.
+    /// Lower a logical plan to a physical plan with the default algorithm
+    /// (hash) for every operator.
+    ///
+    /// # Errors
+    /// [`AlgebraError::PlanTooDeep`] for plans nested beyond
+    /// [`crate::MAX_PLAN_DEPTH`].
+    pub fn lower(&self, plan: &Plan) -> Result<PhysicalPlan> {
+        plan.check_depth()?;
+        Ok(PhysicalPlan::default_hash(plan))
+    }
+
+    /// Execute a logical plan (lowering pass + the physical interpreter),
+    /// returning the result relation and work counters.
     pub fn execute(&self, plan: &Plan) -> Result<(FunctionalRelation, ExecStats)> {
-        let mut stats = ExecStats::default();
-        let rel = self.run(plan, &mut stats)?;
-        Ok((rel, stats))
-    }
-
-    /// Resolve a scan, charging the budget for the materialized relation.
-    fn scan(&self, relation: &str, stats: &mut ExecStats) -> Result<FunctionalRelation> {
-        let rel = self
-            .provider
-            .relation_of(relation)
-            .ok_or_else(|| AlgebraError::UnknownRelation(relation.to_string()))?;
-        stats.rows_scanned += rel.len() as u64;
-        stats.pages_io += rel.estimated_pages();
-        if let Some(budget) = &self.budget {
-            budget.charge_output(rel.len() as u64, rel.schema().arity())?;
-            budget.checkpoint()?;
-        }
-        Ok(rel.clone())
-    }
-
-    fn run(&self, plan: &Plan, stats: &mut ExecStats) -> Result<FunctionalRelation> {
-        let budget = self.budget.as_ref();
-        match plan {
-            Plan::Scan { relation } => self.scan(relation, stats),
-            Plan::Select { input, predicates } => {
-                let in_rel = self.run(input, stats)?;
-                let out = ops::select_eq_budgeted(&in_rel, predicates, budget)?;
-                self.account(stats, &[&in_rel], &out);
-                stats.selects += 1;
-                Ok(out)
-            }
-            Plan::Join { left, right } => {
-                let l = self.run(left, stats)?;
-                let r = self.run(right, stats)?;
-                let out = ops::product_join_budgeted(self.semiring, &l, &r, budget)?;
-                self.account(stats, &[&l, &r], &out);
-                stats.joins += 1;
-                Ok(out)
-            }
-            Plan::GroupBy { input, group_vars } => {
-                let in_rel = self.run(input, stats)?;
-                let out = ops::group_by_budgeted(self.semiring, &in_rel, group_vars, budget)?;
-                self.account(stats, &[&in_rel], &out);
-                stats.group_bys += 1;
-                Ok(out)
-            }
-        }
+        let physical = self.lower(plan)?;
+        self.execute_physical(&physical)
     }
 
     /// Execute a physical plan (operator algorithms chosen per node).
     pub fn execute_physical(
         &self,
-        plan: &crate::PhysicalPlan,
+        plan: &PhysicalPlan,
     ) -> Result<(FunctionalRelation, ExecStats)> {
-        let mut stats = ExecStats::default();
-        let rel = self.run_physical(plan, &mut stats)?;
-        Ok((rel, stats))
+        let mut cx = ExecContext::with_budget(self.semiring, self.budget.as_ref());
+        let rel = self.execute_physical_in(&mut cx, plan)?;
+        Ok((rel, cx.take_stats()))
     }
 
-    fn run_physical(
+    /// Execute a physical plan in a caller-supplied context, so the caller
+    /// keeps the accumulated [`ExecStats`] (and any budget) even when
+    /// execution fails — the engine uses this to report total work across
+    /// fallback attempts.
+    pub fn execute_physical_in(
         &self,
-        plan: &crate::PhysicalPlan,
-        stats: &mut ExecStats,
+        cx: &mut ExecContext<'_>,
+        plan: &PhysicalPlan,
     ) -> Result<FunctionalRelation> {
-        use crate::{AggAlgo, JoinAlgo, PhysicalPlan};
-        let budget = self.budget.as_ref();
+        let depth = plan.depth();
+        if depth > crate::MAX_PLAN_DEPTH {
+            return Err(AlgebraError::PlanTooDeep {
+                depth,
+                max: crate::MAX_PLAN_DEPTH,
+            });
+        }
+        Ok(self.run(cx, plan)?.into_owned())
+    }
+
+    /// Resolve a scan as a borrow of the stored relation.
+    fn scan(&self, cx: &mut ExecContext<'_>, relation: &str) -> Result<&'a FunctionalRelation> {
+        let rel = self
+            .provider
+            .relation_of(relation)
+            .ok_or_else(|| AlgebraError::UnknownRelation(relation.to_string()))?;
+        cx.record_scan(relation, rel)?;
+        Ok(rel)
+    }
+
+    /// The single plan interpreter. Scans borrow from the provider;
+    /// operator outputs are owned.
+    fn run(
+        &self,
+        cx: &mut ExecContext<'_>,
+        plan: &PhysicalPlan,
+    ) -> Result<Cow<'a, FunctionalRelation>> {
         match plan {
-            PhysicalPlan::Scan { relation } => self.scan(relation, stats),
+            PhysicalPlan::Scan { relation } => Ok(Cow::Borrowed(self.scan(cx, relation)?)),
             PhysicalPlan::Select { input, predicates } => {
-                let in_rel = self.run_physical(input, stats)?;
-                let out = ops::select_eq_budgeted(&in_rel, predicates, budget)?;
-                self.account(stats, &[&in_rel], &out);
-                stats.selects += 1;
-                Ok(out)
+                let in_rel = self.run(cx, input)?;
+                Ok(Cow::Owned(ops::select_eq(cx, &in_rel, predicates)?))
             }
             PhysicalPlan::Join { left, right, algo } => {
-                let l = self.run_physical(left, stats)?;
-                let r = self.run_physical(right, stats)?;
+                let l = self.run(cx, left)?;
+                let r = self.run(cx, right)?;
                 let out = match algo {
-                    JoinAlgo::Hash => {
-                        ops::product_join_budgeted(self.semiring, &l, &r, budget)?
+                    JoinAlgo::Hash => ops::product_join(cx, &l, &r)?,
+                    JoinAlgo::SortMerge => crate::sort_ops::merge_join(cx, &l, &r)?,
+                    JoinAlgo::Grace { partitions } => {
+                        crate::partitioned::grace_join(cx, &l, &r, *partitions)?
                     }
-                    JoinAlgo::SortMerge => {
-                        crate::sort_ops::merge_join_budgeted(self.semiring, &l, &r, budget)?
-                    }
-                    JoinAlgo::Grace { partitions } => crate::partitioned::grace_join_budgeted(
-                        self.semiring,
-                        &l,
-                        &r,
-                        *partitions,
-                        budget,
-                    )?,
                 };
-                self.account(stats, &[&l, &r], &out);
-                stats.joins += 1;
-                Ok(out)
+                Ok(Cow::Owned(out))
             }
             PhysicalPlan::GroupBy {
                 input,
                 group_vars,
                 algo,
             } => {
-                let in_rel = self.run_physical(input, stats)?;
+                let in_rel = self.run(cx, input)?;
                 let out = match algo {
-                    AggAlgo::HashAgg => {
-                        ops::group_by_budgeted(self.semiring, &in_rel, group_vars, budget)?
-                    }
-                    AggAlgo::SortAgg => crate::sort_ops::sort_group_by_budgeted(
-                        self.semiring,
-                        &in_rel,
-                        group_vars,
-                        budget,
-                    )?,
+                    AggAlgo::HashAgg => ops::group_by(cx, &in_rel, group_vars)?,
+                    AggAlgo::SortAgg => crate::sort_ops::sort_group_by(cx, &in_rel, group_vars)?,
                 };
-                self.account(stats, &[&in_rel], &out);
-                stats.group_bys += 1;
-                Ok(out)
+                Ok(Cow::Owned(out))
             }
         }
-    }
-
-    fn account(
-        &self,
-        stats: &mut ExecStats,
-        inputs: &[&FunctionalRelation],
-        output: &FunctionalRelation,
-    ) {
-        for rel in inputs {
-            stats.rows_processed += rel.len() as u64;
-            stats.pages_io += rel.estimated_pages();
-        }
-        stats.rows_processed += output.len() as u64;
-        stats.pages_io += output.estimated_pages();
-        stats.max_intermediate_rows = stats.max_intermediate_rows.max(output.len() as u64);
     }
 }
 
@@ -293,5 +268,96 @@ mod tests {
             exec.execute(&Plan::scan("missing")),
             Err(AlgebraError::UnknownRelation(_))
         ));
+    }
+
+    #[test]
+    fn lowered_plan_matches_hand_built_physical() {
+        // The acceptance check for the single interpreter: executing a
+        // logical plan (through lowering) and the equivalent hand-built
+        // physical plan must agree on the answer AND on every work counter.
+        let (_, s, _, b, d) = store();
+        let exec = Executor::new(&s, SemiringKind::SumProduct);
+        let logical = Plan::group_by(
+            Plan::join(
+                Plan::group_by(Plan::scan("r1"), vec![b]),
+                Plan::scan("r2"),
+            ),
+            vec![d],
+        );
+        let hand_built = PhysicalPlan::GroupBy {
+            input: Box::new(PhysicalPlan::Join {
+                left: Box::new(PhysicalPlan::GroupBy {
+                    input: Box::new(PhysicalPlan::Scan {
+                        relation: "r1".into(),
+                    }),
+                    group_vars: vec![b],
+                    algo: AggAlgo::HashAgg,
+                }),
+                right: Box::new(PhysicalPlan::Scan {
+                    relation: "r2".into(),
+                }),
+                algo: JoinAlgo::Hash,
+            }),
+            group_vars: vec![d],
+            algo: AggAlgo::HashAgg,
+        };
+        let (lowered_out, lowered_stats) = exec.execute(&logical).unwrap();
+        let (hand_out, hand_stats) = exec.execute_physical(&hand_built).unwrap();
+        assert!(lowered_out.function_eq(&hand_out));
+        assert_eq!(lowered_stats, hand_stats);
+    }
+
+    #[test]
+    fn too_deep_plans_error_before_evaluation() {
+        let (_, s, _, _, d) = store();
+        let exec = Executor::new(&s, SemiringKind::SumProduct);
+        let mut plan = Plan::scan("r1");
+        for _ in 0..crate::MAX_PLAN_DEPTH + 20 {
+            plan = Plan::join(plan, Plan::scan("r2"));
+        }
+        let plan = Plan::group_by(plan, vec![d]);
+        assert!(matches!(
+            exec.execute(&plan),
+            Err(AlgebraError::PlanTooDeep { .. })
+        ));
+        // The same guard protects a directly-supplied physical plan.
+        let mut phys = PhysicalPlan::Scan {
+            relation: "r1".into(),
+        };
+        for _ in 0..crate::MAX_PLAN_DEPTH + 20 {
+            phys = PhysicalPlan::Join {
+                left: Box::new(phys),
+                right: Box::new(PhysicalPlan::Scan {
+                    relation: "r2".into(),
+                }),
+                algo: JoinAlgo::Hash,
+            };
+        }
+        assert!(matches!(
+            exec.execute_physical(&phys),
+            Err(AlgebraError::PlanTooDeep { .. })
+        ));
+    }
+
+    #[test]
+    fn repeated_scans_budget_charged_once() {
+        // Joining r1 with itself scans the same stored relation twice;
+        // only the first scan charges the budget (there is no clone to
+        // pay for), so a budget sized for one copy + the join output
+        // suffices.
+        let (_, s, a, b, _) = store();
+        // One scan charge (4 rows × 3 cells = 12) + join output
+        // (r1 ⨝* r1 = 4 rows × 3 = 12) + group-by output (4 rows × 3 =
+        // 12) totals 36 cells; charging the second scan too would need
+        // 48. A 40-cell budget therefore fits only with single charging.
+        let exec = Executor::with_limits(
+            &s,
+            SemiringKind::SumProduct,
+            ExecLimits::none().with_max_total_cells(40),
+        );
+        let plan = Plan::group_by(Plan::join(Plan::scan("r1"), Plan::scan("r1")), vec![a, b]);
+        let (out, stats) = exec.execute(&plan).unwrap();
+        assert_eq!(out.len(), 4);
+        assert_eq!(stats.rows_scanned, 8, "stats still count both scans");
     }
 }

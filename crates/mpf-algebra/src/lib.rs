@@ -16,11 +16,20 @@
 //!   — the reduction operators of Belief Propagation
 //!   ([`ops::product_semijoin`], [`ops::update_semijoin`]).
 //!
-//! Logical plans ([`Plan`]) are trees of these operators; the [`Executor`]
-//! evaluates a plan against a [`RelationProvider`] and reports
-//! [`ExecStats`] — deterministic work counters (rows and simulated page IO)
-//! that the experiment harnesses use alongside wall-clock time.
+//! Every operator takes an [`ExecContext`] — the single carrier of
+//! execution state (semiring, optional resource budget, [`ExecStats`]
+//! work counters, fault-injection hooks) — so budgets and statistics
+//! apply uniformly whether an operator runs inside an executor plan or
+//! standalone (as the inference layer's message-passing algorithms do).
+//!
+//! Logical plans ([`Plan`]) are trees of these operators. The [`Executor`]
+//! lowers a logical plan to a [`PhysicalPlan`] (per-operator algorithm
+//! choices) and evaluates the physical plan against a
+//! [`RelationProvider`], reporting [`ExecStats`] — deterministic work
+//! counters (rows and simulated page IO) that the experiment harnesses
+//! use alongside wall-clock time.
 
+mod context;
 mod error;
 mod exec;
 pub mod fault;
@@ -33,11 +42,12 @@ mod provider;
 pub mod sort_ops;
 mod stats;
 
+pub use context::ExecContext;
 pub use error::AlgebraError;
 pub use exec::Executor;
 pub use limits::{CancelToken, ExecBudget, ExecLimits, OpGuard, ResourceKind};
 pub use physical::{AggAlgo, JoinAlgo, PhysicalPlan};
-pub use plan::Plan;
+pub use plan::{Plan, MAX_PLAN_DEPTH};
 pub use provider::{RelationProvider, RelationStore};
 pub use stats::ExecStats;
 

@@ -1,25 +1,27 @@
 //! Physical operators over functional relations.
 //!
-//! All operators are pure functions `FR × FR → FR` (or `FR → FR`); work
-//! accounting is done by the [`Executor`](crate::Executor) from input/output
-//! cardinalities, so these functions stay reusable by the inference layer
-//! (Belief Propagation and VE-cache call the semijoins directly).
+//! Every operator takes a [`&mut ExecContext`](crate::ExecContext) as its
+//! first argument — the one seam through which the semiring, resource
+//! budgets ([`crate::ExecLimits`]: per-operator row caps, global cell
+//! caps, deadlines, cancellation), work accounting ([`crate::ExecStats`]),
+//! and fault-injection sites all flow. Budget enforcement goes through an
+//! [`OpGuard`], stopping an exploding intermediate within
+//! [`crate::limits::TICK_INTERVAL`] rows of its budget instead of
+//! materializing it; with no limits configured the guard costs nothing.
+//! Semiring accumulations additionally reject measures that leave the
+//! semiring's carrier (NaN, or an infinity that is not the additive
+//! identity) with [`AlgebraError::NonFiniteMeasure`].
 //!
-//! Each operator comes in two forms: the plain function and a `*_budgeted`
-//! variant taking `Option<&ExecBudget>`. The budgeted form enforces
-//! [`crate::ExecLimits`] (per-operator row caps, global cell caps,
-//! deadlines, cancellation) through an [`OpGuard`], stopping an exploding
-//! intermediate within [`crate::limits::TICK_INTERVAL`] rows of its budget
-//! instead of materializing it. The plain form passes `None` and costs
-//! nothing extra. Semiring accumulations additionally reject measures that
-//! leave the semiring's carrier (NaN, or an infinity that is not the
-//! additive identity) with [`AlgebraError::NonFiniteMeasure`].
+//! The [`raw`] submodule keeps the pre-context signatures
+//! (`product_join(sr, &l, &r)`) as thin compatibility wrappers for tests
+//! and oracles *inside this crate*; code in other crates must thread a
+//! context (CI rejects `ops::raw::` calls outside `mpf-algebra`).
 
 use mpf_semiring::SemiringKind;
 use mpf_storage::{FunctionalRelation, Key, Schema, Value, VarId};
 
 use crate::limits::{ExecBudget, OpGuard};
-use crate::{fault, AlgebraError, Result};
+use crate::{AlgebraError, ExecContext, Result};
 
 /// Product join (`⨝*`, Definition 2): natural join on shared variables with
 /// measures combined by the semiring's multiplicative operation.
@@ -31,21 +33,25 @@ use crate::{fault, AlgebraError, Result};
 /// Implementation: classic hash join. The smaller input is built into a hash
 /// index keyed on the shared variables; the larger input probes it.
 pub fn product_join(
-    sr: SemiringKind,
+    cx: &mut ExecContext<'_>,
     l: &FunctionalRelation,
     r: &FunctionalRelation,
 ) -> Result<FunctionalRelation> {
-    product_join_budgeted(sr, l, r, None)
+    cx.fault("product_join")?;
+    let out = product_join_impl(cx.semiring(), l, r, cx.budget())?;
+    cx.record_join(&[l, r], &out);
+    Ok(out)
 }
 
-/// [`product_join`] under an optional execution budget.
-pub fn product_join_budgeted(
+/// [`product_join`] body: budget-guarded, no fault site or accounting.
+/// Shared with the partitioned variants, whose worker threads cannot
+/// borrow the context.
+pub(crate) fn product_join_impl(
     sr: SemiringKind,
     l: &FunctionalRelation,
     r: &FunctionalRelation,
     budget: Option<&ExecBudget>,
 ) -> Result<FunctionalRelation> {
-    fault::check("product_join")?;
     let out_schema = l.schema().union(r.schema());
     let mut guard = OpGuard::new(budget, out_schema.arity());
     let shared = l.schema().intersect(r.schema());
@@ -110,21 +116,23 @@ pub fn product_join_budgeted(
 ///
 /// With `group_vars` empty this computes the scalar total of the function.
 pub fn group_by(
-    sr: SemiringKind,
+    cx: &mut ExecContext<'_>,
     input: &FunctionalRelation,
     group_vars: &[VarId],
 ) -> Result<FunctionalRelation> {
-    group_by_budgeted(sr, input, group_vars, None)
+    cx.fault("group_by")?;
+    let out = group_by_impl(cx.semiring(), input, group_vars, cx.budget())?;
+    cx.record_group_by(&[input], &out);
+    Ok(out)
 }
 
-/// [`group_by`] under an optional execution budget.
-pub fn group_by_budgeted(
+/// [`group_by`] body: budget-guarded, no fault site or accounting.
+pub(crate) fn group_by_impl(
     sr: SemiringKind,
     input: &FunctionalRelation,
     group_vars: &[VarId],
     budget: Option<&ExecBudget>,
 ) -> Result<FunctionalRelation> {
-    fault::check("group_by")?;
     for &v in group_vars {
         if !input.schema().contains(v) {
             return Err(AlgebraError::GroupVarNotInInput(v));
@@ -177,19 +185,22 @@ pub fn group_by_budgeted(
 /// (`where Y = c and ...`), the restriction used by the paper's
 /// restricted-answer and constrained-domain query forms.
 pub fn select_eq(
+    cx: &mut ExecContext<'_>,
     input: &FunctionalRelation,
     predicates: &[(VarId, Value)],
 ) -> Result<FunctionalRelation> {
-    select_eq_budgeted(input, predicates, None)
+    cx.fault("select_eq")?;
+    let out = select_eq_impl(input, predicates, cx.budget())?;
+    cx.record_select(&[input], &out);
+    Ok(out)
 }
 
-/// [`select_eq`] under an optional execution budget.
-pub fn select_eq_budgeted(
+/// [`select_eq`] body: budget-guarded, no fault site or accounting.
+pub(crate) fn select_eq_impl(
     input: &FunctionalRelation,
     predicates: &[(VarId, Value)],
     budget: Option<&ExecBudget>,
 ) -> Result<FunctionalRelation> {
-    fault::check("select_eq")?;
     let mut guard = OpGuard::new(budget, input.schema().arity());
     let positions: Vec<(usize, Value)> = predicates
         .iter()
@@ -222,24 +233,14 @@ pub fn select_eq_budgeted(
 /// This is the forward-pass reduction of Belief Propagation: `t` absorbs
 /// `s`'s marginal over their shared variables.
 pub fn product_semijoin(
-    sr: SemiringKind,
+    cx: &mut ExecContext<'_>,
     t: &FunctionalRelation,
     s: &FunctionalRelation,
 ) -> Result<FunctionalRelation> {
-    product_semijoin_budgeted(sr, t, s, None)
-}
-
-/// [`product_semijoin`] under an optional execution budget.
-pub fn product_semijoin_budgeted(
-    sr: SemiringKind,
-    t: &FunctionalRelation,
-    s: &FunctionalRelation,
-    budget: Option<&ExecBudget>,
-) -> Result<FunctionalRelation> {
-    fault::check("product_semijoin")?;
+    cx.fault("product_semijoin")?;
     let shared = t.schema().intersect(s.schema());
-    let marg = group_by_budgeted(sr, s, shared.vars(), budget)?;
-    let out = product_join_budgeted(sr, t, &marg, budget)?;
+    let marg = group_by(cx, s, shared.vars())?;
+    let out = product_join(cx, t, &marg)?;
     Ok(out.with_name(format!("({}⋉*{})", t.name(), s.name())))
 }
 
@@ -256,29 +257,19 @@ pub fn product_semijoin_budgeted(
 /// [`AlgebraError::NoDivision`] if the semiring lacks a multiplicative
 /// inverse.
 pub fn update_semijoin(
-    sr: SemiringKind,
+    cx: &mut ExecContext<'_>,
     t: &FunctionalRelation,
     s: &FunctionalRelation,
 ) -> Result<FunctionalRelation> {
-    update_semijoin_budgeted(sr, t, s, None)
-}
-
-/// [`update_semijoin`] under an optional execution budget.
-pub fn update_semijoin_budgeted(
-    sr: SemiringKind,
-    t: &FunctionalRelation,
-    s: &FunctionalRelation,
-    budget: Option<&ExecBudget>,
-) -> Result<FunctionalRelation> {
-    fault::check("update_semijoin")?;
-    if !sr.has_division() {
+    cx.fault("update_semijoin")?;
+    if !cx.semiring().has_division() {
         return Err(AlgebraError::NoDivision);
     }
     let shared = t.schema().intersect(s.schema());
-    let marg_s = group_by_budgeted(sr, s, shared.vars(), budget)?;
-    let marg_t = group_by_budgeted(sr, t, shared.vars(), budget)?;
-    let ratio = divide_join_budgeted(sr, &marg_s, &marg_t, budget)?;
-    let out = product_join_budgeted(sr, t, &ratio, budget)?;
+    let marg_s = group_by(cx, s, shared.vars())?;
+    let marg_t = group_by(cx, t, shared.vars())?;
+    let ratio = divide_join(cx, &marg_s, &marg_t)?;
+    let out = product_join(cx, t, &ratio)?;
     Ok(out.with_name(format!("({}⋉{})", t.name(), s.name())))
 }
 
@@ -286,24 +277,27 @@ pub fn update_semijoin_budgeted(
 /// output measure is `l[f] / r[f]` under the semiring's partial inverse.
 /// Non-commutative; `l` is the numerator.
 pub fn divide_join(
-    sr: SemiringKind,
+    cx: &mut ExecContext<'_>,
     l: &FunctionalRelation,
     r: &FunctionalRelation,
 ) -> Result<FunctionalRelation> {
-    divide_join_budgeted(sr, l, r, None)
+    cx.fault("divide_join")?;
+    let sr = cx.semiring();
+    if !sr.has_division() {
+        return Err(AlgebraError::NoDivision);
+    }
+    let out = divide_join_impl(sr, l, r, cx.budget())?;
+    cx.record_join(&[l, r], &out);
+    Ok(out)
 }
 
-/// [`divide_join`] under an optional execution budget.
-pub fn divide_join_budgeted(
+/// [`divide_join`] body: budget-guarded, no fault site or accounting.
+fn divide_join_impl(
     sr: SemiringKind,
     l: &FunctionalRelation,
     r: &FunctionalRelation,
     budget: Option<&ExecBudget>,
 ) -> Result<FunctionalRelation> {
-    fault::check("divide_join")?;
-    if !sr.has_division() {
-        return Err(AlgebraError::NoDivision);
-    }
     let out_schema = l.schema().union(r.schema());
     let mut guard = OpGuard::new(budget, out_schema.arity());
     let shared = l.schema().intersect(r.schema());
@@ -354,23 +348,12 @@ pub fn divide_join_budgeted(
 /// This is the reference answer every optimized plan must reproduce, and the
 /// plan the unmodified CS algorithm is forced into (Figure 3).
 pub fn naive_mpf(
-    sr: SemiringKind,
+    cx: &mut ExecContext<'_>,
     relations: &[&FunctionalRelation],
     predicates: &[(VarId, Value)],
     group_vars: &[VarId],
 ) -> Result<FunctionalRelation> {
-    naive_mpf_budgeted(sr, relations, predicates, group_vars, None)
-}
-
-/// [`naive_mpf`] under an optional execution budget.
-pub fn naive_mpf_budgeted(
-    sr: SemiringKind,
-    relations: &[&FunctionalRelation],
-    predicates: &[(VarId, Value)],
-    group_vars: &[VarId],
-    budget: Option<&ExecBudget>,
-) -> Result<FunctionalRelation> {
-    fault::check("naive_mpf")?;
+    cx.fault("naive_mpf")?;
     // Apply selections on base relations where possible (pure correctness
     // shortcut: selection commutes with product join).
     let mut acc: Option<FunctionalRelation> = None;
@@ -383,22 +366,108 @@ pub fn naive_mpf_budgeted(
         let filtered = if applicable.is_empty() {
             rel.clone()
         } else {
-            select_eq_budgeted(rel, &applicable, budget)?
+            select_eq(cx, rel, &applicable)?
         };
         acc = Some(match acc {
             None => filtered,
-            Some(a) => product_join_budgeted(sr, &a, &filtered, budget)?,
+            Some(a) => product_join(cx, &a, &filtered)?,
         });
     }
     let Some(acc) = acc else {
         return Err(AlgebraError::EmptyInput("naive_mpf"));
     };
-    group_by_budgeted(sr, &acc, group_vars, budget)
+    group_by(cx, &acc, group_vars)
+}
+
+/// Compatibility wrappers with the pre-[`ExecContext`] signatures
+/// (`product_join(sr, &l, &r)`): each constructs a throwaway unlimited
+/// context. Kept for this crate's unit tests and property-test oracles;
+/// calls from other crates are rejected by CI so budget/stat/fault
+/// coverage cannot be bypassed.
+pub mod raw {
+    use super::*;
+
+    /// Uncontexted [`super::product_join`] (unlimited, stats discarded).
+    pub fn product_join(
+        sr: SemiringKind,
+        l: &FunctionalRelation,
+        r: &FunctionalRelation,
+    ) -> Result<FunctionalRelation> {
+        super::product_join(&mut ExecContext::new(sr), l, r)
+    }
+
+    /// Uncontexted [`super::group_by`] (unlimited, stats discarded).
+    pub fn group_by(
+        sr: SemiringKind,
+        input: &FunctionalRelation,
+        group_vars: &[VarId],
+    ) -> Result<FunctionalRelation> {
+        super::group_by(&mut ExecContext::new(sr), input, group_vars)
+    }
+
+    /// Uncontexted [`super::select_eq`] (unlimited, stats discarded).
+    pub fn select_eq(
+        input: &FunctionalRelation,
+        predicates: &[(VarId, Value)],
+    ) -> Result<FunctionalRelation> {
+        super::select_eq(
+            &mut ExecContext::new(SemiringKind::SumProduct),
+            input,
+            predicates,
+        )
+    }
+
+    /// Uncontexted [`super::product_semijoin`] (unlimited, stats discarded).
+    pub fn product_semijoin(
+        sr: SemiringKind,
+        t: &FunctionalRelation,
+        s: &FunctionalRelation,
+    ) -> Result<FunctionalRelation> {
+        super::product_semijoin(&mut ExecContext::new(sr), t, s)
+    }
+
+    /// Uncontexted [`super::update_semijoin`] (unlimited, stats discarded).
+    pub fn update_semijoin(
+        sr: SemiringKind,
+        t: &FunctionalRelation,
+        s: &FunctionalRelation,
+    ) -> Result<FunctionalRelation> {
+        super::update_semijoin(&mut ExecContext::new(sr), t, s)
+    }
+
+    /// Uncontexted [`super::divide_join`] (unlimited, stats discarded).
+    pub fn divide_join(
+        sr: SemiringKind,
+        l: &FunctionalRelation,
+        r: &FunctionalRelation,
+    ) -> Result<FunctionalRelation> {
+        super::divide_join(&mut ExecContext::new(sr), l, r)
+    }
+
+    /// Uncontexted [`super::naive_mpf`] (unlimited, stats discarded).
+    pub fn naive_mpf(
+        sr: SemiringKind,
+        relations: &[&FunctionalRelation],
+        predicates: &[(VarId, Value)],
+        group_vars: &[VarId],
+    ) -> Result<FunctionalRelation> {
+        super::naive_mpf(
+            &mut ExecContext::new(sr),
+            relations,
+            predicates,
+            group_vars,
+        )
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    // Explicit imports beat the glob, so bare `product_join(sr, ..)` in
+    // the pre-context tests resolves to the compat wrappers.
+    use super::raw::{
+        group_by, naive_mpf, product_join, product_semijoin, select_eq, update_semijoin,
+    };
     use mpf_semiring::approx_eq;
     use mpf_storage::{Catalog, Schema};
 
@@ -624,5 +693,47 @@ mod tests {
         assert!(approx_eq(g.lookup(&[0]).unwrap(), 10.0));
         // a=1: min(3*10,3*20,4*30,4*40) = 30.
         assert!(approx_eq(g.lookup(&[1]).unwrap(), 30.0));
+    }
+
+    #[test]
+    fn context_ops_accumulate_stats() {
+        let (c, r1, r2) = setup();
+        let mut cx = ExecContext::new(SemiringKind::SumProduct);
+        let j = super::product_join(&mut cx, &r1, &r2).unwrap();
+        let a = c.var("a").unwrap();
+        super::group_by(&mut cx, &j, &[a]).unwrap();
+        let stats = cx.stats();
+        assert_eq!(stats.joins, 1);
+        assert_eq!(stats.group_bys, 1);
+        // join: 4 + 4 inputs + 8 output; group-by: 8 input + 2 output.
+        assert_eq!(stats.rows_processed, 26);
+        assert_eq!(stats.max_intermediate_rows, 8);
+    }
+
+    #[test]
+    fn composite_ops_count_their_pieces() {
+        let (_, r1, r2) = setup();
+        let mut cx = ExecContext::new(SemiringKind::SumProduct);
+        super::update_semijoin(&mut cx, &r1, &r2).unwrap();
+        // t ⋉ s = t ⨝* (γ_U(s) ⨝÷ γ_U(t)): two group-bys and two joins.
+        assert_eq!(cx.stats().group_bys, 2);
+        assert_eq!(cx.stats().joins, 2);
+    }
+
+    #[test]
+    fn budgeted_context_trips_in_ops() {
+        let (_, r1, r2) = setup();
+        let mut cx = ExecContext::with_limits(
+            SemiringKind::SumProduct,
+            crate::ExecLimits::none().with_max_output_rows(4),
+        );
+        let err = super::product_join(&mut cx, &r1, &r2).unwrap_err();
+        assert!(matches!(
+            err,
+            AlgebraError::ResourceExhausted {
+                resource: crate::ResourceKind::OutputRows,
+                ..
+            }
+        ));
     }
 }

@@ -16,6 +16,11 @@
 //! (`std::thread::scope`). Results are deterministic: each output row's measure is
 //! computed entirely within one partition, so no cross-thread reduction
 //! order is involved.
+//!
+//! All variants take an [`ExecContext`]; worker threads run the raw
+//! per-partition kernels and the budget is charged for the concatenated
+//! output (each logical operator charges its output exactly once), so
+//! accounting matches the single-threaded hash operators.
 
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
@@ -24,7 +29,8 @@ use mpf_semiring::SemiringKind;
 use mpf_storage::{FunctionalRelation, Key, VarId};
 
 use crate::limits::{ExecBudget, OpGuard};
-use crate::{fault, ops, AlgebraError, Result};
+use crate::ops;
+use crate::{AlgebraError, ExecContext, Result};
 
 fn partition_of(key: &Key, partitions: usize) -> usize {
     let mut h = DefaultHasher::new();
@@ -58,31 +64,31 @@ fn partition(
 /// partitioning pass is executed (costing the same row traffic) and the
 /// page IO shows up in the executor's counters.
 pub fn grace_join(
-    sr: SemiringKind,
+    cx: &mut ExecContext<'_>,
     l: &FunctionalRelation,
     r: &FunctionalRelation,
     partitions: usize,
 ) -> Result<FunctionalRelation> {
-    grace_join_budgeted(sr, l, r, partitions, None)
+    cx.fault("grace_join")?;
+    let partitions = partitions.max(1);
+    let shared = l.schema().intersect(r.schema());
+    if shared.is_empty() || partitions == 1 {
+        // Cross products cannot be key-partitioned; fall back.
+        return ops::product_join(cx, l, r);
+    }
+    let out = grace_join_impl(cx.semiring(), l, r, partitions, cx.budget())?;
+    cx.record_join(&[l, r], &out);
+    Ok(out)
 }
 
-/// [`grace_join`] under an optional execution budget. The budget is
-/// charged for the concatenated output (each logical operator charges its
-/// output exactly once), so accounting matches the plain hash join.
-pub fn grace_join_budgeted(
+fn grace_join_impl(
     sr: SemiringKind,
     l: &FunctionalRelation,
     r: &FunctionalRelation,
     partitions: usize,
     budget: Option<&ExecBudget>,
 ) -> Result<FunctionalRelation> {
-    fault::check("grace_join")?;
-    let partitions = partitions.max(1);
     let shared = l.schema().intersect(r.schema());
-    if shared.is_empty() || partitions == 1 {
-        // Cross products cannot be key-partitioned; fall back.
-        return ops::product_join_budgeted(sr, l, r, budget);
-    }
     let l_pos = l.schema().positions(shared.vars())?;
     let r_pos = r.schema().positions(shared.vars())?;
     let l_parts = partition(l, &l_pos, partitions)?;
@@ -95,7 +101,7 @@ pub fn grace_join_budgeted(
         out_schema.clone(),
     );
     for (lp, rp) in l_parts.iter().zip(&r_parts) {
-        let joined = ops::product_join(sr, lp, rp)?;
+        let joined = ops::product_join_impl(sr, lp, rp, None)?;
         // Column order of the partition join matches `l ∪ r` because the
         // partitions preserve the original schemas.
         debug_assert_eq!(joined.schema(), &out_schema);
@@ -111,29 +117,30 @@ pub fn grace_join_budgeted(
 /// Parallel product join: Grace partitioning with each partition pair
 /// joined on its own scoped thread.
 pub fn parallel_join(
-    sr: SemiringKind,
+    cx: &mut ExecContext<'_>,
     l: &FunctionalRelation,
     r: &FunctionalRelation,
     threads: usize,
 ) -> Result<FunctionalRelation> {
-    parallel_join_budgeted(sr, l, r, threads, None)
+    cx.fault("parallel_join")?;
+    let threads = threads.max(1);
+    let shared = l.schema().intersect(r.schema());
+    if shared.is_empty() || threads == 1 {
+        return ops::product_join(cx, l, r);
+    }
+    let out = parallel_join_impl(cx.semiring(), l, r, threads, cx.budget())?;
+    cx.record_join(&[l, r], &out);
+    Ok(out)
 }
 
-/// [`parallel_join`] under an optional execution budget, charged for the
-/// concatenated output after the workers join.
-pub fn parallel_join_budgeted(
+fn parallel_join_impl(
     sr: SemiringKind,
     l: &FunctionalRelation,
     r: &FunctionalRelation,
     threads: usize,
     budget: Option<&ExecBudget>,
 ) -> Result<FunctionalRelation> {
-    fault::check("parallel_join")?;
-    let threads = threads.max(1);
     let shared = l.schema().intersect(r.schema());
-    if shared.is_empty() || threads == 1 {
-        return ops::product_join_budgeted(sr, l, r, budget);
-    }
     let l_pos = l.schema().positions(shared.vars())?;
     let r_pos = r.schema().positions(shared.vars())?;
     let l_parts = partition(l, &l_pos, threads)?;
@@ -143,7 +150,7 @@ pub fn parallel_join_budgeted(
         let handles: Vec<_> = l_parts
             .iter()
             .zip(&r_parts)
-            .map(|(lp, rp)| scope.spawn(move || ops::product_join(sr, lp, rp)))
+            .map(|(lp, rp)| scope.spawn(move || ops::product_join_impl(sr, lp, rp, None)))
             .collect();
         handles
             .into_iter()
@@ -178,24 +185,12 @@ pub fn parallel_join_budgeted(
 /// and aggregate each partition on its own thread. Rows of one group land
 /// in one partition, so per-group fold order is untouched.
 pub fn parallel_group_by(
-    sr: SemiringKind,
+    cx: &mut ExecContext<'_>,
     input: &FunctionalRelation,
     group_vars: &[VarId],
     threads: usize,
 ) -> Result<FunctionalRelation> {
-    parallel_group_by_budgeted(sr, input, group_vars, threads, None)
-}
-
-/// [`parallel_group_by`] under an optional execution budget, charged for
-/// the concatenated output after the workers join.
-pub fn parallel_group_by_budgeted(
-    sr: SemiringKind,
-    input: &FunctionalRelation,
-    group_vars: &[VarId],
-    threads: usize,
-    budget: Option<&ExecBudget>,
-) -> Result<FunctionalRelation> {
-    fault::check("parallel_group_by")?;
+    cx.fault("parallel_group_by")?;
     for &v in group_vars {
         if !input.schema().contains(v) {
             return Err(AlgebraError::GroupVarNotInInput(v));
@@ -203,15 +198,27 @@ pub fn parallel_group_by_budgeted(
     }
     let threads = threads.max(1);
     if threads == 1 || group_vars.is_empty() {
-        return ops::group_by_budgeted(sr, input, group_vars, budget);
+        return ops::group_by(cx, input, group_vars);
     }
+    let out = parallel_group_by_impl(cx.semiring(), input, group_vars, threads, cx.budget())?;
+    cx.record_group_by(&[input], &out);
+    Ok(out)
+}
+
+fn parallel_group_by_impl(
+    sr: SemiringKind,
+    input: &FunctionalRelation,
+    group_vars: &[VarId],
+    threads: usize,
+    budget: Option<&ExecBudget>,
+) -> Result<FunctionalRelation> {
     let positions = input.schema().positions(group_vars)?;
     let parts = partition(input, &positions, threads)?;
 
     let results: Vec<Result<FunctionalRelation>> = std::thread::scope(|scope| {
         let handles: Vec<_> = parts
             .iter()
-            .map(|p| scope.spawn(move || ops::group_by(sr, p, group_vars)))
+            .map(|p| scope.spawn(move || ops::group_by_impl(sr, p, group_vars, None)))
             .collect();
         handles
             .into_iter()
@@ -270,9 +277,9 @@ mod tests {
     fn grace_join_matches_hash_join() {
         let (_, l, r) = fixtures();
         let sr = SemiringKind::SumProduct;
-        let want = ops::product_join(sr, &l, &r).unwrap();
+        let want = ops::raw::product_join(sr, &l, &r).unwrap();
         for partitions in [1, 2, 3, 8, 64] {
-            let got = grace_join(sr, &l, &r, partitions).unwrap();
+            let got = grace_join(&mut ExecContext::new(sr), &l, &r, partitions).unwrap();
             assert!(want.function_eq(&got), "{partitions} partitions");
         }
     }
@@ -295,17 +302,17 @@ mod tests {
             |row| (row[0] + 2) as f64,
         );
         let sr = SemiringKind::SumProduct;
-        let want = ops::product_join(sr, &l, &r).unwrap();
-        assert!(want.function_eq(&grace_join(sr, &l, &r, 4).unwrap()));
+        let want = ops::raw::product_join(sr, &l, &r).unwrap();
+        assert!(want.function_eq(&grace_join(&mut ExecContext::new(sr), &l, &r, 4).unwrap()));
     }
 
     #[test]
     fn parallel_join_matches_hash_join() {
         let (_, l, r) = fixtures();
         for sr in [SemiringKind::SumProduct, SemiringKind::MinSum] {
-            let want = ops::product_join(sr, &l, &r).unwrap();
+            let want = ops::raw::product_join(sr, &l, &r).unwrap();
             for threads in [1, 2, 4] {
-                let got = parallel_join(sr, &l, &r, threads).unwrap();
+                let got = parallel_join(&mut ExecContext::new(sr), &l, &r, threads).unwrap();
                 assert!(want.function_eq(&got), "{threads} threads");
             }
         }
@@ -316,14 +323,17 @@ mod tests {
         let (cat, l, _) = fixtures();
         let a = cat.var("a").unwrap();
         for sr in [SemiringKind::SumProduct, SemiringKind::MaxProduct] {
-            let want = ops::group_by(sr, &l, &[a]).unwrap();
+            let want = ops::raw::group_by(sr, &l, &[a]).unwrap();
             for threads in [1, 2, 4] {
-                let got = parallel_group_by(sr, &l, &[a], threads).unwrap();
+                let got =
+                    parallel_group_by(&mut ExecContext::new(sr), &l, &[a], threads).unwrap();
                 assert!(want.function_eq(&got), "{threads} threads");
             }
         }
         // Scalar group-by goes through the serial path.
-        let total = parallel_group_by(SemiringKind::SumProduct, &l, &[], 4).unwrap();
+        let total =
+            parallel_group_by(&mut ExecContext::new(SemiringKind::SumProduct), &l, &[], 4)
+                .unwrap();
         assert_eq!(total.len(), 1);
     }
 
@@ -331,14 +341,26 @@ mod tests {
     fn parallel_results_are_deterministic() {
         let (cat, l, r) = fixtures();
         let sr = SemiringKind::SumProduct;
-        let first = parallel_join(sr, &l, &r, 4).unwrap().canonicalized();
+        let mut cx = ExecContext::new(sr);
+        let first = parallel_join(&mut cx, &l, &r, 4).unwrap().canonicalized();
         for _ in 0..3 {
-            let again = parallel_join(sr, &l, &r, 4).unwrap().canonicalized();
+            let again = parallel_join(&mut cx, &l, &r, 4).unwrap().canonicalized();
             assert_eq!(first, again);
         }
         let a = cat.var("a").unwrap();
-        let g1 = parallel_group_by(sr, &l, &[a], 4).unwrap().canonicalized();
-        let g2 = parallel_group_by(sr, &l, &[a], 4).unwrap().canonicalized();
+        let g1 = parallel_group_by(&mut cx, &l, &[a], 4).unwrap().canonicalized();
+        let g2 = parallel_group_by(&mut cx, &l, &[a], 4).unwrap().canonicalized();
         assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn partitioned_ops_count_as_one_operator() {
+        let (cat, l, r) = fixtures();
+        let a = cat.var("a").unwrap();
+        let mut cx = ExecContext::new(SemiringKind::SumProduct);
+        grace_join(&mut cx, &l, &r, 4).unwrap();
+        parallel_group_by(&mut cx, &l, &[a], 4).unwrap();
+        assert_eq!(cx.stats().joins, 1);
+        assert_eq!(cx.stats().group_bys, 1);
     }
 }

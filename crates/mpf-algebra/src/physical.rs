@@ -116,6 +116,28 @@ impl PhysicalPlan {
         })
     }
 
+    /// The plan's nesting depth (a scan is depth 1), computed without
+    /// recursion so adversarially deep plans can be rejected against
+    /// [`crate::MAX_PLAN_DEPTH`] before evaluation.
+    pub fn depth(&self) -> usize {
+        let mut max = 0;
+        let mut stack = vec![(self, 1usize)];
+        while let Some((node, d)) = stack.pop() {
+            max = max.max(d);
+            match node {
+                PhysicalPlan::Scan { .. } => {}
+                PhysicalPlan::Select { input, .. } | PhysicalPlan::GroupBy { input, .. } => {
+                    stack.push((input, d + 1));
+                }
+                PhysicalPlan::Join { left, right, .. } => {
+                    stack.push((left, d + 1));
+                    stack.push((right, d + 1));
+                }
+            }
+        }
+        max
+    }
+
     /// The underlying logical plan (strip annotations).
     pub fn to_logical(&self) -> Plan {
         match self {

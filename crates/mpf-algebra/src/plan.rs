@@ -2,6 +2,12 @@ use mpf_storage::{Schema, Value, VarId};
 
 use crate::{AlgebraError, RelationProvider, Result};
 
+/// Maximum supported plan nesting depth. Deeper plans (an adversarially
+/// long left spine, say) return [`AlgebraError::PlanTooDeep`] from
+/// [`Plan::schema`] and the executor instead of recursing toward a stack
+/// overflow — the same cap the SQL parser puts on parenthesis nesting.
+pub const MAX_PLAN_DEPTH: usize = 128;
+
 /// A logical MPF evaluation plan: a tree of scans, selections, product
 /// joins, and group-bys.
 ///
@@ -75,17 +81,60 @@ impl Plan {
         }
     }
 
+    /// The plan's nesting depth (a scan is depth 1). Computed with an
+    /// explicit stack so arbitrarily deep plans can be measured — and then
+    /// rejected — without recursing.
+    pub fn depth(&self) -> usize {
+        let mut max = 0;
+        let mut stack = vec![(self, 1usize)];
+        while let Some((node, d)) = stack.pop() {
+            max = max.max(d);
+            match node {
+                Plan::Scan { .. } => {}
+                Plan::Select { input, .. } | Plan::GroupBy { input, .. } => {
+                    stack.push((input, d + 1));
+                }
+                Plan::Join { left, right } => {
+                    stack.push((left, d + 1));
+                    stack.push((right, d + 1));
+                }
+            }
+        }
+        max
+    }
+
+    /// Guard against plans nested beyond [`MAX_PLAN_DEPTH`].
+    pub(crate) fn check_depth(&self) -> Result<()> {
+        let depth = self.depth();
+        if depth > MAX_PLAN_DEPTH {
+            return Err(AlgebraError::PlanTooDeep {
+                depth,
+                max: MAX_PLAN_DEPTH,
+            });
+        }
+        Ok(())
+    }
+
     /// The plan's output schema, resolving base relations in `provider`.
+    ///
+    /// # Errors
+    /// [`AlgebraError::PlanTooDeep`] for plans nested beyond
+    /// [`MAX_PLAN_DEPTH`] (checked before the recursive walk).
     pub fn schema<P: RelationProvider>(&self, provider: &P) -> Result<Schema> {
+        self.check_depth()?;
+        self.schema_inner(provider)
+    }
+
+    fn schema_inner<P: RelationProvider>(&self, provider: &P) -> Result<Schema> {
         match self {
             Plan::Scan { relation } => provider
                 .relation_of(relation)
                 .map(|r| r.schema().clone())
                 .ok_or_else(|| AlgebraError::UnknownRelation(relation.clone())),
-            Plan::Select { input, .. } => input.schema(provider),
-            Plan::Join { left, right } => {
-                Ok(left.schema(provider)?.union(&right.schema(provider)?))
-            }
+            Plan::Select { input, .. } => input.schema_inner(provider),
+            Plan::Join { left, right } => Ok(left
+                .schema_inner(provider)?
+                .union(&right.schema_inner(provider)?)),
             Plan::GroupBy { group_vars, .. } => Ok(Schema::new(group_vars.clone())?),
         }
     }
@@ -225,6 +274,25 @@ mod tests {
     fn select_with_no_predicates_is_identity() {
         let p = Plan::select(Plan::scan("a"), vec![]);
         assert_eq!(p, Plan::scan("a"));
+    }
+
+    #[test]
+    fn depth_counts_nesting() {
+        assert_eq!(Plan::scan("a").depth(), 1);
+        assert_eq!(sample().depth(), 4);
+    }
+
+    #[test]
+    fn schema_rejects_too_deep_plans() {
+        let mut p = Plan::scan("a");
+        for _ in 0..MAX_PLAN_DEPTH + 10 {
+            p = Plan::join(p, Plan::scan("a"));
+        }
+        let provider = std::collections::HashMap::new();
+        assert!(matches!(
+            p.schema(&provider),
+            Err(AlgebraError::PlanTooDeep { .. })
+        ));
     }
 
     #[test]

@@ -9,12 +9,16 @@
 //! relations (property-tested) with different cost profiles — sort-based
 //! operators cost `O(n log n)` but stream in bounded memory, which is the
 //! regime PostgreSQL 8.1 used for large aggregates.
+//!
+//! Like every operator in this crate, they run through an
+//! [`ExecContext`], which carries the semiring, enforces any configured
+//! budget, and accumulates [`crate::ExecStats`].
 
 use mpf_semiring::SemiringKind;
 use mpf_storage::{FunctionalRelation, Schema, Value, VarId};
 
 use crate::limits::{ExecBudget, OpGuard};
-use crate::{fault, AlgebraError, Result};
+use crate::{AlgebraError, ExecContext, Result};
 
 /// Sort a relation's rows lexicographically by the given column positions,
 /// returning the permutation (row indices in sorted order).
@@ -37,21 +41,22 @@ fn sort_permutation(rel: &FunctionalRelation, positions: &[usize]) -> Vec<u32> {
 /// and merged, emitting the cross product of each matching key group.
 /// Function-equal to [`crate::ops::product_join`].
 pub fn merge_join(
-    sr: SemiringKind,
+    cx: &mut ExecContext<'_>,
     l: &FunctionalRelation,
     r: &FunctionalRelation,
 ) -> Result<FunctionalRelation> {
-    merge_join_budgeted(sr, l, r, None)
+    cx.fault("merge_join")?;
+    let out = merge_join_impl(cx.semiring(), l, r, cx.budget())?;
+    cx.record_join(&[l, r], &out);
+    Ok(out)
 }
 
-/// [`merge_join`] under an optional execution budget.
-pub fn merge_join_budgeted(
+fn merge_join_impl(
     sr: SemiringKind,
     l: &FunctionalRelation,
     r: &FunctionalRelation,
     budget: Option<&ExecBudget>,
 ) -> Result<FunctionalRelation> {
-    fault::check("merge_join")?;
     let out_schema = l.schema().union(r.schema());
     let mut guard = OpGuard::new(budget, out_schema.arity());
     let shared = l.schema().intersect(r.schema());
@@ -122,21 +127,22 @@ pub fn merge_join_budgeted(
 /// Sort-based aggregation: sort on the group variables, then fold runs of
 /// equal keys. Function-equal to [`crate::ops::group_by`].
 pub fn sort_group_by(
-    sr: SemiringKind,
+    cx: &mut ExecContext<'_>,
     input: &FunctionalRelation,
     group_vars: &[VarId],
 ) -> Result<FunctionalRelation> {
-    sort_group_by_budgeted(sr, input, group_vars, None)
+    cx.fault("sort_group_by")?;
+    let out = sort_group_by_impl(cx.semiring(), input, group_vars, cx.budget())?;
+    cx.record_group_by(&[input], &out);
+    Ok(out)
 }
 
-/// [`sort_group_by`] under an optional execution budget.
-pub fn sort_group_by_budgeted(
+fn sort_group_by_impl(
     sr: SemiringKind,
     input: &FunctionalRelation,
     group_vars: &[VarId],
     budget: Option<&ExecBudget>,
 ) -> Result<FunctionalRelation> {
-    fault::check("sort_group_by")?;
     for &v in group_vars {
         if !input.schema().contains(v) {
             return Err(AlgebraError::GroupVarNotInInput(v));
@@ -215,8 +221,8 @@ mod tests {
     fn merge_join_matches_hash_join() {
         let (_, l, r) = fixtures();
         for sr in [SemiringKind::SumProduct, SemiringKind::MinSum] {
-            let hash = ops::product_join(sr, &l, &r).unwrap();
-            let merge = merge_join(sr, &l, &r).unwrap();
+            let hash = ops::raw::product_join(sr, &l, &r).unwrap();
+            let merge = merge_join(&mut ExecContext::new(sr), &l, &r).unwrap();
             assert!(hash.function_eq(&merge));
         }
     }
@@ -239,9 +245,9 @@ mod tests {
             |row| (row[0] + 1) as f64,
         );
         let sr = SemiringKind::SumProduct;
-        let merge = merge_join(sr, &l, &r).unwrap();
+        let merge = merge_join(&mut ExecContext::new(sr), &l, &r).unwrap();
         assert_eq!(merge.len(), 6);
-        assert!(merge.function_eq(&ops::product_join(sr, &l, &r).unwrap()));
+        assert!(merge.function_eq(&ops::raw::product_join(sr, &l, &r).unwrap()));
     }
 
     #[test]
@@ -249,14 +255,14 @@ mod tests {
         let (cat, l, _) = fixtures();
         let a = cat.var("a").unwrap();
         for sr in [SemiringKind::SumProduct, SemiringKind::MaxProduct] {
-            let hash = ops::group_by(sr, &l, &[a]).unwrap();
-            let sorted = sort_group_by(sr, &l, &[a]).unwrap();
+            let hash = ops::raw::group_by(sr, &l, &[a]).unwrap();
+            let sorted = sort_group_by(&mut ExecContext::new(sr), &l, &[a]).unwrap();
             assert!(hash.function_eq(&sorted));
         }
         // Scalar aggregation.
         let sr = SemiringKind::SumProduct;
-        let hash = ops::group_by(sr, &l, &[]).unwrap();
-        let sorted = sort_group_by(sr, &l, &[]).unwrap();
+        let hash = ops::raw::group_by(sr, &l, &[]).unwrap();
+        let sorted = sort_group_by(&mut ExecContext::new(sr), &l, &[]).unwrap();
         assert!(hash.function_eq(&sorted));
     }
 
@@ -264,7 +270,7 @@ mod tests {
     fn sort_group_by_rejects_foreign_vars() {
         let (_, l, _) = fixtures();
         assert!(matches!(
-            sort_group_by(SemiringKind::SumProduct, &l, &[VarId(99)]),
+            sort_group_by(&mut ExecContext::new(SemiringKind::SumProduct), &l, &[VarId(99)]),
             Err(AlgebraError::GroupVarNotInInput(_))
         ));
     }
@@ -274,8 +280,20 @@ mod tests {
         let mut cat = Catalog::new();
         let a = cat.add_var("a", 2).unwrap();
         let empty = FunctionalRelation::new("e", Schema::new(vec![a]).unwrap());
-        let sr = SemiringKind::SumProduct;
-        assert_eq!(merge_join(sr, &empty, &empty).unwrap().len(), 0);
-        assert_eq!(sort_group_by(sr, &empty, &[a]).unwrap().len(), 0);
+        let mut cx = ExecContext::new(SemiringKind::SumProduct);
+        assert_eq!(merge_join(&mut cx, &empty, &empty).unwrap().len(), 0);
+        assert_eq!(sort_group_by(&mut cx, &empty, &[a]).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn sort_ops_record_stats() {
+        let (cat, l, r) = fixtures();
+        let a = cat.var("a").unwrap();
+        let mut cx = ExecContext::new(SemiringKind::SumProduct);
+        merge_join(&mut cx, &l, &r).unwrap();
+        sort_group_by(&mut cx, &l, &[a]).unwrap();
+        assert_eq!(cx.stats().joins, 1);
+        assert_eq!(cx.stats().group_bys, 1);
+        assert!(cx.stats().rows_processed > 0);
     }
 }

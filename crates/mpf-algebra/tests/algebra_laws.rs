@@ -2,7 +2,9 @@
 //! that every optimization in the paper relies on, checked on random
 //! functional relations in multiple semirings.
 
-use mpf_algebra::ops;
+// The laws are about the algebra, not execution state: the uncontexted
+// compat wrappers keep the property bodies free of ExecContext plumbing.
+use mpf_algebra::ops::raw as ops;
 use mpf_semiring::SemiringKind;
 use mpf_storage::{Catalog, FunctionalRelation, Schema, VarId};
 use proptest::prelude::*;

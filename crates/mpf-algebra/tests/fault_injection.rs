@@ -9,7 +9,8 @@
 use std::sync::Mutex;
 
 use mpf_algebra::{
-    fault, ops, partitioned, sort_ops, AlgebraError, Executor, Plan, RelationStore,
+    fault, ops, partitioned, sort_ops, AlgebraError, ExecContext, Executor, PhysicalPlan, Plan,
+    RelationStore,
 };
 use mpf_semiring::SemiringKind;
 use mpf_storage::{Catalog, FunctionalRelation, Schema};
@@ -45,7 +46,8 @@ fn injected(site: &str) -> AlgebraError {
 
 /// Every instrumented operator: arming the site fails exactly that call,
 /// and the very next call (the retry a fallback chain would make)
-/// succeeds because Nth arms disarm after firing.
+/// succeeds because Nth arms disarm after firing. Each call runs in a
+/// fresh [`ExecContext`], the carrier of the fault hooks.
 #[test]
 fn each_operator_site_fires_once() {
     let _g = lock();
@@ -55,38 +57,53 @@ fn each_operator_site_fires_once() {
     let sr = SemiringKind::SumProduct;
 
     let calls: Vec<(&str, OpCall<'_>)> = vec![
-        ("product_join", Box::new(|| ops::product_join(sr, &l, &r))),
-        ("group_by", Box::new(|| ops::group_by(sr, &l, &[a]))),
-        ("select_eq", Box::new(|| ops::select_eq(&l, &[(a, 0)]))),
+        (
+            "product_join",
+            Box::new(|| ops::product_join(&mut ExecContext::new(sr), &l, &r)),
+        ),
+        (
+            "group_by",
+            Box::new(|| ops::group_by(&mut ExecContext::new(sr), &l, &[a])),
+        ),
+        (
+            "select_eq",
+            Box::new(|| ops::select_eq(&mut ExecContext::new(sr), &l, &[(a, 0)])),
+        ),
         (
             "product_semijoin",
-            Box::new(|| ops::product_semijoin(sr, &l, &r)),
+            Box::new(|| ops::product_semijoin(&mut ExecContext::new(sr), &l, &r)),
         ),
         (
             "update_semijoin",
-            Box::new(|| ops::update_semijoin(sr, &l, &r)),
+            Box::new(|| ops::update_semijoin(&mut ExecContext::new(sr), &l, &r)),
         ),
-        ("divide_join", Box::new(|| ops::divide_join(sr, &l, &r))),
+        (
+            "divide_join",
+            Box::new(|| ops::divide_join(&mut ExecContext::new(sr), &l, &r)),
+        ),
         (
             "naive_mpf",
-            Box::new(|| ops::naive_mpf(sr, &[&l, &r], &[], &[a])),
+            Box::new(|| ops::naive_mpf(&mut ExecContext::new(sr), &[&l, &r], &[], &[a])),
         ),
-        ("merge_join", Box::new(|| sort_ops::merge_join(sr, &l, &r))),
+        (
+            "merge_join",
+            Box::new(|| sort_ops::merge_join(&mut ExecContext::new(sr), &l, &r)),
+        ),
         (
             "sort_group_by",
-            Box::new(|| sort_ops::sort_group_by(sr, &l, &[a])),
+            Box::new(|| sort_ops::sort_group_by(&mut ExecContext::new(sr), &l, &[a])),
         ),
         (
             "grace_join",
-            Box::new(|| partitioned::grace_join(sr, &l, &r, 4)),
+            Box::new(|| partitioned::grace_join(&mut ExecContext::new(sr), &l, &r, 4)),
         ),
         (
             "parallel_join",
-            Box::new(|| partitioned::parallel_join(sr, &l, &r, 2)),
+            Box::new(|| partitioned::parallel_join(&mut ExecContext::new(sr), &l, &r, 2)),
         ),
         (
             "parallel_group_by",
-            Box::new(|| partitioned::parallel_group_by(sr, &l, &[a], 2)),
+            Box::new(|| partitioned::parallel_group_by(&mut ExecContext::new(sr), &l, &[a], 2)),
         ),
     ];
 
@@ -106,10 +123,13 @@ fn second_invocation_faults_leave_first_intact() {
     let sr = SemiringKind::SumProduct;
 
     fault::inject("group_by", 2);
-    let first = ops::group_by(sr, &l, &[a]).unwrap();
-    assert_eq!(ops::group_by(sr, &l, &[a]).unwrap_err(), injected("group_by"));
+    let first = ops::raw::group_by(sr, &l, &[a]).unwrap();
+    assert_eq!(
+        ops::raw::group_by(sr, &l, &[a]).unwrap_err(),
+        injected("group_by")
+    );
     // Disarmed again; results are unaffected by the fault machinery.
-    assert!(first.function_eq(&ops::group_by(sr, &l, &[a]).unwrap()));
+    assert!(first.function_eq(&ops::raw::group_by(sr, &l, &[a]).unwrap()));
 }
 
 #[test]
@@ -124,10 +144,51 @@ fn executor_surfaces_faults_as_errors() {
     let plan = Plan::group_by(Plan::join(Plan::scan("l"), Plan::scan("r")), vec![]);
 
     fault::inject_always("product_join");
-    assert_eq!(
-        exec.execute(&plan).unwrap_err(),
-        injected("product_join")
-    );
+    assert_eq!(exec.execute(&plan).unwrap_err(), injected("product_join"));
     fault::clear("product_join");
     assert!(exec.execute(&plan).is_ok());
+}
+
+/// Work done before a fault fires is not lost: a caller-owned context
+/// keeps the stats of the operators that completed, which is what lets
+/// the engine report total work across failed fallback attempts.
+#[test]
+fn context_keeps_stats_accumulated_before_the_fault() {
+    let _g = lock();
+    fault::clear_all();
+    let (_, l, r) = fixtures();
+    let mut s = RelationStore::new();
+    s.insert(l);
+    s.insert(r);
+    let exec = Executor::new(&s, SemiringKind::SumProduct);
+    let plan = Plan::group_by(Plan::join(Plan::scan("l"), Plan::scan("r")), vec![]);
+    let physical = exec.lower(&plan).unwrap();
+
+    // Fail the group-by, after the join already ran.
+    fault::inject("group_by", 1);
+    let mut cx = ExecContext::new(SemiringKind::SumProduct);
+    assert_eq!(
+        exec.execute_physical_in(&mut cx, &physical).unwrap_err(),
+        injected("group_by")
+    );
+    let stats = cx.stats();
+    assert_eq!(stats.joins, 1, "the join before the fault is on record");
+    assert_eq!(stats.group_bys, 0);
+    assert_eq!(stats.rows_scanned, 18);
+    fault::clear_all();
+
+    // A direct PhysicalPlan round-trip also surfaces the fault.
+    fault::inject_always("sort_group_by");
+    let sorted = PhysicalPlan::GroupBy {
+        input: Box::new(PhysicalPlan::Scan {
+            relation: "l".into(),
+        }),
+        group_vars: vec![],
+        algo: mpf_algebra::AggAlgo::SortAgg,
+    };
+    assert_eq!(
+        exec.execute_physical(&sorted).unwrap_err(),
+        injected("sort_group_by")
+    );
+    fault::clear_all();
 }

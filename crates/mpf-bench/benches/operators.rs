@@ -3,7 +3,7 @@
 //! Belief Propagation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mpf_algebra::ops;
+use mpf_algebra::{ops, ExecContext};
 use mpf_semiring::SemiringKind;
 use mpf_storage::{Catalog, FunctionalRelation, Schema, VarId};
 
@@ -32,7 +32,9 @@ fn bench_product_join(c: &mut Criterion) {
     for dom in [16u64, 64, 128] {
         let (_, l, r, _) = fixtures(dom);
         g.bench_with_input(BenchmarkId::from_parameter(dom * dom), &dom, |bch, _| {
-            bch.iter(|| ops::product_join(SemiringKind::SumProduct, &l, &r).unwrap())
+            bch.iter(|| {
+                ops::product_join(&mut ExecContext::new(SemiringKind::SumProduct), &l, &r).unwrap()
+            })
         });
     }
     g.finish();
@@ -43,7 +45,9 @@ fn bench_group_by(c: &mut Criterion) {
     for dom in [16u64, 64, 128] {
         let (_, l, _, a) = fixtures(dom);
         g.bench_with_input(BenchmarkId::from_parameter(dom * dom), &dom, |bch, _| {
-            bch.iter(|| ops::group_by(SemiringKind::SumProduct, &l, &[a]).unwrap())
+            bch.iter(|| {
+                ops::group_by(&mut ExecContext::new(SemiringKind::SumProduct), &l, &[a]).unwrap()
+            })
         });
     }
     g.finish();
@@ -53,10 +57,14 @@ fn bench_semijoins(c: &mut Criterion) {
     let mut g = c.benchmark_group("semijoins");
     let (_, l, r, _) = fixtures(64);
     g.bench_function("product_semijoin", |bch| {
-        bch.iter(|| ops::product_semijoin(SemiringKind::SumProduct, &l, &r).unwrap())
+        bch.iter(|| {
+            ops::product_semijoin(&mut ExecContext::new(SemiringKind::SumProduct), &l, &r).unwrap()
+        })
     });
     g.bench_function("update_semijoin", |bch| {
-        bch.iter(|| ops::update_semijoin(SemiringKind::SumProduct, &l, &r).unwrap())
+        bch.iter(|| {
+            ops::update_semijoin(&mut ExecContext::new(SemiringKind::SumProduct), &l, &r).unwrap()
+        })
     });
     g.finish();
 }

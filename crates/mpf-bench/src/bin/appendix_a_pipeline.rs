@@ -12,7 +12,7 @@
 //!
 //! Usage: `appendix_a_pipeline [--scale <f>]`
 
-use mpf_algebra::{ops, RelationProvider};
+use mpf_algebra::{ops, ExecContext, RelationProvider};
 use mpf_bench::Args;
 use mpf_datagen::{supply_chain::RELATION_NAMES, SupplyChain, SupplyChainConfig};
 use mpf_infer::{acyclic, bp, triangulate, JunctionTree, VariableGraph};
@@ -95,16 +95,17 @@ fn main() {
     bp::calibrate(sr, &mut tables, &jt.tree).expect("calibrate");
 
     // Verify one marginal against direct evaluation.
+    let cx = &mut ExecContext::new(sr);
     let mut view = rels2[0].clone();
     for r in &rels2[1..] {
-        view = ops::product_join(sr, &view, r).expect("join");
+        view = ops::product_join(cx, &view, r).expect("join");
     }
-    let want = ops::group_by(sr, &view, &[sc.wid]).expect("group");
+    let want = ops::group_by(cx, &view, &[sc.wid]).expect("group");
     let table = tables
         .iter()
         .find(|t| t.schema().contains(sc.wid))
         .expect("wid is in a clique");
-    let got = ops::group_by(sr, table, &[sc.wid]).expect("group");
+    let got = ops::group_by(cx, table, &[sc.wid]).expect("group");
     println!(
         "  calibrated marginal on wid matches direct evaluation: {}",
         want.function_eq_in(&got, sr)

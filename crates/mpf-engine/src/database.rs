@@ -1,7 +1,9 @@
 use std::collections::HashMap;
 use std::time::Instant;
 
-use mpf_algebra::{fault, ExecLimits, Executor, Plan, RelationProvider, RelationStore};
+use mpf_algebra::{
+    fault, ExecContext, ExecLimits, ExecStats, Executor, Plan, RelationProvider, RelationStore,
+};
 use mpf_infer::VeCache;
 use mpf_optimizer::{
     choose_physical, linearity::linearity_test, linearity::LinearityTest, optimize, Algorithm,
@@ -339,9 +341,13 @@ impl Database {
         }
 
         let mut failed: Vec<(Strategy, EngineError)> = Vec::new();
+        // Work done by failed attempts still counts: the accumulator is
+        // threaded through every attempt so the answer's stats report the
+        // query's *total* cost, not just the winning strategy's.
+        let mut total = ExecStats::default();
         let last = attempts.len() - 1;
         for (i, &strategy) in attempts.iter().enumerate() {
-            match self.attempt(q, store, &ctx, sr, strategy) {
+            match self.attempt(q, store, &ctx, sr, strategy, &mut total) {
                 Ok(mut answer) => {
                     answer.served_by = strategy;
                     answer.fallback = failed;
@@ -355,7 +361,8 @@ impl Database {
         Err(EngineError::EmptyView(q.view.clone()))
     }
 
-    /// One optimize-and-execute attempt with a single strategy.
+    /// One optimize-and-execute attempt with a single strategy. The work
+    /// it does — even when it fails — is merged into `total`.
     fn attempt(
         &self,
         q: &Query,
@@ -363,16 +370,20 @@ impl Database {
         ctx: &OptContext<'_>,
         sr: SemiringKind,
         strategy: Strategy,
+        total: &mut ExecStats,
     ) -> Result<Answer> {
         let t0 = Instant::now();
         let (plan, est_cost) = self.plan_for(&q.view, ctx, strategy)?;
         let physical = choose_physical(ctx, &plan, PhysicalConfig::default());
         let optimize_time = t0.elapsed();
 
-        let exec = Executor::with_limits(store, sr, self.limits.clone());
+        let exec = Executor::new(store, sr);
+        let mut cx = ExecContext::with_limits(sr, self.limits.clone());
         let t1 = Instant::now();
-        let (mut relation, stats) = exec.execute_physical(&physical)?;
+        let result = exec.execute_physical_in(&mut cx, &physical);
         let execute_time = t1.elapsed();
+        total.merge(cx.stats());
+        let mut relation = result?;
 
         // Constrained-range (`having f ⋈ c`) post-filter.
         if let Some((cmp, bound)) = q.having {
@@ -393,7 +404,7 @@ impl Database {
             plan,
             physical,
             est_cost,
-            stats,
+            stats: *total,
             optimize_time,
             execute_time,
         })
@@ -576,7 +587,8 @@ impl Database {
                 })
             })
             .collect::<Result<_>>()?;
-        Ok(VeCache::build(sr, &rels, order)?)
+        let mut cx = ExecContext::with_limits(sr, self.limits.clone());
+        Ok(VeCache::build_in(&mut cx, &rels, order)?)
     }
 
     /// Answer a single-variable query from a cache, by variable name.

@@ -205,7 +205,9 @@ pub struct Answer {
     pub physical: PhysicalPlan,
     /// Optimizer-estimated plan cost.
     pub est_cost: f64,
-    /// Execution work counters.
+    /// Execution work counters, aggregated across *every* attempt the
+    /// fallback chain made — a query that failed over reports the work of
+    /// the failed strategies too, not just the one that served the answer.
     pub stats: ExecStats,
     /// Time spent optimizing.
     pub optimize_time: Duration,

@@ -235,6 +235,30 @@ mod faults {
         assert!(approx_eq(ans.relation.lookup(&[0]).unwrap(), 220.0));
     }
 
+    /// The answer's stats cover the whole fallback chain: the attempt that
+    /// died mid-plan had already scanned its inputs, and that work shows up
+    /// in the served answer's counters on top of the successful retry's.
+    #[test]
+    fn fallback_answer_reports_work_of_failed_attempts() {
+        let _g = lock();
+        fault::clear_all();
+        let db = tiny_db();
+        let q = Query::on("v").group_by(["c"]);
+        let clean = db.query(&q).unwrap();
+        assert!(clean.stats.rows_scanned > 0);
+
+        fault::inject("product_join", 1);
+        let ans = db.query(&q).unwrap();
+        assert_eq!(ans.fallback.len(), 1);
+        assert!(
+            ans.stats.rows_scanned > clean.stats.rows_scanned,
+            "failed attempt's scans missing: {} vs clean {}",
+            ans.stats.rows_scanned,
+            clean.stats.rows_scanned
+        );
+        assert!(ans.relation.function_eq(&clean.relation));
+    }
+
     /// When every strategy in the chain faults, the last error surfaces as
     /// a typed failure — never a panic.
     #[test]

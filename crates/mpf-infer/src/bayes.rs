@@ -16,7 +16,7 @@
 //! [`BayesNet::joint`] provides the brute-force enumeration oracle used to
 //! validate exactness.
 
-use mpf_algebra::{Executor, Plan, RelationStore};
+use mpf_algebra::{ExecContext, ExecLimits, ExecStats, Executor, Plan, RelationStore};
 use mpf_optimizer::{optimize, Algorithm, BaseRel, CostModel, OptContext, QuerySpec};
 use mpf_semiring::SemiringKind;
 use mpf_storage::{Catalog, FunctionalRelation, Schema, Value, VarId};
@@ -176,10 +176,10 @@ impl BayesNet {
     /// Brute-force joint distribution (product join of every CPT) — the
     /// exponential-size oracle the MPF machinery is designed to avoid.
     pub fn joint(&self) -> Result<FunctionalRelation> {
-        let sr = SemiringKind::SumProduct;
+        let cx = &mut ExecContext::new(SemiringKind::SumProduct);
         let mut acc = self.cpts[0].clone();
         for cpt in &self.cpts[1..] {
-            acc = mpf_algebra::ops::product_join(sr, &acc, cpt)?;
+            acc = mpf_algebra::ops::product_join(cx, &acc, cpt)?;
         }
         Ok(acc.with_name("joint"))
     }
@@ -216,7 +216,24 @@ impl BayesNet {
         evidence: &[(VarId, Value)],
         algorithm: Algorithm,
     ) -> Result<FunctionalRelation> {
+        self.marginal(group_vars, evidence, algorithm, ExecLimits::none())
+            .map(|(rel, _)| rel)
+    }
+
+    /// [`BayesNet::query`] under explicit [`ExecLimits`]: the optimized
+    /// plan is lowered and interpreted inside one [`ExecContext`], so row
+    /// and cell budgets, deadlines, and cancellation bound the inference
+    /// work, and the returned [`ExecStats`] report it.
+    pub fn marginal(
+        &self,
+        group_vars: &[VarId],
+        evidence: &[(VarId, Value)],
+        algorithm: Algorithm,
+        limits: ExecLimits,
+    ) -> Result<(FunctionalRelation, ExecStats)> {
         let sr = SemiringKind::SumProduct;
+        let mut cx = ExecContext::with_limits(sr, limits);
+        cx.fault("bayes::marginal")?;
         let store: RelationStore = self.cpts.iter().cloned().collect();
         let base: Vec<BaseRel> = self.cpts.iter().map(BaseRel::of).collect();
         let mut spec = QuerySpec::group_by(group_vars.iter().copied());
@@ -226,8 +243,9 @@ impl BayesNet {
         let ctx = OptContext::new(&self.catalog, base, spec, CostModel::Io);
         let plan = optimize(&ctx, algorithm);
         let exec = Executor::new(&store, sr);
-        let (rel, _) = exec.execute(&plan.plan)?;
-        Ok(rel)
+        let physical = exec.lower(&plan.plan)?;
+        let rel = exec.execute_physical_in(&mut cx, &physical)?;
+        Ok((rel, cx.take_stats()))
     }
 
     /// The optimized plan for a posterior query (for inspection/EXPLAIN).
@@ -250,6 +268,7 @@ impl BayesNet {
     pub fn sample(&self, n: usize, seed: u64) -> Result<Vec<Vec<Value>>> {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let order = topo_order(&self.nodes, &self.parents).ok_or(InferError::CyclicNetwork)?;
+        let cx = &mut ExecContext::new(SemiringKind::SumProduct);
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
             let mut assignment: std::collections::HashMap<VarId, Value> = Default::default();
@@ -261,7 +280,7 @@ impl BayesNet {
                     .iter()
                     .map(|&p| (p, assignment[&p]))
                     .collect();
-                let cond = mpf_algebra::ops::select_eq(cpt, &preds)?;
+                let cond = mpf_algebra::ops::select_eq(cx, cpt, &preds)?;
                 let node_pos = cond.schema().position(node)?;
                 let u: f64 = rng.random();
                 let mut acc = 0.0;
@@ -292,7 +311,7 @@ impl BayesNet {
     /// (group-bys) against it in the sum-product semiring.
     pub fn fit(structure: &BayesNet, samples: &[Vec<Value>], alpha: f64) -> Result<BayesNet> {
         assert!(alpha >= 0.0);
-        let sr = SemiringKind::SumProduct;
+        let cx = &mut ExecContext::new(SemiringKind::SumProduct);
         // Aggregate duplicate samples: the data relation is functional with
         // the count as measure.
         let all_vars = Schema::new(structure.nodes.to_vec())?;
@@ -308,8 +327,8 @@ impl BayesNet {
             let mut family = parents.clone();
             family.push(node);
             // MPF count queries: joint family counts and parent counts.
-            let family_counts = mpf_algebra::ops::group_by(sr, &data, &family)?;
-            let parent_counts = mpf_algebra::ops::group_by(sr, &data, parents)?;
+            let family_counts = mpf_algebra::ops::group_by(cx, &data, &family)?;
+            let parent_counts = mpf_algebra::ops::group_by(cx, &data, parents)?;
             let node_dom = structure.catalog.domain_size(node) as f64;
 
             let schema = Schema::new(family.clone())?;
@@ -524,7 +543,7 @@ fn family_bic(
     all_nodes: &[VarId],
     samples: &[Vec<Value>],
 ) -> crate::Result<f64> {
-    let sr = SemiringKind::SumProduct;
+    let cx = &mut ExecContext::new(SemiringKind::SumProduct);
     // Aggregate samples into a count relation (MPF counting view).
     let schema = Schema::new(all_nodes.to_vec())?;
     let mut counts: std::collections::HashMap<Vec<Value>, f64> = Default::default();
@@ -535,8 +554,8 @@ fn family_bic(
 
     let mut family = parents.to_vec();
     family.push(node);
-    let fam_counts = mpf_algebra::ops::group_by(sr, &data, &family)?;
-    let par_counts = mpf_algebra::ops::group_by(sr, &data, parents)?;
+    let fam_counts = mpf_algebra::ops::group_by(cx, &data, &family)?;
+    let par_counts = mpf_algebra::ops::group_by(cx, &data, parents)?;
 
     let mut ll = 0.0;
     for (row, n_fam) in fam_counts.rows() {
@@ -603,10 +622,10 @@ mod tests {
         let rain = bn.catalog().var("rain").unwrap();
 
         // Enumeration: Pr(rain | wet = 1).
+        let cx = &mut ExecContext::new(SemiringKind::SumProduct);
         let joint = bn.joint().unwrap();
-        let cond = mpf_algebra::ops::select_eq(&joint, &[(wet, 1)]).unwrap();
-        let marg =
-            mpf_algebra::ops::group_by(SemiringKind::SumProduct, &cond, &[rain]).unwrap();
+        let cond = mpf_algebra::ops::select_eq(cx, &joint, &[(wet, 1)]).unwrap();
+        let marg = mpf_algebra::ops::group_by(cx, &cond, &[rain]).unwrap();
         let z: f64 = marg.measures().iter().sum();
         let want: Vec<f64> = (0..2).map(|v| marg.lookup(&[v]).unwrap() / z).collect();
 
@@ -652,8 +671,12 @@ mod tests {
         for (i, cpt) in fitted.cpts().iter().enumerate() {
             let node = fitted.nodes()[i];
             let parents = &fitted.parents()[i];
-            let totals =
-                mpf_algebra::ops::group_by(SemiringKind::SumProduct, cpt, parents).unwrap();
+            let totals = mpf_algebra::ops::group_by(
+                &mut ExecContext::new(SemiringKind::SumProduct),
+                cpt,
+                parents,
+            )
+            .unwrap();
             for (_, total) in totals.rows() {
                 assert!(approx_eq(total, 1.0), "node {node}: rows sum to {total}");
             }

@@ -14,6 +14,7 @@
 
 use std::collections::BTreeSet;
 
+use mpf_algebra::ExecContext;
 use mpf_semiring::SemiringKind;
 use mpf_storage::{FunctionalRelation, VarId};
 
@@ -47,11 +48,26 @@ pub enum BpStep {
 /// table is additionally scaled by the other components' totals).
 ///
 /// Returns the executed semijoin program.
+///
+/// Unlimited convenience form of [`calibrate_in`].
 pub fn calibrate(
     sr: SemiringKind,
     tables: &mut [FunctionalRelation],
     tree: &JoinTree,
 ) -> Result<Vec<BpStep>> {
+    calibrate_in(&mut ExecContext::new(sr), tables, tree)
+}
+
+/// [`calibrate`] inside a caller-owned [`ExecContext`]: every semijoin of
+/// the program runs under the context's budget, deadline, cancellation,
+/// and fault hooks, and its work lands in the caller's stats.
+pub fn calibrate_in(
+    cx: &mut ExecContext<'_>,
+    tables: &mut [FunctionalRelation],
+    tree: &JoinTree,
+) -> Result<Vec<BpStep>> {
+    cx.fault("bp::calibrate")?;
+    let sr = cx.semiring();
     if !sr.has_division() {
         return Err(InferError::Algebra(mpf_algebra::AlgebraError::NoDivision));
     }
@@ -65,7 +81,7 @@ pub fn calibrate(
         // Upward: children push marginals into parents, leaves first.
         for &(node, parent) in order.iter().rev() {
             if let Some(p) = parent {
-                tables[p] = mpf_algebra::ops::product_semijoin(sr, &tables[p], &tables[node])?;
+                tables[p] = mpf_algebra::ops::product_semijoin(cx, &tables[p], &tables[node])?;
                 program.push(BpStep::Forward {
                     target: p,
                     source: node,
@@ -75,7 +91,7 @@ pub fn calibrate(
         // Downward: parents push calibrated marginals back, root first.
         for &(node, parent) in &order {
             if let Some(p) = parent {
-                tables[node] = mpf_algebra::ops::update_semijoin(sr, &tables[node], &tables[p])?;
+                tables[node] = mpf_algebra::ops::update_semijoin(cx, &tables[node], &tables[p])?;
                 program.push(BpStep::Backward {
                     target: node,
                     source: p,
@@ -91,7 +107,7 @@ pub fn calibrate(
         let totals: Vec<f64> = components
             .iter()
             .map(|comp| {
-                let t = mpf_algebra::ops::group_by(sr, &tables[comp[0]], &[])?;
+                let t = mpf_algebra::ops::group_by(cx, &tables[comp[0]], &[])?;
                 Ok(if t.is_empty() { sr.zero() } else { t.measure(0) })
             })
             .collect::<Result<_>>()?;
@@ -130,13 +146,22 @@ pub fn bp_acyclic(
     sr: SemiringKind,
     rels: &[&FunctionalRelation],
 ) -> Result<(Vec<FunctionalRelation>, Vec<BpStep>)> {
+    bp_acyclic_in(&mut ExecContext::new(sr), rels)
+}
+
+/// [`bp_acyclic`] inside a caller-owned [`ExecContext`] — the budgeted
+/// entry point of the BP semijoin program.
+pub fn bp_acyclic_in(
+    cx: &mut ExecContext<'_>,
+    rels: &[&FunctionalRelation],
+) -> Result<(Vec<FunctionalRelation>, Vec<BpStep>)> {
     let sets: Vec<BTreeSet<VarId>> = rels.iter().map(|r| r.schema().iter().collect()).collect();
     let tree = JoinTree::build(&sets);
     if !tree.verify_rip(&sets) {
         return Err(InferError::CyclicSchema);
     }
     let mut tables: Vec<FunctionalRelation> = rels.iter().map(|r| (*r).clone()).collect();
-    let program = calibrate(sr, &mut tables, &tree)?;
+    let program = calibrate_in(cx, &mut tables, &tree)?;
     Ok((tables, program))
 }
 
@@ -150,14 +175,15 @@ pub fn satisfies_invariant(
     tables: &[FunctionalRelation],
 ) -> Result<bool> {
     assert!(!base.is_empty());
+    let cx = &mut ExecContext::new(sr);
     let mut view = base[0].clone();
     for r in &base[1..] {
-        view = mpf_algebra::ops::product_join(sr, &view, r)?;
+        view = mpf_algebra::ops::product_join(cx, &view, r)?;
     }
     for t in tables {
         for v in t.schema().iter() {
-            let from_table = mpf_algebra::ops::group_by(sr, t, &[v])?;
-            let from_view = mpf_algebra::ops::group_by(sr, &view, &[v])?;
+            let from_table = mpf_algebra::ops::group_by(cx, t, &[v])?;
+            let from_view = mpf_algebra::ops::group_by(cx, &view, &[v])?;
             // Explicit additive-zero rows and missing rows denote the same
             // function value (see `FunctionalRelation::function_eq_in`).
             if !from_view.function_eq_in(&from_table, sr) {

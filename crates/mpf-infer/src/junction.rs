@@ -16,6 +16,7 @@
 
 use std::collections::BTreeSet;
 
+use mpf_algebra::ExecContext;
 use mpf_semiring::SemiringKind;
 use mpf_storage::{Catalog, FunctionalRelation, Schema, VarId};
 
@@ -231,12 +232,26 @@ impl JunctionTree {
         rels: &[&FunctionalRelation],
         catalog: &Catalog,
     ) -> Result<Vec<FunctionalRelation>> {
+        self.populate_in(&mut ExecContext::new(sr), rels, catalog)
+    }
+
+    /// [`JunctionTree::populate`] inside a caller-owned [`ExecContext`]:
+    /// the clique-building joins run under the context's budget, deadline,
+    /// cancellation, and fault hooks.
+    pub fn populate_in(
+        &self,
+        cx: &mut ExecContext<'_>,
+        rels: &[&FunctionalRelation],
+        catalog: &Catalog,
+    ) -> Result<Vec<FunctionalRelation>> {
+        cx.fault("junction::populate")?;
+        let sr = cx.semiring();
         assert_eq!(rels.len(), self.assignment.len());
         let mut tables: Vec<Option<FunctionalRelation>> = vec![None; self.cliques.len()];
         for (r, &c) in rels.iter().zip(&self.assignment) {
             tables[c] = Some(match tables[c].take() {
                 None => (*r).clone(),
-                Some(t) => mpf_algebra::ops::product_join(sr, &t, r)?,
+                Some(t) => mpf_algebra::ops::product_join(cx, &t, r)?,
             });
         }
         let mut out = Vec::with_capacity(self.cliques.len());
@@ -253,7 +268,7 @@ impl JunctionTree {
                         t
                     } else {
                         let pad = identity_relation(sr, &missing, catalog);
-                        mpf_algebra::ops::product_join(sr, &t, &pad)?
+                        mpf_algebra::ops::product_join(cx, &t, &pad)?
                     }
                 }
                 None => identity_relation(sr, &clique_vars, catalog),

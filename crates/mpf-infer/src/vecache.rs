@@ -24,6 +24,7 @@
 
 use std::collections::BTreeSet;
 
+use mpf_algebra::ExecContext;
 use mpf_semiring::SemiringKind;
 use mpf_storage::{FunctionalRelation, Value, VarId};
 
@@ -74,6 +75,8 @@ impl VeCache {
     /// Build the cache from the view's base relations (Algorithm 3). With
     /// `order = None` a min-fill order over the variable graph is used.
     ///
+    /// Unlimited convenience form of [`VeCache::build_in`].
+    ///
     /// # Errors
     /// [`InferError::Algebra`] if the semiring lacks division (the backward
     /// pass needs the update semijoin).
@@ -82,6 +85,19 @@ impl VeCache {
         rels: &[&FunctionalRelation],
         order: Option<&[VarId]>,
     ) -> Result<VeCache> {
+        VeCache::build_in(&mut ExecContext::new(sr), rels, order)
+    }
+
+    /// Build the cache inside a caller-owned [`ExecContext`], so budgets,
+    /// deadlines, cancellation, and fault hooks cover the whole
+    /// construction and its work lands in the caller's stats.
+    pub fn build_in(
+        cx: &mut ExecContext<'_>,
+        rels: &[&FunctionalRelation],
+        order: Option<&[VarId]>,
+    ) -> Result<VeCache> {
+        cx.fault("vecache::build")?;
+        let sr = cx.semiring();
         if !sr.has_division() {
             return Err(InferError::Algebra(mpf_algebra::AlgebraError::NoDivision));
         }
@@ -126,7 +142,7 @@ impl VeCache {
             let mut joined = first;
             let mut origins = vec![first_origin];
             for (f, origin) in iter {
-                joined = mpf_algebra::ops::product_join(sr, &joined, &f)?;
+                joined = mpf_algebra::ops::product_join(cx, &joined, &f)?;
                 origins.push(origin);
             }
             for origin in origins {
@@ -139,7 +155,7 @@ impl VeCache {
             tables.push(joined.clone().with_name(format!("t{j}")));
             // Eliminate v.
             let keep: Vec<VarId> = joined.schema().iter().filter(|&u| u != v).collect();
-            let p = mpf_algebra::ops::group_by(sr, &joined, &keep)?;
+            let p = mpf_algebra::ops::group_by(cx, &joined, &keep)?;
             if p.schema().is_empty() {
                 // Component fully eliminated; remember its total.
                 let total = if p.is_empty() { sr.zero() } else { p.measure(0) };
@@ -179,7 +195,7 @@ impl VeCache {
                 .collect();
             for i in children {
                 cache.tables[i] = mpf_algebra::ops::update_semijoin(
-                    sr,
+                    cx,
                     &cache.tables[i],
                     &cache.tables[j],
                 )?
@@ -290,7 +306,7 @@ impl VeCache {
     pub fn answer(&self, var: VarId) -> Result<FunctionalRelation> {
         let idx = self.best_table_for(&[var])?;
         Ok(mpf_algebra::ops::group_by(
-            self.semiring,
+            &mut ExecContext::new(self.semiring),
             &self.tables[idx],
             &[var],
         )?)
@@ -301,7 +317,7 @@ impl VeCache {
     pub fn answer_set(&self, vars: &[VarId]) -> Result<FunctionalRelation> {
         let idx = self.best_table_for(vars)?;
         Ok(mpf_algebra::ops::group_by(
-            self.semiring,
+            &mut ExecContext::new(self.semiring),
             &self.tables[idx],
             vars,
         )?)
@@ -324,8 +340,11 @@ impl VeCache {
         let mut out = self.clone();
         let source = out.best_table_for(&[var])?;
         let old_total = out.table_total(source)?;
-        out.tables[source] =
-            mpf_algebra::ops::select_eq(&out.tables[source], &[(var, value)])?;
+        out.tables[source] = mpf_algebra::ops::select_eq(
+            &mut ExecContext::new(self.semiring),
+            &out.tables[source],
+            &[(var, value)],
+        )?;
         out.repropagate_from(source, old_total)?;
         Ok(out)
     }
@@ -399,7 +418,11 @@ impl VeCache {
 
     /// Total (zero-ary marginal) of a cached table.
     fn table_total(&self, idx: usize) -> Result<f64> {
-        let t = mpf_algebra::ops::group_by(self.semiring, &self.tables[idx], &[])?;
+        let t = mpf_algebra::ops::group_by(
+            &mut ExecContext::new(self.semiring),
+            &self.tables[idx],
+            &[],
+        )?;
         Ok(if t.is_empty() {
             self.semiring.zero()
         } else {
@@ -417,7 +440,7 @@ impl VeCache {
         for (node, parent) in tree.bfs_from(source) {
             if let Some(p) = parent {
                 self.tables[node] = mpf_algebra::ops::update_semijoin(
-                    sr,
+                    &mut ExecContext::new(sr),
                     &self.tables[node],
                     &self.tables[p],
                 )?;
@@ -553,13 +576,14 @@ mod tests {
         let sr = SemiringKind::SumProduct;
         let cache = VeCache::build(sr, &refs, None).unwrap();
         // Full view for reference.
+        let mut cx = ExecContext::new(sr);
         let mut view = rels[0].clone();
         for r in &rels[1..] {
-            view = mpf_algebra::ops::product_join(sr, &view, r).unwrap();
+            view = mpf_algebra::ops::product_join(&mut cx, &view, r).unwrap();
         }
         for name in ["pid", "sid", "wid", "cid", "tid"] {
             let v = cat.var(name).unwrap();
-            let want = mpf_algebra::ops::group_by(sr, &view, &[v]).unwrap();
+            let want = mpf_algebra::ops::group_by(&mut cx, &view, &[v]).unwrap();
             let got = cache.answer(v).unwrap();
             assert!(want.function_eq(&got), "cache answer diverges on {name}");
         }
@@ -576,14 +600,15 @@ mod tests {
         let tid = cat.var("tid").unwrap();
         let conditioned = cache.with_evidence(tid, 1).unwrap();
 
+        let mut cx = ExecContext::new(sr);
         let mut view = rels[0].clone();
         for r in &rels[1..] {
-            view = mpf_algebra::ops::product_join(sr, &view, r).unwrap();
+            view = mpf_algebra::ops::product_join(&mut cx, &view, r).unwrap();
         }
-        let view = mpf_algebra::ops::select_eq(&view, &[(tid, 1)]).unwrap();
+        let view = mpf_algebra::ops::select_eq(&mut cx, &view, &[(tid, 1)]).unwrap();
         for name in ["pid", "sid", "wid", "cid"] {
             let v = cat.var(name).unwrap();
-            let want = mpf_algebra::ops::group_by(sr, &view, &[v]).unwrap();
+            let want = mpf_algebra::ops::group_by(&mut cx, &view, &[v]).unwrap();
             let got = conditioned.answer(v).unwrap();
             assert!(
                 want.function_eq(&got),
@@ -751,7 +776,12 @@ mod tests {
         // Sanity: marginal on `a` includes r2's total as a factor.
         let view_total_r2: f64 = r2.measures().iter().sum();
         let ans = cache.answer(a).unwrap();
-        let direct = mpf_algebra::ops::group_by(SemiringKind::SumProduct, &r1, &[a]).unwrap();
+        let direct = mpf_algebra::ops::group_by(
+            &mut ExecContext::new(SemiringKind::SumProduct),
+            &r1,
+            &[a],
+        )
+        .unwrap();
         for (row, m) in ans.rows() {
             let want = direct.lookup(row).unwrap() * view_total_r2;
             assert!(approx_eq(m, want));

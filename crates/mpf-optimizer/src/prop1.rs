@@ -145,9 +145,12 @@ mod tests {
         )
         .unwrap();
         assert!(fd_holds(&rel, &[a]));
-        let grouped =
-            mpf_algebra::ops::group_by(mpf_semiring::SemiringKind::SumProduct, &rel, &[a])
-                .unwrap();
+        let grouped = mpf_algebra::ops::group_by(
+            &mut mpf_algebra::ExecContext::new(mpf_semiring::SemiringKind::SumProduct),
+            &rel,
+            &[a],
+        )
+        .unwrap();
         // Same number of rows (nothing merged) and same measures.
         assert_eq!(grouped.len(), rel.len());
         for (row, m) in rel.rows() {

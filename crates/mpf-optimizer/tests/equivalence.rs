@@ -132,7 +132,13 @@ fn reference(
         .iter()
         .map(|b| store.relation_of(&b.name).unwrap())
         .collect();
-    ops::naive_mpf(sr, &rels, &query.predicates, &query.group_vars).unwrap()
+    ops::naive_mpf(
+        &mut mpf_algebra::ExecContext::new(sr),
+        &rels,
+        &query.predicates,
+        &query.group_vars,
+    )
+    .unwrap()
 }
 
 proptest! {

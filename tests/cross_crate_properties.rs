@@ -1,7 +1,7 @@
 //! Cross-crate property tests: random view structures exercised through
 //! the optimizer, executor, and inference layers simultaneously.
 
-use mpf::algebra::{ops, RelationStore};
+use mpf::algebra::{ops, ExecContext, RelationStore};
 use mpf::infer::{acyclic, bp, VeCache};
 use mpf::semiring::SemiringKind;
 use mpf::storage::{Catalog, FunctionalRelation, Schema, VarId};
@@ -79,9 +79,10 @@ fn build(inst: &AcyclicInstance) -> (Catalog, Vec<FunctionalRelation>) {
 }
 
 fn full_view(sr: SemiringKind, rels: &[FunctionalRelation]) -> FunctionalRelation {
+    let cx = &mut ExecContext::new(sr);
     let mut acc = rels[0].clone();
     for r in &rels[1..] {
-        acc = ops::product_join(sr, &acc, r).unwrap();
+        acc = ops::product_join(cx, &acc, r).unwrap();
     }
     acc
 }
@@ -181,12 +182,13 @@ proptest! {
         // Condition on the first variable of the first relation.
         let ev_var = rels[0].schema().vars()[0];
         let conditioned = cache.with_evidence(ev_var, 0).unwrap();
-        let view_cond = ops::select_eq(&view, &[(ev_var, 0)]).unwrap();
+        let cx = &mut ExecContext::new(sr);
+        let view_cond = ops::select_eq(cx, &view, &[(ev_var, 0)]).unwrap();
         for v in view.schema().iter() {
             if v == ev_var {
                 continue;
             }
-            let want = ops::group_by(sr, &view_cond, &[v]).unwrap();
+            let want = ops::group_by(cx, &view_cond, &[v]).unwrap();
             let got = conditioned.answer(v).unwrap();
             prop_assert!(
                 want.function_eq_in(&got, sr),

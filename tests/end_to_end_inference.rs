@@ -1,7 +1,7 @@
 //! End-to-end integration: probabilistic inference (Section 4) and
 //! workload optimization (Section 6) against brute-force oracles.
 
-use mpf::algebra::ops;
+use mpf::algebra::{ops, ExecContext};
 use mpf::infer::{acyclic, bp, triangulate, BayesNet, JunctionTree, VariableGraph, VeCache};
 use mpf::optimizer::{Algorithm, Heuristic};
 use mpf::semiring::{approx_eq, SemiringKind};
@@ -23,8 +23,9 @@ fn random_networks_posteriors_match_enumeration() {
         }
 
         // Oracle.
-        let cond = ops::select_eq(&joint, &[(evidence_var, 1)]).unwrap();
-        let marg = ops::group_by(sr, &cond, &[target]).unwrap();
+        let cx = &mut ExecContext::new(sr);
+        let cond = ops::select_eq(cx, &joint, &[(evidence_var, 1)]).unwrap();
+        let marg = ops::group_by(cx, &cond, &[target]).unwrap();
         let z: f64 = marg.measures().iter().sum();
         let want: Vec<f64> = (0..2)
             .map(|v| marg.lookup(&[v]).unwrap_or(0.0) / z)
@@ -70,8 +71,9 @@ fn cache_and_junction_tree_agree_on_marginals() {
         let mut tables = jt.populate(sr, &cpts, bn.catalog()).unwrap();
         bp::calibrate(sr, &mut tables, &jt.tree).unwrap();
 
+        let cx = &mut ExecContext::new(sr);
         for &node in bn.nodes() {
-            let want = ops::group_by(sr, &joint, &[node]).unwrap();
+            let want = ops::group_by(cx, &joint, &[node]).unwrap();
             let from_cache = cache.answer(node).unwrap();
             assert!(want.function_eq(&from_cache), "cache wrong (seed {seed})");
 
@@ -79,7 +81,7 @@ fn cache_and_junction_tree_agree_on_marginals() {
                 .iter()
                 .find(|t| t.schema().contains(node))
                 .expect("every variable is in some clique");
-            let from_jt = ops::group_by(sr, table, &[node]).unwrap();
+            let from_jt = ops::group_by(cx, table, &[node]).unwrap();
             assert!(want.function_eq(&from_jt), "junction tree wrong (seed {seed})");
         }
     }
@@ -129,14 +131,15 @@ fn cyclic_schema_junction_tree_pipeline() {
     let mut tables = jt.populate(sr, &refs, &cat).unwrap();
     bp::calibrate(sr, &mut tables, &jt.tree).unwrap();
 
+    let cx = &mut ExecContext::new(sr);
     let mut view = rels[0].clone();
     for r in &rels[1..] {
-        view = ops::product_join(sr, &view, r).unwrap();
+        view = ops::product_join(cx, &view, r).unwrap();
     }
     for v in [pid, sid, wid, cid, tid] {
-        let want = ops::group_by(sr, &view, &[v]).unwrap();
+        let want = ops::group_by(cx, &view, &[v]).unwrap();
         let table = tables.iter().find(|t| t.schema().contains(v)).unwrap();
-        let got = ops::group_by(sr, table, &[v]).unwrap();
+        let got = ops::group_by(cx, table, &[v]).unwrap();
         assert!(want.function_eq(&got), "marginal diverged for {v}");
     }
 
@@ -144,7 +147,7 @@ fn cyclic_schema_junction_tree_pipeline() {
     // same triangulation, Theorem 10).
     let cache = VeCache::build(sr, &refs, None).unwrap();
     for v in [pid, sid, wid, cid, tid] {
-        let want = ops::group_by(sr, &view, &[v]).unwrap();
+        let want = ops::group_by(cx, &view, &[v]).unwrap();
         assert!(want.function_eq(&cache.answer(v).unwrap()));
     }
 }
@@ -173,13 +176,14 @@ fn log_space_inference_matches_linear_space() {
         .collect();
 
     let lin_joint = bn.joint().unwrap();
-    let want = ops::group_by(sr_lin, &lin_joint, &[target]).unwrap();
+    let want = ops::group_by(&mut ExecContext::new(sr_lin), &lin_joint, &[target]).unwrap();
 
+    let log_cx = &mut ExecContext::new(sr_log);
     let mut log_joint = log_cpts[0].clone();
     for cpt in &log_cpts[1..] {
-        log_joint = ops::product_join(sr_log, &log_joint, cpt).unwrap();
+        log_joint = ops::product_join(log_cx, &log_joint, cpt).unwrap();
     }
-    let got_log = ops::group_by(sr_log, &log_joint, &[target]).unwrap();
+    let got_log = ops::group_by(log_cx, &log_joint, &[target]).unwrap();
     for (row, lm) in got_log.rows() {
         let linear = want.lookup(row).unwrap();
         assert!(
@@ -209,7 +213,7 @@ fn max_product_inference() {
     let rain = bn.catalog().var("rain").unwrap();
 
     // max over all other vars of the joint, per rain value.
-    let want = ops::group_by(sr, &joint, &[rain]).unwrap();
+    let want = ops::group_by(&mut ExecContext::new(sr), &joint, &[rain]).unwrap();
 
     // Same via a VE-cache built in max-product.
     let cpts: Vec<&FunctionalRelation> = bn.cpts().iter().collect();
