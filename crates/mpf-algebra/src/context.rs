@@ -16,13 +16,31 @@
 //! borrows one owned elsewhere ([`ExecContext::with_budget`] — the
 //! executor does this so the budget's cell counter outlives individual
 //! executions and callers can inspect it afterwards).
+//!
+//! # Parallel execution
+//!
+//! [`ExecContext::fork`] produces a child context for a worker thread:
+//! the child charges the *same* budget (the cell counter is atomic and
+//! the cancellation/deadline state is shared), shares the parent's
+//! scanned-relation ledger (so a base relation scanned from two
+//! concurrent subplans is still charged once, exactly as in sequential
+//! execution), and accumulates its own fresh [`ExecStats`]. When the
+//! worker finishes, the parent merges the child's counters back with
+//! [`ExecContext::absorb`] in a deterministic (plan) order; all
+//! [`ExecStats`] fields merge commutatively (sums, and `max` for the
+//! high-water mark), so the totals are identical to a sequential run.
+//! The number of *extra* workers the whole execution may fan out to is
+//! bounded by a token pool shared by every fork of one root context
+//! (`threads - 1` tokens).
 
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicIsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use mpf_semiring::SemiringKind;
 use mpf_storage::FunctionalRelation;
 
-use crate::limits::{ExecBudget, ExecLimits, OpGuard};
+use crate::limits::{ExecBudget, ExecLimits, OpGuard, DEFAULT_WORKSPACE_BYTES};
 use crate::{fault, ExecStats, Result};
 
 /// Owned-or-borrowed budget slot.
@@ -30,8 +48,9 @@ use crate::{fault, ExecStats, Result};
 enum BudgetSlot<'b> {
     /// No limits configured: every budget operation is a no-op.
     None,
-    /// The context owns the budget (inference entry points).
-    Owned(ExecBudget),
+    /// The context owns the budget (inference entry points). Shared, so
+    /// forked worker contexts charge the same counters.
+    Owned(Arc<ExecBudget>),
     /// The budget lives in the executor (or another caller) so its
     /// counters survive the context.
     Borrowed(&'b ExecBudget),
@@ -46,56 +65,114 @@ pub struct ExecContext<'b> {
     stats: ExecStats,
     /// Base relations already charged to the budget as materialized
     /// input, so repeated scans of the same relation are charged once.
-    charged_scans: HashSet<String>,
+    /// Shared across forks: two concurrent subplans scanning the same
+    /// relation still charge it once, matching sequential execution.
+    charged_scans: Arc<Mutex<HashSet<String>>>,
+    /// Worker threads this execution may use (including the caller).
+    threads: usize,
+    /// Workspace bytes used to derive partition counts.
+    workspace_bytes: u64,
+    /// Spare worker tokens (`threads - 1`) shared by every fork of one
+    /// root context, bounding total fan-out across nested fork points.
+    fork_tokens: Arc<AtomicIsize>,
 }
 
 impl<'b> ExecContext<'b> {
-    /// An unlimited context: no budget, fresh stats.
-    pub fn new(semiring: SemiringKind) -> ExecContext<'static> {
+    fn build(semiring: SemiringKind, budget: BudgetSlot<'b>, threads: usize, workspace_bytes: u64) -> ExecContext<'b> {
+        let threads = threads.max(1);
         ExecContext {
             semiring,
-            budget: BudgetSlot::None,
+            budget,
             stats: ExecStats::default(),
-            charged_scans: HashSet::new(),
+            charged_scans: Arc::new(Mutex::new(HashSet::new())),
+            threads,
+            workspace_bytes,
+            fork_tokens: Arc::new(AtomicIsize::new(threads as isize - 1)),
         }
+    }
+
+    /// An unlimited context: no budget, fresh stats, environment-default
+    /// parallelism ([`crate::limits::default_threads`]).
+    pub fn new(semiring: SemiringKind) -> ExecContext<'static> {
+        ExecContext::build(
+            semiring,
+            BudgetSlot::None,
+            crate::limits::default_threads(),
+            DEFAULT_WORKSPACE_BYTES,
+        )
     }
 
     /// A context enforcing `limits` through an owned budget. Unlimited
     /// `limits` allocate no budget (zero per-row overhead); a deadline's
-    /// wall clock starts now.
+    /// wall clock starts now. The `threads`/`workspace_bytes` knobs are
+    /// taken from `limits` either way.
     pub fn with_limits(semiring: SemiringKind, limits: ExecLimits) -> ExecContext<'static> {
-        ExecContext {
+        let threads = limits.effective_threads();
+        let workspace = limits.effective_workspace_bytes();
+        ExecContext::build(
             semiring,
-            budget: if limits.is_unlimited() {
+            if limits.is_unlimited() {
                 BudgetSlot::None
             } else {
-                BudgetSlot::Owned(ExecBudget::new(limits))
+                BudgetSlot::Owned(Arc::new(ExecBudget::new(limits)))
             },
-            stats: ExecStats::default(),
-            charged_scans: HashSet::new(),
-        }
+            threads,
+            workspace,
+        )
     }
 
     /// A context charging a budget owned by the caller (the executor's
-    /// per-query budget, whose counters outlive this context).
+    /// per-query budget, whose counters outlive this context). Knobs are
+    /// taken from the budget's limits when present.
     pub fn with_budget(
         semiring: SemiringKind,
         budget: Option<&'b ExecBudget>,
     ) -> ExecContext<'b> {
-        ExecContext {
+        let (threads, workspace) = match budget {
+            Some(b) => (
+                b.limits().effective_threads(),
+                b.limits().effective_workspace_bytes(),
+            ),
+            None => (crate::limits::default_threads(), DEFAULT_WORKSPACE_BYTES),
+        };
+        ExecContext::build(
             semiring,
-            budget: match budget {
+            match budget {
                 Some(b) => BudgetSlot::Borrowed(b),
                 None => BudgetSlot::None,
             },
-            stats: ExecStats::default(),
-            charged_scans: HashSet::new(),
-        }
+            threads,
+            workspace,
+        )
+    }
+
+    /// Override the worker-thread count (builder style). Resets the
+    /// fork-token pool, so call this before execution starts.
+    pub fn with_threads(mut self, threads: usize) -> ExecContext<'b> {
+        self.set_threads(threads);
+        self
+    }
+
+    /// Override the worker-thread count. Resets the fork-token pool.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+        self.fork_tokens = Arc::new(AtomicIsize::new(self.threads as isize - 1));
     }
 
     /// The active semiring.
     pub fn semiring(&self) -> SemiringKind {
         self.semiring
+    }
+
+    /// Worker threads this execution may use (including the caller).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Workspace bytes used to derive partition counts for the
+    /// partitioned operators.
+    pub fn workspace_bytes(&self) -> u64 {
+        self.workspace_bytes
     }
 
     /// The budget being charged, if limits are configured.
@@ -105,6 +182,53 @@ impl<'b> ExecContext<'b> {
             BudgetSlot::Owned(b) => Some(b),
             BudgetSlot::Borrowed(b) => Some(b),
         }
+    }
+
+    /// A child context for a worker thread: same semiring and knobs, the
+    /// *same* budget (atomic counters, shared deadline/cancellation), the
+    /// same scanned-relation ledger and fork-token pool, and fresh stats.
+    /// Merge the child's stats back with [`ExecContext::absorb`].
+    pub fn fork(&self) -> ExecContext<'b> {
+        ExecContext {
+            semiring: self.semiring,
+            budget: match &self.budget {
+                BudgetSlot::None => BudgetSlot::None,
+                BudgetSlot::Owned(b) => BudgetSlot::Owned(Arc::clone(b)),
+                BudgetSlot::Borrowed(b) => BudgetSlot::Borrowed(b),
+            },
+            stats: ExecStats::default(),
+            charged_scans: Arc::clone(&self.charged_scans),
+            threads: self.threads,
+            workspace_bytes: self.workspace_bytes,
+            fork_tokens: Arc::clone(&self.fork_tokens),
+        }
+    }
+
+    /// Merge a finished worker's counters into this context. Callers
+    /// absorb children in plan order; because every [`ExecStats`] field
+    /// merges commutatively the totals equal a sequential run's.
+    pub fn absorb(&mut self, child: ExecStats) {
+        self.stats.merge(&child);
+    }
+
+    /// Try to take a worker token for one extra thread. Returns `false`
+    /// when the execution is single-threaded or the pool is exhausted;
+    /// pair a `true` with [`ExecContext::release_worker`].
+    pub(crate) fn try_acquire_worker(&self) -> bool {
+        if self.threads <= 1 {
+            return false;
+        }
+        if self.fork_tokens.fetch_sub(1, Ordering::AcqRel) > 0 {
+            true
+        } else {
+            self.fork_tokens.fetch_add(1, Ordering::AcqRel);
+            false
+        }
+    }
+
+    /// Return a worker token taken by [`ExecContext::try_acquire_worker`].
+    pub(crate) fn release_worker(&self) {
+        self.fork_tokens.fetch_add(1, Ordering::AcqRel);
     }
 
     /// The work counters accumulated so far.
@@ -139,18 +263,23 @@ impl<'b> ExecContext<'b> {
     /// Record a scan of base relation `name`: counts rows/pages in the
     /// stats on every scan, but charges the budget only the first time
     /// each relation is scanned (scans borrow the stored relation — there
-    /// is no per-scan clone to charge).
+    /// is no per-scan clone to charge). The ledger is shared across
+    /// forks, so concurrent subplans also charge each relation once.
     pub fn record_scan(&mut self, name: &str, rel: &FunctionalRelation) -> Result<()> {
         self.stats.rows_scanned += rel.len() as u64;
         self.stats.pages_io += rel.estimated_pages();
         if let Some(budget) = self.budget() {
             budget.checkpoint()?;
         }
-        if !self.charged_scans.contains(name) {
+        let mut charged = self
+            .charged_scans
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if !charged.contains(name) {
             if let Some(budget) = self.budget() {
                 budget.charge_output(rel.len() as u64, rel.schema().arity())?;
             }
-            self.charged_scans.insert(name.to_string());
+            charged.insert(name.to_string());
         }
         Ok(())
     }
@@ -264,5 +393,39 @@ mod tests {
         let stats = cx.take_stats();
         assert_eq!(stats.rows_scanned, 2);
         assert_eq!(cx.stats().rows_scanned, 0);
+    }
+
+    #[test]
+    fn fork_shares_budget_and_scan_ledger() {
+        let mut cx = ExecContext::with_limits(
+            SemiringKind::SumProduct,
+            ExecLimits::none().with_max_total_cells(1000).with_threads(4),
+        );
+        let r = rel();
+        let mut child = cx.fork();
+        child.record_scan("r", &r).unwrap();
+        // The child charged the shared budget and the shared ledger.
+        assert_eq!(cx.budget().unwrap().cells_used(), 4);
+        cx.record_scan("r", &r).unwrap();
+        assert_eq!(cx.budget().unwrap().cells_used(), 4, "still charged once");
+        // Stats are per-context until absorbed.
+        assert_eq!(cx.stats().rows_scanned, 2);
+        cx.absorb(child.take_stats());
+        assert_eq!(cx.stats().rows_scanned, 4);
+    }
+
+    #[test]
+    fn worker_tokens_bound_fan_out() {
+        let cx = ExecContext::new(SemiringKind::SumProduct).with_threads(3);
+        assert_eq!(cx.threads(), 3);
+        let child = cx.fork();
+        assert!(cx.try_acquire_worker());
+        assert!(child.try_acquire_worker(), "pool is shared with forks");
+        assert!(!cx.try_acquire_worker(), "threads - 1 tokens total");
+        child.release_worker();
+        assert!(cx.try_acquire_worker());
+
+        let single = ExecContext::new(SemiringKind::SumProduct).with_threads(1);
+        assert!(!single.try_acquire_worker());
     }
 }

@@ -30,32 +30,53 @@ use crate::{
 /// An executor built with [`Executor::with_limits`] enforces resource
 /// budgets ([`ExecLimits`]) on every operator it runs; the wall clock for
 /// a configured deadline starts when the executor is created.
+///
+/// With more than one worker thread ([`ExecLimits::threads`] /
+/// [`Executor::with_threads`]) the interpreter evaluates independent join
+/// subtrees concurrently on scoped workers (bounded by a shared token
+/// pool) and runs the planner's parallel operator annotations
+/// ([`JoinAlgo::Parallel`], [`AggAlgo::ParallelAgg`]) partitioned across
+/// the workers. Worker contexts charge the same budget and the stats
+/// merge deterministically, so answers, counters, and typed errors are
+/// identical at any thread count.
 #[derive(Debug)]
 pub struct Executor<'a, P: RelationProvider> {
     provider: &'a P,
     semiring: SemiringKind,
     budget: Option<ExecBudget>,
+    threads: usize,
 }
 
-impl<'a, P: RelationProvider> Executor<'a, P> {
-    /// Create an executor over `provider` with the given semiring and no
-    /// resource limits.
+impl<'a, P: RelationProvider + Sync> Executor<'a, P> {
+    /// Create an executor over `provider` with the given semiring, no
+    /// resource limits, and the environment-default parallelism
+    /// ([`crate::limits::default_threads`]).
     pub fn new(provider: &'a P, semiring: SemiringKind) -> Self {
         Self {
             provider,
             semiring,
             budget: None,
+            threads: crate::limits::default_threads(),
         }
     }
 
     /// Create an executor enforcing `limits`. Unlimited `limits` behave
-    /// exactly like [`Executor::new`] (no tracking overhead).
+    /// exactly like [`Executor::new`] (no tracking overhead); the
+    /// `threads` knob is honored either way.
     pub fn with_limits(provider: &'a P, semiring: SemiringKind, limits: ExecLimits) -> Self {
+        let threads = limits.effective_threads();
         Self {
             provider,
             semiring,
             budget: (!limits.is_unlimited()).then(|| ExecBudget::new(limits)),
+            threads,
         }
+    }
+
+    /// Override the worker-thread count (builder style).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// The active semiring.
@@ -91,7 +112,8 @@ impl<'a, P: RelationProvider> Executor<'a, P> {
         &self,
         plan: &PhysicalPlan,
     ) -> Result<(FunctionalRelation, ExecStats)> {
-        let mut cx = ExecContext::with_budget(self.semiring, self.budget.as_ref());
+        let mut cx =
+            ExecContext::with_budget(self.semiring, self.budget.as_ref()).with_threads(self.threads);
         let rel = self.execute_physical_in(&mut cx, plan)?;
         Ok((rel, cx.take_stats()))
     }
@@ -139,14 +161,31 @@ impl<'a, P: RelationProvider> Executor<'a, P> {
                 Ok(Cow::Owned(ops::select_eq(cx, &in_rel, predicates)?))
             }
             PhysicalPlan::Join { left, right, algo } => {
-                let l = self.run(cx, left)?;
-                let r = self.run(cx, right)?;
+                let (l, r) = self.run_inputs(cx, left, right)?;
                 let out = match algo {
                     JoinAlgo::Hash => ops::product_join(cx, &l, &r)?,
                     JoinAlgo::SortMerge => crate::sort_ops::merge_join(cx, &l, &r)?,
                     JoinAlgo::Grace { partitions } => {
-                        crate::partitioned::grace_join(cx, &l, &r, *partitions)?
+                        // The planner's count came from cardinality
+                        // estimates; re-derive from the actual build side
+                        // and the context's workspace so each partition
+                        // really fits, keeping the planner's count as a
+                        // floor.
+                        let build = if l.len() <= r.len() { &*l } else { &*r };
+                        let derived = crate::partitioned::grace_partitions(
+                            build.len(),
+                            build.row_bytes(),
+                            cx.workspace_bytes(),
+                        );
+                        crate::partitioned::grace_join(cx, &l, &r, derived.max(*partitions))?
                     }
+                    JoinAlgo::Parallel { partitions } => crate::partitioned::parallel_join_parts(
+                        cx,
+                        &l,
+                        &r,
+                        cx.threads(),
+                        *partitions,
+                    )?,
                 };
                 Ok(Cow::Owned(out))
             }
@@ -159,10 +198,59 @@ impl<'a, P: RelationProvider> Executor<'a, P> {
                 let out = match algo {
                     AggAlgo::HashAgg => ops::group_by(cx, &in_rel, group_vars)?,
                     AggAlgo::SortAgg => crate::sort_ops::sort_group_by(cx, &in_rel, group_vars)?,
+                    AggAlgo::ParallelAgg { partitions } => {
+                        crate::partitioned::parallel_group_by_parts(
+                            cx,
+                            &in_rel,
+                            group_vars,
+                            cx.threads(),
+                            *partitions,
+                        )?
+                    }
                 };
                 Ok(Cow::Owned(out))
             }
         }
+    }
+
+    /// Evaluate a join's two input subtrees, concurrently when it pays:
+    /// both subtrees must contain real work (at least one join or
+    /// group-by each) and a worker token must be available from the
+    /// context's shared pool. The right subtree runs on a scoped worker
+    /// against a forked context (shared budget and scan ledger, own
+    /// stats); the left runs inline. Stats are absorbed and errors
+    /// inspected left-before-right, so counters and error precedence are
+    /// identical to sequential execution.
+    #[allow(clippy::type_complexity)]
+    fn run_inputs(
+        &self,
+        cx: &mut ExecContext<'_>,
+        left: &PhysicalPlan,
+        right: &PhysicalPlan,
+    ) -> Result<(Cow<'a, FunctionalRelation>, Cow<'a, FunctionalRelation>)> {
+        if left.operator_count() == 0 || right.operator_count() == 0 || !cx.try_acquire_worker() {
+            let l = self.run(cx, left)?;
+            let r = self.run(cx, right)?;
+            return Ok((l, r));
+        }
+        let mut rcx = cx.fork();
+        let (lres, rres, rstats) = std::thread::scope(|scope| {
+            let handle = scope.spawn(move || {
+                let r = self.run(&mut rcx, right);
+                (r, rcx.take_stats())
+            });
+            let l = self.run(cx, left);
+            let (r, rstats) = handle.join().unwrap_or_else(|_| {
+                (
+                    Err(AlgebraError::Internal("subplan worker panicked".into())),
+                    ExecStats::default(),
+                )
+            });
+            (l, r, rstats)
+        });
+        cx.release_worker();
+        cx.absorb(rstats);
+        Ok((lres?, rres?))
     }
 }
 

@@ -86,6 +86,17 @@ pub struct ExecLimits {
     pub timeout: Option<Duration>,
     /// External cancellation handle.
     pub cancel: Option<CancelToken>,
+    /// Worker threads for the parallel operators and for concurrent
+    /// subplan scheduling. `None` resolves through [`default_threads`]
+    /// (the `MPF_THREADS` environment variable, else the machine's
+    /// available parallelism). A knob, not a budget: it never trips an
+    /// error and is ignored by [`ExecLimits::is_unlimited`].
+    pub threads: Option<usize>,
+    /// Operator workspace in bytes, used to derive partition counts for
+    /// the partitioned (Grace/parallel) operators. `None` resolves to
+    /// [`DEFAULT_WORKSPACE_BYTES`]. A knob, not a budget (ignored by
+    /// [`ExecLimits::is_unlimited`]).
+    pub workspace_bytes: Option<u64>,
 }
 
 impl ExecLimits {
@@ -119,14 +130,59 @@ impl ExecLimits {
         self
     }
 
+    /// Set the worker-thread count for parallel execution (clamped to at
+    /// least 1).
+    pub fn with_threads(mut self, threads: usize) -> ExecLimits {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Set the operator workspace used to size partitioned operators.
+    pub fn with_workspace_bytes(mut self, bytes: u64) -> ExecLimits {
+        self.workspace_bytes = Some(bytes.max(1));
+        self
+    }
+
+    /// The configured thread count, or the environment default
+    /// ([`default_threads`]).
+    pub fn effective_threads(&self) -> usize {
+        self.threads.map_or_else(default_threads, |t| t.max(1))
+    }
+
+    /// The configured workspace, or [`DEFAULT_WORKSPACE_BYTES`].
+    pub fn effective_workspace_bytes(&self) -> u64 {
+        self.workspace_bytes.unwrap_or(DEFAULT_WORKSPACE_BYTES)
+    }
+
     /// True when no limit of any kind is configured — the executor skips
-    /// budget tracking entirely.
+    /// budget tracking entirely. `threads` and `workspace_bytes` are
+    /// tuning knobs, not budgets, so they do not count: setting only them
+    /// still allocates no budget.
     pub fn is_unlimited(&self) -> bool {
         self.max_output_rows.is_none()
             && self.max_total_cells.is_none()
             && self.timeout.is_none()
             && self.cancel.is_none()
     }
+}
+
+/// Operator workspace assumed when [`ExecLimits::workspace_bytes`] is
+/// unset: 16 MiB, the same order as the `work_mem` default of the paper's
+/// modified PostgreSQL 8.1.
+pub const DEFAULT_WORKSPACE_BYTES: u64 = 16 << 20;
+
+/// Worker threads used when [`ExecLimits::threads`] is unset: the
+/// `MPF_THREADS` environment variable when it parses as a positive
+/// integer, else the machine's available parallelism.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("MPF_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// How many rows a tight loop processes between deadline/cancel polls.
@@ -321,6 +377,19 @@ mod tests {
         assert!(ExecLimits::none().is_unlimited());
         budget.charge_output(u64::MAX, 100).unwrap();
         budget.checkpoint().unwrap();
+    }
+
+    #[test]
+    fn parallelism_knobs_are_not_budgets() {
+        let l = ExecLimits::none().with_threads(4).with_workspace_bytes(1 << 20);
+        assert!(l.is_unlimited(), "knobs alone allocate no budget");
+        assert_eq!(l.effective_threads(), 4);
+        assert_eq!(l.effective_workspace_bytes(), 1 << 20);
+        assert!(ExecLimits::none().effective_threads() >= 1);
+        assert_eq!(
+            ExecLimits::none().effective_workspace_bytes(),
+            DEFAULT_WORKSPACE_BYTES
+        );
     }
 
     #[test]

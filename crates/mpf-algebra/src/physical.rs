@@ -28,6 +28,15 @@ pub enum JoinAlgo {
         /// Number of partitions.
         partitions: usize,
     },
+    /// Parallel partitioned hash join: partition both sides into
+    /// cache-sized buckets and join chunks of partition pairs on scoped
+    /// worker threads (the worker count is an execution-time knob,
+    /// [`crate::ExecLimits::threads`]).
+    Parallel {
+        /// Number of partitions (decoupled from the worker count; sized
+        /// for cache residency by the planner).
+        partitions: usize,
+    },
 }
 
 /// Aggregation algorithm.
@@ -37,6 +46,13 @@ pub enum AggAlgo {
     HashAgg,
     /// Sort on the grouping values and fold runs.
     SortAgg,
+    /// Parallel partitioned aggregation: partition on the hash of the
+    /// grouping values and aggregate chunks of partitions on scoped
+    /// worker threads.
+    ParallelAgg {
+        /// Number of partitions (decoupled from the worker count).
+        partitions: usize,
+    },
 }
 
 /// A logical plan with per-operator algorithm annotations.
@@ -172,8 +188,9 @@ impl PhysicalPlan {
         }
     }
 
-    /// Count operators that spill (anything other than the plain in-memory
-    /// hash operators).
+    /// Count operators that spill (sort-based operators and the Grace
+    /// join; the parallel operators partition in memory, they do not
+    /// spill).
     pub fn spill_operator_count(&self) -> usize {
         match self {
             PhysicalPlan::Scan { .. } => 0,
@@ -181,13 +198,47 @@ impl PhysicalPlan {
             PhysicalPlan::Join {
                 left, right, algo, ..
             } => {
-                (*algo != JoinAlgo::Hash) as usize
+                matches!(algo, JoinAlgo::SortMerge | JoinAlgo::Grace { .. }) as usize
                     + left.spill_operator_count()
                     + right.spill_operator_count()
             }
             PhysicalPlan::GroupBy { input, algo, .. } => {
-                (*algo != AggAlgo::HashAgg) as usize + input.spill_operator_count()
+                (*algo == AggAlgo::SortAgg) as usize + input.spill_operator_count()
             }
+        }
+    }
+
+    /// Count operators annotated with parallel algorithms.
+    pub fn parallel_operator_count(&self) -> usize {
+        match self {
+            PhysicalPlan::Scan { .. } => 0,
+            PhysicalPlan::Select { input, .. } => input.parallel_operator_count(),
+            PhysicalPlan::Join {
+                left, right, algo, ..
+            } => {
+                matches!(algo, JoinAlgo::Parallel { .. }) as usize
+                    + left.parallel_operator_count()
+                    + right.parallel_operator_count()
+            }
+            PhysicalPlan::GroupBy { input, algo, .. } => {
+                matches!(algo, AggAlgo::ParallelAgg { .. }) as usize
+                    + input.parallel_operator_count()
+            }
+        }
+    }
+
+    /// Count the real work operators (joins and group-bys) in the
+    /// subtree. The concurrent subplan scheduler only forks a worker for
+    /// a subtree that contains at least one — spawning a thread to run a
+    /// bare scan or selection costs more than it saves.
+    pub fn operator_count(&self) -> usize {
+        match self {
+            PhysicalPlan::Scan { .. } => 0,
+            PhysicalPlan::Select { input, .. } => input.operator_count(),
+            PhysicalPlan::Join { left, right, .. } => {
+                1 + left.operator_count() + right.operator_count()
+            }
+            PhysicalPlan::GroupBy { input, .. } => 1 + input.operator_count(),
         }
     }
 
@@ -270,6 +321,22 @@ mod tests {
         assert_eq!(joins, 1);
         assert_eq!(aggs, 2);
         assert_eq!(p.sort_operator_count(), 3);
+    }
+
+    #[test]
+    fn parallel_annotations_are_counted_and_rendered() {
+        let p = PhysicalPlan::from_logical(
+            &logical(),
+            &mut |_, _| JoinAlgo::Parallel { partitions: 64 },
+            &mut |_, _| AggAlgo::ParallelAgg { partitions: 32 },
+        );
+        assert_eq!(p.parallel_operator_count(), 3);
+        assert_eq!(p.spill_operator_count(), 0, "parallel ops do not spill");
+        assert_eq!(p.operator_count(), 3);
+        assert_eq!(p.to_logical(), logical());
+        let text = p.render(&|v| format!("x{}", v.0));
+        assert!(text.contains("Parallel"));
+        assert!(text.contains("ParallelAgg"));
     }
 
     #[test]

@@ -47,7 +47,14 @@ fn main() {
     );
     run("all sort", &all_sort);
     for budget in [1e2, 1e4, 1e6] {
-        let phys = choose_physical(&ctx, &plan, PhysicalConfig { memory_rows: budget });
+        let phys = choose_physical(
+            &ctx,
+            &plan,
+            PhysicalConfig {
+                memory_rows: budget,
+                ..PhysicalConfig::default()
+            },
+        );
         run(&format!("cost-based (mem {budget:.0e})"), &phys);
     }
 }

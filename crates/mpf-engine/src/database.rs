@@ -374,7 +374,11 @@ impl Database {
     ) -> Result<Answer> {
         let t0 = Instant::now();
         let (plan, est_cost) = self.plan_for(&q.view, ctx, strategy)?;
-        let physical = choose_physical(ctx, &plan, PhysicalConfig::default());
+        let physical = choose_physical(
+            ctx,
+            &plan,
+            PhysicalConfig::default().with_threads(self.limits.effective_threads()),
+        );
         let optimize_time = t0.elapsed();
 
         let exec = Executor::new(store, sr);
@@ -416,7 +420,11 @@ impl Database {
         let spec = self.resolve_spec(q)?;
         let ctx = self.opt_context(view, &self.store, spec)?;
         let (plan, est_cost) = self.plan_for(&q.view, &ctx, q.strategy)?;
-        let physical = choose_physical(&ctx, &plan, PhysicalConfig::default());
+        let physical = choose_physical(
+            &ctx,
+            &plan,
+            PhysicalConfig::default().with_threads(self.limits.effective_threads()),
+        );
         let catalog = &self.catalog;
         Ok(format!(
             "-- estimated cost: {est_cost:.2}\n{}",

@@ -238,6 +238,15 @@ impl JunctionTree {
     /// [`JunctionTree::populate`] inside a caller-owned [`ExecContext`]:
     /// the clique-building joins run under the context's budget, deadline,
     /// cancellation, and fault hooks.
+    ///
+    /// With more than one worker thread (`cx.threads()`), independent
+    /// clique tables are built concurrently: contiguous chunks of cliques
+    /// go to scoped workers, each with a forked context charging the same
+    /// shared budget. Tables come back in clique order, worker stats are
+    /// merged into `cx` (the merge is commutative, so totals equal the
+    /// sequential run), and on failure the reported error is the one from
+    /// the lowest-numbered failing clique — identical to what the
+    /// sequential path would surface.
     pub fn populate_in(
         &self,
         cx: &mut ExecContext<'_>,
@@ -245,38 +254,119 @@ impl JunctionTree {
         catalog: &Catalog,
     ) -> Result<Vec<FunctionalRelation>> {
         cx.fault("junction::populate")?;
-        let sr = cx.semiring();
         assert_eq!(rels.len(), self.assignment.len());
-        let mut tables: Vec<Option<FunctionalRelation>> = vec![None; self.cliques.len()];
+        let mut buckets: Vec<Vec<&FunctionalRelation>> = vec![Vec::new(); self.cliques.len()];
         for (r, &c) in rels.iter().zip(&self.assignment) {
-            tables[c] = Some(match tables[c].take() {
+            buckets[c].push(r);
+        }
+
+        let workers = cx.threads().min(self.cliques.len());
+        if workers <= 1 {
+            let mut out = Vec::with_capacity(self.cliques.len());
+            for (c, parts) in buckets.iter().enumerate() {
+                out.push(self.build_clique(cx, c, parts, catalog)?);
+            }
+            return Ok(out);
+        }
+
+        // Per worker: the built (clique index, table) pairs of its chunk,
+        // plus the stats its forked context accumulated.
+        type WorkerOut = (Vec<(usize, Result<FunctionalRelation>)>, mpf_algebra::ExecStats);
+        let chunk = self.cliques.len().div_ceil(workers);
+        let worker_out: Vec<WorkerOut> =
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for start in (0..buckets.len()).step_by(chunk) {
+                    let end = (start + chunk).min(buckets.len());
+                    let slice = &buckets[start..end];
+                    let mut wcx = cx.fork();
+                    handles.push((
+                        start,
+                        scope.spawn(move || {
+                            let mut built = Vec::with_capacity(slice.len());
+                            for (off, parts) in slice.iter().enumerate() {
+                                built.push((
+                                    start + off,
+                                    self.build_clique(&mut wcx, start + off, parts, catalog),
+                                ));
+                            }
+                            (built, wcx.take_stats())
+                        }),
+                    ));
+                }
+                handles
+                    .into_iter()
+                    .map(|(start, h)| {
+                        h.join().unwrap_or_else(|_| {
+                            (
+                                vec![(start, Err(worker_panicked()))],
+                                mpf_algebra::ExecStats::default(),
+                            )
+                        })
+                    })
+                    .collect()
+            });
+
+        let mut slots: Vec<Option<Result<FunctionalRelation>>> =
+            (0..self.cliques.len()).map(|_| None).collect();
+        for (built, stats) in worker_out {
+            cx.absorb(stats);
+            for (idx, res) in built {
+                slots[idx] = Some(res);
+            }
+        }
+        let mut out = Vec::with_capacity(self.cliques.len());
+        for slot in slots {
+            // A `None` slot means the chunk's worker stopped early (its
+            // own error sits at a lower clique index, so `?` fires there
+            // first) or panicked before reaching this clique.
+            out.push(slot.unwrap_or_else(|| Err(worker_panicked()))?);
+        }
+        Ok(out)
+    }
+
+    /// Build one clique table: fold the assigned relations with product
+    /// join, then pad uncovered clique variables with an identity relation.
+    fn build_clique(
+        &self,
+        cx: &mut ExecContext<'_>,
+        c: usize,
+        parts: &[&FunctionalRelation],
+        catalog: &Catalog,
+    ) -> Result<FunctionalRelation> {
+        let sr = cx.semiring();
+        let mut table: Option<FunctionalRelation> = None;
+        for r in parts {
+            table = Some(match table.take() {
                 None => (*r).clone(),
                 Some(t) => mpf_algebra::ops::product_join(cx, &t, r)?,
             });
         }
-        let mut out = Vec::with_capacity(self.cliques.len());
-        for (c, table) in tables.into_iter().enumerate() {
-            let clique_vars: Vec<VarId> = self.cliques[c].iter().copied().collect();
-            let rel = match table {
-                Some(t) => {
-                    let missing: Vec<VarId> = clique_vars
-                        .iter()
-                        .copied()
-                        .filter(|&v| !t.schema().contains(v))
-                        .collect();
-                    if missing.is_empty() {
-                        t
-                    } else {
-                        let pad = identity_relation(sr, &missing, catalog);
-                        mpf_algebra::ops::product_join(cx, &t, &pad)?
-                    }
+        let clique_vars: Vec<VarId> = self.cliques[c].iter().copied().collect();
+        let rel = match table {
+            Some(t) => {
+                let missing: Vec<VarId> = clique_vars
+                    .iter()
+                    .copied()
+                    .filter(|&v| !t.schema().contains(v))
+                    .collect();
+                if missing.is_empty() {
+                    t
+                } else {
+                    let pad = identity_relation(sr, &missing, catalog);
+                    mpf_algebra::ops::product_join(cx, &t, &pad)?
                 }
-                None => identity_relation(sr, &clique_vars, catalog),
-            };
-            out.push(rel.with_name(format!("clique{c}")));
-        }
-        Ok(out)
+            }
+            None => identity_relation(sr, &clique_vars, catalog),
+        };
+        Ok(rel.with_name(format!("clique{c}")))
     }
+}
+
+fn worker_panicked() -> InferError {
+    InferError::Algebra(mpf_algebra::AlgebraError::Internal(
+        "clique population worker panicked".into(),
+    ))
 }
 
 /// A complete relation over `vars` whose every measure is the semiring's

@@ -13,20 +13,41 @@
 //!   each build partition fits;
 //! * a **hash aggregate** needs one accumulator per distinct group; if the
 //!   estimated group count exceeds the budget, sort aggregation is
-//!   selected.
+//!   selected;
+//! * when the executor will run with more than one worker thread
+//!   ([`PhysicalConfig::threads`]), memory-resident operators over large
+//!   operands are annotated with the **parallel partitioned** variants
+//!   ([`JoinAlgo::Parallel`], [`AggAlgo::ParallelAgg`]), with the
+//!   partition count sized for cache residency by
+//!   [`mpf_algebra::partitioned::parallel_partitions`].
 //!
 //! Operand sizes come from the same catalog-based estimator the join
 //! ordering used ([`estimate::plan_estimate`]).
 
-use mpf_algebra::{AggAlgo, JoinAlgo, PhysicalPlan, Plan};
+use mpf_algebra::{partitioned, AggAlgo, JoinAlgo, PhysicalPlan, Plan};
 
 use crate::{estimate, OptContext};
+
+/// Estimated bytes per row for an operand of the given arity (mirrors
+/// `FunctionalRelation::row_bytes`: 4-byte values plus an 8-byte measure).
+fn row_bytes(arity: usize) -> u64 {
+    arity as u64 * 4 + 8
+}
 
 /// Physical selection knobs.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PhysicalConfig {
     /// Rows that fit in the operator workspace (hash-table budget).
     pub memory_rows: f64,
+    /// Worker threads the executor will run with. With one thread the
+    /// parallel operators are never selected (they degenerate to the
+    /// plain hash operators at run time anyway, but the annotation would
+    /// be noise in rendered plans).
+    pub threads: usize,
+    /// Minimum estimated build/group rows before a parallel operator is
+    /// worth its partitioning pass. Small operands fit in cache whole;
+    /// partitioning them only adds a copy.
+    pub parallel_min_rows: f64,
 }
 
 impl Default for PhysicalConfig {
@@ -35,7 +56,17 @@ impl Default for PhysicalConfig {
         // PostgreSQL 8.1's default `work_mem`-sized hash operators.
         PhysicalConfig {
             memory_rows: 1_000_000.0,
+            threads: mpf_algebra::limits::default_threads(),
+            parallel_min_rows: 32_768.0,
         }
+    }
+}
+
+impl PhysicalConfig {
+    /// Set the worker-thread count the plan will execute with.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 }
 
@@ -48,11 +79,26 @@ pub fn choose_physical(
     PhysicalPlan::from_logical(
         plan,
         &mut |left, right| {
-            let (_, lr) = estimate::plan_estimate(ctx, left);
-            let (_, rr) = estimate::plan_estimate(ctx, right);
+            let (ls, lr) = estimate::plan_estimate(ctx, left);
+            let (rs, rr) = estimate::plan_estimate(ctx, right);
             let build = lr.min(rr);
             if build <= cfg.memory_rows {
-                JoinAlgo::Hash
+                if cfg.threads > 1 && build >= cfg.parallel_min_rows {
+                    // Memory-resident but large: partition into
+                    // cache-sized buckets and join them on the worker
+                    // pool. Row bytes come from the wider schema so the
+                    // partition count covers the probe side too.
+                    let row_bytes = row_bytes(ls.arity().max(rs.arity()));
+                    JoinAlgo::Parallel {
+                        partitions: partitioned::parallel_partitions(
+                            build as usize,
+                            row_bytes,
+                            cfg.threads,
+                        ),
+                    }
+                } else {
+                    JoinAlgo::Hash
+                }
             } else {
                 // Grace hash join with enough partitions that each build
                 // partition fits the workspace.
@@ -66,7 +112,20 @@ pub fn choose_physical(
             let schema: mpf_storage::Schema = group_vars.iter().copied().collect();
             let groups = estimate::group_rows(ctx, in_rows, &schema);
             if groups <= cfg.memory_rows {
-                AggAlgo::HashAgg
+                if cfg.threads > 1 && groups >= cfg.parallel_min_rows {
+                    // Many groups: the accumulator table itself blows the
+                    // cache, so partition on the group hash. Few-group
+                    // aggregation stays cache-resident and gains nothing.
+                    AggAlgo::ParallelAgg {
+                        partitions: partitioned::parallel_partitions(
+                            groups as usize,
+                            row_bytes(schema.arity()),
+                            cfg.threads,
+                        ),
+                    }
+                } else {
+                    AggAlgo::HashAgg
+                }
             } else {
                 AggAlgo::SortAgg
             }
@@ -111,9 +170,25 @@ mod tests {
         let (rels, a, ..) = ctx_fixture(&mut cat);
         let ctx = OptContext::new(&cat, rels, QuerySpec::group_by([a]), CostModel::Io);
         let plan = optimize(&ctx, Algorithm::CsPlusNonlinear).plan;
-        let big = choose_physical(&ctx, &plan, PhysicalConfig { memory_rows: 1e9 });
+        let big = choose_physical(
+            &ctx,
+            &plan,
+            PhysicalConfig {
+                memory_rows: 1e9,
+                ..PhysicalConfig::default()
+            }
+            .with_threads(1),
+        );
         assert_eq!(big.sort_operator_count(), 0, "everything fits -> all hash");
-        let tiny = choose_physical(&ctx, &plan, PhysicalConfig { memory_rows: 10.0 });
+        let tiny = choose_physical(
+            &ctx,
+            &plan,
+            PhysicalConfig {
+                memory_rows: 10.0,
+                ..PhysicalConfig::default()
+            }
+            .with_threads(1),
+        );
         assert!(
             tiny.spill_operator_count() > 0,
             "nothing fits -> spilling operators appear"
@@ -128,10 +203,53 @@ mod tests {
         let (rels, a, ..) = ctx_fixture(&mut cat);
         let ctx = OptContext::new(&cat, rels, QuerySpec::group_by([a]), CostModel::Io);
         let plan = optimize(&ctx, Algorithm::CsPlusLinear).plan;
-        let phys = choose_physical(&ctx, &plan, PhysicalConfig::default());
+        let phys = choose_physical(&ctx, &plan, PhysicalConfig::default().with_threads(1));
         // r2 (5M rows) exceeds the default budget, but its join partner is
         // the build side, so hash join still applies everywhere except
         // operators whose *smaller* operand exceeds the budget.
         assert!(phys.spill_operator_count() <= plan.join_count() + plan.group_by_count());
+    }
+
+    #[test]
+    fn parallel_operators_require_threads_and_scale() {
+        let mut cat = Catalog::new();
+        let (rels, a, ..) = ctx_fixture(&mut cat);
+        let ctx = OptContext::new(&cat, rels, QuerySpec::group_by([a]), CostModel::Io);
+        let plan = optimize(&ctx, Algorithm::CsPlusNonlinear).plan;
+        let cfg = PhysicalConfig {
+            memory_rows: 1e9,
+            parallel_min_rows: 1_000.0,
+            ..PhysicalConfig::default()
+        };
+        let seq = choose_physical(&ctx, &plan, cfg.with_threads(1));
+        assert_eq!(seq.parallel_operator_count(), 0, "one thread -> no parallel ops");
+        let par = choose_physical(&ctx, &plan, cfg.with_threads(4));
+        assert!(
+            par.parallel_operator_count() > 0,
+            "large memory-resident operands go parallel:\n{}",
+            par.render(&|v| format!("x{}", v.0))
+        );
+        // Partition counts are worker-aligned and bounded.
+        fn check(p: &PhysicalPlan) {
+            match p {
+                PhysicalPlan::Scan { .. } => {}
+                PhysicalPlan::Select { input, .. } => check(input),
+                PhysicalPlan::Join { left, right, algo } => {
+                    if let JoinAlgo::Parallel { partitions } = algo {
+                        assert!(*partitions >= 4 && *partitions % 4 == 0);
+                    }
+                    check(left);
+                    check(right);
+                }
+                PhysicalPlan::GroupBy { input, algo, .. } => {
+                    if let AggAlgo::ParallelAgg { partitions } = algo {
+                        assert!(*partitions >= 4 && *partitions % 4 == 0);
+                    }
+                    check(input);
+                }
+            }
+        }
+        check(&par);
+        assert_eq!(par.to_logical(), plan);
     }
 }

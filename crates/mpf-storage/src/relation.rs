@@ -97,6 +97,20 @@ impl FunctionalRelation {
         Ok(())
     }
 
+    /// Append a row without the arity check.
+    ///
+    /// The partitioning fast paths use this when rows are copied from a
+    /// relation that already has the destination schema, so re-validating
+    /// every row through [`FunctionalRelation::push_row`] is pure
+    /// overhead. The caller guarantees `row.len() == arity()`; this is
+    /// asserted in debug builds only.
+    #[inline]
+    pub fn push_row_unchecked(&mut self, row: &[Value], measure: f64) {
+        debug_assert_eq!(row.len(), self.schema.arity());
+        self.values.extend_from_slice(row);
+        self.measures.push(measure);
+    }
+
     /// The relation's name.
     pub fn name(&self) -> &str {
         &self.name
