@@ -41,6 +41,7 @@ use mpf_semiring::SemiringKind;
 use mpf_storage::FunctionalRelation;
 
 use crate::limits::{ExecBudget, ExecLimits, OpGuard, DEFAULT_WORKSPACE_BYTES};
+use crate::trace::{SpanDesc, SpanKind, TraceCollector, TraceLevel, TraceTree};
 use crate::{fault, ExecStats, Result};
 
 /// Owned-or-borrowed budget slot.
@@ -75,6 +76,9 @@ pub struct ExecContext<'b> {
     /// Spare worker tokens (`threads - 1`) shared by every fork of one
     /// root context, bounding total fan-out across nested fork points.
     fork_tokens: Arc<AtomicIsize>,
+    /// Per-operator span collector ([`TraceLevel::Off`] by default:
+    /// every trace hook is a single branch, no allocation).
+    trace: TraceCollector,
 }
 
 impl<'b> ExecContext<'b> {
@@ -88,6 +92,7 @@ impl<'b> ExecContext<'b> {
             threads,
             workspace_bytes,
             fork_tokens: Arc::new(AtomicIsize::new(threads as isize - 1)),
+            trace: TraceCollector::new(TraceLevel::Off),
         }
     }
 
@@ -159,6 +164,66 @@ impl<'b> ExecContext<'b> {
         self.fork_tokens = Arc::new(AtomicIsize::new(self.threads as isize - 1));
     }
 
+    /// Enable per-operator tracing (builder style).
+    pub fn with_trace(mut self, level: TraceLevel) -> ExecContext<'b> {
+        self.set_trace_level(level);
+        self
+    }
+
+    /// Enable or disable per-operator tracing.
+    pub fn set_trace_level(&mut self, level: TraceLevel) {
+        self.trace.set_level(level);
+    }
+
+    /// The active trace level.
+    pub fn trace_level(&self) -> TraceLevel {
+        self.trace.level()
+    }
+
+    /// True when spans are being collected. Callers building expensive
+    /// span labels should gate on this.
+    #[inline]
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.enabled()
+    }
+
+    /// Open a span for an operator about to run; `desc` is evaluated only
+    /// when tracing is on. Pair with [`ExecContext::span_close`].
+    pub fn span_open(&mut self, desc: impl FnOnce() -> SpanDesc) {
+        self.trace.open(desc);
+    }
+
+    /// Open a phase span grouping subsequent operator spans (inference
+    /// entry points use this; operator accounting attaches children).
+    pub fn span_phase(&mut self, label: &str) {
+        self.trace.open(|| SpanDesc::phase(label));
+    }
+
+    /// Close the innermost open span, recording wall time and an optional
+    /// failure; `fault` is evaluated only when tracing is on.
+    pub fn span_close(&mut self, fault: impl FnOnce() -> Option<String>) {
+        self.trace.close(fault);
+    }
+
+    /// Update the innermost open span's partition count (operators that
+    /// re-derive partitioning at run time report the actual count).
+    pub fn span_set_partitions(&mut self, partitions: usize) {
+        self.trace.set_partitions(partitions);
+    }
+
+    /// Take the finished trace, resetting the collector.
+    pub fn take_trace(&mut self) -> TraceTree {
+        self.trace.take()
+    }
+
+    /// Graft a finished worker's spans under the innermost open span (or
+    /// the roots), in call order — the trace counterpart of
+    /// [`ExecContext::absorb`]. Callers absorb children in plan order, so
+    /// the tree is identical at every thread count.
+    pub fn absorb_trace(&mut self, trace: TraceTree) {
+        self.trace.absorb(trace.roots);
+    }
+
     /// The active semiring.
     pub fn semiring(&self) -> SemiringKind {
         self.semiring
@@ -201,6 +266,7 @@ impl<'b> ExecContext<'b> {
             threads: self.threads,
             workspace_bytes: self.workspace_bytes,
             fork_tokens: Arc::clone(&self.fork_tokens),
+            trace: TraceCollector::new(self.trace.level()),
         }
     }
 
@@ -268,6 +334,7 @@ impl<'b> ExecContext<'b> {
     pub fn record_scan(&mut self, name: &str, rel: &FunctionalRelation) -> Result<()> {
         self.stats.rows_scanned += rel.len() as u64;
         self.stats.pages_io += rel.estimated_pages();
+        self.trace_op(SpanKind::Scan, &[], rel);
         if let Some(budget) = self.budget() {
             budget.checkpoint()?;
         }
@@ -309,6 +376,7 @@ impl<'b> ExecContext<'b> {
     ) {
         self.account(inputs, output);
         self.stats.joins += 1;
+        self.trace_op(SpanKind::Join, inputs, output);
     }
 
     /// Account a group-by operator (any algorithm).
@@ -319,6 +387,7 @@ impl<'b> ExecContext<'b> {
     ) {
         self.account(inputs, output);
         self.stats.group_bys += 1;
+        self.trace_op(SpanKind::GroupBy, inputs, output);
     }
 
     /// Account a selection operator.
@@ -329,6 +398,25 @@ impl<'b> ExecContext<'b> {
     ) {
         self.account(inputs, output);
         self.stats.selects += 1;
+        self.trace_op(SpanKind::Select, inputs, output);
+    }
+
+    /// Feed one operator's cardinalities to the span collector: fills the
+    /// interpreter's open span for this operator, or attaches a leaf span
+    /// for ad-hoc operator calls (the inference layer).
+    fn trace_op(
+        &mut self,
+        kind: SpanKind,
+        inputs: &[&FunctionalRelation],
+        output: &FunctionalRelation,
+    ) {
+        if !self.trace.enabled() {
+            return;
+        }
+        let rows_in: u64 = inputs.iter().map(|r| r.len() as u64).sum();
+        let rows_out = output.len() as u64;
+        let cells = rows_out * (output.schema().arity() as u64 + 1);
+        self.trace.record_op(kind, rows_in, rows_out, cells);
     }
 }
 

@@ -4,6 +4,7 @@ use mpf_semiring::SemiringKind;
 use mpf_storage::FunctionalRelation;
 
 use crate::limits::{ExecBudget, ExecLimits};
+use crate::trace::{SpanDesc, SpanKind};
 use crate::{
     ops, AggAlgo, AlgebraError, ExecContext, ExecStats, JoinAlgo, PhysicalPlan, Plan,
     RelationProvider, Result,
@@ -148,8 +149,24 @@ impl<'a, P: RelationProvider + Sync> Executor<'a, P> {
     }
 
     /// The single plan interpreter. Scans borrow from the provider;
-    /// operator outputs are owned.
+    /// operator outputs are owned. Wraps every node in a trace span when
+    /// the context collects them ([`crate::TraceLevel::Spans`]): the
+    /// node's `record_*` accounting fills the span's row counts, the
+    /// wrapper adds inclusive wall time and the failure, if any.
     fn run(
+        &self,
+        cx: &mut ExecContext<'_>,
+        plan: &PhysicalPlan,
+    ) -> Result<Cow<'a, FunctionalRelation>> {
+        let threads = cx.threads();
+        cx.span_open(|| span_desc(plan, threads));
+        let result = self.run_node(cx, plan);
+        cx.span_close(|| result.as_ref().err().map(|e| e.to_string()));
+        result
+    }
+
+    /// [`Executor::run`] body, without the span bracket.
+    fn run_node(
         &self,
         cx: &mut ExecContext<'_>,
         plan: &PhysicalPlan,
@@ -176,8 +193,10 @@ impl<'a, P: RelationProvider + Sync> Executor<'a, P> {
                             build.len(),
                             build.row_bytes(),
                             cx.workspace_bytes(),
-                        );
-                        crate::partitioned::grace_join(cx, &l, &r, derived.max(*partitions))?
+                        )
+                        .max(*partitions);
+                        cx.span_set_partitions(derived);
+                        crate::partitioned::grace_join(cx, &l, &r, derived)?
                     }
                     JoinAlgo::Parallel { partitions } => crate::partitioned::parallel_join_parts(
                         cx,
@@ -234,23 +253,59 @@ impl<'a, P: RelationProvider + Sync> Executor<'a, P> {
             return Ok((l, r));
         }
         let mut rcx = cx.fork();
-        let (lres, rres, rstats) = std::thread::scope(|scope| {
+        let (lres, rres, rstats, rtrace) = std::thread::scope(|scope| {
             let handle = scope.spawn(move || {
                 let r = self.run(&mut rcx, right);
-                (r, rcx.take_stats())
+                (r, rcx.take_stats(), rcx.take_trace())
             });
             let l = self.run(cx, left);
-            let (r, rstats) = handle.join().unwrap_or_else(|_| {
+            let (r, rstats, rtrace) = handle.join().unwrap_or_else(|_| {
                 (
                     Err(AlgebraError::Internal("subplan worker panicked".into())),
                     ExecStats::default(),
+                    crate::TraceTree::default(),
                 )
             });
-            (l, r, rstats)
+            (l, r, rstats, rtrace)
         });
         cx.release_worker();
         cx.absorb(rstats);
+        // The left subtree's spans attached inline (under the open join
+        // span); grafting the worker's spans after them reproduces the
+        // sequential left-then-right order exactly.
+        cx.absorb_trace(rtrace);
         Ok((lres?, rres?))
+    }
+}
+
+/// Describe a plan node for its trace span: kind, display label, and the
+/// planner's partition/worker annotations. Only called with tracing on.
+fn span_desc(plan: &PhysicalPlan, threads: usize) -> SpanDesc {
+    match plan {
+        PhysicalPlan::Scan { relation } => {
+            SpanDesc::op(SpanKind::Scan, format!("Scan {relation}"))
+        }
+        PhysicalPlan::Select { .. } => SpanDesc::op(SpanKind::Select, "Select"),
+        PhysicalPlan::Join { algo, .. } => SpanDesc {
+            kind: SpanKind::Join,
+            label: format!("ProductJoin ({})", algo.label()),
+            partitions: match algo {
+                JoinAlgo::Grace { partitions } | JoinAlgo::Parallel { partitions } => {
+                    Some(*partitions)
+                }
+                _ => None,
+            },
+            workers: matches!(algo, JoinAlgo::Parallel { .. }).then_some(threads),
+        },
+        PhysicalPlan::GroupBy { algo, .. } => SpanDesc {
+            kind: SpanKind::GroupBy,
+            label: format!("GroupBy ({})", algo.label()),
+            partitions: match algo {
+                AggAlgo::ParallelAgg { partitions } => Some(*partitions),
+                _ => None,
+            },
+            workers: matches!(algo, AggAlgo::ParallelAgg { .. }).then_some(threads),
+        },
     }
 }
 

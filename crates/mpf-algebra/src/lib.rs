@@ -34,6 +34,7 @@ mod error;
 mod exec;
 pub mod fault;
 pub mod limits;
+pub mod metrics;
 pub mod ops;
 mod physical;
 pub mod partitioned;
@@ -41,15 +42,18 @@ mod plan;
 mod provider;
 pub mod sort_ops;
 mod stats;
+pub mod trace;
 
 pub use context::ExecContext;
 pub use error::AlgebraError;
 pub use exec::Executor;
 pub use limits::{CancelToken, ExecBudget, ExecLimits, OpGuard, ResourceKind};
+pub use metrics::MetricsRegistry;
 pub use physical::{AggAlgo, JoinAlgo, PhysicalPlan};
 pub use plan::{Plan, MAX_PLAN_DEPTH};
 pub use provider::{RelationProvider, RelationStore};
 pub use stats::ExecStats;
+pub use trace::{SpanKind, TraceLevel, TraceSpan, TraceTree};
 
 /// Result alias for algebra operations.
 pub type Result<T> = std::result::Result<T, AlgebraError>;

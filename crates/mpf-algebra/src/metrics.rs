@@ -1,0 +1,224 @@
+//! A lightweight metrics registry: monotonic counters and latency
+//! histograms with JSON export.
+//!
+//! The registry is deliberately tiny — no external metrics crate, no
+//! background threads — because its consumers are in-process: the engine's
+//! query path feeds it (queries served, fallback retries, per-strategy
+//! serve counts, optimize/execute latencies) so `Answer::served_by` and
+//! retry behavior are quantified over a workload, and the `mpf-bench`
+//! binaries feed it per-phase timings that land next to the benchmark
+//! JSON. All methods take `&self` (interior mutability), so one registry
+//! can be shared behind an `Arc` across threads.
+//!
+//! Histograms are logarithmic: bucket `i` counts samples in
+//! `[2^i, 2^{i+1})` microseconds, which spans sub-microsecond operator
+//! calls to multi-minute builds in 64 buckets with bounded memory.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Number of log2 buckets (covers `[1us, 2^63 us)`).
+const BUCKETS: usize = 64;
+
+/// A latency histogram with power-of-two microsecond buckets.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples, microseconds.
+    pub sum_us: u64,
+    /// Smallest sample, microseconds.
+    pub min_us: u64,
+    /// Largest sample, microseconds.
+    pub max_us: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum_us: 0,
+            min_us: u64::MAX,
+            max_us: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    fn observe_us(&mut self, us: u64) {
+        self.count += 1;
+        self.sum_us = self.sum_us.saturating_add(us);
+        self.min_us = self.min_us.min(us);
+        self.max_us = self.max_us.max(us);
+        // Bucket i covers [2^i, 2^{i+1}); 0us lands in bucket 0.
+        let idx = (63 - us.max(1).leading_zeros()) as usize;
+        self.buckets[idx.min(BUCKETS - 1)] += 1;
+    }
+
+    /// Mean latency in microseconds (0 with no samples).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+
+    /// Non-empty buckets as `(upper_bound_us, count)` pairs.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (1u64 << (i + 1).min(63), c))
+            .collect()
+    }
+}
+
+/// Monotonic counters + latency histograms, exported as JSON.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, u64>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Increment a counter by 1 (created at 0 on first touch).
+    pub fn inc(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Increment a counter by `n`.
+    pub fn add(&self, name: &str, n: u64) {
+        let mut c = lock(&self.counters);
+        *c.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        lock(&self.counters).get(name).copied().unwrap_or(0)
+    }
+
+    /// Record a latency sample.
+    pub fn observe(&self, name: &str, latency: Duration) {
+        self.observe_us(name, latency.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Record a latency sample in microseconds.
+    pub fn observe_us(&self, name: &str, us: u64) {
+        let mut h = lock(&self.histograms);
+        h.entry(name.to_string()).or_default().observe_us(us);
+    }
+
+    /// Snapshot of a histogram (None if never observed).
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        lock(&self.histograms).get(name).cloned()
+    }
+
+    /// Export every counter and histogram as a JSON object.
+    pub fn to_json(&self) -> String {
+        let counters = lock(&self.counters).clone();
+        let histograms = lock(&self.histograms).clone();
+        let mut out = String::from("{\"counters\":{");
+        for (i, (k, v)) in counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{k}\":{v}"));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let buckets: Vec<String> = h
+                .nonzero_buckets()
+                .iter()
+                .map(|(ub, c)| format!("[{ub},{c}]"))
+                .collect();
+            out.push_str(&format!(
+                "\"{k}\":{{\"count\":{},\"sum_us\":{},\"min_us\":{},\"max_us\":{},\"mean_us\":{:.1},\"buckets\":[{}]}}",
+                h.count,
+                h.sum_us,
+                if h.count == 0 { 0 } else { h.min_us },
+                h.max_us,
+                h.mean_us(),
+                buckets.join(",")
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = MetricsRegistry::new();
+        m.inc("queries");
+        m.add("queries", 2);
+        assert_eq!(m.counter("queries"), 3);
+        assert_eq!(m.counter("untouched"), 0);
+    }
+
+    #[test]
+    fn histograms_bucket_logarithmically() {
+        let m = MetricsRegistry::new();
+        m.observe_us("lat", 1);
+        m.observe_us("lat", 3);
+        m.observe_us("lat", 1000);
+        m.observe_us("lat", 0); // clamps into the first bucket
+        let h = m.histogram("lat").unwrap();
+        assert_eq!(h.count, 4);
+        assert_eq!(h.min_us, 0);
+        assert_eq!(h.max_us, 1000);
+        let buckets = h.nonzero_buckets();
+        // 1 and 0 -> [1,2); 3 -> [2,4); 1000 -> [512,1024).
+        assert_eq!(buckets, vec![(2, 2), (4, 1), (1024, 1)]);
+        assert!(h.mean_us() > 0.0);
+    }
+
+    #[test]
+    fn json_export_is_stable_and_complete() {
+        let m = MetricsRegistry::new();
+        m.inc("b");
+        m.inc("a");
+        m.observe(&String::from("lat"), Duration::from_micros(5));
+        let json = m.to_json();
+        // BTreeMap order: alphabetical, so the export is deterministic.
+        assert!(json.find("\"a\":1").unwrap() < json.find("\"b\":1").unwrap());
+        assert!(json.contains("\"lat\":{\"count\":1"));
+        assert!(json.contains("\"buckets\":[[8,1]]"));
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let m = std::sync::Arc::new(MetricsRegistry::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = std::sync::Arc::clone(&m);
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        m.inc("n");
+                    }
+                });
+            }
+        });
+        assert_eq!(m.counter("n"), 400);
+    }
+}

@@ -39,6 +39,18 @@ pub enum JoinAlgo {
     },
 }
 
+impl JoinAlgo {
+    /// Short display name (no partition parameter).
+    pub fn label(&self) -> &'static str {
+        match self {
+            JoinAlgo::Hash => "Hash",
+            JoinAlgo::SortMerge => "SortMerge",
+            JoinAlgo::Grace { .. } => "Grace",
+            JoinAlgo::Parallel { .. } => "Parallel",
+        }
+    }
+}
+
 /// Aggregation algorithm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AggAlgo {
@@ -53,6 +65,17 @@ pub enum AggAlgo {
         /// Number of partitions (decoupled from the worker count).
         partitions: usize,
     },
+}
+
+impl AggAlgo {
+    /// Short display name (no partition parameter).
+    pub fn label(&self) -> &'static str {
+        match self {
+            AggAlgo::HashAgg => "HashAgg",
+            AggAlgo::SortAgg => "SortAgg",
+            AggAlgo::ParallelAgg { .. } => "ParallelAgg",
+        }
+    }
 }
 
 /// A logical plan with per-operator algorithm annotations.

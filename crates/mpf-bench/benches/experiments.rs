@@ -7,6 +7,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mpf_bench::run_query;
 use mpf_datagen::{SupplyChain, SupplyChainConfig, SyntheticKind, SyntheticView};
+use mpf_algebra::ExecContext;
 use mpf_infer::{BayesNet, VeCache};
 use mpf_optimizer::{optimize, Algorithm, CostModel, Heuristic, QuerySpec};
 use mpf_semiring::SemiringKind;
@@ -136,9 +137,9 @@ fn workload_vecache(c: &mut Criterion) {
         .collect();
     let mut g = c.benchmark_group("section6_vecache");
     g.bench_function("build", |b| {
-        b.iter(|| VeCache::build(SemiringKind::SumProduct, &rels, None).unwrap())
+        b.iter(|| VeCache::build_in(&mut ExecContext::new(SemiringKind::SumProduct), &rels, None).unwrap())
     });
-    let cache = VeCache::build(SemiringKind::SumProduct, &rels, None).unwrap();
+    let cache = VeCache::build_in(&mut ExecContext::new(SemiringKind::SumProduct), &rels, None).unwrap();
     g.bench_function("answer_all_vars", |b| {
         b.iter(|| {
             for name in ["pid", "sid", "wid", "cid", "tid"] {

@@ -91,8 +91,8 @@ fn main() {
         jt.tree.verify_rip(&jt.cliques)
     );
 
-    let mut tables = jt.populate(sr, &rels2, &sc.catalog).expect("populate");
-    bp::calibrate(sr, &mut tables, &jt.tree).expect("calibrate");
+    let mut tables = jt.populate_in(&mut ExecContext::new(sr), &rels2, &sc.catalog).expect("populate");
+    bp::calibrate_in(&mut ExecContext::new(sr), &mut tables, &jt.tree).expect("calibrate");
 
     // Verify one marginal against direct evaluation.
     let cx = &mut ExecContext::new(sr);

@@ -87,7 +87,7 @@ fn main() {
         }
         if let Some(sql) = line.strip_prefix("\\explain ") {
             match parser::parse(sql) {
-                Ok(Statement::Select(q)) => match db.explain(&q) {
+                Ok(Statement::Select(q)) => match db.describe(&q) {
                     Ok(text) => println!("{text}"),
                     Err(e) => println!("  error: {e}"),
                 },

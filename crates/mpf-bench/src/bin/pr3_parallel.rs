@@ -15,13 +15,20 @@
 //! Every parallel run is checked `function_eq` against the sequential
 //! result. Timings are the median of `--reps` runs after one untimed
 //! warmup (first-touch page faults otherwise dominate the first run).
-//! Results are written as JSON to `--out` (default `BENCH_PR3.json`).
+//! Results are written as JSON to `--out` (default `BENCH_PR3.json`);
+//! per-run counters/latency histograms from the metrics registry are
+//! embedded under a `"metrics"` key, and one span-traced VE+ execution
+//! is written to `--trace-out` (default `TRACE_PR3.json`) so CI can
+//! archive an operator-level trace next to the timings.
 //!
-//! Usage: `pr3_parallel [--rows <n>] [--reps <n>] [--scale <f>] [--out <path>]`
+//! Usage: `pr3_parallel [--rows <n>] [--reps <n>] [--scale <f>]
+//!         [--out <path>] [--trace-out <path>]`
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use mpf_algebra::{ops, partitioned, ExecContext, Executor, RelationStore};
+use mpf_algebra::{
+    ops, partitioned, ExecContext, Executor, MetricsRegistry, RelationStore, TraceLevel,
+};
 use mpf_bench::Args;
 use mpf_optimizer::{
     choose_physical, optimize, Algorithm, BaseRel, CostModel, Heuristic, OptContext,
@@ -106,6 +113,18 @@ struct Run {
     eq: bool,
 }
 
+/// Feed one timed run into the registry: a per-section run counter plus a
+/// latency histogram keyed by section and worker count (`sequential` for
+/// the single-threaded reference run).
+fn feed(metrics: &MetricsRegistry, section: &str, threads: Option<usize>, ms: f64) {
+    metrics.inc(&format!("bench.{section}.runs"));
+    let key = match threads {
+        Some(t) => format!("bench.{section}.t{t}"),
+        None => format!("bench.{section}.sequential"),
+    };
+    metrics.observe(&key, Duration::from_secs_f64(ms / 1e3));
+}
+
 fn runs_json(sequential_ms: f64, runs: &[Run]) -> String {
     let rows: Vec<String> = runs
         .iter()
@@ -130,6 +149,8 @@ fn main() {
     let rows: usize = ((args.get("rows", 2_000_000usize) as f64) * scale) as usize;
     let reps: usize = args.get("reps", 3);
     let out_path: String = args.get("out", "BENCH_PR3.json".to_string());
+    let trace_path: String = args.get("trace-out", "TRACE_PR3.json".to_string());
+    let metrics = MetricsRegistry::new();
 
     let mut sections = Vec::new();
 
@@ -156,6 +177,7 @@ fn main() {
         ops::product_join(&mut ExecContext::new(SR), &l, &r).expect("join fits")
     });
     eprintln!("large_join: sequential {seq_ms:.1} ms, {} rows", seq_out.len());
+    feed(&metrics, "large_join", None, seq_ms);
     let mut runs = Vec::new();
     for &t in &THREAD_COUNTS {
         let (ms, out) = time_ms(reps, || {
@@ -176,6 +198,7 @@ fn main() {
             "large_join: threads {t} -> {ms:.1} ms ({:.2}x, eq {})",
             run.speedup, run.eq
         );
+        feed(&metrics, "large_join", Some(t), ms);
         runs.push(run);
     }
     sections.push(format!(
@@ -200,6 +223,7 @@ fn main() {
         ops::group_by(&mut ExecContext::new(SR), &input, &[g]).expect("agg fits")
     });
     eprintln!("group_by: sequential {gseq_ms:.1} ms, {} groups", gseq_out.len());
+    feed(&metrics, "group_by", None, gseq_ms);
     let mut gruns = Vec::new();
     for &t in &THREAD_COUNTS {
         let (ms, out) = time_ms(reps, || {
@@ -217,6 +241,7 @@ fn main() {
             "group_by: threads {t} -> {ms:.1} ms ({:.2}x, eq {})",
             run.speedup, run.eq
         );
+        feed(&metrics, "group_by", Some(t), ms);
         gruns.push(run);
     }
     sections.push(format!(
@@ -280,6 +305,7 @@ fn main() {
         rel
     });
     eprintln!("ve_plus: sequential {vseq_ms:.1} ms, {} rows", vseq_out.len());
+    feed(&metrics, "ve_plus", None, vseq_ms);
     let mut vruns = Vec::new();
     for &t in &THREAD_COUNTS {
         let phys = phys_for(t);
@@ -299,6 +325,7 @@ fn main() {
             "ve_plus: threads {t} -> {ms:.1} ms ({:.2}x, eq {}, {} parallel ops)",
             run.speedup, run.eq, run.partitions
         );
+        feed(&metrics, "ve_plus", Some(t), ms);
         vruns.push(run);
     }
     sections.push(format!(
@@ -307,14 +334,36 @@ fn main() {
         runs_json(vseq_ms, &vruns)
     ));
 
+    // -- traced VE+ run --------------------------------------------------
+    // One span-traced execution of the widest parallel VE+ plan: the trace
+    // JSON is the CI artifact that shows per-operator rows/cells/time and
+    // partition/worker counts for this commit.
+    let trace_threads = *THREAD_COUNTS.last().expect("non-empty");
+    let traced_phys = phys_for(trace_threads);
+    let mut tcx = ExecContext::new(SR)
+        .with_threads(trace_threads)
+        .with_trace(TraceLevel::Spans);
+    let texec = Executor::new(&store, SR).with_threads(trace_threads);
+    texec
+        .execute_physical_in(&mut tcx, &traced_phys)
+        .expect("plan executes");
+    let trace = tcx.take_trace();
+    eprintln!(
+        "traced ve_plus at {trace_threads} threads: {} spans",
+        trace.span_count()
+    );
+    std::fs::write(&trace_path, trace.to_json()).expect("write trace json");
+    eprintln!("wrote {trace_path}");
+
     // The `partitions` field of ve_plus runs holds the parallel operator
     // count of the executed plan (the per-operator partition counts live
     // in the plan annotations).
     let json = format!(
         "{{\n\"benchmark\": \"pr3_parallel\",\n\"rows\": {rows},\n\"reps\": {reps},\n\
-         \"host_threads\": {},\n\"benchmarks\": [\n{}\n]\n}}\n",
+         \"host_threads\": {},\n\"benchmarks\": [\n{}\n],\n\"metrics\": {}\n}}\n",
         std::thread::available_parallelism().map_or(1, |n| n.get()),
-        sections.join(",\n")
+        sections.join(",\n"),
+        metrics.to_json()
     );
     std::fs::write(&out_path, &json).expect("write benchmark json");
     eprintln!("wrote {out_path}");

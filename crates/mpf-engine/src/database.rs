@@ -1,19 +1,22 @@
 use std::collections::HashMap;
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use mpf_algebra::{
-    fault, ExecContext, ExecLimits, ExecStats, Executor, Plan, RelationProvider, RelationStore,
+    fault, AggAlgo, ExecContext, ExecLimits, ExecStats, Executor, MetricsRegistry, PhysicalPlan,
+    Plan, RelationProvider, RelationStore, TraceLevel,
 };
 use mpf_infer::VeCache;
 use mpf_optimizer::{
-    choose_physical, linearity::linearity_test, linearity::LinearityTest, optimize, Algorithm,
-    BaseRel, CostModel, Heuristic, OptContext, PhysicalConfig, QuerySpec, MAX_DP_RELATIONS,
+    choose_physical, estimate::annotate_estimates, linearity::linearity_test,
+    linearity::LinearityTest, optimize, Algorithm, BaseRel, CostModel, Heuristic, OptContext,
+    PhysicalConfig, QuerySpec, MAX_DP_RELATIONS,
 };
 use mpf_semiring::{resolve_semiring, Aggregate, Combine, SemiringKind};
 use mpf_storage::{Catalog, FunctionalRelation, Value, VarId};
 
 use crate::parser::{parse, Statement};
-use crate::{Answer, EngineError, Query, Result, Strategy};
+use crate::{Answer, EngineError, Query, QueryRequest, Result, Strategy};
 
 /// An MPF view definition: a product join of named base relations under a
 /// combine operation (the `create mpfview` statement of Section 2).
@@ -126,6 +129,8 @@ pub struct Database {
     limits: ExecLimits,
     /// Strategy fallback chain for recoverable query failures.
     fallback: FallbackPolicy,
+    /// Optional metrics sink fed by every [`Database::run`] call.
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl Default for Database {
@@ -146,6 +151,7 @@ impl Database {
             fds: HashMap::new(),
             limits: ExecLimits::none(),
             fallback: FallbackPolicy::default(),
+            metrics: None,
         }
     }
 
@@ -180,6 +186,20 @@ impl Database {
         &self.fallback
     }
 
+    /// Feed a [`MetricsRegistry`] from every [`Database::run`] call:
+    /// query/error/fallback counters and optimize/execute latency
+    /// histograms. Share the `Arc` to export with
+    /// [`MetricsRegistry::to_json`].
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Database {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// The registry passed to [`Database::with_metrics`], if any.
+    pub fn metrics(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.metrics.as_ref()
+    }
+
     /// Build a database around an existing catalog and relation store (as
     /// produced by the `mpf-datagen` generators).
     pub fn from_parts(catalog: Catalog, store: RelationStore) -> Database {
@@ -191,6 +211,7 @@ impl Database {
             fds: HashMap::new(),
             limits: ExecLimits::none(),
             fallback: FallbackPolicy::default(),
+            metrics: None,
         }
     }
 
@@ -305,23 +326,115 @@ impl Database {
             .ok_or_else(|| EngineError::UnknownView(name.to_string()))
     }
 
-    /// Evaluate an MPF query (Section 3.1 forms) and return the answer with
-    /// plan, cost, counters, and timings.
+    /// Evaluate a query submission (Section 3.1 forms) and return the
+    /// answer with plan, cost, counters, timings, and (when requested) a
+    /// per-operator trace. This is the single entry point behind which
+    /// the old `query` / `query_hypothetical` / `query_cached` method
+    /// family is consolidated: a plain [`Query`] converts into a default
+    /// [`QueryRequest`], so `db.run(&q)` is the common case.
+    pub fn run<'a>(&self, req: impl Into<QueryRequest<'a>>) -> Result<Answer> {
+        self.run_request(&req.into())
+    }
+
+    fn run_request(&self, req: &QueryRequest<'_>) -> Result<Answer> {
+        let t0 = Instant::now();
+        let result = if let Some(cache) = req.cache {
+            self.serve_from_cache(req, cache)
+        } else if req.overrides.is_empty() {
+            self.query_on_store(req, &self.store)
+        } else {
+            let mut store = self.store.clone();
+            for ov in &req.overrides {
+                self.apply_override(&mut store, ov)?;
+            }
+            self.query_on_store(req, &store)
+        };
+        if let Some(m) = &self.metrics {
+            m.inc("engine.queries");
+            m.observe("engine.query_us", t0.elapsed());
+            match &result {
+                Ok(a) => {
+                    m.inc(&format!("engine.served_by.{}", a.served_by.label()));
+                    m.add("engine.fallback_attempts", a.fallback.len() as u64);
+                    m.add("engine.rows_out", a.relation.len() as u64);
+                    m.observe("engine.optimize_us", a.optimize_time);
+                    m.observe("engine.execute_us", a.execute_time);
+                }
+                Err(_) => m.inc("engine.errors"),
+            }
+        }
+        result
+    }
+
+    /// Evaluate an MPF query with database-default options.
+    #[deprecated(note = "use `Database::run` with a `Query` or `QueryRequest`")]
     pub fn query(&self, q: &Query) -> Result<Answer> {
-        self.query_on_store(q, &self.store)
+        self.run(q)
     }
 
     /// Evaluate a query with hypothetical overrides applied to copies of
     /// the affected base relations (alternate-measure / alternate-domain).
+    #[deprecated(note = "use `Database::run` with `QueryRequest::overrides`")]
     pub fn query_hypothetical(&self, q: &Query, overrides: &[Override]) -> Result<Answer> {
-        let mut store = self.store.clone();
-        for ov in overrides {
-            self.apply_override(&mut store, ov)?;
-        }
-        self.query_on_store(q, &store)
+        self.run(QueryRequest::from(q).overrides(overrides.iter().cloned()))
     }
 
-    fn query_on_store(&self, q: &Query, store: &RelationStore) -> Result<Answer> {
+    /// Serve a cache-eligible request: a plain group-by answered by
+    /// marginalizing the smallest covering cached table. The synthesized
+    /// plan in the answer records the cache scan + group-by actually run.
+    fn serve_from_cache(&self, req: &QueryRequest<'_>, cache: &VeCache) -> Result<Answer> {
+        let q = &req.query;
+        if !req.overrides.is_empty() {
+            return Err(EngineError::BadOverride(
+                "hypothetical overrides cannot be served from a VeCache; \
+                 use VeCache::with_measure_update or rebuild the cache"
+                    .into(),
+            ));
+        }
+        if !q.filters.is_empty() || q.having.is_some() {
+            return Err(EngineError::BadOverride(
+                "cache-served queries support only plain group-by; \
+                 condition the cache with VeCache::with_evidence instead"
+                    .into(),
+            ));
+        }
+        let vars: Vec<VarId> = q
+            .group_vars
+            .iter()
+            .map(|n| self.resolve_var(n))
+            .collect::<Result<_>>()?;
+        let limits = req.limits.clone().unwrap_or_else(|| self.limits.clone());
+        let mut cx = ExecContext::with_limits(cache.semiring(), limits).with_trace(req.trace);
+        let t1 = Instant::now();
+        cx.span_phase("cache::answer");
+        let result = cache.answer_set_in(&mut cx, &vars);
+        cx.span_close(|| result.as_ref().err().map(|e| e.to_string()));
+        let execute_time = t1.elapsed();
+        let stats = *cx.stats();
+        let trace = (req.trace != TraceLevel::Off).then(|| cx.take_trace());
+        let relation = result?;
+        Ok(Answer {
+            relation,
+            served_by: q.strategy,
+            fallback: Vec::new(),
+            plan: Plan::group_by(Plan::scan("<ve-cache>"), vars.clone()),
+            physical: PhysicalPlan::GroupBy {
+                input: Box::new(PhysicalPlan::Scan {
+                    relation: "<ve-cache>".into(),
+                }),
+                group_vars: vars,
+                algo: AggAlgo::HashAgg,
+            },
+            est_cost: f64::NAN,
+            stats,
+            optimize_time: Duration::ZERO,
+            execute_time,
+            trace,
+        })
+    }
+
+    fn query_on_store(&self, req: &QueryRequest<'_>, store: &RelationStore) -> Result<Answer> {
+        let q = &req.query;
         let view = self.view(&q.view)?;
         let sr =
             resolve_semiring(view.combine, q.agg).ok_or(EngineError::IncompatibleAggregate {
@@ -330,6 +443,7 @@ impl Database {
             })?;
         let spec = self.resolve_spec(q)?;
         let ctx = self.opt_context(view, store, spec)?;
+        let limits = req.limits.as_ref().unwrap_or(&self.limits);
 
         // The requested strategy first, then the fallback chain, with
         // already-tried entries skipped.
@@ -347,7 +461,7 @@ impl Database {
         let mut total = ExecStats::default();
         let last = attempts.len() - 1;
         for (i, &strategy) in attempts.iter().enumerate() {
-            match self.attempt(q, store, &ctx, sr, strategy, &mut total) {
+            match self.attempt(req, store, &ctx, sr, strategy, limits, &mut total) {
                 Ok(mut answer) => {
                     answer.served_by = strategy;
                     answer.fallback = failed;
@@ -363,30 +477,42 @@ impl Database {
 
     /// One optimize-and-execute attempt with a single strategy. The work
     /// it does — even when it fails — is merged into `total`.
+    #[allow(clippy::too_many_arguments)]
     fn attempt(
         &self,
-        q: &Query,
+        req: &QueryRequest<'_>,
         store: &RelationStore,
         ctx: &OptContext<'_>,
         sr: SemiringKind,
         strategy: Strategy,
+        limits: &ExecLimits,
         total: &mut ExecStats,
     ) -> Result<Answer> {
+        let q = &req.query;
         let t0 = Instant::now();
         let (plan, est_cost) = self.plan_for(&q.view, ctx, strategy)?;
         let physical = choose_physical(
             ctx,
             &plan,
-            PhysicalConfig::default().with_threads(self.limits.effective_threads()),
+            PhysicalConfig::default().with_threads(limits.effective_threads()),
         );
         let optimize_time = t0.elapsed();
 
         let exec = Executor::new(store, sr);
-        let mut cx = ExecContext::with_limits(sr, self.limits.clone());
+        let mut cx = ExecContext::with_limits(sr, limits.clone()).with_trace(req.trace);
         let t1 = Instant::now();
         let result = exec.execute_physical_in(&mut cx, &physical);
         let execute_time = t1.elapsed();
         total.merge(cx.stats());
+        // Annotate the executed-plan spans with the optimizer's estimated
+        // rows, so EXPLAIN ANALYZE prints est-vs-actual per node.
+        let trace = (req.trace != TraceLevel::Off).then(|| {
+            let mut tree = cx.take_trace();
+            if let Some(root) = tree.roots.first_mut() {
+                annotate_estimates(ctx, &physical, root);
+            }
+            tree
+        });
         let mut relation = result?;
 
         // Constrained-range (`having f ⋈ c`) post-filter.
@@ -411,25 +537,96 @@ impl Database {
             stats: *total,
             optimize_time,
             execute_time,
+            trace,
         })
     }
 
-    /// Render the plan a strategy would choose, without executing it.
-    pub fn explain(&self, q: &Query) -> Result<String> {
+    /// Render the plan a strategy would choose, without executing it
+    /// (the `EXPLAIN` half of the request API; overrides and per-request
+    /// limits are honored, tracing is irrelevant).
+    pub fn describe<'a>(&self, req: impl Into<QueryRequest<'a>>) -> Result<String> {
+        let req = req.into();
+        let q = &req.query;
+        let limits = req.limits.as_ref().unwrap_or(&self.limits);
         let view = self.view(&q.view)?;
         let spec = self.resolve_spec(q)?;
-        let ctx = self.opt_context(view, &self.store, spec)?;
+        // Overrides can change cardinalities (a domain remap merges rows),
+        // so the explain plans against the hypothetical store.
+        let store_owned;
+        let store = if req.overrides.is_empty() {
+            &self.store
+        } else {
+            let mut s = self.store.clone();
+            for ov in &req.overrides {
+                self.apply_override(&mut s, ov)?;
+            }
+            store_owned = s;
+            &store_owned
+        };
+        let ctx = self.opt_context(view, store, spec)?;
         let (plan, est_cost) = self.plan_for(&q.view, &ctx, q.strategy)?;
         let physical = choose_physical(
             &ctx,
             &plan,
-            PhysicalConfig::default().with_threads(self.limits.effective_threads()),
+            PhysicalConfig::default().with_threads(limits.effective_threads()),
         );
         let catalog = &self.catalog;
         Ok(format!(
             "-- estimated cost: {est_cost:.2}\n{}",
             physical.render(&|v| catalog.name(v).to_string())
         ))
+    }
+
+    /// Execute a request with span tracing forced on and render the
+    /// executed plan with per-operator actuals (rows, cells, wall time,
+    /// partition/worker counts) next to the optimizer's estimated rows —
+    /// the paper's strategies differ exactly in these per-operator sizes,
+    /// so this is where cost-model drift becomes visible.
+    pub fn explain_analyze<'a>(&self, req: impl Into<QueryRequest<'a>>) -> Result<String> {
+        let mut req = req.into();
+        req.trace = TraceLevel::Spans;
+        let answer = self.run_request(&req)?;
+        let mut out = String::new();
+        if answer.served_by == req.query.strategy {
+            out.push_str(&format!("-- strategy: {}\n", answer.served_by.label()));
+        } else {
+            out.push_str(&format!(
+                "-- strategy: {} (requested {})\n",
+                answer.served_by.label(),
+                req.query.strategy.label()
+            ));
+        }
+        for (s, e) in &answer.fallback {
+            out.push_str(&format!("-- failed attempt: {} ({e})\n", s.label()));
+        }
+        out.push_str(&format!("-- estimated cost: {:.2}\n", answer.est_cost));
+        let limits = req.limits.as_ref().unwrap_or(&self.limits);
+        out.push_str(&format!("-- workers: {}\n", limits.effective_threads()));
+        let st = &answer.stats;
+        out.push_str(&format!(
+            "-- rows scanned={}, processed={}, peak intermediate={}, page io={}\n",
+            st.rows_scanned, st.rows_processed, st.max_intermediate_rows, st.pages_io
+        ));
+        out.push_str(&format!(
+            "-- optimize: {:.1?}, execute: {:.1?}\n",
+            answer.optimize_time, answer.execute_time
+        ));
+        match &answer.trace {
+            Some(tree) if !tree.is_empty() => out.push_str(&tree.render()),
+            _ => {
+                // Nothing traced (shouldn't happen with Spans forced on);
+                // fall back to the physical plan without actuals.
+                let catalog = &self.catalog;
+                out.push_str(&answer.physical.render(&|v| catalog.name(v).to_string()));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Render the plan a strategy would choose, without executing it.
+    #[deprecated(note = "use `Database::describe`")]
+    pub fn explain(&self, q: &Query) -> Result<String> {
+        self.describe(q)
     }
 
     fn resolve_spec(&self, q: &Query) -> Result<QuerySpec> {
@@ -568,7 +765,7 @@ impl Database {
                 self.create_view(&name, &refs, combine)?;
                 Ok(SqlOutcome::ViewCreated(name))
             }
-            Statement::Select(q) => Ok(SqlOutcome::Answer(Box::new(self.query(&q)?))),
+            Statement::Select(q) => Ok(SqlOutcome::Answer(Box::new(self.run(&q)?))),
         }
     }
 
@@ -600,8 +797,13 @@ impl Database {
     }
 
     /// Answer a single-variable query from a cache, by variable name.
+    #[deprecated(note = "use `Database::run` with `QueryRequest::via_cache`")]
     pub fn query_cached(&self, cache: &VeCache, var: &str) -> Result<FunctionalRelation> {
-        Ok(cache.answer(self.resolve_var(var)?)?)
+        // The cache path never resolves the view name, so any placeholder
+        // works for this legacy single-variable form.
+        Ok(self
+            .run(QueryRequest::on("<cached>").group_by([var]).via_cache(cache))?
+            .relation)
     }
 
     /// Run the Section 5.1 plan-linearity test for a query variable of a
@@ -748,11 +950,11 @@ mod tests {
             Strategy::Auto,
         ];
         let reference = db
-            .query(&Query::on("v").group_by(["c"]).strategy(Strategy::Naive))
+            .run(Query::on("v").group_by(["c"]).strategy(Strategy::Naive))
             .unwrap();
         for s in strategies {
             let ans = db
-                .query(&Query::on("v").group_by(["c"]).strategy(s))
+                .run(Query::on("v").group_by(["c"]).strategy(s))
                 .unwrap();
             assert!(
                 reference.relation.function_eq(&ans.relation),
@@ -786,7 +988,7 @@ mod tests {
             .run_sql("create mpfview w as select a, c, measure = (* r1.f, r2.f) from r1, r2")
             .unwrap();
         assert!(matches!(out, SqlOutcome::ViewCreated(n) if n == "w"));
-        let ans = db.query(&Query::on("w").group_by(["a"])).unwrap();
+        let ans = db.run(Query::on("w").group_by(["a"])).unwrap();
         assert_eq!(ans.relation.len(), 2);
     }
 
@@ -798,7 +1000,7 @@ mod tests {
             SemiringKind::MinProduct
         );
         let ans = db
-            .query(&Query::on("v").group_by(["a"]).aggregate(Aggregate::Min))
+            .run(Query::on("v").group_by(["a"]).aggregate(Aggregate::Min))
             .unwrap();
         // min over b,c of r1(a,b)*r2(b,c): a=0 -> min(10,20,60,80)=10.
         assert!(approx_eq(ans.relation.lookup(&[0]).unwrap(), 10.0));
@@ -809,12 +1011,12 @@ mod tests {
         let mut db = tiny_db();
         db.create_view("s", &["r1", "r2"], Combine::Sum).unwrap();
         let e = db
-            .query(&Query::on("s").group_by(["a"]).aggregate(Aggregate::Sum))
+            .run(Query::on("s").group_by(["a"]).aggregate(Aggregate::Sum))
             .unwrap_err();
         assert!(matches!(e, EngineError::IncompatibleAggregate { .. }));
         // But MIN over SUM-combine is the min-sum semiring.
         let ans = db
-            .query(&Query::on("s").group_by(["a"]).aggregate(Aggregate::Min))
+            .run(Query::on("s").group_by(["a"]).aggregate(Aggregate::Min))
             .unwrap();
         // min over b,c of r1(a,b)+r2(b,c): a=0 -> min(11,21,32,42)=11.
         assert!(approx_eq(ans.relation.lookup(&[0]).unwrap(), 11.0));
@@ -824,8 +1026,8 @@ mod tests {
     fn having_filters_results() {
         let db = tiny_db();
         let ans = db
-            .query(
-                &Query::on("v")
+            .run(
+                Query::on("v")
                     .group_by(["c"])
                     .having(crate::RangePredicate::Greater, 250.0),
             )
@@ -838,16 +1040,13 @@ mod tests {
     fn hypothetical_measure_override() {
         let db = tiny_db();
         let q = Query::on("v").group_by(["c"]);
-        let base = db.query(&q).unwrap();
+        let base = db.run(&q).unwrap();
         let hyp = db
-            .query_hypothetical(
-                &q,
-                &[Override::Measure {
-                    relation: "r1".into(),
-                    row: vec![0, 0],
-                    measure: 100.0,
-                }],
-            )
+            .run(QueryRequest::from(&q).hypothetical(Override::Measure {
+                relation: "r1".into(),
+                row: vec![0, 0],
+                measure: 100.0,
+            }))
             .unwrap();
         // c=0 changes from 220 to (100+3)*10 + (2+4)*30 = 1030+... recompute:
         // c=0: b=0 (r1: a0=100, a1=3)*10 = 1030; b=1: (2+4)*30 = 180 -> 1210.
@@ -855,7 +1054,7 @@ mod tests {
         // Original database untouched.
         assert!(base
             .relation
-            .function_eq(&db.query(&q).unwrap().relation));
+            .function_eq(&db.run(&q).unwrap().relation));
     }
 
     #[test]
@@ -863,14 +1062,13 @@ mod tests {
         let db = tiny_db();
         // Remap r2's b=1 rows to b=0 (first occurrence wins on collision).
         let hyp = db
-            .query_hypothetical(
-                &Query::on("v").group_by(["c"]),
-                &[Override::Domain {
+            .run(
+                QueryRequest::on("v").group_by(["c"]).hypothetical(Override::Domain {
                     relation: "r2".into(),
                     var: "b".into(),
                     from: 1,
                     to: 0,
-                }],
+                }),
             )
             .unwrap();
         // r2 now has only b=0 rows (10, 20 kept); r1's b=1 rows join them.
@@ -884,20 +1082,124 @@ mod tests {
     fn cache_answers_match_queries() {
         let db = tiny_db();
         let cache = db.build_cache("v", Aggregate::Sum, None).unwrap();
-        let cached = db.query_cached(&cache, "c").unwrap();
-        let direct = db.query(&Query::on("v").group_by(["c"])).unwrap();
-        assert!(direct.relation.function_eq(&cached));
+        let cached = db
+            .run(QueryRequest::on("v").group_by(["c"]).via_cache(&cache))
+            .unwrap();
+        let direct = db.run(Query::on("v").group_by(["c"])).unwrap();
+        assert!(direct.relation.function_eq(&cached.relation));
+        // The cache path synthesizes the plan it actually ran.
+        assert!(matches!(cached.physical, PhysicalPlan::GroupBy { .. }));
+    }
+
+    #[test]
+    fn cache_rejects_filters_and_overrides() {
+        let db = tiny_db();
+        let cache = db.build_cache("v", Aggregate::Sum, None).unwrap();
+        let e = db
+            .run(QueryRequest::on("v")
+                .group_by(["c"])
+                .filter("a", 0)
+                .via_cache(&cache))
+            .unwrap_err();
+        assert!(matches!(e, EngineError::BadOverride(_)));
+        let e = db
+            .run(QueryRequest::on("v")
+                .group_by(["c"])
+                .via_cache(&cache)
+                .hypothetical(Override::Measure {
+                    relation: "r1".into(),
+                    row: vec![0, 0],
+                    measure: 9.0,
+                }))
+            .unwrap_err();
+        assert!(matches!(e, EngineError::BadOverride(_)));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_delegate() {
+        let db = tiny_db();
+        let q = Query::on("v").group_by(["c"]);
+        let old = db.query(&q).unwrap();
+        let new = db.run(&q).unwrap();
+        assert!(old.relation.function_eq(&new.relation));
+        let cache = db.build_cache("v", Aggregate::Sum, None).unwrap();
+        let old_cached = db.query_cached(&cache, "c").unwrap();
+        assert!(old_cached.function_eq(&new.relation));
+        assert_eq!(db.explain(&q).unwrap(), db.describe(&q).unwrap());
+        let ov = Override::Measure {
+            relation: "r1".into(),
+            row: vec![0, 0],
+            measure: 100.0,
+        };
+        let old_hyp = db.query_hypothetical(&q, std::slice::from_ref(&ov)).unwrap();
+        let new_hyp = db.run(QueryRequest::from(&q).hypothetical(ov)).unwrap();
+        assert!(old_hyp.relation.function_eq(&new_hyp.relation));
+    }
+
+    #[test]
+    fn run_traces_when_asked() {
+        let db = tiny_db();
+        let q = Query::on("v").group_by(["c"]);
+        let plain = db.run(&q).unwrap();
+        assert!(plain.trace.is_none());
+        let traced = db
+            .run(QueryRequest::from(&q).trace(TraceLevel::Spans))
+            .unwrap();
+        let tree = traced.trace.expect("trace requested");
+        assert!(!tree.is_empty());
+        // The root span mirrors the executed plan's root operator and
+        // carries both an actual row count and an optimizer estimate.
+        let root = &tree.roots[0];
+        assert_eq!(root.rows_out, traced.relation.len() as u64);
+        assert!(root.est_rows.is_some());
+        assert_eq!(tree.span_count(), plan_nodes(&traced.physical));
+    }
+
+    fn plan_nodes(p: &PhysicalPlan) -> usize {
+        match p {
+            PhysicalPlan::Scan { .. } => 1,
+            PhysicalPlan::Select { input, .. } | PhysicalPlan::GroupBy { input, .. } => {
+                1 + plan_nodes(input)
+            }
+            PhysicalPlan::Join { left, right, .. } => 1 + plan_nodes(left) + plan_nodes(right),
+        }
+    }
+
+    #[test]
+    fn explain_analyze_reports_actuals() {
+        let db = tiny_db();
+        let text = db
+            .explain_analyze(QueryRequest::on("v").group_by(["c"]).strategy(Strategy::Cs))
+            .unwrap();
+        assert!(text.contains("-- strategy: cs"));
+        assert!(text.contains("est rows="));
+        assert!(text.contains("rows="));
+        assert!(text.contains("Scan r1"));
+        assert!(text.contains("time="));
+    }
+
+    #[test]
+    fn metrics_registry_is_fed() {
+        let metrics = Arc::new(MetricsRegistry::new());
+        let db = tiny_db().with_metrics(Arc::clone(&metrics));
+        db.run(Query::on("v").group_by(["c"])).unwrap();
+        db.run(Query::on("nope").group_by(["c"])).unwrap_err();
+        assert_eq!(metrics.counter("engine.queries"), 2);
+        assert_eq!(metrics.counter("engine.errors"), 1);
+        let json = metrics.to_json();
+        assert!(json.contains("engine.query_us"));
     }
 
     #[test]
     fn errors_are_informative() {
         let db = tiny_db();
         assert!(matches!(
-            db.query(&Query::on("nope").group_by(["a"])),
+            db.run(Query::on("nope").group_by(["a"])),
             Err(EngineError::UnknownView(_))
         ));
         assert!(matches!(
-            db.query(&Query::on("v").group_by(["zz"])),
+            db.run(Query::on("v").group_by(["zz"])),
             Err(EngineError::UnknownVariable(_))
         ));
         let mut db2 = tiny_db();
@@ -930,11 +1232,11 @@ mod tests {
         // Queries still answer correctly with the declaration in place
         // (Proposition 1 prunes y from VE+'s elimination candidates).
         let naive = db
-            .query(&Query::on("w").group_by(["a"]).strategy(Strategy::Naive))
+            .run(Query::on("w").group_by(["a"]).strategy(Strategy::Naive))
             .unwrap();
         let vep = db
-            .query(
-                &Query::on("w")
+            .run(
+                Query::on("w")
                     .group_by(["a"])
                     .strategy(Strategy::VePlus(mpf_optimizer::Heuristic::Degree)),
             )
@@ -946,7 +1248,7 @@ mod tests {
     fn explain_renders_plan() {
         let db = tiny_db();
         let text = db
-            .explain(&Query::on("v").group_by(["c"]).strategy(Strategy::CsPlusLinear))
+            .describe(Query::on("v").group_by(["c"]).strategy(Strategy::CsPlusLinear))
             .unwrap();
         assert!(text.contains("GroupBy [c]"));
         assert!(text.contains("Scan r1"));

@@ -12,13 +12,21 @@
 //!   constrained-range (`having`) form, evaluated under a selectable
 //!   [`Strategy`] (the paper's PostgreSQL patch exposes the same knob as a
 //!   language extension "that specifies the evaluation strategy");
+//! * [`QueryRequest`] — the builder every execution entry point accepts
+//!   ([`Database::run`] / [`Database::describe`] /
+//!   [`Database::explain_analyze`]): strategy, per-request
+//!   [`mpf_algebra::ExecLimits`], hypothetical overrides (alternate
+//!   measure / alternate domain, the Section 3.1 future-work forms),
+//!   span tracing ([`TraceLevel`]), and answering from a
+//!   materialized [`mpf_infer::VeCache`]
+//!   ([`Database::build_cache`] + [`QueryRequest::via_cache`]);
 //! * [`parser`] — a lexer + recursive-descent parser for the SQL extension,
 //!   so the paper's example statements run verbatim;
-//! * hypothetical queries (alternate measure / alternate domain, the
-//!   Section 3.1 future-work forms) via [`Database::query_hypothetical`];
-//! * workload support: [`Database::build_cache`] materializes a
-//!   [`mpf_infer::VeCache`] for a view and
-//!   [`Database::query_cached`] answers from it;
+//! * observability: [`Answer::trace`] carries a per-operator span tree
+//!   (row counts, cells, wall time, partition/worker fan-out),
+//!   [`Database::explain_analyze`] renders it next to the optimizer's
+//!   estimates, and [`Database::with_metrics`] feeds a process-wide
+//!   [`MetricsRegistry`] (counters + latency histograms, JSON export);
 //! * execution guardrails: [`Database::with_limits`] enforces
 //!   [`mpf_algebra::ExecLimits`] resource budgets on every query, and
 //!   [`Database::with_fallback`] configures the [`FallbackPolicy`] strategy
@@ -29,13 +37,17 @@ mod database;
 mod error;
 pub mod parser;
 mod query;
+mod request;
 
 pub use database::{Database, FallbackPolicy, MpfView, Override, SqlOutcome};
 pub use error::EngineError;
 pub use parser::{Statement, StrategySpec};
 pub use query::{Answer, Query, RangePredicate, Strategy};
+pub use request::QueryRequest;
 // `Strategy::Ve`/`VePlus` take a heuristic, so consumers of this crate
-// alone must be able to name it.
+// alone must be able to name it; likewise the trace/metrics types a
+// `QueryRequest` and `Database::with_metrics` speak in.
+pub use mpf_algebra::{MetricsRegistry, SpanKind, TraceLevel, TraceSpan, TraceTree};
 pub use mpf_optimizer::Heuristic;
 
 /// Result alias for engine operations.

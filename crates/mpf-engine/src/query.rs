@@ -1,6 +1,6 @@
 use std::time::Duration;
 
-use mpf_algebra::{ExecStats, PhysicalPlan, Plan};
+use mpf_algebra::{ExecStats, PhysicalPlan, Plan, TraceTree};
 use mpf_optimizer::Heuristic;
 use mpf_semiring::Aggregate;
 use mpf_storage::{FunctionalRelation, Value};
@@ -26,6 +26,22 @@ pub enum Strategy {
     /// CS+ otherwise.
     #[default]
     Auto,
+}
+
+impl Strategy {
+    /// Short lower-case label (used by `EXPLAIN ANALYZE` headers and
+    /// metrics names).
+    pub fn label(&self) -> String {
+        match self {
+            Strategy::Naive => "naive".into(),
+            Strategy::Cs => "cs".into(),
+            Strategy::CsPlusLinear => "cs+linear".into(),
+            Strategy::CsPlusNonlinear => "cs+nonlinear".into(),
+            Strategy::Ve(h) => format!("ve({})", heuristic_sql(*h)),
+            Strategy::VePlus(h) => format!("ve+({})", heuristic_sql(*h)),
+            Strategy::Auto => "auto".into(),
+        }
+    }
 }
 
 /// Comparison operator of a constrained-range (`having`) predicate.
@@ -213,6 +229,11 @@ pub struct Answer {
     pub optimize_time: Duration,
     /// Time spent executing.
     pub execute_time: Duration,
+    /// Per-operator execution trace of the serving attempt, recorded when
+    /// the request asked for [`mpf_algebra::TraceLevel::Spans`] (`None`
+    /// otherwise). Spans carry actual row counts, cells, and wall time
+    /// next to the optimizer's estimated rows.
+    pub trace: Option<TraceTree>,
 }
 
 #[cfg(test)]

@@ -27,7 +27,7 @@ fn supply_chain_db(scale: f64) -> Database {
 #[test]
 fn supply_chain_query_with_one_cell_budget_is_rejected() {
     let db = supply_chain_db(0.01).with_limits(ExecLimits::none().with_max_total_cells(1));
-    let err = db.query(&Query::on("invest").group_by(["wid"])).unwrap_err();
+    let err = db.run(Query::on("invest").group_by(["wid"])).unwrap_err();
     match err {
         EngineError::Algebra(AlgebraError::ResourceExhausted {
             resource: ResourceKind::TotalCells,
@@ -51,8 +51,8 @@ fn generous_limits_are_transparent() {
             .with_cancel_token(CancelToken::new()),
     );
     let q = Query::on("invest").group_by(["wid"]);
-    let want = unlimited.query(&q).unwrap();
-    let got = limited.query(&q).unwrap();
+    let want = unlimited.run(&q).unwrap();
+    let got = limited.run(&q).unwrap();
     assert!(want.relation.function_eq(&got.relation));
     assert_eq!(got.served_by, Strategy::Auto);
     assert!(got.fallback.is_empty());
@@ -63,14 +63,14 @@ fn cancelled_queries_error_without_fallback() {
     let token = CancelToken::new();
     token.cancel();
     let db = supply_chain_db(0.01).with_limits(ExecLimits::none().with_cancel_token(token));
-    let err = db.query(&Query::on("invest").group_by(["wid"])).unwrap_err();
+    let err = db.run(Query::on("invest").group_by(["wid"])).unwrap_err();
     assert_eq!(err, EngineError::Algebra(AlgebraError::Cancelled));
 }
 
 #[test]
 fn expired_deadline_errors_without_fallback() {
     let db = supply_chain_db(0.01).with_limits(ExecLimits::none().with_timeout(Duration::ZERO));
-    let err = db.query(&Query::on("invest").group_by(["wid"])).unwrap_err();
+    let err = db.run(Query::on("invest").group_by(["wid"])).unwrap_err();
     assert!(matches!(
         err,
         EngineError::Algebra(AlgebraError::ResourceExhausted {
@@ -101,7 +101,7 @@ fn views_beyond_dp_limit_fall_back_to_naive() {
     let refs: Vec<&str> = names.iter().map(String::as_str).collect();
     db.create_view("wide", &refs, Combine::Product).unwrap();
 
-    let ans = db.query(&Query::on("wide").group_by(["a"])).unwrap();
+    let ans = db.run(Query::on("wide").group_by(["a"])).unwrap();
     assert_eq!(ans.served_by, Strategy::Naive);
     assert!(ans
         .fallback
@@ -114,7 +114,7 @@ fn views_beyond_dp_limit_fall_back_to_naive() {
     // With fallback disabled the same query is a typed error.
     let strict = db.clone().with_fallback(FallbackPolicy::none());
     assert!(matches!(
-        strict.query(&Query::on("wide").group_by(["a"])).unwrap_err(),
+        strict.run(Query::on("wide").group_by(["a"])).unwrap_err(),
         EngineError::TooManyRelations { count: 31, limit: 30 }
     ));
 }
@@ -195,7 +195,7 @@ mod faults {
             .strategy(Strategy::VePlus(mpf_optimizer::Heuristic::Degree));
 
         fault::inject("optimize::VE(deg) ext.", 1);
-        let ans = db.query(&q).unwrap();
+        let ans = db.run(&q).unwrap();
         assert_eq!(ans.served_by, Strategy::CsPlusLinear);
         assert_eq!(ans.fallback.len(), 1);
         assert_eq!(
@@ -211,7 +211,7 @@ mod faults {
         assert!(approx_eq(ans.relation.lookup(&[1]).unwrap(), 320.0));
 
         // The arm disarmed after firing: the same query now serves directly.
-        let again = db.query(&q).unwrap();
+        let again = db.run(&q).unwrap();
         assert_eq!(
             again.served_by,
             Strategy::VePlus(mpf_optimizer::Heuristic::Degree)
@@ -226,7 +226,7 @@ mod faults {
         fault::clear_all();
         let db = tiny_db();
         fault::inject("product_join", 1);
-        let ans = db.query(&Query::on("v").group_by(["c"])).unwrap();
+        let ans = db.run(&Query::on("v").group_by(["c"])).unwrap();
         assert_eq!(ans.fallback.len(), 1);
         assert!(matches!(
             ans.fallback[0].1,
@@ -244,11 +244,11 @@ mod faults {
         fault::clear_all();
         let db = tiny_db();
         let q = Query::on("v").group_by(["c"]);
-        let clean = db.query(&q).unwrap();
+        let clean = db.run(&q).unwrap();
         assert!(clean.stats.rows_scanned > 0);
 
         fault::inject("product_join", 1);
-        let ans = db.query(&q).unwrap();
+        let ans = db.run(&q).unwrap();
         assert_eq!(ans.fallback.len(), 1);
         assert!(
             ans.stats.rows_scanned > clean.stats.rows_scanned,
@@ -274,7 +274,7 @@ mod faults {
             fault::inject_always(site);
         }
         let err = db
-            .query(
+            .run(
                 &Query::on("v")
                     .group_by(["c"])
                     .strategy(Strategy::VePlus(mpf_optimizer::Heuristic::Degree)),

@@ -194,7 +194,7 @@ impl BayesNet {
         evidence: &[(VarId, Value)],
         algorithm: Algorithm,
     ) -> Result<Vec<f64>> {
-        let marginal = self.query(&[target], evidence, algorithm)?;
+        let (marginal, _) = self.marginal(&[target], evidence, algorithm, ExecLimits::none())?;
         let dom = self.catalog.domain_size(target) as usize;
         let mut out = vec![0.0; dom];
         for (row, m) in marginal.rows() {
@@ -209,21 +209,12 @@ impl BayesNet {
         Ok(out)
     }
 
-    /// Run an arbitrary (unnormalized) MPF query against the joint view.
-    pub fn query(
-        &self,
-        group_vars: &[VarId],
-        evidence: &[(VarId, Value)],
-        algorithm: Algorithm,
-    ) -> Result<FunctionalRelation> {
-        self.marginal(group_vars, evidence, algorithm, ExecLimits::none())
-            .map(|(rel, _)| rel)
-    }
-
-    /// [`BayesNet::query`] under explicit [`ExecLimits`]: the optimized
-    /// plan is lowered and interpreted inside one [`ExecContext`], so row
-    /// and cell budgets, deadlines, and cancellation bound the inference
-    /// work, and the returned [`ExecStats`] report it.
+    /// Run an arbitrary (unnormalized) MPF query against the joint view
+    /// under explicit [`ExecLimits`] (pass [`ExecLimits::none`] for an
+    /// unbounded run): the optimized plan is lowered and interpreted
+    /// inside one [`ExecContext`], so row and cell budgets, deadlines,
+    /// and cancellation bound the inference work, and the returned
+    /// [`ExecStats`] report it.
     pub fn marginal(
         &self,
         group_vars: &[VarId],

@@ -49,19 +49,21 @@ pub enum BpStep {
 ///
 /// Returns the executed semijoin program.
 ///
-/// Unlimited convenience form of [`calibrate_in`].
-pub fn calibrate(
-    sr: SemiringKind,
+/// Runs inside the caller-owned [`ExecContext`]: every semijoin of the
+/// program runs under the context's budget, deadline, cancellation,
+/// tracing, and fault hooks, and its work lands in the caller's stats.
+pub fn calibrate_in(
+    cx: &mut ExecContext<'_>,
     tables: &mut [FunctionalRelation],
     tree: &JoinTree,
 ) -> Result<Vec<BpStep>> {
-    calibrate_in(&mut ExecContext::new(sr), tables, tree)
+    cx.span_phase("bp::calibrate");
+    let result = calibrate_inner(cx, tables, tree);
+    cx.span_close(|| result.as_ref().err().map(|e| e.to_string()));
+    result
 }
 
-/// [`calibrate`] inside a caller-owned [`ExecContext`]: every semijoin of
-/// the program runs under the context's budget, deadline, cancellation,
-/// and fault hooks, and its work lands in the caller's stats.
-pub fn calibrate_in(
+fn calibrate_inner(
     cx: &mut ExecContext<'_>,
     tables: &mut [FunctionalRelation],
     tree: &JoinTree,

@@ -222,22 +222,13 @@ impl JunctionTree {
         })
     }
 
-    /// Step 5 of Algorithm 5: populate each clique table as the product join
-    /// of its assigned base relations. Clique variables covered by no
-    /// assigned relation are padded with a complete identity relation
-    /// (measure `one`), so each clique table spans its full variable set.
-    pub fn populate(
-        &self,
-        sr: SemiringKind,
-        rels: &[&FunctionalRelation],
-        catalog: &Catalog,
-    ) -> Result<Vec<FunctionalRelation>> {
-        self.populate_in(&mut ExecContext::new(sr), rels, catalog)
-    }
-
-    /// [`JunctionTree::populate`] inside a caller-owned [`ExecContext`]:
-    /// the clique-building joins run under the context's budget, deadline,
-    /// cancellation, and fault hooks.
+    /// Step 5 of Algorithm 5: populate each clique table as the product
+    /// join of its assigned base relations, inside a caller-owned
+    /// [`ExecContext`] — the clique-building joins run under the context's
+    /// budget, deadline, cancellation, tracing, and fault hooks. Clique
+    /// variables covered by no assigned relation are padded with a
+    /// complete identity relation (measure `one`), so each clique table
+    /// spans its full variable set.
     ///
     /// With more than one worker thread (`cx.threads()`), independent
     /// clique tables are built concurrently: contiguous chunks of cliques
@@ -248,6 +239,18 @@ impl JunctionTree {
     /// the lowest-numbered failing clique — identical to what the
     /// sequential path would surface.
     pub fn populate_in(
+        &self,
+        cx: &mut ExecContext<'_>,
+        rels: &[&FunctionalRelation],
+        catalog: &Catalog,
+    ) -> Result<Vec<FunctionalRelation>> {
+        cx.span_phase("junction::populate");
+        let result = self.populate_inner(cx, rels, catalog);
+        cx.span_close(|| result.as_ref().err().map(|e| e.to_string()));
+        result
+    }
+
+    fn populate_inner(
         &self,
         cx: &mut ExecContext<'_>,
         rels: &[&FunctionalRelation],
@@ -270,8 +273,12 @@ impl JunctionTree {
         }
 
         // Per worker: the built (clique index, table) pairs of its chunk,
-        // plus the stats its forked context accumulated.
-        type WorkerOut = (Vec<(usize, Result<FunctionalRelation>)>, mpf_algebra::ExecStats);
+        // plus the stats and trace its forked context accumulated.
+        type WorkerOut = (
+            Vec<(usize, Result<FunctionalRelation>)>,
+            mpf_algebra::ExecStats,
+            mpf_algebra::TraceTree,
+        );
         let chunk = self.cliques.len().div_ceil(workers);
         let worker_out: Vec<WorkerOut> =
             std::thread::scope(|scope| {
@@ -290,7 +297,7 @@ impl JunctionTree {
                                     self.build_clique(&mut wcx, start + off, parts, catalog),
                                 ));
                             }
-                            (built, wcx.take_stats())
+                            (built, wcx.take_stats(), wcx.take_trace())
                         }),
                     ));
                 }
@@ -301,6 +308,7 @@ impl JunctionTree {
                             (
                                 vec![(start, Err(worker_panicked()))],
                                 mpf_algebra::ExecStats::default(),
+                                mpf_algebra::TraceTree::default(),
                             )
                         })
                     })
@@ -309,8 +317,11 @@ impl JunctionTree {
 
         let mut slots: Vec<Option<Result<FunctionalRelation>>> =
             (0..self.cliques.len()).map(|_| None).collect();
-        for (built, stats) in worker_out {
+        // Workers come back in chunk (clique) order, so grafted trace
+        // spans land deterministically regardless of thread count.
+        for (built, stats, trace) in worker_out {
             cx.absorb(stats);
+            cx.absorb_trace(trace);
             for (idx, res) in built {
                 slots[idx] = Some(res);
             }
@@ -485,7 +496,7 @@ mod tests {
         )
         .unwrap();
         let tables = jt
-            .populate(SemiringKind::SumProduct, &[&r1, &r2], &cat)
+            .populate_in(&mut ExecContext::new(SemiringKind::SumProduct), &[&r1, &r2], &cat)
             .unwrap();
         assert_eq!(tables.len(), jt.cliques.len());
         for (t, c) in tables.iter().zip(&jt.cliques) {

@@ -72,26 +72,27 @@ enum Origin {
 }
 
 impl VeCache {
-    /// Build the cache from the view's base relations (Algorithm 3). With
-    /// `order = None` a min-fill order over the variable graph is used.
-    ///
-    /// Unlimited convenience form of [`VeCache::build_in`].
+    /// Build the cache from the view's base relations (Algorithm 3) inside
+    /// a caller-owned [`ExecContext`], so budgets, deadlines, cancellation,
+    /// fault hooks, and tracing cover the whole construction and its work
+    /// lands in the caller's stats. With `order = None` a min-fill order
+    /// over the variable graph is used.
     ///
     /// # Errors
     /// [`InferError::Algebra`] if the semiring lacks division (the backward
     /// pass needs the update semijoin).
-    pub fn build(
-        sr: SemiringKind,
+    pub fn build_in(
+        cx: &mut ExecContext<'_>,
         rels: &[&FunctionalRelation],
         order: Option<&[VarId]>,
     ) -> Result<VeCache> {
-        VeCache::build_in(&mut ExecContext::new(sr), rels, order)
+        cx.span_phase("vecache::build");
+        let result = VeCache::build_inner(cx, rels, order);
+        cx.span_close(|| result.as_ref().err().map(|e| e.to_string()));
+        result
     }
 
-    /// Build the cache inside a caller-owned [`ExecContext`], so budgets,
-    /// deadlines, cancellation, and fault hooks cover the whole
-    /// construction and its work lands in the caller's stats.
-    pub fn build_in(
+    fn build_inner(
         cx: &mut ExecContext<'_>,
         rels: &[&FunctionalRelation],
         order: Option<&[VarId]>,
@@ -236,7 +237,7 @@ impl VeCache {
         };
         let mut best: Option<(f64, VeCache)> = None;
         for order in candidates {
-            let cache = VeCache::build(sr, rels, Some(order))?;
+            let cache = VeCache::build_in(&mut ExecContext::new(sr), rels, Some(order))?;
             let cost = cache.expected_cost(workload);
             if best.as_ref().is_none_or(|(c, _)| cost < *c) {
                 best = Some((cost, cache));
@@ -304,23 +305,34 @@ impl VeCache {
     /// Answer a single-variable MPF query from the cache: marginalize the
     /// smallest cached table containing `var`.
     pub fn answer(&self, var: VarId) -> Result<FunctionalRelation> {
-        let idx = self.best_table_for(&[var])?;
-        Ok(mpf_algebra::ops::group_by(
-            &mut ExecContext::new(self.semiring),
-            &self.tables[idx],
-            &[var],
-        )?)
+        self.answer_in(&mut ExecContext::new(self.semiring), var)
+    }
+
+    /// [`VeCache::answer`] inside a caller-owned [`ExecContext`] (budgets,
+    /// stats, and tracing apply).
+    pub fn answer_in(
+        &self,
+        cx: &mut ExecContext<'_>,
+        var: VarId,
+    ) -> Result<FunctionalRelation> {
+        self.answer_set_in(cx, &[var])
     }
 
     /// Answer a query on a variable *set* — succeeds when some cached table
     /// covers every requested variable.
     pub fn answer_set(&self, vars: &[VarId]) -> Result<FunctionalRelation> {
+        self.answer_set_in(&mut ExecContext::new(self.semiring), vars)
+    }
+
+    /// [`VeCache::answer_set`] inside a caller-owned [`ExecContext`]
+    /// (budgets, stats, and tracing apply).
+    pub fn answer_set_in(
+        &self,
+        cx: &mut ExecContext<'_>,
+        vars: &[VarId],
+    ) -> Result<FunctionalRelation> {
         let idx = self.best_table_for(vars)?;
-        Ok(mpf_algebra::ops::group_by(
-            &mut ExecContext::new(self.semiring),
-            &self.tables[idx],
-            vars,
-        )?)
+        Ok(mpf_algebra::ops::group_by(cx, &self.tables[idx], vars)?)
     }
 
     fn best_table_for(&self, vars: &[VarId]) -> Result<usize> {
@@ -537,7 +549,7 @@ mod tests {
         let mut cat = Catalog::new();
         let rels = supply_chain(&mut cat);
         let refs: Vec<&FunctionalRelation> = rels.iter().collect();
-        let cache = VeCache::build(SemiringKind::SumProduct, &refs, None).unwrap();
+        let cache = VeCache::build_in(&mut ExecContext::new(SemiringKind::SumProduct), &refs, None).unwrap();
         assert!(satisfies_invariant(SemiringKind::SumProduct, &refs, cache.tables()).unwrap());
         assert!(cache.verify_tree_rip());
     }
@@ -554,7 +566,7 @@ mod tests {
         let pid = cat.var("pid").unwrap();
         let cid = cat.var("cid").unwrap();
         let cache =
-            VeCache::build(SemiringKind::SumProduct, &refs, Some(&[tid, pid, cid])).unwrap();
+            VeCache::build_in(&mut ExecContext::new(SemiringKind::SumProduct), &refs, Some(&[tid, pid, cid])).unwrap();
         let schemas: Vec<BTreeSet<VarId>> = cache
             .tables()
             .iter()
@@ -574,7 +586,7 @@ mod tests {
         let rels = supply_chain(&mut cat);
         let refs: Vec<&FunctionalRelation> = rels.iter().collect();
         let sr = SemiringKind::SumProduct;
-        let cache = VeCache::build(sr, &refs, None).unwrap();
+        let cache = VeCache::build_in(&mut ExecContext::new(sr), &refs, None).unwrap();
         // Full view for reference.
         let mut cx = ExecContext::new(sr);
         let mut view = rels[0].clone();
@@ -596,7 +608,7 @@ mod tests {
         let rels = supply_chain(&mut cat);
         let refs: Vec<&FunctionalRelation> = rels.iter().collect();
         let sr = SemiringKind::SumProduct;
-        let cache = VeCache::build(sr, &refs, None).unwrap();
+        let cache = VeCache::build_in(&mut ExecContext::new(sr), &refs, None).unwrap();
         let tid = cat.var("tid").unwrap();
         let conditioned = cache.with_evidence(tid, 1).unwrap();
 
@@ -625,7 +637,7 @@ mod tests {
         let rels = supply_chain(&mut cat);
         let refs: Vec<&FunctionalRelation> = rels.iter().collect();
         let sr = SemiringKind::MinSum;
-        let cache = VeCache::build(sr, &refs, None).unwrap();
+        let cache = VeCache::build_in(&mut ExecContext::new(sr), &refs, None).unwrap();
         assert!(satisfies_invariant(sr, &refs, cache.tables()).unwrap());
     }
 
@@ -635,7 +647,7 @@ mod tests {
         let rels = supply_chain(&mut cat);
         let ghost = cat.add_var("ghost", 7).unwrap();
         let refs: Vec<&FunctionalRelation> = rels.iter().collect();
-        let cache = VeCache::build(SemiringKind::SumProduct, &refs, None).unwrap();
+        let cache = VeCache::build_in(&mut ExecContext::new(SemiringKind::SumProduct), &refs, None).unwrap();
         assert!(matches!(
             cache.answer(ghost),
             Err(InferError::VariableNotCovered(_))
@@ -647,7 +659,7 @@ mod tests {
         let mut cat = Catalog::new();
         let rels = supply_chain(&mut cat);
         let refs: Vec<&FunctionalRelation> = rels.iter().collect();
-        let cache = VeCache::build(SemiringKind::SumProduct, &refs, None).unwrap();
+        let cache = VeCache::build_in(&mut ExecContext::new(SemiringKind::SumProduct), &refs, None).unwrap();
         let tid = cat.var("tid").unwrap();
         let pid = cat.var("pid").unwrap();
         let wl = vec![
@@ -673,7 +685,7 @@ mod tests {
         let rels = supply_chain(&mut cat);
         let refs: Vec<&FunctionalRelation> = rels.iter().collect();
         let sr = SemiringKind::SumProduct;
-        let cache = VeCache::build(sr, &refs, None).unwrap();
+        let cache = VeCache::build_in(&mut ExecContext::new(sr), &refs, None).unwrap();
 
         // Change one row of `warehouses` and maintain incrementally.
         let wh_idx = rels.iter().position(|r| r.name() == "warehouses").unwrap();
@@ -688,7 +700,7 @@ mod tests {
         let mut modified = rels.clone();
         modified[wh_idx].set_measure(0, new);
         let mod_refs: Vec<&FunctionalRelation> = modified.iter().collect();
-        let rebuilt = VeCache::build(sr, &mod_refs, None).unwrap();
+        let rebuilt = VeCache::build_in(&mut ExecContext::new(sr), &mod_refs, None).unwrap();
 
         for name in ["pid", "sid", "wid", "cid", "tid"] {
             let v = cat.var(name).unwrap();
@@ -705,7 +717,7 @@ mod tests {
         let mut cat = Catalog::new();
         let rels = supply_chain(&mut cat);
         let refs: Vec<&FunctionalRelation> = rels.iter().collect();
-        let cache = VeCache::build(SemiringKind::SumProduct, &refs, None).unwrap();
+        let cache = VeCache::build_in(&mut ExecContext::new(SemiringKind::SumProduct), &refs, None).unwrap();
         assert!(matches!(
             cache.update_measure("warehouses", &[0, 0], 0.0, 1.0),
             Err(InferError::InvalidUpdate(_))
@@ -741,8 +753,8 @@ mod tests {
             &[order_a.clone(), order_b.clone()],
         )
         .unwrap();
-        let a = VeCache::build(sr, &refs, Some(&order_a)).unwrap();
-        let b = VeCache::build(sr, &refs, Some(&order_b)).unwrap();
+        let a = VeCache::build_in(&mut ExecContext::new(sr), &refs, Some(&order_a)).unwrap();
+        let b = VeCache::build_in(&mut ExecContext::new(sr), &refs, Some(&order_b)).unwrap();
         let best = a.expected_cost(&wl).min(b.expected_cost(&wl));
         assert!((chosen.expected_cost(&wl) - best).abs() < 1e-9);
         // And the chosen cache still answers correctly.
@@ -769,7 +781,7 @@ mod tests {
             |row| (2 * row[0] + row[1] + 1) as f64,
         );
         let refs = vec![&r1, &r2];
-        let cache = VeCache::build(SemiringKind::SumProduct, &refs, None).unwrap();
+        let cache = VeCache::build_in(&mut ExecContext::new(SemiringKind::SumProduct), &refs, None).unwrap();
         assert!(
             satisfies_invariant(SemiringKind::SumProduct, &refs, cache.tables()).unwrap()
         );

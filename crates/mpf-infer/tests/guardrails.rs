@@ -176,8 +176,8 @@ mod faults {
         let sr = SemiringKind::SumProduct;
 
         fault::inject("vecache::build", 1);
-        assert!(injected(VeCache::build(sr, &refs, None).unwrap_err()));
-        assert!(VeCache::build(sr, &refs, None).is_ok());
+        assert!(injected(VeCache::build_in(&mut ExecContext::new(sr), &refs, None).unwrap_err()));
+        assert!(VeCache::build_in(&mut ExecContext::new(sr), &refs, None).is_ok());
 
         fault::inject("bp::calibrate", 1);
         assert!(injected(bp::bp_acyclic(sr, &refs).unwrap_err()));
@@ -186,15 +186,17 @@ mod faults {
         let schemas: Vec<Schema> = rels.iter().map(|r| r.schema().clone()).collect();
         let jt = JunctionTree::from_schemas(&schemas, None).unwrap();
         fault::inject("junction::populate", 1);
-        assert!(injected(jt.populate(sr, &refs, &cat).unwrap_err()));
-        assert!(jt.populate(sr, &refs, &cat).is_ok());
+        assert!(injected(jt.populate_in(&mut ExecContext::new(sr), &refs, &cat).unwrap_err()));
+        assert!(jt.populate_in(&mut ExecContext::new(sr), &refs, &cat).is_ok());
 
         let bn = BayesNet::sprinkler();
         let wet = bn.catalog().var("wet").unwrap();
         let algo = Algorithm::Ve(Heuristic::Degree);
         fault::inject("bayes::marginal", 1);
-        assert!(injected(bn.query(&[wet], &[], algo).unwrap_err()));
-        assert!(bn.query(&[wet], &[], algo).is_ok());
+        assert!(injected(
+            bn.marginal(&[wet], &[], algo, ExecLimits::none()).unwrap_err()
+        ));
+        assert!(bn.marginal(&[wet], &[], algo, ExecLimits::none()).is_ok());
         fault::clear_all();
     }
 

@@ -5,6 +5,7 @@
 
 use std::collections::BTreeSet;
 
+use mpf_algebra::ExecContext;
 use mpf_infer::{triangulate, VariableGraph, VeCache};
 use mpf_semiring::SemiringKind;
 use mpf_storage::{Catalog, FunctionalRelation, Schema, VarId};
@@ -60,7 +61,7 @@ proptest! {
 
         // Build the cache with its default (min-fill) order, then
         // triangulate the variable graph with the *same* order.
-        let cache = VeCache::build(SemiringKind::SumProduct, &refs, None).unwrap();
+        let cache = VeCache::build_in(&mut ExecContext::new(SemiringKind::SumProduct), &refs, None).unwrap();
         let graph = VariableGraph::from_schemas(rels.iter().map(|r| r.schema()));
         let tri = triangulate::triangulate(&graph, cache.order());
 

@@ -90,6 +90,70 @@ pub fn plan_estimate(ctx: &OptContext<'_>, plan: &mpf_algebra::Plan) -> (Schema,
     }
 }
 
+/// Annotate an executed-plan trace with per-node estimated output rows.
+///
+/// `span` is the root span the interpreter recorded for `plan` (the span
+/// tree mirrors the plan tree node-for-node); after this pass every span
+/// carries `est_rows` next to its actual row count, which is what
+/// `EXPLAIN ANALYZE` prints to make cost-model drift visible. Returns the
+/// root estimate. Span subtrees that do not mirror the plan (e.g. spans
+/// grafted by ad-hoc operator calls) are left unannotated.
+pub fn annotate_estimates(
+    ctx: &OptContext<'_>,
+    plan: &mpf_algebra::PhysicalPlan,
+    span: &mut mpf_algebra::TraceSpan,
+) -> f64 {
+    annotate_rec(ctx, plan, span).1
+}
+
+fn annotate_rec(
+    ctx: &OptContext<'_>,
+    plan: &mpf_algebra::PhysicalPlan,
+    span: &mut mpf_algebra::TraceSpan,
+) -> (Schema, f64) {
+    use mpf_algebra::PhysicalPlan as PP;
+    // Recurse only when the span's children mirror the plan node's inputs;
+    // otherwise estimate the input from the logical plan alone.
+    let input_est = |input: &PP, child: Option<&mut mpf_algebra::TraceSpan>| match child {
+        Some(c) => annotate_rec(ctx, input, c),
+        None => plan_estimate(ctx, &input.to_logical()),
+    };
+    let (schema, rows) = match plan {
+        PP::Scan { relation } => match ctx.rels.iter().find(|r| &r.name == relation) {
+            Some(rel) => (rel.schema.clone(), rel.cardinality as f64),
+            None => (std::iter::empty().collect(), f64::NAN),
+        },
+        PP::Select { input, predicates } => {
+            let (schema, mut rows) = input_est(input, span.children.first_mut());
+            for &(v, _) in predicates {
+                let d = ctx.catalog.domain_size(v) as f64;
+                if d > 0.0 {
+                    rows /= d;
+                }
+            }
+            (schema, rows.max(1.0))
+        }
+        PP::Join { left, right, .. } => {
+            let two = span.children.len() == 2;
+            let mut it = span.children.iter_mut();
+            let (ls, lr) = input_est(left, if two { it.next() } else { None });
+            let (rs, rr) = input_est(right, if two { it.next() } else { None });
+            let rows = join_rows(ctx, &ls, lr, &rs, rr);
+            (ls.union(&rs), rows)
+        }
+        PP::GroupBy {
+            input, group_vars, ..
+        } => {
+            let (_, in_rows) = input_est(input, span.children.first_mut());
+            let schema: Schema = group_vars.iter().copied().collect();
+            let rows = group_rows(ctx, in_rows, &schema);
+            (schema, rows)
+        }
+    };
+    span.est_rows = Some(rows);
+    (schema, rows)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

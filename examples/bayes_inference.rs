@@ -4,6 +4,7 @@
 //!
 //! Run with: `cargo run --release --example bayes_inference`
 
+use mpf::algebra::ExecContext;
 use mpf::infer::{bp, BayesNet, VeCache};
 use mpf::optimizer::{Algorithm, Heuristic};
 use mpf::semiring::SemiringKind;
@@ -73,7 +74,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         Err(_) => {
             // Cyclic CPT schema: go through the VE-cache (junction-tree path).
-            let cache = VeCache::build(SemiringKind::SumProduct, &cpts, None)?;
+            let cache = VeCache::build_in(&mut ExecContext::new(SemiringKind::SumProduct), &cpts, None)?;
             println!(
                 "  schema cyclic: VE-cache built {} tables instead",
                 cache.tables().len()
@@ -83,7 +84,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!();
     println!("== Workload optimization: one VE-cache answers every single-variable marginal ==");
-    let cache = VeCache::build(SemiringKind::SumProduct, &cpts, None)?;
+    let cache = VeCache::build_in(&mut ExecContext::new(SemiringKind::SumProduct), &cpts, None)?;
     for &node in rnd.nodes().iter().take(4) {
         let marg = cache.answer(node)?;
         let p1 = marg.lookup(&[1]).unwrap_or(0.0);

@@ -24,7 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    supply-chain view, so the query is rejected with a typed error
     //    instead of running away.
     let db = supply_chain_db()?.with_limits(ExecLimits::none().with_max_total_cells(1));
-    match db.query(&Query::on("invest").group_by(["wid"])) {
+    match db.run(Query::on("invest").group_by(["wid"])) {
         Err(e) => println!("1-cell budget  -> {e}"),
         Ok(_) => unreachable!("a 1-cell budget cannot satisfy this query"),
     }
@@ -33,7 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let token = CancelToken::new();
     token.cancel();
     let db = supply_chain_db()?.with_limits(ExecLimits::none().with_cancel_token(token));
-    match db.query(&Query::on("invest").group_by(["wid"])) {
+    match db.run(Query::on("invest").group_by(["wid"])) {
         Err(e) => println!("cancelled      -> {e}"),
         Ok(_) => unreachable!("cancelled queries must not produce answers"),
     }
@@ -47,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .with_timeout(Duration::from_secs(2)),
         )
         .with_fallback(FallbackPolicy::default());
-    let ans = db.query(&Query::on("invest").group_by(["wid"]).filter("wid", 1))?;
+    let ans = db.run(Query::on("invest").group_by(["wid"]).filter("wid", 1))?;
     println!(
         "generous       -> warehouse 1 carries {:.2} (served by {:?}, {} fallback attempts)",
         ans.relation.measure(0),

@@ -38,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     println!("== Basic MPF query: total path weight per destination ==");
-    let ans = db.query(&Query::on("path").group_by(["c"]))?;
+    let ans = db.run(Query::on("path").group_by(["c"]))?;
     println!("{}", ans.relation);
 
     println!("== Same query, every strategy, same answer ==");
@@ -50,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Strategy::Ve(Heuristic::Degree),
         Strategy::VePlus(Heuristic::Width),
     ] {
-        let r = db.query(&Query::on("path").group_by(["c"]).strategy(strategy))?;
+        let r = db.run(Query::on("path").group_by(["c"]).strategy(strategy))?;
         assert!(ans.relation.function_eq(&r.relation));
         println!(
             "  {strategy:?}: est cost {:.1}, {} rows processed, optimized in {:?}",
@@ -60,7 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!();
     println!("== Restricted answer: weight of destination c = 2 only ==");
-    let ans = db.query(&Query::on("path").group_by(["c"]).filter("c", 2))?;
+    let ans = db.run(Query::on("path").group_by(["c"]).filter("c", 2))?;
     println!("{}", ans.relation);
 
     println!("== Constrained domain: per-destination weight given a = 0 ==");
@@ -70,8 +70,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("== MIN aggregate over the same view (min-product semiring) ==");
-    let ans = db.query(
-        &Query::on("path")
+    let ans = db.run(
+        Query::on("path")
             .group_by(["c"])
             .aggregate(Aggregate::Min),
     )?;
@@ -80,7 +80,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== EXPLAIN ==");
     println!(
         "{}",
-        db.explain(&Query::on("path").group_by(["c"]).strategy(Strategy::CsPlusLinear))?
+        db.describe(Query::on("path").group_by(["c"]).strategy(Strategy::CsPlusLinear))?
     );
 
     // Combine::Sum views pair with MIN/MAX (tropical semirings).
@@ -94,8 +94,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         |row| (row[0] + 2 * row[1]) as f64,
     ))?;
     db2.create_view("shortest", &["e1"], Combine::Sum)?;
-    let ans = db2.query(
-        &Query::on("shortest")
+    let ans = db2.run(
+        Query::on("shortest")
             .group_by(["y"])
             .aggregate(Aggregate::Min),
     )?;

@@ -6,7 +6,7 @@
 //! Run with: `cargo run --release --example supply_chain`
 
 use mpf::datagen::{SupplyChain, SupplyChainConfig};
-use mpf::engine::{Database, Override, Query, RangePredicate, Strategy};
+use mpf::engine::{Database, Override, Query, QueryRequest, RangePredicate, Strategy};
 use mpf::semiring::{Aggregate, Combine};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -23,8 +23,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("== What is the minimum investment on each part? (first 5) ==");
     // select pid, min(inv) from invest group by pid
-    let ans = db.query(
-        &Query::on("invest")
+    let ans = db.run(
+        Query::on("invest")
             .group_by(["pid"])
             .aggregate(Aggregate::Min),
     )?;
@@ -39,21 +39,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
     println!("== How much would it cost for warehouse 1 to go off-line? ==");
     // select wid, sum(inv) from invest where wid=1 group by wid
-    let ans = db.query(&Query::on("invest").group_by(["wid"]).filter("wid", 1))?;
+    let ans = db.run(Query::on("invest").group_by(["wid"]).filter("wid", 1))?;
     println!("  warehouse 1 carries {:.2}", ans.relation.measure(0));
 
     println!();
     println!("== How much money would each contractor lose if transporter 1 went off-line? ==");
     // select cid, sum(inv) from invest where tid=1 group by cid
-    let ans = db.query(&Query::on("invest").group_by(["cid"]).filter("tid", 1))?;
+    let ans = db.run(Query::on("invest").group_by(["cid"]).filter("tid", 1))?;
     for (row, m) in ans.relation.rows().take(5) {
         println!("  contractor {} -> {:.2}", row[0], m);
     }
 
     println!();
     println!("== Constrained range: warehouses carrying more than 5M (having) ==");
-    let ans = db.query(
-        &Query::on("invest")
+    let ans = db.run(
+        Query::on("invest")
             .group_by(["wid"])
             .having(RangePredicate::Greater, 5_000_000.0),
     )?;
@@ -63,14 +63,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== Hypothetical (alternate measure): what if part 0's price doubled? ==");
     let part0_price = db.relation("contracts").unwrap().measure(0);
     let row0: Vec<u32> = db.relation("contracts").unwrap().row(0).to_vec();
-    let base = db.query(&Query::on("invest").group_by(["pid"]).filter("pid", 0))?;
-    let hyp = db.query_hypothetical(
-        &Query::on("invest").group_by(["pid"]).filter("pid", 0),
-        &[Override::Measure {
-            relation: "contracts".into(),
-            row: row0,
-            measure: part0_price * 2.0,
-        }],
+    let base = db.run(Query::on("invest").group_by(["pid"]).filter("pid", 0))?;
+    let hyp = db.run(
+        QueryRequest::on("invest")
+            .group_by(["pid"])
+            .filter("pid", 0)
+            .hypothetical(Override::Measure {
+                relation: "contracts".into(),
+                row: row0,
+                measure: part0_price * 2.0,
+            }),
     )?;
     println!(
         "  part 0 investment: {:.2} -> {:.2}",
@@ -81,16 +83,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
     println!("== Hypothetical (alternate domain): transfer all deals from transporter 1 to 2 ==");
     let q = Query::on("invest").group_by(["tid"]).filter("tid", 2);
-    let base = db.query(&q)?;
-    let hyp = db.query_hypothetical(
-        &q,
-        &[Override::Domain {
-            relation: "ctdeals".into(),
-            var: "tid".into(),
-            from: 1,
-            to: 2,
-        }],
-    )?;
+    let base = db.run(&q)?;
+    let hyp = db.run(QueryRequest::from(&q).hypothetical(Override::Domain {
+        relation: "ctdeals".into(),
+        var: "tid".into(),
+        from: 1,
+        to: 2,
+    }))?;
     println!(
         "  transporter 2 volume: {:.2} -> {:.2}",
         base.relation.measure(0),
@@ -111,8 +110,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== EXPLAIN of Q1 under nonlinear CS+ ==");
     println!(
         "{}",
-        db.explain(
-            &Query::on("invest")
+        db.describe(
+            Query::on("invest")
                 .group_by(["wid"])
                 .strategy(Strategy::CsPlusNonlinear)
         )?

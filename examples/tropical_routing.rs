@@ -47,8 +47,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     db.create_view("route", &["leg1", "leg2", "leg3"], Combine::Sum)?;
 
     println!("== Cheapest route cost to each destination ==");
-    let ans = db.query(
-        &Query::on("route")
+    let ans = db.run(
+        Query::on("route")
             .group_by(["dest"])
             .aggregate(Aggregate::Min)
             .strategy(Strategy::VePlus(Heuristic::Degree)),
@@ -56,8 +56,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", ans.relation.to_table_string(db.catalog()));
 
     println!("== Cheapest route from origin 0 to each destination ==");
-    let ans = db.query(
-        &Query::on("route")
+    let ans = db.run(
+        Query::on("route")
             .group_by(["dest"])
             .aggregate(Aggregate::Min)
             .filter("origin", 0),
@@ -65,24 +65,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", ans.relation.to_table_string(db.catalog()));
 
     println!("== Bottleneck analysis: cheapest route through each hub ==");
-    let ans = db.query(
-        &Query::on("route")
+    let ans = db.run(
+        Query::on("route")
             .group_by(["hub"])
             .aggregate(Aggregate::Min),
     )?;
     println!("{}", ans.relation.to_table_string(db.catalog()));
 
     println!("== Worst-case (MAX) exposure per destination, same view ==");
-    let ans = db.query(
-        &Query::on("route")
+    let ans = db.run(
+        Query::on("route")
             .group_by(["dest"])
             .aggregate(Aggregate::Max),
     )?;
     println!("{}", ans.relation.to_table_string(db.catalog()));
 
     // All strategies agree, in this semiring too.
-    let reference = db.query(
-        &Query::on("route")
+    let reference = db.run(
+        Query::on("route")
             .group_by(["dest"])
             .aggregate(Aggregate::Min)
             .strategy(Strategy::Naive),
@@ -92,8 +92,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Strategy::CsPlusNonlinear,
         Strategy::Ve(Heuristic::Width),
     ] {
-        let again = db.query(
-            &Query::on("route")
+        let again = db.run(
+            Query::on("route")
                 .group_by(["dest"])
                 .aggregate(Aggregate::Min)
                 .strategy(s),

@@ -8,7 +8,7 @@
 use std::time::Instant;
 
 use mpf::datagen::{SupplyChain, SupplyChainConfig};
-use mpf::engine::{Database, Query, Strategy};
+use mpf::engine::{Database, Query, QueryRequest, Strategy};
 use mpf::infer::WorkloadQuery;
 use mpf::semiring::Aggregate;
 
@@ -49,12 +49,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut direct_total = std::time::Duration::ZERO;
     for name in vars {
         let t1 = Instant::now();
-        let from_cache = db.query_cached(&cache, name)?;
+        let from_cache = db
+            .run(QueryRequest::on("invest").group_by([name]).via_cache(&cache))?
+            .relation;
         cached_total += t1.elapsed();
 
         let t2 = Instant::now();
-        let direct = db.query(
-            &Query::on("invest")
+        let direct = db.run(
+            Query::on("invest")
                 .group_by([name])
                 .strategy(Strategy::CsPlusNonlinear),
         )?;
@@ -92,9 +94,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tid = db.catalog().var("tid")?;
     let conditioned = cache.with_evidence(tid, 1)?;
     for name in ["wid", "cid"] {
-        let from_cache = db.query_cached(&conditioned, name)?;
-        let direct = db.query(
-            &Query::on("invest")
+        let from_cache = db
+            .run(QueryRequest::on("invest").group_by([name]).via_cache(&conditioned))?
+            .relation;
+        let direct = db.run(
+            Query::on("invest")
                 .group_by([name])
                 .filter("tid", 1)
                 .strategy(Strategy::CsPlusNonlinear),

@@ -101,7 +101,7 @@ proptest! {
         }
         let refs: Vec<&FunctionalRelation> = rels.iter().collect();
         for sr in [SemiringKind::SumProduct, SemiringKind::MinSum] {
-            let cache = VeCache::build(sr, &refs, None).unwrap();
+            let cache = VeCache::build_in(&mut ExecContext::new(sr), &refs, None).unwrap();
             prop_assert!(
                 bp::satisfies_invariant(sr, &refs, cache.tables()).unwrap(),
                 "VE-cache invariant failed ({sr:?}) for {inst:?}"
@@ -146,7 +146,7 @@ proptest! {
         }
         let sr = SemiringKind::SumProduct;
         let refs: Vec<&FunctionalRelation> = rels.iter().collect();
-        let cache = VeCache::build(sr, &refs, None).unwrap();
+        let cache = VeCache::build_in(&mut ExecContext::new(sr), &refs, None).unwrap();
 
         // Pick a base relation and row.
         let ri = pick % rels.len();
@@ -176,7 +176,7 @@ proptest! {
         }
         let refs: Vec<&FunctionalRelation> = rels.iter().collect();
         let sr = SemiringKind::SumProduct;
-        let cache = VeCache::build(sr, &refs, None).unwrap();
+        let cache = VeCache::build_in(&mut ExecContext::new(sr), &refs, None).unwrap();
         let view = full_view(sr, &rels);
 
         // Condition on the first variable of the first relation.

@@ -63,13 +63,13 @@ fn cache_and_junction_tree_agree_on_marginals() {
         let joint = bn.joint().unwrap();
 
         // Path 1: VE-cache (Algorithm 3).
-        let cache = VeCache::build(sr, &cpts, None).unwrap();
+        let cache = VeCache::build_in(&mut ExecContext::new(sr), &cpts, None).unwrap();
 
         // Path 2: Junction tree (Algorithm 5) + BP calibration.
         let schemas: Vec<_> = cpts.iter().map(|r| r.schema().clone()).collect();
         let jt = JunctionTree::from_schemas(&schemas, None).unwrap();
-        let mut tables = jt.populate(sr, &cpts, bn.catalog()).unwrap();
-        bp::calibrate(sr, &mut tables, &jt.tree).unwrap();
+        let mut tables = jt.populate_in(&mut ExecContext::new(sr), &cpts, bn.catalog()).unwrap();
+        bp::calibrate_in(&mut ExecContext::new(sr), &mut tables, &jt.tree).unwrap();
 
         let cx = &mut ExecContext::new(sr);
         for &node in bn.nodes() {
@@ -128,8 +128,8 @@ fn cyclic_schema_junction_tree_pipeline() {
     let jt = JunctionTree::from_schemas(&schemas, Some(&[tid, sid])).unwrap();
     assert_eq!(jt.cliques.len(), 3);
     let sr = SemiringKind::SumProduct;
-    let mut tables = jt.populate(sr, &refs, &cat).unwrap();
-    bp::calibrate(sr, &mut tables, &jt.tree).unwrap();
+    let mut tables = jt.populate_in(&mut ExecContext::new(sr), &refs, &cat).unwrap();
+    bp::calibrate_in(&mut ExecContext::new(sr), &mut tables, &jt.tree).unwrap();
 
     let cx = &mut ExecContext::new(sr);
     let mut view = rels[0].clone();
@@ -145,7 +145,7 @@ fn cyclic_schema_junction_tree_pipeline() {
 
     // VE-cache handles the cyclic schema transparently (it implements the
     // same triangulation, Theorem 10).
-    let cache = VeCache::build(sr, &refs, None).unwrap();
+    let cache = VeCache::build_in(&mut ExecContext::new(sr), &refs, None).unwrap();
     for v in [pid, sid, wid, cid, tid] {
         let want = ops::group_by(cx, &view, &[v]).unwrap();
         assert!(want.function_eq(&cache.answer(v).unwrap()));
@@ -196,7 +196,7 @@ fn log_space_inference_matches_linear_space() {
 
     // The VE-cache machinery also works in log space (division = subtraction).
     let refs: Vec<&FunctionalRelation> = log_cpts.iter().collect();
-    let cache = VeCache::build(sr_log, &refs, None).unwrap();
+    let cache = VeCache::build_in(&mut ExecContext::new(sr_log), &refs, None).unwrap();
     let marg = cache.answer(target).unwrap();
     for (row, lm) in marg.rows() {
         assert!(approx_eq(lm.exp(), want.lookup(row).unwrap()));
@@ -217,7 +217,7 @@ fn max_product_inference() {
 
     // Same via a VE-cache built in max-product.
     let cpts: Vec<&FunctionalRelation> = bn.cpts().iter().collect();
-    let cache = VeCache::build(sr, &cpts, None).unwrap();
+    let cache = VeCache::build_in(&mut ExecContext::new(sr), &cpts, None).unwrap();
     let got = cache.answer(rain).unwrap();
     assert!(want.function_eq(&got));
 }

@@ -2,7 +2,7 @@
 //! full stack (datagen → engine → optimizer → executor → inference cache).
 
 use mpf::datagen::{SupplyChain, SupplyChainConfig};
-use mpf::engine::{Database, Override, Query, RangePredicate, SqlOutcome, Strategy};
+use mpf::engine::{Database, Override, Query, QueryRequest, RangePredicate, SqlOutcome, Strategy};
 use mpf::optimizer::Heuristic;
 use mpf::semiring::Aggregate;
 
@@ -47,9 +47,9 @@ fn every_strategy_agrees_on_every_query_form() {
         Query::on("invest").group_by([] as [&str; 0]),
     ];
     for q in &queries {
-        let reference = db.query(&q.clone().strategy(Strategy::Naive)).unwrap();
+        let reference = db.run(q.clone().strategy(Strategy::Naive)).unwrap();
         for s in strategies {
-            let ans = db.query(&q.clone().strategy(s)).unwrap();
+            let ans = db.run(q.clone().strategy(s)).unwrap();
             assert!(
                 reference.relation.function_eq(&ans.relation),
                 "{s:?} diverged on {q:?}"
@@ -79,7 +79,7 @@ fn paper_example_queries_run_via_sql() {
 #[test]
 fn having_matches_post_filtered_basic_query() {
     let db = db();
-    let base = db.query(&Query::on("invest").group_by(["wid"])).unwrap();
+    let base = db.run(Query::on("invest").group_by(["wid"])).unwrap();
     // A bound strictly between min and max guarantees the filter keeps some
     // rows and drops some rows.
     let min = base.relation.measures().iter().copied().fold(f64::MAX, f64::min);
@@ -87,8 +87,8 @@ fn having_matches_post_filtered_basic_query() {
     assert!(min < max, "generated measures should not be constant");
     let bound = (min + max) / 2.0;
     let filtered = db
-        .query(
-            &Query::on("invest")
+        .run(
+            Query::on("invest")
                 .group_by(["wid"])
                 .having(RangePredicate::Greater, bound),
         )
@@ -108,20 +108,27 @@ fn cache_agrees_with_direct_evaluation_and_evidence() {
     let db = db();
     let cache = db.build_cache("invest", Aggregate::Sum, None).unwrap();
     for var in ["pid", "sid", "wid", "cid", "tid"] {
-        let cached = db.query_cached(&cache, var).unwrap();
-        let direct = db.query(&Query::on("invest").group_by([var])).unwrap();
-        assert!(direct.relation.function_eq(&cached), "cache diverged on {var}");
+        let cached = db
+            .run(QueryRequest::on("invest").group_by([var]).via_cache(&cache))
+            .unwrap();
+        let direct = db.run(Query::on("invest").group_by([var])).unwrap();
+        assert!(
+            direct.relation.function_eq(&cached.relation),
+            "cache diverged on {var}"
+        );
     }
     // Conditioned cache == conditioned view.
     let tid = db.catalog().var("tid").unwrap();
     let conditioned = cache.with_evidence(tid, 2).unwrap();
     for var in ["pid", "wid", "cid"] {
-        let cached = db.query_cached(&conditioned, var).unwrap();
+        let cached = db
+            .run(QueryRequest::on("invest").group_by([var]).via_cache(&conditioned))
+            .unwrap();
         let direct = db
-            .query(&Query::on("invest").group_by([var]).filter("tid", 2))
+            .run(Query::on("invest").group_by([var]).filter("tid", 2))
             .unwrap();
         assert!(
-            direct.relation.function_eq(&cached),
+            direct.relation.function_eq(&cached.relation),
             "conditioned cache diverged on {var}"
         );
     }
@@ -143,19 +150,16 @@ fn linearity_matches_paper_pattern() {
 fn hypothetical_overrides_do_not_mutate_base() {
     let db = db();
     let q = Query::on("invest").group_by(["cid"]);
-    let before = db.query(&q).unwrap();
+    let before = db.run(&q).unwrap();
     let _ = db
-        .query_hypothetical(
-            &q,
-            &[Override::Domain {
-                relation: "ctdeals".into(),
-                var: "tid".into(),
-                from: 0,
-                to: 1,
-            }],
-        )
+        .run(QueryRequest::from(&q).hypothetical(Override::Domain {
+            relation: "ctdeals".into(),
+            var: "tid".into(),
+            from: 0,
+            to: 1,
+        }))
         .unwrap();
-    let after = db.query(&q).unwrap();
+    let after = db.run(&q).unwrap();
     assert!(before.relation.function_eq(&after.relation));
 }
 
@@ -195,8 +199,8 @@ fn boolean_reachability_view() {
     // Which parts can be shipped at all? Only those stored at warehouse 0
     // (warehouse 1 has no transporter edge).
     let ans = db
-        .query(
-            &Query::on("reach")
+        .run(
+            Query::on("reach")
                 .group_by(["p"])
                 .aggregate(Aggregate::Or),
         )
@@ -211,11 +215,11 @@ fn boolean_reachability_view() {
 fn stats_reflect_plan_shape() {
     let db = db();
     let naive = db
-        .query(&Query::on("invest").group_by(["tid"]).strategy(Strategy::Naive))
+        .run(Query::on("invest").group_by(["tid"]).strategy(Strategy::Naive))
         .unwrap();
     let smart = db
-        .query(
-            &Query::on("invest")
+        .run(
+            Query::on("invest")
                 .group_by(["tid"])
                 .strategy(Strategy::CsPlusNonlinear),
         )
