@@ -40,6 +40,7 @@ use std::sync::{Arc, Mutex};
 use mpf_semiring::SemiringKind;
 use mpf_storage::FunctionalRelation;
 
+use crate::dense::DenseMode;
 use crate::limits::{ExecBudget, ExecLimits, OpGuard, DEFAULT_WORKSPACE_BYTES};
 use crate::trace::{SpanDesc, SpanKind, TraceCollector, TraceLevel, TraceTree};
 use crate::{fault, ExecStats, Result};
@@ -79,6 +80,10 @@ pub struct ExecContext<'b> {
     /// Per-operator span collector ([`TraceLevel::Off`] by default:
     /// every trace hook is a single branch, no allocation).
     trace: TraceCollector,
+    /// Whether [`crate::dense`] kernels may be dispatched to
+    /// ([`DenseMode::from_env`] by default; planner configs and tests set
+    /// it explicitly so runs are environment-independent).
+    dense: DenseMode,
 }
 
 impl<'b> ExecContext<'b> {
@@ -93,6 +98,7 @@ impl<'b> ExecContext<'b> {
             workspace_bytes,
             fork_tokens: Arc::new(AtomicIsize::new(threads as isize - 1)),
             trace: TraceCollector::new(TraceLevel::Off),
+            dense: DenseMode::from_env(),
         }
     }
 
@@ -162,6 +168,23 @@ impl<'b> ExecContext<'b> {
     pub fn set_threads(&mut self, threads: usize) {
         self.threads = threads.max(1);
         self.fork_tokens = Arc::new(AtomicIsize::new(self.threads as isize - 1));
+    }
+
+    /// Override the dense-kernel dispatch mode (builder style).
+    pub fn with_dense(mut self, mode: DenseMode) -> ExecContext<'b> {
+        self.dense = mode;
+        self
+    }
+
+    /// Override the dense-kernel dispatch mode.
+    pub fn set_dense(&mut self, mode: DenseMode) {
+        self.dense = mode;
+    }
+
+    /// The dense-kernel dispatch mode ([`crate::dense::join_auto`] and
+    /// [`crate::dense::agg_auto`] consult this).
+    pub fn dense_mode(&self) -> DenseMode {
+        self.dense
     }
 
     /// Enable per-operator tracing (builder style).
@@ -267,6 +290,7 @@ impl<'b> ExecContext<'b> {
             workspace_bytes: self.workspace_bytes,
             fork_tokens: Arc::clone(&self.fork_tokens),
             trace: TraceCollector::new(self.trace.level()),
+            dense: self.dense,
         }
     }
 
@@ -334,7 +358,7 @@ impl<'b> ExecContext<'b> {
     pub fn record_scan(&mut self, name: &str, rel: &FunctionalRelation) -> Result<()> {
         self.stats.rows_scanned += rel.len() as u64;
         self.stats.pages_io += rel.estimated_pages();
-        self.trace_op(SpanKind::Scan, &[], rel);
+        self.trace_op(SpanKind::Scan, &[], rel, false);
         if let Some(budget) = self.budget() {
             budget.checkpoint()?;
         }
@@ -374,9 +398,23 @@ impl<'b> ExecContext<'b> {
         inputs: &[&FunctionalRelation],
         output: &FunctionalRelation,
     ) {
+        self.record_join_ex(inputs, output, false);
+    }
+
+    /// [`ExecContext::record_join`] with an explicit dense flag: dense
+    /// joins count in both `joins` and `dense_joins` and mark their span.
+    pub(crate) fn record_join_ex(
+        &mut self,
+        inputs: &[&FunctionalRelation],
+        output: &FunctionalRelation,
+        dense: bool,
+    ) {
         self.account(inputs, output);
         self.stats.joins += 1;
-        self.trace_op(SpanKind::Join, inputs, output);
+        if dense {
+            self.stats.dense_joins += 1;
+        }
+        self.trace_op(SpanKind::Join, inputs, output, dense);
     }
 
     /// Account a group-by operator (any algorithm).
@@ -385,9 +423,22 @@ impl<'b> ExecContext<'b> {
         inputs: &[&FunctionalRelation],
         output: &FunctionalRelation,
     ) {
+        self.record_group_by_ex(inputs, output, false);
+    }
+
+    /// [`ExecContext::record_group_by`] with an explicit dense flag.
+    pub(crate) fn record_group_by_ex(
+        &mut self,
+        inputs: &[&FunctionalRelation],
+        output: &FunctionalRelation,
+        dense: bool,
+    ) {
         self.account(inputs, output);
         self.stats.group_bys += 1;
-        self.trace_op(SpanKind::GroupBy, inputs, output);
+        if dense {
+            self.stats.dense_group_bys += 1;
+        }
+        self.trace_op(SpanKind::GroupBy, inputs, output, dense);
     }
 
     /// Account a selection operator.
@@ -398,7 +449,14 @@ impl<'b> ExecContext<'b> {
     ) {
         self.account(inputs, output);
         self.stats.selects += 1;
-        self.trace_op(SpanKind::Select, inputs, output);
+        self.trace_op(SpanKind::Select, inputs, output, false);
+    }
+
+    /// Count one dense↔sparse boundary conversion. Conversions charge no
+    /// budget cells (the factor replaces its operand), so they surface
+    /// only in the stats counter.
+    pub(crate) fn note_dense_convert(&mut self) {
+        self.stats.dense_converts += 1;
     }
 
     /// Feed one operator's cardinalities to the span collector: fills the
@@ -409,6 +467,7 @@ impl<'b> ExecContext<'b> {
         kind: SpanKind,
         inputs: &[&FunctionalRelation],
         output: &FunctionalRelation,
+        dense: bool,
     ) {
         if !self.trace.enabled() {
             return;
@@ -416,7 +475,7 @@ impl<'b> ExecContext<'b> {
         let rows_in: u64 = inputs.iter().map(|r| r.len() as u64).sum();
         let rows_out = output.len() as u64;
         let cells = rows_out * (output.schema().arity() as u64 + 1);
-        self.trace.record_op(kind, rows_in, rows_out, cells);
+        self.trace.record_op(kind, rows_in, rows_out, cells, dense);
     }
 }
 

@@ -205,6 +205,7 @@ impl<'a, P: RelationProvider + Sync> Executor<'a, P> {
                         cx.threads(),
                         *partitions,
                     )?,
+                    JoinAlgo::Dense => crate::dense::join(cx, &l, &r)?,
                 };
                 Ok(Cow::Owned(out))
             }
@@ -226,6 +227,7 @@ impl<'a, P: RelationProvider + Sync> Executor<'a, P> {
                             *partitions,
                         )?
                     }
+                    AggAlgo::DenseAgg => crate::dense::agg(cx, &in_rel, group_vars)?,
                 };
                 Ok(Cow::Owned(out))
             }
@@ -296,6 +298,10 @@ fn span_desc(plan: &PhysicalPlan, threads: usize) -> SpanDesc {
                 _ => None,
             },
             workers: matches!(algo, JoinAlgo::Parallel { .. }).then_some(threads),
+            // Left false even for JoinAlgo::Dense: the operator may fall
+            // back at runtime, and record-time merging sets the flag only
+            // when the dense kernel actually ran.
+            dense: false,
         },
         PhysicalPlan::GroupBy { algo, .. } => SpanDesc {
             kind: SpanKind::GroupBy,
@@ -305,6 +311,7 @@ fn span_desc(plan: &PhysicalPlan, threads: usize) -> SpanDesc {
                 _ => None,
             },
             workers: matches!(algo, AggAlgo::ParallelAgg { .. }).then_some(threads),
+            dense: false,
         },
     }
 }

@@ -32,6 +32,7 @@
 mod context;
 mod error;
 mod exec;
+pub mod dense;
 pub mod fault;
 pub mod limits;
 pub mod metrics;
@@ -45,6 +46,7 @@ mod stats;
 pub mod trace;
 
 pub use context::ExecContext;
+pub use dense::DenseMode;
 pub use error::AlgebraError;
 pub use exec::Executor;
 pub use limits::{CancelToken, ExecBudget, ExecLimits, OpGuard, ResourceKind};

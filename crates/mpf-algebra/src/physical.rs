@@ -37,6 +37,11 @@ pub enum JoinAlgo {
         /// for cache residency by the planner).
         partitions: usize,
     },
+    /// Dense odometer-indexed join: both operands are densified onto
+    /// their inferred domain grids and the product is a stride-aligned
+    /// broadcast multiply ([`crate::dense::join`]). Falls back to the
+    /// hash join at runtime if the output grid turns out infeasible.
+    Dense,
 }
 
 impl JoinAlgo {
@@ -47,6 +52,7 @@ impl JoinAlgo {
             JoinAlgo::SortMerge => "SortMerge",
             JoinAlgo::Grace { .. } => "Grace",
             JoinAlgo::Parallel { .. } => "Parallel",
+            JoinAlgo::Dense => "Dense",
         }
     }
 }
@@ -65,6 +71,11 @@ pub enum AggAlgo {
         /// Number of partitions (decoupled from the worker count).
         partitions: usize,
     },
+    /// Dense odometer-indexed marginalization: the input is densified and
+    /// each output cell folds its eliminated-variable subgrid in a fixed
+    /// index order ([`crate::dense::agg`]). Falls back to the hash
+    /// aggregate at runtime if the grid turns out infeasible.
+    DenseAgg,
 }
 
 impl AggAlgo {
@@ -74,6 +85,7 @@ impl AggAlgo {
             AggAlgo::HashAgg => "HashAgg",
             AggAlgo::SortAgg => "SortAgg",
             AggAlgo::ParallelAgg { .. } => "ParallelAgg",
+            AggAlgo::DenseAgg => "DenseAgg",
         }
     }
 }
@@ -250,6 +262,24 @@ impl PhysicalPlan {
         }
     }
 
+    /// Count operators annotated with dense algorithms.
+    pub fn dense_operator_count(&self) -> usize {
+        match self {
+            PhysicalPlan::Scan { .. } => 0,
+            PhysicalPlan::Select { input, .. } => input.dense_operator_count(),
+            PhysicalPlan::Join {
+                left, right, algo, ..
+            } => {
+                (*algo == JoinAlgo::Dense) as usize
+                    + left.dense_operator_count()
+                    + right.dense_operator_count()
+            }
+            PhysicalPlan::GroupBy { input, algo, .. } => {
+                (*algo == AggAlgo::DenseAgg) as usize + input.dense_operator_count()
+            }
+        }
+    }
+
     /// Count the real work operators (joins and group-bys) in the
     /// subtree. The concurrent subplan scheduler only forks a worker for
     /// a subtree that contains at least one — spawning a thread to run a
@@ -360,6 +390,24 @@ mod tests {
         let text = p.render(&|v| format!("x{}", v.0));
         assert!(text.contains("Parallel"));
         assert!(text.contains("ParallelAgg"));
+    }
+
+    #[test]
+    fn dense_annotations_are_counted_and_rendered() {
+        let p = PhysicalPlan::from_logical(
+            &logical(),
+            &mut |_, _| JoinAlgo::Dense,
+            &mut |_, _| AggAlgo::DenseAgg,
+        );
+        assert_eq!(p.dense_operator_count(), 3);
+        assert_eq!(p.spill_operator_count(), 0, "dense ops do not spill");
+        assert_eq!(p.parallel_operator_count(), 0);
+        assert_eq!(p.to_logical(), logical());
+        let text = p.render(&|v| format!("x{}", v.0));
+        assert!(text.contains("(Dense)"));
+        assert!(text.contains("(DenseAgg)"));
+        assert_eq!(JoinAlgo::Dense.label(), "Dense");
+        assert_eq!(AggAlgo::DenseAgg.label(), "DenseAgg");
     }
 
     #[test]

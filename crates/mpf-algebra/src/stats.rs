@@ -21,6 +21,14 @@ pub struct ExecStats {
     pub group_bys: u64,
     /// Number of selection operators executed.
     pub selects: u64,
+    /// Joins that ran on the dense odometer kernel (also counted in
+    /// `joins`).
+    pub dense_joins: u64,
+    /// Group-bys that ran on the dense odometer kernel (also counted in
+    /// `group_bys`).
+    pub dense_group_bys: u64,
+    /// Dense↔sparse boundary conversions performed.
+    pub dense_converts: u64,
 }
 
 impl ExecStats {
@@ -33,6 +41,9 @@ impl ExecStats {
         self.joins += other.joins;
         self.group_bys += other.group_bys;
         self.selects += other.selects;
+        self.dense_joins += other.dense_joins;
+        self.dense_group_bys += other.dense_group_bys;
+        self.dense_converts += other.dense_converts;
     }
 }
 
@@ -50,6 +61,9 @@ mod tests {
             joins: 1,
             group_bys: 1,
             selects: 0,
+            dense_joins: 1,
+            dense_group_bys: 0,
+            dense_converts: 3,
         };
         let b = ExecStats {
             rows_scanned: 1,
@@ -59,6 +73,9 @@ mod tests {
             joins: 0,
             group_bys: 2,
             selects: 1,
+            dense_joins: 0,
+            dense_group_bys: 1,
+            dense_converts: 2,
         };
         a.merge(&b);
         assert_eq!(a.rows_scanned, 11);
@@ -67,5 +84,8 @@ mod tests {
         assert_eq!(a.joins, 1);
         assert_eq!(a.group_bys, 3);
         assert_eq!(a.selects, 1);
+        assert_eq!(a.dense_joins, 1);
+        assert_eq!(a.dense_group_bys, 1);
+        assert_eq!(a.dense_converts, 5);
     }
 }

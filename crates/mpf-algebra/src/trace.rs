@@ -83,6 +83,10 @@ pub struct SpanDesc {
     pub partitions: Option<usize>,
     /// Worker-thread count, for parallel operators.
     pub workers: Option<usize>,
+    /// Pre-marks the span as dense. Normally left `false` — execution
+    /// sets the flag on the span when a dense kernel actually records
+    /// into it, so traces distinguish planned-dense from ran-dense.
+    pub dense: bool,
 }
 
 impl SpanDesc {
@@ -93,6 +97,7 @@ impl SpanDesc {
             label: label.into(),
             partitions: None,
             workers: None,
+            dense: false,
         }
     }
 
@@ -103,6 +108,7 @@ impl SpanDesc {
             label: label.into(),
             partitions: None,
             workers: None,
+            dense: false,
         }
     }
 }
@@ -129,6 +135,8 @@ pub struct TraceSpan {
     pub partitions: Option<usize>,
     /// Worker-thread count, for parallel operators.
     pub workers: Option<usize>,
+    /// Whether the operator ran on the dense odometer kernel.
+    pub dense: bool,
     /// Optimizer-estimated output rows, filled by the engine's
     /// estimate-annotation pass (`None` inside bare algebra runs).
     pub est_rows: Option<f64>,
@@ -150,6 +158,7 @@ impl TraceSpan {
             elapsed: Duration::ZERO,
             partitions: desc.partitions,
             workers: desc.workers,
+            dense: desc.dense,
             est_rows: None,
             fault: None,
             children: Vec::new(),
@@ -197,6 +206,9 @@ impl TraceSpan {
             if let Some(w) = self.workers {
                 out.push_str(&format!(", workers={w}"));
             }
+            if self.dense {
+                out.push_str(", dense=true");
+            }
             out.push(')');
         }
         if let Some(fault) = &self.fault {
@@ -223,6 +235,9 @@ impl TraceSpan {
         }
         if let Some(w) = self.workers {
             out.push_str(&format!(",\"workers\":{w}"));
+        }
+        if self.dense {
+            out.push_str(",\"dense\":true");
         }
         if let Some(e) = self.est_rows {
             if e.is_finite() {
@@ -389,8 +404,16 @@ impl TraceCollector {
 
     /// Operator accounting: fill the innermost unfilled open span of the
     /// same kind, or attach a leaf span (ad-hoc operator calls outside
-    /// the interpreter).
-    pub(crate) fn record_op(&mut self, kind: SpanKind, rows_in: u64, rows_out: u64, cells: u64) {
+    /// the interpreter). `dense` marks spans of operators that ran on the
+    /// dense odometer kernel.
+    pub(crate) fn record_op(
+        &mut self,
+        kind: SpanKind,
+        rows_in: u64,
+        rows_out: u64,
+        cells: u64,
+        dense: bool,
+    ) {
         if !self.enabled() {
             return;
         }
@@ -399,6 +422,7 @@ impl TraceCollector {
                 top.span.rows_in = rows_in;
                 top.span.rows_out = rows_out;
                 top.span.cells = cells;
+                top.span.dense |= dense;
                 top.filled = true;
                 return;
             }
@@ -407,6 +431,7 @@ impl TraceCollector {
         leaf.rows_in = rows_in;
         leaf.rows_out = rows_out;
         leaf.cells = cells;
+        leaf.dense = dense;
         self.attach(leaf);
     }
 
@@ -461,7 +486,7 @@ mod tests {
     fn off_collects_nothing() {
         let mut c = TraceCollector::new(TraceLevel::Off);
         c.open(|| desc(SpanKind::Join, "j"));
-        c.record_op(SpanKind::Join, 4, 2, 6);
+        c.record_op(SpanKind::Join, 4, 2, 6, false);
         c.close(|| None);
         assert!(c.take().is_empty());
     }
@@ -471,9 +496,9 @@ mod tests {
         let mut c = TraceCollector::new(TraceLevel::Spans);
         c.open(|| desc(SpanKind::Join, "ProductJoin (Hash)"));
         c.open(|| desc(SpanKind::Scan, "Scan r1"));
-        c.record_op(SpanKind::Scan, 0, 4, 12);
+        c.record_op(SpanKind::Scan, 0, 4, 12, false);
         c.close(|| None);
-        c.record_op(SpanKind::Join, 8, 16, 64);
+        c.record_op(SpanKind::Join, 8, 16, 64, false);
         c.close(|| None);
         let t = c.take();
         assert_eq!(t.span_count(), 2);
@@ -488,8 +513,8 @@ mod tests {
     fn unmatched_accounting_attaches_leaves() {
         let mut c = TraceCollector::new(TraceLevel::Spans);
         c.open(|| SpanDesc::phase("vecache::build"));
-        c.record_op(SpanKind::Join, 8, 16, 48);
-        c.record_op(SpanKind::GroupBy, 16, 4, 8);
+        c.record_op(SpanKind::Join, 8, 16, 48, false);
+        c.record_op(SpanKind::GroupBy, 16, 4, 8, false);
         c.close(|| None);
         let t = c.take();
         assert_eq!(t.roots.len(), 1);
@@ -501,13 +526,13 @@ mod tests {
     #[test]
     fn absorb_grafts_into_the_open_span() {
         let mut worker = TraceCollector::new(TraceLevel::Spans);
-        worker.record_op(SpanKind::Join, 2, 2, 6);
+        worker.record_op(SpanKind::Join, 2, 2, 6, false);
         let spans = worker.take().roots;
 
         let mut c = TraceCollector::new(TraceLevel::Spans);
         c.open(|| desc(SpanKind::Join, "root"));
         c.absorb(spans);
-        c.record_op(SpanKind::Join, 4, 4, 12);
+        c.record_op(SpanKind::Join, 4, 4, 12, false);
         c.close(|| None);
         let t = c.take();
         assert_eq!(t.roots[0].children.len(), 1);
@@ -532,17 +557,20 @@ mod tests {
             label: "ProductJoin (Parallel)".into(),
             partitions: Some(4),
             workers: Some(2),
+            dense: true,
         });
-        c.record_op(SpanKind::Join, 8, 3, 9);
+        c.record_op(SpanKind::Join, 8, 3, 9, false);
         c.close(|| None);
         let t = c.take();
         let json = t.to_json();
         assert!(json.contains("\"partitions\":4"));
         assert!(json.contains("\"workers\":2"));
         assert!(json.contains("\"rows_out\":3"));
+        assert!(json.contains("\"dense\":true"));
         let text = t.render();
         assert!(text.contains("partitions=4"));
         assert!(text.contains("workers=2"));
+        assert!(text.contains("dense=true"));
         assert!(json_string("a\"b\\c\n").contains("\\\""));
     }
 }

@@ -1,17 +1,19 @@
-//! Bench-regression gate: compare a fresh `pr3_parallel` run against the
-//! checked-in baseline and fail CI when the sequential reference of any
-//! section regresses by more than the tolerance.
+//! Bench-regression gate: compare a fresh benchmark run (`pr3_parallel`
+//! or `pr5_dense`) against its checked-in baseline and fail CI when the
+//! sequential reference of any section regresses by more than the
+//! tolerance.
 //!
 //! The comparison is per-row (time / input rows), so a smoke run at
-//! `--rows 50000` can be compared against the full-scale 2M-row baseline
-//! — but per-row cost is not scale-invariant (hash tables spill, caches
+//! `--rows 50000` can be compared against the full-scale baseline — but
+//! per-row cost is not scale-invariant (hash tables spill, caches
 //! saturate), so cross-scale comparisons are reported as warnings only
-//! and never fail the build. `function_eq_sequential: false` anywhere in
-//! the new results fails unconditionally: a wrong answer is a regression
-//! at any scale.
+//! and never fail the build. `function_eq_sequential: false` (a parallel
+//! run diverging from sequential) or `function_eq_sparse: false` (a dense
+//! run diverging from the sparse operators) anywhere in the new results
+//! fails unconditionally: a wrong answer is a regression at any scale.
 //!
-//! The parser is a purpose-built scanner for the flat JSON `pr3_parallel`
-//! emits (no serde in this workspace); it is not a general JSON reader.
+//! The parser is a purpose-built scanner for the flat JSON the bench bins
+//! emit (no serde in this workspace); it is not a general JSON reader.
 //!
 //! Usage: `bench_check [--baseline BENCH_PR3.json] [--new BENCH_NEW.json]
 //!         [--tolerance 0.25]`
@@ -94,6 +96,10 @@ fn main() -> ExitCode {
     // Correctness is non-negotiable at any scale.
     if fresh.contains("\"function_eq_sequential\": false") {
         eprintln!("FAIL: a parallel run diverged from its sequential reference in {new_path}");
+        failed = true;
+    }
+    if fresh.contains("\"function_eq_sparse\": false") {
+        eprintln!("FAIL: a dense run diverged from its sparse reference in {new_path}");
         failed = true;
     }
 

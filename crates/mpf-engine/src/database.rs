@@ -3,8 +3,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use mpf_algebra::{
-    fault, AggAlgo, ExecContext, ExecLimits, ExecStats, Executor, MetricsRegistry, PhysicalPlan,
-    Plan, RelationProvider, RelationStore, TraceLevel,
+    fault, AggAlgo, DenseMode, ExecContext, ExecLimits, ExecStats, Executor, MetricsRegistry,
+    PhysicalPlan, Plan, RelationProvider, RelationStore, TraceLevel,
 };
 use mpf_infer::VeCache;
 use mpf_optimizer::{
@@ -129,6 +129,9 @@ pub struct Database {
     limits: ExecLimits,
     /// Strategy fallback chain for recoverable query failures.
     fallback: FallbackPolicy,
+    /// Dense-kernel selection mode handed to physical planning
+    /// (`MPF_DENSE` by default).
+    dense: DenseMode,
     /// Optional metrics sink fed by every [`Database::run`] call.
     metrics: Option<Arc<MetricsRegistry>>,
 }
@@ -151,6 +154,7 @@ impl Database {
             fds: HashMap::new(),
             limits: ExecLimits::none(),
             fallback: FallbackPolicy::default(),
+            dense: DenseMode::from_env(),
             metrics: None,
         }
     }
@@ -174,6 +178,18 @@ impl Database {
     pub fn with_fallback(mut self, fallback: FallbackPolicy) -> Database {
         self.fallback = fallback;
         self
+    }
+
+    /// Set the dense-kernel selection mode for physical planning,
+    /// overriding the `MPF_DENSE` environment default.
+    pub fn with_dense(mut self, mode: DenseMode) -> Database {
+        self.dense = mode;
+        self
+    }
+
+    /// The dense-kernel selection mode physical planning runs under.
+    pub fn dense(&self) -> DenseMode {
+        self.dense
     }
 
     /// The resource budgets queries run under.
@@ -211,6 +227,7 @@ impl Database {
             fds: HashMap::new(),
             limits: ExecLimits::none(),
             fallback: FallbackPolicy::default(),
+            dense: DenseMode::from_env(),
             metrics: None,
         }
     }
@@ -366,19 +383,6 @@ impl Database {
         result
     }
 
-    /// Evaluate an MPF query with database-default options.
-    #[deprecated(note = "use `Database::run` with a `Query` or `QueryRequest`")]
-    pub fn query(&self, q: &Query) -> Result<Answer> {
-        self.run(q)
-    }
-
-    /// Evaluate a query with hypothetical overrides applied to copies of
-    /// the affected base relations (alternate-measure / alternate-domain).
-    #[deprecated(note = "use `Database::run` with `QueryRequest::overrides`")]
-    pub fn query_hypothetical(&self, q: &Query, overrides: &[Override]) -> Result<Answer> {
-        self.run(QueryRequest::from(q).overrides(overrides.iter().cloned()))
-    }
-
     /// Serve a cache-eligible request: a plain group-by answered by
     /// marginalizing the smallest covering cached table. The synthesized
     /// plan in the answer records the cache scan + group-by actually run.
@@ -404,7 +408,9 @@ impl Database {
             .map(|n| self.resolve_var(n))
             .collect::<Result<_>>()?;
         let limits = req.limits.clone().unwrap_or_else(|| self.limits.clone());
-        let mut cx = ExecContext::with_limits(cache.semiring(), limits).with_trace(req.trace);
+        let mut cx = ExecContext::with_limits(cache.semiring(), limits)
+            .with_dense(self.dense)
+            .with_trace(req.trace);
         let t1 = Instant::now();
         cx.span_phase("cache::answer");
         let result = cache.answer_set_in(&mut cx, &vars);
@@ -494,12 +500,16 @@ impl Database {
         let physical = choose_physical(
             ctx,
             &plan,
-            PhysicalConfig::default().with_threads(limits.effective_threads()),
+            PhysicalConfig::default()
+                .with_threads(limits.effective_threads())
+                .with_dense(self.dense),
         );
         let optimize_time = t0.elapsed();
 
         let exec = Executor::new(store, sr);
-        let mut cx = ExecContext::with_limits(sr, limits.clone()).with_trace(req.trace);
+        let mut cx = ExecContext::with_limits(sr, limits.clone())
+            .with_dense(self.dense)
+            .with_trace(req.trace);
         let t1 = Instant::now();
         let result = exec.execute_physical_in(&mut cx, &physical);
         let execute_time = t1.elapsed();
@@ -568,11 +578,28 @@ impl Database {
         let physical = choose_physical(
             &ctx,
             &plan,
-            PhysicalConfig::default().with_threads(limits.effective_threads()),
+            PhysicalConfig::default()
+                .with_threads(limits.effective_threads())
+                .with_dense(self.dense),
         );
         let catalog = &self.catalog;
+        // Exact base-relation densities (rows over the schema's domain
+        // grid) — the statistic the dense-path selection rule keys on.
+        let densities: Vec<String> = view
+            .base
+            .iter()
+            .filter_map(|n| store.relation_of(n).map(|rel| (n, rel)))
+            .map(|(n, rel)| {
+                let d = mpf_storage::density_of(
+                    rel.len() as u64,
+                    catalog.domain_product(rel.schema().iter()),
+                );
+                format!("{n}={d:.2}")
+            })
+            .collect();
         Ok(format!(
-            "-- estimated cost: {est_cost:.2}\n{}",
+            "-- estimated cost: {est_cost:.2}\n-- base density: {}\n{}",
+            densities.join(", "),
             physical.render(&|v| catalog.name(v).to_string())
         ))
     }
@@ -621,12 +648,6 @@ impl Database {
             }
         }
         Ok(out)
-    }
-
-    /// Render the plan a strategy would choose, without executing it.
-    #[deprecated(note = "use `Database::describe`")]
-    pub fn explain(&self, q: &Query) -> Result<String> {
-        self.describe(q)
     }
 
     fn resolve_spec(&self, q: &Query) -> Result<QuerySpec> {
@@ -792,18 +813,8 @@ impl Database {
                 })
             })
             .collect::<Result<_>>()?;
-        let mut cx = ExecContext::with_limits(sr, self.limits.clone());
+        let mut cx = ExecContext::with_limits(sr, self.limits.clone()).with_dense(self.dense);
         Ok(VeCache::build_in(&mut cx, &rels, order)?)
-    }
-
-    /// Answer a single-variable query from a cache, by variable name.
-    #[deprecated(note = "use `Database::run` with `QueryRequest::via_cache`")]
-    pub fn query_cached(&self, cache: &VeCache, var: &str) -> Result<FunctionalRelation> {
-        // The cache path never resolves the view name, so any placeholder
-        // works for this legacy single-variable form.
-        Ok(self
-            .run(QueryRequest::on("<cached>").group_by([var]).via_cache(cache))?
-            .relation)
     }
 
     /// Run the Section 5.1 plan-linearity test for a query variable of a
@@ -1113,28 +1124,6 @@ mod tests {
                 }))
             .unwrap_err();
         assert!(matches!(e, EngineError::BadOverride(_)));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_delegate() {
-        let db = tiny_db();
-        let q = Query::on("v").group_by(["c"]);
-        let old = db.query(&q).unwrap();
-        let new = db.run(&q).unwrap();
-        assert!(old.relation.function_eq(&new.relation));
-        let cache = db.build_cache("v", Aggregate::Sum, None).unwrap();
-        let old_cached = db.query_cached(&cache, "c").unwrap();
-        assert!(old_cached.function_eq(&new.relation));
-        assert_eq!(db.explain(&q).unwrap(), db.describe(&q).unwrap());
-        let ov = Override::Measure {
-            relation: "r1".into(),
-            row: vec![0, 0],
-            measure: 100.0,
-        };
-        let old_hyp = db.query_hypothetical(&q, std::slice::from_ref(&ov)).unwrap();
-        let new_hyp = db.run(QueryRequest::from(&q).hypothetical(ov)).unwrap();
-        assert!(old_hyp.relation.function_eq(&new_hyp.relation));
     }
 
     #[test]

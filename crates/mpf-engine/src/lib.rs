@@ -47,7 +47,7 @@ pub use request::QueryRequest;
 // `Strategy::Ve`/`VePlus` take a heuristic, so consumers of this crate
 // alone must be able to name it; likewise the trace/metrics types a
 // `QueryRequest` and `Database::with_metrics` speak in.
-pub use mpf_algebra::{MetricsRegistry, SpanKind, TraceLevel, TraceSpan, TraceTree};
+pub use mpf_algebra::{DenseMode, MetricsRegistry, SpanKind, TraceLevel, TraceSpan, TraceTree};
 pub use mpf_optimizer::Heuristic;
 
 /// Result alias for engine operations.

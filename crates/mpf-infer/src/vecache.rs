@@ -143,7 +143,7 @@ impl VeCache {
             let mut joined = first;
             let mut origins = vec![first_origin];
             for (f, origin) in iter {
-                joined = mpf_algebra::ops::product_join(cx, &joined, &f)?;
+                joined = mpf_algebra::dense::join_auto(cx, &joined, &f)?;
                 origins.push(origin);
             }
             for origin in origins {
@@ -156,7 +156,7 @@ impl VeCache {
             tables.push(joined.clone().with_name(format!("t{j}")));
             // Eliminate v.
             let keep: Vec<VarId> = joined.schema().iter().filter(|&u| u != v).collect();
-            let p = mpf_algebra::ops::group_by(cx, &joined, &keep)?;
+            let p = mpf_algebra::dense::agg_auto(cx, &joined, &keep)?;
             if p.schema().is_empty() {
                 // Component fully eliminated; remember its total.
                 let total = if p.is_empty() { sr.zero() } else { p.measure(0) };
@@ -332,7 +332,7 @@ impl VeCache {
         vars: &[VarId],
     ) -> Result<FunctionalRelation> {
         let idx = self.best_table_for(vars)?;
-        Ok(mpf_algebra::ops::group_by(cx, &self.tables[idx], vars)?)
+        Ok(mpf_algebra::dense::agg_auto(cx, &self.tables[idx], vars)?)
     }
 
     fn best_table_for(&self, vars: &[VarId]) -> Result<usize> {

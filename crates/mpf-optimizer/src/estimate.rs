@@ -90,6 +90,32 @@ pub fn plan_estimate(ctx: &OptContext<'_>, plan: &mpf_algebra::Plan) -> (Schema,
     }
 }
 
+/// Estimated density of `rows` rows on the catalog grid of `schema`:
+/// `rows / ∏ |dom(v)|`, capped at 1. Grid sizes use the catalog's *real*
+/// domains, not the effective ones — the dense kernels grid over the
+/// data's actual value range regardless of query predicates. `None` when
+/// the grid exceeds [`mpf_storage::dense::MAX_DENSE_CELLS`], which
+/// callers treat as "never dense".
+pub fn schema_density(ctx: &OptContext<'_>, schema: &Schema, rows: f64) -> Option<f64> {
+    let domains: Vec<u64> = schema
+        .iter()
+        .map(|v| ctx.catalog.domain_size(v))
+        .collect();
+    let cells = mpf_storage::dense::grid_cells(&domains)?;
+    if cells == 0 {
+        return Some(0.0);
+    }
+    Some((rows / cells as f64).min(1.0))
+}
+
+/// Estimated output density of an arbitrary logical plan
+/// ([`plan_estimate`] rows over the output schema's catalog grid);
+/// `None` when the grid is infeasible for dense execution.
+pub fn plan_density(ctx: &OptContext<'_>, plan: &mpf_algebra::Plan) -> Option<f64> {
+    let (schema, rows) = plan_estimate(ctx, plan);
+    schema_density(ctx, &schema, rows)
+}
+
 /// Annotate an executed-plan trace with per-node estimated output rows.
 ///
 /// `span` is the root span the interpreter recorded for `plan` (the span

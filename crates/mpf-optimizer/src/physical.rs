@@ -24,7 +24,7 @@
 //! Operand sizes come from the same catalog-based estimator the join
 //! ordering used ([`estimate::plan_estimate`]).
 
-use mpf_algebra::{partitioned, AggAlgo, JoinAlgo, PhysicalPlan, Plan};
+use mpf_algebra::{partitioned, AggAlgo, DenseMode, JoinAlgo, PhysicalPlan, Plan};
 
 use crate::{estimate, OptContext};
 
@@ -48,6 +48,15 @@ pub struct PhysicalConfig {
     /// worth its partitioning pass. Small operands fit in cache whole;
     /// partitioning them only adds a copy.
     pub parallel_min_rows: f64,
+    /// Whether to consider the dense odometer kernels ([`JoinAlgo::Dense`],
+    /// [`AggAlgo::DenseAgg`]). Defaults to the `MPF_DENSE` environment
+    /// variable ([`DenseMode::from_env`]).
+    pub dense_mode: DenseMode,
+    /// Minimum estimated operand density (rows over the schema's catalog
+    /// grid) before [`DenseMode::Auto`] selects a dense operator. Sparse
+    /// operands waste grid cells; at 0.5+ the odometer kernel's
+    /// per-cell cost undercuts hashing.
+    pub dense_min_density: f64,
 }
 
 impl Default for PhysicalConfig {
@@ -58,6 +67,8 @@ impl Default for PhysicalConfig {
             memory_rows: 1_000_000.0,
             threads: mpf_algebra::limits::default_threads(),
             parallel_min_rows: 32_768.0,
+            dense_mode: DenseMode::from_env(),
+            dense_min_density: 0.5,
         }
     }
 }
@@ -68,6 +79,42 @@ impl PhysicalConfig {
         self.threads = threads.max(1);
         self
     }
+
+    /// Set the dense-kernel selection mode (builder style).
+    pub fn with_dense(mut self, mode: DenseMode) -> Self {
+        self.dense_mode = mode;
+        self
+    }
+}
+
+/// Whether the dense kernel should be selected for an operator whose
+/// inputs have the given (schema, rows) estimates and whose output schema
+/// grid must be materialized. `Off`: never. `On`: whenever every grid is
+/// feasible. `Auto`: additionally every input must clear the density
+/// threshold — near-complete operands are where the odometer kernel wins.
+fn dense_applies(
+    ctx: &OptContext<'_>,
+    cfg: &PhysicalConfig,
+    inputs: &[(&mpf_storage::Schema, f64)],
+    out_schema: &mpf_storage::Schema,
+) -> bool {
+    if cfg.dense_mode == DenseMode::Off {
+        return false;
+    }
+    if estimate::schema_density(ctx, out_schema, 0.0).is_none() {
+        return false;
+    }
+    for &(schema, rows) in inputs {
+        match estimate::schema_density(ctx, schema, rows) {
+            None => return false,
+            Some(d) => {
+                if cfg.dense_mode == DenseMode::Auto && d < cfg.dense_min_density {
+                    return false;
+                }
+            }
+        }
+    }
+    true
 }
 
 /// Annotate a logical plan with cost-chosen operator algorithms.
@@ -81,6 +128,9 @@ pub fn choose_physical(
         &mut |left, right| {
             let (ls, lr) = estimate::plan_estimate(ctx, left);
             let (rs, rr) = estimate::plan_estimate(ctx, right);
+            if dense_applies(ctx, &cfg, &[(&ls, lr), (&rs, rr)], &ls.union(&rs)) {
+                return JoinAlgo::Dense;
+            }
             let build = lr.min(rr);
             if build <= cfg.memory_rows {
                 if cfg.threads > 1 && build >= cfg.parallel_min_rows {
@@ -108,8 +158,11 @@ pub fn choose_physical(
             }
         },
         &mut |input, group_vars| {
-            let (_, in_rows) = estimate::plan_estimate(ctx, input);
+            let (in_schema, in_rows) = estimate::plan_estimate(ctx, input);
             let schema: mpf_storage::Schema = group_vars.iter().copied().collect();
+            if dense_applies(ctx, &cfg, &[(&in_schema, in_rows)], &schema) {
+                return AggAlgo::DenseAgg;
+            }
             let groups = estimate::group_rows(ctx, in_rows, &schema);
             if groups <= cfg.memory_rows {
                 if cfg.threads > 1 && groups >= cfg.parallel_min_rows {
@@ -177,7 +230,8 @@ mod tests {
                 memory_rows: 1e9,
                 ..PhysicalConfig::default()
             }
-            .with_threads(1),
+            .with_threads(1)
+            .with_dense(DenseMode::Off),
         );
         assert_eq!(big.sort_operator_count(), 0, "everything fits -> all hash");
         let tiny = choose_physical(
@@ -187,7 +241,8 @@ mod tests {
                 memory_rows: 10.0,
                 ..PhysicalConfig::default()
             }
-            .with_threads(1),
+            .with_threads(1)
+            .with_dense(DenseMode::Off),
         );
         assert!(
             tiny.spill_operator_count() > 0,
@@ -203,11 +258,85 @@ mod tests {
         let (rels, a, ..) = ctx_fixture(&mut cat);
         let ctx = OptContext::new(&cat, rels, QuerySpec::group_by([a]), CostModel::Io);
         let plan = optimize(&ctx, Algorithm::CsPlusLinear).plan;
-        let phys = choose_physical(&ctx, &plan, PhysicalConfig::default().with_threads(1));
+        let phys = choose_physical(
+            &ctx,
+            &plan,
+            PhysicalConfig::default()
+                .with_threads(1)
+                .with_dense(DenseMode::Off),
+        );
         // r2 (5M rows) exceeds the default budget, but its join partner is
         // the build side, so hash join still applies everywhere except
         // operators whose *smaller* operand exceeds the budget.
         assert!(phys.spill_operator_count() <= plan.join_count() + plan.group_by_count());
+    }
+
+    #[test]
+    fn dense_selection_follows_mode_and_density() {
+        // Complete relations over small domains: density 1.0 everywhere.
+        let mut cat = Catalog::new();
+        let a = cat.add_var("a", 8).unwrap();
+        let b = cat.add_var("b", 8).unwrap();
+        let c = cat.add_var("c", 8).unwrap();
+        let mk = |name: &str, schema: Schema, card: u64| BaseRel {
+            name: name.into(),
+            schema,
+            cardinality: card,
+            fd_lhs: None,
+        };
+        let rels = vec![
+            mk("r1", Schema::new(vec![a, b]).unwrap(), 64),
+            mk("r2", Schema::new(vec![b, c]).unwrap(), 64),
+        ];
+        let ctx = OptContext::new(&cat, rels, QuerySpec::group_by([a]), CostModel::Io);
+        let plan = optimize(&ctx, Algorithm::CsPlusNonlinear).plan;
+        let cfg = PhysicalConfig::default().with_threads(1);
+        let off = choose_physical(&ctx, &plan, cfg.with_dense(DenseMode::Off));
+        assert_eq!(off.dense_operator_count(), 0);
+        let auto = choose_physical(&ctx, &plan, cfg.with_dense(DenseMode::Auto));
+        assert_eq!(
+            auto.dense_operator_count(),
+            plan.join_count() + plan.group_by_count(),
+            "complete operands go dense under auto:\n{}",
+            auto.render(&|v| format!("x{}", v.0))
+        );
+        assert_eq!(auto.to_logical(), plan);
+
+        // Sparse data (density 1/16): auto declines, forced mode selects.
+        let sparse = vec![
+            mk("r1", Schema::new(vec![a, b]).unwrap(), 4),
+            mk("r2", Schema::new(vec![b, c]).unwrap(), 4),
+        ];
+        let sctx = OptContext::new(&cat, sparse, QuerySpec::group_by([a]), CostModel::Io);
+        let splan = optimize(&sctx, Algorithm::CsPlusNonlinear).plan;
+        let sauto = choose_physical(&sctx, &splan, cfg.with_dense(DenseMode::Auto));
+        assert_eq!(sauto.dense_operator_count(), 0, "sparse operands stay hash");
+        let son = choose_physical(&sctx, &splan, cfg.with_dense(DenseMode::On));
+        assert!(son.dense_operator_count() > 0, "forced mode ignores density");
+    }
+
+    #[test]
+    fn infeasible_grids_are_never_dense() {
+        // Domains whose cross product exceeds MAX_DENSE_CELLS.
+        let mut cat = Catalog::new();
+        let a = cat.add_var("a", 1 << 13).unwrap();
+        let b = cat.add_var("b", 1 << 13).unwrap();
+        let rels = vec![BaseRel {
+            name: "r1".into(),
+            schema: Schema::new(vec![a, b]).unwrap(),
+            cardinality: 1 << 26,
+            fd_lhs: None,
+        }];
+        let ctx = OptContext::new(&cat, rels, QuerySpec::group_by([a]), CostModel::Io);
+        let plan = optimize(&ctx, Algorithm::CsPlusNonlinear).plan;
+        let on = choose_physical(
+            &ctx,
+            &plan,
+            PhysicalConfig::default()
+                .with_threads(1)
+                .with_dense(DenseMode::On),
+        );
+        assert_eq!(on.dense_operator_count(), 0, "grid never materializes");
     }
 
     #[test]
@@ -220,7 +349,8 @@ mod tests {
             memory_rows: 1e9,
             parallel_min_rows: 1_000.0,
             ..PhysicalConfig::default()
-        };
+        }
+        .with_dense(DenseMode::Off);
         let seq = choose_physical(&ctx, &plan, cfg.with_threads(1));
         assert_eq!(seq.parallel_operator_count(), 0, "one thread -> no parallel ops");
         let par = choose_physical(&ctx, &plan, cfg.with_threads(4));

@@ -1,0 +1,403 @@
+//! Dense factor storage: a functional relation over a complete (or
+//! zero-filled) domain grid, stored as one row-major `f64` array.
+//!
+//! The paper's probabilistic-inference workloads run over *complete*
+//! relations — one row per point of the schema's domain cross product —
+//! where hash-based operators pay key extraction and probing for
+//! structure the odometer already encodes. A [`DenseFactor`] drops the
+//! keys entirely: cell `i` holds the measure of the row whose variable
+//! values are the odometer decomposition of `i` under precomputed
+//! strides (last schema variable fastest, matching
+//! [`FunctionalRelation::complete`] row order). Any cell of the grid
+//! that the source relation did not populate takes a caller-supplied
+//! `fill` measure — the semiring's additive identity, which is exactly
+//! what a missing row denotes under MPF semantics.
+
+use crate::{FunctionalRelation, Schema, Value};
+
+/// Hard cap on dense-grid cells (2^24 = 16M cells ≈ 128 MiB of `f64`).
+/// Conversions refuse grids beyond this, so a mis-estimated density can
+/// cost a refused fast path but never an absurd allocation.
+pub const MAX_DENSE_CELLS: u64 = 1 << 24;
+
+/// A dense, row-major factor over a domain grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseFactor {
+    name: String,
+    schema: Schema,
+    /// Per-variable domain sizes, in schema order.
+    domains: Vec<u64>,
+    /// Row-major strides, in schema order (`strides[last] == 1`).
+    strides: Vec<u64>,
+    /// One measure per grid cell; `len == domains.iter().product()`.
+    values: Vec<f64>,
+}
+
+/// Row-major strides for a domain vector: `strides[i]` is the product of
+/// all domains after position `i`.
+pub fn strides_of(domains: &[u64]) -> Vec<u64> {
+    let mut strides = vec![1u64; domains.len()];
+    for i in (0..domains.len().saturating_sub(1)).rev() {
+        strides[i] = strides[i + 1] * domains[i + 1];
+    }
+    strides
+}
+
+/// Whether `rel`'s rows are exactly the odometer sequence of the grid
+/// `domains` — the row order [`FunctionalRelation::complete`] and
+/// [`DenseFactor::into_relation`] emit. A `true` result proves the
+/// relation is complete on the grid (right row count, every point once,
+/// nothing out of bounds), so its measure column *is* the grid's dense
+/// value array and kernels may read it in place with no conversion copy.
+/// One sequential scan: runs of the last (fastest) column are compared
+/// against a prefix that only advances once per run.
+pub fn is_odometer_ordered(rel: &FunctionalRelation, domains: &[u64]) -> bool {
+    let arity = rel.schema().arity();
+    if domains.len() != arity || grid_cells(domains) != Some(rel.len() as u64) {
+        return false;
+    }
+    if arity == 0 || rel.is_empty() {
+        return true;
+    }
+    let vals = rel.values_raw();
+    let dlast = domains[arity - 1];
+    if dlast == 0 {
+        return false;
+    }
+    let mut prefix = vec![0 as Value; arity - 1];
+    let mut i = 0usize;
+    for _ in 0..rel.len() as u64 / dlast {
+        // Accumulate mismatches branchlessly within a run; one test per
+        // run keeps the hot loop a straight compare.
+        let mut ok = true;
+        for j in 0..dlast as Value {
+            for (c, &p) in prefix.iter().enumerate() {
+                ok &= vals[i + c] == p;
+            }
+            ok &= vals[i + arity - 1] == j;
+            i += arity;
+        }
+        if !ok {
+            return false;
+        }
+        for c in (0..arity - 1).rev() {
+            prefix[c] += 1;
+            if (prefix[c] as u64) < domains[c] {
+                break;
+            }
+            prefix[c] = 0;
+        }
+    }
+    true
+}
+
+/// The grid size for a domain vector, or `None` when it overflows
+/// [`MAX_DENSE_CELLS`] (or `u64`).
+pub fn grid_cells(domains: &[u64]) -> Option<u64> {
+    let mut total: u64 = 1;
+    for &d in domains {
+        total = total.checked_mul(d)?;
+        if total > MAX_DENSE_CELLS {
+            return None;
+        }
+    }
+    Some(total)
+}
+
+impl DenseFactor {
+    /// A factor with every cell set to `fill`. Returns `None` when the
+    /// grid exceeds [`MAX_DENSE_CELLS`] or `domains.len()` does not match
+    /// the schema arity.
+    pub fn filled(
+        name: impl Into<String>,
+        schema: Schema,
+        domains: Vec<u64>,
+        fill: f64,
+    ) -> Option<DenseFactor> {
+        if domains.len() != schema.arity() {
+            return None;
+        }
+        let total = grid_cells(&domains)?;
+        let strides = strides_of(&domains);
+        Some(DenseFactor {
+            name: name.into(),
+            schema,
+            domains,
+            strides,
+            values: vec![fill; total as usize],
+        })
+    }
+
+    /// Densify a relation onto the given grid. Absent cells take `fill`;
+    /// returns `None` when the grid is too large, a row falls outside it,
+    /// or two rows share an argument tuple (a functional relation is a
+    /// set, so a duplicate means the caller's data is invalid — fall back
+    /// to the sparse path rather than pick a winner).
+    ///
+    /// A relation that is complete over the grid *in odometer order* (the
+    /// order [`FunctionalRelation::complete`] and
+    /// [`DenseFactor::into_relation`] emit — every dense-kernel round
+    /// trip) takes a fast path: verify the order with one sequential
+    /// scan and move the measures wholesale, skipping the fill pass, the
+    /// duplicate bitmap, and the scattered writes.
+    pub fn from_relation(
+        rel: &FunctionalRelation,
+        domains: &[u64],
+        fill: f64,
+    ) -> Option<DenseFactor> {
+        if domains.len() != rel.schema().arity() {
+            return None;
+        }
+        let total = grid_cells(domains)?;
+        if rel.len() as u64 == total {
+            if let Some(out) = DenseFactor::from_odometer_ordered(rel, domains) {
+                return Some(out);
+            }
+        }
+        let mut out = DenseFactor::filled(
+            rel.name().to_string(),
+            rel.schema().clone(),
+            domains.to_vec(),
+            fill,
+        )?;
+        let mut written = vec![false; out.values.len()];
+        for (row, m) in rel.rows() {
+            let idx = out.checked_index_of(row)?;
+            if written[idx] {
+                return None;
+            }
+            written[idx] = true;
+            out.values[idx] = m;
+        }
+        Some(out)
+    }
+
+    /// The fast conversion: if `rel`'s rows are exactly the grid's
+    /// odometer sequence (which also proves completeness, uniqueness, and
+    /// bounds), the measure column *is* the dense value array.
+    fn from_odometer_ordered(rel: &FunctionalRelation, domains: &[u64]) -> Option<DenseFactor> {
+        if !is_odometer_ordered(rel, domains) {
+            return None;
+        }
+        Some(DenseFactor {
+            name: rel.name().to_string(),
+            schema: rel.schema().clone(),
+            domains: domains.to_vec(),
+            strides: strides_of(domains),
+            values: rel.measures().to_vec(),
+        })
+    }
+
+    /// The factor's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The factor's variable schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Per-variable domain sizes, in schema order.
+    pub fn domains(&self) -> &[u64] {
+        &self.domains
+    }
+
+    /// Row-major strides, in schema order.
+    pub fn strides(&self) -> &[u64] {
+        &self.strides
+    }
+
+    /// Total grid cells.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the grid is empty (some domain is 0).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The cell measures, row-major.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable cell measures (for in-place kernels).
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// The grid index of a variable-value row (row-major odometer).
+    #[inline]
+    pub fn index_of(&self, row: &[Value]) -> usize {
+        debug_assert_eq!(row.len(), self.strides.len());
+        row.iter()
+            .zip(&self.strides)
+            .map(|(&v, &s)| v as u64 * s)
+            .sum::<u64>() as usize
+    }
+
+    /// [`DenseFactor::index_of`] with bounds checking; `None` when a value
+    /// falls outside its domain.
+    pub fn checked_index_of(&self, row: &[Value]) -> Option<usize> {
+        if row.len() != self.strides.len() {
+            return None;
+        }
+        let mut idx: u64 = 0;
+        for ((&v, &d), &s) in row.iter().zip(&self.domains).zip(&self.strides) {
+            if (v as u64) >= d {
+                return None;
+            }
+            idx += v as u64 * s;
+        }
+        Some(idx as usize)
+    }
+
+    /// Decompose a grid index into the variable values of its row,
+    /// written into `row` (schema order).
+    #[inline]
+    pub fn row_of(&self, idx: usize, row: &mut [Value]) {
+        debug_assert_eq!(row.len(), self.strides.len());
+        let mut rem = idx as u64;
+        for (c, &s) in self.strides.iter().enumerate() {
+            row[c] = (rem / s) as Value;
+            rem %= s;
+        }
+    }
+
+    /// Materialize back into a sparse [`FunctionalRelation`], emitting
+    /// every grid cell in odometer order (the same row order
+    /// [`FunctionalRelation::complete`] produces). Cells are pre-sized and
+    /// filled directly.
+    pub fn to_relation(&self) -> FunctionalRelation {
+        self.clone().into_relation()
+    }
+
+    /// [`DenseFactor::to_relation`], consuming the factor so the cell
+    /// measures move into the relation without a copy.
+    pub fn into_relation(self) -> FunctionalRelation {
+        let arity = self.schema.arity();
+        let total = self.values.len();
+        let mut values = vec![0 as Value; total * arity];
+        if arity > 0 && total > 0 {
+            // Emit runs of the last (fastest) column under a prefix that
+            // advances once per run — the odometer never branches inside
+            // the hot per-row loop.
+            let dlast = self.domains[arity - 1];
+            let mut prefix = vec![0 as Value; arity - 1];
+            let mut w = 0usize;
+            for _ in 0..total as u64 / dlast {
+                for j in 0..dlast {
+                    values[w..w + arity - 1].copy_from_slice(&prefix);
+                    values[w + arity - 1] = j as Value;
+                    w += arity;
+                }
+                for c in (0..arity - 1).rev() {
+                    prefix[c] += 1;
+                    if (prefix[c] as u64) < self.domains[c] {
+                        break;
+                    }
+                    prefix[c] = 0;
+                }
+            }
+        }
+        FunctionalRelation::from_parts(self.name, self.schema, values, self.values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Catalog, VarId};
+
+    fn fixture() -> (Catalog, VarId, VarId) {
+        let mut c = Catalog::new();
+        let a = c.add_var("a", 2).unwrap();
+        let b = c.add_var("b", 3).unwrap();
+        (c, a, b)
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        assert_eq!(strides_of(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(strides_of(&[5]), vec![1]);
+        assert_eq!(strides_of(&[]), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn grid_cells_guards_overflow() {
+        assert_eq!(grid_cells(&[2, 3]), Some(6));
+        assert_eq!(grid_cells(&[1 << 20, 1 << 20]), None);
+        assert_eq!(grid_cells(&[u64::MAX, u64::MAX]), None);
+        assert_eq!(grid_cells(&[]), Some(1));
+    }
+
+    #[test]
+    fn complete_relation_round_trips() {
+        let (cat, a, b) = fixture();
+        let schema = Schema::new(vec![a, b]).unwrap();
+        let rel =
+            FunctionalRelation::complete("r", schema, &cat, |row| (row[0] * 10 + row[1]) as f64);
+        let dense = rel.try_to_dense(&cat, 0.0).expect("complete fits");
+        assert_eq!(dense.len(), 6);
+        assert_eq!(dense.index_of(&[1, 2]), 5);
+        assert_eq!(dense.values()[dense.index_of(&[1, 2])], 12.0);
+        let mut row = [0, 0];
+        dense.row_of(5, &mut row);
+        assert_eq!(row, [1, 2]);
+        let back = dense.to_relation();
+        assert!(back.function_eq(&rel));
+        // `to_relation` emits odometer order: bit-identical to `complete`.
+        assert_eq!(back, rel);
+    }
+
+    #[test]
+    fn sparse_rows_fill_with_identity() {
+        let (cat, a, b) = fixture();
+        let schema = Schema::new(vec![a, b]).unwrap();
+        let rel =
+            FunctionalRelation::from_rows("r", schema, [(vec![0, 1], 2.0), (vec![1, 2], 3.0)])
+                .unwrap();
+        let dense = rel.try_to_dense(&cat, 0.0).expect("grid fits");
+        assert_eq!(dense.len(), 6);
+        assert_eq!(dense.values()[dense.index_of(&[0, 1])], 2.0);
+        assert_eq!(dense.values()[dense.index_of(&[0, 0])], 0.0);
+        let back = dense.to_relation();
+        assert_eq!(back.len(), 6);
+        assert_eq!(back.lookup(&[1, 2]), Some(3.0));
+        assert_eq!(back.lookup(&[1, 0]), Some(0.0));
+    }
+
+    #[test]
+    fn conversion_refuses_bad_input() {
+        let (cat, a, b) = fixture();
+        let schema = Schema::new(vec![a, b]).unwrap();
+        // A value outside the grid.
+        let mut rel = FunctionalRelation::new("r", schema.clone());
+        rel.push_row(&[0, 7], 1.0).unwrap();
+        assert!(rel.try_to_dense(&cat, 0.0).is_none());
+        // A duplicate argument tuple.
+        let mut dup = FunctionalRelation::new("d", schema.clone());
+        dup.push_row(&[0, 1], 1.0).unwrap();
+        dup.push_row(&[0, 1], 2.0).unwrap();
+        assert!(dup.try_to_dense(&cat, 0.0).is_none());
+        // A grid beyond MAX_DENSE_CELLS.
+        let mut big = Catalog::new();
+        let x = big.add_var("x", 1 << 13).unwrap();
+        let y = big.add_var("y", 1 << 13).unwrap();
+        let wide = FunctionalRelation::new("w", Schema::new(vec![x, y]).unwrap());
+        assert!(wide.try_to_dense(&big, 0.0).is_none());
+    }
+
+    #[test]
+    fn inferred_domains_cover_data() {
+        let (_, a, b) = fixture();
+        let schema = Schema::new(vec![a, b]).unwrap();
+        let rel =
+            FunctionalRelation::from_rows("r", schema.clone(), [(vec![1, 0], 1.0), (vec![0, 2], 2.0)])
+                .unwrap();
+        assert_eq!(rel.inferred_domains(), vec![2, 3]);
+        assert_eq!(FunctionalRelation::new("e", schema).inferred_domains(), vec![0, 0]);
+    }
+}

@@ -17,6 +17,7 @@
 
 mod catalog;
 pub mod csv_io;
+pub mod dense;
 mod error;
 mod key;
 mod relation;
@@ -24,11 +25,12 @@ mod schema;
 mod stats;
 
 pub use catalog::{Catalog, Dictionary, VarId, VarInfo};
+pub use dense::DenseFactor;
 pub use error::StorageError;
 pub use key::Key;
 pub use relation::FunctionalRelation;
 pub use schema::Schema;
-pub use stats::RelationStats;
+pub use stats::{density_of, RelationStats};
 
 /// A value of a discrete variable domain, represented as an index
 /// `0..domain_size`.

@@ -61,24 +61,48 @@ impl FunctionalRelation {
     ) -> Self {
         let arity = schema.arity();
         let domains: Vec<u64> = schema.iter().map(|v| catalog.domain_size(v)).collect();
-        let total: u64 = domains.iter().product();
-        let mut rel = Self::new(name, schema);
-        rel.values.reserve(total as usize * arity);
-        rel.measures.reserve(total as usize);
+        let total = domains.iter().product::<u64>() as usize;
+        // Pre-size and fill by index: this is the data-generation hot loop
+        // for every complete-relation benchmark, and growth-amortized
+        // `extend_from_slice` bounds checks dominate it otherwise.
+        let mut values = vec![0 as Value; total * arity];
+        let mut measures = Vec::with_capacity(total);
         let mut row = vec![0u32; arity];
-        for _ in 0..total {
-            rel.values.extend_from_slice(&row);
-            rel.measures.push(measure_fn(&row));
+        for i in 0..total {
+            values[i * arity..(i + 1) * arity].copy_from_slice(&row);
+            measures.push(measure_fn(&row));
             // Odometer increment.
-            for i in (0..arity).rev() {
-                row[i] += 1;
-                if (row[i] as u64) < domains[i] {
+            for c in (0..arity).rev() {
+                row[c] += 1;
+                if (row[c] as u64) < domains[c] {
                     break;
                 }
-                row[i] = 0;
+                row[c] = 0;
             }
         }
-        rel
+        Self {
+            name: name.into(),
+            schema,
+            values,
+            measures,
+        }
+    }
+
+    /// Assemble a relation from pre-built packed columns (crate-internal:
+    /// the dense⇄sparse converters fill `values`/`measures` directly).
+    pub(crate) fn from_parts(
+        name: impl Into<String>,
+        schema: Schema,
+        values: Vec<Value>,
+        measures: Vec<f64>,
+    ) -> Self {
+        debug_assert_eq!(values.len(), measures.len() * schema.arity());
+        Self {
+            name: name.into(),
+            schema,
+            values,
+            measures,
+        }
     }
 
     /// Append a row.
@@ -160,6 +184,12 @@ impl FunctionalRelation {
         &self.measures
     }
 
+    /// The flat value storage (row-major), for the dense conversion fast
+    /// paths that scan all rows without per-row slice bookkeeping.
+    pub(crate) fn values_raw(&self) -> &[Value] {
+        &self.values
+    }
+
     /// Overwrite the `i`th row's measure (used by aggregation operators to
     /// fold into an accumulator row in place).
     #[inline]
@@ -219,6 +249,39 @@ impl FunctionalRelation {
     pub fn is_complete(&self, catalog: &Catalog) -> bool {
         let total = catalog.domain_product(self.schema.iter());
         self.len() as u64 == total && self.validate_fd().is_ok()
+    }
+
+    /// Per-column domain sizes inferred from the data (`max value + 1`;
+    /// 0 for an empty relation). For a complete relation this equals the
+    /// catalog domains; for any relation it is the tightest odometer grid
+    /// that still covers every row, which is what the dense kernels index
+    /// over when no catalog is in scope.
+    pub fn inferred_domains(&self) -> Vec<u64> {
+        let arity = self.schema.arity();
+        let mut max = vec![0u64; arity];
+        if self.is_empty() {
+            return max;
+        }
+        for i in 0..self.len() {
+            for (c, &v) in self.row(i).iter().enumerate() {
+                if (v as u64) >= max[c] {
+                    max[c] = v as u64 + 1;
+                }
+            }
+        }
+        max
+    }
+
+    /// Convert to a [`crate::DenseFactor`] over the catalog's domain grid,
+    /// with absent rows taking the measure `fill` (the caller passes the
+    /// semiring's additive identity: under MPF semantics a missing row *is*
+    /// the additive zero). Returns `None` when the grid does not fit
+    /// ([`crate::dense::MAX_DENSE_CELLS`]), a value falls outside its
+    /// catalog domain, or a duplicate argument tuple makes the relation
+    /// non-functional.
+    pub fn try_to_dense(&self, catalog: &Catalog, fill: f64) -> Option<crate::DenseFactor> {
+        let domains: Vec<u64> = self.schema.iter().map(|v| catalog.domain_size(v)).collect();
+        crate::DenseFactor::from_relation(self, &domains, fill)
     }
 
     /// Build a hash index from key columns to row indices. `positions` are

@@ -1,23 +1,29 @@
 use std::collections::HashSet;
 
-use crate::{FunctionalRelation, Value};
+use crate::{Catalog, FunctionalRelation, Value};
 
 /// Per-relation statistics, computed by scanning the relation once.
 ///
 /// Together with the catalog's domain sizes these are the inputs to the
 /// optimizer's cardinality estimator and to the plan linearity test of
 /// Section 5.1 (which needs `σ̂_X`, the size of the smallest base relation
-/// containing a variable).
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// containing a variable). `density` feeds the dense-path selection rule:
+/// a relation at density 1.0 is complete, and the odometer-indexed
+/// kernels beat the hash operators on it.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RelationStats {
     /// Row count.
     pub cardinality: u64,
     /// Distinct value count per column, in schema order.
     pub distinct_per_col: Vec<u64>,
+    /// Exact density: rows ÷ ∏ catalog domain sizes (1.0 for a complete
+    /// relation, `NaN` when computed without a catalog).
+    pub density: f64,
 }
 
 impl RelationStats {
-    /// Compute statistics for a relation.
+    /// Compute statistics for a relation, without a catalog (`density` is
+    /// `NaN`; use [`RelationStats::compute_with_catalog`] to record it).
     pub fn compute(rel: &FunctionalRelation) -> Self {
         let arity = rel.arity();
         let mut seen: Vec<HashSet<Value>> = vec![HashSet::new(); arity];
@@ -29,7 +35,27 @@ impl RelationStats {
         RelationStats {
             cardinality: rel.len() as u64,
             distinct_per_col: seen.into_iter().map(|s| s.len() as u64).collect(),
+            density: f64::NAN,
         }
+    }
+
+    /// Compute statistics including the exact density (rows ÷ ∏ domain
+    /// sizes over the relation's schema).
+    pub fn compute_with_catalog(rel: &FunctionalRelation, catalog: &Catalog) -> Self {
+        let mut stats = Self::compute(rel);
+        stats.density = density_of(rel.len() as u64, catalog.domain_product(rel.schema().iter()));
+        stats
+    }
+}
+
+/// Density of `rows` over a `grid`-cell domain cross product, clamped to
+/// `[0, 1]` (an over-full relation is treated as dense, and an empty grid
+/// as empty).
+pub fn density_of(rows: u64, grid: u64) -> f64 {
+    if grid == 0 {
+        0.0
+    } else {
+        (rows as f64 / grid as f64).min(1.0)
     }
 }
 
@@ -58,6 +84,22 @@ mod tests {
         let s = RelationStats::compute(&r);
         assert_eq!(s.cardinality, 4);
         assert_eq!(s.distinct_per_col, vec![3, 2]);
+        assert!(s.density.is_nan());
+        let s = RelationStats::compute_with_catalog(&r, &c);
+        assert_eq!(s.density, 0.04);
+    }
+
+    #[test]
+    fn density_is_exact_and_clamped() {
+        let mut c = Catalog::new();
+        let a = c.add_var("a", 2).unwrap();
+        let b = c.add_var("b", 3).unwrap();
+        let schema = Schema::new(vec![a, b]).unwrap();
+        let r = FunctionalRelation::complete("r", schema, &c, |_| 1.0);
+        let s = RelationStats::compute_with_catalog(&r, &c);
+        assert_eq!(s.density, 1.0);
+        assert_eq!(density_of(12, 6), 1.0, "over-full clamps to 1");
+        assert_eq!(density_of(5, 0), 0.0, "empty grid is empty");
     }
 
     #[test]

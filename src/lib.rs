@@ -44,7 +44,7 @@
 //! ).unwrap()).unwrap();
 //! db.create_view("v", &["r1"], Combine::Product).unwrap();
 //!
-//! let ans = db.query(&Query::on("v").group_by(["a"])).unwrap();
+//! let ans = db.run(&Query::on("v").group_by(["a"])).unwrap();
 //! assert_eq!(ans.relation.lookup(&[0]), Some(3.0));
 //!
 //! // Or via the paper's SQL extension:

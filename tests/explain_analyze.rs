@@ -4,7 +4,7 @@
 //! golden text must hold at `MPF_THREADS=1` and `MPF_THREADS=4`.
 
 use mpf::datagen::{SupplyChain, SupplyChainConfig};
-use mpf::engine::{Database, Query, QueryRequest, SpanKind, Strategy, TraceLevel};
+use mpf::engine::{Database, DenseMode, Query, QueryRequest, SpanKind, Strategy, TraceLevel};
 use mpf::infer::BayesNet;
 use mpf::optimizer::Heuristic;
 use mpf::semiring::Combine;
@@ -41,7 +41,8 @@ fn supply_chain_db() -> Database {
         ctdeals_density: 0.7,
         ..Default::default()
     });
-    let mut db = Database::from_parts(sc.catalog, sc.store);
+    // Pinned so the snapshots don't depend on the ambient MPF_DENSE.
+    let mut db = Database::from_parts(sc.catalog, sc.store).with_dense(DenseMode::Auto);
     db.run_sql(
         "create mpfview invest as (select pid, sid, wid, cid, tid, \
          measure = (* c.price, l.quantity, w.overhead, ct.discount, t.overhead) \
@@ -56,7 +57,8 @@ fn supply_chain_db() -> Database {
 /// the product view over the four CPTs (Section 4 of the paper).
 fn sprinkler_db() -> Database {
     let bn = BayesNet::sprinkler();
-    let mut db = Database::from_parts(bn.catalog().clone(), Default::default());
+    let mut db =
+        Database::from_parts(bn.catalog().clone(), Default::default()).with_dense(DenseMode::Auto);
     for cpt in bn.cpts() {
         db.insert_relation(cpt.clone()).unwrap();
     }
@@ -86,8 +88,8 @@ fn supply_chain_explain_analyze_snapshot() {
 GroupBy (HashAgg)  (est rows=20.0, rows=20, cells=40, time=_)
   ProductJoin (Hash)  (est rows=20.0, rows=20, cells=60, time=_)
     ProductJoin (Hash)  (est rows=20.0, rows=20, cells=60, time=_)
-      GroupBy (HashAgg)  (est rows=4.0, rows=4, cells=8, time=_)
-        ProductJoin (Hash)  (est rows=6.0, rows=6, cells=18, time=_)
+      GroupBy (DenseAgg)  (est rows=4.0, rows=4, cells=8, time=_)
+        ProductJoin (Dense)  (est rows=6.0, rows=6, cells=18, time=_)
           Scan transporters  (est rows=2.0, rows=2, cells=4, time=_)
           Scan ctdeals  (est rows=6.0, rows=6, cells=18, time=_)
       Scan warehouses  (est rows=20.0, rows=20, cells=60, time=_)
@@ -114,12 +116,12 @@ fn bayes_net_explain_analyze_snapshot() {
 -- strategy: ve+(degree)
 -- estimated cost: 86.00
 -- rows scanned=18, processed=68, peak intermediate=8, page io=17
-GroupBy (HashAgg)  (est rows=2.0, rows=2, cells=4, time=_)
-  ProductJoin (Hash)  (est rows=8.0, rows=8, cells=40, time=_)
+GroupBy (DenseAgg)  (est rows=2.0, rows=2, cells=4, time=_)
+  ProductJoin (Dense)  (est rows=8.0, rows=8, cells=40, time=_)
     Select  (est rows=4.0, rows=4, cells=16, time=_)
       Scan cpt_wet  (est rows=8.0, rows=8, cells=32, time=_)
-    ProductJoin (Hash)  (est rows=8.0, rows=8, cells=32, time=_)
-      ProductJoin (Hash)  (est rows=4.0, rows=4, cells=12, time=_)
+    ProductJoin (Dense)  (est rows=8.0, rows=8, cells=32, time=_, dense=true)
+      ProductJoin (Dense)  (est rows=4.0, rows=4, cells=12, time=_, dense=true)
         Scan cpt_cloudy  (est rows=2.0, rows=2, cells=4, time=_)
         Scan cpt_sprinkler  (est rows=4.0, rows=4, cells=12, time=_)
       Scan cpt_rain  (est rows=4.0, rows=4, cells=12, time=_)
