@@ -1,0 +1,130 @@
+//! Typed parsing for the engine's environment knobs.
+//!
+//! The execution layer reads two environment variables: `MPF_THREADS`
+//! (worker threads, [`crate::limits::default_threads`]) and `MPF_DENSE`
+//! (dense-kernel dispatch, [`crate::DenseMode::from_env`]). The runtime
+//! defaults are deliberately lenient — a malformed value falls back so a
+//! hot query path never errors on configuration — but a *service* should
+//! refuse to start on a knob it cannot honor rather than silently run
+//! with different parallelism or kernels than the operator asked for.
+//!
+//! [`validate_env`] is that strict startup check: it parses both knobs
+//! and returns a typed [`ConfigError`] naming the variable, the rejected
+//! value, and what would have been accepted. `Database::from_env` and the
+//! `mpf_serve` binary call it before serving anything.
+
+use crate::dense::DenseMode;
+
+/// A configuration knob held a value that does not parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// The environment variable (e.g. `MPF_THREADS`).
+    pub var: String,
+    /// The rejected value, verbatim.
+    pub value: String,
+    /// What the knob accepts, for the error message.
+    pub expected: &'static str,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid {}=`{}`: expected {}",
+            self.var, self.value, self.expected
+        )
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Environment knobs validated at service startup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EnvKnobs {
+    /// `MPF_THREADS`, when set and valid.
+    pub threads: Option<usize>,
+    /// `MPF_DENSE`, when set and valid.
+    pub dense: Option<DenseMode>,
+}
+
+/// Parse an `MPF_THREADS` value: a positive integer.
+pub fn parse_threads(value: &str) -> Result<usize, ConfigError> {
+    match value.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(ConfigError {
+            var: "MPF_THREADS".into(),
+            value: value.into(),
+            expected: "a positive integer",
+        }),
+    }
+}
+
+/// Parse an `MPF_DENSE` value: `off`/`0`/`false`, `on`/`1`/`true`, or
+/// `auto`.
+pub fn parse_dense(value: &str) -> Result<DenseMode, ConfigError> {
+    match value.trim().to_ascii_lowercase().as_str() {
+        "off" | "0" | "false" => Ok(DenseMode::Off),
+        "on" | "1" | "true" => Ok(DenseMode::On),
+        "auto" => Ok(DenseMode::Auto),
+        _ => Err(ConfigError {
+            var: "MPF_DENSE".into(),
+            value: value.into(),
+            expected: "one of `off`, `on`, `auto` (or 0/1/false/true)",
+        }),
+    }
+}
+
+/// Strictly parse both environment knobs, rejecting malformed values
+/// instead of falling back. Unset variables are fine (`None`).
+pub fn validate_env() -> Result<EnvKnobs, ConfigError> {
+    let threads = match std::env::var("MPF_THREADS") {
+        Ok(v) => Some(parse_threads(&v)?),
+        Err(_) => None,
+    };
+    let dense = match std::env::var("MPF_DENSE") {
+        Ok(v) => Some(parse_dense(&v)?),
+        Err(_) => None,
+    };
+    Ok(EnvKnobs { threads, dense })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threads_accepts_positive_integers() {
+        assert_eq!(parse_threads("1").unwrap(), 1);
+        assert_eq!(parse_threads(" 8 ").unwrap(), 8);
+    }
+
+    #[test]
+    fn threads_rejects_malformed_values() {
+        for bad in ["0", "-2", "four", "", "1.5", "0x4"] {
+            let e = parse_threads(bad).unwrap_err();
+            assert_eq!(e.var, "MPF_THREADS");
+            assert_eq!(e.value, bad);
+            assert!(e.to_string().contains("positive integer"), "{e}");
+        }
+    }
+
+    #[test]
+    fn dense_accepts_documented_spellings() {
+        assert_eq!(parse_dense("off").unwrap(), DenseMode::Off);
+        assert_eq!(parse_dense("0").unwrap(), DenseMode::Off);
+        assert_eq!(parse_dense("FALSE").unwrap(), DenseMode::Off);
+        assert_eq!(parse_dense("on").unwrap(), DenseMode::On);
+        assert_eq!(parse_dense("1").unwrap(), DenseMode::On);
+        assert_eq!(parse_dense(" auto ").unwrap(), DenseMode::Auto);
+    }
+
+    #[test]
+    fn dense_rejects_malformed_values() {
+        for bad in ["dense", "2", "", "yes please"] {
+            let e = parse_dense(bad).unwrap_err();
+            assert_eq!(e.var, "MPF_DENSE");
+            assert_eq!(e.value, bad);
+            assert!(e.to_string().contains("`auto`"), "{e}");
+        }
+    }
+}

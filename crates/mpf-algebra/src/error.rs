@@ -80,10 +80,14 @@ impl std::fmt::Display for AlgebraError {
                 resource,
                 limit,
                 observed,
-            } => write!(
-                f,
-                "execution exceeded the {resource} budget: limit {limit}, observed {observed}"
-            ),
+            } => {
+                let unit = resource.unit();
+                write!(
+                    f,
+                    "execution exceeded the {resource} budget: \
+                     limit {limit} {unit}, consumed {observed} {unit}"
+                )
+            }
             AlgebraError::Cancelled => write!(f, "execution cancelled"),
             AlgebraError::NonFiniteMeasure { op, value } => write!(
                 f,

@@ -29,6 +29,7 @@
 //! counters (rows and simulated page IO) that the experiment harnesses
 //! use alongside wall-clock time.
 
+pub mod config;
 mod context;
 mod error;
 mod exec;
@@ -45,11 +46,12 @@ pub mod sort_ops;
 mod stats;
 pub mod trace;
 
+pub use config::{ConfigError, EnvKnobs};
 pub use context::ExecContext;
 pub use dense::DenseMode;
 pub use error::AlgebraError;
 pub use exec::Executor;
-pub use limits::{CancelToken, ExecBudget, ExecLimits, OpGuard, ResourceKind};
+pub use limits::{BudgetLease, BudgetPool, CancelToken, ExecBudget, ExecLimits, OpGuard, ResourceKind};
 pub use metrics::MetricsRegistry;
 pub use physical::{AggAlgo, JoinAlgo, PhysicalPlan};
 pub use plan::{Plan, MAX_PLAN_DEPTH};

@@ -23,7 +23,7 @@
 //! back to a cheaper strategy or surface a typed error.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::{AlgebraError, Result};
@@ -37,6 +37,23 @@ pub enum ResourceKind {
     TotalCells,
     /// The wall-clock deadline passed.
     WallClock,
+    /// A worker-thread reservation could not be satisfied (the shared
+    /// [`BudgetPool`] had no thread tokens left).
+    Threads,
+}
+
+impl ResourceKind {
+    /// The unit the limit/consumed figures of this budget are measured
+    /// in; error messages print it so a shed/reject response names not
+    /// just *that* a budget tripped but *what* ran out.
+    pub fn unit(&self) -> &'static str {
+        match self {
+            ResourceKind::OutputRows => "rows",
+            ResourceKind::TotalCells => "cells",
+            ResourceKind::WallClock => "ms",
+            ResourceKind::Threads => "threads",
+        }
+    }
 }
 
 impl std::fmt::Display for ResourceKind {
@@ -45,6 +62,7 @@ impl std::fmt::Display for ResourceKind {
             ResourceKind::OutputRows => write!(f, "per-operator output-row"),
             ResourceKind::TotalCells => write!(f, "total materialized-cell"),
             ResourceKind::WallClock => write!(f, "wall-clock"),
+            ResourceKind::Threads => write!(f, "worker-thread"),
         }
     }
 }
@@ -367,6 +385,150 @@ impl<'a> OpGuard<'a> {
     }
 }
 
+/// A process-wide admission pool of execution resources, shared by every
+/// in-flight query of a multi-tenant service.
+///
+/// Individual queries are bounded by their own [`ExecLimits`]; the pool
+/// bounds the *sum*: a service grants each admitted query a lease of
+/// materialized-cell budget and worker threads, and the grant comes back
+/// when the lease drops — even on panic or early return. When the pool
+/// cannot satisfy a request it returns the same typed
+/// [`AlgebraError::ResourceExhausted`] the per-query budgets use, with
+/// `limit` = the pool's capacity and `observed` = what granting the
+/// request would have consumed, so a shed response can tell the tenant
+/// exactly which resource ran out and by how much.
+///
+/// The pool deliberately has no queue: callers that want to wait-then-
+/// retry implement their own bounded queue on top (the `mpf-serve`
+/// admission controller does), keeping "no capacity right now" a cheap,
+/// non-blocking check here.
+#[derive(Debug)]
+pub struct BudgetPool {
+    total_cells: u64,
+    total_threads: usize,
+    state: Mutex<PoolState>,
+}
+
+#[derive(Debug)]
+struct PoolState {
+    cells_in_use: u64,
+    threads_in_use: usize,
+}
+
+/// A grant of pooled resources; returns them to the [`BudgetPool`] on
+/// drop.
+#[derive(Debug)]
+pub struct BudgetLease {
+    pool: Arc<BudgetPool>,
+    cells: u64,
+    threads: usize,
+}
+
+impl BudgetPool {
+    /// A pool of `total_cells` materialized cells and `total_threads`
+    /// worker threads (both clamped to at least 1).
+    pub fn new(total_cells: u64, total_threads: usize) -> Arc<BudgetPool> {
+        Arc::new(BudgetPool {
+            total_cells: total_cells.max(1),
+            total_threads: total_threads.max(1),
+            state: Mutex::new(PoolState {
+                cells_in_use: 0,
+                threads_in_use: 0,
+            }),
+        })
+    }
+
+    /// Total cell capacity.
+    pub fn total_cells(&self) -> u64 {
+        self.total_cells
+    }
+
+    /// Total thread capacity.
+    pub fn total_threads(&self) -> usize {
+        self.total_threads
+    }
+
+    /// Cells currently leased.
+    pub fn cells_in_use(&self) -> u64 {
+        self.lock().cells_in_use
+    }
+
+    /// Threads currently leased.
+    pub fn threads_in_use(&self) -> usize {
+        self.lock().threads_in_use
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, PoolState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Try to lease `cells` and `threads` from the pool. Non-blocking:
+    /// the typed error says which resource is exhausted (threads are
+    /// checked first — a query that cannot run at all is reported before
+    /// its memory ask). A request for more than the pool's *capacity*
+    /// can never succeed; the error's figures make that visible
+    /// (`observed > limit` even with an idle pool).
+    pub fn try_lease(
+        self: &Arc<Self>,
+        cells: u64,
+        threads: usize,
+    ) -> Result<BudgetLease> {
+        let threads = threads.max(1);
+        let mut st = self.lock();
+        let threads_would_use = st.threads_in_use.saturating_add(threads);
+        if threads_would_use > self.total_threads {
+            return Err(AlgebraError::ResourceExhausted {
+                resource: ResourceKind::Threads,
+                limit: self.total_threads as u64,
+                observed: threads_would_use as u64,
+            });
+        }
+        let cells_would_use = st.cells_in_use.saturating_add(cells);
+        if cells_would_use > self.total_cells {
+            return Err(AlgebraError::ResourceExhausted {
+                resource: ResourceKind::TotalCells,
+                limit: self.total_cells,
+                observed: cells_would_use,
+            });
+        }
+        st.cells_in_use = cells_would_use;
+        st.threads_in_use = threads_would_use;
+        drop(st);
+        Ok(BudgetLease {
+            pool: Arc::clone(self),
+            cells,
+            threads,
+        })
+    }
+}
+
+impl BudgetLease {
+    /// Cells granted by this lease.
+    pub fn cells(&self) -> u64 {
+        self.cells
+    }
+
+    /// Threads granted by this lease.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// [`ExecLimits`] bounding a query to exactly this lease's grant.
+    pub fn limits(&self) -> ExecLimits {
+        ExecLimits::none()
+            .with_max_total_cells(self.cells)
+            .with_threads(self.threads)
+    }
+}
+
+impl Drop for BudgetLease {
+    fn drop(&mut self) {
+        let mut st = self.pool.lock();
+        st.cells_in_use = st.cells_in_use.saturating_sub(self.cells);
+        st.threads_in_use = st.threads_in_use.saturating_sub(self.threads);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -506,5 +668,63 @@ mod tests {
             guard.produced().unwrap();
         }
         guard.finish().unwrap();
+    }
+
+    #[test]
+    fn pool_leases_and_returns_on_drop() {
+        let pool = BudgetPool::new(100, 4);
+        let a = pool.try_lease(60, 2).unwrap();
+        assert_eq!(pool.cells_in_use(), 60);
+        assert_eq!(pool.threads_in_use(), 2);
+        let b = pool.try_lease(40, 2).unwrap();
+        assert_eq!(pool.cells_in_use(), 100);
+        drop(a);
+        assert_eq!(pool.cells_in_use(), 40);
+        assert_eq!(pool.threads_in_use(), 2);
+        drop(b);
+        assert_eq!(pool.cells_in_use(), 0);
+        assert_eq!(pool.threads_in_use(), 0);
+    }
+
+    #[test]
+    fn pool_exhaustion_is_typed_per_resource() {
+        let pool = BudgetPool::new(100, 2);
+        let _held = pool.try_lease(90, 2).unwrap();
+        // Threads run out first and are reported first.
+        match pool.try_lease(5, 1).unwrap_err() {
+            AlgebraError::ResourceExhausted {
+                resource: ResourceKind::Threads,
+                limit: 2,
+                observed: 3,
+            } => {}
+            other => panic!("unexpected error: {other:?}"),
+        }
+        drop(_held);
+        let _one_thread = pool.try_lease(90, 1).unwrap();
+        match pool.try_lease(20, 1).unwrap_err() {
+            AlgebraError::ResourceExhausted {
+                resource: ResourceKind::TotalCells,
+                limit: 100,
+                observed: 110,
+            } => {}
+            other => panic!("unexpected error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lease_limits_mirror_the_grant() {
+        let pool = BudgetPool::new(1000, 8);
+        let lease = pool.try_lease(250, 3).unwrap();
+        let limits = lease.limits();
+        assert_eq!(limits.max_total_cells, Some(250));
+        assert_eq!(limits.effective_threads(), 3);
+    }
+
+    #[test]
+    fn resource_kinds_name_their_units() {
+        assert_eq!(ResourceKind::OutputRows.unit(), "rows");
+        assert_eq!(ResourceKind::TotalCells.unit(), "cells");
+        assert_eq!(ResourceKind::WallClock.unit(), "ms");
+        assert_eq!(ResourceKind::Threads.unit(), "threads");
     }
 }

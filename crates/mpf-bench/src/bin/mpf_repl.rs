@@ -20,7 +20,7 @@ fn main() {
     let args = Args::capture();
     let scale: f64 = args.get("scale", 0.01);
     let sc = SupplyChain::generate(SupplyChainConfig::at_scale(scale));
-    let mut db = Database::from_parts(sc.catalog.clone(), sc.store.clone());
+    let db = Database::from_parts(sc.catalog.clone(), sc.store.clone());
     db.run_sql(
         "create mpfview invest as (select pid, sid, wid, cid, tid, \
          measure = (* c.price, l.quantity, w.overhead, ct.discount, t.overhead) \
@@ -50,7 +50,8 @@ fn main() {
         if line == "\\tables" {
             use mpf_algebra::RelationProvider;
             for name in RELATION_NAMES {
-                let rel = db.store().relation_of(name).unwrap();
+                let store = db.store();
+                let rel = store.relation_of(name).unwrap();
                 let vars: Vec<String> = rel
                     .schema()
                     .iter()
@@ -98,7 +99,7 @@ fn main() {
         }
         match db.run_sql(line) {
             Ok(SqlOutcome::Answer(ans)) => {
-                println!("{}", ans.relation.to_table_string(db.catalog()));
+                println!("{}", ans.relation.to_table_string(&db.catalog()));
                 println!(
                     "-- {} rows; optimized in {:?}, executed in {:?} ({} rows processed)",
                     ans.relation.len(),

@@ -1,5 +1,5 @@
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use mpf_algebra::{
@@ -16,6 +16,7 @@ use mpf_semiring::{resolve_semiring, Aggregate, Combine, SemiringKind};
 use mpf_storage::{Catalog, FunctionalRelation, Value, VarId};
 
 use crate::parser::{parse, Statement};
+use crate::snapshot::{CatalogRef, RelationRef, Snapshot, StoreRef, ViewRef};
 use crate::{Answer, EngineError, Query, QueryRequest, Result, Strategy};
 
 /// An MPF view definition: a product join of named base relations under a
@@ -115,16 +116,29 @@ pub enum SqlOutcome {
     Answer(Box<Answer>),
 }
 
-/// The engine facade: catalog + base relations + MPF views.
-#[derive(Debug, Clone)]
+/// The engine facade: catalog + base relations + MPF views, held as an
+/// atomically swappable [`Snapshot`] so many queries and writers can
+/// share one database concurrently.
+///
+/// Every read path ([`Database::run`], [`Database::describe`], ...)
+/// pins the current snapshot once at entry and uses it for the whole
+/// call; every mutator ([`Database::run_sql`], [`Database::add_var`],
+/// [`Database::insert_relation`], ...) takes `&self`, builds the next
+/// snapshot privately, and installs it with one pointer swap
+/// ([`Database::mutate`]). Long queries therefore never block writers,
+/// writers never corrupt in-flight queries, and `Arc<Database>` is
+/// `Send + Sync` — the shape the `mpf-serve` multi-tenant service runs.
+#[derive(Debug)]
 pub struct Database {
-    catalog: Catalog,
-    store: RelationStore,
-    views: HashMap<String, MpfView>,
+    /// The current snapshot. Readers hold the read lock only long enough
+    /// to clone the `Arc`; writers hold the write lock only for the
+    /// pointer swap.
+    shared: RwLock<Arc<Snapshot>>,
+    /// Serializes writers: the clone-modify-install sequence of
+    /// [`Database::mutate`] must not interleave, or one writer's install
+    /// would silently discard the other's changes.
+    writer: Mutex<()>,
     cost_model: CostModel,
-    /// Declared narrow functional dependencies (`X -> f` with
-    /// `X ⊂ Var(s)`), keyed by relation name; feed Proposition 1.
-    fds: HashMap<String, Vec<VarId>>,
     /// Resource budgets enforced on every query execution.
     limits: ExecLimits,
     /// Strategy fallback chain for recoverable query failures.
@@ -142,21 +156,79 @@ impl Default for Database {
     }
 }
 
+impl Clone for Database {
+    /// The clone shares the current snapshot (cheap `Arc` copy) but has
+    /// its own swap cell: subsequent mutations of either database do not
+    /// affect the other.
+    fn clone(&self) -> Database {
+        Database {
+            shared: RwLock::new(self.snapshot()),
+            writer: Mutex::new(()),
+            cost_model: self.cost_model,
+            limits: self.limits.clone(),
+            fallback: self.fallback.clone(),
+            dense: self.dense,
+            metrics: self.metrics.clone(),
+        }
+    }
+}
+
 impl Database {
     /// An empty database (IO cost model, no resource limits, default
     /// fallback chain).
     pub fn new() -> Database {
         Database {
-            catalog: Catalog::new(),
-            store: RelationStore::new(),
-            views: HashMap::new(),
+            shared: RwLock::new(Arc::new(Snapshot::default())),
+            writer: Mutex::new(()),
             cost_model: CostModel::Io,
-            fds: HashMap::new(),
             limits: ExecLimits::none(),
             fallback: FallbackPolicy::default(),
             dense: DenseMode::from_env(),
             metrics: None,
         }
+    }
+
+    /// An empty database configured from the environment knobs
+    /// (`MPF_THREADS`, `MPF_DENSE`) with *strict* parsing: a malformed
+    /// value is a typed [`EngineError::Config`] instead of the silent
+    /// fallback [`Database::new`] applies. Services should start here.
+    pub fn from_env() -> Result<Database> {
+        let knobs = mpf_algebra::config::validate_env().map_err(EngineError::Config)?;
+        let mut db = Database::new();
+        db.dense = knobs.dense.unwrap_or_default();
+        if let Some(threads) = knobs.threads {
+            db.limits = db.limits.clone().with_threads(threads);
+        }
+        Ok(db)
+    }
+
+    /// The current snapshot, pinned: the returned `Arc` keeps this
+    /// version of the catalog and data alive (and consistent) no matter
+    /// how many mutations install newer versions after it.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.shared
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Run one atomic mutation: clone the current snapshot, let `f`
+    /// modify the private copy, and — only if `f` succeeds — install the
+    /// result as the new current snapshot with a single pointer swap.
+    /// Writers serialize; readers are never blocked (in-flight queries
+    /// keep the snapshot they pinned at entry, so they observe either
+    /// entirely the old version or entirely the new one, never a mix).
+    ///
+    /// The `catalog::install` fault site fires between building and
+    /// installing the new snapshot; an injected fault (or any error from
+    /// `f`) leaves the current snapshot untouched.
+    pub fn mutate<T>(&self, f: impl FnOnce(&mut Snapshot) -> Result<T>) -> Result<T> {
+        let _serialize = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let mut next = (*self.snapshot()).clone();
+        let out = f(&mut next)?;
+        fault::check("catalog::install")?;
+        *self.shared.write().unwrap_or_else(|e| e.into_inner()) = Arc::new(next);
+        Ok(out)
     }
 
     /// Use a different cost model for plan selection.
@@ -219,55 +291,58 @@ impl Database {
     /// Build a database around an existing catalog and relation store (as
     /// produced by the `mpf-datagen` generators).
     pub fn from_parts(catalog: Catalog, store: RelationStore) -> Database {
-        Database {
+        let db = Database::new();
+        *db.shared.write().unwrap_or_else(|e| e.into_inner()) = Arc::new(Snapshot {
             catalog,
             store,
             views: HashMap::new(),
-            cost_model: CostModel::Io,
             fds: HashMap::new(),
-            limits: ExecLimits::none(),
-            fallback: FallbackPolicy::default(),
-            dense: DenseMode::from_env(),
-            metrics: None,
-        }
+        });
+        db
     }
 
-    /// The variable catalog.
-    pub fn catalog(&self) -> &Catalog {
-        &self.catalog
+    /// The variable catalog (of the current snapshot, pinned by the
+    /// returned guard).
+    pub fn catalog(&self) -> CatalogRef {
+        CatalogRef(self.snapshot())
     }
 
     /// Register a variable with its domain size.
-    pub fn add_var(&mut self, name: &str, domain: u64) -> Result<VarId> {
-        Ok(self.catalog.add_var(name, domain)?)
+    pub fn add_var(&self, name: &str, domain: u64) -> Result<VarId> {
+        self.mutate(|snap| Ok(snap.catalog.add_var(name, domain)?))
     }
 
     /// Insert a base relation, validating the functional dependency and the
     /// domain bounds.
-    pub fn insert_relation(&mut self, rel: FunctionalRelation) -> Result<()> {
-        rel.validate_fd()?;
-        rel.validate_domains(&self.catalog)?;
-        self.store.insert(rel);
-        Ok(())
+    pub fn insert_relation(&self, rel: FunctionalRelation) -> Result<()> {
+        self.mutate(|snap| {
+            rel.validate_fd()?;
+            rel.validate_domains(&snap.catalog)?;
+            snap.store.insert(rel);
+            Ok(())
+        })
     }
 
     /// Load a base relation from CSV (see [`mpf_storage::csv_io`]): the
     /// header names the variables (trailing column `f` is the measure),
     /// string cells are dictionary-encoded into the catalog, numeric cells
     /// are value indices. Returns the row count.
-    pub fn load_csv(&mut self, name: &str, reader: impl std::io::BufRead) -> Result<usize> {
-        let rel = mpf_storage::csv_io::read_csv(&mut self.catalog, name, reader)?;
-        let n = rel.len();
-        self.store.insert(rel);
-        Ok(n)
+    pub fn load_csv(&self, name: &str, mut reader: impl std::io::BufRead) -> Result<usize> {
+        self.mutate(|snap| {
+            let rel = mpf_storage::csv_io::read_csv(&mut snap.catalog, name, &mut reader)?;
+            let n = rel.len();
+            snap.store.insert(rel);
+            Ok(n)
+        })
     }
 
     /// Export a base relation as CSV, rendering dictionary labels.
     pub fn dump_csv(&self, name: &str, writer: impl std::io::Write) -> Result<()> {
-        let rel = self.store.relation_of(name).ok_or_else(|| {
+        let snap = self.snapshot();
+        let rel = snap.relation_of(name).ok_or_else(|| {
             EngineError::Storage(mpf_storage::StorageError::UnknownRelation(name.into()))
         })?;
-        mpf_storage::csv_io::write_csv(rel, &self.catalog, writer)
+        mpf_storage::csv_io::write_csv(rel, &snap.catalog, writer)
             .map_err(|e| EngineError::BadOverride(format!("csv write failed: {e}")))
     }
 
@@ -275,72 +350,61 @@ impl Database {
     /// relation (e.g. a primary key), after validating it holds on the
     /// data. Declared FDs enable the Proposition 1 elimination pruning in
     /// extended Variable Elimination.
-    pub fn declare_fd(&mut self, relation: &str, lhs: &[&str]) -> Result<()> {
-        let rel = self
-            .store
-            .relation_of(relation)
-            .ok_or_else(|| {
+    pub fn declare_fd(&self, relation: &str, lhs: &[&str]) -> Result<()> {
+        self.mutate(|snap| {
+            let rel = snap.relation_of(relation).ok_or_else(|| {
                 EngineError::Storage(mpf_storage::StorageError::UnknownRelation(
                     relation.to_string(),
                 ))
             })?;
-        let ids: Vec<VarId> = lhs
-            .iter()
-            .map(|n| self.catalog.var(n).map_err(EngineError::Storage))
-            .collect::<Result<_>>()?;
-        if !mpf_optimizer::prop1::fd_holds(rel, &ids) {
-            return Err(EngineError::Storage(
-                mpf_storage::StorageError::FdViolation {
-                    first_row: 0,
-                    second_row: 0,
-                },
-            ));
-        }
-        self.fds.insert(relation.to_string(), ids);
-        Ok(())
+            let ids: Vec<VarId> = lhs
+                .iter()
+                .map(|n| snap.catalog.var(n).map_err(EngineError::Storage))
+                .collect::<Result<_>>()?;
+            if !mpf_optimizer::prop1::fd_holds(rel, &ids) {
+                return Err(EngineError::Storage(
+                    mpf_storage::StorageError::FdViolation {
+                        first_row: 0,
+                        second_row: 0,
+                    },
+                ));
+            }
+            snap.fds.insert(relation.to_string(), ids);
+            Ok(())
+        })
     }
 
-    /// Look up a base relation.
-    pub fn relation(&self, name: &str) -> Option<&FunctionalRelation> {
-        self.store.relation_of(name)
+    /// Look up a base relation (pinned by the returned guard).
+    pub fn relation(&self, name: &str) -> Option<RelationRef> {
+        let snap = self.snapshot();
+        snap.relation_of(name)?;
+        Some(RelationRef {
+            snap,
+            name: name.to_string(),
+        })
     }
 
-    /// The relation store (for direct executor use).
-    pub fn store(&self) -> &RelationStore {
-        &self.store
+    /// The relation store (of the current snapshot, pinned by the
+    /// returned guard; for direct executor use).
+    pub fn store(&self) -> StoreRef {
+        StoreRef(self.snapshot())
     }
 
     /// Define an MPF view over existing base relations.
-    pub fn create_view(&mut self, name: &str, base: &[&str], combine: Combine) -> Result<()> {
-        if self.views.contains_key(name) {
-            return Err(EngineError::DuplicateView(name.to_string()));
-        }
-        if base.is_empty() {
-            return Err(EngineError::EmptyView(name.to_string()));
-        }
-        for b in base {
-            if !self.store.contains(b) {
-                return Err(EngineError::Storage(
-                    mpf_storage::StorageError::UnknownRelation(b.to_string()),
-                ));
-            }
-        }
-        self.views.insert(
-            name.to_string(),
-            MpfView {
-                name: name.to_string(),
-                base: base.iter().map(|s| s.to_string()).collect(),
-                combine,
-            },
-        );
-        Ok(())
+    pub fn create_view(&self, name: &str, base: &[&str], combine: Combine) -> Result<()> {
+        self.mutate(|snap| create_view_in(snap, name, base, combine))
     }
 
-    /// Look up a view definition.
-    pub fn view(&self, name: &str) -> Result<&MpfView> {
-        self.views
-            .get(name)
-            .ok_or_else(|| EngineError::UnknownView(name.to_string()))
+    /// Look up a view definition (pinned by the returned guard).
+    pub fn view(&self, name: &str) -> Result<ViewRef> {
+        let snap = self.snapshot();
+        if snap.view_of(name).is_none() {
+            return Err(EngineError::UnknownView(name.to_string()));
+        }
+        Ok(ViewRef {
+            snap,
+            name: name.to_string(),
+        })
     }
 
     /// Evaluate a query submission (Section 3.1 forms) and return the
@@ -355,16 +419,20 @@ impl Database {
 
     fn run_request(&self, req: &QueryRequest<'_>) -> Result<Answer> {
         let t0 = Instant::now();
+        // One snapshot for the whole query: every name resolution, plan,
+        // and scan below sees this version, no matter what writers
+        // install concurrently.
+        let snap = self.snapshot();
         let result = if let Some(cache) = req.cache {
-            self.serve_from_cache(req, cache)
+            self.serve_from_cache(&snap, req, cache)
         } else if req.overrides.is_empty() {
-            self.query_on_store(req, &self.store)
+            self.query_on_store(&snap, req, &snap.store)
         } else {
-            let mut store = self.store.clone();
+            let mut store = snap.store.clone();
             for ov in &req.overrides {
-                self.apply_override(&mut store, ov)?;
+                apply_override(&snap.catalog, &mut store, ov)?;
             }
-            self.query_on_store(req, &store)
+            self.query_on_store(&snap, req, &store)
         };
         if let Some(m) = &self.metrics {
             m.inc("engine.queries");
@@ -386,7 +454,12 @@ impl Database {
     /// Serve a cache-eligible request: a plain group-by answered by
     /// marginalizing the smallest covering cached table. The synthesized
     /// plan in the answer records the cache scan + group-by actually run.
-    fn serve_from_cache(&self, req: &QueryRequest<'_>, cache: &VeCache) -> Result<Answer> {
+    fn serve_from_cache(
+        &self,
+        snap: &Snapshot,
+        req: &QueryRequest<'_>,
+        cache: &VeCache,
+    ) -> Result<Answer> {
         let q = &req.query;
         if !req.overrides.is_empty() {
             return Err(EngineError::BadOverride(
@@ -405,7 +478,7 @@ impl Database {
         let vars: Vec<VarId> = q
             .group_vars
             .iter()
-            .map(|n| self.resolve_var(n))
+            .map(|n| resolve_var(&snap.catalog, n))
             .collect::<Result<_>>()?;
         let limits = req.limits.clone().unwrap_or_else(|| self.limits.clone());
         let mut cx = ExecContext::with_limits(cache.semiring(), limits)
@@ -439,16 +512,23 @@ impl Database {
         })
     }
 
-    fn query_on_store(&self, req: &QueryRequest<'_>, store: &RelationStore) -> Result<Answer> {
+    fn query_on_store(
+        &self,
+        snap: &Snapshot,
+        req: &QueryRequest<'_>,
+        store: &RelationStore,
+    ) -> Result<Answer> {
         let q = &req.query;
-        let view = self.view(&q.view)?;
+        let view = snap
+            .view_of(&q.view)
+            .ok_or_else(|| EngineError::UnknownView(q.view.clone()))?;
         let sr =
             resolve_semiring(view.combine, q.agg).ok_or(EngineError::IncompatibleAggregate {
                 combine: view.combine,
                 aggregate: q.agg,
             })?;
-        let spec = self.resolve_spec(q)?;
-        let ctx = self.opt_context(view, store, spec)?;
+        let spec = resolve_spec(snap, q)?;
+        let ctx = self.opt_context(snap, view, store, spec)?;
         let limits = req.limits.as_ref().unwrap_or(&self.limits);
 
         // The requested strategy first, then the fallback chain, with
@@ -558,22 +638,25 @@ impl Database {
         let req = req.into();
         let q = &req.query;
         let limits = req.limits.as_ref().unwrap_or(&self.limits);
-        let view = self.view(&q.view)?;
-        let spec = self.resolve_spec(q)?;
+        let snap = self.snapshot();
+        let view = snap
+            .view_of(&q.view)
+            .ok_or_else(|| EngineError::UnknownView(q.view.clone()))?;
+        let spec = resolve_spec(&snap, q)?;
         // Overrides can change cardinalities (a domain remap merges rows),
         // so the explain plans against the hypothetical store.
         let store_owned;
         let store = if req.overrides.is_empty() {
-            &self.store
+            &snap.store
         } else {
-            let mut s = self.store.clone();
+            let mut s = snap.store.clone();
             for ov in &req.overrides {
-                self.apply_override(&mut s, ov)?;
+                apply_override(&snap.catalog, &mut s, ov)?;
             }
             store_owned = s;
             &store_owned
         };
-        let ctx = self.opt_context(view, store, spec)?;
+        let ctx = self.opt_context(&snap, view, store, spec)?;
         let (plan, est_cost) = self.plan_for(&q.view, &ctx, q.strategy)?;
         let physical = choose_physical(
             &ctx,
@@ -582,7 +665,7 @@ impl Database {
                 .with_threads(limits.effective_threads())
                 .with_dense(self.dense),
         );
-        let catalog = &self.catalog;
+        let catalog = &snap.catalog;
         // Exact base-relation densities (rows over the schema's domain
         // grid) — the statistic the dense-path selection rule keys on.
         let densities: Vec<String> = view
@@ -643,34 +726,20 @@ impl Database {
             _ => {
                 // Nothing traced (shouldn't happen with Spans forced on);
                 // fall back to the physical plan without actuals.
-                let catalog = &self.catalog;
-                out.push_str(&answer.physical.render(&|v| catalog.name(v).to_string()));
+                let snap = self.snapshot();
+                out.push_str(
+                    &answer
+                        .physical
+                        .render(&|v| snap.catalog.name(v).to_string()),
+                );
             }
         }
         Ok(out)
     }
 
-    fn resolve_spec(&self, q: &Query) -> Result<QuerySpec> {
-        let mut spec = QuerySpec::group_by(
-            q.group_vars
-                .iter()
-                .map(|n| self.resolve_var(n))
-                .collect::<Result<Vec<_>>>()?,
-        );
-        for (n, v) in &q.filters {
-            spec = spec.filter(self.resolve_var(n)?, *v);
-        }
-        Ok(spec)
-    }
-
-    fn resolve_var(&self, name: &str) -> Result<VarId> {
-        self.catalog
-            .var(name)
-            .map_err(|_| EngineError::UnknownVariable(name.to_string()))
-    }
-
     fn opt_context<'a>(
-        &'a self,
+        &self,
+        snap: &'a Snapshot,
         view: &MpfView,
         store: &RelationStore,
         spec: QuerySpec,
@@ -683,7 +752,7 @@ impl Database {
                     .relation_of(n)
                     .map(|rel| {
                         let mut b = BaseRel::of(rel);
-                        b.fd_lhs = self.fds.get(n).cloned();
+                        b.fd_lhs = snap.fds.get(n).cloned();
                         b
                     })
                     .ok_or_else(|| {
@@ -701,12 +770,12 @@ impl Database {
             if !base.iter().any(|b| b.schema.contains(v)) {
                 return Err(EngineError::UnknownVariable(format!(
                     "{} (not in any base relation of view `{}`)",
-                    self.catalog.name(v),
+                    snap.catalog.name(v),
                     view.name
                 )));
             }
         }
-        Ok(OptContext::new(&self.catalog, base, spec, self.cost_model))
+        Ok(OptContext::new(&snap.catalog, base, spec, self.cost_model))
     }
 
     fn plan_for(
@@ -770,8 +839,11 @@ impl Database {
         Ok((opt.plan, opt.est_cost))
     }
 
-    /// Parse and run one SQL statement (view creation or query).
-    pub fn run_sql(&mut self, sql: &str) -> Result<SqlOutcome> {
+    /// Parse and run one SQL statement (view creation or query). Takes
+    /// `&self`: a view creation installs a new snapshot atomically, a
+    /// query runs against the snapshot current at call time — neither
+    /// blocks concurrent queries.
+    pub fn run_sql(&self, sql: &str) -> Result<SqlOutcome> {
         match parse(sql)? {
             Statement::CreateView {
                 name,
@@ -779,11 +851,13 @@ impl Database {
                 combine,
                 vars,
             } => {
-                for v in &vars {
-                    self.resolve_var(v)?;
-                }
-                let refs: Vec<&str> = tables.iter().map(String::as_str).collect();
-                self.create_view(&name, &refs, combine)?;
+                self.mutate(|snap| {
+                    for v in &vars {
+                        resolve_var(&snap.catalog, v)?;
+                    }
+                    let refs: Vec<&str> = tables.iter().map(String::as_str).collect();
+                    create_view_in(snap, &name, &refs, combine)
+                })?;
                 Ok(SqlOutcome::ViewCreated(name))
             }
             Statement::Select(q) => Ok(SqlOutcome::Answer(Box::new(self.run(&q)?))),
@@ -798,7 +872,10 @@ impl Database {
         agg: Aggregate,
         order: Option<&[VarId]>,
     ) -> Result<VeCache> {
-        let view = self.view(view_name)?;
+        let snap = self.snapshot();
+        let view = snap
+            .view_of(view_name)
+            .ok_or_else(|| EngineError::UnknownView(view_name.to_string()))?;
         let sr =
             resolve_semiring(view.combine, agg).ok_or(EngineError::IncompatibleAggregate {
                 combine: view.combine,
@@ -808,7 +885,7 @@ impl Database {
             .base
             .iter()
             .map(|n| {
-                self.store.relation_of(n).ok_or_else(|| {
+                snap.relation_of(n).ok_or_else(|| {
                     EngineError::Algebra(mpf_algebra::AlgebraError::UnknownRelation(n.clone()))
                 })
             })
@@ -820,22 +897,78 @@ impl Database {
     /// Run the Section 5.1 plan-linearity test for a query variable of a
     /// view.
     pub fn linearity(&self, view_name: &str, var: &str) -> Result<LinearityTest> {
-        let view = self.view(view_name)?;
-        let ctx = self.opt_context(view, &self.store, QuerySpec::default())?;
-        Ok(linearity_test(&ctx, self.resolve_var(var)?))
+        let snap = self.snapshot();
+        let view = snap
+            .view_of(view_name)
+            .ok_or_else(|| EngineError::UnknownView(view_name.to_string()))?;
+        let ctx = self.opt_context(&snap, view, &snap.store, QuerySpec::default())?;
+        Ok(linearity_test(&ctx, resolve_var(&snap.catalog, var)?))
     }
 
     /// The semiring a `(view, aggregate)` pair evaluates in.
     pub fn semiring_for(&self, view_name: &str, agg: Aggregate) -> Result<SemiringKind> {
-        let view = self.view(view_name)?;
+        let snap = self.snapshot();
+        let view = snap
+            .view_of(view_name)
+            .ok_or_else(|| EngineError::UnknownView(view_name.to_string()))?;
         resolve_semiring(view.combine, agg).ok_or(EngineError::IncompatibleAggregate {
             combine: view.combine,
             aggregate: agg,
         })
     }
+}
 
-    fn apply_override(&self, store: &mut RelationStore, ov: &Override) -> Result<()> {
-        match ov {
+/// Resolve a variable name against a catalog.
+fn resolve_var(catalog: &Catalog, name: &str) -> Result<VarId> {
+    catalog
+        .var(name)
+        .map_err(|_| EngineError::UnknownVariable(name.to_string()))
+}
+
+/// Resolve a query's group-by/filter names into a [`QuerySpec`].
+fn resolve_spec(snap: &Snapshot, q: &Query) -> Result<QuerySpec> {
+    let mut spec = QuerySpec::group_by(
+        q.group_vars
+            .iter()
+            .map(|n| resolve_var(&snap.catalog, n))
+            .collect::<Result<Vec<_>>>()?,
+    );
+    for (n, v) in &q.filters {
+        spec = spec.filter(resolve_var(&snap.catalog, n)?, *v);
+    }
+    Ok(spec)
+}
+
+/// Snapshot-level view creation, shared by [`Database::create_view`] and
+/// the SQL path (which must not nest [`Database::mutate`] calls).
+fn create_view_in(snap: &mut Snapshot, name: &str, base: &[&str], combine: Combine) -> Result<()> {
+    if snap.views.contains_key(name) {
+        return Err(EngineError::DuplicateView(name.to_string()));
+    }
+    if base.is_empty() {
+        return Err(EngineError::EmptyView(name.to_string()));
+    }
+    for b in base {
+        if !snap.store.contains(b) {
+            return Err(EngineError::Storage(
+                mpf_storage::StorageError::UnknownRelation(b.to_string()),
+            ));
+        }
+    }
+    snap.views.insert(
+        name.to_string(),
+        MpfView {
+            name: name.to_string(),
+            base: base.iter().map(|s| s.to_string()).collect(),
+            combine,
+        },
+    );
+    Ok(())
+}
+
+/// Apply one hypothetical override to a (cloned) store.
+fn apply_override(catalog: &Catalog, store: &mut RelationStore, ov: &Override) -> Result<()> {
+    match ov {
             Override::Measure {
                 relation,
                 row,
@@ -874,7 +1007,7 @@ impl Database {
                     .relation_of(relation)
                     .ok_or_else(|| EngineError::BadOverride(format!("no relation `{relation}`")))?
                     .clone();
-                let vid = self.resolve_var(var)?;
+                let vid = resolve_var(catalog, var)?;
                 let pos = rel.schema().position(vid).map_err(|_| {
                     EngineError::BadOverride(format!("`{relation}` has no variable `{var}`"))
                 })?;
@@ -894,8 +1027,7 @@ impl Database {
                 store.insert(updated);
             }
         }
-        Ok(())
-    }
+    Ok(())
 }
 
 fn leaf_plan(ctx: &OptContext<'_>, rel_idx: usize) -> Plan {
@@ -912,7 +1044,7 @@ mod tests {
 
     /// A tiny two-relation database: r1(a, b), r2(b, c).
     fn tiny_db() -> Database {
-        let mut db = Database::new();
+        let db = Database::new();
         let a = db.add_var("a", 2).unwrap();
         let b = db.add_var("b", 2).unwrap();
         let c = db.add_var("c", 2).unwrap();
@@ -978,7 +1110,7 @@ mod tests {
 
     #[test]
     fn sql_round_trip() {
-        let mut db = tiny_db();
+        let db = tiny_db();
         let out = db
             .run_sql("select c, sum(f) from v where a = 0 group by c using ve(degree)")
             .unwrap();
@@ -994,7 +1126,7 @@ mod tests {
 
     #[test]
     fn sql_view_creation() {
-        let mut db = tiny_db();
+        let db = tiny_db();
         let out = db
             .run_sql("create mpfview w as select a, c, measure = (* r1.f, r2.f) from r1, r2")
             .unwrap();
@@ -1019,7 +1151,7 @@ mod tests {
 
     #[test]
     fn incompatible_aggregate_is_rejected() {
-        let mut db = tiny_db();
+        let db = tiny_db();
         db.create_view("s", &["r1", "r2"], Combine::Sum).unwrap();
         let e = db
             .run(Query::on("s").group_by(["a"]).aggregate(Aggregate::Sum))
@@ -1191,7 +1323,7 @@ mod tests {
             db.run(Query::on("v").group_by(["zz"])),
             Err(EngineError::UnknownVariable(_))
         ));
-        let mut db2 = tiny_db();
+        let db2 = tiny_db();
         assert!(matches!(
             db2.run_sql("create mpfview v as select a, measure = (* r1.f) from r1"),
             Err(EngineError::DuplicateView(_))
@@ -1200,7 +1332,7 @@ mod tests {
 
     #[test]
     fn declared_fds_validate_and_feed_prop1() {
-        let mut db = Database::new();
+        let db = Database::new();
         let a = db.add_var("a", 4).unwrap();
         let y = db.add_var("y", 4).unwrap();
         // y = f(a): the FD a -> f holds with y outside the key.

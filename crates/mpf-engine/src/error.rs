@@ -1,4 +1,4 @@
-use mpf_algebra::{AlgebraError, ResourceKind};
+use mpf_algebra::{AlgebraError, ConfigError, ResourceKind};
 use mpf_infer::InferError;
 use mpf_semiring::{Aggregate, Combine};
 use mpf_storage::StorageError;
@@ -38,6 +38,11 @@ pub enum EngineError {
     /// An MPF view with no base relations (rejected at creation, and again
     /// defensively at planning time).
     EmptyView(String),
+    /// An environment knob (`MPF_THREADS`, `MPF_DENSE`) held a value that
+    /// does not parse; raised by the strict startup paths
+    /// ([`crate::Database::from_env`], the `mpf_serve` binary) instead of
+    /// silently falling back to a default.
+    Config(ConfigError),
     /// The view has more base relations than the optimizer's bitmask
     /// dynamic-programming search can enumerate. [`crate::Strategy::Naive`]
     /// still evaluates such views (no plan search), so a fallback chain
@@ -92,6 +97,12 @@ impl From<InferError> for EngineError {
     }
 }
 
+impl From<ConfigError> for EngineError {
+    fn from(e: ConfigError) -> Self {
+        EngineError::Config(e)
+    }
+}
+
 impl std::fmt::Display for EngineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -110,6 +121,7 @@ impl std::fmt::Display for EngineError {
                 write!(f, "parse error at byte {position}: {message}")
             }
             EngineError::BadOverride(m) => write!(f, "bad hypothetical override: {m}"),
+            EngineError::Config(e) => write!(f, "configuration error: {e}"),
             EngineError::EmptyView(n) => {
                 write!(f, "mpf view `{n}` has no base relations")
             }

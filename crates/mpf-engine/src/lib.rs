@@ -38,16 +38,21 @@ mod error;
 pub mod parser;
 mod query;
 mod request;
+mod snapshot;
 
 pub use database::{Database, FallbackPolicy, MpfView, Override, SqlOutcome};
 pub use error::EngineError;
 pub use parser::{Statement, StrategySpec};
 pub use query::{Answer, Query, RangePredicate, Strategy};
 pub use request::QueryRequest;
+pub use snapshot::{CatalogRef, RelationRef, Snapshot, StoreRef, ViewRef};
 // `Strategy::Ve`/`VePlus` take a heuristic, so consumers of this crate
-// alone must be able to name it; likewise the trace/metrics types a
-// `QueryRequest` and `Database::with_metrics` speak in.
-pub use mpf_algebra::{DenseMode, MetricsRegistry, SpanKind, TraceLevel, TraceSpan, TraceTree};
+// alone must be able to name it; likewise the trace/metrics/config types
+// a `QueryRequest`, `Database::with_metrics`, and `Database::from_env`
+// speak in.
+pub use mpf_algebra::{
+    ConfigError, DenseMode, MetricsRegistry, SpanKind, TraceLevel, TraceSpan, TraceTree,
+};
 pub use mpf_optimizer::Heuristic;
 
 /// Result alias for engine operations.

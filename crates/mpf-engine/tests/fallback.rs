@@ -14,7 +14,7 @@ use mpf_storage::{FunctionalRelation, Schema};
 
 fn supply_chain_db(scale: f64) -> Database {
     let sc = SupplyChain::generate(SupplyChainConfig::at_scale(scale));
-    let mut db = Database::from_parts(sc.catalog, sc.store);
+    let db = Database::from_parts(sc.catalog, sc.store);
     db.create_view("invest", &mpf_datagen::supply_chain::RELATION_NAMES, Combine::Product)
         .unwrap();
     db
@@ -84,7 +84,7 @@ fn expired_deadline_errors_without_fallback() {
 /// chain's terminal naive strategy performs no plan search.
 #[test]
 fn views_beyond_dp_limit_fall_back_to_naive() {
-    let mut db = Database::new();
+    let db = Database::new();
     let a = db.add_var("a", 4).unwrap();
     let names: Vec<String> = (0..31).map(|i| format!("r{i}")).collect();
     for n in &names {
@@ -121,7 +121,7 @@ fn views_beyond_dp_limit_fall_back_to_naive() {
 
 #[test]
 fn empty_views_are_rejected_at_creation() {
-    let mut db = Database::new();
+    let db = Database::new();
     assert!(matches!(
         db.create_view("hollow", &[], Combine::Product),
         Err(EngineError::EmptyView(n)) if n == "hollow"
@@ -145,8 +145,13 @@ mod faults {
     }
 
     /// r1(a, b) ⋈ r2(b, c) with known answers.
+    ///
+    /// The relations are complete over their 2×2 grids, so the dense
+    /// fast path would normally serve them without ever reaching the
+    /// sparse operator fault sites (`product_join`, `group_by`); the
+    /// tests that arm those sites force `DenseMode::Off`.
     fn tiny_db() -> Database {
-        let mut db = Database::new();
+        let db = Database::new();
         let a = db.add_var("a", 2).unwrap();
         let b = db.add_var("b", 2).unwrap();
         let c = db.add_var("c", 2).unwrap();
@@ -224,7 +229,7 @@ mod faults {
     fn join_fault_is_cured_by_fallback() {
         let _g = lock();
         fault::clear_all();
-        let db = tiny_db();
+        let db = tiny_db().with_dense(mpf_engine::DenseMode::Off);
         fault::inject("product_join", 1);
         let ans = db.run(&Query::on("v").group_by(["c"])).unwrap();
         assert_eq!(ans.fallback.len(), 1);
@@ -242,7 +247,7 @@ mod faults {
     fn fallback_answer_reports_work_of_failed_attempts() {
         let _g = lock();
         fault::clear_all();
-        let db = tiny_db();
+        let db = tiny_db().with_dense(mpf_engine::DenseMode::Off);
         let q = Query::on("v").group_by(["c"]);
         let clean = db.run(&q).unwrap();
         assert!(clean.stats.rows_scanned > 0);

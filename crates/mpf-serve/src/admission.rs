@@ -1,0 +1,316 @@
+//! Admission control: a bounded wait queue in front of the global
+//! [`BudgetPool`], with per-tenant in-flight shares and typed sheds.
+//!
+//! Every query asks the [`AdmissionController`] for an
+//! [`AdmissionGrant`] before touching the database. Admission succeeds
+//! when (a) the tenant is under its `max_inflight` share and (b) the
+//! pool can lease the tenant's per-query cell and thread grant. When
+//! either check fails the request *queues*: it waits on a condvar,
+//! re-trying as earlier grants drop, until the configured
+//! `queue_deadline` expires. The queue itself is bounded — when
+//! `queue_depth` requests are already waiting, new arrivals are shed
+//! immediately with a retriable rejection and a backoff hint, so
+//! overload degrades into fast typed errors instead of unbounded
+//! latency.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use mpf_algebra::{BudgetLease, BudgetPool, ExecLimits};
+
+use crate::config::ServeConfig;
+
+/// Why a request was shed instead of admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The wait queue already held `queue_depth` requests.
+    QueueFull,
+    /// The request waited `queue_deadline` without a grant freeing up.
+    DeadlineExpired,
+}
+
+impl ShedReason {
+    /// Stable protocol token for this reason.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ShedReason::QueueFull => "queue-full",
+            ShedReason::DeadlineExpired => "admission-deadline",
+        }
+    }
+}
+
+/// A typed admission rejection: always retriable, with a backoff hint
+/// proportional to the observed contention.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Shed {
+    /// Which admission check failed.
+    pub reason: ShedReason,
+    /// Whether retrying can succeed (always true — sheds are a load
+    /// signal, not a request defect).
+    pub retriable: bool,
+    /// Suggested client backoff before retrying.
+    pub backoff_ms: u64,
+}
+
+impl std::fmt::Display for Shed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.reason {
+            ShedReason::QueueFull => write!(
+                f,
+                "admission queue full; retry after {} ms",
+                self.backoff_ms
+            ),
+            ShedReason::DeadlineExpired => write!(
+                f,
+                "no capacity within the admission deadline; retry after {} ms",
+                self.backoff_ms
+            ),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct AdmissionState {
+    /// Requests currently waiting for a grant.
+    queued: usize,
+    /// Admitted-but-unfinished queries per tenant.
+    inflight: HashMap<String, usize>,
+}
+
+/// The service's admission gate. Cheap to share (`Arc`); one per server.
+#[derive(Debug)]
+pub struct AdmissionController {
+    pool: Arc<BudgetPool>,
+    queue_depth: usize,
+    queue_deadline: Duration,
+    state: Mutex<AdmissionState>,
+    freed: Condvar,
+}
+
+impl AdmissionController {
+    /// Build the gate from the service configuration.
+    pub fn new(config: &ServeConfig) -> Arc<AdmissionController> {
+        Arc::new(AdmissionController {
+            pool: BudgetPool::new(config.pool_cells, config.pool_threads),
+            queue_depth: config.queue_depth,
+            queue_deadline: config.queue_deadline,
+            state: Mutex::new(AdmissionState::default()),
+            freed: Condvar::new(),
+        })
+    }
+
+    /// The shared pool (for observability / tests).
+    pub fn pool(&self) -> &Arc<BudgetPool> {
+        &self.pool
+    }
+
+    /// Requests currently waiting for admission.
+    pub fn queued(&self) -> usize {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).queued
+    }
+
+    /// Admitted-but-unfinished queries across all tenants.
+    pub fn inflight(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .inflight
+            .values()
+            .sum()
+    }
+
+    /// Admit a query for `tenant`, blocking in the bounded queue for at
+    /// most the configured deadline.
+    ///
+    /// `max_inflight` is the tenant's concurrent-query share;
+    /// `cells`/`threads` the per-query grant leased from the pool.
+    pub fn admit(
+        self: &Arc<Self>,
+        tenant: &str,
+        max_inflight: usize,
+        cells: u64,
+        threads: usize,
+    ) -> Result<AdmissionGrant, Shed> {
+        let deadline = Instant::now() + self.queue_deadline;
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut waiting = false;
+        loop {
+            let under_share = state.inflight.get(tenant).copied().unwrap_or(0) < max_inflight;
+            if under_share {
+                // Tenant share is free — try the global pool while still
+                // holding the state lock so a concurrent admit cannot
+                // double-spend the share.
+                if let Ok(lease) = self.pool.try_lease(cells, threads) {
+                    *state.inflight.entry(tenant.to_string()).or_insert(0) += 1;
+                    if waiting {
+                        state.queued -= 1;
+                    }
+                    return Ok(AdmissionGrant {
+                        controller: Arc::clone(self),
+                        tenant: tenant.to_string(),
+                        lease: Some(lease),
+                    });
+                }
+            }
+            if !waiting {
+                if state.queued >= self.queue_depth {
+                    return Err(self.shed(ShedReason::QueueFull, state.queued));
+                }
+                state.queued += 1;
+                waiting = true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                let queued = state.queued;
+                state.queued -= 1;
+                return Err(self.shed(ShedReason::DeadlineExpired, queued));
+            }
+            let (next, _timeout) = self
+                .freed
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            state = next;
+        }
+    }
+
+    fn shed(&self, reason: ShedReason, queued: usize) -> Shed {
+        // Backoff scales with how deep the queue was when we gave up:
+        // heavier contention, longer suggested wait.
+        let backoff_ms = 25 * (queued as u64 + 1);
+        Shed {
+            reason,
+            retriable: true,
+            backoff_ms,
+        }
+    }
+
+    /// Called by [`AdmissionGrant::drop`]: return the share and wake
+    /// queued waiters.
+    fn release(&self, tenant: &str) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(n) = state.inflight.get_mut(tenant) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                state.inflight.remove(tenant);
+            }
+        }
+        drop(state);
+        self.freed.notify_all();
+    }
+}
+
+/// RAII admission token: holds the tenant's in-flight slot and the pool
+/// lease for one query; dropping it returns both and wakes the queue.
+#[derive(Debug)]
+pub struct AdmissionGrant {
+    controller: Arc<AdmissionController>,
+    tenant: String,
+    lease: Option<BudgetLease>,
+}
+
+impl AdmissionGrant {
+    /// Execution limits mirroring the pool grant (cells + threads).
+    pub fn limits(&self) -> ExecLimits {
+        self.lease
+            .as_ref()
+            .expect("lease held until drop")
+            .limits()
+    }
+
+    /// The tenant this grant admits.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+}
+
+impl Drop for AdmissionGrant {
+    fn drop(&mut self) {
+        // Return the pool lease first so a woken waiter's try_lease sees
+        // the freed capacity.
+        drop(self.lease.take());
+        self.controller.release(&self.tenant);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ServeConfig, TenantLimits};
+    use std::thread;
+
+    fn tiny_config() -> ServeConfig {
+        ServeConfig {
+            pool_cells: 1000,
+            pool_threads: 2,
+            queue_depth: 1,
+            queue_deadline: Duration::from_millis(50),
+            default_tenant: TenantLimits::default(),
+            tenants: HashMap::new(),
+        }
+    }
+
+    #[test]
+    fn grant_returns_share_and_lease_on_drop() {
+        let ctl = AdmissionController::new(&tiny_config());
+        let g = ctl.admit("t1", 1, 100, 1).expect("admit");
+        assert_eq!(ctl.inflight(), 1);
+        assert_eq!(g.tenant(), "t1");
+        drop(g);
+        assert_eq!(ctl.inflight(), 0);
+        // The lease went back too: the whole pool is leasable again.
+        let full = ctl.pool().try_lease(1000, 2).expect("pool drained back");
+        drop(full);
+    }
+
+    #[test]
+    fn tenant_share_blocks_before_pool_does() {
+        let ctl = AdmissionController::new(&tiny_config());
+        let _g = ctl.admit("t1", 1, 100, 1).expect("first");
+        // Pool has capacity left (cells 900, threads 1) but the tenant's
+        // share of 1 is spent: the second admit sheds on deadline.
+        let shed = ctl.admit("t1", 1, 100, 1).expect_err("over share");
+        assert_eq!(shed.reason, ShedReason::DeadlineExpired);
+        assert!(shed.retriable);
+        // A different tenant still gets in.
+        let _g2 = ctl.admit("t2", 1, 100, 1).expect("other tenant");
+    }
+
+    #[test]
+    fn full_queue_sheds_immediately_with_backoff() {
+        let cfg = ServeConfig {
+            queue_depth: 0,
+            ..tiny_config()
+        };
+        let ctl = AdmissionController::new(&cfg);
+        let _g1 = ctl.admit("t1", 8, 100, 1).expect("1");
+        let _g2 = ctl.admit("t1", 8, 100, 1).expect("2");
+        // Pool threads exhausted and the queue admits no waiters: the
+        // shed is immediate (QueueFull), not a deadline wait.
+        let t0 = Instant::now();
+        let shed = ctl.admit("t1", 8, 100, 1).expect_err("queue full");
+        assert_eq!(shed.reason, ShedReason::QueueFull);
+        assert!(shed.retriable && shed.backoff_ms > 0);
+        assert!(t0.elapsed() < Duration::from_millis(40));
+    }
+
+    #[test]
+    fn queued_request_admits_when_a_grant_frees() {
+        let cfg = ServeConfig {
+            queue_deadline: Duration::from_secs(5),
+            ..tiny_config()
+        };
+        let ctl = AdmissionController::new(&cfg);
+        let g = ctl.admit("t1", 8, 100, 2).expect("hold both threads");
+        let ctl2 = Arc::clone(&ctl);
+        let waiter = thread::spawn(move || ctl2.admit("t2", 8, 100, 1).map(drop));
+        // Give the waiter time to enqueue, then free capacity.
+        thread::sleep(Duration::from_millis(30));
+        drop(g);
+        waiter
+            .join()
+            .expect("no panic")
+            .expect("admitted after free");
+        assert_eq!(ctl.inflight(), 0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Service configuration: the global resource pool and per-tenant shares.
+//!
+//! Budgets are expressed in the engine's own units (cells, worker
+//! threads) so a tenant's grant maps one-to-one onto the
+//! [`ExecLimits`](mpf_algebra::ExecLimits) its queries run under.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Per-tenant admission shares and per-query grants.
+///
+/// A tenant's queries are admitted while it holds fewer than
+/// `max_inflight` grants; each admitted query leases `cells_per_query`
+/// cells and `threads_per_query` worker threads from the global
+/// [`BudgetPool`](mpf_algebra::BudgetPool) and runs under an
+/// [`ExecLimits`](mpf_algebra::ExecLimits) mirroring that grant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantLimits {
+    /// Concurrent admitted queries for this tenant.
+    pub max_inflight: usize,
+    /// Cell budget leased from the pool per admitted query.
+    pub cells_per_query: u64,
+    /// Worker threads leased from the pool per admitted query.
+    pub threads_per_query: usize,
+    /// Per-query wall-clock deadline (applied as an execution timeout).
+    pub query_timeout: Option<Duration>,
+}
+
+impl Default for TenantLimits {
+    fn default() -> TenantLimits {
+        TenantLimits {
+            max_inflight: 2,
+            cells_per_query: 1 << 20,
+            threads_per_query: 1,
+            query_timeout: Some(Duration::from_secs(10)),
+        }
+    }
+}
+
+/// Whole-service configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Total cell budget shared by every tenant.
+    pub pool_cells: u64,
+    /// Total worker threads shared by every tenant.
+    pub pool_threads: usize,
+    /// Requests allowed to wait for a grant before new arrivals are shed.
+    pub queue_depth: usize,
+    /// How long a queued request may wait for admission before it is shed
+    /// with a deadline rejection.
+    pub queue_deadline: Duration,
+    /// Limits applied to tenants without an explicit entry.
+    pub default_tenant: TenantLimits,
+    /// Explicit per-tenant overrides, keyed by tenant name.
+    pub tenants: HashMap<String, TenantLimits>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            pool_cells: 8 << 20,
+            pool_threads: 8,
+            queue_depth: 32,
+            queue_deadline: Duration::from_millis(500),
+            default_tenant: TenantLimits::default(),
+            tenants: HashMap::new(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The limits governing `tenant` (explicit entry or the default).
+    pub fn limits_for(&self, tenant: &str) -> &TenantLimits {
+        self.tenants.get(tenant).unwrap_or(&self.default_tenant)
+    }
+
+    /// Register explicit limits for one tenant (builder style).
+    pub fn with_tenant(mut self, name: impl Into<String>, limits: TenantLimits) -> ServeConfig {
+        self.tenants.insert(name.into(), limits);
+        self
+    }
+}

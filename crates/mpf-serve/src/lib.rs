@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+//! Multi-tenant serving layer for the MPF engine.
+//!
+//! The `mpf_serve` binary (and the embeddable [`Server`]) exposes one
+//! shared [`mpf_engine::Database`] to many concurrent tenants over a
+//! line-oriented textual protocol ([`protocol`]), with:
+//!
+//! * **snapshot-consistent concurrency** — the engine's MVCC-lite
+//!   catalog lets queries and `run_sql` mutations interleave freely;
+//!   every query sees one immutable snapshot for its whole lifetime;
+//! * **admission control** ([`AdmissionController`]) — a global
+//!   [`mpf_algebra::BudgetPool`] of cells and worker threads, divided
+//!   into per-tenant shares ([`TenantLimits`]); requests beyond capacity
+//!   wait in a bounded queue with a deadline, and overload sheds as
+//!   typed, retriable errors with backoff hints instead of unbounded
+//!   latency;
+//! * **graceful degradation** — in-flight budget trips surface as
+//!   enriched `ERR budget-*` lines (after falling down the database's
+//!   [`mpf_engine::FallbackPolicy`] chain), and `SHUTDOWN` drains
+//!   in-flight work before exit.
+
+mod admission;
+mod config;
+pub mod protocol;
+mod server;
+
+pub use admission::{AdmissionController, AdmissionGrant, Shed, ShedReason};
+pub use config::{ServeConfig, TenantLimits};
+pub use server::Server;

@@ -1,0 +1,184 @@
+//! The textual line protocol `mpf_serve` speaks.
+//!
+//! One request per line, one framed response per request. Requests:
+//!
+//! ```text
+//! QUERY <tenant> <sql statement>
+//! METRICS
+//! PING
+//! SHUTDOWN
+//! ```
+//!
+//! Responses:
+//!
+//! * a query answer streams as `OK rows=<n> strategy=<name>`, then one
+//!   `ROW <var>=<value> ... m=<measure>` line per answer row, then `END`;
+//! * a DDL statement answers `OK view=<name>` then `END`;
+//! * `METRICS` answers `OK metrics` + one JSON line + `END`;
+//! * `PING` answers `PONG`; `SHUTDOWN` answers `BYE` and starts a drain;
+//! * every failure is a single typed line
+//!   `ERR kind=<kind> retriable=<bool> backoff_ms=<n> msg="<text>"` —
+//!   `retriable=true` with a non-zero backoff marks load sheds a client
+//!   should retry after the hinted delay; `retriable=false` marks
+//!   request defects retries cannot cure.
+
+use mpf_algebra::{AlgebraError, ResourceKind};
+use mpf_engine::EngineError;
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Run one SQL statement for a tenant.
+    Query {
+        /// Tenant the statement is billed to.
+        tenant: String,
+        /// The SQL extension statement, verbatim.
+        sql: String,
+    },
+    /// Export the service metrics registry as JSON.
+    Metrics,
+    /// Liveness probe.
+    Ping,
+    /// Stop accepting work, drain in-flight queries, exit.
+    Shutdown,
+}
+
+impl Request {
+    /// Parse one protocol line. Returns a typed protocol error string
+    /// (already `ERR`-encoded) for malformed lines.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("QUERY ") {
+            let mut parts = rest.trim().splitn(2, char::is_whitespace);
+            let tenant = parts.next().unwrap_or("").to_string();
+            let sql = parts.next().unwrap_or("").trim().to_string();
+            if tenant.is_empty() || sql.is_empty() {
+                return Err(encode_err(
+                    "protocol",
+                    false,
+                    0,
+                    "QUERY needs a tenant and a statement: QUERY <tenant> <sql>",
+                ));
+            }
+            return Ok(Request::Query { tenant, sql });
+        }
+        match line {
+            "METRICS" => Ok(Request::Metrics),
+            "PING" => Ok(Request::Ping),
+            "SHUTDOWN" => Ok(Request::Shutdown),
+            _ => Err(encode_err(
+                "protocol",
+                false,
+                0,
+                &format!("unrecognized request `{}`", first_word(line)),
+            )),
+        }
+    }
+}
+
+fn first_word(line: &str) -> &str {
+    line.split_whitespace().next().unwrap_or("")
+}
+
+/// Encode a typed error line. `msg` is quoted; inner quotes and
+/// newlines are replaced so the frame stays one line.
+pub fn encode_err(kind: &str, retriable: bool, backoff_ms: u64, msg: &str) -> String {
+    let clean: String = msg
+        .chars()
+        .map(|c| match c {
+            '"' => '\'',
+            '\n' | '\r' => ' ',
+            c => c,
+        })
+        .collect();
+    format!("ERR kind={kind} retriable={retriable} backoff_ms={backoff_ms} msg=\"{clean}\"")
+}
+
+/// Map an engine failure to its wire `kind` and retriability.
+///
+/// Budget trips name the budget that tripped (the enriched
+/// [`AlgebraError::ResourceExhausted`] payload carries limit and
+/// consumption in the message); only the wall-clock deadline is marked
+/// retriable — under lighter load the same query can finish, whereas a
+/// row or cell trip recurs deterministically under the same grant.
+pub fn classify(err: &EngineError) -> (&'static str, bool) {
+    match err {
+        EngineError::Algebra(AlgebraError::ResourceExhausted { resource, .. }) => match resource {
+            ResourceKind::OutputRows => ("budget-rows", false),
+            ResourceKind::TotalCells => ("budget-cells", false),
+            ResourceKind::WallClock => ("budget-deadline", true),
+            ResourceKind::Threads => ("budget-threads", true),
+        },
+        EngineError::Algebra(AlgebraError::Cancelled) => ("cancelled", false),
+        EngineError::Algebra(AlgebraError::FaultInjected(_)) => ("fault", false),
+        EngineError::Algebra(_) => ("execution", false),
+        EngineError::Parse { .. } => ("parse", false),
+        EngineError::UnknownView(_) | EngineError::UnknownVariable(_) => ("unknown-name", false),
+        EngineError::Config(_) => ("config", false),
+        _ => ("engine", false),
+    }
+}
+
+/// Encode an engine failure as one `ERR` line.
+pub fn encode_engine_err(err: &EngineError) -> String {
+    let (kind, retriable) = classify(err);
+    let backoff = if retriable { 50 } else { 0 };
+    encode_err(kind, retriable, backoff, &err.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_request_forms() {
+        assert_eq!(
+            Request::parse("QUERY acme select cid from invest"),
+            Ok(Request::Query {
+                tenant: "acme".into(),
+                sql: "select cid from invest".into()
+            })
+        );
+        assert_eq!(Request::parse(" METRICS "), Ok(Request::Metrics));
+        assert_eq!(Request::parse("PING"), Ok(Request::Ping));
+        assert_eq!(Request::parse("SHUTDOWN"), Ok(Request::Shutdown));
+    }
+
+    #[test]
+    fn malformed_lines_get_typed_protocol_errors() {
+        let e = Request::parse("QUERY acme").unwrap_err();
+        assert!(e.starts_with("ERR kind=protocol retriable=false"), "{e}");
+        let e = Request::parse("FETCH x").unwrap_err();
+        assert!(e.contains("unrecognized request `FETCH`"), "{e}");
+    }
+
+    #[test]
+    fn err_encoding_stays_one_line_and_quotes() {
+        let e = encode_err("queue-full", true, 75, "say \"hi\"\nnow");
+        assert_eq!(
+            e,
+            "ERR kind=queue-full retriable=true backoff_ms=75 msg=\"say 'hi' now\""
+        );
+    }
+
+    #[test]
+    fn budget_trips_classify_by_resource() {
+        let cells = EngineError::Algebra(AlgebraError::ResourceExhausted {
+            resource: ResourceKind::TotalCells,
+            limit: 10,
+            observed: 12,
+        });
+        assert_eq!(classify(&cells), ("budget-cells", false));
+        let wall = EngineError::Algebra(AlgebraError::ResourceExhausted {
+            resource: ResourceKind::WallClock,
+            limit: 5,
+            observed: 6,
+        });
+        assert_eq!(classify(&wall), ("budget-deadline", true));
+        let line = encode_engine_err(&cells);
+        assert!(
+            line.contains("limit 10 cells, consumed 12 cells"),
+            "enriched payload reaches the wire: {line}"
+        );
+    }
+}

@@ -1,0 +1,340 @@
+//! The service loop: admission-gated request handling over any
+//! line-oriented transport (TCP socket or stdin/stdout).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mpf_engine::parser::{parse, Statement};
+use mpf_engine::{Answer, Database, MetricsRegistry, QueryRequest};
+
+use crate::admission::{AdmissionController, Shed};
+use crate::config::ServeConfig;
+use crate::protocol::{encode_engine_err, encode_err, Request};
+
+/// A multi-tenant query server over one shared [`Database`].
+///
+/// All state is behind `Arc`s, so one `Server` can be driven from many
+/// transport threads at once; the database's snapshot storage keeps
+/// concurrent queries and `run_sql` updates consistent, and the
+/// [`AdmissionController`] keeps their resource usage inside the
+/// configured pool.
+pub struct Server {
+    db: Arc<Database>,
+    config: ServeConfig,
+    admission: Arc<AdmissionController>,
+    metrics: Arc<MetricsRegistry>,
+    draining: AtomicBool,
+}
+
+impl Server {
+    /// Wrap a configured database. The server attaches its own
+    /// [`MetricsRegistry`], so per-query engine metrics and the service
+    /// counters land in one exportable registry.
+    pub fn new(db: Database, config: ServeConfig) -> Arc<Server> {
+        let metrics = Arc::new(MetricsRegistry::new());
+        let db = db.with_metrics(Arc::clone(&metrics));
+        let admission = AdmissionController::new(&config);
+        Arc::new(Server {
+            db: Arc::new(db),
+            config,
+            admission,
+            metrics,
+            draining: AtomicBool::new(false),
+        })
+    }
+
+    /// The shared database (tests seed data through this).
+    pub fn db(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// The combined service + engine metrics registry.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// The admission gate (for observability in tests).
+    pub fn admission(&self) -> &Arc<AdmissionController> {
+        &self.admission
+    }
+
+    /// Whether a `SHUTDOWN` has been received.
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Handle one request line. Returns the response lines and whether
+    /// this request asked the service to shut down.
+    pub fn handle_line(&self, line: &str) -> (Vec<String>, bool) {
+        let req = match Request::parse(line) {
+            Ok(req) => req,
+            Err(err_line) => return (vec![err_line], false),
+        };
+        match req {
+            Request::Ping => (vec!["PONG".to_string()], false),
+            Request::Metrics => (
+                vec![
+                    "OK metrics".to_string(),
+                    self.metrics.to_json(),
+                    "END".to_string(),
+                ],
+                false,
+            ),
+            Request::Shutdown => {
+                self.draining.store(true, Ordering::SeqCst);
+                (vec!["BYE".to_string()], true)
+            }
+            Request::Query { tenant, sql } => (self.run_query(&tenant, &sql), false),
+        }
+    }
+
+    fn run_query(&self, tenant: &str, sql: &str) -> Vec<String> {
+        self.metrics.inc("serve.query");
+        if self.draining() {
+            self.metrics.inc("serve.err");
+            return vec![encode_err(
+                "shutting-down",
+                false,
+                0,
+                "service is draining; no new queries",
+            )];
+        }
+        let limits = self.config.limits_for(tenant).clone();
+        let start = Instant::now();
+        let grant = match self.admission.admit(
+            tenant,
+            limits.max_inflight,
+            limits.cells_per_query,
+            limits.threads_per_query,
+        ) {
+            Ok(grant) => grant,
+            Err(shed) => {
+                self.metrics.inc("serve.shed");
+                return vec![shed_line(&shed)];
+            }
+        };
+        let mut exec = grant.limits();
+        if let Some(t) = limits.query_timeout {
+            exec = exec.with_timeout(t);
+        }
+        let out = match parse(sql) {
+            Ok(Statement::Select(q)) => self
+                .db
+                .run(QueryRequest::from(q).limits(exec))
+                .map(|ans| self.encode_answer(&ans)),
+            // DDL re-parses inside run_sql; the statement text is tiny
+            // next to the catalog clone the mutation does anyway.
+            Ok(Statement::CreateView { .. }) => self.db.run_sql(sql).map(|outcome| match outcome {
+                mpf_engine::SqlOutcome::ViewCreated(name) => {
+                    vec![format!("OK view={name}"), "END".to_string()]
+                }
+                mpf_engine::SqlOutcome::Answer(ans) => self.encode_answer(&ans),
+            }),
+            Err(e) => Err(e),
+        };
+        // The grant (pool lease + tenant share) is held across parse and
+        // execution; release before encoding the response.
+        drop(grant);
+        self.metrics.observe("serve.latency", start.elapsed());
+        match out {
+            Ok(lines) => {
+                self.metrics.inc("serve.ok");
+                lines
+            }
+            Err(e) => {
+                self.metrics.inc("serve.err");
+                vec![encode_engine_err(&e)]
+            }
+        }
+    }
+
+    fn encode_answer(&self, ans: &Answer) -> Vec<String> {
+        let catalog = self.db.catalog();
+        let rel = &ans.relation;
+        let names: Vec<&str> = rel.schema().iter().map(|v| catalog.name(v)).collect();
+        let mut lines = Vec::with_capacity(rel.len() + 2);
+        lines.push(format!(
+            "OK rows={} strategy={:?}",
+            rel.len(),
+            ans.served_by
+        ));
+        for (row, measure) in rel.rows() {
+            let mut line = String::from("ROW");
+            for (name, value) in names.iter().zip(row) {
+                line.push_str(&format!(" {name}={value}"));
+            }
+            line.push_str(&format!(" m={measure}"));
+            lines.push(line);
+        }
+        lines.push("END".to_string());
+        lines
+    }
+
+    /// Serve one line-oriented connection until EOF or `SHUTDOWN`.
+    /// Returns whether the peer requested shutdown.
+    pub fn serve_lines(&self, reader: impl BufRead, mut writer: impl Write) -> bool {
+        for line in reader.lines() {
+            let line = match line {
+                Ok(l) => l,
+                Err(_) => break,
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let (out, shutdown) = self.handle_line(&line);
+            for l in &out {
+                if writeln!(writer, "{l}").is_err() {
+                    return shutdown;
+                }
+            }
+            if writer.flush().is_err() || shutdown {
+                return shutdown;
+            }
+        }
+        false
+    }
+
+    /// Accept TCP connections until `SHUTDOWN`, then drain: stop
+    /// accepting, let in-flight connections finish, and return.
+    pub fn serve_tcp(self: &Arc<Self>, listener: TcpListener) -> std::io::Result<()> {
+        listener.set_nonblocking(true)?;
+        let open = Arc::new(AtomicUsize::new(0));
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) if !self.draining() => {
+                    stream.set_nonblocking(false)?;
+                    let server = Arc::clone(self);
+                    let open = Arc::clone(&open);
+                    open.fetch_add(1, Ordering::SeqCst);
+                    std::thread::spawn(move || {
+                        server.serve_conn(stream);
+                        open.fetch_sub(1, Ordering::SeqCst);
+                    });
+                }
+                Ok((stream, _)) => {
+                    // Draining: refuse new connections with a typed line.
+                    let mut stream = stream;
+                    let _ = writeln!(
+                        stream,
+                        "{}",
+                        encode_err("shutting-down", false, 0, "service is draining")
+                    );
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if self.draining() && open.load(Ordering::SeqCst) == 0 {
+                        return Ok(());
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn serve_conn(&self, stream: TcpStream) {
+        let reader = match stream.try_clone() {
+            Ok(s) => BufReader::new(s),
+            Err(_) => return,
+        };
+        self.serve_lines(reader, stream);
+    }
+}
+
+fn shed_line(shed: &Shed) -> String {
+    encode_err(
+        shed.reason.kind(),
+        shed.retriable,
+        shed.backoff_ms,
+        &shed.to_string(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TenantLimits;
+    use mpf_semiring::Combine;
+    use mpf_storage::{FunctionalRelation, Schema};
+
+    fn seeded_server(config: ServeConfig) -> Arc<Server> {
+        let db = Database::new();
+        let a = db.add_var("a", 2).unwrap();
+        let b = db.add_var("b", 2).unwrap();
+        db.insert_relation(
+            FunctionalRelation::complete("r1", Schema::new(vec![a, b]).unwrap(), &db.catalog(), |r| {
+                (r[0] + 2 * r[1] + 1) as f64
+            }),
+        )
+        .unwrap();
+        db.create_view("v", &["r1"], Combine::Product).unwrap();
+        Server::new(db, config)
+    }
+
+    #[test]
+    fn query_streams_rows_and_end() {
+        let server = seeded_server(ServeConfig::default());
+        let (out, shutdown) = server.handle_line("QUERY t1 select a, sum(f) from v group by a");
+        assert!(!shutdown);
+        assert!(out[0].starts_with("OK rows=2 strategy="), "{out:?}");
+        assert!(out.iter().any(|l| l.starts_with("ROW a=0 m=")), "{out:?}");
+        assert_eq!(out.last().unwrap(), "END");
+        assert_eq!(server.metrics().counter("serve.ok"), 1);
+    }
+
+    #[test]
+    fn ddl_and_reads_share_the_service() {
+        let server = seeded_server(ServeConfig::default());
+        let (out, _) = server.handle_line(
+            "QUERY t1 create mpfview v2 as (select a, b, measure = (* r1.f) from r1)",
+        );
+        assert_eq!(out, vec!["OK view=v2".to_string(), "END".to_string()]);
+        let (out, _) = server.handle_line("QUERY t2 select b, sum(f) from v2 group by b");
+        assert!(out[0].starts_with("OK rows=2"), "{out:?}");
+    }
+
+    #[test]
+    fn tenant_cell_budget_trips_as_typed_wire_error() {
+        let config = ServeConfig::default().with_tenant(
+            "tiny",
+            TenantLimits {
+                cells_per_query: 1,
+                ..TenantLimits::default()
+            },
+        );
+        let server = seeded_server(config);
+        let (out, _) = server.handle_line("QUERY tiny select a, sum(f) from v group by a");
+        assert_eq!(out.len(), 1);
+        assert!(out[0].starts_with("ERR kind=budget-cells"), "{out:?}");
+        assert!(out[0].contains("limit 1 cells"), "{out:?}");
+        assert_eq!(server.metrics().counter("serve.err"), 1);
+    }
+
+    #[test]
+    fn ping_metrics_and_shutdown_frames() {
+        let server = seeded_server(ServeConfig::default());
+        assert_eq!(server.handle_line("PING").0, vec!["PONG"]);
+        let (m, _) = server.handle_line("METRICS");
+        assert_eq!(m[0], "OK metrics");
+        assert!(m[1].starts_with('{'), "{m:?}");
+        let (bye, shutdown) = server.handle_line("SHUTDOWN");
+        assert_eq!(bye, vec!["BYE"]);
+        assert!(shutdown && server.draining());
+        let (out, _) = server.handle_line("QUERY t1 select a, sum(f) from v group by a");
+        assert!(out[0].starts_with("ERR kind=shutting-down"), "{out:?}");
+    }
+
+    #[test]
+    fn serve_lines_round_trips_a_session() {
+        let server = seeded_server(ServeConfig::default());
+        let input = b"PING\nQUERY t1 select a, sum(f) from v group by a\nSHUTDOWN\n" as &[u8];
+        let mut out = Vec::new();
+        let shutdown = server.serve_lines(input, &mut out);
+        assert!(shutdown);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("PONG\nOK rows=2"), "{text}");
+        assert!(text.trim_end().ends_with("BYE"), "{text}");
+    }
+}

@@ -1,0 +1,177 @@
+//! Service smoke: a real TCP listener, concurrent scripted clients, and
+//! a clean drain + shutdown.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use mpf_engine::Database;
+use mpf_semiring::Combine;
+use mpf_serve::{ServeConfig, Server, TenantLimits};
+use mpf_storage::{FunctionalRelation, Schema};
+
+fn seeded_server(config: ServeConfig) -> Arc<Server> {
+    let db = Database::new();
+    let a = db.add_var("a", 3).unwrap();
+    let b = db.add_var("b", 3).unwrap();
+    let c = db.add_var("c", 3).unwrap();
+    db.insert_relation(FunctionalRelation::complete(
+        "r1",
+        Schema::new(vec![a, b]).unwrap(),
+        &db.catalog(),
+        |row| 1.0 + (row[0] * 3 + row[1]) as f64 / 4.0,
+    ))
+    .unwrap();
+    db.insert_relation(FunctionalRelation::complete(
+        "r2",
+        Schema::new(vec![b, c]).unwrap(),
+        &db.catalog(),
+        |row| 0.5 + (row[0] + 2 * row[1]) as f64 / 3.0,
+    ))
+    .unwrap();
+    db.create_view("v", &["r1", "r2"], Combine::Product).unwrap();
+    Server::new(db, config)
+}
+
+/// Send one request line, read one framed response (single line or
+/// `...`-to-`END` block).
+fn roundtrip(
+    reader: &mut impl BufRead,
+    writer: &mut impl Write,
+    request: &str,
+) -> Vec<String> {
+    writeln!(writer, "{request}").unwrap();
+    writer.flush().unwrap();
+    let mut out = Vec::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).unwrap() == 0 {
+            break;
+        }
+        let line = line.trim_end().to_string();
+        let done = line == "END"
+            || line == "PONG"
+            || line == "BYE"
+            || line.starts_with("ERR ");
+        out.push(line);
+        if done {
+            break;
+        }
+    }
+    out
+}
+
+#[test]
+fn concurrent_tcp_clients_then_clean_drain() {
+    let server = seeded_server(ServeConfig::default().with_tenant(
+        "bulk",
+        TenantLimits {
+            max_inflight: 4,
+            ..TenantLimits::default()
+        },
+    ));
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let accept = {
+        let server = Arc::clone(&server);
+        thread::spawn(move || server.serve_tcp(listener))
+    };
+
+    // Concurrent scripted clients, each on its own connection.
+    let clients = 6;
+    let per_client = 10;
+    let (done_tx, done_rx) = mpsc::channel();
+    for id in 0..clients {
+        let done = done_tx.clone();
+        thread::spawn(move || {
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut writer = stream;
+            let tenant = if id % 2 == 0 { "bulk" } else { "spot" };
+            let mut ok = 0usize;
+            for i in 0..per_client {
+                let req = if i % 4 == 3 {
+                    format!("QUERY {tenant} select c, sum(f) from v group by c")
+                } else {
+                    format!("QUERY {tenant} select a, sum(f) from v group by a")
+                };
+                let resp = roundtrip(&mut reader, &mut writer, &req);
+                let head = &resp[0];
+                if head.starts_with("OK rows=3") {
+                    assert_eq!(resp.last().unwrap(), "END", "{resp:?}");
+                    assert_eq!(resp.len(), 5, "3 rows framed: {resp:?}");
+                    ok += 1;
+                } else {
+                    // Under contention the only acceptable failure is a
+                    // typed retriable shed.
+                    assert!(
+                        head.starts_with("ERR kind=queue-full")
+                            || head.starts_with("ERR kind=admission-deadline"),
+                        "unexpected response: {resp:?}"
+                    );
+                    assert!(head.contains("retriable=true"), "{head}");
+                }
+            }
+            assert_eq!(roundtrip(&mut reader, &mut writer, "PING"), ["PONG"]);
+            done.send(ok).unwrap();
+        });
+    }
+    drop(done_tx);
+    let mut total_ok = 0;
+    for _ in 0..clients {
+        total_ok += done_rx
+            .recv_timeout(Duration::from_secs(60))
+            .expect("client finished without panic or deadlock");
+    }
+    assert!(total_ok > 0, "at least some queries answered");
+
+    // Drain: SHUTDOWN from a fresh connection, accept loop exits clean.
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    let metrics = roundtrip(&mut reader, &mut writer, "METRICS");
+    assert_eq!(metrics[0], "OK metrics");
+    assert!(metrics[1].contains("serve.query"), "{}", metrics[1]);
+    assert_eq!(roundtrip(&mut reader, &mut writer, "SHUTDOWN"), ["BYE"]);
+    accept
+        .join()
+        .expect("accept thread exits")
+        .expect("clean drain");
+    assert!(server.draining());
+    assert_eq!(server.admission().inflight(), 0, "drained in-flight work");
+    assert_eq!(
+        server.metrics().counter("serve.ok") as usize,
+        total_ok,
+        "every OK frame was counted exactly once"
+    );
+}
+
+#[test]
+fn draining_refuses_new_connections_with_typed_line() {
+    let server = seeded_server(ServeConfig::default());
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let accept = {
+        let server = Arc::clone(&server);
+        thread::spawn(move || server.serve_tcp(listener))
+    };
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    assert_eq!(roundtrip(&mut reader, &mut writer, "SHUTDOWN"), ["BYE"]);
+    // A connection racing the drain gets a typed refusal (or, if the
+    // listener already closed, a connection error) — never a hang.
+    if let Ok(late) = TcpStream::connect(addr) {
+        late.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut line = String::new();
+        let n = BufReader::new(late).read_line(&mut line).unwrap_or(0);
+        assert!(
+            n == 0 || line.starts_with("ERR kind=shutting-down"),
+            "unexpected late-connection response: {line:?}"
+        );
+    }
+    accept.join().unwrap().unwrap();
+}

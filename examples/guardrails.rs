@@ -14,7 +14,7 @@ const VIEW_RELS: [&str; 5] = ["contracts", "location", "warehouses", "ctdeals", 
 
 fn supply_chain_db() -> Result<Database, Box<dyn std::error::Error>> {
     let sc = SupplyChain::generate(SupplyChainConfig::at_scale(0.01));
-    let mut db = Database::from_parts(sc.catalog.clone(), sc.store.clone());
+    let db = Database::from_parts(sc.catalog.clone(), sc.store.clone());
     db.create_view("invest", &VIEW_RELS, Combine::Product)?;
     Ok(db)
 }
@@ -56,7 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 4. The parser refuses pathological nesting instead of overflowing.
-    let mut db = supply_chain_db()?;
+    let db = supply_chain_db()?;
     let bomb = format!("{}select wid, sum(f) from invest group by wid{}", "(".repeat(10_000), ")".repeat(10_000));
     match db.run_sql(&bomb) {
         Err(e) => println!("10k-paren bomb -> {e}"),

@@ -10,7 +10,7 @@ use mpf::semiring::{Aggregate, Combine};
 use mpf::storage::{FunctionalRelation, Schema};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut db = Database::new();
+    let db = Database::new();
 
     // A toy three-hop network: cost(a, b), cost(b, c) with multiplicative
     // edge factors — the function over (a, b, c) is their product join.
@@ -21,13 +21,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     db.insert_relation(FunctionalRelation::complete(
         "hop1",
         Schema::new(vec![a, b])?,
-        db.catalog(),
+        &db.catalog(),
         |row| 1.0 + (row[0] * 3 + row[1]) as f64 / 4.0,
     ))?;
     db.insert_relation(FunctionalRelation::complete(
         "hop2",
         Schema::new(vec![b, c])?,
-        db.catalog(),
+        &db.catalog(),
         |row| 0.5 + (row[0] + 2 * row[1]) as f64 / 3.0,
     ))?;
 
@@ -84,13 +84,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Combine::Sum views pair with MIN/MAX (tropical semirings).
-    let mut db2 = Database::new();
+    let db2 = Database::new();
     let x = db2.add_var("x", 2)?;
     let y = db2.add_var("y", 2)?;
     db2.insert_relation(FunctionalRelation::complete(
         "e1",
         Schema::new(vec![x, y])?,
-        db2.catalog(),
+        &db2.catalog(),
         |row| (row[0] + 2 * row[1]) as f64,
     ))?;
     db2.create_view("shortest", &["e1"], Combine::Sum)?;

@@ -13,7 +13,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Table 1 at 1% scale: pid 1000, sid 100, wid 50, cid 10, tid 5;
     // location has 10 K rows.
     let sc = SupplyChain::generate(SupplyChainConfig::at_scale(0.01));
-    let mut db = Database::from_parts(sc.catalog.clone(), sc.store.clone());
+    let db = Database::from_parts(sc.catalog.clone(), sc.store.clone());
     db.run_sql(
         "create mpfview invest as (select pid, sid, wid, cid, tid, \
          measure = (* c.price, l.quantity, w.overhead, ct.discount, t.overhead) \

@@ -16,7 +16,7 @@ use mpf::semiring::{Aggregate, Combine};
 use mpf::storage::{FunctionalRelation, Schema};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut db = Database::new();
+    let db = Database::new();
     let origin = db.add_var("origin", 3)?;
     let hub = db.add_var("hub", 4)?;
     let port = db.add_var("port", 3)?;
@@ -27,19 +27,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     db.insert_relation(FunctionalRelation::complete(
         "leg1",
         Schema::new(vec![origin, hub])?,
-        db.catalog(),
+        &db.catalog(),
         |row| 10.0 + ((row[0] * 7 + row[1] * 13) % 17) as f64,
     ))?;
     db.insert_relation(FunctionalRelation::complete(
         "leg2",
         Schema::new(vec![hub, port])?,
-        db.catalog(),
+        &db.catalog(),
         |row| 5.0 + ((row[0] * 11 + row[1] * 3) % 23) as f64,
     ))?;
     db.insert_relation(FunctionalRelation::complete(
         "leg3",
         Schema::new(vec![port, dest])?,
-        db.catalog(),
+        &db.catalog(),
         |row| 8.0 + ((row[0] * 5 + row[1] * 19) % 29) as f64,
     ))?;
 
@@ -53,7 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .aggregate(Aggregate::Min)
             .strategy(Strategy::VePlus(Heuristic::Degree)),
     )?;
-    println!("{}", ans.relation.to_table_string(db.catalog()));
+    println!("{}", ans.relation.to_table_string(&db.catalog()));
 
     println!("== Cheapest route from origin 0 to each destination ==");
     let ans = db.run(
@@ -62,7 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .aggregate(Aggregate::Min)
             .filter("origin", 0),
     )?;
-    println!("{}", ans.relation.to_table_string(db.catalog()));
+    println!("{}", ans.relation.to_table_string(&db.catalog()));
 
     println!("== Bottleneck analysis: cheapest route through each hub ==");
     let ans = db.run(
@@ -70,7 +70,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .group_by(["hub"])
             .aggregate(Aggregate::Min),
     )?;
-    println!("{}", ans.relation.to_table_string(db.catalog()));
+    println!("{}", ans.relation.to_table_string(&db.catalog()));
 
     println!("== Worst-case (MAX) exposure per destination, same view ==");
     let ans = db.run(
@@ -78,7 +78,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .group_by(["dest"])
             .aggregate(Aggregate::Max),
     )?;
-    println!("{}", ans.relation.to_table_string(db.catalog()));
+    println!("{}", ans.relation.to_table_string(&db.catalog()));
 
     // All strategies agree, in this semiring too.
     let reference = db.run(

@@ -14,7 +14,7 @@ use mpf::semiring::Aggregate;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sc = SupplyChain::generate(SupplyChainConfig::at_scale(0.01));
-    let mut db = Database::from_parts(sc.catalog.clone(), sc.store.clone());
+    let db = Database::from_parts(sc.catalog.clone(), sc.store.clone());
     db.run_sql(
         "create mpfview invest as (select pid, sid, wid, cid, tid, \
          measure = (* c.price, l.quantity, w.overhead, ct.discount, t.overhead) \

@@ -17,7 +17,7 @@ fn db() -> Database {
         ctdeals_density: 0.7,
         ..Default::default()
     });
-    let mut db = Database::from_parts(sc.catalog, sc.store);
+    let db = Database::from_parts(sc.catalog, sc.store);
     db.run_sql(VIEW_SQL).unwrap();
     db
 }
@@ -60,7 +60,7 @@ fn every_strategy_agrees_on_every_query_form() {
 
 #[test]
 fn paper_example_queries_run_via_sql() {
-    let mut db = db();
+    let db = db();
     // The three Section 3.1 examples, plus strategy clauses.
     for sql in [
         "select pid, min(inv) from invest group by pid",
@@ -140,7 +140,7 @@ fn linearity_matches_paper_pattern() {
     // tid domain 5 = transporters 5), cid fails Eq. 1 (needs bushy search)
     // and tid satisfies it — the paper's Section 7.1 pattern.
     let sc = SupplyChain::generate(SupplyChainConfig::at_scale(0.01));
-    let mut db = Database::from_parts(sc.catalog, sc.store);
+    let db = Database::from_parts(sc.catalog, sc.store);
     db.run_sql(VIEW_SQL).unwrap();
     assert!(!db.linearity("invest", "cid").unwrap().linear_admissible);
     assert!(db.linearity("invest", "tid").unwrap().linear_admissible);
@@ -170,7 +170,7 @@ fn boolean_reachability_view() {
     use mpf::semiring::{Aggregate, Combine};
     use mpf::storage::{FunctionalRelation, Schema};
 
-    let mut db = Database::new();
+    let db = Database::new();
     let p = db.add_var("p", 3).unwrap();
     let w = db.add_var("w", 3).unwrap();
     let t = db.add_var("t", 2).unwrap();

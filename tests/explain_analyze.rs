@@ -42,7 +42,7 @@ fn supply_chain_db() -> Database {
         ..Default::default()
     });
     // Pinned so the snapshots don't depend on the ambient MPF_DENSE.
-    let mut db = Database::from_parts(sc.catalog, sc.store).with_dense(DenseMode::Auto);
+    let db = Database::from_parts(sc.catalog, sc.store).with_dense(DenseMode::Auto);
     db.run_sql(
         "create mpfview invest as (select pid, sid, wid, cid, tid, \
          measure = (* c.price, l.quantity, w.overhead, ct.discount, t.overhead) \
@@ -57,7 +57,7 @@ fn supply_chain_db() -> Database {
 /// the product view over the four CPTs (Section 4 of the paper).
 fn sprinkler_db() -> Database {
     let bn = BayesNet::sprinkler();
-    let mut db =
+    let db =
         Database::from_parts(bn.catalog().clone(), Default::default()).with_dense(DenseMode::Auto);
     for cpt in bn.cpts() {
         db.insert_relation(cpt.clone()).unwrap();
