@@ -1,19 +1,22 @@
 //! Typed parsing for the engine's environment knobs.
 //!
-//! The execution layer reads two environment variables: `MPF_THREADS`
-//! (worker threads, [`crate::limits::default_threads`]) and `MPF_DENSE`
-//! (dense-kernel dispatch, [`crate::DenseMode::from_env`]). The runtime
+//! The execution layer reads three environment variables: `MPF_THREADS`
+//! (worker threads, [`crate::limits::default_threads`]), `MPF_DENSE`
+//! (dense-kernel dispatch, [`crate::DenseMode::from_env`]), and
+//! `MPF_REPR` (sparse-tensor dispatch, [`crate::ReprMode::from_env`]).
+//! The runtime
 //! defaults are deliberately lenient — a malformed value falls back so a
 //! hot query path never errors on configuration — but a *service* should
 //! refuse to start on a knob it cannot honor rather than silently run
 //! with different parallelism or kernels than the operator asked for.
 //!
-//! [`validate_env`] is that strict startup check: it parses both knobs
+//! [`validate_env`] is that strict startup check: it parses every knob
 //! and returns a typed [`ConfigError`] naming the variable, the rejected
 //! value, and what would have been accepted. `Database::from_env` and the
 //! `mpf_serve` binary call it before serving anything.
 
 use crate::dense::DenseMode;
+use crate::sparse::ReprMode;
 
 /// A configuration knob held a value that does not parse.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,6 +48,8 @@ pub struct EnvKnobs {
     pub threads: Option<usize>,
     /// `MPF_DENSE`, when set and valid.
     pub dense: Option<DenseMode>,
+    /// `MPF_REPR`, when set and valid.
+    pub repr: Option<ReprMode>,
 }
 
 /// Parse an `MPF_THREADS` value: a positive integer.
@@ -74,7 +79,22 @@ pub fn parse_dense(value: &str) -> Result<DenseMode, ConfigError> {
     }
 }
 
-/// Strictly parse both environment knobs, rejecting malformed values
+/// Parse an `MPF_REPR` value: `off`/`0`/`false`,
+/// `sparse`/`on`/`1`/`true`, or `auto`.
+pub fn parse_repr(value: &str) -> Result<ReprMode, ConfigError> {
+    match value.trim().to_ascii_lowercase().as_str() {
+        "off" | "0" | "false" => Ok(ReprMode::Off),
+        "sparse" | "on" | "1" | "true" => Ok(ReprMode::Sparse),
+        "auto" => Ok(ReprMode::Auto),
+        _ => Err(ConfigError {
+            var: "MPF_REPR".into(),
+            value: value.into(),
+            expected: "one of `off`, `sparse`, `auto` (or 0/1/false/true)",
+        }),
+    }
+}
+
+/// Strictly parse every environment knob, rejecting malformed values
 /// instead of falling back. Unset variables are fine (`None`).
 pub fn validate_env() -> Result<EnvKnobs, ConfigError> {
     let threads = match std::env::var("MPF_THREADS") {
@@ -85,7 +105,15 @@ pub fn validate_env() -> Result<EnvKnobs, ConfigError> {
         Ok(v) => Some(parse_dense(&v)?),
         Err(_) => None,
     };
-    Ok(EnvKnobs { threads, dense })
+    let repr = match std::env::var("MPF_REPR") {
+        Ok(v) => Some(parse_repr(&v)?),
+        Err(_) => None,
+    };
+    Ok(EnvKnobs {
+        threads,
+        dense,
+        repr,
+    })
 }
 
 #[cfg(test)]
@@ -125,6 +153,25 @@ mod tests {
             assert_eq!(e.var, "MPF_DENSE");
             assert_eq!(e.value, bad);
             assert!(e.to_string().contains("`auto`"), "{e}");
+        }
+    }
+
+    #[test]
+    fn repr_accepts_documented_spellings() {
+        assert_eq!(parse_repr("off").unwrap(), ReprMode::Off);
+        assert_eq!(parse_repr("0").unwrap(), ReprMode::Off);
+        assert_eq!(parse_repr("sparse").unwrap(), ReprMode::Sparse);
+        assert_eq!(parse_repr("ON").unwrap(), ReprMode::Sparse);
+        assert_eq!(parse_repr(" auto ").unwrap(), ReprMode::Auto);
+    }
+
+    #[test]
+    fn repr_rejects_malformed_values() {
+        for bad in ["csr", "2", "", "dense"] {
+            let e = parse_repr(bad).unwrap_err();
+            assert_eq!(e.var, "MPF_REPR");
+            assert_eq!(e.value, bad);
+            assert!(e.to_string().contains("`sparse`"), "{e}");
         }
     }
 }

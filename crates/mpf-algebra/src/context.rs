@@ -42,7 +42,8 @@ use mpf_storage::FunctionalRelation;
 
 use crate::dense::DenseMode;
 use crate::limits::{ExecBudget, ExecLimits, OpGuard, DEFAULT_WORKSPACE_BYTES};
-use crate::trace::{SpanDesc, SpanKind, TraceCollector, TraceLevel, TraceTree};
+use crate::sparse::ReprMode;
+use crate::trace::{OpRepr, SpanDesc, SpanKind, TraceCollector, TraceLevel, TraceTree};
 use crate::{fault, ExecStats, Result};
 
 /// Owned-or-borrowed budget slot.
@@ -84,6 +85,10 @@ pub struct ExecContext<'b> {
     /// ([`DenseMode::from_env`] by default; planner configs and tests set
     /// it explicitly so runs are environment-independent).
     dense: DenseMode,
+    /// Whether [`crate::sparse`] tensor kernels may be dispatched to
+    /// ([`ReprMode::from_env`] by default; planner configs and tests set
+    /// it explicitly so runs are environment-independent).
+    repr: ReprMode,
 }
 
 impl<'b> ExecContext<'b> {
@@ -99,6 +104,7 @@ impl<'b> ExecContext<'b> {
             fork_tokens: Arc::new(AtomicIsize::new(threads as isize - 1)),
             trace: TraceCollector::new(TraceLevel::Off),
             dense: DenseMode::from_env(),
+            repr: ReprMode::from_env(),
         }
     }
 
@@ -185,6 +191,23 @@ impl<'b> ExecContext<'b> {
     /// [`crate::dense::agg_auto`] consult this).
     pub fn dense_mode(&self) -> DenseMode {
         self.dense
+    }
+
+    /// Override the sparse-tensor dispatch mode (builder style).
+    pub fn with_repr(mut self, mode: ReprMode) -> ExecContext<'b> {
+        self.repr = mode;
+        self
+    }
+
+    /// Override the sparse-tensor dispatch mode.
+    pub fn set_repr(&mut self, mode: ReprMode) {
+        self.repr = mode;
+    }
+
+    /// The sparse-tensor dispatch mode ([`crate::sparse::join_auto`] and
+    /// [`crate::sparse::agg_auto`] consult this).
+    pub fn repr_mode(&self) -> ReprMode {
+        self.repr
     }
 
     /// Enable per-operator tracing (builder style).
@@ -291,6 +314,7 @@ impl<'b> ExecContext<'b> {
             fork_tokens: Arc::clone(&self.fork_tokens),
             trace: TraceCollector::new(self.trace.level()),
             dense: self.dense,
+            repr: self.repr,
         }
     }
 
@@ -358,7 +382,7 @@ impl<'b> ExecContext<'b> {
     pub fn record_scan(&mut self, name: &str, rel: &FunctionalRelation) -> Result<()> {
         self.stats.rows_scanned += rel.len() as u64;
         self.stats.pages_io += rel.estimated_pages();
-        self.trace_op(SpanKind::Scan, &[], rel, false);
+        self.trace_op(SpanKind::Scan, &[], rel, OpRepr::Rows);
         if let Some(budget) = self.budget() {
             budget.checkpoint()?;
         }
@@ -398,23 +422,26 @@ impl<'b> ExecContext<'b> {
         inputs: &[&FunctionalRelation],
         output: &FunctionalRelation,
     ) {
-        self.record_join_ex(inputs, output, false);
+        self.record_join_ex(inputs, output, OpRepr::Rows);
     }
 
-    /// [`ExecContext::record_join`] with an explicit dense flag: dense
-    /// joins count in both `joins` and `dense_joins` and mark their span.
+    /// [`ExecContext::record_join`] with an explicit representation:
+    /// sparse/dense joins count in both `joins` and their per-repr
+    /// counter and mark their span.
     pub(crate) fn record_join_ex(
         &mut self,
         inputs: &[&FunctionalRelation],
         output: &FunctionalRelation,
-        dense: bool,
+        repr: OpRepr,
     ) {
         self.account(inputs, output);
         self.stats.joins += 1;
-        if dense {
-            self.stats.dense_joins += 1;
+        match repr {
+            OpRepr::Rows => {}
+            OpRepr::Sparse => self.stats.sparse_joins += 1,
+            OpRepr::Dense => self.stats.dense_joins += 1,
         }
-        self.trace_op(SpanKind::Join, inputs, output, dense);
+        self.trace_op(SpanKind::Join, inputs, output, repr);
     }
 
     /// Account a group-by operator (any algorithm).
@@ -423,22 +450,24 @@ impl<'b> ExecContext<'b> {
         inputs: &[&FunctionalRelation],
         output: &FunctionalRelation,
     ) {
-        self.record_group_by_ex(inputs, output, false);
+        self.record_group_by_ex(inputs, output, OpRepr::Rows);
     }
 
-    /// [`ExecContext::record_group_by`] with an explicit dense flag.
+    /// [`ExecContext::record_group_by`] with an explicit representation.
     pub(crate) fn record_group_by_ex(
         &mut self,
         inputs: &[&FunctionalRelation],
         output: &FunctionalRelation,
-        dense: bool,
+        repr: OpRepr,
     ) {
         self.account(inputs, output);
         self.stats.group_bys += 1;
-        if dense {
-            self.stats.dense_group_bys += 1;
+        match repr {
+            OpRepr::Rows => {}
+            OpRepr::Sparse => self.stats.sparse_group_bys += 1,
+            OpRepr::Dense => self.stats.dense_group_bys += 1,
         }
-        self.trace_op(SpanKind::GroupBy, inputs, output, dense);
+        self.trace_op(SpanKind::GroupBy, inputs, output, repr);
     }
 
     /// Account a selection operator.
@@ -449,14 +478,68 @@ impl<'b> ExecContext<'b> {
     ) {
         self.account(inputs, output);
         self.stats.selects += 1;
-        self.trace_op(SpanKind::Select, inputs, output, false);
+        self.trace_op(SpanKind::Select, inputs, output, OpRepr::Rows);
     }
 
-    /// Count one dense↔sparse boundary conversion. Conversions charge no
+    /// Count one dense↔rows boundary conversion. Conversions charge no
     /// budget cells (the factor replaces its operand), so they surface
     /// only in the stats counter.
     pub(crate) fn note_dense_convert(&mut self) {
         self.stats.dense_converts += 1;
+    }
+
+    /// Count one sparse↔rows boundary conversion.
+    pub(crate) fn note_sparse_convert(&mut self) {
+        self.stats.sparse_converts += 1;
+    }
+
+    /// [`ExecContext::record_join_ex`]/[`ExecContext::record_group_by_ex`]
+    /// from cardinalities alone, for the factor-carrying operators whose
+    /// operands are never row-materialized. Pages are estimated from the
+    /// columnar footprint (a `u64` coordinate plus an `f64` measure per
+    /// present cell — the same 16 bytes/row the row-major accounting
+    /// charges).
+    pub(crate) fn record_factor_op(
+        &mut self,
+        kind: SpanKind,
+        rows_in: &[u64],
+        rows_out: u64,
+        arity: usize,
+        repr: OpRepr,
+    ) {
+        const CELL_BYTES: u64 = 16;
+        const PAGE_BYTES: u64 = 8192;
+        let pages = |rows: u64| (rows * CELL_BYTES).div_ceil(PAGE_BYTES).max(1);
+        let total_in: u64 = rows_in.iter().sum();
+        for &rows in rows_in {
+            self.stats.pages_io += pages(rows);
+        }
+        self.stats.rows_processed += total_in + rows_out;
+        self.stats.pages_io += pages(rows_out);
+        self.stats.max_intermediate_rows = self.stats.max_intermediate_rows.max(rows_out);
+        match kind {
+            SpanKind::Join => {
+                self.stats.joins += 1;
+                match repr {
+                    OpRepr::Rows => {}
+                    OpRepr::Sparse => self.stats.sparse_joins += 1,
+                    OpRepr::Dense => self.stats.dense_joins += 1,
+                }
+            }
+            SpanKind::GroupBy => {
+                self.stats.group_bys += 1;
+                match repr {
+                    OpRepr::Rows => {}
+                    OpRepr::Sparse => self.stats.sparse_group_bys += 1,
+                    OpRepr::Dense => self.stats.dense_group_bys += 1,
+                }
+            }
+            _ => {}
+        }
+        if self.trace.enabled() {
+            let cells = rows_out * (arity as u64 + 1);
+            self.trace.record_op(kind, total_in, rows_out, cells, repr);
+        }
     }
 
     /// Feed one operator's cardinalities to the span collector: fills the
@@ -467,7 +550,7 @@ impl<'b> ExecContext<'b> {
         kind: SpanKind,
         inputs: &[&FunctionalRelation],
         output: &FunctionalRelation,
-        dense: bool,
+        repr: OpRepr,
     ) {
         if !self.trace.enabled() {
             return;
@@ -475,7 +558,7 @@ impl<'b> ExecContext<'b> {
         let rows_in: u64 = inputs.iter().map(|r| r.len() as u64).sum();
         let rows_out = output.len() as u64;
         let cells = rows_out * (output.schema().arity() as u64 + 1);
-        self.trace.record_op(kind, rows_in, rows_out, cells, dense);
+        self.trace.record_op(kind, rows_in, rows_out, cells, repr);
     }
 }
 

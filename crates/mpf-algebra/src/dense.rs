@@ -313,7 +313,7 @@ pub fn join(
     match join_impl(cx, l, r, &ld, &rd)? {
         Some(out) => {
             let rel = from_dense(cx, out)?;
-            cx.record_join_ex(&[l, r], &rel, true);
+            cx.record_join_ex(&[l, r], &rel, crate::trace::OpRepr::Dense);
             Ok(rel)
         }
         None => ops::product_join(cx, l, r),
@@ -341,7 +341,7 @@ pub fn agg(
     match agg_impl(cx, input, group_vars, &domains)? {
         Some(out) => {
             let rel = from_dense(cx, out)?;
-            cx.record_group_by_ex(&[input], &rel, true);
+            cx.record_group_by_ex(&[input], &rel, crate::trace::OpRepr::Dense);
             Ok(rel)
         }
         None => ops::group_by(cx, input, group_vars),

@@ -4,7 +4,7 @@ use mpf_semiring::SemiringKind;
 use mpf_storage::FunctionalRelation;
 
 use crate::limits::{ExecBudget, ExecLimits};
-use crate::trace::{SpanDesc, SpanKind};
+use crate::trace::{OpRepr, SpanDesc, SpanKind};
 use crate::{
     ops, AggAlgo, AlgebraError, ExecContext, ExecStats, JoinAlgo, PhysicalPlan, Plan,
     RelationProvider, Result,
@@ -206,6 +206,7 @@ impl<'a, P: RelationProvider + Sync> Executor<'a, P> {
                         *partitions,
                     )?,
                     JoinAlgo::Dense => crate::dense::join(cx, &l, &r)?,
+                    JoinAlgo::SparseTensor => crate::sparse::join(cx, &l, &r)?,
                 };
                 Ok(Cow::Owned(out))
             }
@@ -228,6 +229,7 @@ impl<'a, P: RelationProvider + Sync> Executor<'a, P> {
                         )?
                     }
                     AggAlgo::DenseAgg => crate::dense::agg(cx, &in_rel, group_vars)?,
+                    AggAlgo::SparseAgg => crate::sparse::agg(cx, &in_rel, group_vars)?,
                 };
                 Ok(Cow::Owned(out))
             }
@@ -298,10 +300,11 @@ fn span_desc(plan: &PhysicalPlan, threads: usize) -> SpanDesc {
                 _ => None,
             },
             workers: matches!(algo, JoinAlgo::Parallel { .. }).then_some(threads),
-            // Left false even for JoinAlgo::Dense: the operator may fall
-            // back at runtime, and record-time merging sets the flag only
-            // when the dense kernel actually ran.
-            dense: false,
+            // Left `Rows` even for the dense/sparse annotations: the
+            // operator may fall back at runtime, and record-time merging
+            // overwrites the representation only when a kernel actually
+            // ran.
+            repr: OpRepr::Rows,
         },
         PhysicalPlan::GroupBy { algo, .. } => SpanDesc {
             kind: SpanKind::GroupBy,
@@ -311,7 +314,7 @@ fn span_desc(plan: &PhysicalPlan, threads: usize) -> SpanDesc {
                 _ => None,
             },
             workers: matches!(algo, AggAlgo::ParallelAgg { .. }).then_some(threads),
-            dense: false,
+            repr: OpRepr::Rows,
         },
     }
 }

@@ -43,6 +43,7 @@ pub mod partitioned;
 mod plan;
 mod provider;
 pub mod sort_ops;
+pub mod sparse;
 mod stats;
 pub mod trace;
 
@@ -56,8 +57,9 @@ pub use metrics::MetricsRegistry;
 pub use physical::{AggAlgo, JoinAlgo, PhysicalPlan};
 pub use plan::{Plan, MAX_PLAN_DEPTH};
 pub use provider::{RelationProvider, RelationStore};
+pub use sparse::ReprMode;
 pub use stats::ExecStats;
-pub use trace::{SpanKind, TraceLevel, TraceSpan, TraceTree};
+pub use trace::{OpRepr, SpanKind, TraceLevel, TraceSpan, TraceTree};
 
 /// Result alias for algebra operations.
 pub type Result<T> = std::result::Result<T, AlgebraError>;

@@ -42,6 +42,12 @@ pub enum JoinAlgo {
     /// broadcast multiply ([`crate::dense::join`]). Falls back to the
     /// hash join at runtime if the output grid turns out infeasible.
     Dense,
+    /// Sparse-tensor join: both operands become sorted coordinate
+    /// tensors and merge on shared-variable coordinate prefixes
+    /// ([`crate::sparse::join`]). Falls back to the hash join at runtime
+    /// if the coordinate space turns out infeasible or a side is not
+    /// functional.
+    SparseTensor,
 }
 
 impl JoinAlgo {
@@ -53,6 +59,7 @@ impl JoinAlgo {
             JoinAlgo::Grace { .. } => "Grace",
             JoinAlgo::Parallel { .. } => "Parallel",
             JoinAlgo::Dense => "Dense",
+            JoinAlgo::SparseTensor => "SparseTensor",
         }
     }
 }
@@ -76,6 +83,12 @@ pub enum AggAlgo {
     /// index order ([`crate::dense::agg`]). Falls back to the hash
     /// aggregate at runtime if the grid turns out infeasible.
     DenseAgg,
+    /// Sparse-tensor marginalization: the input becomes a sorted
+    /// coordinate tensor in `[group, eliminated]` axis order and runs of
+    /// equal group prefix collapse in one pass
+    /// ([`crate::sparse::agg`]). Falls back to the hash aggregate at
+    /// runtime on infeasibility.
+    SparseAgg,
 }
 
 impl AggAlgo {
@@ -86,6 +99,7 @@ impl AggAlgo {
             AggAlgo::SortAgg => "SortAgg",
             AggAlgo::ParallelAgg { .. } => "ParallelAgg",
             AggAlgo::DenseAgg => "DenseAgg",
+            AggAlgo::SparseAgg => "SparseAgg",
         }
     }
 }
@@ -280,6 +294,24 @@ impl PhysicalPlan {
         }
     }
 
+    /// Count operators annotated with sparse-tensor algorithms.
+    pub fn sparse_operator_count(&self) -> usize {
+        match self {
+            PhysicalPlan::Scan { .. } => 0,
+            PhysicalPlan::Select { input, .. } => input.sparse_operator_count(),
+            PhysicalPlan::Join {
+                left, right, algo, ..
+            } => {
+                (*algo == JoinAlgo::SparseTensor) as usize
+                    + left.sparse_operator_count()
+                    + right.sparse_operator_count()
+            }
+            PhysicalPlan::GroupBy { input, algo, .. } => {
+                (*algo == AggAlgo::SparseAgg) as usize + input.sparse_operator_count()
+            }
+        }
+    }
+
     /// Count the real work operators (joins and group-bys) in the
     /// subtree. The concurrent subplan scheduler only forks a worker for
     /// a subtree that contains at least one — spawning a thread to run a
@@ -408,6 +440,24 @@ mod tests {
         assert!(text.contains("(DenseAgg)"));
         assert_eq!(JoinAlgo::Dense.label(), "Dense");
         assert_eq!(AggAlgo::DenseAgg.label(), "DenseAgg");
+    }
+
+    #[test]
+    fn sparse_annotations_are_counted_and_rendered() {
+        let p = PhysicalPlan::from_logical(
+            &logical(),
+            &mut |_, _| JoinAlgo::SparseTensor,
+            &mut |_, _| AggAlgo::SparseAgg,
+        );
+        assert_eq!(p.sparse_operator_count(), 3);
+        assert_eq!(p.dense_operator_count(), 0);
+        assert_eq!(p.spill_operator_count(), 0, "sparse ops do not spill");
+        assert_eq!(p.to_logical(), logical());
+        let text = p.render(&|v| format!("x{}", v.0));
+        assert!(text.contains("(SparseTensor)"));
+        assert!(text.contains("(SparseAgg)"));
+        assert_eq!(JoinAlgo::SparseTensor.label(), "SparseTensor");
+        assert_eq!(AggAlgo::SparseAgg.label(), "SparseAgg");
     }
 
     #[test]

@@ -27,8 +27,16 @@ pub struct ExecStats {
     /// Group-bys that ran on the dense odometer kernel (also counted in
     /// `group_bys`).
     pub dense_group_bys: u64,
-    /// Dense↔sparse boundary conversions performed.
+    /// Dense↔rows boundary conversions performed.
     pub dense_converts: u64,
+    /// Joins that ran on the sparse-tensor sorted-merge kernel (also
+    /// counted in `joins`).
+    pub sparse_joins: u64,
+    /// Group-bys that ran on the sparse coordinate-collapse kernel (also
+    /// counted in `group_bys`).
+    pub sparse_group_bys: u64,
+    /// Sparse↔rows boundary conversions performed.
+    pub sparse_converts: u64,
 }
 
 impl ExecStats {
@@ -44,6 +52,9 @@ impl ExecStats {
         self.dense_joins += other.dense_joins;
         self.dense_group_bys += other.dense_group_bys;
         self.dense_converts += other.dense_converts;
+        self.sparse_joins += other.sparse_joins;
+        self.sparse_group_bys += other.sparse_group_bys;
+        self.sparse_converts += other.sparse_converts;
     }
 }
 
@@ -64,6 +75,9 @@ mod tests {
             dense_joins: 1,
             dense_group_bys: 0,
             dense_converts: 3,
+            sparse_joins: 1,
+            sparse_group_bys: 0,
+            sparse_converts: 2,
         };
         let b = ExecStats {
             rows_scanned: 1,
@@ -76,6 +90,9 @@ mod tests {
             dense_joins: 0,
             dense_group_bys: 1,
             dense_converts: 2,
+            sparse_joins: 0,
+            sparse_group_bys: 2,
+            sparse_converts: 1,
         };
         a.merge(&b);
         assert_eq!(a.rows_scanned, 11);
@@ -87,5 +104,8 @@ mod tests {
         assert_eq!(a.dense_joins, 1);
         assert_eq!(a.dense_group_bys, 1);
         assert_eq!(a.dense_converts, 5);
+        assert_eq!(a.sparse_joins, 1);
+        assert_eq!(a.sparse_group_bys, 2);
+        assert_eq!(a.sparse_converts, 3);
     }
 }

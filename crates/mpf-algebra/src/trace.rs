@@ -72,6 +72,33 @@ impl SpanKind {
     }
 }
 
+/// The storage representation an operator actually ran on — the span
+/// annotation that distinguishes the hash path (`Rows`) from the sorted
+/// coordinate tensor (`Sparse`) and the odometer grid (`Dense`) in
+/// traces and `explain_analyze` output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OpRepr {
+    /// Row-major hash operators (the general path).
+    #[default]
+    Rows,
+    /// Sparse-tensor kernels (sorted-merge join / coordinate collapse).
+    Sparse,
+    /// Dense odometer kernels.
+    Dense,
+}
+
+impl OpRepr {
+    /// Stable lower-case name (`rows`/`sparse`/`dense`), matching
+    /// `Factor::repr_name` in the storage layer.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpRepr::Rows => "rows",
+            OpRepr::Sparse => "sparse",
+            OpRepr::Dense => "dense",
+        }
+    }
+}
+
 /// What a span records when it is opened (before the operator runs).
 #[derive(Debug, Clone)]
 pub struct SpanDesc {
@@ -83,10 +110,11 @@ pub struct SpanDesc {
     pub partitions: Option<usize>,
     /// Worker-thread count, for parallel operators.
     pub workers: Option<usize>,
-    /// Pre-marks the span as dense. Normally left `false` — execution
-    /// sets the flag on the span when a dense kernel actually records
-    /// into it, so traces distinguish planned-dense from ran-dense.
-    pub dense: bool,
+    /// Pre-marks the span's representation. Normally left [`OpRepr::Rows`]
+    /// — execution sets the annotation on the span when a sparse or dense
+    /// kernel actually records into it, so traces distinguish
+    /// planned-representation from ran-representation.
+    pub repr: OpRepr,
 }
 
 impl SpanDesc {
@@ -97,7 +125,7 @@ impl SpanDesc {
             label: label.into(),
             partitions: None,
             workers: None,
-            dense: false,
+            repr: OpRepr::Rows,
         }
     }
 
@@ -108,7 +136,7 @@ impl SpanDesc {
             label: label.into(),
             partitions: None,
             workers: None,
-            dense: false,
+            repr: OpRepr::Rows,
         }
     }
 }
@@ -135,8 +163,8 @@ pub struct TraceSpan {
     pub partitions: Option<usize>,
     /// Worker-thread count, for parallel operators.
     pub workers: Option<usize>,
-    /// Whether the operator ran on the dense odometer kernel.
-    pub dense: bool,
+    /// The storage representation the operator ran on.
+    pub repr: OpRepr,
     /// Optimizer-estimated output rows, filled by the engine's
     /// estimate-annotation pass (`None` inside bare algebra runs).
     pub est_rows: Option<f64>,
@@ -158,7 +186,7 @@ impl TraceSpan {
             elapsed: Duration::ZERO,
             partitions: desc.partitions,
             workers: desc.workers,
-            dense: desc.dense,
+            repr: desc.repr,
             est_rows: None,
             fault: None,
             children: Vec::new(),
@@ -206,9 +234,7 @@ impl TraceSpan {
             if let Some(w) = self.workers {
                 out.push_str(&format!(", workers={w}"));
             }
-            if self.dense {
-                out.push_str(", dense=true");
-            }
+            out.push_str(&format!(", repr={}", self.repr.name()));
             out.push(')');
         }
         if let Some(fault) = &self.fault {
@@ -236,8 +262,8 @@ impl TraceSpan {
         if let Some(w) = self.workers {
             out.push_str(&format!(",\"workers\":{w}"));
         }
-        if self.dense {
-            out.push_str(",\"dense\":true");
+        if self.kind != SpanKind::Phase {
+            out.push_str(&format!(",\"repr\":\"{}\"", self.repr.name()));
         }
         if let Some(e) = self.est_rows {
             if e.is_finite() {
@@ -404,15 +430,16 @@ impl TraceCollector {
 
     /// Operator accounting: fill the innermost unfilled open span of the
     /// same kind, or attach a leaf span (ad-hoc operator calls outside
-    /// the interpreter). `dense` marks spans of operators that ran on the
-    /// dense odometer kernel.
+    /// the interpreter). `repr` marks the storage representation the
+    /// operator actually ran on (a sparse/dense mark overrides the
+    /// span's planned annotation; `Rows` leaves a pre-mark in place).
     pub(crate) fn record_op(
         &mut self,
         kind: SpanKind,
         rows_in: u64,
         rows_out: u64,
         cells: u64,
-        dense: bool,
+        repr: OpRepr,
     ) {
         if !self.enabled() {
             return;
@@ -422,7 +449,9 @@ impl TraceCollector {
                 top.span.rows_in = rows_in;
                 top.span.rows_out = rows_out;
                 top.span.cells = cells;
-                top.span.dense |= dense;
+                if repr != OpRepr::Rows {
+                    top.span.repr = repr;
+                }
                 top.filled = true;
                 return;
             }
@@ -431,7 +460,7 @@ impl TraceCollector {
         leaf.rows_in = rows_in;
         leaf.rows_out = rows_out;
         leaf.cells = cells;
-        leaf.dense = dense;
+        leaf.repr = repr;
         self.attach(leaf);
     }
 
@@ -486,7 +515,7 @@ mod tests {
     fn off_collects_nothing() {
         let mut c = TraceCollector::new(TraceLevel::Off);
         c.open(|| desc(SpanKind::Join, "j"));
-        c.record_op(SpanKind::Join, 4, 2, 6, false);
+        c.record_op(SpanKind::Join, 4, 2, 6, OpRepr::Rows);
         c.close(|| None);
         assert!(c.take().is_empty());
     }
@@ -496,9 +525,9 @@ mod tests {
         let mut c = TraceCollector::new(TraceLevel::Spans);
         c.open(|| desc(SpanKind::Join, "ProductJoin (Hash)"));
         c.open(|| desc(SpanKind::Scan, "Scan r1"));
-        c.record_op(SpanKind::Scan, 0, 4, 12, false);
+        c.record_op(SpanKind::Scan, 0, 4, 12, OpRepr::Rows);
         c.close(|| None);
-        c.record_op(SpanKind::Join, 8, 16, 64, false);
+        c.record_op(SpanKind::Join, 8, 16, 64, OpRepr::Rows);
         c.close(|| None);
         let t = c.take();
         assert_eq!(t.span_count(), 2);
@@ -513,8 +542,8 @@ mod tests {
     fn unmatched_accounting_attaches_leaves() {
         let mut c = TraceCollector::new(TraceLevel::Spans);
         c.open(|| SpanDesc::phase("vecache::build"));
-        c.record_op(SpanKind::Join, 8, 16, 48, false);
-        c.record_op(SpanKind::GroupBy, 16, 4, 8, false);
+        c.record_op(SpanKind::Join, 8, 16, 48, OpRepr::Rows);
+        c.record_op(SpanKind::GroupBy, 16, 4, 8, OpRepr::Rows);
         c.close(|| None);
         let t = c.take();
         assert_eq!(t.roots.len(), 1);
@@ -526,13 +555,13 @@ mod tests {
     #[test]
     fn absorb_grafts_into_the_open_span() {
         let mut worker = TraceCollector::new(TraceLevel::Spans);
-        worker.record_op(SpanKind::Join, 2, 2, 6, false);
+        worker.record_op(SpanKind::Join, 2, 2, 6, OpRepr::Rows);
         let spans = worker.take().roots;
 
         let mut c = TraceCollector::new(TraceLevel::Spans);
         c.open(|| desc(SpanKind::Join, "root"));
         c.absorb(spans);
-        c.record_op(SpanKind::Join, 4, 4, 12, false);
+        c.record_op(SpanKind::Join, 4, 4, 12, OpRepr::Rows);
         c.close(|| None);
         let t = c.take();
         assert_eq!(t.roots[0].children.len(), 1);
@@ -557,20 +586,20 @@ mod tests {
             label: "ProductJoin (Parallel)".into(),
             partitions: Some(4),
             workers: Some(2),
-            dense: true,
+            repr: OpRepr::Dense,
         });
-        c.record_op(SpanKind::Join, 8, 3, 9, false);
+        c.record_op(SpanKind::Join, 8, 3, 9, OpRepr::Sparse);
         c.close(|| None);
         let t = c.take();
         let json = t.to_json();
         assert!(json.contains("\"partitions\":4"));
         assert!(json.contains("\"workers\":2"));
         assert!(json.contains("\"rows_out\":3"));
-        assert!(json.contains("\"dense\":true"));
+        assert!(json.contains("\"repr\":\"sparse\""));
         let text = t.render();
         assert!(text.contains("partitions=4"));
         assert!(text.contains("workers=2"));
-        assert!(text.contains("dense=true"));
+        assert!(text.contains("repr=sparse"));
         assert!(json_string("a\"b\\c\n").contains("\\\""));
     }
 }

@@ -4,7 +4,7 @@ use std::time::{Duration, Instant};
 
 use mpf_algebra::{
     fault, AggAlgo, DenseMode, ExecContext, ExecLimits, ExecStats, Executor, MetricsRegistry,
-    PhysicalPlan, Plan, RelationProvider, RelationStore, TraceLevel,
+    PhysicalPlan, Plan, RelationProvider, RelationStore, ReprMode, TraceLevel,
 };
 use mpf_infer::VeCache;
 use mpf_optimizer::{
@@ -146,6 +146,9 @@ pub struct Database {
     /// Dense-kernel selection mode handed to physical planning
     /// (`MPF_DENSE` by default).
     dense: DenseMode,
+    /// Sparse-tensor selection mode handed to physical planning
+    /// (`MPF_REPR` by default).
+    repr: ReprMode,
     /// Optional metrics sink fed by every [`Database::run`] call.
     metrics: Option<Arc<MetricsRegistry>>,
 }
@@ -168,6 +171,7 @@ impl Clone for Database {
             limits: self.limits.clone(),
             fallback: self.fallback.clone(),
             dense: self.dense,
+            repr: self.repr,
             metrics: self.metrics.clone(),
         }
     }
@@ -184,18 +188,20 @@ impl Database {
             limits: ExecLimits::none(),
             fallback: FallbackPolicy::default(),
             dense: DenseMode::from_env(),
+            repr: ReprMode::from_env(),
             metrics: None,
         }
     }
 
     /// An empty database configured from the environment knobs
-    /// (`MPF_THREADS`, `MPF_DENSE`) with *strict* parsing: a malformed
+    /// (`MPF_THREADS`, `MPF_DENSE`, `MPF_REPR`) with *strict* parsing: a malformed
     /// value is a typed [`EngineError::Config`] instead of the silent
     /// fallback [`Database::new`] applies. Services should start here.
     pub fn from_env() -> Result<Database> {
         let knobs = mpf_algebra::config::validate_env().map_err(EngineError::Config)?;
         let mut db = Database::new();
         db.dense = knobs.dense.unwrap_or_default();
+        db.repr = knobs.repr.unwrap_or_default();
         if let Some(threads) = knobs.threads {
             db.limits = db.limits.clone().with_threads(threads);
         }
@@ -262,6 +268,18 @@ impl Database {
     /// The dense-kernel selection mode physical planning runs under.
     pub fn dense(&self) -> DenseMode {
         self.dense
+    }
+
+    /// Set the sparse-tensor selection mode for physical planning,
+    /// overriding the `MPF_REPR` environment default.
+    pub fn with_repr(mut self, mode: ReprMode) -> Database {
+        self.repr = mode;
+        self
+    }
+
+    /// The sparse-tensor selection mode physical planning runs under.
+    pub fn repr(&self) -> ReprMode {
+        self.repr
     }
 
     /// The resource budgets queries run under.
@@ -442,6 +460,10 @@ impl Database {
                     m.inc(&format!("engine.served_by.{}", a.served_by.label()));
                     m.add("engine.fallback_attempts", a.fallback.len() as u64);
                     m.add("engine.rows_out", a.relation.len() as u64);
+                    m.add("engine.repr.sparse_ops", a.stats.sparse_joins + a.stats.sparse_group_bys);
+                    m.add("engine.repr.dense_ops", a.stats.dense_joins + a.stats.dense_group_bys);
+                    m.add("engine.repr.sparse_converts", a.stats.sparse_converts);
+                    m.add("engine.repr.dense_converts", a.stats.dense_converts);
                     m.observe("engine.optimize_us", a.optimize_time);
                     m.observe("engine.execute_us", a.execute_time);
                 }
@@ -483,6 +505,7 @@ impl Database {
         let limits = req.limits.clone().unwrap_or_else(|| self.limits.clone());
         let mut cx = ExecContext::with_limits(cache.semiring(), limits)
             .with_dense(self.dense)
+            .with_repr(self.repr)
             .with_trace(req.trace);
         let t1 = Instant::now();
         cx.span_phase("cache::answer");
@@ -582,13 +605,15 @@ impl Database {
             &plan,
             PhysicalConfig::default()
                 .with_threads(limits.effective_threads())
-                .with_dense(self.dense),
+                .with_dense(self.dense)
+                .with_repr(self.repr),
         );
         let optimize_time = t0.elapsed();
 
         let exec = Executor::new(store, sr);
         let mut cx = ExecContext::with_limits(sr, limits.clone())
             .with_dense(self.dense)
+            .with_repr(self.repr)
             .with_trace(req.trace);
         let t1 = Instant::now();
         let result = exec.execute_physical_in(&mut cx, &physical);
@@ -663,7 +688,8 @@ impl Database {
             &plan,
             PhysicalConfig::default()
                 .with_threads(limits.effective_threads())
-                .with_dense(self.dense),
+                .with_dense(self.dense)
+                .with_repr(self.repr),
         );
         let catalog = &snap.catalog;
         // Exact base-relation densities (rows over the schema's domain
@@ -890,7 +916,9 @@ impl Database {
                 })
             })
             .collect::<Result<_>>()?;
-        let mut cx = ExecContext::with_limits(sr, self.limits.clone()).with_dense(self.dense);
+        let mut cx = ExecContext::with_limits(sr, self.limits.clone())
+            .with_dense(self.dense)
+            .with_repr(self.repr);
         Ok(VeCache::build_in(&mut cx, &rels, order)?)
     }
 
@@ -1363,6 +1391,40 @@ mod tests {
             )
             .unwrap();
         assert!(naive.relation.function_eq(&vep.relation));
+    }
+
+    #[test]
+    fn sparse_repr_agrees_and_is_counted() {
+        let reference = tiny_db()
+            .with_dense(DenseMode::Off)
+            .with_repr(ReprMode::Off)
+            .run(Query::on("v").group_by(["c"]))
+            .unwrap();
+        let metrics = Arc::new(MetricsRegistry::new());
+        let db = tiny_db()
+            .with_dense(DenseMode::Off)
+            .with_repr(ReprMode::Sparse)
+            .with_metrics(Arc::clone(&metrics));
+        let ans = db.run(Query::on("v").group_by(["c"])).unwrap();
+        assert!(reference.relation.function_eq(&ans.relation));
+        assert!(
+            ans.physical.sparse_operator_count() > 0,
+            "forced repr annotates sparse operators"
+        );
+        assert!(ans.stats.sparse_joins + ans.stats.sparse_group_bys > 0);
+        assert!(metrics.counter("engine.repr.sparse_ops") > 0);
+    }
+
+    #[test]
+    fn explain_analyze_shows_repr() {
+        let db = tiny_db().with_dense(DenseMode::Off).with_repr(ReprMode::Sparse);
+        let text = db
+            .explain_analyze(QueryRequest::on("v").group_by(["c"]).strategy(Strategy::Cs))
+            .unwrap();
+        assert!(
+            text.contains("repr=sparse"),
+            "EXPLAIN ANALYZE reports the representation each operator ran on:\n{text}"
+        );
     }
 
     #[test]

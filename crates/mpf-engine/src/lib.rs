@@ -51,7 +51,7 @@ pub use snapshot::{CatalogRef, RelationRef, Snapshot, StoreRef, ViewRef};
 // a `QueryRequest`, `Database::with_metrics`, and `Database::from_env`
 // speak in.
 pub use mpf_algebra::{
-    ConfigError, DenseMode, MetricsRegistry, SpanKind, TraceLevel, TraceSpan, TraceTree,
+    ConfigError, DenseMode, MetricsRegistry, ReprMode, SpanKind, TraceLevel, TraceSpan, TraceTree,
 };
 pub use mpf_optimizer::Heuristic;
 

@@ -229,9 +229,13 @@ mod faults {
     fn join_fault_is_cured_by_fallback() {
         let _g = lock();
         fault::clear_all();
-        let db = tiny_db().with_dense(mpf_engine::DenseMode::Off);
+        // Hash-path pins: this arms the hash join's fault site, so the
+        // dense and sparse representations must both stand down.
+        let db = tiny_db()
+            .with_dense(mpf_engine::DenseMode::Off)
+            .with_repr(mpf_engine::ReprMode::Off);
         fault::inject("product_join", 1);
-        let ans = db.run(&Query::on("v").group_by(["c"])).unwrap();
+        let ans = db.run(Query::on("v").group_by(["c"])).unwrap();
         assert_eq!(ans.fallback.len(), 1);
         assert!(matches!(
             ans.fallback[0].1,
@@ -247,7 +251,9 @@ mod faults {
     fn fallback_answer_reports_work_of_failed_attempts() {
         let _g = lock();
         fault::clear_all();
-        let db = tiny_db().with_dense(mpf_engine::DenseMode::Off);
+        let db = tiny_db()
+            .with_dense(mpf_engine::DenseMode::Off)
+            .with_repr(mpf_engine::ReprMode::Off);
         let q = Query::on("v").group_by(["c"]);
         let clean = db.run(&q).unwrap();
         assert!(clean.stats.rows_scanned > 0);
@@ -280,7 +286,7 @@ mod faults {
         }
         let err = db
             .run(
-                &Query::on("v")
+                Query::on("v")
                     .group_by(["c"])
                     .strategy(Strategy::VePlus(mpf_optimizer::Heuristic::Degree)),
             )

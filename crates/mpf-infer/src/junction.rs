@@ -350,7 +350,7 @@ impl JunctionTree {
         for r in parts {
             table = Some(match table.take() {
                 None => (*r).clone(),
-                Some(t) => mpf_algebra::dense::join_auto(cx, &t, r)?,
+                Some(t) => mpf_algebra::sparse::join_auto(cx, &t, r)?,
             });
         }
         let clique_vars: Vec<VarId> = self.cliques[c].iter().copied().collect();
@@ -365,7 +365,7 @@ impl JunctionTree {
                     t
                 } else {
                     let pad = identity_relation(sr, &missing, catalog);
-                    mpf_algebra::dense::join_auto(cx, &t, &pad)?
+                    mpf_algebra::sparse::join_auto(cx, &t, &pad)?
                 }
             }
             None => identity_relation(sr, &clique_vars, catalog),

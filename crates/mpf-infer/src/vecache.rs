@@ -134,16 +134,20 @@ impl VeCache {
             if group.is_empty() {
                 continue;
             }
-            // Join rels(v), smallest first.
+            // Join rels(v), smallest first. The chain runs over
+            // representation-polymorphic factors: under a sparse-friendly
+            // `MPF_REPR` the intermediates stay CSR tensors between joins
+            // and only materialize into rows once, for the cached table.
             let mut group = group;
             group.sort_by_key(|(f, _)| f.len());
             let j = tables.len();
             let mut iter = group.into_iter();
             let (first, first_origin) = iter.next().expect("nonempty");
-            let mut joined = first;
+            let mut joined = mpf_storage::Factor::from(first);
             let mut origins = vec![first_origin];
             for (f, origin) in iter {
-                joined = mpf_algebra::dense::join_auto(cx, &joined, &f)?;
+                joined =
+                    mpf_algebra::sparse::join_factor(cx, &joined, &mpf_storage::Factor::from(f))?;
                 origins.push(origin);
             }
             for origin in origins {
@@ -152,11 +156,12 @@ impl VeCache {
                     Origin::Base(b) => base_consumer[b] = Some(j),
                 }
             }
+            let joined = mpf_algebra::sparse::materialize(cx, joined)?;
             // Cache the pre-GroupBy table.
             tables.push(joined.clone().with_name(format!("t{j}")));
             // Eliminate v.
             let keep: Vec<VarId> = joined.schema().iter().filter(|&u| u != v).collect();
-            let p = mpf_algebra::dense::agg_auto(cx, &joined, &keep)?;
+            let p = mpf_algebra::sparse::agg_auto(cx, &joined, &keep)?;
             if p.schema().is_empty() {
                 // Component fully eliminated; remember its total.
                 let total = if p.is_empty() { sr.zero() } else { p.measure(0) };
@@ -332,7 +337,7 @@ impl VeCache {
         vars: &[VarId],
     ) -> Result<FunctionalRelation> {
         let idx = self.best_table_for(vars)?;
-        Ok(mpf_algebra::dense::agg_auto(cx, &self.tables[idx], vars)?)
+        Ok(mpf_algebra::sparse::agg_auto(cx, &self.tables[idx], vars)?)
     }
 
     fn best_table_for(&self, vars: &[VarId]) -> Result<usize> {

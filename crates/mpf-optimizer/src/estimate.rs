@@ -108,6 +108,24 @@ pub fn schema_density(ctx: &OptContext<'_>, schema: &Schema, rows: f64) -> Optio
     Some((rows / cells as f64).min(1.0))
 }
 
+/// Estimated density of `rows` rows on the catalog grid of `schema`,
+/// under the *sparse* feasibility cap rather than the dense one: the
+/// sparse-tensor operators never materialize the grid, only linearized
+/// coordinates, so the grid may be as large as
+/// [`mpf_storage::layout::MAX_SPARSE_COORD_CELLS`]. `None` when even the
+/// coordinate space overflows, which callers treat as "never sparse".
+pub fn schema_density_wide(ctx: &OptContext<'_>, schema: &Schema, rows: f64) -> Option<f64> {
+    let domains: Vec<u64> = schema
+        .iter()
+        .map(|v| ctx.catalog.domain_size(v))
+        .collect();
+    let cells = mpf_storage::layout::grid_cells_wide(&domains)?;
+    if cells == 0 {
+        return Some(0.0);
+    }
+    Some((rows / cells as f64).min(1.0))
+}
+
 /// Estimated output density of an arbitrary logical plan
 /// ([`plan_estimate`] rows over the output schema's catalog grid);
 /// `None` when the grid is infeasible for dense execution.

@@ -24,7 +24,7 @@
 //! Operand sizes come from the same catalog-based estimator the join
 //! ordering used ([`estimate::plan_estimate`]).
 
-use mpf_algebra::{partitioned, AggAlgo, DenseMode, JoinAlgo, PhysicalPlan, Plan};
+use mpf_algebra::{partitioned, AggAlgo, DenseMode, JoinAlgo, PhysicalPlan, Plan, ReprMode};
 
 use crate::{estimate, OptContext};
 
@@ -57,6 +57,15 @@ pub struct PhysicalConfig {
     /// operands waste grid cells; at 0.5+ the odometer kernel's
     /// per-cell cost undercuts hashing.
     pub dense_min_density: f64,
+    /// Whether to consider the sparse-tensor kernels
+    /// ([`JoinAlgo::SparseTensor`], [`AggAlgo::SparseAgg`]). Defaults to
+    /// the `MPF_REPR` environment variable ([`ReprMode::from_env`]).
+    pub repr_mode: ReprMode,
+    /// Minimum estimated operand density before [`ReprMode::Auto`]
+    /// selects a sparse-tensor operator. Below ~1% the sorted-merge
+    /// kernel's per-side sort does not pay for itself against a hash
+    /// table that stays cache-resident.
+    pub sparse_min_density: f64,
 }
 
 impl Default for PhysicalConfig {
@@ -69,6 +78,8 @@ impl Default for PhysicalConfig {
             parallel_min_rows: 32_768.0,
             dense_mode: DenseMode::from_env(),
             dense_min_density: 0.5,
+            repr_mode: ReprMode::from_env(),
+            sparse_min_density: mpf_algebra::sparse::SPARSE_MIN_DENSITY,
         }
     }
 }
@@ -83,6 +94,12 @@ impl PhysicalConfig {
     /// Set the dense-kernel selection mode (builder style).
     pub fn with_dense(mut self, mode: DenseMode) -> Self {
         self.dense_mode = mode;
+        self
+    }
+
+    /// Set the sparse-tensor selection mode (builder style).
+    pub fn with_repr(mut self, mode: ReprMode) -> Self {
+        self.repr_mode = mode;
         self
     }
 }
@@ -117,6 +134,40 @@ fn dense_applies(
     true
 }
 
+/// Whether a sparse-tensor kernel should be selected for an operator with
+/// the given input estimates. Checked *after* [`dense_applies`]: when a
+/// grid is complete enough for the odometer kernel, dense is strictly
+/// better, so sparse covers the middle band — operands too sparse to grid
+/// densely (or whose grids overflow the dense cell cap entirely) but
+/// populated enough that sorted-merge over linearized coordinates beats
+/// hashing. `Off`: never. `Sparse`: whenever the coordinate spaces are
+/// feasible. `Auto`: additionally every input must clear
+/// [`PhysicalConfig::sparse_min_density`].
+fn sparse_applies(
+    ctx: &OptContext<'_>,
+    cfg: &PhysicalConfig,
+    inputs: &[(&mpf_storage::Schema, f64)],
+    out_schema: &mpf_storage::Schema,
+) -> bool {
+    if cfg.repr_mode == ReprMode::Off {
+        return false;
+    }
+    if estimate::schema_density_wide(ctx, out_schema, 0.0).is_none() {
+        return false;
+    }
+    for &(schema, rows) in inputs {
+        match estimate::schema_density_wide(ctx, schema, rows) {
+            None => return false,
+            Some(d) => {
+                if cfg.repr_mode == ReprMode::Auto && d < cfg.sparse_min_density {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
 /// Annotate a logical plan with cost-chosen operator algorithms.
 pub fn choose_physical(
     ctx: &OptContext<'_>,
@@ -130,6 +181,9 @@ pub fn choose_physical(
             let (rs, rr) = estimate::plan_estimate(ctx, right);
             if dense_applies(ctx, &cfg, &[(&ls, lr), (&rs, rr)], &ls.union(&rs)) {
                 return JoinAlgo::Dense;
+            }
+            if sparse_applies(ctx, &cfg, &[(&ls, lr), (&rs, rr)], &ls.union(&rs)) {
+                return JoinAlgo::SparseTensor;
             }
             let build = lr.min(rr);
             if build <= cfg.memory_rows {
@@ -162,6 +216,9 @@ pub fn choose_physical(
             let schema: mpf_storage::Schema = group_vars.iter().copied().collect();
             if dense_applies(ctx, &cfg, &[(&in_schema, in_rows)], &schema) {
                 return AggAlgo::DenseAgg;
+            }
+            if sparse_applies(ctx, &cfg, &[(&in_schema, in_rows)], &schema) {
+                return AggAlgo::SparseAgg;
             }
             let groups = estimate::group_rows(ctx, in_rows, &schema);
             if groups <= cfg.memory_rows {
@@ -231,7 +288,8 @@ mod tests {
                 ..PhysicalConfig::default()
             }
             .with_threads(1)
-            .with_dense(DenseMode::Off),
+            .with_dense(DenseMode::Off)
+            .with_repr(ReprMode::Off),
         );
         assert_eq!(big.sort_operator_count(), 0, "everything fits -> all hash");
         let tiny = choose_physical(
@@ -242,7 +300,8 @@ mod tests {
                 ..PhysicalConfig::default()
             }
             .with_threads(1)
-            .with_dense(DenseMode::Off),
+            .with_dense(DenseMode::Off)
+            .with_repr(ReprMode::Off),
         );
         assert!(
             tiny.spill_operator_count() > 0,
@@ -263,7 +322,8 @@ mod tests {
             &plan,
             PhysicalConfig::default()
                 .with_threads(1)
-                .with_dense(DenseMode::Off),
+                .with_dense(DenseMode::Off)
+                .with_repr(ReprMode::Off),
         );
         // r2 (5M rows) exceeds the default budget, but its join partner is
         // the build side, so hash join still applies everywhere except
@@ -290,7 +350,7 @@ mod tests {
         ];
         let ctx = OptContext::new(&cat, rels, QuerySpec::group_by([a]), CostModel::Io);
         let plan = optimize(&ctx, Algorithm::CsPlusNonlinear).plan;
-        let cfg = PhysicalConfig::default().with_threads(1);
+        let cfg = PhysicalConfig::default().with_threads(1).with_repr(ReprMode::Off);
         let off = choose_physical(&ctx, &plan, cfg.with_dense(DenseMode::Off));
         assert_eq!(off.dense_operator_count(), 0);
         let auto = choose_physical(&ctx, &plan, cfg.with_dense(DenseMode::Auto));
@@ -334,9 +394,119 @@ mod tests {
             &plan,
             PhysicalConfig::default()
                 .with_threads(1)
-                .with_dense(DenseMode::On),
+                .with_dense(DenseMode::On)
+                .with_repr(ReprMode::Off),
         );
         assert_eq!(on.dense_operator_count(), 0, "grid never materializes");
+    }
+
+    #[test]
+    fn sparse_selection_covers_the_middle_density_band() {
+        // Base densities ~0.19 and an estimated join output density ~0.035:
+        // every operand is too sparse for dense auto (0.5) but dense
+        // enough for sparse auto (0.01).
+        let mut cat = Catalog::new();
+        let a = cat.add_var("a", 8).unwrap();
+        let b = cat.add_var("b", 8).unwrap();
+        let c = cat.add_var("c", 8).unwrap();
+        let mk = |name: &str, schema: Schema, card: u64| BaseRel {
+            name: name.into(),
+            schema,
+            cardinality: card,
+            fd_lhs: None,
+        };
+        let rels = vec![
+            mk("r1", Schema::new(vec![a, b]).unwrap(), 12),
+            mk("r2", Schema::new(vec![b, c]).unwrap(), 12),
+        ];
+        let ctx = OptContext::new(&cat, rels, QuerySpec::group_by([a]), CostModel::Io);
+        let plan = optimize(&ctx, Algorithm::CsPlusNonlinear).plan;
+        let cfg = PhysicalConfig::default().with_threads(1);
+        let off = choose_physical(&ctx, &plan, cfg.with_repr(ReprMode::Off));
+        assert_eq!(off.sparse_operator_count(), 0);
+        let auto = choose_physical(&ctx, &plan, cfg.with_repr(ReprMode::Auto));
+        assert_eq!(
+            auto.sparse_operator_count(),
+            plan.join_count() + plan.group_by_count(),
+            "mid-density operands go sparse under auto:\n{}",
+            auto.render(&|v| format!("x{}", v.0))
+        );
+        assert_eq!(auto.dense_operator_count(), 0, "dense auto declines at 9%");
+        assert_eq!(auto.to_logical(), plan);
+
+        // Density below the 1% floor: auto declines, forced mode selects.
+        let mut cat2 = Catalog::new();
+        let a2 = cat2.add_var("a", 100).unwrap();
+        let b2 = cat2.add_var("b", 100).unwrap();
+        let c2 = cat2.add_var("c", 100).unwrap();
+        let sparse = vec![
+            mk("r1", Schema::new(vec![a2, b2]).unwrap(), 50),
+            mk("r2", Schema::new(vec![b2, c2]).unwrap(), 50),
+        ];
+        let sctx = OptContext::new(&cat2, sparse, QuerySpec::group_by([a2]), CostModel::Io);
+        let splan = optimize(&sctx, Algorithm::CsPlusNonlinear).plan;
+        let sauto = choose_physical(&sctx, &splan, cfg.with_repr(ReprMode::Auto));
+        assert_eq!(sauto.sparse_operator_count(), 0, "0.5% operands stay hash");
+        let sforced = choose_physical(&sctx, &splan, cfg.with_repr(ReprMode::Sparse));
+        assert!(
+            sforced.sparse_operator_count() > 0,
+            "forced mode ignores density"
+        );
+    }
+
+    #[test]
+    fn dense_wins_over_sparse_on_complete_grids() {
+        let mut cat = Catalog::new();
+        let a = cat.add_var("a", 8).unwrap();
+        let b = cat.add_var("b", 8).unwrap();
+        let rels = vec![BaseRel {
+            name: "r1".into(),
+            schema: Schema::new(vec![a, b]).unwrap(),
+            cardinality: 64,
+            fd_lhs: None,
+        }];
+        let ctx = OptContext::new(&cat, rels, QuerySpec::group_by([a]), CostModel::Io);
+        let plan = optimize(&ctx, Algorithm::CsPlusNonlinear).plan;
+        let phys = choose_physical(
+            &ctx,
+            &plan,
+            PhysicalConfig::default()
+                .with_threads(1)
+                .with_dense(DenseMode::Auto)
+                .with_repr(ReprMode::Auto),
+        );
+        assert!(phys.dense_operator_count() > 0, "complete grids go dense");
+        assert_eq!(phys.sparse_operator_count(), 0, "dense outranks sparse");
+    }
+
+    #[test]
+    fn wide_grids_go_sparse_where_dense_cannot() {
+        // Grid of 2^26 cells: over the dense cap, within the sparse cap.
+        let mut cat = Catalog::new();
+        let a = cat.add_var("a", 1 << 13).unwrap();
+        let b = cat.add_var("b", 1 << 13).unwrap();
+        let rels = vec![BaseRel {
+            name: "r1".into(),
+            schema: Schema::new(vec![a, b]).unwrap(),
+            cardinality: 1 << 22,
+            fd_lhs: None,
+        }];
+        let ctx = OptContext::new(&cat, rels, QuerySpec::group_by([a]), CostModel::Io);
+        let plan = optimize(&ctx, Algorithm::CsPlusNonlinear).plan;
+        let phys = choose_physical(
+            &ctx,
+            &plan,
+            PhysicalConfig::default()
+                .with_threads(1)
+                .with_dense(DenseMode::On)
+                .with_repr(ReprMode::Auto),
+        );
+        assert_eq!(phys.dense_operator_count(), 0, "grid never fits densely");
+        assert!(
+            phys.sparse_operator_count() > 0,
+            "coordinates stay feasible:\n{}",
+            phys.render(&|v| format!("x{}", v.0))
+        );
     }
 
     #[test]
@@ -350,7 +520,8 @@ mod tests {
             parallel_min_rows: 1_000.0,
             ..PhysicalConfig::default()
         }
-        .with_dense(DenseMode::Off);
+        .with_dense(DenseMode::Off)
+        .with_repr(ReprMode::Off);
         let seq = choose_physical(&ctx, &plan, cfg.with_threads(1));
         assert_eq!(seq.parallel_operator_count(), 0, "one thread -> no parallel ops");
         let par = choose_physical(&ctx, &plan, cfg.with_threads(4));

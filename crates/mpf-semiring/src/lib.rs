@@ -30,6 +30,12 @@
 //! the *update semijoin* of the Belief Propagation backward pass (Definition 6
 //! / Appendix A of the paper). We adopt the standard BP convention
 //! `0 / 0 = 0`.
+//!
+//! A third, compile-time layer lives in [`kernel`]: zero-sized op types
+//! monomorphizing the columnar sparse/dense kernels per semiring (the
+//! [`for_each_semiring`] macro bridges from a runtime [`SemiringKind`]).
+
+pub mod kernel;
 
 /// A commutative semiring over a value type.
 ///

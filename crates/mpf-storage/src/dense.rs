@@ -15,10 +15,10 @@
 
 use crate::{FunctionalRelation, Schema, Value};
 
-/// Hard cap on dense-grid cells (2^24 = 16M cells ≈ 128 MiB of `f64`).
-/// Conversions refuse grids beyond this, so a mis-estimated density can
-/// cost a refused fast path but never an absurd allocation.
-pub const MAX_DENSE_CELLS: u64 = 1 << 24;
+// The shared grid math lives in [`crate::layout`]; these re-exports keep
+// the historical `mpf_storage::dense::*` paths working for the algebra
+// and optimizer layers.
+pub use crate::layout::{grid_cells, is_odometer_ordered, strides_of, MAX_DENSE_CELLS};
 
 /// A dense, row-major factor over a domain grid.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,77 +31,6 @@ pub struct DenseFactor {
     strides: Vec<u64>,
     /// One measure per grid cell; `len == domains.iter().product()`.
     values: Vec<f64>,
-}
-
-/// Row-major strides for a domain vector: `strides[i]` is the product of
-/// all domains after position `i`.
-pub fn strides_of(domains: &[u64]) -> Vec<u64> {
-    let mut strides = vec![1u64; domains.len()];
-    for i in (0..domains.len().saturating_sub(1)).rev() {
-        strides[i] = strides[i + 1] * domains[i + 1];
-    }
-    strides
-}
-
-/// Whether `rel`'s rows are exactly the odometer sequence of the grid
-/// `domains` — the row order [`FunctionalRelation::complete`] and
-/// [`DenseFactor::into_relation`] emit. A `true` result proves the
-/// relation is complete on the grid (right row count, every point once,
-/// nothing out of bounds), so its measure column *is* the grid's dense
-/// value array and kernels may read it in place with no conversion copy.
-/// One sequential scan: runs of the last (fastest) column are compared
-/// against a prefix that only advances once per run.
-pub fn is_odometer_ordered(rel: &FunctionalRelation, domains: &[u64]) -> bool {
-    let arity = rel.schema().arity();
-    if domains.len() != arity || grid_cells(domains) != Some(rel.len() as u64) {
-        return false;
-    }
-    if arity == 0 || rel.is_empty() {
-        return true;
-    }
-    let vals = rel.values_raw();
-    let dlast = domains[arity - 1];
-    if dlast == 0 {
-        return false;
-    }
-    let mut prefix = vec![0 as Value; arity - 1];
-    let mut i = 0usize;
-    for _ in 0..rel.len() as u64 / dlast {
-        // Accumulate mismatches branchlessly within a run; one test per
-        // run keeps the hot loop a straight compare.
-        let mut ok = true;
-        for j in 0..dlast as Value {
-            for (c, &p) in prefix.iter().enumerate() {
-                ok &= vals[i + c] == p;
-            }
-            ok &= vals[i + arity - 1] == j;
-            i += arity;
-        }
-        if !ok {
-            return false;
-        }
-        for c in (0..arity - 1).rev() {
-            prefix[c] += 1;
-            if (prefix[c] as u64) < domains[c] {
-                break;
-            }
-            prefix[c] = 0;
-        }
-    }
-    true
-}
-
-/// The grid size for a domain vector, or `None` when it overflows
-/// [`MAX_DENSE_CELLS`] (or `u64`).
-pub fn grid_cells(domains: &[u64]) -> Option<u64> {
-    let mut total: u64 = 1;
-    for &d in domains {
-        total = total.checked_mul(d)?;
-        if total > MAX_DENSE_CELLS {
-            return None;
-        }
-    }
-    Some(total)
 }
 
 impl DenseFactor {
@@ -231,11 +160,7 @@ impl DenseFactor {
     /// The grid index of a variable-value row (row-major odometer).
     #[inline]
     pub fn index_of(&self, row: &[Value]) -> usize {
-        debug_assert_eq!(row.len(), self.strides.len());
-        row.iter()
-            .zip(&self.strides)
-            .map(|(&v, &s)| v as u64 * s)
-            .sum::<u64>() as usize
+        crate::layout::linearize(row, &self.strides) as usize
     }
 
     /// [`DenseFactor::index_of`] with bounds checking; `None` when a value
@@ -258,12 +183,7 @@ impl DenseFactor {
     /// written into `row` (schema order).
     #[inline]
     pub fn row_of(&self, idx: usize, row: &mut [Value]) {
-        debug_assert_eq!(row.len(), self.strides.len());
-        let mut rem = idx as u64;
-        for (c, &s) in self.strides.iter().enumerate() {
-            row[c] = (rem / s) as Value;
-            rem %= s;
-        }
+        crate::layout::delinearize(idx as u64, &self.strides, row);
     }
 
     /// Materialize back into a sparse [`FunctionalRelation`], emitting
@@ -316,21 +236,6 @@ mod tests {
         let a = c.add_var("a", 2).unwrap();
         let b = c.add_var("b", 3).unwrap();
         (c, a, b)
-    }
-
-    #[test]
-    fn strides_are_row_major() {
-        assert_eq!(strides_of(&[2, 3, 4]), vec![12, 4, 1]);
-        assert_eq!(strides_of(&[5]), vec![1]);
-        assert_eq!(strides_of(&[]), Vec::<u64>::new());
-    }
-
-    #[test]
-    fn grid_cells_guards_overflow() {
-        assert_eq!(grid_cells(&[2, 3]), Some(6));
-        assert_eq!(grid_cells(&[1 << 20, 1 << 20]), None);
-        assert_eq!(grid_cells(&[u64::MAX, u64::MAX]), None);
-        assert_eq!(grid_cells(&[]), Some(1));
     }
 
     #[test]

@@ -20,8 +20,10 @@ pub mod csv_io;
 pub mod dense;
 mod error;
 mod key;
+pub mod layout;
 mod relation;
 mod schema;
+pub mod sparse;
 mod stats;
 
 pub use catalog::{Catalog, Dictionary, VarId, VarInfo};
@@ -30,6 +32,7 @@ pub use error::StorageError;
 pub use key::Key;
 pub use relation::FunctionalRelation;
 pub use schema::Schema;
+pub use sparse::{Factor, SparseFactor};
 pub use stats::{density_of, RelationStats};
 
 /// A value of a discrete variable domain, represented as an index

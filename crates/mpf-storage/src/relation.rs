@@ -14,12 +14,33 @@ const PAGE_BYTES: u64 = 8192;
 /// `measures` holds one `f64` per row. The FD `A1..Am -> f` is validated on
 /// demand ([`FunctionalRelation::validate_fd`]) rather than on every insert,
 /// so bulk loads stay cheap.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct FunctionalRelation {
     name: String,
     schema: Schema,
     values: Vec<Value>,
     measures: Vec<f64>,
+}
+
+impl PartialEq for FunctionalRelation {
+    /// Structural equality: same name, schema, and row sequence, with
+    /// measures compared under the crate-wide [`approx_eq`] tolerance.
+    /// The kernels accumulate floating point in different (but fixed)
+    /// orders per representation, so bit-exact measure comparison would
+    /// make "same rows, same function" results compare unequal; the
+    /// tolerance here is the same one [`FunctionalRelation::function_eq`]
+    /// already applies.
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.schema == other.schema
+            && self.values == other.values
+            && self.measures.len() == other.measures.len()
+            && self
+                .measures
+                .iter()
+                .zip(&other.measures)
+                .all(|(&a, &b)| approx_eq(a, b))
+    }
 }
 
 impl FunctionalRelation {
@@ -184,9 +205,10 @@ impl FunctionalRelation {
         &self.measures
     }
 
-    /// The flat value storage (row-major), for the dense conversion fast
-    /// paths that scan all rows without per-row slice bookkeeping.
-    pub(crate) fn values_raw(&self) -> &[Value] {
+    /// The flat value storage (row-major, `len() * arity()` packed
+    /// values) as one zero-copy slice — for kernels and conversions that
+    /// scan all rows without per-row slice bookkeeping.
+    pub fn values_col(&self) -> &[Value] {
         &self.values
     }
 

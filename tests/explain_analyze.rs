@@ -4,7 +4,9 @@
 //! golden text must hold at `MPF_THREADS=1` and `MPF_THREADS=4`.
 
 use mpf::datagen::{SupplyChain, SupplyChainConfig};
-use mpf::engine::{Database, DenseMode, Query, QueryRequest, SpanKind, Strategy, TraceLevel};
+use mpf::engine::{
+    Database, DenseMode, Query, QueryRequest, ReprMode, SpanKind, Strategy, TraceLevel,
+};
 use mpf::infer::BayesNet;
 use mpf::optimizer::Heuristic;
 use mpf::semiring::Combine;
@@ -41,8 +43,11 @@ fn supply_chain_db() -> Database {
         ctdeals_density: 0.7,
         ..Default::default()
     });
-    // Pinned so the snapshots don't depend on the ambient MPF_DENSE.
-    let db = Database::from_parts(sc.catalog, sc.store).with_dense(DenseMode::Auto);
+    // Pinned so the snapshots don't depend on the ambient MPF_DENSE or
+    // MPF_REPR.
+    let db = Database::from_parts(sc.catalog, sc.store)
+        .with_dense(DenseMode::Auto)
+        .with_repr(ReprMode::Auto);
     db.run_sql(
         "create mpfview invest as (select pid, sid, wid, cid, tid, \
          measure = (* c.price, l.quantity, w.overhead, ct.discount, t.overhead) \
@@ -57,8 +62,9 @@ fn supply_chain_db() -> Database {
 /// the product view over the four CPTs (Section 4 of the paper).
 fn sprinkler_db() -> Database {
     let bn = BayesNet::sprinkler();
-    let db =
-        Database::from_parts(bn.catalog().clone(), Default::default()).with_dense(DenseMode::Auto);
+    let db = Database::from_parts(bn.catalog().clone(), Default::default())
+        .with_dense(DenseMode::Auto)
+        .with_repr(ReprMode::Auto);
     for cpt in bn.cpts() {
         db.insert_relation(cpt.clone()).unwrap();
     }
@@ -85,18 +91,18 @@ fn supply_chain_explain_analyze_snapshot() {
 -- strategy: ve+(degree)
 -- estimated cost: 17016.00
 -- rows scanned=4428, processed=12588, peak intermediate=4000, page io=55
-GroupBy (HashAgg)  (est rows=20.0, rows=20, cells=40, time=_)
-  ProductJoin (Hash)  (est rows=20.0, rows=20, cells=60, time=_)
-    ProductJoin (Hash)  (est rows=20.0, rows=20, cells=60, time=_)
-      GroupBy (DenseAgg)  (est rows=4.0, rows=4, cells=8, time=_)
-        ProductJoin (Dense)  (est rows=6.0, rows=6, cells=18, time=_)
-          Scan transporters  (est rows=2.0, rows=2, cells=4, time=_)
-          Scan ctdeals  (est rows=6.0, rows=6, cells=18, time=_)
-      Scan warehouses  (est rows=20.0, rows=20, cells=60, time=_)
-    GroupBy (HashAgg)  (est rows=20.0, rows=20, cells=40, time=_)
-      ProductJoin (Hash)  (est rows=4000.0, rows=4000, cells=16000, time=_)
-        Scan contracts  (est rows=400.0, rows=400, cells=1200, time=_)
-        Scan location  (est rows=4000.0, rows=4000, cells=12000, time=_)
+GroupBy (SparseAgg)  (est rows=20.0, rows=20, cells=40, time=_, repr=sparse)
+  ProductJoin (SparseTensor)  (est rows=20.0, rows=20, cells=60, time=_, repr=sparse)
+    ProductJoin (SparseTensor)  (est rows=20.0, rows=20, cells=60, time=_, repr=sparse)
+      GroupBy (DenseAgg)  (est rows=4.0, rows=4, cells=8, time=_, repr=rows)
+        ProductJoin (Dense)  (est rows=6.0, rows=6, cells=18, time=_, repr=rows)
+          Scan transporters  (est rows=2.0, rows=2, cells=4, time=_, repr=rows)
+          Scan ctdeals  (est rows=6.0, rows=6, cells=18, time=_, repr=rows)
+      Scan warehouses  (est rows=20.0, rows=20, cells=60, time=_, repr=rows)
+    GroupBy (SparseAgg)  (est rows=20.0, rows=20, cells=40, time=_, repr=sparse)
+      ProductJoin (SparseTensor)  (est rows=4000.0, rows=4000, cells=16000, time=_, repr=sparse)
+        Scan contracts  (est rows=400.0, rows=400, cells=1200, time=_, repr=rows)
+        Scan location  (est rows=4000.0, rows=4000, cells=12000, time=_, repr=rows)
 ";
     assert_eq!(normalize(&text), expected, "got:\n{}", normalize(&text));
 }
@@ -116,15 +122,15 @@ fn bayes_net_explain_analyze_snapshot() {
 -- strategy: ve+(degree)
 -- estimated cost: 86.00
 -- rows scanned=18, processed=68, peak intermediate=8, page io=17
-GroupBy (DenseAgg)  (est rows=2.0, rows=2, cells=4, time=_)
-  ProductJoin (Dense)  (est rows=8.0, rows=8, cells=40, time=_)
-    Select  (est rows=4.0, rows=4, cells=16, time=_)
-      Scan cpt_wet  (est rows=8.0, rows=8, cells=32, time=_)
-    ProductJoin (Dense)  (est rows=8.0, rows=8, cells=32, time=_, dense=true)
-      ProductJoin (Dense)  (est rows=4.0, rows=4, cells=12, time=_, dense=true)
-        Scan cpt_cloudy  (est rows=2.0, rows=2, cells=4, time=_)
-        Scan cpt_sprinkler  (est rows=4.0, rows=4, cells=12, time=_)
-      Scan cpt_rain  (est rows=4.0, rows=4, cells=12, time=_)
+GroupBy (DenseAgg)  (est rows=2.0, rows=2, cells=4, time=_, repr=rows)
+  ProductJoin (Dense)  (est rows=8.0, rows=8, cells=40, time=_, repr=rows)
+    Select  (est rows=4.0, rows=4, cells=16, time=_, repr=rows)
+      Scan cpt_wet  (est rows=8.0, rows=8, cells=32, time=_, repr=rows)
+    ProductJoin (Dense)  (est rows=8.0, rows=8, cells=32, time=_, repr=dense)
+      ProductJoin (Dense)  (est rows=4.0, rows=4, cells=12, time=_, repr=dense)
+        Scan cpt_cloudy  (est rows=2.0, rows=2, cells=4, time=_, repr=rows)
+        Scan cpt_sprinkler  (est rows=4.0, rows=4, cells=12, time=_, repr=rows)
+      Scan cpt_rain  (est rows=4.0, rows=4, cells=12, time=_, repr=rows)
 ";
     assert_eq!(normalize(&text), expected, "got:\n{}", normalize(&text));
 }
