@@ -1,10 +1,11 @@
 //! Typed parsing for the engine's environment knobs.
 //!
-//! The execution layer reads three environment variables: `MPF_THREADS`
+//! The execution layer reads four environment variables: `MPF_THREADS`
 //! (worker threads, [`crate::limits::default_threads`]), `MPF_DENSE`
-//! (dense-kernel dispatch, [`crate::DenseMode::from_env`]), and
-//! `MPF_REPR` (sparse-tensor dispatch, [`crate::ReprMode::from_env`]).
-//! The runtime
+//! (dense-kernel dispatch, [`crate::DenseMode::from_env`]), `MPF_REPR`
+//! (sparse-tensor dispatch, [`crate::ReprMode::from_env`]), and
+//! `MPF_CACHE_BYTES` (the engine view-cache byte budget,
+//! [`cache_bytes_from_env`]). The runtime
 //! defaults are deliberately lenient — a malformed value falls back so a
 //! hot query path never errors on configuration — but a *service* should
 //! refuse to start on a knob it cannot honor rather than silently run
@@ -50,6 +51,8 @@ pub struct EnvKnobs {
     pub dense: Option<DenseMode>,
     /// `MPF_REPR`, when set and valid.
     pub repr: Option<ReprMode>,
+    /// `MPF_CACHE_BYTES`, when set and valid (`0` disables the cache).
+    pub cache_bytes: Option<u64>,
 }
 
 /// Parse an `MPF_THREADS` value: a positive integer.
@@ -94,6 +97,45 @@ pub fn parse_repr(value: &str) -> Result<ReprMode, ConfigError> {
     }
 }
 
+/// Parse an `MPF_CACHE_BYTES` value: a non-negative integer byte count,
+/// optionally with a binary `k`/`m`/`g` suffix (`64m` = 64 MiB). `0`
+/// disables the engine view cache.
+pub fn parse_cache_bytes(value: &str) -> Result<u64, ConfigError> {
+    let err = || ConfigError {
+        var: "MPF_CACHE_BYTES".into(),
+        value: value.into(),
+        expected: "a non-negative byte count, optionally with a k/m/g suffix",
+    };
+    let t = value.trim().to_ascii_lowercase();
+    let (digits, shift) = match t.as_bytes().last() {
+        Some(b'k') => (&t[..t.len() - 1], 10u32),
+        Some(b'm') => (&t[..t.len() - 1], 20),
+        Some(b'g') => (&t[..t.len() - 1], 30),
+        _ => (t.as_str(), 0),
+    };
+    // A bare suffix (`k`) or anything non-numeric is rejected; so is a
+    // count that overflows u64 once scaled.
+    let n: u64 = if digits.is_empty() {
+        return Err(err());
+    } else {
+        digits.parse().map_err(|_| err())?
+    };
+    n.checked_shl(shift)
+        .filter(|scaled| scaled >> shift == n)
+        .ok_or_else(err)
+}
+
+/// Lenient `MPF_CACHE_BYTES` read for runtime defaults: unset or
+/// malformed means `0` (cache disabled) so a library user's hot path
+/// never errors on configuration. Services wanting strictness go
+/// through [`validate_env`].
+pub fn cache_bytes_from_env() -> u64 {
+    std::env::var("MPF_CACHE_BYTES")
+        .ok()
+        .and_then(|v| parse_cache_bytes(&v).ok())
+        .unwrap_or(0)
+}
+
 /// Strictly parse every environment knob, rejecting malformed values
 /// instead of falling back. Unset variables are fine (`None`).
 pub fn validate_env() -> Result<EnvKnobs, ConfigError> {
@@ -109,10 +151,15 @@ pub fn validate_env() -> Result<EnvKnobs, ConfigError> {
         Ok(v) => Some(parse_repr(&v)?),
         Err(_) => None,
     };
+    let cache_bytes = match std::env::var("MPF_CACHE_BYTES") {
+        Ok(v) => Some(parse_cache_bytes(&v)?),
+        Err(_) => None,
+    };
     Ok(EnvKnobs {
         threads,
         dense,
         repr,
+        cache_bytes,
     })
 }
 
@@ -163,6 +210,27 @@ mod tests {
         assert_eq!(parse_repr("sparse").unwrap(), ReprMode::Sparse);
         assert_eq!(parse_repr("ON").unwrap(), ReprMode::Sparse);
         assert_eq!(parse_repr(" auto ").unwrap(), ReprMode::Auto);
+    }
+
+    #[test]
+    fn cache_bytes_accepts_counts_and_suffixes() {
+        assert_eq!(parse_cache_bytes("0").unwrap(), 0);
+        assert_eq!(parse_cache_bytes(" 4096 ").unwrap(), 4096);
+        assert_eq!(parse_cache_bytes("64k").unwrap(), 64 << 10);
+        assert_eq!(parse_cache_bytes("64M").unwrap(), 64 << 20);
+        assert_eq!(parse_cache_bytes("2g").unwrap(), 2 << 30);
+    }
+
+    #[test]
+    fn cache_bytes_rejects_malformed_values() {
+        for bad in ["", "k", "-1", "lots", "1.5m", "99999999999999999999g"] {
+            let e = parse_cache_bytes(bad).unwrap_err();
+            assert_eq!(e.var, "MPF_CACHE_BYTES");
+            assert_eq!(e.value, bad);
+            assert!(e.to_string().contains("byte count"), "{e}");
+        }
+        // Overflow after scaling, not just in the digits.
+        assert!(parse_cache_bytes("18446744073709551615k").is_err());
     }
 
     #[test]

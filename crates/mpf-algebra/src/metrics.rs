@@ -107,6 +107,14 @@ impl MetricsRegistry {
         lock(&self.counters).get(name).copied().unwrap_or(0)
     }
 
+    /// Set a counter to an absolute value — a last-writer-wins gauge for
+    /// level metrics (resident cache bytes, entry counts) that go down as
+    /// well as up. Shares the counter namespace and JSON export.
+    pub fn set(&self, name: &str, value: u64) {
+        let mut c = lock(&self.counters);
+        c.insert(name.to_string(), value);
+    }
+
     /// Record a latency sample.
     pub fn observe(&self, name: &str, latency: Duration) {
         self.observe_us(name, latency.as_micros().min(u64::MAX as u128) as u64);
@@ -174,6 +182,15 @@ mod tests {
         m.add("queries", 2);
         assert_eq!(m.counter("queries"), 3);
         assert_eq!(m.counter("untouched"), 0);
+    }
+
+    #[test]
+    fn gauges_overwrite_instead_of_accumulating() {
+        let m = MetricsRegistry::new();
+        m.set("bytes", 4096);
+        m.set("bytes", 1024); // down as well as up
+        assert_eq!(m.counter("bytes"), 1024);
+        assert!(m.to_json().contains("\"bytes\":1024"));
     }
 
     #[test]

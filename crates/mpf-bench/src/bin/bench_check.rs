@@ -8,9 +8,11 @@
 //! per-row cost is not scale-invariant (hash tables spill, caches
 //! saturate), so cross-scale comparisons are reported as warnings only
 //! and never fail the build. `function_eq_sequential: false` (a parallel
-//! run diverging from sequential) or `function_eq_sparse: false` (a dense
-//! run diverging from the sparse operators) anywhere in the new results
-//! fails unconditionally: a wrong answer is a regression at any scale.
+//! run diverging from sequential), `function_eq_sparse: false` (a dense
+//! run diverging from the sparse operators), or `function_eq_cache: false`
+//! (a cache-served run diverging from a cold recompute) anywhere in the
+//! new results fails unconditionally: a wrong answer is a regression at
+//! any scale.
 //!
 //! The parser is a purpose-built scanner for the flat JSON the bench bins
 //! emit (no serde in this workspace); it is not a general JSON reader.
@@ -100,6 +102,10 @@ fn main() -> ExitCode {
     }
     if fresh.contains("\"function_eq_sparse\": false") {
         eprintln!("FAIL: a dense run diverged from its sparse reference in {new_path}");
+        failed = true;
+    }
+    if fresh.contains("\"function_eq_cache\": false") {
+        eprintln!("FAIL: a cache-served run diverged from a cold recompute in {new_path}");
         failed = true;
     }
 

@@ -1,0 +1,257 @@
+//! Benchmark baseline for the transparent view cache (`ViewCache`).
+//!
+//! Runs the paper's supply-chain workload (`invest`, five base
+//! relations) three ways on the same generated data:
+//!
+//! * **cold** — every query plans and executes from scratch
+//!   (`Database` with the cache detached); the median workload-pass
+//!   time is the section's `sequential_ms` regression reference;
+//! * **warm** — the same workload against a cache-enabled database
+//!   after two untimed warming passes: the base elimination tree is
+//!   resident, group-by queries marginalize cached clique tables, and
+//!   evidence queries derive conditioned trees from the resident base.
+//!   Target: ≥5× over cold;
+//! * **invalidation storm** — a point measure update
+//!   (`Database::update_measure`) before every workload pass. Each
+//!   install invalidates the resident trees; the sum-product semiring
+//!   admits division, so entries are patched forward with the paper's
+//!   Section 6 update semijoin instead of rebuilt.
+//!
+//! Every cached answer is checked `function_eq` against the cold
+//! database's answer for the same query and reported as
+//! `function_eq_cache` (a `false` anywhere fails `bench_check`
+//! unconditionally). Timings are the median of `--reps` passes.
+//!
+//! Usage: `pr8_cache [--scale <f>] [--reps <n>] [--out <path>]`
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mpf_algebra::{ExecLimits, MetricsRegistry, RelationProvider};
+use mpf_bench::Args;
+use mpf_datagen::supply_chain::RELATION_NAMES;
+use mpf_datagen::{SupplyChain, SupplyChainConfig};
+use mpf_engine::{Database, Query};
+use mpf_semiring::Combine;
+use mpf_storage::Value;
+
+const THREAD_COUNTS: [usize; 2] = [1, 4];
+const CACHE_BUDGET: u64 = 256 << 20;
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    xs[xs.len() / 2]
+}
+
+/// The benchmark workload: the Section 3.1 query mix over `invest` —
+/// marginals per variable, a pair marginal, and an evidence query.
+fn workload() -> Vec<Query> {
+    vec![
+        Query::on("invest").group_by(["cid"]),
+        Query::on("invest").group_by(["tid"]),
+        Query::on("invest").group_by(["wid"]),
+        Query::on("invest").group_by(["cid", "tid"]),
+        Query::on("invest").group_by(["cid"]).filter("tid", 1),
+    ]
+}
+
+/// A database over the generated supply chain with the `invest` view.
+fn make_db(sc: &SupplyChain, cache_bytes: u64, threads: usize) -> Database {
+    let db = Database::from_parts(sc.catalog.clone(), sc.store.clone())
+        .with_limits(ExecLimits::none().with_threads(threads))
+        .with_cache_bytes(cache_bytes);
+    let names: Vec<&str> = RELATION_NAMES.to_vec();
+    db.create_view("invest", &names, Combine::Product)
+        .expect("invest view");
+    db
+}
+
+/// One timed pass: run every workload query once; answers returned for
+/// the correctness check.
+fn pass(db: &Database) -> Vec<mpf_engine::Answer> {
+    workload()
+        .iter()
+        .map(|q| db.run(q).expect("query"))
+        .collect()
+}
+
+/// Median milliseconds of `reps` timed passes (no warmup here; callers
+/// warm explicitly when the scenario calls for it).
+fn time_passes(reps: usize, mut f: impl FnMut() -> Vec<mpf_engine::Answer>) -> (f64, Vec<mpf_engine::Answer>) {
+    let mut out = Vec::new();
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = Instant::now();
+        out = f();
+        samples.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    (median(samples), out)
+}
+
+/// `function_eq` between two workload-pass answer sets.
+fn passes_eq(a: &[mpf_engine::Answer], b: &[mpf_engine::Answer]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| x.relation.function_eq(&y.relation))
+}
+
+/// A row of `contracts` to update in the storm (with its measure).
+fn storm_row(db: &Database) -> (Vec<Value>, f64) {
+    let snap = db.snapshot();
+    let rel = snap.relation_of("contracts").expect("contracts");
+    (rel.row(0).to_vec(), rel.measure(0))
+}
+
+/// Halve-or-double the first `contracts` row (exact patch ratios), then
+/// run one workload pass.
+fn storm_pass(db: &Database) -> Vec<mpf_engine::Answer> {
+    let (row, old) = storm_row(db);
+    let new = if old.abs() >= 1.0 { old / 2.0 } else { old * 2.0 };
+    db.update_measure("contracts", &row, new).expect("update");
+    pass(db)
+}
+
+struct Run {
+    threads: usize,
+    ms: f64,
+    speedup: f64,
+    eq: bool,
+    cache_hits: u64,
+    cache_patched: u64,
+}
+
+fn runs_json(sequential_ms: f64, runs: &[Run]) -> String {
+    let rows: Vec<String> = runs
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"threads\": {}, \"ms\": {:.3}, \"speedup\": {:.3}, \
+                 \"cache_hits\": {}, \"cache_patched\": {}, \"function_eq_cache\": {}}}",
+                r.threads, r.ms, r.speedup, r.cache_hits, r.cache_patched, r.eq
+            )
+        })
+        .collect();
+    format!(
+        "\"sequential_ms\": {:.3},\n  \"runs\": [\n{}\n  ]",
+        sequential_ms,
+        rows.join(",\n")
+    )
+}
+
+fn main() {
+    let args = Args::capture();
+    let scale: f64 = args.get("scale", 0.02);
+    let reps: usize = args.get("reps", 5);
+    let out_path: String = args.get("out", "BENCH_PR8.json".to_string());
+    let metrics = Arc::new(MetricsRegistry::new());
+
+    let sc = SupplyChain::generate(SupplyChainConfig::at_scale(scale));
+    let input_rows: usize = RELATION_NAMES
+        .iter()
+        .map(|n| sc.store.relation_of(n).map_or(0, |r| r.len()))
+        .sum();
+    eprintln!("supply chain at scale {scale}: {input_rows} base rows");
+
+    let mut sections = Vec::new();
+
+    // Section 1: cold vs warm. The cold single-thread pass is the
+    // sequential regression reference for both sections.
+    let cold = make_db(&sc, 0, 1);
+    let (cold_ms, cold_answers) = time_passes(reps, || pass(&cold));
+    eprintln!("cache_workload: cold {cold_ms:.1} ms / pass");
+    metrics.observe("bench.cache.cold", Duration::from_secs_f64(cold_ms / 1e3));
+
+    let mut runs = Vec::new();
+    for &t in &THREAD_COUNTS {
+        let warm = make_db(&sc, CACHE_BUDGET, t).with_metrics(Arc::clone(&metrics));
+        for _ in 0..2 {
+            pass(&warm); // record demand, build, admit, derive
+        }
+        let (ms, answers) = time_passes(reps, || pass(&warm));
+        let vc = warm.view_cache().expect("cache enabled");
+        let run = Run {
+            threads: t,
+            ms,
+            speedup: cold_ms / ms,
+            eq: passes_eq(&answers, &cold_answers),
+            cache_hits: vc.counter("hits"),
+            cache_patched: vc.counter("patched"),
+        };
+        eprintln!(
+            "cache_workload: warm, threads {t} -> {ms:.1} ms ({:.2}x, eq {}, {} hits)",
+            run.speedup, run.eq, run.cache_hits
+        );
+        if run.speedup < 5.0 {
+            eprintln!("warn: warm speedup {:.2}x below the 5x target", run.speedup);
+        }
+        metrics.observe(
+            &format!("bench.cache.warm.t{t}"),
+            Duration::from_secs_f64(ms / 1e3),
+        );
+        runs.push(run);
+    }
+    sections.push(format!(
+        "{{\n  \"name\": \"cache_workload\", \"input_rows\": {input_rows},\n  {}\n}}",
+        runs_json(cold_ms, &runs)
+    ));
+
+    // Section 2: invalidation storm — a point update before every pass.
+    // Cold reference pays a full recompute either way; the cached
+    // database must patch its resident trees forward and keep serving.
+    let cold_storm = make_db(&sc, 0, 1);
+    let (cold_storm_ms, _) = time_passes(reps, || storm_pass(&cold_storm));
+    eprintln!("cache_invalidation_storm: cold {cold_storm_ms:.1} ms / update+pass");
+
+    let mut storm_runs = Vec::new();
+    for &t in &THREAD_COUNTS {
+        let warm = make_db(&sc, CACHE_BUDGET, t).with_metrics(Arc::clone(&metrics));
+        for _ in 0..2 {
+            pass(&warm);
+        }
+        let (ms, answers) = time_passes(reps, || storm_pass(&warm));
+        // Correctness against a cold database driven through the same
+        // number of updates: every `make_db` clones the generated store,
+        // and the halve/double storm is deterministic, so `reps` storm
+        // passes land the reference on the warm database's final state.
+        let reference = make_db(&sc, 0, 1);
+        let mut ref_answers = Vec::new();
+        for _ in 0..reps {
+            ref_answers = storm_pass(&reference);
+        }
+        let vc = warm.view_cache().expect("cache enabled");
+        let run = Run {
+            threads: t,
+            ms,
+            speedup: cold_storm_ms / ms,
+            eq: passes_eq(&answers, &ref_answers),
+            cache_hits: vc.counter("hits"),
+            cache_patched: vc.counter("patched"),
+        };
+        eprintln!(
+            "cache_invalidation_storm: warm, threads {t} -> {ms:.1} ms \
+             ({:.2}x, eq {}, {} patched)",
+            run.speedup, run.eq, run.cache_patched
+        );
+        metrics.observe(
+            &format!("bench.cache.storm.t{t}"),
+            Duration::from_secs_f64(ms / 1e3),
+        );
+        storm_runs.push(run);
+    }
+    sections.push(format!(
+        "{{\n  \"name\": \"cache_invalidation_storm\", \"input_rows\": {input_rows},\n  {}\n}}",
+        runs_json(cold_storm_ms, &storm_runs)
+    ));
+
+    let json = format!(
+        "{{\n\"benchmark\": \"pr8_cache\",\n\"scale\": {scale},\n\"reps\": {reps},\n\
+         \"cache_budget_bytes\": {CACHE_BUDGET},\n\"host_threads\": {},\n\
+         \"benchmarks\": [\n{}\n],\n\"metrics\": {}\n}}\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+        sections.join(",\n"),
+        metrics.to_json()
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    eprintln!("wrote {out_path}");
+}

@@ -16,7 +16,9 @@ use mpf_semiring::{resolve_semiring, Aggregate, Combine, SemiringKind};
 use mpf_storage::{Catalog, FunctionalRelation, Value, VarId};
 
 use crate::parser::{parse, Statement};
-use crate::snapshot::{CatalogRef, RelationRef, Snapshot, StoreRef, ViewRef};
+use crate::query::CacheServed;
+use crate::snapshot::{fresh_version, CatalogRef, RelationRef, Snapshot, StoreRef, ViewRef};
+use crate::viewcache::{CacheEvent, CacheKey, ViewCache};
 use crate::{Answer, EngineError, Query, QueryRequest, Result, Strategy};
 
 /// An MPF view definition: a product join of named base relations under a
@@ -151,6 +153,11 @@ pub struct Database {
     repr: ReprMode,
     /// Optional metrics sink fed by every [`Database::run`] call.
     metrics: Option<Arc<MetricsRegistry>>,
+    /// The engine-owned view cache ([`crate::ViewCache`]), shared by
+    /// clones (and, via [`Database::with_view_cache`], across
+    /// databases). `None` or a zero budget disables transparent cache
+    /// serving entirely.
+    view_cache: Option<Arc<ViewCache>>,
 }
 
 impl Default for Database {
@@ -173,16 +180,22 @@ impl Clone for Database {
             dense: self.dense,
             repr: self.repr,
             metrics: self.metrics.clone(),
+            view_cache: self.view_cache.clone(),
         }
     }
 }
 
 impl Database {
     /// An empty database (IO cost model, no resource limits, default
-    /// fallback chain).
+    /// fallback chain; the view cache sized leniently from
+    /// `MPF_CACHE_BYTES`, disabled when unset or malformed).
     pub fn new() -> Database {
+        let cache_bytes = mpf_algebra::config::cache_bytes_from_env();
         Database {
-            shared: RwLock::new(Arc::new(Snapshot::default())),
+            shared: RwLock::new(Arc::new(Snapshot {
+                version: fresh_version(),
+                ..Snapshot::default()
+            })),
             writer: Mutex::new(()),
             cost_model: CostModel::Io,
             limits: ExecLimits::none(),
@@ -190,11 +203,13 @@ impl Database {
             dense: DenseMode::from_env(),
             repr: ReprMode::from_env(),
             metrics: None,
+            view_cache: (cache_bytes > 0).then(|| Arc::new(ViewCache::new(cache_bytes))),
         }
     }
 
     /// An empty database configured from the environment knobs
-    /// (`MPF_THREADS`, `MPF_DENSE`, `MPF_REPR`) with *strict* parsing: a malformed
+    /// (`MPF_THREADS`, `MPF_DENSE`, `MPF_REPR`, `MPF_CACHE_BYTES`) with
+    /// *strict* parsing: a malformed
     /// value is a typed [`EngineError::Config`] instead of the silent
     /// fallback [`Database::new`] applies. Services should start here.
     pub fn from_env() -> Result<Database> {
@@ -205,6 +220,8 @@ impl Database {
         if let Some(threads) = knobs.threads {
             db.limits = db.limits.clone().with_threads(threads);
         }
+        let cache_bytes = knobs.cache_bytes.unwrap_or(0);
+        db.view_cache = (cache_bytes > 0).then(|| Arc::new(ViewCache::new(cache_bytes)));
         Ok(db)
     }
 
@@ -228,13 +245,27 @@ impl Database {
     /// The `catalog::install` fault site fires between building and
     /// installing the new snapshot; an injected fault (or any error from
     /// `f`) leaves the current snapshot untouched.
+    ///
+    /// The closure can rewrite anything, so the view cache treats the
+    /// install as [`CacheEvent::Unknown`] and evicts every tree built
+    /// against the replaced version. The named mutators
+    /// ([`Database::insert_relation`], [`Database::update_measure`], ...)
+    /// report precise events and keep more of the cache alive.
     pub fn mutate<T>(&self, f: impl FnOnce(&mut Snapshot) -> Result<T>) -> Result<T> {
-        let _serialize = self.writer.lock().unwrap_or_else(|e| e.into_inner());
-        let mut next = (*self.snapshot()).clone();
-        let out = f(&mut next)?;
-        fault::check("catalog::install")?;
-        *self.shared.write().unwrap_or_else(|e| e.into_inner()) = Arc::new(next);
-        Ok(out)
+        self.mutate_with(CacheEvent::Unknown, f)
+    }
+
+    /// [`Database::mutate`] with a caller-supplied [`CacheEvent`]
+    /// describing what the closure changed, so the view cache can patch
+    /// or carry entries forward instead of evicting them. The event is
+    /// applied only after a successful install; a failed mutation leaves
+    /// both the snapshot and the cache untouched.
+    fn mutate_with<T>(
+        &self,
+        event: CacheEvent,
+        f: impl FnOnce(&mut Snapshot) -> Result<T>,
+    ) -> Result<T> {
+        self.mutate_with_late_event(|snap| f(snap).map(|out| (out, event)))
     }
 
     /// Use a different cost model for plan selection.
@@ -306,6 +337,29 @@ impl Database {
         self.metrics.as_ref()
     }
 
+    /// Attach a fresh [`ViewCache`] with the given byte budget,
+    /// replacing whatever `MPF_CACHE_BYTES` configured (`0` detaches the
+    /// cache entirely). Clones made *after* this call share the cache.
+    pub fn with_cache_bytes(mut self, budget: u64) -> Database {
+        self.view_cache = (budget > 0).then(|| Arc::new(ViewCache::new(budget)));
+        self
+    }
+
+    /// Share an existing [`ViewCache`] — e.g. one cache across several
+    /// independent databases, or across services. Snapshot versions are
+    /// globally unique, so entries from different databases can never
+    /// collide.
+    pub fn with_view_cache(mut self, cache: Arc<ViewCache>) -> Database {
+        self.view_cache = Some(cache);
+        self
+    }
+
+    /// The attached view cache, if any (for inspection: counters,
+    /// residency).
+    pub fn view_cache(&self) -> Option<&Arc<ViewCache>> {
+        self.view_cache.as_ref()
+    }
+
     /// Build a database around an existing catalog and relation store (as
     /// produced by the `mpf-datagen` generators).
     pub fn from_parts(catalog: Catalog, store: RelationStore) -> Database {
@@ -315,6 +369,7 @@ impl Database {
             store,
             views: HashMap::new(),
             fds: HashMap::new(),
+            version: fresh_version(),
         });
         db
     }
@@ -327,13 +382,18 @@ impl Database {
 
     /// Register a variable with its domain size.
     pub fn add_var(&self, name: &str, domain: u64) -> Result<VarId> {
-        self.mutate(|snap| Ok(snap.catalog.add_var(name, domain)?))
+        // A pure catalog addition: no existing relation or view changes,
+        // so cached trees carry forward.
+        self.mutate_with(CacheEvent::Touched(Vec::new()), |snap| {
+            Ok(snap.catalog.add_var(name, domain)?)
+        })
     }
 
     /// Insert a base relation, validating the functional dependency and the
     /// domain bounds.
     pub fn insert_relation(&self, rel: FunctionalRelation) -> Result<()> {
-        self.mutate(|snap| {
+        let touched = CacheEvent::Touched(vec![rel.name().to_string()]);
+        self.mutate_with(touched, |snap| {
             rel.validate_fd()?;
             rel.validate_domains(&snap.catalog)?;
             snap.store.insert(rel);
@@ -346,7 +406,7 @@ impl Database {
     /// string cells are dictionary-encoded into the catalog, numeric cells
     /// are value indices. Returns the row count.
     pub fn load_csv(&self, name: &str, mut reader: impl std::io::BufRead) -> Result<usize> {
-        self.mutate(|snap| {
+        self.mutate_with(CacheEvent::Touched(vec![name.to_string()]), |snap| {
             let rel = mpf_storage::csv_io::read_csv(&mut snap.catalog, name, &mut reader)?;
             let n = rel.len();
             snap.store.insert(rel);
@@ -369,7 +429,9 @@ impl Database {
     /// data. Declared FDs enable the Proposition 1 elimination pruning in
     /// extended Variable Elimination.
     pub fn declare_fd(&self, relation: &str, lhs: &[&str]) -> Result<()> {
-        self.mutate(|snap| {
+        // Declaring an FD informs the optimizer but changes no data, so
+        // cached trees remain valid.
+        self.mutate_with(CacheEvent::Touched(Vec::new()), |snap| {
             let rel = snap.relation_of(relation).ok_or_else(|| {
                 EngineError::Storage(mpf_storage::StorageError::UnknownRelation(
                     relation.to_string(),
@@ -410,7 +472,67 @@ impl Database {
 
     /// Define an MPF view over existing base relations.
     pub fn create_view(&self, name: &str, base: &[&str], combine: Combine) -> Result<()> {
-        self.mutate(|snap| create_view_in(snap, name, base, combine))
+        // A new view cannot invalidate trees cached for existing views.
+        self.mutate_with(CacheEvent::Touched(Vec::new()), |snap| {
+            create_view_in(snap, name, base, combine)
+        })
+    }
+
+    /// Update the measure of one existing row of a base relation,
+    /// returning the previous measure. This is the real (non-
+    /// hypothetical) counterpart of [`Override::Measure`]: the change
+    /// installs a new snapshot atomically, and cached view trees over
+    /// the relation are patched forward with the paper's update
+    /// semijoin where the semiring admits division (evicted where it
+    /// does not), so a warm cache survives point updates.
+    ///
+    /// # Errors
+    /// [`EngineError::InvalidUpdate`] when the relation or row does not
+    /// exist.
+    pub fn update_measure(&self, relation: &str, row: &[Value], measure: f64) -> Result<f64> {
+        let old = self.mutate_with_late_event(|snap| {
+            let rel = snap.store.relation_of(relation).ok_or_else(|| {
+                EngineError::InvalidUpdate(format!("unknown relation `{relation}`"))
+            })?;
+            let idx = (0..rel.len()).find(|&i| rel.row(i) == row).ok_or_else(|| {
+                EngineError::InvalidUpdate(format!("no row {row:?} in `{relation}`"))
+            })?;
+            let old = rel.measure(idx);
+            let mut updated = rel.clone();
+            updated.set_measure(idx, measure);
+            snap.store.insert(updated);
+            Ok((
+                old,
+                CacheEvent::MeasureUpdate {
+                    relation: relation.to_string(),
+                    row: row.to_vec(),
+                    old,
+                    new: measure,
+                },
+            ))
+        })?;
+        Ok(old)
+    }
+
+    /// [`Database::mutate_with`] for mutators whose event depends on the
+    /// snapshot contents (e.g. the old measure of the row being
+    /// updated): the closure returns the event along with its output.
+    fn mutate_with_late_event<T>(
+        &self,
+        f: impl FnOnce(&mut Snapshot) -> Result<(T, CacheEvent)>,
+    ) -> Result<T> {
+        let _serialize = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let mut next = (*self.snapshot()).clone();
+        let old_version = next.version;
+        let (out, event) = f(&mut next)?;
+        next.version = fresh_version();
+        let new_version = next.version;
+        fault::check("catalog::install")?;
+        *self.shared.write().unwrap_or_else(|e| e.into_inner()) = Arc::new(next);
+        if let Some(vc) = &self.view_cache {
+            vc.on_mutation(old_version, new_version, &event);
+        }
+        Ok(out)
     }
 
     /// Look up a view definition (pinned by the returned guard).
@@ -444,7 +566,7 @@ impl Database {
         let result = if let Some(cache) = req.cache {
             self.serve_from_cache(&snap, req, cache)
         } else if req.overrides.is_empty() {
-            self.query_on_store(&snap, req, &snap.store)
+            self.run_with_view_cache(&snap, req)
         } else {
             let mut store = snap.store.clone();
             for ov in &req.overrides {
@@ -469,8 +591,188 @@ impl Database {
                 }
                 Err(_) => m.inc("engine.errors"),
             }
+            if let Some(vc) = &self.view_cache {
+                vc.publish(m);
+            }
         }
         result
+    }
+
+    /// Normal execution behind the transparent view cache: serve from a
+    /// resident covering tree when one exists, derive a conditioned tree
+    /// from a resident base tree for evidence queries, and otherwise run
+    /// the query normally — recording the miss and building the view's
+    /// tree once accumulated demand justifies the build.
+    ///
+    /// Error discipline: an injected fault consumed anywhere in cache
+    /// work (serving, deriving, building) surfaces as *this* request's
+    /// error, preserving the service's 1:1 fault accounting; a budget
+    /// trip while serving falls back to normal execution (mirroring the
+    /// strategy-fallback philosophy), and a failed admission build is
+    /// skipped silently — the request already has its answer.
+    fn run_with_view_cache(&self, snap: &Arc<Snapshot>, req: &QueryRequest<'_>) -> Result<Answer> {
+        let Some(plan) = self.cache_plan(snap, req) else {
+            return self.query_on_store(snap, req, &snap.store);
+        };
+        // `cache_plan` returned Some, so the cache is attached and enabled.
+        let vc = Arc::clone(self.view_cache.as_ref().expect("cache plan implies cache"));
+        if let Some(tree) = vc.lookup(&plan.key) {
+            match tree.covering_table(&plan.vars) {
+                Ok(idx) => match self.serve_from_tree(req, &tree, idx, &plan.vars) {
+                    Ok(a) => return Ok(a),
+                    Err(e) if is_fault(&e) || !e.fallback_may_cure() => return Err(e),
+                    Err(_) => {} // budget trip: the normal path's fallback chain takes over
+                },
+                Err(_) => vc.note_uncovered(),
+            }
+        } else if !plan.key.evidence.is_empty() {
+            if let Some(base_tree) = vc.lookup(&plan.key.base()) {
+                match derive_with_evidence(&base_tree, &plan.key.evidence) {
+                    Ok(derived) => {
+                        if let Ok(idx) = derived.covering_table(&plan.vars) {
+                            let derived = Arc::new(derived);
+                            vc.note_derived();
+                            vc.admit(plan.key.clone(), plan.base.clone(), Arc::clone(&derived));
+                            match self.serve_from_tree(req, &derived, idx, &plan.vars) {
+                                Ok(a) => return Ok(a),
+                                Err(e) if is_fault(&e) || !e.fallback_may_cure() => return Err(e),
+                                Err(_) => {}
+                            }
+                        } else {
+                            vc.note_uncovered();
+                        }
+                    }
+                    Err(e) if is_fault(&e) => return Err(e),
+                    Err(_) => {} // e.g. a budget trip mid-derivation: recompute instead
+                }
+            }
+        }
+        // Miss: answer normally, then let demand decide whether to pay
+        // for the (unconditioned) tree build.
+        let t0 = Instant::now();
+        let result = self.query_on_store(snap, req, &snap.store);
+        if result.is_ok() {
+            let cost_us = t0.elapsed().as_secs_f64() * 1e6;
+            let base_key = plan.key.base();
+            if vc.record_miss(&base_key, cost_us) {
+                match self.build_tree(snap, &plan) {
+                    Ok(tree) => {
+                        vc.admit(base_key, plan.base, Arc::new(tree));
+                    }
+                    // The build consumed an injected fault: it must
+                    // surface to exactly one request — this one.
+                    Err(e) if is_fault(&e) => return Err(e),
+                    Err(_) => {} // infeasible build (budget, no division): skip admission
+                }
+            }
+        }
+        result
+    }
+
+    /// Whether the transparent view cache can participate in a request,
+    /// and under what identity. `None` means "run normally": cache
+    /// detached/disabled, a `having` range predicate (post-filtered on
+    /// the answer, not expressible as evidence), or any name that does
+    /// not resolve (the normal path then produces the canonical error).
+    fn cache_plan(&self, snap: &Snapshot, req: &QueryRequest<'_>) -> Option<CachePlan> {
+        let vc = self.view_cache.as_ref()?;
+        if !vc.enabled() {
+            return None;
+        }
+        let q = &req.query;
+        if q.having.is_some() {
+            return None;
+        }
+        let view = snap.view_of(&q.view)?;
+        let sr = resolve_semiring(view.combine, q.agg)?;
+        let vars: Vec<VarId> = q
+            .group_vars
+            .iter()
+            .map(|n| resolve_var(&snap.catalog, n).ok())
+            .collect::<Option<_>>()?;
+        let mut evidence: Vec<(VarId, Value)> = Vec::with_capacity(q.filters.len());
+        for (n, v) in &q.filters {
+            evidence.push((resolve_var(&snap.catalog, n).ok()?, *v));
+        }
+        evidence.sort_unstable();
+        Some(CachePlan {
+            key: CacheKey {
+                version: snap.version,
+                view: q.view.clone(),
+                semiring: sr,
+                evidence,
+            },
+            vars,
+            base: view.base.clone(),
+        })
+    }
+
+    /// Build the unconditioned elimination tree for a cache plan's view,
+    /// under the database's own limits (the entry is shared, so one
+    /// request's per-query limits must not shape it).
+    fn build_tree(&self, snap: &Snapshot, plan: &CachePlan) -> Result<VeCache> {
+        let rels: Vec<&FunctionalRelation> = plan
+            .base
+            .iter()
+            .map(|n| {
+                snap.relation_of(n).ok_or_else(|| {
+                    EngineError::Algebra(mpf_algebra::AlgebraError::UnknownRelation(n.clone()))
+                })
+            })
+            .collect::<Result<_>>()?;
+        let mut cx = ExecContext::with_limits(plan.key.semiring, self.limits.clone())
+            .with_dense(self.dense)
+            .with_repr(self.repr);
+        Ok(VeCache::build_in(&mut cx, &rels, None)?)
+    }
+
+    /// Serve a query by marginalizing table `idx` of a cached tree. The
+    /// synthesized plan records the cache scan + group-by actually run;
+    /// [`Answer::cache`] records the clique that answered.
+    fn serve_from_tree(
+        &self,
+        req: &QueryRequest<'_>,
+        tree: &VeCache,
+        idx: usize,
+        vars: &[VarId],
+    ) -> Result<Answer> {
+        let q = &req.query;
+        let limits = req.limits.clone().unwrap_or_else(|| self.limits.clone());
+        let mut cx = ExecContext::with_limits(tree.semiring(), limits)
+            .with_dense(self.dense)
+            .with_repr(self.repr)
+            .with_trace(req.trace);
+        let t1 = Instant::now();
+        cx.span_phase("viewcache::answer");
+        let result = tree.answer_set_in(&mut cx, vars);
+        cx.span_close(|| result.as_ref().err().map(|e| e.to_string()));
+        let execute_time = t1.elapsed();
+        let stats = *cx.stats();
+        let trace = (req.trace != TraceLevel::Off).then(|| cx.take_trace());
+        let relation = result?;
+        let table = &tree.tables()[idx];
+        Ok(Answer {
+            relation,
+            served_by: q.strategy,
+            fallback: Vec::new(),
+            plan: Plan::group_by(Plan::scan("<view-cache>"), vars.to_vec()),
+            physical: PhysicalPlan::GroupBy {
+                input: Box::new(PhysicalPlan::Scan {
+                    relation: "<view-cache>".into(),
+                }),
+                group_vars: vars.to_vec(),
+                algo: AggAlgo::HashAgg,
+            },
+            est_cost: f64::NAN,
+            stats,
+            optimize_time: Duration::ZERO,
+            execute_time,
+            trace,
+            cache: Some(CacheServed {
+                clique: table.schema().vars().to_vec(),
+                rows: table.len() as u64,
+            }),
+        })
     }
 
     /// Serve a cache-eligible request: a plain group-by answered by
@@ -497,6 +799,22 @@ impl Database {
                     .into(),
             ));
         }
+        // The cache was built under one semiring; serving a query that
+        // resolves to another would aggregate with the wrong operations.
+        let view = snap
+            .view_of(&q.view)
+            .ok_or_else(|| EngineError::UnknownView(q.view.clone()))?;
+        let sr =
+            resolve_semiring(view.combine, q.agg).ok_or(EngineError::IncompatibleAggregate {
+                combine: view.combine,
+                aggregate: q.agg,
+            })?;
+        if sr != cache.semiring() {
+            return Err(EngineError::CacheSemiringMismatch {
+                expected: sr,
+                cached: cache.semiring(),
+            });
+        }
         let vars: Vec<VarId> = q
             .group_vars
             .iter()
@@ -515,6 +833,13 @@ impl Database {
         let stats = *cx.stats();
         let trace = (req.trace != TraceLevel::Off).then(|| cx.take_trace());
         let relation = result?;
+        let served = cache.covering_table(&vars).ok().map(|idx| {
+            let table = &cache.tables()[idx];
+            CacheServed {
+                clique: table.schema().vars().to_vec(),
+                rows: table.len() as u64,
+            }
+        });
         Ok(Answer {
             relation,
             served_by: q.strategy,
@@ -532,6 +857,7 @@ impl Database {
             optimize_time: Duration::ZERO,
             execute_time,
             trace,
+            cache: served,
         })
     }
 
@@ -653,6 +979,7 @@ impl Database {
             optimize_time,
             execute_time,
             trace,
+            cache: None,
         })
     }
 
@@ -734,6 +1061,15 @@ impl Database {
         }
         for (s, e) in &answer.fallback {
             out.push_str(&format!("-- failed attempt: {} ({e})\n", s.label()));
+        }
+        if let Some(cs) = &answer.cache {
+            let snap = self.snapshot();
+            let clique: Vec<&str> = cs.clique.iter().map(|&v| snap.catalog.name(v)).collect();
+            out.push_str(&format!(
+                "-- served from cache: clique {{{}}} ({} rows)\n",
+                clique.join(", "),
+                cs.rows
+            ));
         }
         out.push_str(&format!("-- estimated cost: {:.2}\n", answer.est_cost));
         let limits = req.limits.as_ref().unwrap_or(&self.limits);
@@ -877,7 +1213,7 @@ impl Database {
                 combine,
                 vars,
             } => {
-                self.mutate(|snap| {
+                self.mutate_with(CacheEvent::Touched(Vec::new()), |snap| {
                     for v in &vars {
                         resolve_var(&snap.catalog, v)?;
                     }
@@ -944,6 +1280,42 @@ impl Database {
             aggregate: agg,
         })
     }
+}
+
+/// The identity under which the transparent view cache participates in a
+/// request: the entry key plus the resolved query variables and the
+/// view's base relations (needed for admission bookkeeping and builds).
+struct CachePlan {
+    key: CacheKey,
+    vars: Vec<VarId>,
+    base: Vec<String>,
+}
+
+/// Condition a cached base tree on the query's equality predicates by
+/// chaining [`VeCache::with_evidence`] over the (sorted) evidence pairs.
+fn derive_with_evidence(tree: &VeCache, evidence: &[(VarId, Value)]) -> Result<VeCache> {
+    let mut iter = evidence.iter();
+    let &(var, value) = iter
+        .next()
+        .expect("derive_with_evidence requires evidence");
+    let mut derived = tree.with_evidence(var, value)?;
+    for &(var, value) in iter {
+        derived = derived.with_evidence(var, value)?;
+    }
+    Ok(derived)
+}
+
+/// Whether an error is an injected fault (which must propagate to exactly
+/// one request so the chaos suite's fault accounting stays 1:1), at
+/// either of the layers cache work can consume one.
+fn is_fault(e: &EngineError) -> bool {
+    matches!(
+        e,
+        EngineError::Algebra(mpf_algebra::AlgebraError::FaultInjected(_))
+            | EngineError::Infer(mpf_infer::InferError::Algebra(
+                mpf_algebra::AlgebraError::FaultInjected(_)
+            ))
+    )
 }
 
 /// Resolve a variable name against a catalog.

@@ -1,6 +1,6 @@
 use mpf_algebra::{AlgebraError, ConfigError, ResourceKind};
 use mpf_infer::InferError;
-use mpf_semiring::{Aggregate, Combine};
+use mpf_semiring::{Aggregate, Combine, SemiringKind};
 use mpf_storage::StorageError;
 
 /// Errors raised by the query engine.
@@ -53,6 +53,20 @@ pub enum EngineError {
         /// The optimizer's limit.
         limit: usize,
     },
+    /// A [`mpf_infer::VeCache`] handed to
+    /// [`crate::QueryRequest::via_cache`] was built under a different
+    /// semiring than the query resolves to. Marginalizing its tables
+    /// would silently aggregate with the wrong operations, so the
+    /// mismatch is a typed error instead of a wrong answer.
+    CacheSemiringMismatch {
+        /// The semiring the query's view/aggregate pair resolves to.
+        expected: SemiringKind,
+        /// The semiring the supplied cache was built under.
+        cached: SemiringKind,
+    },
+    /// A point measure update named a relation, row, or old measure that
+    /// does not match the current snapshot.
+    InvalidUpdate(String),
 }
 
 impl EngineError {
@@ -130,6 +144,13 @@ impl std::fmt::Display for EngineError {
                 "view has {count} base relations, beyond the optimizer's \
                  {limit}-relation search limit (the naive strategy still applies)"
             ),
+            EngineError::CacheSemiringMismatch { expected, cached } => write!(
+                f,
+                "the supplied VeCache was built under semiring {cached:?}, but the \
+                 query resolves to {expected:?}: rebuild the cache for this \
+                 view/aggregate pair"
+            ),
+            EngineError::InvalidUpdate(m) => write!(f, "invalid measure update: {m}"),
         }
     }
 }

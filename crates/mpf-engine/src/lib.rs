@@ -31,7 +31,15 @@
 //!   [`mpf_algebra::ExecLimits`] resource budgets on every query, and
 //!   [`Database::with_fallback`] configures the [`FallbackPolicy`] strategy
 //!   chain retried when an attempt trips a budget or the optimizer fails
-//!   ([`Answer::served_by`] records which strategy answered).
+//!   ([`Answer::served_by`] records which strategy answered);
+//! * a transparent, engine-owned [`ViewCache`]: cached elimination trees
+//!   keyed by snapshot version × view × semiring × evidence, with
+//!   byte-accurate residency accounting under an `MPF_CACHE_BYTES`
+//!   budget, cost-based admission, LRU/cost hybrid eviction, and
+//!   snapshot-keyed invalidation ([`CacheEvent`]) that patches point
+//!   measure updates forward with the paper's Section 6 update semijoin.
+//!   [`Database::run`] serves from it automatically; [`Answer::cache`]
+//!   ([`CacheServed`]) records when it did.
 
 mod database;
 mod error;
@@ -39,13 +47,15 @@ pub mod parser;
 mod query;
 mod request;
 mod snapshot;
+mod viewcache;
 
 pub use database::{Database, FallbackPolicy, MpfView, Override, SqlOutcome};
 pub use error::EngineError;
 pub use parser::{Statement, StrategySpec};
-pub use query::{Answer, Query, RangePredicate, Strategy};
+pub use query::{Answer, CacheServed, Query, RangePredicate, Strategy};
 pub use request::QueryRequest;
 pub use snapshot::{CatalogRef, RelationRef, Snapshot, StoreRef, ViewRef};
+pub use viewcache::{CacheEvent, CacheKey, ViewCache};
 // `Strategy::Ve`/`VePlus` take a heuristic, so consumers of this crate
 // alone must be able to name it; likewise the trace/metrics/config types
 // a `QueryRequest`, `Database::with_metrics`, and `Database::from_env`
@@ -53,6 +63,9 @@ pub use snapshot::{CatalogRef, RelationRef, Snapshot, StoreRef, ViewRef};
 pub use mpf_algebra::{
     ConfigError, DenseMode, MetricsRegistry, ReprMode, SpanKind, TraceLevel, TraceSpan, TraceTree,
 };
+// `EngineError::Infer` wraps it, so consumers matching engine errors
+// (e.g. the service's wire classification) must be able to name it.
+pub use mpf_infer::InferError;
 pub use mpf_optimizer::Heuristic;
 
 /// Result alias for engine operations.

@@ -3,7 +3,7 @@ use std::time::Duration;
 use mpf_algebra::{ExecStats, PhysicalPlan, Plan, TraceTree};
 use mpf_optimizer::Heuristic;
 use mpf_semiring::Aggregate;
-use mpf_storage::{FunctionalRelation, Value};
+use mpf_storage::{FunctionalRelation, Value, VarId};
 
 /// The evaluation strategy for a query — the paper's PostgreSQL language
 /// extension "that specifies the evaluation strategy" (Section 7).
@@ -234,6 +234,25 @@ pub struct Answer {
     /// otherwise). Spans carry actual row counts, cells, and wall time
     /// next to the optimizer's estimated rows.
     pub trace: Option<TraceTree>,
+    /// Set when the answer was served from a cached elimination tree —
+    /// the engine-owned [`crate::ViewCache`] (transparent) or a caller's
+    /// [`crate::QueryRequest::via_cache`] tree — instead of executing
+    /// the physical plan. `None` for normally executed answers.
+    pub cache: Option<CacheServed>,
+}
+
+/// How a cache-served [`Answer`] was produced: which cached clique table
+/// was marginalized, and how big it was — the work the cache replaced a
+/// full plan execution with. Rendered by
+/// [`crate::Database::explain_analyze`] as
+/// `-- served from cache: clique {A, B} (n rows)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheServed {
+    /// Variables of the cached table that answered the query (the
+    /// clique of the elimination tree).
+    pub clique: Vec<VarId>,
+    /// Rows of that table — the marginalization input size.
+    pub rows: u64,
 }
 
 #[cfg(test)]

@@ -110,6 +110,10 @@ impl<'a> QueryRequest<'a> {
     /// planning and executing against the base relations. Only plain
     /// group-by queries qualify (no filters, `having`, or overrides —
     /// condition the cache with [`VeCache::with_evidence`] instead).
+    /// The cache must have been built under the semiring the query's
+    /// view/aggregate pair resolves to; a mismatch is rejected with
+    /// [`crate::EngineError::CacheSemiringMismatch`] rather than
+    /// silently aggregating with the wrong operations.
     pub fn via_cache(mut self, cache: &'a VeCache) -> Self {
         self.cache = Some(cache);
         self

@@ -25,12 +25,24 @@
 
 use std::collections::HashMap;
 use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use mpf_algebra::RelationStore;
 use mpf_storage::{Catalog, FunctionalRelation, VarId};
 
 use crate::MpfView;
+
+/// Process-wide snapshot version source. Versions are globally unique —
+/// not per-`Database` — so `Database` clones (and independent databases)
+/// sharing one [`crate::ViewCache`] can never collide on a version
+/// number and serve one database's cached tree for another's data.
+static NEXT_VERSION: AtomicU64 = AtomicU64::new(1);
+
+/// A fresh, never-before-issued snapshot version.
+pub(crate) fn fresh_version() -> u64 {
+    NEXT_VERSION.fetch_add(1, Ordering::Relaxed)
+}
 
 /// One immutable version of the database: catalog, base relations, view
 /// definitions, and declared FDs. Cheap to share (`Arc`), cloned in full
@@ -43,12 +55,23 @@ pub struct Snapshot {
     /// Declared narrow functional dependencies (`X -> f` with
     /// `X ⊂ Var(s)`), keyed by relation name; feed Proposition 1.
     pub(crate) fds: HashMap<String, Vec<VarId>>,
+    /// Globally unique version number, reassigned on every install.
+    /// Everything keyed by it (the engine view cache) is implicitly
+    /// invalidated when a writer installs a successor.
+    pub(crate) version: u64,
 }
 
 impl Snapshot {
     /// The variable catalog of this version.
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
+    }
+
+    /// This snapshot's globally unique version number. A mutation —
+    /// however small — installs a snapshot with a fresh version, so
+    /// equal versions imply identical catalog, data, views, and FDs.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// The base relations of this version.

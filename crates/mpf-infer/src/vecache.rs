@@ -307,6 +307,41 @@ impl VeCache {
         self.tables.iter().map(|t| t.len() as u64).sum()
     }
 
+    /// Heap bytes owned by the cache: every cached table plus the tree
+    /// bookkeeping (edges, order, base-relation names/schemas/consumer
+    /// map), all charged at vector *capacity*. This is what a residency
+    /// budget (the engine's `MPF_CACHE_BYTES` view cache) accounts per
+    /// entry.
+    pub fn heap_bytes(&self) -> usize {
+        let tables: usize = self.tables.iter().map(FunctionalRelation::heap_bytes).sum();
+        tables
+            + self.tables.capacity() * std::mem::size_of::<FunctionalRelation>()
+            + self.edges.capacity() * std::mem::size_of::<(usize, usize)>()
+            + self.order.capacity() * std::mem::size_of::<VarId>()
+            + self
+                .base_names
+                .iter()
+                .map(String::capacity)
+                .sum::<usize>()
+            + self.base_names.capacity() * std::mem::size_of::<String>()
+            + self
+                .base_schemas
+                .iter()
+                .map(mpf_storage::Schema::heap_bytes)
+                .sum::<usize>()
+            + self.base_schemas.capacity() * std::mem::size_of::<mpf_storage::Schema>()
+            + self.base_consumer.capacity() * std::mem::size_of::<Option<usize>>()
+    }
+
+    /// Index of the smallest cached table covering every variable in
+    /// `vars` — the table [`VeCache::answer_set_in`] would marginalize —
+    /// or [`InferError::VariableNotCovered`] when no single table does.
+    /// Lets a caller test coverage (and size the marginalization) without
+    /// running it.
+    pub fn covering_table(&self, vars: &[VarId]) -> Result<usize> {
+        self.best_table_for(vars)
+    }
+
     /// Answer a single-variable MPF query from the cache: marginalize the
     /// smallest cached table containing `var`.
     pub fn answer(&self, var: VarId) -> Result<FunctionalRelation> {

@@ -102,20 +102,32 @@ pub fn encode_err(kind: &str, retriable: bool, backoff_ms: u64, msg: &str) -> St
 /// retriable — under lighter load the same query can finish, whereas a
 /// row or cell trip recurs deterministically under the same grant.
 pub fn classify(err: &EngineError) -> (&'static str, bool) {
-    match err {
-        EngineError::Algebra(AlgebraError::ResourceExhausted { resource, .. }) => match resource {
+    // The view-cache serving path surfaces algebra failures wrapped in
+    // the inference layer; unwrap so a budget trip or injected fault
+    // classifies identically however the query was answered.
+    let algebra = match err {
+        EngineError::Algebra(e) => Some(e),
+        EngineError::Infer(mpf_engine::InferError::Algebra(e)) => Some(e),
+        _ => None,
+    };
+    match algebra {
+        Some(AlgebraError::ResourceExhausted { resource, .. }) => match resource {
             ResourceKind::OutputRows => ("budget-rows", false),
             ResourceKind::TotalCells => ("budget-cells", false),
             ResourceKind::WallClock => ("budget-deadline", true),
             ResourceKind::Threads => ("budget-threads", true),
         },
-        EngineError::Algebra(AlgebraError::Cancelled) => ("cancelled", false),
-        EngineError::Algebra(AlgebraError::FaultInjected(_)) => ("fault", false),
-        EngineError::Algebra(_) => ("execution", false),
-        EngineError::Parse { .. } => ("parse", false),
-        EngineError::UnknownView(_) | EngineError::UnknownVariable(_) => ("unknown-name", false),
-        EngineError::Config(_) => ("config", false),
-        _ => ("engine", false),
+        Some(AlgebraError::Cancelled) => ("cancelled", false),
+        Some(AlgebraError::FaultInjected(_)) => ("fault", false),
+        Some(_) => ("execution", false),
+        None => match err {
+            EngineError::Parse { .. } => ("parse", false),
+            EngineError::UnknownView(_) | EngineError::UnknownVariable(_) => {
+                ("unknown-name", false)
+            }
+            EngineError::Config(_) => ("config", false),
+            _ => ("engine", false),
+        },
     }
 }
 

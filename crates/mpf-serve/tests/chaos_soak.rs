@@ -53,9 +53,14 @@ fn chaos_soak_holds_the_overload_and_isolation_contract() {
     // Sparse kernels + single-thread grants keep the operator fault
     // sites (`product_join`, `group_by`, ...) on every query's path;
     // concurrency comes from the tenants, not intra-query parallelism.
+    // The view cache runs hot during the soak: repeated `v` queries
+    // admit trees, every writer install (raw `mutate` → `Unknown`
+    // event) evicts them, and faults consumed by cache builds or
+    // cache-served answers must honor the same 1:1 accounting.
     let db = Database::new()
         .with_fallback(FallbackPolicy::none())
-        .with_dense(DenseMode::Off);
+        .with_dense(DenseMode::Off)
+        .with_cache_bytes(16 << 20);
     let a = db.add_var("a", 2).unwrap();
     let b = db.add_var("b", 2).unwrap();
     {
@@ -250,5 +255,11 @@ fn chaos_soak_holds_the_overload_and_isolation_contract() {
     assert_eq!(server.admission().inflight(), 0, "all grants returned");
     let (m, _) = server.handle_line("METRICS");
     assert!(m[1].contains("serve.query"), "metrics survived the soak");
+    assert!(
+        m[1].contains("engine.cache."),
+        "cache counters missing from METRICS after a cached soak"
+    );
+    let vc = server.db().view_cache().expect("soak ran with a cache");
+    assert!(vc.counter("misses") > 0, "the soak never exercised the cache");
     fault::clear_all();
 }

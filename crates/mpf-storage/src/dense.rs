@@ -147,6 +147,17 @@ impl DenseFactor {
         self.values.is_empty()
     }
 
+    /// Heap bytes owned by this factor: name, schema, domain/stride
+    /// vectors, and the cell grid, all charged at vector *capacity* so
+    /// the figure matches the allocation.
+    pub fn heap_bytes(&self) -> usize {
+        self.name.capacity()
+            + self.schema.heap_bytes()
+            + self.domains.capacity() * std::mem::size_of::<u64>()
+            + self.strides.capacity() * std::mem::size_of::<u64>()
+            + self.values.capacity() * std::mem::size_of::<f64>()
+    }
+
     /// The cell measures, row-major.
     pub fn values(&self) -> &[f64] {
         &self.values
@@ -304,5 +315,20 @@ mod tests {
                 .unwrap();
         assert_eq!(rel.inferred_domains(), vec![2, 3]);
         assert_eq!(FunctionalRelation::new("e", schema).inferred_domains(), vec![0, 0]);
+    }
+
+    #[test]
+    fn heap_bytes_charges_every_column() {
+        let (_, a, b) = fixture();
+        let schema = Schema::new(vec![a, b]).unwrap();
+        let d = DenseFactor::filled("d", schema, vec![3, 4], 0.0).unwrap();
+        let expect = d.name.capacity()
+            + d.schema.heap_bytes()
+            + d.domains.capacity() * std::mem::size_of::<u64>()
+            + d.strides.capacity() * std::mem::size_of::<u64>()
+            + d.values.capacity() * std::mem::size_of::<f64>();
+        assert_eq!(d.heap_bytes(), expect);
+        // At minimum the 12-cell grid itself.
+        assert!(d.heap_bytes() >= 12 * std::mem::size_of::<f64>());
     }
 }

@@ -177,6 +177,19 @@ impl FunctionalRelation {
         self.measures.len()
     }
 
+    /// Heap bytes owned by this relation: name + schema + value and
+    /// measure columns, each charged at vector *capacity* rather than
+    /// length so the figure matches what the allocator handed out (a
+    /// relation grown row-by-row can hold nearly 2x its length in
+    /// capacity). Used by residency accounting (the engine's view
+    /// cache) but meaningful for any memory budgeting.
+    pub fn heap_bytes(&self) -> usize {
+        self.name.capacity()
+            + self.schema.heap_bytes()
+            + self.values.capacity() * std::mem::size_of::<Value>()
+            + self.measures.capacity() * std::mem::size_of::<f64>()
+    }
+
     /// Whether the relation has no rows.
     pub fn is_empty(&self) -> bool {
         self.measures.is_empty()
@@ -556,5 +569,30 @@ mod tests {
         // 16 bytes/row * 10k rows = 160_000 bytes -> 20 pages.
         assert_eq!(r.row_bytes(), 16);
         assert_eq!(r.estimated_pages(), 20);
+    }
+
+    #[test]
+    fn heap_bytes_is_capacity_accurate() {
+        let (_, a, b, _) = catalog3();
+        let schema = Schema::new(vec![a, b]).unwrap();
+        let mut r = FunctionalRelation::new("rel", schema);
+        let expect = |r: &FunctionalRelation| {
+            r.name.capacity()
+                + r.schema().heap_bytes()
+                + r.values.capacity() * std::mem::size_of::<Value>()
+                + r.measures.capacity() * std::mem::size_of::<f64>()
+        };
+        assert_eq!(r.heap_bytes(), expect(&r));
+        for i in 0..1000 {
+            r.push_row(&[i % 2, i % 3], 1.0).unwrap();
+        }
+        // Capacity, not length: push-grown vectors over-allocate, and the
+        // accounting must see that slack.
+        assert!(r.measures.capacity() > r.len());
+        assert_eq!(r.heap_bytes(), expect(&r));
+        assert!(
+            r.heap_bytes()
+                > r.len() * (2 * std::mem::size_of::<Value>() + std::mem::size_of::<f64>())
+        );
     }
 }

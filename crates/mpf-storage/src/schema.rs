@@ -41,6 +41,13 @@ impl Schema {
         self.vars.len()
     }
 
+    /// Heap bytes owned by this schema: the variable vector's *capacity*
+    /// (not its length), so callers accounting for resident memory see
+    /// what the allocator actually handed out.
+    pub fn heap_bytes(&self) -> usize {
+        self.vars.capacity() * std::mem::size_of::<VarId>()
+    }
+
     /// Whether the schema has no variables.
     pub fn is_empty(&self) -> bool {
         self.vars.is_empty()

@@ -143,6 +143,18 @@ impl SparseFactor {
         self.values.is_empty()
     }
 
+    /// Heap bytes owned by this factor: name, schema, domain/stride
+    /// vectors, and the coordinate + measure columns, all charged at
+    /// vector *capacity* so the figure matches the allocation.
+    pub fn heap_bytes(&self) -> usize {
+        self.name.capacity()
+            + self.schema.heap_bytes()
+            + self.domains.capacity() * std::mem::size_of::<u64>()
+            + self.strides.capacity() * std::mem::size_of::<u64>()
+            + self.coords.capacity() * std::mem::size_of::<u64>()
+            + self.values.capacity() * std::mem::size_of::<f64>()
+    }
+
     /// The sorted linearized coordinates.
     pub fn coords(&self) -> &[u64] {
         &self.coords
@@ -230,6 +242,17 @@ impl Factor {
     /// Whether the factor holds no rows/cells.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Heap bytes owned by the factor in its current representation
+    /// (capacity-based, see the per-representation `heap_bytes`
+    /// methods).
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            Factor::Rows(r) => r.heap_bytes(),
+            Factor::Sparse(s) => s.heap_bytes(),
+            Factor::Dense(d) => d.heap_bytes(),
+        }
     }
 
     /// The representation tag used in traces and `explain_analyze`
@@ -368,5 +391,35 @@ mod tests {
             assert_eq!(f.len(), 12);
             assert!(f.clone().into_relation().function_eq(&rel));
         }
+    }
+
+    #[test]
+    fn heap_bytes_tracks_capacity_in_every_repr() {
+        let (cat, a, b) = fixture();
+        let schema = Schema::new(vec![a, b]).unwrap();
+        let rel = FunctionalRelation::complete("r", schema, &cat, |row| {
+            1.0 + (row[0] + row[1]) as f64
+        });
+        let sp = SparseFactor::from_relation(&rel, &[3, 4]).unwrap();
+        let expect = sp.name.capacity()
+            + sp.schema.heap_bytes()
+            + (sp.domains.capacity() + sp.strides.capacity() + sp.coords.capacity())
+                * std::mem::size_of::<u64>()
+            + sp.values.capacity() * std::mem::size_of::<f64>();
+        assert_eq!(sp.heap_bytes(), expect);
+
+        // The Factor dispatcher reports whichever representation it
+        // wraps, and shrinking/growing a column moves the number.
+        let de = rel.try_to_dense(&cat, 0.0).unwrap();
+        assert_eq!(Factor::from(rel.clone()).heap_bytes(), rel.heap_bytes());
+        assert_eq!(Factor::from(sp.clone()).heap_bytes(), sp.heap_bytes());
+        assert_eq!(Factor::from(de.clone()).heap_bytes(), de.heap_bytes());
+
+        let mut grown = sp.clone();
+        grown.coords.reserve(1024);
+        grown.values.reserve(1024);
+        // Same length, larger capacity: accounting must grow with it.
+        assert_eq!(grown.len(), sp.len());
+        assert!(grown.heap_bytes() >= sp.heap_bytes() + 2048 * 8);
     }
 }
