@@ -56,7 +56,7 @@ pub use limits::{BudgetLease, BudgetPool, CancelToken, ExecBudget, ExecLimits, O
 pub use metrics::MetricsRegistry;
 pub use physical::{AggAlgo, JoinAlgo, PhysicalPlan};
 pub use plan::{Plan, MAX_PLAN_DEPTH};
-pub use provider::{RelationProvider, RelationStore};
+pub use provider::{Overlay, RelationProvider, RelationStore};
 pub use sparse::ReprMode;
 pub use stats::ExecStats;
 pub use trace::{OpRepr, SpanKind, TraceLevel, TraceSpan, TraceTree};

@@ -327,6 +327,92 @@ impl PhysicalPlan {
         }
     }
 
+    /// Names of the base relations scanned anywhere in this subtree, in
+    /// sorted order.
+    pub fn scan_set(&self) -> std::collections::BTreeSet<String> {
+        let mut out = std::collections::BTreeSet::new();
+        let mut stack = vec![self];
+        while let Some(node) = stack.pop() {
+            match node {
+                PhysicalPlan::Scan { relation } => {
+                    out.insert(relation.clone());
+                }
+                PhysicalPlan::Select { input, .. } | PhysicalPlan::GroupBy { input, .. } => {
+                    stack.push(input);
+                }
+                PhysicalPlan::Join { left, right, .. } => {
+                    stack.push(left);
+                    stack.push(right);
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether any scan in this subtree names a relation for which
+    /// `touched` returns true.
+    fn touches(&self, touched: &dyn Fn(&str) -> bool) -> bool {
+        match self {
+            PhysicalPlan::Scan { relation } => touched(relation),
+            PhysicalPlan::Select { input, .. } | PhysicalPlan::GroupBy { input, .. } => {
+                input.touches(touched)
+            }
+            PhysicalPlan::Join { left, right, .. } => {
+                left.touches(touched) || right.touches(touched)
+            }
+        }
+    }
+
+    /// Partition this plan into a shared trunk and a residual frontier.
+    ///
+    /// Every *maximal* subtree that (a) contains at least one real work
+    /// operator (join or group-by — the same threshold the concurrent
+    /// scheduler uses) and (b) scans no relation for which `touched`
+    /// returns true is handed to `assign`, which returns the synthetic
+    /// scan name the caller will serve that subtree's materialized output
+    /// under. The returned residual plan has each such subtree replaced by
+    /// `Scan { relation: <assigned name> }`; untouched scans and bare
+    /// selections below the operator threshold are left in place (they are
+    /// cheap, and the provider resolves their base names unchanged).
+    ///
+    /// The whole-plan case is included: if nothing is touched the entire
+    /// plan becomes one trunk scan. `assign` is the caller's memo hook —
+    /// structurally identical subtrees (the full `Debug` rendering is a
+    /// faithful structural key) should be assigned the same name so their
+    /// output is computed once per batch.
+    pub fn extract_shared(
+        &self,
+        touched: &dyn Fn(&str) -> bool,
+        assign: &mut dyn FnMut(&PhysicalPlan) -> String,
+    ) -> PhysicalPlan {
+        if self.operator_count() >= 1 && !self.touches(touched) {
+            return PhysicalPlan::Scan {
+                relation: assign(self),
+            };
+        }
+        match self {
+            PhysicalPlan::Scan { .. } => self.clone(),
+            PhysicalPlan::Select { input, predicates } => PhysicalPlan::Select {
+                input: Box::new(input.extract_shared(touched, assign)),
+                predicates: predicates.clone(),
+            },
+            PhysicalPlan::Join { left, right, algo } => PhysicalPlan::Join {
+                left: Box::new(left.extract_shared(touched, assign)),
+                right: Box::new(right.extract_shared(touched, assign)),
+                algo: *algo,
+            },
+            PhysicalPlan::GroupBy {
+                input,
+                group_vars,
+                algo,
+            } => PhysicalPlan::GroupBy {
+                input: Box::new(input.extract_shared(touched, assign)),
+                group_vars: group_vars.clone(),
+                algo: *algo,
+            },
+        }
+    }
+
     /// Render as an indented tree with algorithm annotations.
     pub fn render(&self, var_name: &dyn Fn(VarId) -> String) -> String {
         let mut out = String::new();
@@ -458,6 +544,56 @@ mod tests {
         assert!(text.contains("(SparseAgg)"));
         assert_eq!(JoinAlgo::SparseTensor.label(), "SparseTensor");
         assert_eq!(AggAlgo::SparseAgg.label(), "SparseAgg");
+    }
+
+    #[test]
+    fn scan_set_collects_all_relations() {
+        let p = PhysicalPlan::default_hash(&logical());
+        let names: Vec<String> = p.scan_set().into_iter().collect();
+        assert_eq!(names, vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn extract_shared_replaces_maximal_untouched_subtree() {
+        // GroupBy(Join(a, GroupBy(b))) with `a` touched: the inner
+        // GroupBy(Scan b) is the maximal untouched subtree with an
+        // operator; `Scan a` stays in place (no operator below it).
+        let p = PhysicalPlan::default_hash(&logical());
+        let mut assigned = Vec::new();
+        let residual = p.extract_shared(&|name| name == "a", &mut |sub| {
+            assigned.push(sub.clone());
+            format!("__trunk{}", assigned.len() - 1)
+        });
+        assert_eq!(assigned.len(), 1);
+        assert_eq!(assigned[0].scan_set().into_iter().collect::<Vec<_>>(), ["b"]);
+        let names: Vec<String> = residual.scan_set().into_iter().collect();
+        assert_eq!(names, vec!["__trunk0".to_string(), "a".to_string()]);
+        // The residual still carries the outer join + group-by.
+        assert_eq!(residual.operator_count(), 2);
+    }
+
+    #[test]
+    fn extract_shared_whole_plan_when_nothing_touched() {
+        let p = PhysicalPlan::default_hash(&logical());
+        let mut count = 0;
+        let residual = p.extract_shared(&|_| false, &mut |_| {
+            count += 1;
+            "__root".to_string()
+        });
+        assert_eq!(count, 1);
+        assert_eq!(
+            residual,
+            PhysicalPlan::Scan {
+                relation: "__root".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn extract_shared_identity_when_everything_touched() {
+        let p = PhysicalPlan::default_hash(&logical());
+        let residual = p.extract_shared(&|_| true, &mut |_| unreachable!("no trunk"));
+        assert_eq!(residual, p);
     }
 
     #[test]

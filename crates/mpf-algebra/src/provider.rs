@@ -1,4 +1,5 @@
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use mpf_storage::FunctionalRelation;
 
@@ -65,6 +66,52 @@ impl RelationProvider for RelationStore {
 impl RelationProvider for HashMap<String, FunctionalRelation> {
     fn relation_of(&self, name: &str) -> Option<&FunctionalRelation> {
         self.get(name)
+    }
+}
+
+/// A copy-on-write view over a base provider: a small set of patched or
+/// synthetic relations shadows the base by name, everything else resolves
+/// through untouched.
+///
+/// This is what makes batch what-if evaluation cheap: a scenario that
+/// overrides one relation of a five-relation view carries one patched
+/// relation (plus any memoized trunk outputs under synthetic names) instead
+/// of a full store clone. Entries are `Arc`-shared so one trunk result can
+/// appear in many scenarios' overlays without copying rows.
+#[derive(Debug, Clone)]
+pub struct Overlay<'a, P: RelationProvider> {
+    base: &'a P,
+    extra: HashMap<String, Arc<FunctionalRelation>>,
+}
+
+impl<'a, P: RelationProvider> Overlay<'a, P> {
+    /// An overlay with no shadowed relations: resolves exactly like `base`.
+    pub fn new(base: &'a P) -> Self {
+        Self {
+            base,
+            extra: HashMap::new(),
+        }
+    }
+
+    /// Shadow (or add) a relation under an explicit `name`, regardless of
+    /// the relation's own name. Synthetic trunk outputs are installed this
+    /// way so the residual plan's generated scan names need no rename pass.
+    pub fn insert_as(&mut self, name: impl Into<String>, rel: Arc<FunctionalRelation>) {
+        self.extra.insert(name.into(), rel);
+    }
+
+    /// Number of shadowed relations.
+    pub fn shadowed(&self) -> usize {
+        self.extra.len()
+    }
+}
+
+impl<P: RelationProvider> RelationProvider for Overlay<'_, P> {
+    fn relation_of(&self, name: &str) -> Option<&FunctionalRelation> {
+        match self.extra.get(name) {
+            Some(rel) => Some(rel.as_ref()),
+            None => self.base.relation_of(name),
+        }
     }
 }
 

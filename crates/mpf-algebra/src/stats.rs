@@ -37,6 +37,11 @@ pub struct ExecStats {
     pub sparse_group_bys: u64,
     /// Sparse↔rows boundary conversions performed.
     pub sparse_converts: u64,
+    /// Shared-trunk subtrees evaluated once for a scenario batch.
+    pub trunk_builds: u64,
+    /// Scenario frontiers that reused a memoized trunk subtree instead of
+    /// recomputing it.
+    pub trunk_hits: u64,
 }
 
 impl ExecStats {
@@ -55,6 +60,8 @@ impl ExecStats {
         self.sparse_joins += other.sparse_joins;
         self.sparse_group_bys += other.sparse_group_bys;
         self.sparse_converts += other.sparse_converts;
+        self.trunk_builds += other.trunk_builds;
+        self.trunk_hits += other.trunk_hits;
     }
 }
 
@@ -78,6 +85,8 @@ mod tests {
             sparse_joins: 1,
             sparse_group_bys: 0,
             sparse_converts: 2,
+            trunk_builds: 1,
+            trunk_hits: 4,
         };
         let b = ExecStats {
             rows_scanned: 1,
@@ -93,6 +102,8 @@ mod tests {
             sparse_joins: 0,
             sparse_group_bys: 2,
             sparse_converts: 1,
+            trunk_builds: 2,
+            trunk_hits: 10,
         };
         a.merge(&b);
         assert_eq!(a.rows_scanned, 11);
@@ -107,5 +118,7 @@ mod tests {
         assert_eq!(a.sparse_joins, 1);
         assert_eq!(a.sparse_group_bys, 2);
         assert_eq!(a.sparse_converts, 3);
+        assert_eq!(a.trunk_builds, 3);
+        assert_eq!(a.trunk_hits, 14);
     }
 }

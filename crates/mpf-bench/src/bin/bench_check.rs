@@ -9,10 +9,11 @@
 //! saturate), so cross-scale comparisons are reported as warnings only
 //! and never fail the build. `function_eq_sequential: false` (a parallel
 //! run diverging from sequential), `function_eq_sparse: false` (a dense
-//! run diverging from the sparse operators), or `function_eq_cache: false`
-//! (a cache-served run diverging from a cold recompute) anywhere in the
-//! new results fails unconditionally: a wrong answer is a regression at
-//! any scale.
+//! run diverging from the sparse operators), `function_eq_cache: false`
+//! (a cache-served run diverging from a cold recompute), or
+//! `function_eq_scenarios: false` (a scenario batch diverging from a
+//! sequential loop of single-scenario runs) anywhere in the new results
+//! fails unconditionally: a wrong answer is a regression at any scale.
 //!
 //! The parser is a purpose-built scanner for the flat JSON the bench bins
 //! emit (no serde in this workspace); it is not a general JSON reader.
@@ -106,6 +107,12 @@ fn main() -> ExitCode {
     }
     if fresh.contains("\"function_eq_cache\": false") {
         eprintln!("FAIL: a cache-served run diverged from a cold recompute in {new_path}");
+        failed = true;
+    }
+    if fresh.contains("\"function_eq_scenarios\": false") {
+        eprintln!(
+            "FAIL: a scenario batch diverged from its sequential single-scenario loop in {new_path}"
+        );
         failed = true;
     }
 

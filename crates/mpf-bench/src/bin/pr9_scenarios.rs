@@ -1,0 +1,181 @@
+//! Benchmark baseline for the batch what-if engine
+//! (`Database::run_scenarios`).
+//!
+//! On the paper's supply-chain schema (`invest`, five base relations),
+//! sweeps scenario-set sizes {1, 10, 100} over two shock workloads —
+//! `transporter_shocks` (the touched relation is the 5-row chain tail,
+//! so nearly all work is shareable trunk) and `contract_shocks` (the
+//! adversarial case: the touched relation directly joins the 10 K-row
+//! `location`, so most work sits in each frontier) — and times each
+//! size two ways on the same generated data:
+//!
+//! * **sequential** — a plain loop of single-scenario requests, one
+//!   plan + full evaluation per scenario; the median loop time is the
+//!   section's `sequential_ms` regression reference;
+//! * **batch** — one `run_scenarios` call: scenarios are diffed against
+//!   the lowered plan, untouched subtrees are evaluated once as shared
+//!   trunks, and the per-scenario frontiers fan out across workers under
+//!   one shared budget. Target: ≥3× over sequential at 100 scenarios.
+//!
+//! Every batch outcome is checked **bit-identical** (`f64::to_bits` on
+//! every measure, rows in order) against the sequential answer for the
+//! same scenario and reported as `function_eq_scenarios` (a `false`
+//! anywhere fails `bench_check` unconditionally). Timings are the median
+//! of `--reps` passes.
+//!
+//! Usage: `pr9_scenarios [--scale <f>] [--reps <n>] [--threads <n>] [--out <path>]`
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mpf_algebra::{ExecLimits, MetricsRegistry, RelationProvider};
+use mpf_bench::Args;
+use mpf_datagen::supply_chain::RELATION_NAMES;
+use mpf_datagen::{SupplyChain, SupplyChainConfig};
+use mpf_engine::{Answer, Database, Query, QueryRequest, Scenario, ScenarioReport, ScenarioSet};
+use mpf_semiring::Combine;
+
+const BATCH_SIZES: [usize; 3] = [1, 10, 100];
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    xs[xs.len() / 2]
+}
+
+/// A database over the generated supply chain with the `invest` view.
+fn make_db(sc: &SupplyChain, threads: usize) -> Database {
+    let db = Database::from_parts(sc.catalog.clone(), sc.store.clone())
+        .with_limits(ExecLimits::none().with_threads(threads));
+    let names: Vec<&str> = RELATION_NAMES.to_vec();
+    db.create_view("invest", &names, Combine::Product)
+        .expect("invest view");
+    db
+}
+
+/// `n` named scenarios shocking one relation's measures by staggered
+/// factors (rows cycle when `n` exceeds the relation).
+///
+/// Shocking `transporters` is the paper's Section 3 what-if ("what if
+/// transporter t went off-line / got more expensive?"): only the 5-row
+/// tail of the join chain is touched, so the whole
+/// contracts ⋈ location ⋈ warehouses ⋈ ctdeals prefix is a shareable
+/// trunk — the workload the batch engine exists for. Shocking
+/// `contracts` is the adversarial case: the touched relation joins the
+/// 10 K-row `location` directly, so most of the work sits in each
+/// scenario's frontier and sharing can save much less.
+fn scenarios(db: &Database, relation: &str, n: usize) -> Vec<Scenario> {
+    let snap = db.snapshot();
+    let rel = snap.relation_of(relation).expect("shock relation");
+    (0..n)
+        .map(|i| {
+            let row = rel.row(i % rel.len()).to_vec();
+            let measure = rel.measure(i % rel.len());
+            let factor = 1.0 + (1 + i % 97) as f64 / 100.0;
+            Scenario::named(format!("s{i}")).measure(relation, row, measure * factor)
+        })
+        .collect()
+}
+
+/// Bit-exact equality: same rows in order, same measure bits.
+fn bits_eq(a: &mpf_storage::FunctionalRelation, b: &mpf_storage::FunctionalRelation) -> bool {
+    a.len() == b.len()
+        && a.rows()
+            .zip(b.rows())
+            .all(|((ra, ma), (rb, mb))| ra == rb && ma.to_bits() == mb.to_bits())
+}
+
+/// Median milliseconds of `reps` timed passes.
+fn time_passes<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut out = None;
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = Instant::now();
+        out = Some(f());
+        samples.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    (median(samples), out.expect("reps >= 1"))
+}
+
+fn main() {
+    let args = Args::capture();
+    let scale: f64 = args.get("scale", 0.01);
+    let reps: usize = args.get("reps", 3);
+    let threads: usize = args.get("threads", 4);
+    let out_path: String = args.get("out", "BENCH_PR9.json".to_string());
+    let metrics = Arc::new(MetricsRegistry::new());
+
+    let sc = SupplyChain::generate(SupplyChainConfig::at_scale(scale));
+    let input_rows: usize = RELATION_NAMES
+        .iter()
+        .map(|n| sc.store.relation_of(n).map_or(0, |r| r.len()))
+        .sum();
+    eprintln!("supply chain at scale {scale}: {input_rows} base rows");
+
+    let db = make_db(&sc, threads).with_metrics(Arc::clone(&metrics));
+    let q = Query::on("invest").group_by(["cid"]);
+
+    let mut sections = Vec::new();
+    let cases = [
+        ("transporter_shocks", "transporters"),
+        ("contract_shocks", "contracts"),
+    ]
+    .into_iter()
+    .flat_map(|(w, r)| BATCH_SIZES.map(move |n| (w, r, n)));
+    for (workload, relation, n) in cases {
+        let scs = scenarios(&db, relation, n);
+
+        let (seq_ms, seq_answers) = time_passes(reps, || -> Vec<Answer> {
+            scs.iter()
+                .map(|s| {
+                    db.run(QueryRequest::from(&q).scenario(s.clone()))
+                        .expect("sequential scenario")
+                })
+                .collect()
+        });
+
+        let (batch_ms, report) = time_passes(reps, || -> ScenarioReport {
+            let set: ScenarioSet = scs.clone().into_iter().collect();
+            db.run_scenarios(QueryRequest::from(&q).scenario_set(set))
+                .expect("scenario batch")
+        });
+
+        let eq = report.outcomes.len() == seq_answers.len()
+            && report
+                .outcomes
+                .iter()
+                .zip(&seq_answers)
+                .all(|(o, s)| bits_eq(&o.answer.relation, &s.relation));
+        let speedup = seq_ms / batch_ms;
+        eprintln!(
+            "{workload}_{n}: sequential {seq_ms:.1} ms, batch {batch_ms:.1} ms \
+             ({speedup:.2}x, eq {eq}, trunks {} built / {} hits)",
+            report.trunk_builds, report.trunk_hits
+        );
+        if workload == "transporter_shocks" && n == 100 && speedup < 3.0 {
+            eprintln!("warn: 100-scenario speedup {speedup:.2}x below the 3x target");
+        }
+        metrics.observe(
+            &format!("bench.scenario.{workload}.batch{n}"),
+            Duration::from_secs_f64(batch_ms / 1e3),
+        );
+        sections.push(format!(
+            "{{\n  \"name\": \"{workload}_{n}\", \"input_rows\": {input_rows},\n  \
+             \"sequential_ms\": {seq_ms:.3},\n  \"runs\": [\n    \
+             {{\"scenarios\": {n}, \"threads\": {threads}, \"ms\": {batch_ms:.3}, \
+             \"speedup\": {speedup:.3}, \"trunk_builds\": {}, \"trunk_hits\": {}, \
+             \"function_eq_scenarios\": {eq}}}\n  ]\n}}",
+            report.trunk_builds, report.trunk_hits
+        ));
+    }
+
+    let json = format!(
+        "{{\n\"benchmark\": \"pr9_scenarios\",\n\"scale\": {scale},\n\"reps\": {reps},\n\
+         \"host_threads\": {},\n\
+         \"benchmarks\": [\n{}\n],\n\"metrics\": {}\n}}\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+        sections.join(",\n"),
+        metrics.to_json()
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    eprintln!("wrote {out_path}");
+}

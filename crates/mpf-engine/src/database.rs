@@ -62,6 +62,17 @@ pub enum Override {
     },
 }
 
+impl Override {
+    /// The base relation this override touches — the key the scenario
+    /// engine partitions plans by (subtrees scanning only untouched
+    /// relations become shared trunks).
+    pub fn relation(&self) -> &str {
+        match self {
+            Override::Measure { relation, .. } | Override::Domain { relation, .. } => relation,
+        }
+    }
+}
+
 /// The engine's strategy fallback chain.
 ///
 /// When a query attempt fails with an error a different strategy can
@@ -494,12 +505,9 @@ impl Database {
             let rel = snap.store.relation_of(relation).ok_or_else(|| {
                 EngineError::InvalidUpdate(format!("unknown relation `{relation}`"))
             })?;
-            let idx = (0..rel.len()).find(|&i| rel.row(i) == row).ok_or_else(|| {
+            let (updated, old) = crate::delta::patch_measure(rel, row, measure).ok_or_else(|| {
                 EngineError::InvalidUpdate(format!("no row {row:?} in `{relation}`"))
             })?;
-            let old = rel.measure(idx);
-            let mut updated = rel.clone();
-            updated.set_measure(idx, measure);
             snap.store.insert(updated);
             Ok((
                 old,
@@ -557,7 +565,7 @@ impl Database {
         self.run_request(&req.into())
     }
 
-    fn run_request(&self, req: &QueryRequest<'_>) -> Result<Answer> {
+    pub(crate) fn run_request(&self, req: &QueryRequest<'_>) -> Result<Answer> {
         let t0 = Instant::now();
         // One snapshot for the whole query: every name resolution, plan,
         // and scan below sees this version, no matter what writers
@@ -565,14 +573,30 @@ impl Database {
         let snap = self.snapshot();
         let result = if let Some(cache) = req.cache {
             self.serve_from_cache(&snap, req, cache)
-        } else if req.overrides.is_empty() {
+        } else if req.scenarios.is_empty() {
             self.run_with_view_cache(&snap, req)
+        } else if req.scenarios.len() > 1 {
+            // A multi-scenario set has no single Answer; it is a batch.
+            Err(EngineError::ScenarioBatch {
+                count: req.scenarios.len(),
+            })
         } else {
+            // One scenario: the classic hypothetical path — a patched
+            // store copy, evidence folded into the query's predicates.
+            let sc = &req.scenarios.items[0];
             let mut store = snap.store.clone();
-            for ov in &req.overrides {
+            for ov in sc.overrides() {
                 apply_override(&snap.catalog, &mut store, ov)?;
             }
-            self.query_on_store(&snap, req, &store)
+            if sc.evidence_set().is_empty() {
+                self.query_on_store(&snap, req, &store)
+            } else {
+                let mut req2 = req.clone();
+                for (var, value) in sc.evidence_set() {
+                    req2.query = req2.query.clone().filter(var.clone(), *value);
+                }
+                self.query_on_store(&snap, &req2, &store)
+            }
         };
         if let Some(m) = &self.metrics {
             m.inc("engine.queries");
@@ -627,7 +651,10 @@ impl Database {
             }
         } else if !plan.key.evidence.is_empty() {
             if let Some(base_tree) = vc.lookup(&plan.key.base()) {
-                match derive_with_evidence(&base_tree, &plan.key.evidence) {
+                match base_tree
+                    .with_evidence_set(&plan.key.evidence)
+                    .map_err(EngineError::from)
+                {
                     Ok(derived) => {
                         if let Ok(idx) = derived.covering_table(&plan.vars) {
                             let derived = Arc::new(derived);
@@ -785,9 +812,9 @@ impl Database {
         cache: &VeCache,
     ) -> Result<Answer> {
         let q = &req.query;
-        if !req.overrides.is_empty() {
+        if !req.scenarios.is_empty() {
             return Err(EngineError::BadOverride(
-                "hypothetical overrides cannot be served from a VeCache; \
+                "hypothetical scenarios cannot be served from a VeCache; \
                  use VeCache::with_measure_update or rebuild the cache"
                     .into(),
             ));
@@ -988,7 +1015,25 @@ impl Database {
     /// limits are honored, tracing is irrelevant).
     pub fn describe<'a>(&self, req: impl Into<QueryRequest<'a>>) -> Result<String> {
         let req = req.into();
-        let q = &req.query;
+        if req.scenarios.len() > 1 {
+            return Err(EngineError::ScenarioBatch {
+                count: req.scenarios.len(),
+            });
+        }
+        // A single scenario's evidence folds into the query predicates,
+        // exactly as `run` would evaluate it.
+        let q_owned;
+        let q = match req.scenarios.items.first() {
+            Some(sc) if !sc.evidence_set().is_empty() => {
+                let mut q = req.query.clone();
+                for (var, value) in sc.evidence_set() {
+                    q = q.filter(var.clone(), *value);
+                }
+                q_owned = q;
+                &q_owned
+            }
+            _ => &req.query,
+        };
         let limits = req.limits.as_ref().unwrap_or(&self.limits);
         let snap = self.snapshot();
         let view = snap
@@ -998,15 +1043,16 @@ impl Database {
         // Overrides can change cardinalities (a domain remap merges rows),
         // so the explain plans against the hypothetical store.
         let store_owned;
-        let store = if req.overrides.is_empty() {
-            &snap.store
-        } else {
-            let mut s = snap.store.clone();
-            for ov in &req.overrides {
-                apply_override(&snap.catalog, &mut s, ov)?;
+        let store = match req.scenarios.items.first() {
+            None => &snap.store,
+            Some(sc) => {
+                let mut s = snap.store.clone();
+                for ov in sc.overrides() {
+                    apply_override(&snap.catalog, &mut s, ov)?;
+                }
+                store_owned = s;
+                &store_owned
             }
-            store_owned = s;
-            &store_owned
         };
         let ctx = self.opt_context(&snap, view, store, spec)?;
         let (plan, est_cost) = self.plan_for(&q.view, &ctx, q.strategy)?;
@@ -1099,18 +1145,23 @@ impl Database {
         Ok(out)
     }
 
-    fn opt_context<'a>(
+    /// Build the optimizer's context over any relation provider — the
+    /// base store, a hypothetical copy, or a scenario [`Overlay`]
+    /// ([`mpf_algebra::Overlay`]). [`BaseRel::of`] captures only
+    /// measure-independent statistics (schema, cardinality), so
+    /// measure-only hypotheticals yield the exact baseline context.
+    pub(crate) fn opt_context<'a>(
         &self,
         snap: &'a Snapshot,
         view: &MpfView,
-        store: &RelationStore,
+        provider: &impl RelationProvider,
         spec: QuerySpec,
     ) -> Result<OptContext<'a>> {
         let base: Vec<BaseRel> = view
             .base
             .iter()
             .map(|n| {
-                store
+                provider
                     .relation_of(n)
                     .map(|rel| {
                         let mut b = BaseRel::of(rel);
@@ -1140,7 +1191,7 @@ impl Database {
         Ok(OptContext::new(&snap.catalog, base, spec, self.cost_model))
     }
 
-    fn plan_for(
+    pub(crate) fn plan_for(
         &self,
         view_name: &str,
         ctx: &OptContext<'_>,
@@ -1291,20 +1342,6 @@ struct CachePlan {
     base: Vec<String>,
 }
 
-/// Condition a cached base tree on the query's equality predicates by
-/// chaining [`VeCache::with_evidence`] over the (sorted) evidence pairs.
-fn derive_with_evidence(tree: &VeCache, evidence: &[(VarId, Value)]) -> Result<VeCache> {
-    let mut iter = evidence.iter();
-    let &(var, value) = iter
-        .next()
-        .expect("derive_with_evidence requires evidence");
-    let mut derived = tree.with_evidence(var, value)?;
-    for &(var, value) in iter {
-        derived = derived.with_evidence(var, value)?;
-    }
-    Ok(derived)
-}
-
 /// Whether an error is an injected fault (which must propagate to exactly
 /// one request so the chaos suite's fault accounting stays 1:1), at
 /// either of the layers cache work can consume one.
@@ -1326,7 +1363,7 @@ fn resolve_var(catalog: &Catalog, name: &str) -> Result<VarId> {
 }
 
 /// Resolve a query's group-by/filter names into a [`QuerySpec`].
-fn resolve_spec(snap: &Snapshot, q: &Query) -> Result<QuerySpec> {
+pub(crate) fn resolve_spec(snap: &Snapshot, q: &Query) -> Result<QuerySpec> {
     let mut spec = QuerySpec::group_by(
         q.group_vars
             .iter()
@@ -1366,67 +1403,18 @@ fn create_view_in(snap: &mut Snapshot, name: &str, base: &[&str], combine: Combi
     Ok(())
 }
 
-/// Apply one hypothetical override to a (cloned) store.
+/// Apply one hypothetical override to a (cloned) store — a thin wrapper
+/// over the unified [`crate::delta`] patching path, which the scenario
+/// engine and real point updates share.
 fn apply_override(catalog: &Catalog, store: &mut RelationStore, ov: &Override) -> Result<()> {
-    match ov {
-            Override::Measure {
-                relation,
-                row,
-                measure,
-            } => {
-                let rel = store
-                    .relation_of(relation)
-                    .ok_or_else(|| EngineError::BadOverride(format!("no relation `{relation}`")))?
-                    .clone();
-                let mut updated =
-                    FunctionalRelation::new(rel.name().to_string(), rel.schema().clone());
-                let mut hit = false;
-                for (r, m) in rel.rows() {
-                    let m = if r == row.as_slice() {
-                        hit = true;
-                        *measure
-                    } else {
-                        m
-                    };
-                    updated.push_row(r, m)?;
-                }
-                if !hit {
-                    return Err(EngineError::BadOverride(format!(
-                        "row {row:?} not found in `{relation}`"
-                    )));
-                }
-                store.insert(updated);
-            }
-            Override::Domain {
-                relation,
-                var,
-                from,
-                to,
-            } => {
-                let rel = store
-                    .relation_of(relation)
-                    .ok_or_else(|| EngineError::BadOverride(format!("no relation `{relation}`")))?
-                    .clone();
-                let vid = resolve_var(catalog, var)?;
-                let pos = rel.schema().position(vid).map_err(|_| {
-                    EngineError::BadOverride(format!("`{relation}` has no variable `{var}`"))
-                })?;
-                let mut updated =
-                    FunctionalRelation::new(rel.name().to_string(), rel.schema().clone());
-                let mut seen = std::collections::HashSet::new();
-                for (r, m) in rel.rows() {
-                    let mut r = r.to_vec();
-                    if r[pos] == *from {
-                        r[pos] = *to;
-                    }
-                    // The remap may merge rows; first occurrence wins.
-                    if seen.insert(r.clone()) {
-                        updated.push_row(&r, m)?;
-                    }
-                }
-                store.insert(updated);
-            }
-        }
+    let name = ov.relation();
+    let patched = {
+        let rel = store
+            .relation_of(name)
+            .ok_or_else(|| EngineError::BadOverride(format!("no relation `{name}`")))?;
+        crate::delta::apply(catalog, rel, ov)?
+    };
+    store.insert(patched);
     Ok(())
 }
 
@@ -1585,11 +1573,9 @@ mod tests {
         let q = Query::on("v").group_by(["c"]);
         let base = db.run(&q).unwrap();
         let hyp = db
-            .run(QueryRequest::from(&q).hypothetical(Override::Measure {
-                relation: "r1".into(),
-                row: vec![0, 0],
-                measure: 100.0,
-            }))
+            .run(QueryRequest::from(&q).scenario(
+                crate::Scenario::named("shock").measure("r1", vec![0, 0], 100.0),
+            ))
             .unwrap();
         // c=0 changes from 220 to (100+3)*10 + (2+4)*30 = 1030+... recompute:
         // c=0: b=0 (r1: a0=100, a1=3)*10 = 1030; b=1: (2+4)*30 = 180 -> 1210.
@@ -1606,12 +1592,9 @@ mod tests {
         // Remap r2's b=1 rows to b=0 (first occurrence wins on collision).
         let hyp = db
             .run(
-                QueryRequest::on("v").group_by(["c"]).hypothetical(Override::Domain {
-                    relation: "r2".into(),
-                    var: "b".into(),
-                    from: 1,
-                    to: 0,
-                }),
+                QueryRequest::on("v")
+                    .group_by(["c"])
+                    .scenario(crate::Scenario::named("remap").move_domain("r2", "b", 1, 0)),
             )
             .unwrap();
         // r2 now has only b=0 rows (10, 20 kept); r1's b=1 rows join them.
@@ -1649,11 +1632,7 @@ mod tests {
             .run(QueryRequest::on("v")
                 .group_by(["c"])
                 .via_cache(&cache)
-                .hypothetical(Override::Measure {
-                    relation: "r1".into(),
-                    row: vec![0, 0],
-                    measure: 9.0,
-                }))
+                .scenario(crate::Scenario::named("shock").measure("r1", vec![0, 0], 9.0)))
             .unwrap_err();
         assert!(matches!(e, EngineError::BadOverride(_)));
     }

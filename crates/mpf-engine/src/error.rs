@@ -67,6 +67,16 @@ pub enum EngineError {
     /// A point measure update named a relation, row, or old measure that
     /// does not match the current snapshot.
     InvalidUpdate(String),
+    /// A multi-scenario request was submitted to a single-answer entry
+    /// point ([`crate::Database::run`] / [`crate::Database::describe`]);
+    /// batches go through [`crate::Database::run_scenarios`].
+    ScenarioBatch {
+        /// Scenarios in the rejected request.
+        count: usize,
+    },
+    /// Two scenarios in one set share a name; the report keys outcomes
+    /// by name, so names must be unique.
+    DuplicateScenario(String),
 }
 
 impl EngineError {
@@ -151,6 +161,14 @@ impl std::fmt::Display for EngineError {
                  view/aggregate pair"
             ),
             EngineError::InvalidUpdate(m) => write!(f, "invalid measure update: {m}"),
+            EngineError::ScenarioBatch { count } => write!(
+                f,
+                "request carries {count} scenarios but this entry point returns a \
+                 single answer: use Database::run_scenarios for scenario sets"
+            ),
+            EngineError::DuplicateScenario(n) => {
+                write!(f, "duplicate scenario name `{n}` in one scenario set")
+            }
         }
     }
 }

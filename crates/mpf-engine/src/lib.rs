@@ -15,11 +15,19 @@
 //! * [`QueryRequest`] — the builder every execution entry point accepts
 //!   ([`Database::run`] / [`Database::describe`] /
 //!   [`Database::explain_analyze`]): strategy, per-request
-//!   [`mpf_algebra::ExecLimits`], hypothetical overrides (alternate
-//!   measure / alternate domain, the Section 3.1 future-work forms),
-//!   span tracing ([`TraceLevel`]), and answering from a
-//!   materialized [`mpf_infer::VeCache`]
+//!   [`mpf_algebra::ExecLimits`], hypothetical [`Scenario`]s (named
+//!   bundles of alternate-measure / alternate-domain overrides plus
+//!   evidence, the Section 3.1 future-work forms), span tracing
+//!   ([`TraceLevel`]), and answering from a materialized
+//!   [`mpf_infer::VeCache`]
 //!   ([`Database::build_cache`] + [`QueryRequest::via_cache`]);
+//! * batch what-if evaluation: [`Database::run_scenarios`] takes a
+//!   [`ScenarioSet`] (hundreds of named variants in one call), computes
+//!   plan subtrees untouched by any override once as a *shared trunk*,
+//!   fans per-scenario frontiers across the worker pool under one
+//!   budget, and returns a [`ScenarioReport`] — per-scenario answers
+//!   (bit-identical to sequential runs) plus an invariant-vs-divergent
+//!   summary ([`Divergence`]) ranked by group shift;
 //! * [`parser`] — a lexer + recursive-descent parser for the SQL extension,
 //!   so the paper's example statements run verbatim;
 //! * observability: [`Answer::trace`] carries a per-operator span tree
@@ -42,10 +50,12 @@
 //!   ([`CacheServed`]) records when it did.
 
 mod database;
+mod delta;
 mod error;
 pub mod parser;
 mod query;
 mod request;
+mod scenario;
 mod snapshot;
 mod viewcache;
 
@@ -54,6 +64,9 @@ pub use error::EngineError;
 pub use parser::{Statement, StrategySpec};
 pub use query::{Answer, CacheServed, Query, RangePredicate, Strategy};
 pub use request::QueryRequest;
+pub use scenario::{
+    Divergence, GroupDelta, Scenario, ScenarioOutcome, ScenarioReport, ScenarioSet,
+};
 pub use snapshot::{CatalogRef, RelationRef, Snapshot, StoreRef, ViewRef};
 pub use viewcache::{CacheEvent, CacheKey, ViewCache};
 // `Strategy::Ve`/`VePlus` take a heuristic, so consumers of this crate

@@ -1,37 +1,53 @@
 //! The consolidated query-submission API.
 //!
 //! [`QueryRequest`] bundles everything a query run can carry — the
-//! [`Query`] itself, hypothetical [`Override`]s, per-request resource
+//! [`Query`] itself, hypothetical [`Scenario`]s, per-request resource
 //! limits, a [`TraceLevel`], and an optional [`VeCache`] to serve from —
 //! behind one builder, so [`Database::run`](crate::Database::run) replaces
 //! the old `query` / `query_hypothetical` / `query_cached` / `explain`
 //! method family. A plain [`Query`] converts into a request with
-//! database-default limits, no overrides, and tracing off, so
+//! database-default limits, no scenarios, and tracing off, so
 //! `db.run(&q)` stays as short as the old `db.query(&q)`.
+//!
+//! The what-if unit is the named [`Scenario`] (any number of
+//! [`Override`]s plus optional evidence). A request carrying **one**
+//! scenario still flows through [`Database::run`](crate::Database::run);
+//! a request carrying a whole [`ScenarioSet`] goes to
+//! [`Database::run_scenarios`](crate::Database::run_scenarios), which
+//! evaluates the set as one batch with shared-subplan fan-out. The old
+//! bare-`Override` builders ([`QueryRequest::hypothetical`],
+//! [`QueryRequest::overrides`]) remain as deprecated shims that
+//! accumulate into a single ad-hoc scenario.
 
 use mpf_algebra::{ExecLimits, TraceLevel};
 use mpf_infer::VeCache;
 use mpf_semiring::Aggregate;
 use mpf_storage::Value;
 
-use crate::{Override, Query, RangePredicate, Strategy};
+use crate::{Override, Query, RangePredicate, Scenario, ScenarioSet, Strategy};
+
+/// The name under which the deprecated bare-`Override` builders
+/// accumulate their implicit scenario.
+pub(crate) const ADHOC_SCENARIO: &str = "hypothetical";
 
 /// A fully-specified query submission: the query plus the run options the
 /// old `Database` method family passed as separate arguments.
 ///
 /// ```
-/// use mpf_engine::{Query, QueryRequest, TraceLevel};
+/// use mpf_engine::{Query, QueryRequest, Scenario, TraceLevel};
 ///
 /// let req = QueryRequest::on("invest")
 ///     .group_by(["cid"])
 ///     .filter("tid", 1)
+///     .scenario(Scenario::named("shock").measure("contracts", vec![0, 1], 9.0))
 ///     .trace(TraceLevel::Spans);
 /// assert_eq!(req.query().view, "invest");
+/// assert_eq!(req.scenarios().len(), 1);
 /// ```
 #[derive(Debug, Clone)]
 pub struct QueryRequest<'a> {
     pub(crate) query: Query,
-    pub(crate) overrides: Vec<Override>,
+    pub(crate) scenarios: ScenarioSet,
     pub(crate) limits: Option<ExecLimits>,
     pub(crate) trace: TraceLevel,
     pub(crate) cache: Option<&'a VeCache>,
@@ -46,6 +62,11 @@ impl<'a> QueryRequest<'a> {
     /// The wrapped query.
     pub fn query(&self) -> &Query {
         &self.query
+    }
+
+    /// The scenarios attached to this request.
+    pub fn scenarios(&self) -> &ScenarioSet {
+        &self.scenarios
     }
 
     /// Set the group-by variables (see [`Query::group_by`]).
@@ -78,18 +99,59 @@ impl<'a> QueryRequest<'a> {
         self
     }
 
-    /// Apply hypothetical overrides to copies of the affected base
-    /// relations before evaluation (the Section 3.1 alternate-measure /
-    /// alternate-domain what-if forms). Appends to earlier calls.
-    pub fn overrides(mut self, overrides: impl IntoIterator<Item = Override>) -> Self {
-        self.overrides.extend(overrides);
+    /// Attach one named what-if [`Scenario`] (appends to earlier calls).
+    /// A request with exactly one scenario runs through
+    /// [`Database::run`](crate::Database::run); with several, through
+    /// [`Database::run_scenarios`](crate::Database::run_scenarios).
+    pub fn scenario(mut self, sc: Scenario) -> Self {
+        self.scenarios.push(sc);
         self
     }
 
-    /// Apply one hypothetical override (see [`Self::overrides`]).
-    pub fn hypothetical(mut self, ov: Override) -> Self {
-        self.overrides.push(ov);
+    /// Attach a whole [`ScenarioSet`] (appends to earlier calls).
+    pub fn scenario_set(mut self, set: impl Into<ScenarioSet>) -> Self {
+        self.scenarios.items.extend(set.into().items);
         self
+    }
+
+    /// Apply hypothetical overrides to copies of the affected base
+    /// relations before evaluation (the Section 3.1 alternate-measure /
+    /// alternate-domain what-if forms). Appends to earlier calls.
+    #[deprecated(
+        since = "0.1.0",
+        note = "overrides now live on named scenarios: use `scenario(Scenario::named(..).with(..))`"
+    )]
+    pub fn overrides(mut self, overrides: impl IntoIterator<Item = Override>) -> Self {
+        for ov in overrides {
+            self.push_adhoc(ov);
+        }
+        self
+    }
+
+    /// Apply one hypothetical override.
+    #[deprecated(
+        since = "0.1.0",
+        note = "overrides now live on named scenarios: use `scenario(Scenario::named(..).with(..))`"
+    )]
+    pub fn hypothetical(mut self, ov: Override) -> Self {
+        self.push_adhoc(ov);
+        self
+    }
+
+    /// Append an override to the single ad-hoc scenario the deprecated
+    /// builders share, creating it on first use — so chained
+    /// `hypothetical` calls compose into one scenario exactly as they
+    /// composed into one override list.
+    fn push_adhoc(&mut self, ov: Override) {
+        match self
+            .scenarios
+            .items
+            .iter_mut()
+            .find(|sc| sc.name() == ADHOC_SCENARIO)
+        {
+            Some(sc) => sc.push_override(ov),
+            None => self.scenarios.push(Scenario::named(ADHOC_SCENARIO).with(ov)),
+        }
     }
 
     /// Run under these resource budgets instead of the database's
@@ -108,7 +170,7 @@ impl<'a> QueryRequest<'a> {
 
     /// Serve the answer from a materialized [`VeCache`] instead of
     /// planning and executing against the base relations. Only plain
-    /// group-by queries qualify (no filters, `having`, or overrides —
+    /// group-by queries qualify (no filters, `having`, or scenarios —
     /// condition the cache with [`VeCache::with_evidence`] instead).
     /// The cache must have been built under the semiring the query's
     /// view/aggregate pair resolves to; a mismatch is rejected with
@@ -118,13 +180,25 @@ impl<'a> QueryRequest<'a> {
         self.cache = Some(cache);
         self
     }
+
+    /// This request with its scenarios stripped — the baseline the
+    /// scenario engine compares every outcome against.
+    pub(crate) fn baseline(&self) -> QueryRequest<'a> {
+        QueryRequest {
+            query: self.query.clone(),
+            scenarios: ScenarioSet::new(),
+            limits: self.limits.clone(),
+            trace: self.trace,
+            cache: None,
+        }
+    }
 }
 
 impl<'a> From<Query> for QueryRequest<'a> {
     fn from(query: Query) -> QueryRequest<'a> {
         QueryRequest {
             query,
-            overrides: Vec::new(),
+            scenarios: ScenarioSet::new(),
             limits: None,
             trace: TraceLevel::Off,
             cache: None,
@@ -150,15 +224,11 @@ mod tests {
             .strategy(Strategy::Naive)
             .trace(TraceLevel::Spans)
             .limits(ExecLimits::none().with_max_output_rows(10))
-            .hypothetical(Override::Measure {
-                relation: "r".into(),
-                row: vec![0],
-                measure: 2.0,
-            });
+            .scenario(Scenario::named("s").measure("r", vec![0], 2.0));
         assert_eq!(req.query().view, "v");
         assert_eq!(req.query().strategy, Strategy::Naive);
         assert_eq!(req.trace, TraceLevel::Spans);
-        assert_eq!(req.overrides.len(), 1);
+        assert_eq!(req.scenarios().len(), 1);
         assert!(req.limits.is_some());
         assert!(req.cache.is_none());
     }
@@ -169,6 +239,38 @@ mod tests {
         let req: QueryRequest<'_> = (&q).into();
         assert_eq!(req.query(), &q);
         assert_eq!(req.trace, TraceLevel::Off);
-        assert!(req.overrides.is_empty() && req.limits.is_none());
+        assert!(req.scenarios.is_empty() && req.limits.is_none());
+    }
+
+    /// Pins the deprecated shims' delegation: chained `hypothetical` /
+    /// `overrides` calls accumulate into ONE ad-hoc scenario (so a
+    /// migrated caller sees identical single-scenario semantics), and
+    /// they compose with explicitly named scenarios without touching
+    /// them.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_delegate_to_one_adhoc_scenario() {
+        let ov = |m: f64| Override::Measure {
+            relation: "r".into(),
+            row: vec![0],
+            measure: m,
+        };
+        let req = QueryRequest::on("v")
+            .group_by(["a"])
+            .hypothetical(ov(1.0))
+            .overrides([ov(2.0), ov(3.0)])
+            .hypothetical(ov(4.0));
+        assert_eq!(req.scenarios().len(), 1);
+        let sc = &req.scenarios().as_slice()[0];
+        assert_eq!(sc.name(), ADHOC_SCENARIO);
+        assert_eq!(sc.overrides().len(), 4);
+        assert!(sc.evidence_set().is_empty());
+
+        let req = QueryRequest::on("v")
+            .scenario(Scenario::named("explicit").with(ov(9.0)))
+            .hypothetical(ov(1.0));
+        assert_eq!(req.scenarios().len(), 2);
+        assert_eq!(req.scenarios().as_slice()[0].name(), "explicit");
+        assert_eq!(req.scenarios().as_slice()[1].overrides().len(), 1);
     }
 }

@@ -22,6 +22,8 @@ pub enum InferError {
     /// An incremental cache update cannot be expressed (unknown relation,
     /// zero-measure old value, or a support-changing edit).
     InvalidUpdate(String),
+    /// An evidence-set derivation was requested with no evidence pairs.
+    EmptyEvidence,
 }
 
 impl From<AlgebraError> for InferError {
@@ -52,6 +54,9 @@ impl std::fmt::Display for InferError {
                 write!(f, "variable {v} is not covered by any cached table")
             }
             InferError::InvalidUpdate(m) => write!(f, "invalid incremental update: {m}"),
+            InferError::EmptyEvidence => {
+                write!(f, "evidence-set derivation requires at least one pair")
+            }
         }
     }
 }

@@ -401,6 +401,24 @@ impl VeCache {
         Ok(out)
     }
 
+    /// [`VeCache::with_evidence`] chained over an evidence set: condition
+    /// on every `(var, value)` pair in order. One conditioned tree is
+    /// derived per pair; callers batching many scenarios with shared
+    /// evidence should sort pairs so equal sets hit equal derivations.
+    ///
+    /// # Errors
+    /// [`InferError::EmptyEvidence`] on an empty set; otherwise whatever
+    /// [`VeCache::with_evidence`] raises for some pair.
+    pub fn with_evidence_set(&self, evidence: &[(VarId, Value)]) -> Result<VeCache> {
+        let mut iter = evidence.iter();
+        let &(var, value) = iter.next().ok_or(InferError::EmptyEvidence)?;
+        let mut out = self.with_evidence(var, value)?;
+        for &(var, value) in iter {
+            out = out.with_evidence(var, value)?;
+        }
+        Ok(out)
+    }
+
     /// Incremental view maintenance: return a cache reflecting a changed
     /// measure of one row of a base relation (the materialize-and-maintain
     /// option the paper's introduction raises), without rebuilding.

@@ -8,11 +8,11 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use mpf_engine::parser::{parse, Statement};
-use mpf_engine::{Answer, Database, MetricsRegistry, QueryRequest};
+use mpf_engine::{Answer, Database, MetricsRegistry, QueryRequest, Scenario, ScenarioReport};
 
 use crate::admission::{AdmissionController, Shed};
 use crate::config::ServeConfig;
-use crate::protocol::{encode_engine_err, encode_err, Request};
+use crate::protocol::{encode_engine_err, encode_err, parse_scenario_line, Request};
 
 /// A multi-tenant query server over one shared [`Database`].
 ///
@@ -68,11 +68,35 @@ impl Server {
 
     /// Handle one request line. Returns the response lines and whether
     /// this request asked the service to shut down.
+    ///
+    /// A `SCENARIOS` request needs its continuation lines and therefore a
+    /// block-aware caller ([`Server::handle_block`]); arriving here alone
+    /// it is answered with the count-mismatch protocol error.
     pub fn handle_line(&self, line: &str) -> (Vec<String>, bool) {
-        let req = match Request::parse(line) {
+        self.handle_block(&[line.to_string()])
+    }
+
+    /// Handle one request block: a request line plus any continuation
+    /// lines (`SCENARIO` lines of a `SCENARIOS <n>` request). Returns the
+    /// response lines and whether the block asked the service to shut
+    /// down.
+    pub fn handle_block(&self, lines: &[String]) -> (Vec<String>, bool) {
+        let Some(first) = lines.first() else {
+            return (Vec::new(), false);
+        };
+        let req = match Request::parse(first) {
             Ok(req) => req,
             Err(err_line) => return (vec![err_line], false),
         };
+        if lines.len() > 1 && !matches!(req, Request::ScenarioQuery { .. }) {
+            let err = encode_err(
+                "protocol",
+                false,
+                0,
+                "this request form takes no continuation lines",
+            );
+            return (vec![err], false);
+        }
         match req {
             Request::Ping => (vec!["PONG".to_string()], false),
             Request::Metrics => (
@@ -88,6 +112,26 @@ impl Server {
                 (vec!["BYE".to_string()], true)
             }
             Request::Query { tenant, sql } => (self.run_query(&tenant, &sql), false),
+            Request::ScenarioQuery { tenant, sql, count } => {
+                let given = lines.len() - 1;
+                if given != count {
+                    let err = encode_err(
+                        "protocol",
+                        false,
+                        0,
+                        &format!("SCENARIOS {count} expects {count} SCENARIO lines, got {given}"),
+                    );
+                    return (vec![err], false);
+                }
+                let mut scenarios = Vec::with_capacity(count);
+                for line in &lines[1..] {
+                    match parse_scenario_line(line) {
+                        Ok(sc) => scenarios.push(sc),
+                        Err(err_line) => return (vec![err_line], false),
+                    }
+                }
+                (self.run_scenario_query(&tenant, &sql, scenarios), false)
+            }
         }
     }
 
@@ -151,6 +195,125 @@ impl Server {
         }
     }
 
+    /// Run one query under a batch of scenarios. One admission grant
+    /// covers the whole batch: the engine's scenario fan-out shares the
+    /// grant's cell/thread budget across the shared trunk and every
+    /// frontier, so a 100-scenario batch cannot out-consume 100 admitted
+    /// singles.
+    fn run_scenario_query(&self, tenant: &str, sql: &str, scenarios: Vec<Scenario>) -> Vec<String> {
+        self.metrics.inc("serve.query");
+        self.metrics.inc("serve.scenario_batch");
+        if self.draining() {
+            self.metrics.inc("serve.err");
+            return vec![encode_err(
+                "shutting-down",
+                false,
+                0,
+                "service is draining; no new queries",
+            )];
+        }
+        let limits = self.config.limits_for(tenant).clone();
+        let start = Instant::now();
+        let grant = match self.admission.admit(
+            tenant,
+            limits.max_inflight,
+            limits.cells_per_query,
+            limits.threads_per_query,
+        ) {
+            Ok(grant) => grant,
+            Err(shed) => {
+                self.metrics.inc("serve.shed");
+                return vec![shed_line(&shed)];
+            }
+        };
+        let mut exec = grant.limits();
+        if let Some(t) = limits.query_timeout {
+            exec = exec.with_timeout(t);
+        }
+        let out = match parse(sql) {
+            Ok(Statement::Select(q)) => {
+                let mut req = QueryRequest::from(q).limits(exec);
+                for sc in scenarios {
+                    req = req.scenario(sc);
+                }
+                self.db
+                    .run_scenarios(req)
+                    .map(|report| self.encode_scenario_report(&report))
+            }
+            Ok(Statement::CreateView { .. }) => {
+                drop(grant);
+                self.metrics.inc("serve.err");
+                return vec![encode_err(
+                    "protocol",
+                    false,
+                    0,
+                    "SCENARIOS applies to select queries, not DDL",
+                )];
+            }
+            Err(e) => Err(e),
+        };
+        drop(grant);
+        self.metrics.observe("serve.latency", start.elapsed());
+        match out {
+            Ok(lines) => {
+                self.metrics.inc("serve.ok");
+                lines
+            }
+            Err(e) => {
+                self.metrics.inc("serve.err");
+                vec![encode_engine_err(&e)]
+            }
+        }
+    }
+
+    /// Frame a [`ScenarioReport`]: a batch header, per-scenario tagged
+    /// rows, then one `DIVERGENT`/`INVARIANT` summary line per scenario —
+    /// divergent ones first, ranked by their largest group shift.
+    fn encode_scenario_report(&self, report: &ScenarioReport) -> Vec<String> {
+        let catalog = self.db.catalog();
+        let names: Vec<&str> = report
+            .baseline
+            .relation
+            .schema()
+            .iter()
+            .map(|v| catalog.name(v))
+            .collect();
+        let total_rows: usize = report
+            .outcomes
+            .iter()
+            .map(|o| o.answer.relation.len())
+            .sum();
+        let mut lines = Vec::with_capacity(total_rows + report.outcomes.len() + 2);
+        lines.push(format!(
+            "OK scenarios={} rows={total_rows} strategy={:?}",
+            report.outcomes.len(),
+            report.baseline.served_by
+        ));
+        for outcome in &report.outcomes {
+            for (row, measure) in outcome.answer.relation.rows() {
+                let mut line = format!("ROW scenario={}", outcome.name);
+                for (name, value) in names.iter().zip(row) {
+                    line.push_str(&format!(" {name}={value}"));
+                }
+                line.push_str(&format!(" m={measure}"));
+                lines.push(line);
+            }
+        }
+        for outcome in report.divergent() {
+            lines.push(format!(
+                "DIVERGENT scenario={} groups={} max_shift={}",
+                outcome.name,
+                outcome.divergence.moved(),
+                outcome.divergence.max_shift()
+            ));
+        }
+        for outcome in report.invariant() {
+            lines.push(format!("INVARIANT scenario={}", outcome.name));
+        }
+        lines.push("END".to_string());
+        lines
+    }
+
     fn encode_answer(&self, ans: &Answer) -> Vec<String> {
         let catalog = self.db.catalog();
         let rel = &ans.relation;
@@ -176,7 +339,8 @@ impl Server {
     /// Serve one line-oriented connection until EOF or `SHUTDOWN`.
     /// Returns whether the peer requested shutdown.
     pub fn serve_lines(&self, reader: impl BufRead, mut writer: impl Write) -> bool {
-        for line in reader.lines() {
+        let mut lines_iter = reader.lines();
+        while let Some(line) = lines_iter.next() {
             let line = match line {
                 Ok(l) => l,
                 Err(_) => break,
@@ -184,7 +348,19 @@ impl Server {
             if line.trim().is_empty() {
                 continue;
             }
-            let (out, shutdown) = self.handle_line(&line);
+            let mut block = vec![line];
+            // A `SCENARIOS <n>` request owns its next `n` lines. On EOF
+            // mid-block, handle_block reports the count mismatch as a
+            // typed protocol error.
+            if let Ok(Request::ScenarioQuery { count, .. }) = Request::parse(&block[0]) {
+                for _ in 0..count {
+                    match lines_iter.next() {
+                        Some(Ok(l)) => block.push(l),
+                        _ => break,
+                    }
+                }
+            }
+            let (out, shutdown) = self.handle_block(&block);
             for l in &out {
                 if writeln!(writer, "{l}").is_err() {
                     return shutdown;
@@ -324,6 +500,86 @@ mod tests {
         assert!(shutdown && server.draining());
         let (out, _) = server.handle_line("QUERY t1 select a, sum(f) from v group by a");
         assert!(out[0].starts_with("ERR kind=shutting-down"), "{out:?}");
+    }
+
+    #[test]
+    fn scenario_batch_streams_tagged_rows_and_summaries() {
+        let server = seeded_server(ServeConfig::default());
+        let block = vec![
+            "QUERY t1 select a, sum(f) from v group by a SCENARIOS 2".to_string(),
+            "SCENARIO shock MEASURE r1 0,0 9".to_string(),
+            "SCENARIO noop MEASURE r1 0,0 1".to_string(),
+        ];
+        let (out, shutdown) = server.handle_block(&block);
+        assert!(!shutdown);
+        assert!(out[0].starts_with("OK scenarios=2 rows=4 strategy="), "{out:?}");
+        assert!(
+            out.iter().any(|l| l.starts_with("ROW scenario=shock a=0 m=")),
+            "{out:?}"
+        );
+        assert!(
+            out.iter().any(|l| l.starts_with("ROW scenario=noop a=1 m=")),
+            "{out:?}"
+        );
+        // r1(0,0) has measure 1, so `shock` moves group a=0 and `noop`
+        // is bit-identical to the baseline.
+        assert!(
+            out.iter()
+                .any(|l| l.starts_with("DIVERGENT scenario=shock groups=1 max_shift=")),
+            "{out:?}"
+        );
+        assert!(out.contains(&"INVARIANT scenario=noop".to_string()), "{out:?}");
+        assert_eq!(out.last().unwrap(), "END");
+        assert_eq!(server.metrics().counter("serve.scenario_batch"), 1);
+        assert_eq!(server.metrics().counter("serve.ok"), 1);
+    }
+
+    #[test]
+    fn scenario_batch_defects_are_typed_protocol_errors() {
+        let server = seeded_server(ServeConfig::default());
+        // Count mismatch: the request line alone.
+        let (out, _) =
+            server.handle_line("QUERY t1 select a, sum(f) from v group by a SCENARIOS 2");
+        assert_eq!(out.len(), 1);
+        assert!(out[0].contains("expects 2 SCENARIO lines, got 0"), "{out:?}");
+        // A malformed scenario line fails the whole batch.
+        let block = vec![
+            "QUERY t1 select a, sum(f) from v group by a SCENARIOS 1".to_string(),
+            "SCENARIO s MEASURE r1 0,zero 9".to_string(),
+        ];
+        let (out, _) = server.handle_block(&block);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].starts_with("ERR kind=protocol"), "{out:?}");
+        // Continuation lines on a non-scenario request are rejected.
+        let block = vec!["PING".to_string(), "SCENARIO s".to_string()];
+        let (out, _) = server.handle_block(&block);
+        assert!(out[0].contains("takes no continuation lines"), "{out:?}");
+        // DDL cannot carry scenarios.
+        let block = vec![
+            "QUERY t1 create mpfview v3 as (select a, b, measure = (* r1.f) from r1) SCENARIOS 1"
+                .to_string(),
+            "SCENARIO s".to_string(),
+        ];
+        let (out, _) = server.handle_block(&block);
+        assert!(out[0].contains("SCENARIOS applies to select queries"), "{out:?}");
+    }
+
+    #[test]
+    fn serve_lines_slurps_scenario_blocks() {
+        let server = seeded_server(ServeConfig::default());
+        let input = b"QUERY t1 select a, sum(f) from v group by a SCENARIOS 1\n\
+                      SCENARIO shock MEASURE r1 0,0 9\n\
+                      PING\nSHUTDOWN\n" as &[u8];
+        let mut out = Vec::new();
+        let shutdown = server.serve_lines(input, &mut out);
+        assert!(shutdown);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("OK scenarios=1"), "{text}");
+        assert!(text.contains("ROW scenario=shock"), "{text}");
+        // The SCENARIO line was consumed by the block, not re-parsed as a
+        // request; PING still answers.
+        assert!(text.contains("\nPONG\n"), "{text}");
+        assert!(text.trim_end().ends_with("BYE"), "{text}");
     }
 
     #[test]

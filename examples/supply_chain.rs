@@ -6,7 +6,7 @@
 //! Run with: `cargo run --release --example supply_chain`
 
 use mpf::datagen::{SupplyChain, SupplyChainConfig};
-use mpf::engine::{Database, Override, Query, QueryRequest, RangePredicate, Strategy};
+use mpf::engine::{Database, Query, QueryRequest, RangePredicate, Scenario, Strategy};
 use mpf::semiring::{Aggregate, Combine};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -68,11 +68,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         QueryRequest::on("invest")
             .group_by(["pid"])
             .filter("pid", 0)
-            .hypothetical(Override::Measure {
-                relation: "contracts".into(),
-                row: row0,
-                measure: part0_price * 2.0,
-            }),
+            .scenario(Scenario::named("price-doubles").measure(
+                "contracts",
+                row0,
+                part0_price * 2.0,
+            )),
     )?;
     println!(
         "  part 0 investment: {:.2} -> {:.2}",
@@ -84,17 +84,50 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== Hypothetical (alternate domain): transfer all deals from transporter 1 to 2 ==");
     let q = Query::on("invest").group_by(["tid"]).filter("tid", 2);
     let base = db.run(&q)?;
-    let hyp = db.run(QueryRequest::from(&q).hypothetical(Override::Domain {
-        relation: "ctdeals".into(),
-        var: "tid".into(),
-        from: 1,
-        to: 2,
-    }))?;
+    let hyp = db.run(
+        QueryRequest::from(&q)
+            .scenario(Scenario::named("t1-to-t2").move_domain("ctdeals", "tid", 1, 2)),
+    )?;
     println!(
         "  transporter 2 volume: {:.2} -> {:.2}",
         base.relation.measure(0),
         hyp.relation.measure(0)
     );
+
+    println!();
+    println!("== Batch what-if: shock each of the first 10 contract prices by +10% ==");
+    let contracts = db.relation("contracts").unwrap();
+    let set: mpf::engine::ScenarioSet = (0..10.min(contracts.len()))
+        .map(|i| {
+            Scenario::named(format!("contract-{i}")).measure(
+                "contracts",
+                contracts.row(i).to_vec(),
+                contracts.measure(i) * 1.1,
+            )
+        })
+        .collect();
+    let report = db.run_scenarios(
+        QueryRequest::on("invest")
+            .group_by(["cid"])
+            .scenario_set(set),
+    )?;
+    println!(
+        "  {} scenarios in {:.1?} ({} shared trunks built, {} reuses)",
+        report.outcomes.len(),
+        report.elapsed,
+        report.trunk_builds,
+        report.trunk_hits
+    );
+    for o in report.divergent().into_iter().take(3) {
+        let d = &o.divergence;
+        println!(
+            "  {}: {} contractor totals moved, largest shift {:.2}",
+            o.name,
+            d.moved(),
+            d.max_shift()
+        );
+    }
+    println!("  {} scenarios left every contractor unchanged", report.invariant().len());
 
     println!();
     println!("== Plan linearity test (Section 5.1) ==");

@@ -2,7 +2,7 @@
 //! full stack (datagen → engine → optimizer → executor → inference cache).
 
 use mpf::datagen::{SupplyChain, SupplyChainConfig};
-use mpf::engine::{Database, Override, Query, QueryRequest, RangePredicate, SqlOutcome, Strategy};
+use mpf::engine::{Database, Query, QueryRequest, RangePredicate, Scenario, SqlOutcome, Strategy};
 use mpf::optimizer::Heuristic;
 use mpf::semiring::Aggregate;
 
@@ -152,12 +152,10 @@ fn hypothetical_overrides_do_not_mutate_base() {
     let q = Query::on("invest").group_by(["cid"]);
     let before = db.run(&q).unwrap();
     let _ = db
-        .run(QueryRequest::from(&q).hypothetical(Override::Domain {
-            relation: "ctdeals".into(),
-            var: "tid".into(),
-            from: 0,
-            to: 1,
-        }))
+        .run(
+            QueryRequest::from(&q)
+                .scenario(Scenario::named("transfer").move_domain("ctdeals", "tid", 0, 1)),
+        )
         .unwrap();
     let after = db.run(&q).unwrap();
     assert!(before.relation.function_eq(&after.relation));
