@@ -1,9 +1,10 @@
 //! Typed parsing for the engine's environment knobs.
 //!
-//! The execution layer reads four environment variables: `MPF_THREADS`
+//! The execution layer reads five environment variables: `MPF_THREADS`
 //! (worker threads, [`crate::limits::default_threads`]), `MPF_DENSE`
 //! (dense-kernel dispatch, [`crate::DenseMode::from_env`]), `MPF_REPR`
-//! (sparse-tensor dispatch, [`crate::ReprMode::from_env`]), and
+//! (sparse-tensor dispatch, [`crate::ReprMode::from_env`]), `MPF_KERNEL`
+//! (kernel inner-loop mode, [`crate::KernelMode::from_env`]), and
 //! `MPF_CACHE_BYTES` (the engine view-cache byte budget,
 //! [`cache_bytes_from_env`]). The runtime
 //! defaults are deliberately lenient — a malformed value falls back so a
@@ -16,7 +17,7 @@
 //! value, and what would have been accepted. `Database::from_env` and the
 //! `mpf_serve` binary call it before serving anything.
 
-use crate::dense::DenseMode;
+use crate::dense::{DenseMode, KernelMode};
 use crate::sparse::ReprMode;
 
 /// A configuration knob held a value that does not parse.
@@ -51,6 +52,8 @@ pub struct EnvKnobs {
     pub dense: Option<DenseMode>,
     /// `MPF_REPR`, when set and valid.
     pub repr: Option<ReprMode>,
+    /// `MPF_KERNEL`, when set and valid.
+    pub kernel: Option<KernelMode>,
     /// `MPF_CACHE_BYTES`, when set and valid (`0` disables the cache).
     pub cache_bytes: Option<u64>,
 }
@@ -93,6 +96,19 @@ pub fn parse_repr(value: &str) -> Result<ReprMode, ConfigError> {
             var: "MPF_REPR".into(),
             value: value.into(),
             expected: "one of `off`, `sparse`, `auto` (or 0/1/false/true)",
+        }),
+    }
+}
+
+/// Parse an `MPF_KERNEL` value: `scalar` or `chunked`.
+pub fn parse_kernel(value: &str) -> Result<KernelMode, ConfigError> {
+    match value.trim().to_ascii_lowercase().as_str() {
+        "scalar" => Ok(KernelMode::Scalar),
+        "chunked" => Ok(KernelMode::Chunked),
+        _ => Err(ConfigError {
+            var: "MPF_KERNEL".into(),
+            value: value.into(),
+            expected: "one of `scalar`, `chunked`",
         }),
     }
 }
@@ -151,6 +167,10 @@ pub fn validate_env() -> Result<EnvKnobs, ConfigError> {
         Ok(v) => Some(parse_repr(&v)?),
         Err(_) => None,
     };
+    let kernel = match std::env::var("MPF_KERNEL") {
+        Ok(v) => Some(parse_kernel(&v)?),
+        Err(_) => None,
+    };
     let cache_bytes = match std::env::var("MPF_CACHE_BYTES") {
         Ok(v) => Some(parse_cache_bytes(&v)?),
         Err(_) => None,
@@ -159,6 +179,7 @@ pub fn validate_env() -> Result<EnvKnobs, ConfigError> {
         threads,
         dense,
         repr,
+        kernel,
         cache_bytes,
     })
 }
@@ -231,6 +252,23 @@ mod tests {
         }
         // Overflow after scaling, not just in the digits.
         assert!(parse_cache_bytes("18446744073709551615k").is_err());
+    }
+
+    #[test]
+    fn kernel_accepts_documented_spellings() {
+        assert_eq!(parse_kernel("scalar").unwrap(), KernelMode::Scalar);
+        assert_eq!(parse_kernel(" Chunked ").unwrap(), KernelMode::Chunked);
+        assert_eq!(parse_kernel("SCALAR").unwrap(), KernelMode::Scalar);
+    }
+
+    #[test]
+    fn kernel_rejects_malformed_values() {
+        for bad in ["simd", "1", "", "on", "vector"] {
+            let e = parse_kernel(bad).unwrap_err();
+            assert_eq!(e.var, "MPF_KERNEL");
+            assert_eq!(e.value, bad);
+            assert!(e.to_string().contains("`chunked`"), "{e}");
+        }
     }
 
     #[test]

@@ -40,7 +40,7 @@ use std::sync::{Arc, Mutex};
 use mpf_semiring::SemiringKind;
 use mpf_storage::FunctionalRelation;
 
-use crate::dense::DenseMode;
+use crate::dense::{DenseMode, KernelMode};
 use crate::limits::{ExecBudget, ExecLimits, OpGuard, DEFAULT_WORKSPACE_BYTES};
 use crate::sparse::ReprMode;
 use crate::trace::{OpRepr, SpanDesc, SpanKind, TraceCollector, TraceLevel, TraceTree};
@@ -89,6 +89,10 @@ pub struct ExecContext<'b> {
     /// ([`ReprMode::from_env`] by default; planner configs and tests set
     /// it explicitly so runs are environment-independent).
     repr: ReprMode,
+    /// Which inner-loop flavor the monomorphized kernels run
+    /// ([`KernelMode::from_env`] by default; tests set it explicitly so
+    /// runs are environment-independent).
+    kernel: KernelMode,
 }
 
 impl<'b> ExecContext<'b> {
@@ -105,6 +109,7 @@ impl<'b> ExecContext<'b> {
             trace: TraceCollector::new(TraceLevel::Off),
             dense: DenseMode::from_env(),
             repr: ReprMode::from_env(),
+            kernel: KernelMode::from_env(),
         }
     }
 
@@ -208,6 +213,23 @@ impl<'b> ExecContext<'b> {
     /// [`crate::sparse::agg_auto`] consult this).
     pub fn repr_mode(&self) -> ReprMode {
         self.repr
+    }
+
+    /// Override the kernel inner-loop mode (builder style).
+    pub fn with_kernel(mut self, mode: KernelMode) -> ExecContext<'b> {
+        self.kernel = mode;
+        self
+    }
+
+    /// Override the kernel inner-loop mode.
+    pub fn set_kernel(&mut self, mode: KernelMode) {
+        self.kernel = mode;
+    }
+
+    /// The kernel inner-loop mode (the [`crate::dense`] and
+    /// [`crate::sparse`] kernels consult this).
+    pub fn kernel_mode(&self) -> KernelMode {
+        self.kernel
     }
 
     /// Enable per-operator tracing (builder style).
@@ -315,6 +337,7 @@ impl<'b> ExecContext<'b> {
             trace: TraceCollector::new(self.trace.level()),
             dense: self.dense,
             repr: self.repr,
+            kernel: self.kernel,
         }
     }
 
@@ -470,6 +493,36 @@ impl<'b> ExecContext<'b> {
         self.trace_op(SpanKind::GroupBy, inputs, output, repr);
     }
 
+    /// Account a fused join→marginalize operator: the pair counts as one
+    /// join *and* one group-by (so totals reconcile with an unfused plan)
+    /// plus one fused-op tick, but only the *output* is accounted as an
+    /// intermediate — the join product is never materialized, which is
+    /// exactly the point of fusing.
+    pub(crate) fn record_join_agg_ex(
+        &mut self,
+        inputs: &[&FunctionalRelation],
+        output: &FunctionalRelation,
+        repr: OpRepr,
+    ) {
+        self.account(inputs, output);
+        self.stats.joins += 1;
+        self.stats.group_bys += 1;
+        self.stats.fused_join_aggs += 1;
+        match repr {
+            OpRepr::Rows => {}
+            OpRepr::Sparse => {
+                self.stats.sparse_joins += 1;
+                self.stats.sparse_group_bys += 1;
+            }
+            OpRepr::Dense => {
+                self.stats.dense_joins += 1;
+                self.stats.dense_group_bys += 1;
+            }
+        }
+        self.trace_op(SpanKind::GroupBy, inputs, output, repr);
+        self.trace.set_fused(true);
+    }
+
     /// Account a selection operator.
     pub(crate) fn record_select(
         &mut self,
@@ -491,6 +544,17 @@ impl<'b> ExecContext<'b> {
     /// Count one sparse↔rows boundary conversion.
     pub(crate) fn note_sparse_convert(&mut self) {
         self.stats.sparse_converts += 1;
+    }
+
+    /// Count one kernel dispatch by inner-loop mode and tag the active
+    /// span with `kernel=`. Call *after* the operator's `record_*` hook
+    /// so an ad-hoc leaf span exists to tag.
+    pub(crate) fn note_kernel_op(&mut self, mode: KernelMode) {
+        match mode {
+            KernelMode::Scalar => self.stats.kernel_scalar_ops += 1,
+            KernelMode::Chunked => self.stats.kernel_chunked_ops += 1,
+        }
+        self.trace.set_kernel(mode.name());
     }
 
     /// [`ExecContext::record_join_ex`]/[`ExecContext::record_group_by_ex`]

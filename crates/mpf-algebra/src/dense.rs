@@ -41,8 +41,44 @@
 //! (not hash partitions): workers write disjoint slices of the output
 //! array and errors surface in chunk order, so answers, budget trips, and
 //! error precedence match the sequential kernel exactly.
+//!
+//! # Kernel modes
+//!
+//! Every kernel here is generic over a statically-known semiring
+//! ([`mpf_semiring::kernel::SemiringOps`], instantiated for all seven
+//! through [`mpf_semiring::for_each_semiring`]), so the inner loops are
+//! straight-line per-semiring code with no dispatch branch per cell. On
+//! top of that, [`KernelMode`] (the `MPF_KERNEL` knob) picks the loop
+//! shape:
+//!
+//! * [`KernelMode::Scalar`] — one cell at a time, budget guard polled
+//!   per cell: the reference shape.
+//! * [`KernelMode::Chunked`] (default) — contiguous runs processed in
+//!   blocks: elementwise loops (join) write whole runs with one budget
+//!   charge per [`KERNEL_BLOCK`] cells, and marginalization folds
+//!   contiguous runs through [`mpf_semiring::kernel::LANES`]-wide
+//!   accumulators with the fixed reduction tree of
+//!   [`mpf_semiring::kernel::reduce_lanes`]. The chunked fold shape is a
+//!   pure function of the run length — never of thread count or chunk
+//!   scheduling — so chunked results are bit-identical at any
+//!   `MPF_THREADS`. Across *modes*, join cells are identical bit for
+//!   bit (elementwise either way); marginalization agrees exactly for
+//!   the association-insensitive min/max-family semirings and within
+//!   floating-point tolerance for `SumProduct`/`LogSumProduct`.
+//!
+//! # Fused join→marginalize
+//!
+//! [`join_agg`] contracts a product join directly into the
+//! marginalization's output grid — the canonical VE elimination step —
+//! without materializing the intermediate join factor: each output cell
+//! folds `mul(a, b)` over its eliminated subgrid in the exact order the
+//! unfused join-then-agg pipeline would, so the fused result is
+//! bit-identical to the unfused dense pipeline under the same kernel
+//! mode, while peak memory drops from the union grid to the output
+//! grid.
 
-use mpf_semiring::SemiringKind;
+use mpf_semiring::kernel::{fold_run, reduce_lanes, SemiringOps, LANES};
+use mpf_semiring::for_each_semiring;
 use mpf_storage::dense::{grid_cells, is_odometer_ordered, strides_of};
 use mpf_storage::{DenseFactor, FunctionalRelation, Schema, VarId};
 
@@ -52,6 +88,13 @@ use crate::{ops, AlgebraError, ExecContext, Result};
 /// Minimum output cells before the dense kernels fan out to worker
 /// threads; below this the spawn cost dominates.
 pub const PARALLEL_MIN_CELLS: usize = 1 << 15;
+
+/// Cells per budget charge in the chunked elementwise kernels: large
+/// enough that guard traffic vanishes from the profile, small enough
+/// that a budget trip still stops an exploding operator within a few
+/// thousand cells of its cap (the scalar kernels trip within
+/// [`crate::limits::TICK_INTERVAL`]).
+pub(crate) const KERNEL_BLOCK: usize = 4096;
 
 /// Inputs at least this large switch to the cache-blocked kernel
 /// variants when their axis order conflicts with the output's (the
@@ -100,6 +143,46 @@ impl DenseMode {
     }
 }
 
+/// Which loop shape the dense (and aligned-coordinate sparse) kernels
+/// run, resolved per context (planner configs and tests set it
+/// explicitly; [`KernelMode::from_env`] is the default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelMode {
+    /// One cell at a time, budget guard polled per cell — the reference
+    /// shape, kept for parity testing and bisection.
+    Scalar,
+    /// Fixed-width lane chunking with block-granular budget charges —
+    /// the autovectorizing default. Deterministic reduction shape: see
+    /// the module docs.
+    #[default]
+    Chunked,
+}
+
+impl KernelMode {
+    /// Resolve from the `MPF_KERNEL` environment variable: `scalar` or
+    /// `chunked`; unset or unrecognized means [`KernelMode::Chunked`].
+    /// (Strict validation — reject rather than default — lives in
+    /// [`crate::config::validate_env`]; operators stay lenient so a
+    /// typo costs the fast shape, never a query.)
+    pub fn from_env() -> KernelMode {
+        match std::env::var("MPF_KERNEL") {
+            Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+                "scalar" => KernelMode::Scalar,
+                _ => KernelMode::Chunked,
+            },
+            Err(_) => KernelMode::Chunked,
+        }
+    }
+
+    /// The knob spelling, for trace spans and metrics.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelMode::Scalar => "scalar",
+            KernelMode::Chunked => "chunked",
+        }
+    }
+}
+
 /// The O(1) grid hint: for a relation whose rows are the odometer
 /// sequence of some grid — every dense-kernel product, and everything
 /// [`FunctionalRelation::complete`] builds — the *last* row is the grid's
@@ -115,6 +198,13 @@ impl DenseMode {
 fn ordered_grid_hint(rel: &FunctionalRelation) -> Option<Vec<u64>> {
     if rel.is_empty() {
         return None;
+    }
+    // Grid-certified relations (every dense-kernel product, everything
+    // `complete` builds) carry their domain vector outright — and reading
+    // the last row below would force them to materialize packed keys.
+    if let Some(g) = rel.grid_domains() {
+        let domains = g.to_vec();
+        return (grid_cells(&domains) == Some(rel.len() as u64)).then_some(domains);
     }
     let last = rel.row(rel.len() - 1);
     let domains: Vec<u64> = last.iter().map(|&v| v as u64 + 1).collect();
@@ -314,6 +404,7 @@ pub fn join(
         Some(out) => {
             let rel = from_dense(cx, out)?;
             cx.record_join_ex(&[l, r], &rel, crate::trace::OpRepr::Dense);
+            cx.note_kernel_op(cx.kernel_mode());
             Ok(rel)
         }
         None => ops::product_join(cx, l, r),
@@ -342,10 +433,307 @@ pub fn agg(
         Some(out) => {
             let rel = from_dense(cx, out)?;
             cx.record_group_by_ex(&[input], &rel, crate::trace::OpRepr::Dense);
+            cx.note_kernel_op(cx.kernel_mode());
             Ok(rel)
         }
         None => ops::group_by(cx, input, group_vars),
     }
+}
+
+/// Fused dense join→marginalize: contract the product join of `l` and
+/// `r` directly into the marginal's output grid, never materializing
+/// the intermediate join factor. Each output cell folds
+/// `mul(a, b)` over its eliminated subgrid in join-grid odometer order
+/// — exactly the order the unfused dense join-then-agg pipeline folds
+/// it under the same [`KernelMode`] — so the result is bit-identical to
+/// the unfused dense pipeline, while peak memory drops from the union
+/// grid to the output grid. Falls back to the fused hash operator
+/// ([`ops::join_group_by`], itself row- and bit-identical to hash
+/// join→group-by) when the inputs are not support-exact or the union
+/// grid is infeasible.
+pub fn join_agg(
+    cx: &mut ExecContext<'_>,
+    l: &FunctionalRelation,
+    r: &FunctionalRelation,
+    group_vars: &[VarId],
+) -> Result<FunctionalRelation> {
+    cx.fault("dense::join_agg")?;
+    for &v in group_vars {
+        if !l.schema().contains(v) && !r.schema().contains(v) {
+            return Err(AlgebraError::GroupVarNotInInput(v));
+        }
+    }
+    let (Some(ld), Some(rd)) = (ordered_grid_hint(l), ordered_grid_hint(r)) else {
+        return ops::join_group_by(cx, l, r, group_vars);
+    };
+    if !shared_domains_agree(l, r, &ld, &rd) {
+        return ops::join_group_by(cx, l, r, group_vars);
+    }
+    match join_agg_impl(cx, l, r, group_vars, &ld, &rd)? {
+        Some(out) => {
+            let rel = from_dense(cx, out)?;
+            cx.record_join_agg_ex(&[l, r], &rel, crate::trace::OpRepr::Dense);
+            cx.note_kernel_op(cx.kernel_mode());
+            Ok(rel)
+        }
+        None => ops::join_group_by(cx, l, r, group_vars),
+    }
+}
+
+/// [`join_agg`] dispatched through the context's [`DenseMode`]: the
+/// fused dense kernel when it applies, else the fused hash operator.
+/// This is the interpreter's entry point for the planner's `JoinAgg`
+/// nodes.
+pub fn join_agg_auto(
+    cx: &mut ExecContext<'_>,
+    l: &FunctionalRelation,
+    r: &FunctionalRelation,
+    group_vars: &[VarId],
+) -> Result<FunctionalRelation> {
+    match cx.dense_mode() {
+        DenseMode::Off => ops::join_group_by(cx, l, r, group_vars),
+        DenseMode::On | DenseMode::Auto => join_agg(cx, l, r, group_vars),
+    }
+}
+
+/// Per-variable odometer step for the fused kernel: the variable's
+/// domain (in the join grid) and its stride in each input (0 when the
+/// input lacks it — the broadcast, exactly as in [`JoinDim`]).
+struct FusedDim {
+    dom: u64,
+    sa: usize,
+    sb: usize,
+}
+
+fn join_agg_impl(
+    cx: &mut ExecContext<'_>,
+    l: &FunctionalRelation,
+    r: &FunctionalRelation,
+    group_vars: &[VarId],
+    ld: &[u64],
+    rd: &[u64],
+) -> Result<Option<DenseFactor>> {
+    let join_schema = l.schema().union(r.schema());
+    let join_domains = union_domains(l, r, &join_schema, ld, rd);
+    let Some(join_cells_total) = grid_cells(&join_domains) else {
+        return Ok(None);
+    };
+    let side_domains = |s: &Schema| -> Vec<u64> {
+        s.iter()
+            .map(|v| join_domains[join_schema.position(v).expect("var in union")])
+            .collect()
+    };
+    let Some(a) = dense_input(cx, l, &side_domains(l.schema()))? else {
+        return Ok(None);
+    };
+    let Some(b) = dense_input(cx, r, &side_domains(r.schema()))? else {
+        return Ok(None);
+    };
+
+    let out_schema = Schema::new(group_vars.to_vec())?;
+    let out_domains: Vec<u64> = group_vars
+        .iter()
+        .map(|&v| join_domains[join_schema.position(v).expect("validated")])
+        .collect();
+    let name = format!("γ({}⨝*{})", l.name(), r.name());
+    let Some(mut out) = DenseFactor::filled(name, out_schema.clone(), out_domains, 0.0) else {
+        return Ok(None);
+    };
+    let stride_in = |v: VarId, s: &Schema, strides: &[u64]| -> usize {
+        s.position(v).ok().map_or(0, |p| strides[p] as usize)
+    };
+    // Group axes in output-schema order; eliminated axes in join-schema
+    // order — the intermediate factor's fold order, which keeps the
+    // fused result bit-identical to the unfused dense pipeline.
+    let gdims: Vec<FusedDim> = group_vars
+        .iter()
+        .enumerate()
+        .map(|(j, &v)| FusedDim {
+            dom: out.domains()[j],
+            sa: stride_in(v, l.schema(), &a.strides),
+            sb: stride_in(v, r.schema(), &b.strides),
+        })
+        .collect();
+    let edims: Vec<FusedDim> = join_schema
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| !group_vars.contains(v))
+        .map(|(p, v)| FusedDim {
+            dom: join_domains[p],
+            sa: stride_in(v, l.schema(), &a.strides),
+            sb: stride_in(v, r.schema(), &b.strides),
+        })
+        .collect();
+    let out_strides = out.strides().to_vec();
+
+    let sr = cx.semiring();
+    let mode = cx.kernel_mode();
+    let arity = out_schema.arity();
+    let threads = cx.threads();
+    let budget = cx.budget();
+    let total = out.len();
+    // The lane-fold gate must mirror the unfused agg's (`selast == 1` on
+    // the intermediate grid): the innermost eliminated run is contiguous
+    // there exactly when the join grid's innermost axis is eliminated.
+    let lane_ok = join_schema
+        .iter()
+        .last()
+        .is_some_and(|v| !group_vars.contains(&v));
+    let workers = if join_cells_total >= PARALLEL_MIN_CELLS as u64 && total > 1 {
+        threads.max(1)
+    } else {
+        1
+    };
+    if workers <= 1 {
+        for_each_semiring!(sr, join_agg_cells(
+            a.values, b.values, &gdims, &out_strides, &edims, 0, out.values_mut(),
+            budget, arity, mode, lane_ok,
+        ))?;
+    } else {
+        // Chunk along output axis 0, as the unfused kernels do: each
+        // worker owns a contiguous output slice and every cell's fold
+        // runs entirely in one worker, so results are thread-invariant.
+        let stride0 = out_strides[0] as usize;
+        let workers = workers.min(gdims[0].dom as usize).max(1);
+        let chunk_rows = gdims[0].dom.div_ceil(workers as u64);
+        let chunk = chunk_rows as usize * stride0;
+        let results: Vec<Result<()>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = out
+                .values_mut()
+                .chunks_mut(chunk)
+                .enumerate()
+                .map(|(i, slice)| {
+                    let (gdims, edims, out_strides) = (&gdims, &edims, &out_strides);
+                    let (av, bv) = (a.values, b.values);
+                    scope.spawn(move || {
+                        for_each_semiring!(sr, join_agg_cells(
+                            av, bv, gdims, out_strides, edims, i * chunk, slice, budget,
+                            arity, mode, lane_ok,
+                        ))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or_else(|_| {
+                        Err(AlgebraError::Internal("dense join-agg worker panicked".into()))
+                    })
+                })
+                .collect()
+        });
+        for r in results {
+            r?;
+        }
+        if let Some(b) = budget {
+            b.check_rows(total as u64)?;
+            b.checkpoint()?;
+        }
+    }
+    Ok(Some(out))
+}
+
+/// Fused contraction kernel over one contiguous output-cell range: the
+/// [`agg_cells`] fold with the intermediate's value computed on the fly
+/// as `mul(a, b)` through two strided odometers. `lane_ok` marks the
+/// layouts whose unfused counterpart would lane-fold (contiguous
+/// innermost eliminated runs); [`fold_products`] then reproduces
+/// [`fold_run`]'s exact shape over the same value sequence, keeping
+/// fused and unfused results bit-identical in both kernel modes.
+#[allow(clippy::too_many_arguments)]
+fn join_agg_cells<S: SemiringOps>(
+    av: &[f64],
+    bv: &[f64],
+    gdims: &[FusedDim],
+    out_strides: &[u64],
+    edims: &[FusedDim],
+    start: usize,
+    out: &mut [f64],
+    budget: Option<&ExecBudget>,
+    arity: usize,
+    mode: KernelMode,
+    lane_ok: bool,
+) -> Result<()> {
+    let mut guard = OpGuard::new(budget, arity);
+    let k = gdims.len();
+    let mut coords = vec![0u64; k];
+    let (mut abase, mut bbase) = (0usize, 0usize);
+    let mut rem = start as u64;
+    for j in 0..k {
+        let c = rem / out_strides[j];
+        rem %= out_strides[j];
+        coords[j] = c;
+        abase += c as usize * gdims[j].sa;
+        bbase += c as usize * gdims[j].sb;
+    }
+    let ecells: u64 = edims.iter().map(|d| d.dom).product();
+    let ek = edims.len();
+    let (delast, sal, sbl) = if ek == 0 {
+        (1u64, 0usize, 0usize)
+    } else {
+        (edims[ek - 1].dom, edims[ek - 1].sa, edims[ek - 1].sb)
+    };
+    let eruns = ecells.checked_div(delast).unwrap_or(0);
+    let mut ecoords = vec![0u64; ek.saturating_sub(1)];
+    let lane = mode == KernelMode::Chunked && lane_ok && ek > 0;
+    for slot in out.iter_mut() {
+        guard.poll()?;
+        let mut acc = if lane {
+            fold_products::<S>(av, abase, sal, bv, bbase, sbl, delast as usize)
+        } else {
+            let mut acc = S::mul(av[abase], bv[bbase]);
+            for j in 1..delast as usize {
+                acc = S::add(acc, S::mul(av[abase + j * sal], bv[bbase + j * sbl]));
+            }
+            acc
+        };
+        let (mut ea, mut eb) = (0usize, 0usize);
+        for _ in 1..eruns {
+            for j in (0..ek - 1).rev() {
+                ecoords[j] += 1;
+                ea += edims[j].sa;
+                eb += edims[j].sb;
+                if ecoords[j] < edims[j].dom {
+                    break;
+                }
+                ecoords[j] = 0;
+                ea -= edims[j].sa * edims[j].dom as usize;
+                eb -= edims[j].sb * edims[j].dom as usize;
+            }
+            let (ra, rb) = (abase + ea, bbase + eb);
+            if lane {
+                acc = S::add(acc, fold_products::<S>(av, ra, sal, bv, rb, sbl, delast as usize));
+            } else {
+                for j in 0..delast as usize {
+                    acc = S::add(acc, S::mul(av[ra + j * sal], bv[rb + j * sbl]));
+                }
+            }
+        }
+        for e in ecoords.iter_mut() {
+            *e = 0;
+        }
+        if !S::KIND.is_valid_accumulation(acc) {
+            return Err(AlgebraError::NonFiniteMeasure {
+                op: "dense::join_agg",
+                value: acc,
+            });
+        }
+        *slot = acc;
+        guard.produced()?;
+        for j in (0..k).rev() {
+            coords[j] += 1;
+            abase += gdims[j].sa;
+            bbase += gdims[j].sb;
+            if coords[j] < gdims[j].dom {
+                break;
+            }
+            coords[j] = 0;
+            abase -= gdims[j].sa * gdims[j].dom as usize;
+            bbase -= gdims[j].sb * gdims[j].dom as usize;
+        }
+    }
+    guard.finish()?;
+    Ok(())
 }
 
 /// The union grid: for each output variable, the larger of the two
@@ -375,6 +763,98 @@ struct JoinDim {
     dom: u64,
     sa: usize,
     sb: usize,
+}
+
+/// Elementwise product of one contiguous output run, specialized per
+/// input-stride pattern so the common broadcast shapes ((1,1), (1,0),
+/// (0,1)) compile to vector loops. Every branch computes the same
+/// values in the same cells — the specialization is for the compiler,
+/// not the semantics.
+#[inline(always)]
+fn write_products<S: SemiringOps>(
+    av: &[f64],
+    ai: usize,
+    sal: usize,
+    bv: &[f64],
+    bi: usize,
+    sbl: usize,
+    out: &mut [f64],
+) {
+    match (sal, sbl) {
+        (1, 1) => {
+            let (xs, ys) = (&av[ai..ai + out.len()], &bv[bi..bi + out.len()]);
+            for (t, slot) in out.iter_mut().enumerate() {
+                *slot = S::mul(xs[t], ys[t]);
+            }
+        }
+        (1, 0) => {
+            let (xs, y) = (&av[ai..ai + out.len()], bv[bi]);
+            for (t, slot) in out.iter_mut().enumerate() {
+                *slot = S::mul(xs[t], y);
+            }
+        }
+        (0, 1) => {
+            let (x, ys) = (av[ai], &bv[bi..bi + out.len()]);
+            for (t, slot) in out.iter_mut().enumerate() {
+                *slot = S::mul(x, ys[t]);
+            }
+        }
+        _ => {
+            for (t, slot) in out.iter_mut().enumerate() {
+                *slot = S::mul(av[ai + t * sal], bv[bi + t * sbl]);
+            }
+        }
+    }
+}
+
+/// Chunked fold of `add(mul(a, b))` over one eliminated run of length
+/// `n`: [`LANES`] independent accumulators seeded with the additive
+/// identity, combined by the fixed [`reduce_lanes`] tree, remainder
+/// folded last — the same shape (and therefore the same bits) as
+/// [`fold_run`] over the materialized products, which is what the
+/// unfused chunked pipeline computes. The shape depends only on `n`.
+#[inline(always)]
+fn fold_products<S: SemiringOps>(
+    av: &[f64],
+    ai: usize,
+    sal: usize,
+    bv: &[f64],
+    bi: usize,
+    sbl: usize,
+    n: usize,
+) -> f64 {
+    #[inline(always)]
+    fn go<S: SemiringOps>(n: usize, f: impl Fn(usize) -> f64) -> f64 {
+        let mut lanes = [S::ZERO; LANES];
+        let mut t = 0usize;
+        while t + LANES <= n {
+            for (q, lane) in lanes.iter_mut().enumerate() {
+                *lane = S::add(*lane, f(t + q));
+            }
+            t += LANES;
+        }
+        let mut acc = reduce_lanes::<S>(lanes);
+        while t < n {
+            acc = S::add(acc, f(t));
+            t += 1;
+        }
+        acc
+    }
+    match (sal, sbl) {
+        (1, 1) => {
+            let (xs, ys) = (&av[ai..ai + n], &bv[bi..bi + n]);
+            go::<S>(n, |t| S::mul(xs[t], ys[t]))
+        }
+        (1, 0) => {
+            let (xs, y) = (&av[ai..ai + n], bv[bi]);
+            go::<S>(n, |t| S::mul(xs[t], y))
+        }
+        (0, 1) => {
+            let (x, ys) = (av[ai], &bv[bi..bi + n]);
+            go::<S>(n, |t| S::mul(x, ys[t]))
+        }
+        _ => go::<S>(n, |t| S::mul(av[ai + t * sal], bv[bi + t * sbl])),
+    }
 }
 
 fn join_impl(
@@ -419,6 +899,7 @@ fn join_impl(
     let out_strides = out.strides().to_vec();
 
     let sr = cx.semiring();
+    let mode = cx.kernel_mode();
     let arity = out_schema.arity();
     let threads = cx.threads();
     let budget = cx.budget();
@@ -427,14 +908,14 @@ fn join_impl(
     let workers = if total >= PARALLEL_MIN_CELLS { threads.max(1) } else { 1 };
     if workers <= 1 {
         match tiled {
-            Some((x, y)) => join_cells_tiled(
-                sr, a.values, b.values, &dims, &out_strides, x, y,
-                0, dims[0].dom, out.values_mut(), budget, arity,
-            )?,
-            None => join_cells(
-                sr, a.values, b.values, &dims, &out_strides, 0,
-                out.values_mut(), budget, arity,
-            )?,
+            Some((x, y)) => for_each_semiring!(sr, join_cells_tiled(
+                a.values, b.values, &dims, &out_strides, x, y,
+                0, dims[0].dom, out.values_mut(), budget, arity, mode,
+            ))?,
+            None => for_each_semiring!(sr, join_cells(
+                a.values, b.values, &dims, &out_strides, 0,
+                out.values_mut(), budget, arity, mode,
+            ))?,
         }
     } else if let Some((x, y)) = tiled {
         // Blocked kernel: chunk along the output's first axis, so each
@@ -454,9 +935,10 @@ fn join_impl(
                     let lo0 = i as u64 * chunk_rows;
                     let hi0 = (lo0 + chunk_rows).min(dims[0].dom);
                     scope.spawn(move || {
-                        join_cells_tiled(
-                            sr, av, bv, dims, out_strides, x, y, lo0, hi0, slice, budget, arity,
-                        )
+                        for_each_semiring!(sr, join_cells_tiled(
+                            av, bv, dims, out_strides, x, y, lo0, hi0, slice, budget, arity,
+                            mode,
+                        ))
                     })
                 })
                 .collect();
@@ -487,7 +969,9 @@ fn join_impl(
                     let (dims, out_strides) = (&dims, &out_strides);
                     let (av, bv) = (a.values, b.values);
                     scope.spawn(move || {
-                        join_cells(sr, av, bv, dims, out_strides, i * chunk, slice, budget, arity)
+                        for_each_semiring!(sr, join_cells(
+                            av, bv, dims, out_strides, i * chunk, slice, budget, arity, mode,
+                        ))
                     })
                 })
                 .collect();
@@ -546,10 +1030,11 @@ fn tile_axes(dims: &[JoinDim], a_len: usize, b_len: usize) -> Option<(usize, usi
 /// are iterated in [`TILE`]×[`TILE`] tiles; the remaining axes run as an
 /// outer odometer. Every cell computes the same value as the flat kernel
 /// — only the visit order changes, which the budget (a count) and the
-/// output (one write per cell) cannot observe.
+/// output (one write per cell) cannot observe. Chunked mode writes each
+/// tile row as one run ([`write_products`]) with a single budget charge;
+/// the cell values are identical either way.
 #[allow(clippy::too_many_arguments)]
-fn join_cells_tiled(
-    sr: SemiringKind,
+fn join_cells_tiled<S: SemiringOps>(
     av: &[f64],
     bv: &[f64],
     dims: &[JoinDim],
@@ -561,6 +1046,7 @@ fn join_cells_tiled(
     out: &mut [f64],
     budget: Option<&ExecBudget>,
     arity: usize,
+    mode: KernelMode,
 ) -> Result<()> {
     let mut guard = OpGuard::new(budget, arity);
     let k = dims.len();
@@ -593,10 +1079,27 @@ fn join_cells_tiled(
                     let ra = ma + yl as usize * say + x0 as usize * sax;
                     let rb = mb + yl as usize * sby + x0 as usize * sbx;
                     let ro = mo + yl as usize * soy + x0 as usize * sox - box_base;
-                    for xi in 0..(xend - x0) as usize {
-                        guard.poll()?;
-                        out[ro + xi * sox] = sr.mul(av[ra + xi * sax], bv[rb + xi * sbx]);
-                        guard.produced()?;
+                    let n = (xend - x0) as usize;
+                    match mode {
+                        KernelMode::Scalar => {
+                            for xi in 0..n {
+                                guard.poll()?;
+                                out[ro + xi * sox] = S::mul(av[ra + xi * sax], bv[rb + xi * sbx]);
+                                guard.produced()?;
+                            }
+                        }
+                        KernelMode::Chunked => {
+                            guard.poll()?;
+                            if sox == 1 {
+                                write_products::<S>(av, ra, sax, bv, rb, sbx, &mut out[ro..ro + n]);
+                            } else {
+                                for xi in 0..n {
+                                    out[ro + xi * sox] =
+                                        S::mul(av[ra + xi * sax], bv[rb + xi * sbx]);
+                                }
+                            }
+                            guard.produced_many(n as u64)?;
+                        }
                     }
                 }
                 x0 = xend;
@@ -626,9 +1129,12 @@ fn join_cells_tiled(
 /// Join kernel over one contiguous output-cell range: an incremental
 /// odometer advances both input offsets per cell (no division in the
 /// loop); `start` seeds the coordinates for chunked parallel runs.
+/// Chunked mode writes each innermost run in [`KERNEL_BLOCK`]-cell
+/// blocks through [`write_products`]; the cell values are identical to
+/// the scalar shape (the join is elementwise — there is nothing to
+/// reassociate).
 #[allow(clippy::too_many_arguments)]
-fn join_cells(
-    sr: SemiringKind,
+fn join_cells<S: SemiringOps>(
     av: &[f64],
     bv: &[f64],
     dims: &[JoinDim],
@@ -637,6 +1143,7 @@ fn join_cells(
     out: &mut [f64],
     budget: Option<&ExecBudget>,
     arity: usize,
+    mode: KernelMode,
 ) -> Result<()> {
     let mut guard = OpGuard::new(budget, arity);
     let k = dims.len();
@@ -653,7 +1160,7 @@ fn join_cells(
     if k == 0 {
         for slot in out.iter_mut() {
             guard.poll()?;
-            *slot = sr.mul(av[0], bv[0]);
+            *slot = S::mul(av[0], bv[0]);
             guard.produced()?;
         }
         guard.finish()?;
@@ -665,12 +1172,28 @@ fn join_cells(
     let mut idx = 0usize;
     while idx < out.len() {
         let run = ((dlast - coords[k - 1]) as usize).min(out.len() - idx);
-        for slot in &mut out[idx..idx + run] {
-            guard.poll()?;
-            *slot = sr.mul(av[ai], bv[bi]);
-            guard.produced()?;
-            ai += sal;
-            bi += sbl;
+        match mode {
+            KernelMode::Scalar => {
+                for slot in &mut out[idx..idx + run] {
+                    guard.poll()?;
+                    *slot = S::mul(av[ai], bv[bi]);
+                    guard.produced()?;
+                    ai += sal;
+                    bi += sbl;
+                }
+            }
+            KernelMode::Chunked => {
+                let mut done = 0usize;
+                while done < run {
+                    let n = (run - done).min(KERNEL_BLOCK);
+                    guard.poll()?;
+                    write_products::<S>(av, ai, sal, bv, bi, sbl, &mut out[idx + done..idx + done + n]);
+                    ai += sal * n;
+                    bi += sbl * n;
+                    guard.produced_many(n as u64)?;
+                    done += n;
+                }
+            }
         }
         idx += run;
         coords[k - 1] += run as u64;
@@ -738,6 +1261,7 @@ fn agg_impl(
     let out_strides = out.strides().to_vec();
 
     let sr = cx.semiring();
+    let mode = cx.kernel_mode();
     let arity = out_schema.arity();
     let threads = cx.threads();
     let budget = cx.budget();
@@ -756,13 +1280,13 @@ fn agg_impl(
     let workers = if in_cells >= PARALLEL_MIN_CELLS && total > 1 { threads.max(1) } else { 1 };
     if workers <= 1 {
         if input_major {
-            agg_cells_input_major(
-                sr, a.values, &gdims, &edims, 0, gdims[0].0, out.values_mut(), budget, arity,
-            )?;
+            for_each_semiring!(sr, agg_cells_input_major(
+                a.values, &gdims, &edims, 0, gdims[0].0, out.values_mut(), budget, arity, mode,
+            ))?;
         } else {
-            agg_cells(
-                sr, a.values, &gdims, &out_strides, &edims, 0, out.values_mut(), budget, arity,
-            )?;
+            for_each_semiring!(sr, agg_cells(
+                a.values, &gdims, &out_strides, &edims, 0, out.values_mut(), budget, arity, mode,
+            ))?;
         }
     } else if input_major {
         // Chunk along output axis 0: each worker accumulates its own
@@ -783,9 +1307,9 @@ fn agg_impl(
                     let lo0 = i as u64 * chunk_rows;
                     let hi0 = (lo0 + chunk_rows).min(gdims[0].0);
                     scope.spawn(move || {
-                        agg_cells_input_major(
-                            sr, av, gdims, edims, lo0, hi0, slice, budget, arity,
-                        )
+                        for_each_semiring!(sr, agg_cells_input_major(
+                            av, gdims, edims, lo0, hi0, slice, budget, arity, mode,
+                        ))
                     })
                 })
                 .collect();
@@ -816,7 +1340,9 @@ fn agg_impl(
                     let (gdims, edims, out_strides) = (&gdims, &edims, &out_strides);
                     let av = a.values;
                     scope.spawn(move || {
-                        agg_cells(sr, av, gdims, out_strides, edims, i * chunk, slice, budget, arity)
+                        for_each_semiring!(sr, agg_cells(
+                            av, gdims, out_strides, edims, i * chunk, slice, budget, arity, mode,
+                        ))
                     })
                 })
                 .collect();
@@ -844,13 +1370,14 @@ fn agg_impl(
 /// ranges in `[lo0, hi0)`: one pass over the group grid per eliminated
 /// combination, in ascending eliminated-odometer order. Every output
 /// cell therefore receives exactly the values the per-cell fold of
-/// [`agg_cells`] would give it, in the same order — bit-identical — but
-/// both arrays are walked along the input's short strides. Validation
-/// and budget charges happen once per output cell at the end, like the
-/// per-cell kernel's.
+/// [`agg_cells`]'s scalar shape would give it, in the same order —
+/// bit-identical in *both* kernel modes (the passes are elementwise, so
+/// chunking changes the loop structure, never the per-cell add order) —
+/// but both arrays are walked along the input's short strides.
+/// Validation and budget charges happen once per output cell at the
+/// end, like the per-cell kernel's.
 #[allow(clippy::too_many_arguments)]
-fn agg_cells_input_major(
-    sr: SemiringKind,
+fn agg_cells_input_major<S: SemiringOps>(
     av: &[f64],
     gdims: &[(u64, usize)],
     edims: &[(u64, usize)],
@@ -859,6 +1386,7 @@ fn agg_cells_input_major(
     out: &mut [f64],
     budget: Option<&ExecBudget>,
     arity: usize,
+    mode: KernelMode,
 ) -> Result<()> {
     let mut guard = OpGuard::new(budget, arity);
     let k = gdims.len();
@@ -867,6 +1395,8 @@ fn agg_cells_input_major(
     let mut eoff = 0usize;
     let mut gcoords: Vec<u64> = (0..k).map(|j| if j == 0 { lo0 } else { 0 }).collect();
     let mut goff = lo0 as usize * gdims[0].1;
+    let (lo_last, hi_last) = if k == 1 { (lo0, hi0) } else { (0, gdims[k - 1].0) };
+    let glast = gdims[k - 1].1;
     for pass in 0..ecells {
         if pass > 0 {
             for j in (0..edims.len()).rev() {
@@ -881,24 +1411,76 @@ fn agg_cells_input_major(
         }
         // The group odometer walks the box in output order (so `out` is
         // written sequentially) and wraps back to the box origin.
-        for slot in out.iter_mut() {
-            guard.poll()?;
-            let v = av[eoff + goff];
-            *slot = if pass == 0 { v } else { sr.add(*slot, v) };
-            for j in (0..k).rev() {
-                gcoords[j] += 1;
-                goff += gdims[j].1;
-                let (lo, hi) = if j == 0 { (lo0, hi0) } else { (0, gdims[j].0) };
-                if gcoords[j] < hi {
-                    break;
+        match mode {
+            KernelMode::Scalar => {
+                for slot in out.iter_mut() {
+                    guard.poll()?;
+                    let v = av[eoff + goff];
+                    *slot = if pass == 0 { v } else { S::add(*slot, v) };
+                    for j in (0..k).rev() {
+                        gcoords[j] += 1;
+                        goff += gdims[j].1;
+                        let (lo, hi) = if j == 0 { (lo0, hi0) } else { (0, gdims[j].0) };
+                        if gcoords[j] < hi {
+                            break;
+                        }
+                        gcoords[j] = lo;
+                        goff -= gdims[j].1 * (hi - lo) as usize;
+                    }
                 }
-                gcoords[j] = lo;
-                goff -= gdims[j].1 * (hi - lo) as usize;
+            }
+            KernelMode::Chunked => {
+                // Runs along the innermost group axis: contiguous in the
+                // output, stride `glast` in the input (1 in the motivating
+                // grouped-on-stride-1-axis case, where both sides
+                // vectorize).
+                let mut s = 0usize;
+                while s < out.len() {
+                    let run = ((hi_last - gcoords[k - 1]) as usize).min(out.len() - s);
+                    guard.poll()?;
+                    let src = eoff + goff;
+                    let dst = &mut out[s..s + run];
+                    if glast == 1 {
+                        let xs = &av[src..src + run];
+                        if pass == 0 {
+                            dst.copy_from_slice(xs);
+                        } else {
+                            for (t, slot) in dst.iter_mut().enumerate() {
+                                *slot = S::add(*slot, xs[t]);
+                            }
+                        }
+                    } else if pass == 0 {
+                        for (t, slot) in dst.iter_mut().enumerate() {
+                            *slot = av[src + t * glast];
+                        }
+                    } else {
+                        for (t, slot) in dst.iter_mut().enumerate() {
+                            *slot = S::add(*slot, av[src + t * glast]);
+                        }
+                    }
+                    s += run;
+                    gcoords[k - 1] += run as u64;
+                    goff += glast * run;
+                    if gcoords[k - 1] == hi_last {
+                        gcoords[k - 1] = lo_last;
+                        goff -= glast * (hi_last - lo_last) as usize;
+                        for j in (0..k - 1).rev() {
+                            gcoords[j] += 1;
+                            goff += gdims[j].1;
+                            let (lo, hi) = if j == 0 { (lo0, hi0) } else { (0, gdims[j].0) };
+                            if gcoords[j] < hi {
+                                break;
+                            }
+                            gcoords[j] = lo;
+                            goff -= gdims[j].1 * (hi - lo) as usize;
+                        }
+                    }
+                }
             }
         }
     }
     for slot in out.iter() {
-        if !sr.is_valid_accumulation(*slot) {
+        if !S::KIND.is_valid_accumulation(*slot) {
             return Err(AlgebraError::NonFiniteMeasure {
                 op: "dense::agg",
                 value: *slot,
@@ -911,16 +1493,20 @@ fn agg_cells_input_major(
 }
 
 /// Aggregation kernel over one contiguous output-cell range. Each cell
-/// folds its eliminated subgrid in input-schema odometer order — the same
-/// order the rows of that group appear in a complete relation, so the
-/// fold matches the sparse operator's accumulation order exactly. The
-/// accumulator is validated once per cell: an invalid intermediate
-/// (overflow to ∞, or ∞ − ∞ = NaN) can only end in an invalid final
-/// value in these semirings, so the per-cell check catches everything the
-/// sparse per-accumulation check does.
+/// folds its eliminated subgrid in input-schema odometer order — in
+/// scalar mode, the same left-to-right order the rows of that group
+/// appear in a complete relation, so the fold matches the sparse
+/// operator's accumulation order exactly. Chunked mode folds each
+/// contiguous innermost run (eliminated stride 1) through [`fold_run`]'s
+/// lane accumulators instead — a different association whose shape is a
+/// pure function of the run length, so results stay bit-identical at any
+/// thread count (and exactly equal to scalar for the min/max-family
+/// semirings). The accumulator is validated once per cell: an invalid
+/// intermediate (overflow to ∞, or ∞ − ∞ = NaN) can only end in an
+/// invalid final value in these semirings, so the per-cell check catches
+/// everything the sparse per-accumulation check does.
 #[allow(clippy::too_many_arguments)]
-fn agg_cells(
-    sr: SemiringKind,
+fn agg_cells<S: SemiringOps>(
     av: &[f64],
     gdims: &[(u64, usize)],
     out_strides: &[u64],
@@ -929,6 +1515,7 @@ fn agg_cells(
     out: &mut [f64],
     budget: Option<&ExecBudget>,
     arity: usize,
+    mode: KernelMode,
 ) -> Result<()> {
     let mut guard = OpGuard::new(budget, arity);
     let k = gdims.len();
@@ -949,14 +1536,23 @@ fn agg_cells(
     let (delast, selast) = if ek == 0 { (1u64, 0usize) } else { edims[ek - 1] };
     let eruns = ecells.checked_div(delast).unwrap_or(0);
     let mut ecoords = vec![0u64; ek.saturating_sub(1)];
+    // Lane-fold only contiguous runs: strided gathers defeat the point,
+    // and matching the unfused/fused shapes requires the gate to be a
+    // property of the data layout, not the run values.
+    let lane = mode == KernelMode::Chunked && selast == 1;
     for slot in out.iter_mut() {
         guard.poll()?;
         // Seed with the first value (the sparse operator pushes a group's
         // first row unaggregated), then fold the rest in odometer order.
-        let mut acc = av[base];
-        for j in 1..delast as usize {
-            acc = sr.add(acc, av[base + j * selast]);
-        }
+        let mut acc = if lane {
+            fold_run::<S>(&av[base..base + delast as usize])
+        } else {
+            let mut acc = av[base];
+            for j in 1..delast as usize {
+                acc = S::add(acc, av[base + j * selast]);
+            }
+            acc
+        };
         let mut ebase = 0usize;
         for _ in 1..eruns {
             for j in (0..ek - 1).rev() {
@@ -969,14 +1565,18 @@ fn agg_cells(
                 ebase -= edims[j].1 * edims[j].0 as usize;
             }
             let rbase = base + ebase;
-            for j in 0..delast as usize {
-                acc = sr.add(acc, av[rbase + j * selast]);
+            if lane {
+                acc = S::add(acc, fold_run::<S>(&av[rbase..rbase + delast as usize]));
+            } else {
+                for j in 0..delast as usize {
+                    acc = S::add(acc, av[rbase + j * selast]);
+                }
             }
         }
         for e in ecoords.iter_mut() {
             *e = 0;
         }
-        if !sr.is_valid_accumulation(acc) {
+        if !S::KIND.is_valid_accumulation(acc) {
             return Err(AlgebraError::NonFiniteMeasure {
                 op: "dense::agg",
                 value: acc,
@@ -1001,6 +1601,7 @@ fn agg_cells(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mpf_semiring::SemiringKind;
     use mpf_storage::{Catalog, Schema};
 
     fn fixtures() -> (Catalog, FunctionalRelation, FunctionalRelation) {

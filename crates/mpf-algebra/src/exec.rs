@@ -233,6 +233,16 @@ impl<'a, P: RelationProvider + Sync> Executor<'a, P> {
                 };
                 Ok(Cow::Owned(out))
             }
+            PhysicalPlan::JoinAgg {
+                left,
+                right,
+                group_vars,
+            } => {
+                let (l, r) = self.run_inputs(cx, left, right)?;
+                Ok(Cow::Owned(crate::dense::join_agg_auto(
+                    cx, &l, &r, group_vars,
+                )?))
+            }
         }
     }
 
@@ -316,6 +326,12 @@ fn span_desc(plan: &PhysicalPlan, threads: usize) -> SpanDesc {
             workers: matches!(algo, AggAlgo::ParallelAgg { .. }).then_some(threads),
             repr: OpRepr::Rows,
         },
+        // The fused contraction accounts through `record_join_agg_ex`,
+        // which records under the GroupBy kind (the node's output is the
+        // marginal) and tags the span `fused=true` at run time.
+        PhysicalPlan::JoinAgg { .. } => {
+            SpanDesc::op(SpanKind::GroupBy, "JoinAgg (Fused)")
+        }
     }
 }
 

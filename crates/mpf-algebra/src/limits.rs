@@ -374,6 +374,26 @@ impl<'a> OpGuard<'a> {
         Ok(())
     }
 
+    /// Count `n` emitted output rows at once — the block-granular
+    /// equivalent of `n` calls to [`OpGuard::produced`], used by the
+    /// chunked dense kernels whose inner loops run guard-free over
+    /// contiguous runs. Flushes on the same cumulative-row thresholds,
+    /// so a budget trip reports the same observed row count either way
+    /// (callers pass blocks well under [`TICK_INTERVAL`] multiples, e.g.
+    /// one tile row or a few thousand cells at a time).
+    #[inline]
+    pub fn produced_many(&mut self, n: u64) -> Result<()> {
+        if let Some(budget) = self.budget {
+            self.rows += n;
+            self.pending_rows = self.pending_rows.saturating_add(n.min(u32::MAX as u64) as u32);
+            if self.pending_rows >= TICK_INTERVAL {
+                self.flush(budget)?;
+            }
+            self.poll_budget(budget)?;
+        }
+        Ok(())
+    }
+
     /// Settle outstanding charges; call once before returning the
     /// operator's output.
     pub fn finish(mut self) -> Result<()> {

@@ -181,6 +181,119 @@ pub(crate) fn group_by_impl(
     Ok(out)
 }
 
+/// Fused join→marginalize: `GroupBy_X(l ⨝* r)` computed in one pass,
+/// folding each join match straight into its group accumulator without
+/// materializing the intermediate join — the canonical VE elimination
+/// step, where `X` drops the join-only variables.
+///
+/// Bit-identical to the unfused hash pipeline: the probe loop visits
+/// matches in exactly [`product_join`]'s order (build = smaller side,
+/// probe-major emission, `mul(probe, build)`), and groups accumulate in
+/// production order with first-occurrence output order, exactly like
+/// [`group_by`]. Only the budget differs — the join intermediate is
+/// never charged, which is the point of fusing.
+pub fn join_group_by(
+    cx: &mut ExecContext<'_>,
+    l: &FunctionalRelation,
+    r: &FunctionalRelation,
+    group_vars: &[VarId],
+) -> Result<FunctionalRelation> {
+    cx.fault("join_group_by")?;
+    let out = join_group_by_impl(cx.semiring(), l, r, group_vars, cx.budget())?;
+    cx.record_join_agg_ex(&[l, r], &out, crate::trace::OpRepr::Rows);
+    Ok(out)
+}
+
+/// [`join_group_by`] body: budget-guarded, no fault site or accounting.
+fn join_group_by_impl(
+    sr: SemiringKind,
+    l: &FunctionalRelation,
+    r: &FunctionalRelation,
+    group_vars: &[VarId],
+    budget: Option<&ExecBudget>,
+) -> Result<FunctionalRelation> {
+    for &v in group_vars {
+        if !l.schema().contains(v) && !r.schema().contains(v) {
+            return Err(AlgebraError::GroupVarNotInInput(v));
+        }
+    }
+    let out_schema = Schema::new(group_vars.to_vec())?;
+    let mut guard = OpGuard::new(budget, out_schema.arity());
+    let shared = l.schema().intersect(r.schema());
+
+    // Same build/probe choice as the unfused join, so the match order —
+    // and therefore the accumulation order — is identical.
+    let (build, probe) = if l.len() <= r.len() { (l, r) } else { (r, l) };
+    let build_shared = build.schema().positions(shared.vars())?;
+    let probe_shared = probe.schema().positions(shared.vars())?;
+
+    enum Src {
+        Probe(usize),
+        Build(usize),
+    }
+    let srcs: Vec<Src> = group_vars
+        .iter()
+        .map(|&v| {
+            if let Ok(p) = probe.schema().position(v) {
+                Ok(Src::Probe(p))
+            } else {
+                Ok(Src::Build(build.schema().position(v)?))
+            }
+        })
+        .collect::<Result<_>>()?;
+    let key_positions: Vec<usize> = (0..group_vars.len()).collect();
+
+    let index = build.build_index(&build_shared);
+    let mut groups: std::collections::HashMap<Key, usize> =
+        std::collections::HashMap::with_capacity(probe.len().min(1 << 20));
+    let mut out = FunctionalRelation::new(
+        format!("γ(({}⨝*{}))", l.name(), r.name()),
+        out_schema,
+    );
+    let mut key_row: Vec<Value> = vec![0; group_vars.len()];
+    for i in 0..probe.len() {
+        guard.poll()?;
+        let prow = probe.row(i);
+        let key = Key::extract(prow, &probe_shared);
+        let Some(matches) = index.get(&key) else {
+            continue;
+        };
+        let pm = probe.measure(i);
+        for &j in matches {
+            guard.poll()?;
+            let brow = build.row(j as usize);
+            for (c, src) in srcs.iter().enumerate() {
+                key_row[c] = match src {
+                    Src::Probe(p) => prow[*p],
+                    Src::Build(p) => brow[*p],
+                };
+            }
+            let m = sr.mul(pm, build.measure(j as usize));
+            let gkey = Key::extract(&key_row, &key_positions);
+            match groups.entry(gkey) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    let idx = *e.get();
+                    let acc = sr.add(out.measure(idx), m);
+                    if !sr.is_valid_accumulation(acc) {
+                        return Err(AlgebraError::NonFiniteMeasure {
+                            op: "join_group_by",
+                            value: acc,
+                        });
+                    }
+                    out.set_measure(idx, acc);
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(out.len());
+                    out.push_row(&key_row, m)?;
+                    guard.produced()?;
+                }
+            }
+        }
+    }
+    guard.finish()?;
+    Ok(out)
+}
+
 /// Selection on conjunctive variable-equality predicates
 /// (`where Y = c and ...`), the restriction used by the paper's
 /// restricted-answer and constrained-domain query forms.

@@ -137,6 +137,22 @@ pub enum PhysicalPlan {
         /// The aggregation implementation.
         algo: AggAlgo,
     },
+    /// Fused join→marginalize: `GroupBy_X(left ⨝* right)` contracted in
+    /// one operator, never materializing the join intermediate — the
+    /// canonical VE elimination step. Runs the dense fused kernel when
+    /// both sides densify ([`crate::dense::join_agg_auto`]) and the
+    /// fused hash pipeline otherwise; accounts as one join *plus* one
+    /// group-by so stats reconcile with the unfused plan.
+    JoinAgg {
+        /// Left input.
+        left: Box<PhysicalPlan>,
+        /// Right input.
+        right: Box<PhysicalPlan>,
+        /// Grouping variables (must drop at least the join-only ones for
+        /// the planner to pick this node; any subset of the union schema
+        /// is executable).
+        group_vars: Vec<VarId>,
+    },
 }
 
 impl PhysicalPlan {
@@ -194,7 +210,8 @@ impl PhysicalPlan {
                 PhysicalPlan::Select { input, .. } | PhysicalPlan::GroupBy { input, .. } => {
                     stack.push((input, d + 1));
                 }
-                PhysicalPlan::Join { left, right, .. } => {
+                PhysicalPlan::Join { left, right, .. }
+                | PhysicalPlan::JoinAgg { left, right, .. } => {
                     stack.push((left, d + 1));
                     stack.push((right, d + 1));
                 }
@@ -216,6 +233,14 @@ impl PhysicalPlan {
             PhysicalPlan::GroupBy {
                 input, group_vars, ..
             } => Plan::group_by(input.to_logical(), group_vars.clone()),
+            PhysicalPlan::JoinAgg {
+                left,
+                right,
+                group_vars,
+            } => Plan::group_by(
+                Plan::join(left.to_logical(), right.to_logical()),
+                group_vars.clone(),
+            ),
         }
     }
 
@@ -233,6 +258,9 @@ impl PhysicalPlan {
             }
             PhysicalPlan::GroupBy { input, algo, .. } => {
                 (*algo == AggAlgo::SortAgg) as usize + input.sort_operator_count()
+            }
+            PhysicalPlan::JoinAgg { left, right, .. } => {
+                left.sort_operator_count() + right.sort_operator_count()
             }
         }
     }
@@ -254,6 +282,9 @@ impl PhysicalPlan {
             PhysicalPlan::GroupBy { input, algo, .. } => {
                 (*algo == AggAlgo::SortAgg) as usize + input.spill_operator_count()
             }
+            PhysicalPlan::JoinAgg { left, right, .. } => {
+                left.spill_operator_count() + right.spill_operator_count()
+            }
         }
     }
 
@@ -273,6 +304,9 @@ impl PhysicalPlan {
                 matches!(algo, AggAlgo::ParallelAgg { .. }) as usize
                     + input.parallel_operator_count()
             }
+            PhysicalPlan::JoinAgg { left, right, .. } => {
+                left.parallel_operator_count() + right.parallel_operator_count()
+            }
         }
     }
 
@@ -290,6 +324,12 @@ impl PhysicalPlan {
             }
             PhysicalPlan::GroupBy { input, algo, .. } => {
                 (*algo == AggAlgo::DenseAgg) as usize + input.dense_operator_count()
+            }
+            // The fused node is chosen from a dense join + dense agg
+            // pair and dispatches to the dense fused kernel first, so it
+            // counts as both.
+            PhysicalPlan::JoinAgg { left, right, .. } => {
+                2 + left.dense_operator_count() + right.dense_operator_count()
             }
         }
     }
@@ -309,6 +349,9 @@ impl PhysicalPlan {
             PhysicalPlan::GroupBy { input, algo, .. } => {
                 (*algo == AggAlgo::SparseAgg) as usize + input.sparse_operator_count()
             }
+            PhysicalPlan::JoinAgg { left, right, .. } => {
+                left.sparse_operator_count() + right.sparse_operator_count()
+            }
         }
     }
 
@@ -324,6 +367,10 @@ impl PhysicalPlan {
                 1 + left.operator_count() + right.operator_count()
             }
             PhysicalPlan::GroupBy { input, .. } => 1 + input.operator_count(),
+            // One join plus one group-by, performed as one contraction.
+            PhysicalPlan::JoinAgg { left, right, .. } => {
+                2 + left.operator_count() + right.operator_count()
+            }
         }
     }
 
@@ -340,7 +387,8 @@ impl PhysicalPlan {
                 PhysicalPlan::Select { input, .. } | PhysicalPlan::GroupBy { input, .. } => {
                     stack.push(input);
                 }
-                PhysicalPlan::Join { left, right, .. } => {
+                PhysicalPlan::Join { left, right, .. }
+                | PhysicalPlan::JoinAgg { left, right, .. } => {
                     stack.push(left);
                     stack.push(right);
                 }
@@ -357,7 +405,8 @@ impl PhysicalPlan {
             PhysicalPlan::Select { input, .. } | PhysicalPlan::GroupBy { input, .. } => {
                 input.touches(touched)
             }
-            PhysicalPlan::Join { left, right, .. } => {
+            PhysicalPlan::Join { left, right, .. }
+            | PhysicalPlan::JoinAgg { left, right, .. } => {
                 left.touches(touched) || right.touches(touched)
             }
         }
@@ -410,6 +459,15 @@ impl PhysicalPlan {
                 group_vars: group_vars.clone(),
                 algo: *algo,
             },
+            PhysicalPlan::JoinAgg {
+                left,
+                right,
+                group_vars,
+            } => PhysicalPlan::JoinAgg {
+                left: Box::new(left.extract_shared(touched, assign)),
+                right: Box::new(right.extract_shared(touched, assign)),
+                group_vars: group_vars.clone(),
+            },
         }
     }
 
@@ -447,6 +505,16 @@ impl PhysicalPlan {
                 let vars: Vec<String> = group_vars.iter().map(|&v| var_name(v)).collect();
                 out.push_str(&format!("{indent}GroupBy [{}] ({algo:?})\n", vars.join(", ")));
                 input.render_into(out, depth + 1, var_name);
+            }
+            PhysicalPlan::JoinAgg {
+                left,
+                right,
+                group_vars,
+            } => {
+                let vars: Vec<String> = group_vars.iter().map(|&v| var_name(v)).collect();
+                out.push_str(&format!("{indent}JoinAgg [{}] (Fused)\n", vars.join(", ")));
+                left.render_into(out, depth + 1, var_name);
+                right.render_into(out, depth + 1, var_name);
             }
         }
     }

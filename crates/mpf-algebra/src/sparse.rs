@@ -48,7 +48,7 @@ use mpf_storage::layout::grid_cells_wide;
 use mpf_storage::sparse::{Factor, SparseFactor};
 use mpf_storage::{FunctionalRelation, Schema, Value, VarId};
 
-use crate::dense;
+use crate::dense::{self, KernelMode, KERNEL_BLOCK};
 use crate::limits::{ExecBudget, OpGuard};
 use crate::trace::{OpRepr, SpanKind};
 use crate::{ops, AlgebraError, ExecContext, Result};
@@ -311,6 +311,7 @@ pub fn join(
         Some(sp) => {
             let rel = from_sparse(cx, sp)?;
             cx.record_join_ex(&[l, r], &rel, OpRepr::Sparse);
+            cx.note_kernel_op(cx.kernel_mode());
             Ok(rel)
         }
         None => ops::product_join(cx, l, r),
@@ -408,6 +409,7 @@ pub fn join_factor(cx: &mut ExecContext<'_>, l: &Factor, r: &Factor) -> Result<F
                     sp.schema().arity(),
                     OpRepr::Sparse,
                 );
+                cx.note_kernel_op(cx.kernel_mode());
                 return Ok(Factor::Sparse(sp));
             }
         }
@@ -564,6 +566,7 @@ fn join_impl(
     let sr = cx.semiring();
     let budget = cx.budget();
     let arity = out_schema.arity();
+    let mode = cx.kernel_mode();
     let (coords, values) = for_each_semiring!(
         sr,
         join_kernel(
@@ -575,6 +578,7 @@ fn join_impl(
             b_own_cells,
             budget,
             arity,
+            mode,
         )
     )?;
     let name = format!("({}⨝*{})", l_name(l), l_name(r));
@@ -680,6 +684,12 @@ fn agg_impl(
 /// shared prefix (`key / own_cells`) pair up; each output coordinate is
 /// `a_key * b_own_cells + b_own_index`, ascending by construction.
 /// Monomorphized per semiring so the inner multiply is a static op.
+///
+/// [`KernelMode::Chunked`] emits each `(a row × b run)` value column in
+/// [`KERNEL_BLOCK`]-sized `extend` strides — a straight-line multiply of
+/// the b value column by a scalar, which autovectorizes — charging the
+/// budget once per block via [`OpGuard::produced_many`]. The multiply is
+/// elementwise, so scalar and chunked outputs are bit-identical.
 #[allow(clippy::too_many_arguments, clippy::type_complexity)]
 fn join_kernel<S: SemiringOps>(
     a_keys: &[u64],
@@ -690,6 +700,7 @@ fn join_kernel<S: SemiringOps>(
     b_own_cells: u64,
     budget: Option<&ExecBudget>,
     arity: usize,
+    mode: KernelMode,
 ) -> Result<(Vec<u64>, Vec<f64>)> {
     let mut guard = OpGuard::new(budget, arity);
     let mut out_keys: Vec<u64> = Vec::with_capacity(a_keys.len().max(b_keys.len()));
@@ -724,11 +735,26 @@ fn join_kernel<S: SemiringOps>(
         for ai in i..ia {
             let base = a_keys[ai] * b_own_cells;
             let va = a_vals[ai];
-            for bj in j..jb {
-                guard.poll()?;
-                out_keys.push(base + b_own[bj]);
-                out_vals.push(S::mul(va, b_vals[bj]));
-                guard.produced()?;
+            match mode {
+                KernelMode::Scalar => {
+                    for bj in j..jb {
+                        guard.poll()?;
+                        out_keys.push(base + b_own[bj]);
+                        out_vals.push(S::mul(va, b_vals[bj]));
+                        guard.produced()?;
+                    }
+                }
+                KernelMode::Chunked => {
+                    let mut t = j;
+                    while t < jb {
+                        guard.poll()?;
+                        let blk = (jb - t).min(KERNEL_BLOCK);
+                        out_keys.extend(b_own[t..t + blk].iter().map(|&o| base + o));
+                        out_vals.extend(b_vals[t..t + blk].iter().map(|&vb| S::mul(va, vb)));
+                        guard.produced_many(blk as u64)?;
+                        t += blk;
+                    }
+                }
             }
         }
         i = ia;

@@ -42,6 +42,14 @@ pub struct ExecStats {
     /// Scenario frontiers that reused a memoized trunk subtree instead of
     /// recomputing it.
     pub trunk_hits: u64,
+    /// Fused join→marginalize operators executed (each also counted in
+    /// both `joins` and `group_bys`, so totals reconcile with an unfused
+    /// plan).
+    pub fused_join_aggs: u64,
+    /// Kernel dispatches that ran the lane-chunked inner loops.
+    pub kernel_chunked_ops: u64,
+    /// Kernel dispatches that ran the scalar reference inner loops.
+    pub kernel_scalar_ops: u64,
 }
 
 impl ExecStats {
@@ -62,6 +70,9 @@ impl ExecStats {
         self.sparse_converts += other.sparse_converts;
         self.trunk_builds += other.trunk_builds;
         self.trunk_hits += other.trunk_hits;
+        self.fused_join_aggs += other.fused_join_aggs;
+        self.kernel_chunked_ops += other.kernel_chunked_ops;
+        self.kernel_scalar_ops += other.kernel_scalar_ops;
     }
 }
 
@@ -87,6 +98,9 @@ mod tests {
             sparse_converts: 2,
             trunk_builds: 1,
             trunk_hits: 4,
+            fused_join_aggs: 1,
+            kernel_chunked_ops: 3,
+            kernel_scalar_ops: 0,
         };
         let b = ExecStats {
             rows_scanned: 1,
@@ -104,6 +118,9 @@ mod tests {
             sparse_converts: 1,
             trunk_builds: 2,
             trunk_hits: 10,
+            fused_join_aggs: 2,
+            kernel_chunked_ops: 1,
+            kernel_scalar_ops: 2,
         };
         a.merge(&b);
         assert_eq!(a.rows_scanned, 11);
@@ -120,5 +137,8 @@ mod tests {
         assert_eq!(a.sparse_converts, 3);
         assert_eq!(a.trunk_builds, 3);
         assert_eq!(a.trunk_hits, 14);
+        assert_eq!(a.fused_join_aggs, 3);
+        assert_eq!(a.kernel_chunked_ops, 4);
+        assert_eq!(a.kernel_scalar_ops, 2);
     }
 }

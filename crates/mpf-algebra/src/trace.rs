@@ -165,6 +165,13 @@ pub struct TraceSpan {
     pub workers: Option<usize>,
     /// The storage representation the operator ran on.
     pub repr: OpRepr,
+    /// The kernel inner-loop mode (`"scalar"`/`"chunked"`) a
+    /// monomorphized kernel ran with; `None` for operators that never
+    /// touched a monomorphized kernel (hash path, scans, phases).
+    pub kernel: Option<&'static str>,
+    /// True when the span is a fused join→marginalize contraction (one
+    /// operator accounting as a join *and* a group-by).
+    pub fused: bool,
     /// Optimizer-estimated output rows, filled by the engine's
     /// estimate-annotation pass (`None` inside bare algebra runs).
     pub est_rows: Option<f64>,
@@ -187,6 +194,8 @@ impl TraceSpan {
             partitions: desc.partitions,
             workers: desc.workers,
             repr: desc.repr,
+            kernel: None,
+            fused: false,
             est_rows: None,
             fault: None,
             children: Vec::new(),
@@ -235,6 +244,12 @@ impl TraceSpan {
                 out.push_str(&format!(", workers={w}"));
             }
             out.push_str(&format!(", repr={}", self.repr.name()));
+            if let Some(k) = self.kernel {
+                out.push_str(&format!(", kernel={k}"));
+            }
+            if self.fused {
+                out.push_str(", fused=true");
+            }
             out.push(')');
         }
         if let Some(fault) = &self.fault {
@@ -264,6 +279,12 @@ impl TraceSpan {
         }
         if self.kind != SpanKind::Phase {
             out.push_str(&format!(",\"repr\":\"{}\"", self.repr.name()));
+        }
+        if let Some(k) = self.kernel {
+            out.push_str(&format!(",\"kernel\":\"{k}\""));
+        }
+        if self.fused {
+            out.push_str(",\"fused\":true");
         }
         if let Some(e) = self.est_rows {
             if e.is_finite() {
@@ -472,6 +493,47 @@ impl TraceCollector {
         }
         if let Some(top) = self.stack.last_mut() {
             top.span.partitions = Some(partitions);
+        }
+    }
+
+    /// Tag the active span with the kernel inner-loop mode: the innermost
+    /// open span when one exists (interpreter path), else the span most
+    /// recently attached at the current level (ad-hoc operator calls,
+    /// whose accounting attaches a leaf just before this runs).
+    pub(crate) fn set_kernel(&mut self, kernel: &'static str) {
+        if !self.enabled() {
+            return;
+        }
+        if let Some(span) = self.active_span() {
+            span.kernel = Some(kernel);
+        }
+    }
+
+    /// Mark the active span as a fused join→marginalize contraction (same
+    /// targeting rule as [`TraceCollector::set_kernel`]).
+    pub(crate) fn set_fused(&mut self, fused: bool) {
+        if !self.enabled() {
+            return;
+        }
+        if let Some(span) = self.active_span() {
+            span.fused = fused;
+        }
+    }
+
+    fn active_span(&mut self) -> Option<&mut TraceSpan> {
+        match self.stack.last_mut() {
+            // A filled operator span is the operator this tag belongs
+            // to; a phase span (or an operator span whose accounting
+            // attached a leaf instead of filling) routes to the most
+            // recently attached child.
+            Some(top) => {
+                if top.span.kind != SpanKind::Phase && top.filled {
+                    Some(&mut top.span)
+                } else {
+                    top.span.children.last_mut()
+                }
+            }
+            None => self.roots.last_mut(),
         }
     }
 

@@ -12,8 +12,13 @@
 //! run diverging from the sparse operators), `function_eq_cache: false`
 //! (a cache-served run diverging from a cold recompute), or
 //! `function_eq_scenarios: false` (a scenario batch diverging from a
-//! sequential loop of single-scenario runs) anywhere in the new results
-//! fails unconditionally: a wrong answer is a regression at any scale.
+//! sequential loop of single-scenario runs), `function_eq_scalar: false`
+//! (a chunked-kernel run diverging from scalar), or
+//! `function_eq_unfused: false` (a fused join→marginalize run diverging
+//! from the unfused pipeline) anywhere in the new results fails
+//! unconditionally: a wrong answer is a regression at any scale. So does
+//! `peak_below_unfused: false` — a fused run that materializes as much
+//! as the unfused pipeline has lost its reason to exist.
 //!
 //! The parser is a purpose-built scanner for the flat JSON the bench bins
 //! emit (no serde in this workspace); it is not a general JSON reader.
@@ -112,6 +117,21 @@ fn main() -> ExitCode {
     if fresh.contains("\"function_eq_scenarios\": false") {
         eprintln!(
             "FAIL: a scenario batch diverged from its sequential single-scenario loop in {new_path}"
+        );
+        failed = true;
+    }
+    if fresh.contains("\"function_eq_scalar\": false") {
+        eprintln!("FAIL: a chunked-kernel run diverged from its scalar reference in {new_path}");
+        failed = true;
+    }
+    if fresh.contains("\"function_eq_unfused\": false") {
+        eprintln!("FAIL: a fused run diverged from the unfused pipeline in {new_path}");
+        failed = true;
+    }
+    if fresh.contains("\"peak_below_unfused\": false") {
+        eprintln!(
+            "FAIL: a fused run reported peak intermediate rows at or above the unfused \
+             pipeline in {new_path}"
         );
         failed = true;
     }

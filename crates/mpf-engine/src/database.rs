@@ -219,8 +219,8 @@ impl Database {
     }
 
     /// An empty database configured from the environment knobs
-    /// (`MPF_THREADS`, `MPF_DENSE`, `MPF_REPR`, `MPF_CACHE_BYTES`) with
-    /// *strict* parsing: a malformed
+    /// (`MPF_THREADS`, `MPF_DENSE`, `MPF_REPR`, `MPF_KERNEL`,
+    /// `MPF_CACHE_BYTES`) with *strict* parsing: a malformed
     /// value is a typed [`EngineError::Config`] instead of the silent
     /// fallback [`Database::new`] applies. Services should start here.
     pub fn from_env() -> Result<Database> {
@@ -610,6 +610,9 @@ impl Database {
                     m.add("engine.repr.dense_ops", a.stats.dense_joins + a.stats.dense_group_bys);
                     m.add("engine.repr.sparse_converts", a.stats.sparse_converts);
                     m.add("engine.repr.dense_converts", a.stats.dense_converts);
+                    m.add("engine.kernel.chunked_ops", a.stats.kernel_chunked_ops);
+                    m.add("engine.kernel.scalar_ops", a.stats.kernel_scalar_ops);
+                    m.add("engine.kernel.fused_join_aggs", a.stats.fused_join_aggs);
                     m.observe("engine.optimize_us", a.optimize_time);
                     m.observe("engine.execute_us", a.execute_time);
                 }
@@ -1662,7 +1665,10 @@ mod tests {
             PhysicalPlan::Select { input, .. } | PhysicalPlan::GroupBy { input, .. } => {
                 1 + plan_nodes(input)
             }
-            PhysicalPlan::Join { left, right, .. } => 1 + plan_nodes(left) + plan_nodes(right),
+            PhysicalPlan::Join { left, right, .. }
+            | PhysicalPlan::JoinAgg { left, right, .. } => {
+                1 + plan_nodes(left) + plan_nodes(right)
+            }
         }
     }
 
@@ -1767,6 +1773,34 @@ mod tests {
     }
 
     #[test]
+    fn fused_dense_kernels_agree_and_are_counted() {
+        let reference = tiny_db()
+            .with_dense(DenseMode::Off)
+            .with_repr(ReprMode::Off)
+            .run(Query::on("v").group_by(["c"]))
+            .unwrap();
+        let metrics = Arc::new(MetricsRegistry::new());
+        let db = tiny_db()
+            .with_dense(DenseMode::On)
+            .with_repr(ReprMode::Off)
+            .with_metrics(Arc::clone(&metrics));
+        let ans = db.run(Query::on("v").group_by(["c"])).unwrap();
+        assert!(reference.relation.function_eq(&ans.relation));
+        assert!(
+            ans.stats.fused_join_aggs > 0,
+            "dense join feeding dense agg runs the fused operator"
+        );
+        assert!(
+            ans.stats.kernel_chunked_ops > 0,
+            "chunked is the default kernel mode"
+        );
+        assert_eq!(ans.stats.kernel_scalar_ops, 0);
+        assert!(metrics.counter("engine.kernel.fused_join_aggs") > 0);
+        assert!(metrics.counter("engine.kernel.chunked_ops") > 0);
+        assert_eq!(metrics.counter("engine.kernel.scalar_ops"), 0);
+    }
+
+    #[test]
     fn explain_analyze_shows_repr() {
         let db = tiny_db().with_dense(DenseMode::Off).with_repr(ReprMode::Sparse);
         let text = db
@@ -1781,11 +1815,23 @@ mod tests {
     #[test]
     fn explain_renders_plan() {
         let db = tiny_db();
+        // tiny_db's relations are complete grids, so the dense operators
+        // apply and the planner fuses the final join into the group-by.
         let text = db
             .describe(Query::on("v").group_by(["c"]).strategy(Strategy::CsPlusLinear))
             .unwrap();
-        assert!(text.contains("GroupBy [c]"));
+        assert!(
+            text.contains("JoinAgg [c] (Fused)"),
+            "fused elimination step renders:\n{text}"
+        );
         assert!(text.contains("Scan r1"));
         assert!(text.contains("estimated cost"));
+        // With the dense kernels off the unfused pair renders as before.
+        let unfused = tiny_db()
+            .with_dense(DenseMode::Off)
+            .with_repr(ReprMode::Off)
+            .describe(Query::on("v").group_by(["c"]).strategy(Strategy::CsPlusLinear))
+            .unwrap();
+        assert!(unfused.contains("GroupBy [c]"), "{unfused}");
     }
 }

@@ -17,6 +17,7 @@
 //! validate exactness.
 
 use mpf_algebra::{ExecContext, ExecLimits, ExecStats, Executor, Plan, RelationStore};
+use mpf_optimizer::physical::{choose_physical, PhysicalConfig};
 use mpf_optimizer::{optimize, Algorithm, BaseRel, CostModel, OptContext, QuerySpec};
 use mpf_semiring::SemiringKind;
 use mpf_storage::{Catalog, FunctionalRelation, Schema, Value, VarId};
@@ -234,7 +235,11 @@ impl BayesNet {
         let ctx = OptContext::new(&self.catalog, base, spec, CostModel::Io);
         let plan = optimize(&ctx, algorithm);
         let exec = Executor::new(&store, sr);
-        let physical = exec.lower(&plan.plan)?;
+        // Cost-based physical selection (instead of the executor's default
+        // hash lowering) so elimination steps over dense CPT grids run the
+        // fused join→marginalize kernel and the sparse/parallel operators
+        // apply where their estimates say they pay off.
+        let physical = choose_physical(&ctx, &plan.plan, PhysicalConfig::default());
         let rel = exec.execute_physical_in(&mut cx, &physical)?;
         Ok((rel, cx.take_stats()))
     }

@@ -193,6 +193,22 @@ fn annotate_rec(
             let rows = group_rows(ctx, in_rows, &schema);
             (schema, rows)
         }
+        PP::JoinAgg {
+            left,
+            right,
+            group_vars,
+        } => {
+            // Estimated like the unfused pair: join cardinality feeds the
+            // group-count model, the intermediate just never materializes.
+            let two = span.children.len() == 2;
+            let mut it = span.children.iter_mut();
+            let (ls, lr) = input_est(left, if two { it.next() } else { None });
+            let (rs, rr) = input_est(right, if two { it.next() } else { None });
+            let join = join_rows(ctx, &ls, lr, &rs, rr);
+            let schema: Schema = group_vars.iter().copied().collect();
+            let rows = group_rows(ctx, join, &schema);
+            (schema, rows)
+        }
     };
     span.est_rows = Some(rows);
     (schema, rows)

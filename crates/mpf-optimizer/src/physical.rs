@@ -66,6 +66,11 @@ pub struct PhysicalConfig {
     /// kernel's per-side sort does not pay for itself against a hash
     /// table that stays cache-resident.
     pub sparse_min_density: f64,
+    /// Whether to fuse a dense join feeding a dense marginalization into
+    /// a single [`PhysicalPlan::JoinAgg`] operator that contracts
+    /// directly into the output grid without materializing the join
+    /// intermediate. On by default; turn off to compare unfused plans.
+    pub fuse: bool,
 }
 
 impl Default for PhysicalConfig {
@@ -80,6 +85,7 @@ impl Default for PhysicalConfig {
             dense_min_density: 0.5,
             repr_mode: ReprMode::from_env(),
             sparse_min_density: mpf_algebra::sparse::SPARSE_MIN_DENSITY,
+            fuse: true,
         }
     }
 }
@@ -100,6 +106,12 @@ impl PhysicalConfig {
     /// Set the sparse-tensor selection mode (builder style).
     pub fn with_repr(mut self, mode: ReprMode) -> Self {
         self.repr_mode = mode;
+        self
+    }
+
+    /// Enable or disable join→marginalize fusion (builder style).
+    pub fn with_fuse(mut self, fuse: bool) -> Self {
+        self.fuse = fuse;
         self
     }
 }
@@ -168,13 +180,63 @@ fn sparse_applies(
     true
 }
 
+/// Fuse each dense join that feeds a dense marginalization into a single
+/// [`PhysicalPlan::JoinAgg`]: the elimination step then contracts both
+/// inputs straight into the group accumulator grid, skipping the join
+/// intermediate entirely. Only the all-dense pairing is rewritten — that
+/// is where the intermediate is a full grid and skipping it pays; the
+/// hash and sparse pipelines keep their chosen algorithms.
+fn fuse_join_agg(plan: PhysicalPlan) -> PhysicalPlan {
+    match plan {
+        PhysicalPlan::GroupBy {
+            input,
+            group_vars,
+            algo: AggAlgo::DenseAgg,
+        } => match *input {
+            PhysicalPlan::Join {
+                left,
+                right,
+                algo: JoinAlgo::Dense,
+            } => PhysicalPlan::JoinAgg {
+                left: Box::new(fuse_join_agg(*left)),
+                right: Box::new(fuse_join_agg(*right)),
+                group_vars,
+            },
+            other => PhysicalPlan::GroupBy {
+                input: Box::new(fuse_join_agg(other)),
+                group_vars,
+                algo: AggAlgo::DenseAgg,
+            },
+        },
+        PhysicalPlan::GroupBy {
+            input,
+            group_vars,
+            algo,
+        } => PhysicalPlan::GroupBy {
+            input: Box::new(fuse_join_agg(*input)),
+            group_vars,
+            algo,
+        },
+        PhysicalPlan::Join { left, right, algo } => PhysicalPlan::Join {
+            left: Box::new(fuse_join_agg(*left)),
+            right: Box::new(fuse_join_agg(*right)),
+            algo,
+        },
+        PhysicalPlan::Select { input, predicates } => PhysicalPlan::Select {
+            input: Box::new(fuse_join_agg(*input)),
+            predicates,
+        },
+        leaf @ (PhysicalPlan::Scan { .. } | PhysicalPlan::JoinAgg { .. }) => leaf,
+    }
+}
+
 /// Annotate a logical plan with cost-chosen operator algorithms.
 pub fn choose_physical(
     ctx: &OptContext<'_>,
     plan: &Plan,
     cfg: PhysicalConfig,
 ) -> PhysicalPlan {
-    PhysicalPlan::from_logical(
+    let phys = PhysicalPlan::from_logical(
         plan,
         &mut |left, right| {
             let (ls, lr) = estimate::plan_estimate(ctx, left);
@@ -240,7 +302,12 @@ pub fn choose_physical(
                 AggAlgo::SortAgg
             }
         },
-    )
+    );
+    if cfg.fuse {
+        fuse_join_agg(phys)
+    } else {
+        phys
+    }
 }
 
 #[cfg(test)]
@@ -373,6 +440,63 @@ mod tests {
         assert_eq!(sauto.dense_operator_count(), 0, "sparse operands stay hash");
         let son = choose_physical(&sctx, &splan, cfg.with_dense(DenseMode::On));
         assert!(son.dense_operator_count() > 0, "forced mode ignores density");
+    }
+
+    #[test]
+    fn dense_join_into_dense_agg_fuses() {
+        // Complete relations over small domains: both operators go dense
+        // under auto, and the join feeds the marginalization directly —
+        // the canonical VE elimination step the fused operator targets.
+        let mut cat = Catalog::new();
+        let a = cat.add_var("a", 8).unwrap();
+        let b = cat.add_var("b", 8).unwrap();
+        let c = cat.add_var("c", 8).unwrap();
+        let mk = |name: &str, schema: Schema, card: u64| BaseRel {
+            name: name.into(),
+            schema,
+            cardinality: card,
+            fd_lhs: None,
+        };
+        let rels = vec![
+            mk("r1", Schema::new(vec![a, b]).unwrap(), 64),
+            mk("r2", Schema::new(vec![b, c]).unwrap(), 64),
+        ];
+        let ctx = OptContext::new(&cat, rels, QuerySpec::group_by([a]), CostModel::Io);
+        let plan = optimize(&ctx, Algorithm::CsPlusNonlinear).plan;
+        let cfg = PhysicalConfig::default()
+            .with_threads(1)
+            .with_dense(DenseMode::Auto)
+            .with_repr(ReprMode::Off);
+        let fused = choose_physical(&ctx, &plan, cfg);
+        fn count_fused(p: &PhysicalPlan) -> usize {
+            match p {
+                PhysicalPlan::Scan { .. } => 0,
+                PhysicalPlan::Select { input, .. } | PhysicalPlan::GroupBy { input, .. } => {
+                    count_fused(input)
+                }
+                PhysicalPlan::Join { left, right, .. } => {
+                    count_fused(left) + count_fused(right)
+                }
+                PhysicalPlan::JoinAgg { left, right, .. } => {
+                    1 + count_fused(left) + count_fused(right)
+                }
+            }
+        }
+        assert!(
+            count_fused(&fused) > 0,
+            "dense join into dense agg fuses:\n{}",
+            fused.render(&|v| format!("x{}", v.0))
+        );
+        // Fusion is an annotation change only: the logical plan and the
+        // dense operator accounting (one join + one group-by per fused
+        // node) are unchanged.
+        assert_eq!(fused.to_logical(), plan);
+        let unfused = choose_physical(&ctx, &plan, cfg.with_fuse(false));
+        assert_eq!(count_fused(&unfused), 0, "with_fuse(false) keeps the pair");
+        assert_eq!(
+            fused.dense_operator_count(),
+            unfused.dense_operator_count()
+        );
     }
 
     #[test]
@@ -547,6 +671,10 @@ mod tests {
                         assert!(*partitions >= 4 && *partitions % 4 == 0);
                     }
                     check(input);
+                }
+                PhysicalPlan::JoinAgg { left, right, .. } => {
+                    check(left);
+                    check(right);
                 }
             }
         }

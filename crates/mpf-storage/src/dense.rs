@@ -199,41 +199,19 @@ impl DenseFactor {
 
     /// Materialize back into a sparse [`FunctionalRelation`], emitting
     /// every grid cell in odometer order (the same row order
-    /// [`FunctionalRelation::complete`] produces). Cells are pre-sized and
-    /// filled directly.
+    /// [`FunctionalRelation::complete`] produces).
     pub fn to_relation(&self) -> FunctionalRelation {
         self.clone().into_relation()
     }
 
     /// [`DenseFactor::to_relation`], consuming the factor so the cell
-    /// measures move into the relation without a copy.
+    /// measures move into the relation without a copy. The key column
+    /// stays *implicit* (the relation records the grid's domain vector;
+    /// packed keys materialize lazily on first row access), so on a
+    /// dense→dense pipeline this conversion is O(1) in the grid size and
+    /// the next densification proves odometer order without a scan.
     pub fn into_relation(self) -> FunctionalRelation {
-        let arity = self.schema.arity();
-        let total = self.values.len();
-        let mut values = vec![0 as Value; total * arity];
-        if arity > 0 && total > 0 {
-            // Emit runs of the last (fastest) column under a prefix that
-            // advances once per run — the odometer never branches inside
-            // the hot per-row loop.
-            let dlast = self.domains[arity - 1];
-            let mut prefix = vec![0 as Value; arity - 1];
-            let mut w = 0usize;
-            for _ in 0..total as u64 / dlast {
-                for j in 0..dlast {
-                    values[w..w + arity - 1].copy_from_slice(&prefix);
-                    values[w + arity - 1] = j as Value;
-                    w += arity;
-                }
-                for c in (0..arity - 1).rev() {
-                    prefix[c] += 1;
-                    if (prefix[c] as u64) < self.domains[c] {
-                        break;
-                    }
-                    prefix[c] = 0;
-                }
-            }
-        }
-        FunctionalRelation::from_parts(self.name, self.schema, values, self.values)
+        FunctionalRelation::from_grid(self.name, self.schema, self.domains, self.values)
     }
 }
 

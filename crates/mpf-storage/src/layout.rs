@@ -105,6 +105,14 @@ pub fn is_odometer_ordered(rel: &FunctionalRelation, domains: &[u64]) -> bool {
     if arity == 0 || rel.is_empty() {
         return true;
     }
+    // A grid-certified relation proves its order in O(arity): its rows
+    // are the odometer sequence of `g`, and one sequence is the odometer
+    // of exactly one domain vector (per-column max + 1), so it matches
+    // `domains` iff the vectors are equal — no scan, and no key
+    // materialization.
+    if let Some(g) = rel.grid_domains() {
+        return g == domains;
+    }
     let vals = rel.values_col();
     let dlast = domains[arity - 1];
     if dlast == 0 {

@@ -1,4 +1,5 @@
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 use mpf_semiring::approx_eq;
 
@@ -7,18 +8,68 @@ use crate::{Catalog, Key, Result, Schema, StorageError, Value, VarId};
 /// Assumed page size (bytes) for the simulated-IO cost accounting.
 const PAGE_BYTES: u64 = 8192;
 
+/// The key column of a [`FunctionalRelation`]: either explicit packed
+/// rows, or — for grid-complete relations in odometer order — just the
+/// domain vector, with row `i`'s values *implied* as the odometer
+/// decomposition of `i`. The grid form is what
+/// [`FunctionalRelation::complete`] and `DenseFactor::into_relation`
+/// produce; it certifies odometer order in O(1) (so dense kernels skip
+/// the verification scan entirely) and defers materializing the packed
+/// keys until a row consumer actually asks, which on a dense→dense
+/// pipeline is never.
+#[derive(Debug, Clone)]
+enum KeyCol {
+    /// Explicit row-major packed keys (`len() * arity()` values).
+    Rows(Vec<Value>),
+    /// Implicit odometer sequence over `domains`; `cache` holds the
+    /// packed materialization once some consumer needs real key slices.
+    Grid {
+        domains: Vec<u64>,
+        cache: OnceLock<Vec<Value>>,
+    },
+}
+
+/// Materialize the odometer key sequence of a grid: runs of the last
+/// (fastest) column under a prefix that advances once per run, so the
+/// hot per-row loop never branches.
+fn odometer_keys(domains: &[u64], total: usize) -> Vec<Value> {
+    let arity = domains.len();
+    let mut values = vec![0 as Value; total * arity];
+    if arity > 0 && total > 0 {
+        let dlast = domains[arity - 1];
+        let mut prefix = vec![0 as Value; arity - 1];
+        let mut w = 0usize;
+        for _ in 0..total as u64 / dlast {
+            for j in 0..dlast {
+                values[w..w + arity - 1].copy_from_slice(&prefix);
+                values[w + arity - 1] = j as Value;
+                w += arity;
+            }
+            for c in (0..arity - 1).rev() {
+                prefix[c] += 1;
+                if (prefix[c] as u64) < domains[c] {
+                    break;
+                }
+                prefix[c] = 0;
+            }
+        }
+    }
+    values
+}
+
 /// A functional relation (Definition 1): rows of discrete variable values
 /// plus a measure column functionally determined by them.
 ///
-/// Storage is row-major: `values` holds `len() * arity()` packed `u32`s and
-/// `measures` holds one `f64` per row. The FD `A1..Am -> f` is validated on
-/// demand ([`FunctionalRelation::validate_fd`]) rather than on every insert,
-/// so bulk loads stay cheap.
+/// Storage is row-major: the key column holds `len() * arity()` packed
+/// `u32`s (explicitly, or implied by an odometer grid — see [`KeyCol`])
+/// and `measures` holds one `f64` per row. The FD `A1..Am -> f` is
+/// validated on demand ([`FunctionalRelation::validate_fd`]) rather than
+/// on every insert, so bulk loads stay cheap.
 #[derive(Debug, Clone)]
 pub struct FunctionalRelation {
     name: String,
     schema: Schema,
-    values: Vec<Value>,
+    keys: KeyCol,
     measures: Vec<f64>,
 }
 
@@ -31,9 +82,15 @@ impl PartialEq for FunctionalRelation {
     /// tolerance here is the same one [`FunctionalRelation::function_eq`]
     /// already applies.
     fn eq(&self, other: &Self) -> bool {
+        // Two grid key columns with equal domains imply identical row
+        // sequences without materializing either side.
+        let keys_eq = match (&self.keys, &other.keys) {
+            (KeyCol::Grid { domains: a, .. }, KeyCol::Grid { domains: b, .. }) => a == b,
+            _ => self.values_col() == other.values_col(),
+        };
         self.name == other.name
             && self.schema == other.schema
-            && self.values == other.values
+            && keys_eq
             && self.measures.len() == other.measures.len()
             && self
                 .measures
@@ -49,7 +106,7 @@ impl FunctionalRelation {
         Self {
             name: name.into(),
             schema,
-            values: Vec::new(),
+            keys: KeyCol::Rows(Vec::new()),
             measures: Vec::new(),
         }
     }
@@ -83,14 +140,12 @@ impl FunctionalRelation {
         let arity = schema.arity();
         let domains: Vec<u64> = schema.iter().map(|v| catalog.domain_size(v)).collect();
         let total = domains.iter().product::<u64>() as usize;
-        // Pre-size and fill by index: this is the data-generation hot loop
-        // for every complete-relation benchmark, and growth-amortized
-        // `extend_from_slice` bounds checks dominate it otherwise.
-        let mut values = vec![0 as Value; total * arity];
+        // Only the measure column is materialized; the keys are the grid's
+        // odometer sequence and stay implicit ([`KeyCol::Grid`]) until a
+        // row consumer asks for them.
         let mut measures = Vec::with_capacity(total);
         let mut row = vec![0u32; arity];
-        for i in 0..total {
-            values[i * arity..(i + 1) * arity].copy_from_slice(&row);
+        for _ in 0..total {
             measures.push(measure_fn(&row));
             // Odometer increment.
             for c in (0..arity).rev() {
@@ -101,12 +156,7 @@ impl FunctionalRelation {
                 row[c] = 0;
             }
         }
-        Self {
-            name: name.into(),
-            schema,
-            values,
-            measures,
-        }
+        Self::from_grid(name, schema, domains, measures)
     }
 
     /// Assemble a relation from pre-built packed columns (crate-internal:
@@ -121,8 +171,73 @@ impl FunctionalRelation {
         Self {
             name: name.into(),
             schema,
-            values,
+            keys: KeyCol::Rows(values),
             measures,
+        }
+    }
+
+    /// Assemble a grid-complete relation in odometer order from its
+    /// domain vector and cell measures alone (crate-internal: what
+    /// [`FunctionalRelation::complete`] and `DenseFactor::into_relation`
+    /// build). The packed keys stay implicit — O(1) here — and the grid
+    /// form doubles as a proof of odometer order, so densification never
+    /// re-verifies it.
+    pub(crate) fn from_grid(
+        name: impl Into<String>,
+        schema: Schema,
+        domains: Vec<u64>,
+        measures: Vec<f64>,
+    ) -> Self {
+        debug_assert_eq!(domains.len(), schema.arity());
+        debug_assert_eq!(domains.iter().product::<u64>(), measures.len() as u64);
+        Self {
+            name: name.into(),
+            schema,
+            keys: KeyCol::Grid {
+                domains,
+                cache: OnceLock::new(),
+            },
+            measures,
+        }
+    }
+
+    /// For a grid-complete relation in odometer order, the domain vector
+    /// its rows enumerate — the O(1) certificate the dense kernels use to
+    /// skip the odometer-order verification scan. `None` for explicit-row
+    /// relations (which may still *be* odometer-ordered; callers fall
+    /// back to the scanning check).
+    pub fn grid_domains(&self) -> Option<&[u64]> {
+        match &self.keys {
+            KeyCol::Rows(_) => None,
+            KeyCol::Grid { domains, .. } => Some(domains),
+        }
+    }
+
+    /// The packed key column, materializing a grid's odometer sequence on
+    /// first access.
+    fn keys(&self) -> &[Value] {
+        match &self.keys {
+            KeyCol::Rows(v) => v,
+            KeyCol::Grid { domains, cache } => {
+                cache.get_or_init(|| odometer_keys(domains, self.measures.len()))
+            }
+        }
+    }
+
+    /// The key column as an owned, mutable vector, demoting a grid to
+    /// explicit rows first (mutation invalidates the odometer
+    /// certificate).
+    fn keys_mut(&mut self) -> &mut Vec<Value> {
+        if let KeyCol::Grid { domains, cache } = &mut self.keys {
+            let v = match cache.take() {
+                Some(v) => v,
+                None => odometer_keys(domains, self.measures.len()),
+            };
+            self.keys = KeyCol::Rows(v);
+        }
+        match &mut self.keys {
+            KeyCol::Rows(v) => v,
+            KeyCol::Grid { .. } => unreachable!("demoted above"),
         }
     }
 
@@ -137,7 +252,7 @@ impl FunctionalRelation {
                 got: row.len(),
             });
         }
-        self.values.extend_from_slice(row);
+        self.keys_mut().extend_from_slice(row);
         self.measures.push(measure);
         Ok(())
     }
@@ -152,7 +267,7 @@ impl FunctionalRelation {
     #[inline]
     pub fn push_row_unchecked(&mut self, row: &[Value], measure: f64) {
         debug_assert_eq!(row.len(), self.schema.arity());
-        self.values.extend_from_slice(row);
+        self.keys_mut().extend_from_slice(row);
         self.measures.push(measure);
     }
 
@@ -184,9 +299,19 @@ impl FunctionalRelation {
     /// capacity). Used by residency accounting (the engine's view
     /// cache) but meaningful for any memory budgeting.
     pub fn heap_bytes(&self) -> usize {
+        // A grid key column is charged as if materialized: its cache may
+        // fill at any time after a consumer asks for packed keys, and
+        // residency accounting must not go stale when it does.
+        let key_bytes = match &self.keys {
+            KeyCol::Rows(v) => v.capacity() * std::mem::size_of::<Value>(),
+            KeyCol::Grid { domains, .. } => {
+                domains.capacity() * std::mem::size_of::<u64>()
+                    + self.measures.len() * self.schema.arity() * std::mem::size_of::<Value>()
+            }
+        };
         self.name.capacity()
             + self.schema.heap_bytes()
-            + self.values.capacity() * std::mem::size_of::<Value>()
+            + key_bytes
             + self.measures.capacity() * std::mem::size_of::<f64>()
     }
 
@@ -204,7 +329,7 @@ impl FunctionalRelation {
     #[inline]
     pub fn row(&self, i: usize) -> &[Value] {
         let a = self.schema.arity();
-        &self.values[i * a..(i + 1) * a]
+        &self.keys()[i * a..(i + 1) * a]
     }
 
     /// The `i`th row's measure.
@@ -220,9 +345,12 @@ impl FunctionalRelation {
 
     /// The flat value storage (row-major, `len() * arity()` packed
     /// values) as one zero-copy slice — for kernels and conversions that
-    /// scan all rows without per-row slice bookkeeping.
+    /// scan all rows without per-row slice bookkeeping. On a grid key
+    /// column this materializes the odometer sequence (once, cached);
+    /// consumers that only need to *prove* odometer order should check
+    /// [`FunctionalRelation::grid_domains`] first.
     pub fn values_col(&self) -> &[Value] {
-        &self.values
+        self.keys()
     }
 
     /// Overwrite the `i`th row's measure (used by aggregation operators to
@@ -353,16 +481,19 @@ impl FunctionalRelation {
     /// values. Two functional relations over the same schema are equal as
     /// functions iff their canonicalized row/measure sequences match.
     pub fn canonicalized(&self) -> Self {
+        // A grid's odometer sequence is already lexicographically sorted.
+        if self.grid_domains().is_some() {
+            return self.clone();
+        }
         let mut order: Vec<usize> = (0..self.len()).collect();
         order.sort_by(|&a, &b| self.row(a).cmp(self.row(b)));
-        let mut out = Self::new(self.name.clone(), self.schema.clone());
-        out.values.reserve(self.values.len());
-        out.measures.reserve(self.measures.len());
+        let mut values = Vec::with_capacity(self.len() * self.schema.arity());
+        let mut measures = Vec::with_capacity(self.measures.len());
         for i in order {
-            out.values.extend_from_slice(self.row(i));
-            out.measures.push(self.measures[i]);
+            values.extend_from_slice(self.row(i));
+            measures.push(self.measures[i]);
         }
-        out
+        Self::from_parts(self.name.clone(), self.schema.clone(), values, measures)
     }
 
     /// A copy without rows whose measure is the semiring's additive
@@ -414,7 +545,7 @@ impl FunctionalRelation {
         let mut permuted = Self::new("", self.schema.clone());
         for (row, m) in other.rows() {
             let reordered: Vec<Value> = perm.iter().map(|&i| row[i]).collect();
-            permuted.values.extend_from_slice(&reordered);
+            permuted.keys_mut().extend_from_slice(&reordered);
             permuted.measures.push(m);
         }
         let b = permuted.canonicalized();
@@ -572,14 +703,67 @@ mod tests {
     }
 
     #[test]
+    fn complete_relations_carry_the_grid_certificate_lazily() {
+        let (c, a, b, _) = catalog3();
+        let schema = Schema::new(vec![a, b]).unwrap();
+        let r = FunctionalRelation::complete("r", schema, &c, |row| (row[0] * 10 + row[1]) as f64);
+        // The grid certificate is available without materializing keys.
+        assert_eq!(r.grid_domains(), Some(&[2u64, 3][..]));
+        // Row access still sees the odometer sequence, identical to a
+        // push-built copy.
+        assert_eq!(r.row(0), &[0, 0]);
+        assert_eq!(r.row(4), &[1, 1]);
+        let explicit = FunctionalRelation::from_rows(
+            "r",
+            r.schema().clone(),
+            r.rows().map(|(row, m)| (row.to_vec(), m)),
+        )
+        .unwrap();
+        assert_eq!(r, explicit);
+        assert!(explicit.grid_domains().is_none());
+        // Equality also holds grid-vs-grid without any materialization.
+        let r2 = FunctionalRelation::complete(
+            "r",
+            r.schema().clone(),
+            &c,
+            |row| (row[0] * 10 + row[1]) as f64,
+        );
+        assert_eq!(r, r2);
+        // Canonicalization is the identity on a grid (odometer order is
+        // lexicographic order).
+        assert_eq!(r.canonicalized(), r);
+    }
+
+    #[test]
+    fn mutating_a_grid_relation_demotes_its_certificate() {
+        let (c, a, b, _) = catalog3();
+        let schema = Schema::new(vec![a, b]).unwrap();
+        let mut r =
+            FunctionalRelation::complete("r", schema, &c, |row| (row[0] * 10 + row[1]) as f64);
+        assert!(r.grid_domains().is_some());
+        // Pushing a row invalidates odometer order; the certificate must
+        // disappear while the existing rows stay intact.
+        r.push_row(&[0, 0], 99.0).unwrap();
+        assert!(r.grid_domains().is_none());
+        assert_eq!(r.len(), 7);
+        assert_eq!(r.row(0), &[0, 0]);
+        assert_eq!(r.row(6), &[0, 0]);
+        assert_eq!(r.measure(6), 99.0);
+    }
+
+    #[test]
     fn heap_bytes_is_capacity_accurate() {
         let (_, a, b, _) = catalog3();
         let schema = Schema::new(vec![a, b]).unwrap();
         let mut r = FunctionalRelation::new("rel", schema);
         let expect = |r: &FunctionalRelation| {
+            let key_bytes = match &r.keys {
+                KeyCol::Rows(v) => v.capacity() * std::mem::size_of::<Value>(),
+                KeyCol::Grid { .. } => unreachable!("push-built relation"),
+            };
             r.name.capacity()
                 + r.schema().heap_bytes()
-                + r.values.capacity() * std::mem::size_of::<Value>()
+                + key_bytes
                 + r.measures.capacity() * std::mem::size_of::<f64>()
         };
         assert_eq!(r.heap_bytes(), expect(&r));

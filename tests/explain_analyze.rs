@@ -90,17 +90,16 @@ fn supply_chain_explain_analyze_snapshot() {
     let expected = "\
 -- strategy: ve+(degree)
 -- estimated cost: 17016.00
--- rows scanned=4428, processed=12588, peak intermediate=4000, page io=55
+-- rows scanned=4428, processed=12576, peak intermediate=4000, page io=53
 GroupBy (SparseAgg)  (est rows=20.0, rows=20, cells=40, time=_, repr=sparse)
-  ProductJoin (SparseTensor)  (est rows=20.0, rows=20, cells=60, time=_, repr=sparse)
-    ProductJoin (SparseTensor)  (est rows=20.0, rows=20, cells=60, time=_, repr=sparse)
-      GroupBy (DenseAgg)  (est rows=4.0, rows=4, cells=8, time=_, repr=rows)
-        ProductJoin (Dense)  (est rows=6.0, rows=6, cells=18, time=_, repr=rows)
-          Scan transporters  (est rows=2.0, rows=2, cells=4, time=_, repr=rows)
-          Scan ctdeals  (est rows=6.0, rows=6, cells=18, time=_, repr=rows)
+  ProductJoin (SparseTensor)  (est rows=20.0, rows=20, cells=60, time=_, repr=sparse, kernel=chunked)
+    ProductJoin (SparseTensor)  (est rows=20.0, rows=20, cells=60, time=_, repr=sparse, kernel=chunked)
+      JoinAgg (Fused)  (est rows=4.0, rows=4, cells=8, time=_, repr=rows, fused=true)
+        Scan transporters  (est rows=2.0, rows=2, cells=4, time=_, repr=rows)
+        Scan ctdeals  (est rows=6.0, rows=6, cells=18, time=_, repr=rows)
       Scan warehouses  (est rows=20.0, rows=20, cells=60, time=_, repr=rows)
     GroupBy (SparseAgg)  (est rows=20.0, rows=20, cells=40, time=_, repr=sparse)
-      ProductJoin (SparseTensor)  (est rows=4000.0, rows=4000, cells=16000, time=_, repr=sparse)
+      ProductJoin (SparseTensor)  (est rows=4000.0, rows=4000, cells=16000, time=_, repr=sparse, kernel=chunked)
         Scan contracts  (est rows=400.0, rows=400, cells=1200, time=_, repr=rows)
         Scan location  (est rows=4000.0, rows=4000, cells=12000, time=_, repr=rows)
 ";
@@ -121,16 +120,15 @@ fn bayes_net_explain_analyze_snapshot() {
     let expected = "\
 -- strategy: ve+(degree)
 -- estimated cost: 86.00
--- rows scanned=18, processed=68, peak intermediate=8, page io=17
-GroupBy (DenseAgg)  (est rows=2.0, rows=2, cells=4, time=_, repr=rows)
-  ProductJoin (Dense)  (est rows=8.0, rows=8, cells=40, time=_, repr=rows)
-    Select  (est rows=4.0, rows=4, cells=16, time=_, repr=rows)
-      Scan cpt_wet  (est rows=8.0, rows=8, cells=32, time=_, repr=rows)
-    ProductJoin (Dense)  (est rows=8.0, rows=8, cells=32, time=_, repr=dense)
-      ProductJoin (Dense)  (est rows=4.0, rows=4, cells=12, time=_, repr=dense)
-        Scan cpt_cloudy  (est rows=2.0, rows=2, cells=4, time=_, repr=rows)
-        Scan cpt_sprinkler  (est rows=4.0, rows=4, cells=12, time=_, repr=rows)
-      Scan cpt_rain  (est rows=4.0, rows=4, cells=12, time=_, repr=rows)
+-- rows scanned=18, processed=52, peak intermediate=8, page io=15
+JoinAgg (Fused)  (est rows=2.0, rows=2, cells=4, time=_, repr=rows, fused=true)
+  Select  (est rows=4.0, rows=4, cells=16, time=_, repr=rows)
+    Scan cpt_wet  (est rows=8.0, rows=8, cells=32, time=_, repr=rows)
+  ProductJoin (Dense)  (est rows=8.0, rows=8, cells=32, time=_, repr=dense, kernel=chunked)
+    ProductJoin (Dense)  (est rows=4.0, rows=4, cells=12, time=_, repr=dense, kernel=chunked)
+      Scan cpt_cloudy  (est rows=2.0, rows=2, cells=4, time=_, repr=rows)
+      Scan cpt_sprinkler  (est rows=4.0, rows=4, cells=12, time=_, repr=rows)
+    Scan cpt_rain  (est rows=4.0, rows=4, cells=12, time=_, repr=rows)
 ";
     assert_eq!(normalize(&text), expected, "got:\n{}", normalize(&text));
 }
@@ -138,7 +136,9 @@ GroupBy (DenseAgg)  (est rows=2.0, rows=2, cells=4, time=_, repr=rows)
 /// Every traced operator feeds the same accounting as `ExecStats`, so the
 /// span tree must reconcile exactly with the answer's stats: scan spans sum
 /// to `rows_scanned`, operator spans sum to `rows_processed`, and per-kind
-/// span counts equal the per-kind operator counters.
+/// span counts equal the per-kind operator counters. A fused
+/// join→marginalize span records under `GroupBy` but accounts as one join
+/// *plus* one group-by, so it increments both expected counts.
 fn assert_trace_reconciles(db: &Database, q: &Query) {
     let ans = db
         .run(QueryRequest::from(q).trace(TraceLevel::Spans))
@@ -158,6 +158,9 @@ fn assert_trace_reconciles(db: &Database, q: &Query) {
         SpanKind::GroupBy => {
             processed += s.rows_in + s.rows_out;
             group_bys += 1;
+            if s.fused {
+                joins += 1;
+            }
         }
         SpanKind::Select => {
             processed += s.rows_in + s.rows_out;
